@@ -1,0 +1,293 @@
+//! The centralized-sequencer baseline.
+
+use seqnet_core::{CoreError, DeliveryRecord, MessageId, NetworkSetup};
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_sim::{FifoStamper, SimTime, Simulator};
+use seqnet_topology::{DelayOracle, HostId, RouterId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Propagation delays for the centralized deployment.
+#[derive(Debug, Clone)]
+pub enum CentralDelays {
+    /// Constant hop delay between any two distinct parties.
+    Uniform(SimTime),
+    /// Topology-backed: the sequencer sits on a router; hosts are attached
+    /// per the setup's host map.
+    Table {
+        /// Host-to-sequencer delay, indexed by node id.
+        to_seq: Vec<SimTime>,
+        /// Host-to-host delays, indexed `[a][b]`, for the unicast
+        /// reference.
+        host_host: Vec<Vec<SimTime>>,
+    },
+}
+
+impl CentralDelays {
+    /// Builds topology-backed delays for a sequencer placed on `router`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is disconnected.
+    #[allow(clippy::needless_range_loop)] // indexed form reads clearer here
+    pub fn on_network(setup: &NetworkSetup, router: RouterId) -> Self {
+        let n = setup.hosts.num_hosts();
+        let mut oracle = DelayOracle::new(&setup.topology.graph);
+        let to_seq = (0..n)
+            .map(|i| {
+                let d = oracle.router_delay(setup.hosts.router_of(HostId(i as u32)), router);
+                SimTime::from_micros(d.as_micros())
+            })
+            .collect();
+        let mut host_host = vec![vec![SimTime::ZERO; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                let d = oracle.host_delay(&setup.hosts, HostId(a as u32), HostId(b as u32));
+                host_host[a][b] = SimTime::from_micros(d.as_micros());
+            }
+        }
+        CentralDelays::Table { to_seq, host_host }
+    }
+
+    fn host_to_seq(&self, host: NodeId) -> SimTime {
+        match self {
+            CentralDelays::Uniform(d) => *d,
+            CentralDelays::Table { to_seq, .. } => to_seq[host.index()],
+        }
+    }
+
+    fn host_to_host(&self, a: NodeId, b: NodeId) -> SimTime {
+        match self {
+            CentralDelays::Uniform(d) => {
+                if a == b {
+                    SimTime::ZERO
+                } else {
+                    *d
+                }
+            }
+            CentralDelays::Table { host_host, .. } => host_host[a.index()][b.index()],
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CentralWorld {
+    membership: Membership,
+    delays: CentralDelays,
+    fifo: FifoStamper<(u8, NodeId)>, // (0 = host→seq, 1 = seq→host)
+    next_id: u64,
+    global_seq: u64,
+    sequencer_load: u64,
+    publish_time: HashMap<MessageId, SimTime>,
+    deliveries: BTreeMap<NodeId, Vec<DeliveryRecord>>,
+}
+
+/// A pub/sub system ordered by one central sequencer: every message from
+/// every publisher funnels through a single machine, which assigns a global
+/// total order and fans out to the destination group.
+///
+/// Used by the `load_vs_central` experiment to reproduce the paper's
+/// scalability argument: the sequencer processes *every* message, whereas
+/// the decentralized scheme bounds each sequencing node's load by the most
+/// loaded receiver.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{Membership, NodeId, GroupId};
+/// use seqnet_baseline::{CentralSequencer, CentralDelays};
+/// use seqnet_sim::SimTime;
+///
+/// let m = Membership::from_groups([(GroupId(0), vec![NodeId(0), NodeId(1)])]);
+/// let mut bus = CentralSequencer::new(&m, CentralDelays::Uniform(SimTime::from_ms(1.0)));
+/// bus.publish(NodeId(0), GroupId(0), 8)?;
+/// bus.run_to_quiescence();
+/// assert_eq!(bus.sequencer_load(), 1);
+/// assert_eq!(bus.delivered(NodeId(1)).len(), 1);
+/// # Ok::<(), seqnet_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct CentralSequencer {
+    sim: Simulator<CentralWorld>,
+}
+
+impl CentralSequencer {
+    /// Creates the system over `membership` with the given delay model.
+    pub fn new(membership: &Membership, delays: CentralDelays) -> Self {
+        CentralSequencer {
+            sim: Simulator::new(CentralWorld {
+                membership: membership.clone(),
+                delays,
+                fifo: FifoStamper::new(),
+                next_id: 0,
+                global_seq: 0,
+                sequencer_load: 0,
+                publish_time: HashMap::new(),
+                deliveries: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Publishes a message of `payload_bytes` size at the current time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownGroup`] if the group has no members.
+    pub fn publish(
+        &mut self,
+        sender: NodeId,
+        group: GroupId,
+        payload_bytes: usize,
+    ) -> Result<MessageId, CoreError> {
+        let _ = payload_bytes;
+        let world = self.sim.world_mut();
+        if world.membership.group_size(group) == 0 {
+            return Err(CoreError::UnknownGroup(group));
+        }
+        let id = MessageId(world.next_id);
+        world.next_id += 1;
+        let now = self.sim.now();
+        let world = self.sim.world_mut();
+        world.publish_time.insert(id, now);
+        let delay = world.delays.host_to_seq(sender);
+        let arrival = world.fifo.arrival((0, sender), now, delay);
+        self.sim.schedule_at(arrival, move |sim| {
+            at_sequencer(sim, id, sender, group);
+        });
+        Ok(id)
+    }
+
+    /// Runs until idle; returns events executed.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.sim.run_to_quiescence()
+    }
+
+    /// Messages the central sequencer has processed — its load.
+    pub fn sequencer_load(&self) -> u64 {
+        self.sim.world().sequencer_load
+    }
+
+    /// Deliveries at `node` in delivery order.
+    pub fn delivered(&self, node: NodeId) -> &[DeliveryRecord] {
+        self.sim
+            .world()
+            .deliveries
+            .get(&node)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates all delivery records.
+    pub fn all_deliveries(&self) -> impl Iterator<Item = &DeliveryRecord> {
+        self.sim.world().deliveries.values().flatten()
+    }
+}
+
+fn at_sequencer(sim: &mut Simulator<CentralWorld>, id: MessageId, sender: NodeId, group: GroupId) {
+    let now = sim.now();
+    let world = sim.world_mut();
+    world.sequencer_load += 1;
+    world.global_seq += 1;
+    let members: Vec<NodeId> = world.membership.members(group).collect();
+    let sends: Vec<(SimTime, NodeId)> = members
+        .into_iter()
+        .map(|member| {
+            let delay = world.delays.host_to_seq(member); // symmetric path
+            let arrival = world.fifo.arrival((1, member), now, delay);
+            (arrival, member)
+        })
+        .collect();
+    for (arrival, member) in sends {
+        sim.schedule_at(arrival, move |sim| {
+            let now = sim.now();
+            let world = sim.world_mut();
+            let published = world.publish_time[&id];
+            let unicast = world.delays.host_to_host(sender, member);
+            // The sequencer→member channel is FIFO and the sequencer
+            // totally orders messages, so arrival order is delivery order.
+            let record = DeliveryRecord {
+                id,
+                sender,
+                group,
+                destination: member,
+                published,
+                arrived: now,
+                delivered: now,
+                unicast,
+                stamps: 1,
+                payload: bytes::Bytes::new(),
+            };
+            world.deliveries.entry(member).or_default().push(record);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use seqnet_topology::TransitStubParams;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    fn membership() -> Membership {
+        Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(1), n(2), n(3)]),
+        ])
+    }
+
+    #[test]
+    fn sequencer_sees_every_message() {
+        let mut bus = CentralSequencer::new(&membership(), CentralDelays::Uniform(SimTime::from_ms(1.0)));
+        for i in 0..6u32 {
+            let (s, grp) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            bus.publish(s, grp, 16).unwrap();
+        }
+        bus.run_to_quiescence();
+        assert_eq!(bus.sequencer_load(), 6, "central sequencer processes all traffic");
+        assert_eq!(bus.delivered(n(1)).len(), 6);
+        assert_eq!(bus.delivered(n(0)).len(), 3);
+    }
+
+    #[test]
+    fn overlap_members_agree_on_order() {
+        let mut bus = CentralSequencer::new(&membership(), CentralDelays::Uniform(SimTime::from_ms(1.0)));
+        for i in 0..10u32 {
+            let (s, grp) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            bus.publish(s, grp, 0).unwrap();
+        }
+        bus.run_to_quiescence();
+        let o1: Vec<_> = bus.delivered(n(1)).iter().map(|d| d.id).collect();
+        let o2: Vec<_> = bus.delivered(n(2)).iter().map(|d| d.id).collect();
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn unknown_group_rejected() {
+        let mut bus = CentralSequencer::new(&membership(), CentralDelays::Uniform(SimTime::from_ms(1.0)));
+        assert!(bus.publish(n(0), g(7), 0).is_err());
+    }
+
+    #[test]
+    fn network_backed_delays() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let setup = NetworkSetup::generate(&TransitStubParams::small(), 6, 3, &mut rng);
+        let delays = CentralDelays::on_network(&setup, RouterId(0));
+        let m = Membership::from_groups([(g(0), vec![n(0), n(1), n(2), n(3)])]);
+        let mut bus = CentralSequencer::new(&m, delays);
+        bus.publish(n(0), g(0), 0).unwrap();
+        bus.run_to_quiescence();
+        for d in bus.all_deliveries() {
+            assert!(d.arrived >= d.published);
+            // Traversal goes through the sequencer: at least the unicast
+            // time for any destination (triangle inequality on shortest
+            // paths).
+            assert!(d.arrived - d.published >= d.unicast);
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Baseline ordering schemes the paper compares against (§2, §4).
+//!
+//! * [`CentralSequencer`] — a single node assigns one global sequence
+//!   number to *every* message in the system. Simple, totally ordered, and
+//!   the scalability anti-pattern the paper motivates against: the
+//!   sequencer's load equals the total message rate and it is a single
+//!   point of failure.
+//! * [`CausalBroadcast`] — vector-timestamp causal ordering
+//!   (Birman–Schiper–Stephenson style). Decentralized, but every message
+//!   carries an `O(N)`-entry timestamp and must effectively be broadcast so
+//!   that the clock entries stay interpretable — the overhead argument of
+//!   §2/§4.4.
+//! * [`PropagationTree`] — Garcia-Molina/Spauster-style ordered multicast
+//!   through a tree of subscriber nodes, the related work the paper calls
+//!   closest to its own (§2): sequencing is overlapped with distribution
+//!   and lands on the most-subscribed destination nodes.
+//! * [`TokenRing`] — sender-based total order: a node may publish only
+//!   while holding the circulating token. Decentralized, but "token-based
+//!   protocols introduce long delays when nodes must wait for the token"
+//!   (§2) — measurable here as the publish-to-flush wait.
+//! * [`DirectUnicast`] — shortest-path delivery with no ordering at all:
+//!   the latency-stretch denominator of §4.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod central;
+mod propagation;
+mod token;
+mod unicast;
+mod vector;
+
+pub use central::{CentralDelays, CentralSequencer};
+pub use propagation::PropagationTree;
+pub use token::TokenRing;
+pub use unicast::DirectUnicast;
+pub use vector::{CausalBroadcast, VcMessage, VectorClock};
+
+/// Ordering-metadata size in bytes of a vector timestamp over `n` nodes
+/// (8 bytes per entry) — compare with
+/// [`seqnet_core::Message::ordering_overhead_bytes`].
+pub fn vector_timestamp_bytes(n: usize) -> usize {
+    8 * n
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vector_overhead_linear_in_nodes() {
+        assert_eq!(super::vector_timestamp_bytes(128), 1024);
+        assert_eq!(super::vector_timestamp_bytes(0), 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Propagation-tree ordered multicast (Garcia-Molina & Spauster, ACM TOCS
+//! 1991) — the related work the paper calls its closest ancestor (§2):
+//! "they order messages as they deliver them through a tree of subscriber
+//! nodes... The graph is arranged so that messages are sequenced by the
+//! destination nodes that subscribe to the most groups, and the task of
+//! sequencing messages is overlapped with distribution."
+//!
+//! This implementation follows that shape: subscriber nodes form a
+//! propagation tree rooted at the node with the most subscriptions; a
+//! message is sent to the root, which assigns the order and pushes it down
+//! FIFO tree links; every node forwards to the children whose subtrees
+//! contain members of the destination group and delivers locally when
+//! subscribed. Sequencing is thus overlapped with distribution and done by
+//! *destination nodes* — the design seqnet decouples into sequencing atoms
+//! plus a separate delivery tree.
+
+use seqnet_core::{CoreError, DeliveryRecord, MessageId};
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_sim::{SimTime, Simulator};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+#[derive(Debug)]
+struct TreeWorld {
+    membership: Membership,
+    /// Children of each tree node.
+    children: BTreeMap<NodeId, Vec<NodeId>>,
+    /// For each node and group: does the subtree rooted there contain a
+    /// member of the group?
+    subtree_has: HashMap<(NodeId, GroupId), bool>,
+    root: NodeId,
+    hop: SimTime,
+    global_seq: u64,
+    publish_time: HashMap<MessageId, SimTime>,
+    deliveries: BTreeMap<NodeId, Vec<DeliveryRecord>>,
+    /// Messages each subscriber node forwarded for others — the
+    /// sequencing-overlapped-with-distribution load G-M puts on
+    /// destination nodes.
+    forward_load: BTreeMap<NodeId, u64>,
+    next_id: u64,
+}
+
+/// The Garcia-Molina/Spauster-style baseline: a single propagation tree of
+/// subscriber nodes, rooted at the most-subscribed node, ordering messages
+/// while distributing them.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{Membership, NodeId, GroupId};
+/// use seqnet_baseline::PropagationTree;
+/// use seqnet_sim::SimTime;
+///
+/// let m = Membership::from_groups([
+///     (GroupId(0), vec![NodeId(0), NodeId(1)]),
+///     (GroupId(1), vec![NodeId(1), NodeId(2)]),
+/// ]);
+/// let mut tree = PropagationTree::new(&m, SimTime::from_ms(1.0));
+/// tree.publish(NodeId(0), GroupId(0))?;
+/// tree.run_to_quiescence();
+/// assert_eq!(tree.delivered(NodeId(1)).len(), 1);
+/// # Ok::<(), seqnet_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct PropagationTree {
+    sim: Simulator<TreeWorld>,
+}
+
+impl PropagationTree {
+    /// Builds the tree over all subscribers of `membership`: the root is
+    /// the node with the most subscriptions (G-M sequence messages at the
+    /// nodes that subscribe to the most groups); remaining nodes attach
+    /// under the already-placed node with the largest subscription
+    /// intersection, keeping group members clustered in subtrees.
+    pub fn new(membership: &Membership, hop: SimTime) -> Self {
+        let mut nodes: Vec<NodeId> = membership.nodes().collect();
+        // Most-subscribed first; ties by id for determinism.
+        nodes.sort_by_key(|&n| (std::cmp::Reverse(membership.groups_of(n).count()), n));
+
+        let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let root = nodes.first().copied().unwrap_or(NodeId(0));
+        for (i, &node) in nodes.iter().enumerate().skip(1) {
+            let groups: BTreeSet<GroupId> = membership.groups_of(node).collect();
+            // Attach under the placed node sharing the most groups.
+            let best = nodes[..i]
+                .iter()
+                .copied()
+                .max_by_key(|&placed| {
+                    let overlap = membership
+                        .groups_of(placed)
+                        .filter(|g| groups.contains(g))
+                        .count();
+                    (overlap, std::cmp::Reverse(placed.0))
+                })
+                .expect("at least the root is placed");
+            children.entry(best).or_default().push(node);
+            parent.insert(node, best);
+        }
+
+        // subtree_has via post-order accumulation.
+        let mut subtree_has: HashMap<(NodeId, GroupId), bool> = HashMap::new();
+        let groups: Vec<GroupId> = membership.groups().collect();
+        // Process nodes in reverse placement order (children before
+        // parents is guaranteed because a child is always placed after
+        // its parent).
+        for &node in nodes.iter().rev() {
+            for &g in &groups {
+                let mine = membership.is_member(node, g);
+                let kids = children
+                    .get(&node)
+                    .map(|ks| {
+                        ks.iter()
+                            .any(|k| subtree_has.get(&(*k, g)).copied().unwrap_or(false))
+                    })
+                    .unwrap_or(false);
+                subtree_has.insert((node, g), mine || kids);
+            }
+        }
+
+        PropagationTree {
+            sim: Simulator::new(TreeWorld {
+                membership: membership.clone(),
+                children,
+                subtree_has,
+                root,
+                hop,
+                global_seq: 0,
+                publish_time: HashMap::new(),
+                deliveries: BTreeMap::new(),
+                forward_load: BTreeMap::new(),
+                next_id: 0,
+            }),
+        }
+    }
+
+    /// Publishes: the message travels to the root, gets its order, and
+    /// propagates down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownGroup`] if the group has no members.
+    pub fn publish(&mut self, sender: NodeId, group: GroupId) -> Result<MessageId, CoreError> {
+        let now = self.sim.now();
+        let world = self.sim.world_mut();
+        if world.membership.group_size(group) == 0 {
+            return Err(CoreError::UnknownGroup(group));
+        }
+        let id = MessageId(world.next_id);
+        world.next_id += 1;
+        world.publish_time.insert(id, now);
+        let root = world.root;
+        let hop = world.hop;
+        // Sender to root: one FIFO hop (abstracting the ingress path).
+        self.sim.schedule_at(now + hop, move |sim| {
+            at_tree_node(sim, id, sender, group, root);
+        });
+        Ok(id)
+    }
+
+    /// Runs until idle.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.sim.run_to_quiescence()
+    }
+
+    /// Deliveries at `node` in delivery order.
+    pub fn delivered(&self, node: NodeId) -> &[DeliveryRecord] {
+        self.sim
+            .world()
+            .deliveries
+            .get(&node)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates all delivery records.
+    pub fn all_deliveries(&self) -> impl Iterator<Item = &DeliveryRecord> {
+        self.sim.world().deliveries.values().flatten()
+    }
+
+    /// Messages each subscriber node forwarded on behalf of others — the
+    /// load G-M's design places on destination nodes and seqnet moves to
+    /// dedicated sequencing atoms.
+    pub fn forward_loads(&self) -> &BTreeMap<NodeId, u64> {
+        &self.sim.world().forward_load
+    }
+
+    /// The tree root (the busiest possible node: it sees every message).
+    pub fn root(&self) -> NodeId {
+        self.sim.world().root
+    }
+}
+
+/// Event: a message reaches a tree node, which delivers locally (if
+/// subscribed), forwards to interested subtrees, and counts the load.
+fn at_tree_node(
+    sim: &mut Simulator<TreeWorld>,
+    id: MessageId,
+    sender: NodeId,
+    group: GroupId,
+    node: NodeId,
+) {
+    let now = sim.now();
+    let world = sim.world_mut();
+    if node == world.root {
+        world.global_seq += 1; // the root fixes the total order
+    }
+    *world.forward_load.entry(node).or_insert(0) += 1;
+
+    if world.membership.is_member(node, group) {
+        let published = world.publish_time[&id];
+        let record = DeliveryRecord {
+            id,
+            sender,
+            group,
+            destination: node,
+            published,
+            arrived: now,
+            delivered: now,
+            unicast: world.hop,
+            stamps: 1,
+            payload: bytes::Bytes::new(),
+        };
+        world.deliveries.entry(node).or_default().push(record);
+    }
+
+    let hop = world.hop;
+    let next: Vec<NodeId> = world
+        .children
+        .get(&node)
+        .map(|kids| {
+            kids.iter()
+                .copied()
+                .filter(|k| world.subtree_has.get(&(*k, group)).copied().unwrap_or(false))
+                .collect()
+        })
+        .unwrap_or_default();
+    for child in next {
+        sim.schedule_at(now + hop, move |sim| {
+            at_tree_node(sim, id, sender, group, child);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    fn membership() -> Membership {
+        Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(1), n(2), n(3)]),
+            (g(2), vec![n(2), n(4)]),
+        ])
+    }
+
+    #[test]
+    fn root_is_the_most_subscribed_node() {
+        let tree = PropagationTree::new(&membership(), SimTime::from_ms(1.0));
+        assert_eq!(tree.root(), n(2), "n2 subscribes to all three groups");
+    }
+
+    #[test]
+    fn everyone_receives_their_groups() {
+        let mut tree = PropagationTree::new(&membership(), SimTime::from_ms(1.0));
+        for i in 0..9u32 {
+            let grp = g(i % 3);
+            let m = membership();
+            let sender = m.members(grp).next().unwrap();
+            tree.publish(sender, grp).unwrap();
+        }
+        tree.run_to_quiescence();
+        assert_eq!(tree.delivered(n(0)).len(), 3);
+        assert_eq!(tree.delivered(n(1)).len(), 6);
+        assert_eq!(tree.delivered(n(2)).len(), 9);
+        assert_eq!(tree.delivered(n(4)).len(), 3);
+    }
+
+    #[test]
+    fn overlap_members_agree_on_order() {
+        let mut tree = PropagationTree::new(&membership(), SimTime::from_ms(1.0));
+        for i in 0..10u32 {
+            let grp = g(i % 2);
+            tree.publish(n(0), grp).unwrap();
+        }
+        tree.run_to_quiescence();
+        let o1: Vec<_> = tree.delivered(n(1)).iter().map(|d| d.id).collect();
+        let o2: Vec<_> = tree.delivered(n(2)).iter().map(|d| d.id).collect();
+        let c1: Vec<_> = o1.iter().filter(|x| o2.contains(x)).collect();
+        let c2: Vec<_> = o2.iter().filter(|x| o1.contains(x)).collect();
+        assert_eq!(c1, c2);
+        assert_eq!(o1.len(), 10);
+    }
+
+    #[test]
+    fn root_carries_every_message() {
+        // The G-M shape the paper improves on: the most-subscribed
+        // destination node sequences (and forwards) *all* traffic.
+        let mut tree = PropagationTree::new(&membership(), SimTime::from_ms(1.0));
+        for i in 0..12u32 {
+            let grp = g(i % 3);
+            let m = membership();
+            let sender = m.members(grp).next().unwrap();
+            tree.publish(sender, grp).unwrap();
+        }
+        tree.run_to_quiescence();
+        assert_eq!(tree.forward_loads()[&tree.root()], 12);
+    }
+
+    #[test]
+    fn unknown_group_rejected() {
+        let mut tree = PropagationTree::new(&membership(), SimTime::from_ms(1.0));
+        assert!(tree.publish(n(0), g(9)).is_err());
+    }
+
+    #[test]
+    fn subtree_pruning_skips_uninterested_branches() {
+        // g2 = {n2, n4}: messages to g2 must not reach n0/n1/n3's load.
+        let mut tree = PropagationTree::new(&membership(), SimTime::from_ms(1.0));
+        tree.publish(n(4), g(2)).unwrap();
+        tree.run_to_quiescence();
+        let loads = tree.forward_loads();
+        let touched: Vec<NodeId> = loads.keys().copied().collect();
+        for node in touched {
+            assert!(
+                node == tree.root()
+                    || membership().is_member(node, g(2))
+                    || loads[&node] == 0,
+                "{node} handled a g2 message without interest"
+            );
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Token-based total-order baseline (Totem-style, simplified).
+//!
+//! In sender-based protocols "the sender can multicast a message only when
+//! granted the privilege, i.e., when it holds a token" (paper §2). A token
+//! circulates the nodes in ring order; a node holding the token flushes
+//! its pending publications (each implicitly globally ordered by flush
+//! time) and passes the token on. The paper's criticism — "token-based
+//! protocols introduce long delays when nodes must wait for the token" —
+//! is directly measurable here as the publish-to-flush wait.
+
+use seqnet_core::{CoreError, DeliveryRecord, MessageId};
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_sim::{SimTime, Simulator};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+#[derive(Debug)]
+struct TokenWorld {
+    membership: Membership,
+    ring: Vec<NodeId>,
+    hop: SimTime,
+    rotation: SimTime,
+    pending: HashMap<NodeId, VecDeque<(MessageId, GroupId)>>,
+    publish_time: HashMap<MessageId, SimTime>,
+    deliveries: BTreeMap<NodeId, Vec<DeliveryRecord>>,
+    next_id: u64,
+    token_holder: usize,
+    rotations: u64,
+    total_token_wait: SimTime,
+    flushed: u64,
+}
+
+/// A pub/sub system totally ordered by a circulating token.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{Membership, NodeId, GroupId};
+/// use seqnet_baseline::TokenRing;
+/// use seqnet_sim::SimTime;
+///
+/// let m = Membership::from_groups([(GroupId(0), vec![NodeId(0), NodeId(1)])]);
+/// let mut ring = TokenRing::new(&m, SimTime::from_ms(1.0), SimTime::from_ms(2.0));
+/// ring.publish(NodeId(1), GroupId(0), b"held until the token arrives")?;
+/// ring.run_to_quiescence();
+/// assert_eq!(ring.delivered(NodeId(0)).len(), 1);
+/// assert!(ring.mean_token_wait() > SimTime::ZERO);
+/// # Ok::<(), seqnet_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct TokenRing {
+    sim: Simulator<TokenWorld>,
+    started: bool,
+}
+
+impl TokenRing {
+    /// Creates a ring over all subscribing nodes of `membership`.
+    ///
+    /// `hop` is the delivery delay from a publisher to each subscriber;
+    /// `rotation` the token-passing delay between ring neighbors.
+    pub fn new(membership: &Membership, hop: SimTime, rotation: SimTime) -> Self {
+        let ring: Vec<NodeId> = membership.nodes().collect();
+        TokenRing {
+            sim: Simulator::new(TokenWorld {
+                membership: membership.clone(),
+                ring,
+                hop,
+                rotation,
+                pending: HashMap::new(),
+                publish_time: HashMap::new(),
+                deliveries: BTreeMap::new(),
+                next_id: 0,
+                token_holder: 0,
+                rotations: 0,
+                total_token_wait: SimTime::ZERO,
+                flushed: 0,
+            }),
+            started: false,
+        }
+    }
+
+    /// Queues a publication; it is sent when the token reaches the sender.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownGroup`] if the group has no members and
+    /// [`CoreError::UnknownNode`] if the sender is not on the ring.
+    pub fn publish(
+        &mut self,
+        sender: NodeId,
+        group: GroupId,
+        payload: impl AsRef<[u8]>,
+    ) -> Result<MessageId, CoreError> {
+        let _ = payload;
+        let now = self.sim.now();
+        let world = self.sim.world_mut();
+        if world.membership.group_size(group) == 0 {
+            return Err(CoreError::UnknownGroup(group));
+        }
+        if !world.ring.contains(&sender) {
+            return Err(CoreError::UnknownNode(sender));
+        }
+        let id = MessageId(world.next_id);
+        world.next_id += 1;
+        world.publish_time.insert(id, now);
+        world.pending.entry(sender).or_default().push_back((id, group));
+        if !self.started {
+            self.started = true;
+            self.sim.schedule_at(now, token_arrives);
+        }
+        Ok(id)
+    }
+
+    /// Runs until every queued message has been flushed and delivered.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.sim.run_to_quiescence()
+    }
+
+    /// Deliveries at `node` in delivery order.
+    pub fn delivered(&self, node: NodeId) -> &[DeliveryRecord] {
+        self.sim
+            .world()
+            .deliveries
+            .get(&node)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates all delivery records.
+    pub fn all_deliveries(&self) -> impl Iterator<Item = &DeliveryRecord> {
+        self.sim.world().deliveries.values().flatten()
+    }
+
+    /// Token passes performed.
+    pub fn rotations(&self) -> u64 {
+        self.sim.world().rotations
+    }
+
+    /// Mean time a message waited for the token before being sent — the
+    /// delay the paper criticizes token protocols for.
+    pub fn mean_token_wait(&self) -> SimTime {
+        let world = self.sim.world();
+        world
+            .total_token_wait
+            .as_micros()
+            .checked_div(world.flushed)
+            .map(SimTime::from_micros)
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// Event: the token reaches the current holder; flush and pass on.
+fn token_arrives(sim: &mut Simulator<TokenWorld>) {
+    let now = sim.now();
+    let world = sim.world_mut();
+    let holder = world.ring[world.token_holder];
+
+    // Flush the holder's queue: messages become globally ordered now.
+    let queue = world.pending.remove(&holder).unwrap_or_default();
+    let mut sends: Vec<(SimTime, MessageId, GroupId, Vec<NodeId>)> = Vec::new();
+    for (id, group) in queue {
+        let published = world.publish_time[&id];
+        world.total_token_wait += now - published;
+        world.flushed += 1;
+        let members: Vec<NodeId> = world.membership.members(group).collect();
+        sends.push((now + world.hop, id, group, members));
+    }
+    for (arrival, id, group, members) in sends {
+        for member in members {
+            sim.schedule_at(arrival, move |sim| {
+                let now = sim.now();
+                let world = sim.world_mut();
+                let published = world.publish_time[&id];
+                let record = DeliveryRecord {
+                    id,
+                    sender: NodeId(u32::MAX), // the ring hides the sender's position
+                    group,
+                    destination: member,
+                    published,
+                    arrived: now,
+                    delivered: now,
+                    unicast: world.hop,
+                    stamps: 0,
+                    payload: bytes::Bytes::new(),
+                };
+                world.deliveries.entry(member).or_default().push(record);
+            });
+        }
+    }
+
+    // Pass the token while work remains anywhere.
+    let world = sim.world_mut();
+    if world.pending.values().any(|q| !q.is_empty()) {
+        world.token_holder = (world.token_holder + 1) % world.ring.len();
+        world.rotations += 1;
+        let rotation = world.rotation;
+        sim.schedule_in(rotation, token_arrives);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    fn membership() -> Membership {
+        Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(1), n(2), n(3)]),
+        ])
+    }
+
+    #[test]
+    fn everything_delivered_in_total_order() {
+        let mut ring = TokenRing::new(&membership(), SimTime::from_ms(1.0), SimTime::from_ms(2.0));
+        for i in 0..8u32 {
+            let (s, grp) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            ring.publish(s, grp, []).unwrap();
+        }
+        ring.run_to_quiescence();
+        assert_eq!(ring.delivered(n(1)).len(), 8);
+        let o1: Vec<_> = ring.delivered(n(1)).iter().map(|d| d.id).collect();
+        let o2: Vec<_> = ring.delivered(n(2)).iter().map(|d| d.id).collect();
+        assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn token_wait_grows_with_ring_distance() {
+        // Node 3 is three hops of rotation away from the initial holder.
+        let m = membership();
+        let mut ring = TokenRing::new(&m, SimTime::from_ms(1.0), SimTime::from_ms(5.0));
+        ring.publish(n(3), g(1), []).unwrap();
+        ring.run_to_quiescence();
+        // Token starts at ring[0] = n0: three rotations of 5 ms to reach n3.
+        assert_eq!(ring.rotations(), 3);
+        assert_eq!(ring.mean_token_wait(), SimTime::from_ms(15.0));
+    }
+
+    #[test]
+    fn holder_publishes_immediately() {
+        let m = membership();
+        let mut ring = TokenRing::new(&m, SimTime::from_ms(1.0), SimTime::from_ms(5.0));
+        // Ring starts at n0.
+        ring.publish(n(0), g(0), []).unwrap();
+        ring.run_to_quiescence();
+        assert_eq!(ring.mean_token_wait(), SimTime::ZERO);
+        assert_eq!(ring.rotations(), 0);
+    }
+
+    #[test]
+    fn unknown_group_and_node_rejected() {
+        let mut ring = TokenRing::new(&membership(), SimTime::from_ms(1.0), SimTime::from_ms(1.0));
+        assert!(ring.publish(n(0), g(9), []).is_err());
+        assert!(ring.publish(n(9), g(0), []).is_err());
+    }
+
+    #[test]
+    fn token_ring_slower_than_decentralized_sequencing() {
+        // The §2 criticism quantified: same workload, same hop delay; the
+        // token's rotation dominates latency.
+        let m = membership();
+        let mut ring = TokenRing::new(&m, SimTime::from_ms(1.0), SimTime::from_ms(5.0));
+        let mut bus = seqnet_core::OrderedPubSub::with_uniform_delay(&m, SimTime::from_ms(1.0));
+        for i in 0..6u32 {
+            let (s, grp) = if i % 2 == 0 { (n(3), g(1)) } else { (n(1), g(0)) };
+            ring.publish(s, grp, []).unwrap();
+            bus.publish(s, grp, vec![]).unwrap();
+        }
+        ring.run_to_quiescence();
+        bus.run_to_quiescence();
+        let mean = |records: Vec<&DeliveryRecord>| -> f64 {
+            let sum: f64 = records
+                .iter()
+                .map(|d| (d.delivered - d.published).as_ms())
+                .sum();
+            sum / records.len() as f64
+        };
+        let ring_latency = mean(ring.all_deliveries().collect());
+        let seq_latency = mean(bus.all_deliveries().collect());
+        assert!(
+            ring_latency > seq_latency,
+            "token ring {ring_latency}ms should exceed sequencing {seq_latency}ms"
+        );
+    }
+}

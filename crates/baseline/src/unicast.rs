@@ -1,0 +1,119 @@
+//! Direct unicast delivery — no ordering, shortest paths only.
+
+use seqnet_core::NetworkSetup;
+use seqnet_membership::NodeId;
+use seqnet_sim::SimTime;
+use seqnet_topology::{DelayOracle, HostId};
+
+/// Shortest-path sender-to-destination delays: the reference the paper
+/// divides by when computing latency stretch ("the time taken using the
+/// direct unicast path", §4.2).
+///
+/// # Example
+///
+/// ```
+/// use seqnet_baseline::DirectUnicast;
+/// use seqnet_core::NetworkSetup;
+/// use seqnet_membership::NodeId;
+/// use seqnet_topology::TransitStubParams;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let setup = NetworkSetup::generate(&TransitStubParams::small(), 8, 4, &mut rng);
+/// let unicast = DirectUnicast::new(&setup);
+/// let d = unicast.delay(NodeId(0), NodeId(7));
+/// assert!(d > seqnet_sim::SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirectUnicast {
+    delays: Vec<Vec<SimTime>>,
+}
+
+impl DirectUnicast {
+    /// Precomputes all pairwise host delays of a setup.
+    #[allow(clippy::needless_range_loop)] // indexed form reads clearer here
+    pub fn new(setup: &NetworkSetup) -> Self {
+        let n = setup.hosts.num_hosts();
+        let mut oracle = DelayOracle::new(&setup.topology.graph);
+        let mut delays = vec![vec![SimTime::ZERO; n]; n];
+        for a in 0..n {
+            for b in 0..n {
+                let d = oracle.host_delay(&setup.hosts, HostId(a as u32), HostId(b as u32));
+                delays[a][b] = SimTime::from_micros(d.as_micros());
+            }
+        }
+        DirectUnicast { delays }
+    }
+
+    /// Direct delay from `a` to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either host id is out of range.
+    pub fn delay(&self, a: NodeId, b: NodeId) -> SimTime {
+        self.delays[a.index()][b.index()]
+    }
+
+    /// The time for `sender` to reach every destination directly; the
+    /// slowest pair dominates an unordered "broadcast".
+    pub fn fanout_delays<'a>(
+        &'a self,
+        sender: NodeId,
+        destinations: impl IntoIterator<Item = NodeId> + 'a,
+    ) -> impl Iterator<Item = (NodeId, SimTime)> + 'a {
+        destinations
+            .into_iter()
+            .map(move |d| (d, self.delay(sender, d)))
+    }
+
+    /// Number of hosts covered.
+    pub fn num_hosts(&self) -> usize {
+        self.delays.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use seqnet_topology::TransitStubParams;
+
+    fn setup() -> NetworkSetup {
+        let mut rng = StdRng::seed_from_u64(5);
+        NetworkSetup::generate(&TransitStubParams::small(), 10, 5, &mut rng)
+    }
+
+    #[test]
+    fn symmetric_and_zero_diagonal() {
+        let u = DirectUnicast::new(&setup());
+        assert_eq!(u.num_hosts(), 10);
+        for a in 0..10u32 {
+            assert_eq!(u.delay(NodeId(a), NodeId(a)), SimTime::ZERO);
+            for b in 0..10u32 {
+                assert_eq!(u.delay(NodeId(a), NodeId(b)), u.delay(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_covers_all_destinations() {
+        let u = DirectUnicast::new(&setup());
+        let dests: Vec<NodeId> = (1..10).map(NodeId).collect();
+        let fan: Vec<_> = u.fanout_delays(NodeId(0), dests.iter().copied()).collect();
+        assert_eq!(fan.len(), 9);
+        // Delays match the pairwise table exactly.
+        for (dest, d) in fan {
+            assert_eq!(d, u.delay(NodeId(0), dest));
+        }
+    }
+
+    #[test]
+    fn clustered_hosts_are_close() {
+        // Hosts 0-4 share a cluster; cross-cluster delays are larger on
+        // average.
+        let u = DirectUnicast::new(&setup());
+        let intra: u64 = (1..5).map(|b| u.delay(NodeId(0), NodeId(b)).as_micros()).sum();
+        let cross: u64 = (5..9).map(|b| u.delay(NodeId(0), NodeId(b)).as_micros()).sum();
+        assert!(intra < cross, "intra {intra} < cross {cross}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Cost of the placement machinery itself: §3.4 co-location and machine
+//! mapping vs their trivial alternatives. (The *quality* ablation — what
+//! these heuristics buy in latency — is the `ablation_quality` binary.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet_membership::workload::ZipfGroups;
+use seqnet_overlap::{place, Colocation, GraphBuilder, Placement};
+use seqnet_topology::{ClusteredAttachment, HostId, TransitStubParams};
+use std::hint::black_box;
+
+fn bench_placement_machinery(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let topo = TransitStubParams::medium().generate(&mut rng);
+    let hosts = ClusteredAttachment::new(64, 8).attach(&topo, &mut rng);
+    let m = ZipfGroups::new(64, 32).sample(&mut rng);
+    let graph = GraphBuilder::new().build(&m);
+    let anchors = place::member_anchors(&m, |n| hosts.router_of(HostId(n.0)));
+
+    let mut group = c.benchmark_group("placement");
+
+    group.bench_function("colocation_two_step", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(Colocation::compute(&graph, &mut rng))
+        })
+    });
+    group.bench_function("colocation_scattered", |b| {
+        b.iter(|| black_box(Colocation::scattered(&graph)))
+    });
+
+    let coloc = Colocation::compute(&graph, &mut rng);
+    group.bench_function("machine_mapping_heuristic", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(Placement::heuristic(&graph, &coloc, &topo.graph, &anchors, &mut rng))
+        })
+    });
+    group.bench_function("machine_mapping_random", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(Placement::random(&coloc, &topo.graph, &mut rng))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement_machinery);
+criterion_main!(benches);

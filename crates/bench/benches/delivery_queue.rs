@@ -1,0 +1,79 @@
+//! Receiver-side deliver-or-buffer decision cost: the paper claims the
+//! decision is immediate; this measures how immediate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use seqnet_core::{DeliveryQueue, Message, MessageId, ProtocolState};
+use seqnet_membership::workload::ZipfGroups;
+use seqnet_membership::NodeId;
+use seqnet_overlap::GraphBuilder;
+use std::hint::black_box;
+
+fn bench_offer(c: &mut Criterion) {
+    let m = ZipfGroups::new(32, 8)
+        .with_min_size(2)
+        .sample(&mut StdRng::seed_from_u64(5));
+    let graph = GraphBuilder::new().build(&m);
+
+    // The busiest receiver.
+    let receiver: NodeId = m
+        .nodes()
+        .max_by_key(|&n| m.groups_of(n).count())
+        .expect("nodes exist");
+
+    // Sequence 256 messages addressed to the receiver's groups.
+    let mut state = ProtocolState::new(&graph);
+    let groups: Vec<_> = m.groups_of(receiver).collect();
+    let msgs: Vec<Message> = (0..256u64)
+        .map(|i| {
+            let g = groups[i as usize % groups.len()];
+            let sender = m.members(g).next().expect("non-empty");
+            let mut msg = Message::new(MessageId(i), sender, g, vec![]);
+            state.sequence_fully(&graph, &mut msg);
+            msg
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("delivery_queue");
+    group.throughput(Throughput::Elements(msgs.len() as u64));
+
+    group.bench_function("in_order_arrival", |b| {
+        b.iter(|| {
+            let mut q = DeliveryQueue::new(receiver, &m, &graph);
+            let mut total = 0usize;
+            for msg in &msgs {
+                total += q.offer(msg.clone()).len();
+            }
+            black_box(total)
+        })
+    });
+
+    for shuffle_window in [8usize, 64, 256] {
+        // Shuffle within windows: bounded reordering like real networks.
+        let mut shuffled = msgs.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        for chunk in shuffled.chunks_mut(shuffle_window) {
+            chunk.shuffle(&mut rng);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("reordered_arrival", shuffle_window),
+            &shuffled,
+            |b, shuffled| {
+                b.iter(|| {
+                    let mut q = DeliveryQueue::new(receiver, &m, &graph);
+                    let mut total = 0usize;
+                    for msg in shuffled {
+                        total += q.offer(msg.clone()).len();
+                    }
+                    black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offer);
+criterion_main!(benches);

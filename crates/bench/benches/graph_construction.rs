@@ -1,0 +1,74 @@
+//! Sequencing-graph construction cost: batch builds across workload sizes,
+//! incremental group addition vs full rebuild.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet_membership::workload::ZipfGroups;
+use seqnet_membership::{GroupId, NodeId};
+use seqnet_overlap::GraphBuilder;
+use std::hint::black_box;
+
+fn bench_batch_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    for &(nodes, groups) in &[(64usize, 8usize), (128, 16), (128, 32), (128, 64)] {
+        let m = ZipfGroups::new(nodes, groups).sample(&mut StdRng::seed_from_u64(1));
+        group.bench_with_input(
+            BenchmarkId::new("optimized", format!("{nodes}n_{groups}g")),
+            &m,
+            |b, m| b.iter(|| black_box(GraphBuilder::new().build(m))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_only", format!("{nodes}n_{groups}g")),
+            &m,
+            |b, m| b.iter(|| black_box(GraphBuilder::new().without_optimization().build(m))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_update");
+    let nodes = 64u32;
+
+    // Base state: 15 groups already present; measure adding the 16th.
+    let base = ZipfGroups::new(nodes as usize, 15).sample(&mut StdRng::seed_from_u64(2));
+    let new_members: Vec<NodeId> = (0..8).map(NodeId).collect();
+
+    group.bench_function("incremental_add_group", |b| {
+        b.iter_batched(
+            || {
+                let mut dyng = GraphBuilder::new().dynamic();
+                for g in base.groups() {
+                    let members: Vec<NodeId> = base.members(g).collect();
+                    dyng.add_group(g, members);
+                }
+                dyng
+            },
+            |mut dyng| {
+                dyng.add_group(GroupId(999), new_members.clone());
+                black_box(dyng.graph())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("full_rebuild_after_add", |b| {
+        b.iter_batched(
+            || {
+                let mut m = base.clone();
+                for &n in &new_members {
+                    m.subscribe(n, GroupId(999));
+                }
+                m
+            },
+            |m| black_box(GraphBuilder::new().build(&m)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_build, bench_incremental_vs_rebuild);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Threaded-deployment throughput: end-to-end messages/second through the
+//! real sequencing-node/host threads and reliable links (no loss).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_runtime::{Cluster, ClusterConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+const MESSAGES: u64 = 50;
+
+fn membership() -> Membership {
+    Membership::from_groups([
+        (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(2)]),
+        (GroupId(1), vec![NodeId(1), NodeId(2), NodeId(3)]),
+        (GroupId(2), vec![NodeId(2), NodeId(3), NodeId(0)]),
+    ])
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let m = membership();
+    let mut group = c.benchmark_group("runtime_cluster");
+    group.throughput(Throughput::Elements(MESSAGES));
+    group.sample_size(10);
+
+    group.bench_function("publish_to_delivery", |b| {
+        b.iter_batched(
+            || Cluster::start(&m, ClusterConfig::default()),
+            |mut cluster| {
+                let mut expected = 0usize;
+                for i in 0..MESSAGES {
+                    let grp = GroupId((i % 3) as u32);
+                    let sender = m.members(grp).next().unwrap();
+                    cluster.publish(sender, grp, vec![]).unwrap();
+                    expected += m.group_size(grp);
+                }
+                let out = cluster
+                    .wait_for_deliveries(expected, Duration::from_secs(30))
+                    .unwrap();
+                cluster.shutdown();
+                black_box(out.len())
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

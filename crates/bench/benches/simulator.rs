@@ -1,0 +1,65 @@
+//! Substrate micro-benchmarks: discrete-event engine throughput, topology
+//! generation, and shortest-path computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet_sim::{SimTime, Simulator};
+use seqnet_topology::{RouterId, TransitStubParams, WaxmanParams};
+use std::hint::black_box;
+
+fn bench_event_throughput(c: &mut Criterion) {
+    const EVENTS: u64 = 10_000;
+    let mut group = c.benchmark_group("des_engine");
+    group.throughput(Throughput::Elements(EVENTS));
+    group.bench_function("cascade_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(0u64);
+            fn tick(sim: &mut Simulator<u64>) {
+                *sim.world_mut() += 1;
+                if *sim.world() < EVENTS {
+                    sim.schedule_in(SimTime::from_micros(1), tick);
+                }
+            }
+            sim.schedule_at(SimTime::ZERO, tick);
+            black_box(sim.run_to_quiescence())
+        })
+    });
+    group.bench_function("preloaded_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(0u64);
+            for i in 0..EVENTS {
+                sim.schedule_at(SimTime::from_micros(i), |s| *s.world_mut() += 1);
+            }
+            black_box(sim.run_to_quiescence())
+        })
+    });
+    group.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    group.sample_size(10);
+
+    for (name, params) in [
+        ("small_310", TransitStubParams::small()),
+        ("medium_2020", TransitStubParams::medium()),
+        ("paper_10000", TransitStubParams::paper()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("transit_stub", name), &params, |b, p| {
+            b.iter(|| black_box(p.generate(&mut StdRng::seed_from_u64(1))))
+        });
+    }
+    group.bench_function("waxman_500", |b| {
+        b.iter(|| black_box(WaxmanParams::new(500).generate(&mut StdRng::seed_from_u64(1))))
+    });
+
+    let topo = TransitStubParams::paper().generate(&mut StdRng::seed_from_u64(1));
+    group.bench_function("dijkstra_10000_routers", |b| {
+        b.iter(|| black_box(topo.graph.shortest_paths(RouterId(0))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_throughput, bench_topology);
+criterion_main!(benches);

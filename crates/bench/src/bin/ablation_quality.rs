@@ -1,0 +1,116 @@
+//! Quality ablation: how much do the paper's §3.4 heuristics buy?
+//!
+//! Runs the Figure 3 workload under combinations of the design knobs —
+//! atom co-location, anchored placement seeds, the machine-mapping
+//! heuristic, and chain-span optimization — and reports latency stretch.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet_bench::output::{f3, print_table, save_csv};
+use seqnet_bench::ExperimentScale;
+use seqnet_core::{metrics, NetworkConfig, NetworkSetup, OrderedPubSub};
+use seqnet_membership::workload::ZipfGroups;
+use seqnet_overlap::stats::{mean, percentile};
+
+fn run_variant(
+    scale: ExperimentScale,
+    num_groups: usize,
+    config: NetworkConfig,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let setup = NetworkSetup::generate(
+        &scale.topology(),
+        scale.num_hosts(),
+        scale.cluster_size(),
+        &mut rng,
+    );
+    let membership = ZipfGroups::new(scale.num_hosts(), num_groups).sample(&mut rng);
+    let mut bus = OrderedPubSub::with_network_config(&membership, &setup, config, &mut rng);
+    for node in membership.nodes().collect::<Vec<_>>() {
+        for group in membership.groups_of(node).collect::<Vec<_>>() {
+            bus.publish(node, group, vec![]).expect("exists");
+        }
+    }
+    bus.run_to_quiescence();
+    assert_eq!(bus.stuck_messages(), 0);
+    metrics::stretch_by_destination(bus.all_deliveries())
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect()
+}
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let num_groups = if scale.paper { 32 } else { 6 };
+    let trials = scale.trials(3);
+
+    let full = NetworkConfig::default();
+    let variants: Vec<(&str, NetworkConfig)> = vec![
+        ("full (paper)", full),
+        (
+            "no co-location",
+            NetworkConfig {
+                colocate: false,
+                ..full
+            },
+        ),
+        (
+            "unanchored seeds",
+            NetworkConfig {
+                anchored: false,
+                ..full
+            },
+        ),
+        (
+            "random machines",
+            NetworkConfig {
+                heuristic_placement: false,
+                ..full
+            },
+        ),
+        (
+            "no chain optimization",
+            NetworkConfig {
+                optimize_chains: false,
+                ..full
+            },
+        ),
+        (
+            "everything off",
+            NetworkConfig {
+                colocate: false,
+                anchored: false,
+                heuristic_placement: false,
+                optimize_chains: false,
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, config) in &variants {
+        let mut values = Vec::new();
+        for t in 0..trials {
+            values.extend(run_variant(scale, num_groups, *config, 0xAB1A + t as u64));
+        }
+        rows.push(vec![
+            name.to_string(),
+            f3(mean(&values)),
+            f3(percentile(&values, 50.0)),
+            f3(percentile(&values, 90.0)),
+            f3(percentile(&values, 100.0)),
+        ]);
+    }
+
+    print_table(
+        &format!("Ablation: latency stretch by design knob ({num_groups} groups)"),
+        &["variant", "mean", "p50", "p90", "max"],
+        &rows,
+    );
+    let path = save_csv(
+        "ablation_quality",
+        &["variant", "mean", "p50", "p90", "max"],
+        &rows,
+    );
+    println!("\nTable written to {path}");
+}

@@ -1,0 +1,85 @@
+//! Distribution-phase substrate study: delivery trees vs unicast fan-out.
+//!
+//! The paper hands messages leaving the sequencing network "to a delivery
+//! tree and on to group members" (§3.1) and models per-member latency as
+//! the shortest path (identical for tree and unicast). What the tree buys
+//! is *link stress*: shared upstream links carry one copy instead of one
+//! per member.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet_bench::output::{f3, print_table, save_csv};
+use seqnet_bench::ExperimentScale;
+use seqnet_core::NetworkSetup;
+use seqnet_membership::workload::ZipfGroups;
+use seqnet_topology::{DeliveryTree, HostId, RouterId};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let num_groups = if scale.paper { 32 } else { 6 };
+    let mut rng = StdRng::seed_from_u64(0xD157);
+    let setup = NetworkSetup::generate(
+        &scale.topology(),
+        scale.num_hosts(),
+        scale.cluster_size(),
+        &mut rng,
+    );
+    let membership = ZipfGroups::new(scale.num_hosts(), num_groups).sample(&mut rng);
+
+    let mut rows = Vec::new();
+    let mut total_tree = 0usize;
+    let mut total_unicast = 0usize;
+    for group in membership.groups().collect::<Vec<_>>() {
+        let members: Vec<RouterId> = membership
+            .members(group)
+            .map(|n| setup.hosts.router_of(HostId(n.0)))
+            .collect();
+        if members.len() < 2 {
+            continue;
+        }
+        // Egress at the first member's router (a co-location anchor).
+        let source = members[0];
+        let tree = DeliveryTree::build(&setup.topology.graph, source, &members[1..]);
+        let tree_links = tree.num_links();
+        let unicast_links = tree.unicast_link_crossings(&setup.topology.graph);
+        let max_stress = tree
+            .unicast_link_stress(&setup.topology.graph)
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        total_tree += tree_links;
+        total_unicast += unicast_links;
+        rows.push(vec![
+            group.to_string(),
+            members.len().to_string(),
+            tree_links.to_string(),
+            unicast_links.to_string(),
+            max_stress.to_string(),
+            f3(unicast_links as f64 / tree_links.max(1) as f64),
+        ]);
+    }
+
+    print_table(
+        &format!("Distribution: delivery tree vs unicast fan-out ({num_groups} groups)"),
+        &[
+            "group",
+            "members",
+            "tree links",
+            "unicast crossings",
+            "max unicast stress",
+            "savings",
+        ],
+        &rows,
+    );
+    println!(
+        "\ntotals: tree {total_tree} links vs unicast {total_unicast} crossings ({:.2}x saved)",
+        total_unicast as f64 / total_tree.max(1) as f64
+    );
+    let path = save_csv(
+        "distribution_trees",
+        &["group", "members", "tree_links", "unicast_crossings", "max_stress", "savings"],
+        &rows,
+    );
+    println!("Table written to {path}");
+}

@@ -1,0 +1,51 @@
+//! Figure 3: cumulative distribution of per-destination latency stretch
+//! for 128 subscriber nodes and 8/16/32/64 groups.
+//!
+//! Paper result: stretch ≤ ~2.5 at 8 groups; sub-linear growth with the
+//! number of groups; maximum < 8 at 64 groups.
+
+use seqnet_bench::output::{f3, print_table, save_csv};
+use seqnet_bench::ExperimentScale;
+use seqnet_overlap::stats::{cdf, mean, percentile};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let group_counts = [8usize, 16, 32, 64];
+    let trials = scale.trials(5);
+
+    let mut summary_rows = Vec::new();
+    let mut cdf_rows = Vec::new();
+    for &groups in &group_counts {
+        let mut values = Vec::new();
+        for t in 0..trials {
+            values.extend(seqnet_bench::experiments::latency_stretch(
+                scale,
+                groups,
+                0xF1900 + t as u64,
+            ));
+        }
+        for (v, frac) in cdf(&values) {
+            cdf_rows.push(vec![groups.to_string(), f3(v), f3(frac)]);
+        }
+        summary_rows.push(vec![
+            groups.to_string(),
+            values.len().to_string(),
+            f3(mean(&values)),
+            f3(percentile(&values, 50.0)),
+            f3(percentile(&values, 90.0)),
+            f3(percentile(&values, 100.0)),
+        ]);
+    }
+
+    print_table(
+        "Figure 3: latency stretch by destination (sequencers vs direct unicast)",
+        &["groups", "destinations", "mean", "p50", "p90", "max"],
+        &summary_rows,
+    );
+    let path = save_csv(
+        "fig3_latency_stretch",
+        &["groups", "stretch", "cdf"],
+        &cdf_rows,
+    );
+    println!("\nCDF written to {path}");
+}

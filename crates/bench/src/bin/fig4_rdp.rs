@@ -1,0 +1,53 @@
+//! Figure 4: relative delay penalty (RDP) per sender–destination pair vs
+//! the pair's direct unicast delay, for 128 subscribers in 64 groups.
+//!
+//! Paper result: the highest RDP values occur at the smallest unicast
+//! delays — nearby pairs pay proportionally most for ordering.
+
+use seqnet_bench::output::{f3, print_table, save_csv};
+use seqnet_bench::ExperimentScale;
+use seqnet_overlap::stats::mean;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let groups = if scale.paper { 64 } else { 6 };
+    let points = seqnet_bench::experiments::rdp_points(scale, groups, 0xF1904);
+
+    // Scatter CSV.
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(unicast_ms, rdp)| vec![f3(*unicast_ms), f3(*rdp)])
+        .collect();
+    let path = save_csv("fig4_rdp", &["unicast_ms", "rdp"], &rows);
+
+    // Binned summary demonstrating the paper's shape: RDP falls as the
+    // unicast delay grows.
+    let max_unicast = points.iter().map(|(u, _)| *u).fold(0.0f64, f64::max);
+    let bins = 8usize;
+    let mut table = Vec::new();
+    for b in 0..bins {
+        let lo = max_unicast * b as f64 / bins as f64;
+        let hi = max_unicast * (b + 1) as f64 / bins as f64;
+        let in_bin: Vec<f64> = points
+            .iter()
+            .filter(|(u, _)| *u >= lo && (*u < hi || b == bins - 1))
+            .map(|(_, r)| *r)
+            .collect();
+        if in_bin.is_empty() {
+            continue;
+        }
+        let max = in_bin.iter().copied().fold(f64::MIN, f64::max);
+        table.push(vec![
+            format!("{:.1}-{:.1}", lo, hi),
+            in_bin.len().to_string(),
+            f3(mean(&in_bin)),
+            f3(max),
+        ]);
+    }
+    print_table(
+        &format!("Figure 4: RDP vs unicast delay ({groups} groups, {} pairs)", points.len()),
+        &["unicast delay (ms)", "pairs", "mean RDP", "max RDP"],
+        &table,
+    );
+    println!("\nScatter written to {path}");
+}

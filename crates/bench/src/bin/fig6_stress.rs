@@ -1,0 +1,89 @@
+//! Figure 6: sequencing-node stress (groups forwarded / total groups) as
+//! the number of groups grows, for 128 subscriber nodes.
+//!
+//! Paper result: average stress falls as nodes are added, stabilizes
+//! around 0.2, and rises slightly after ~30 groups when the node count
+//! stops growing.
+
+use seqnet_bench::experiments::{
+    stress_values, stress_values_stamped, structural_occupancy, structural_zipf,
+};
+use seqnet_bench::output::{f3, print_table, save_csv};
+use seqnet_bench::ExperimentScale;
+use seqnet_overlap::stats::{mean, percentile};
+
+/// Overlap density of the dense companion series (see `fig5`).
+const DENSE_OCCUPANCY: f64 = 0.15;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let num_nodes = scale.num_hosts();
+    let trials = scale.trials(100);
+    let max_groups = if scale.paper { 64 } else { 16 };
+
+    let mut rows = Vec::new();
+    for groups in 2..=max_groups {
+        let mut zipf_all = Vec::new();
+        let mut dense_stamped = Vec::new();
+        for t in 0..trials {
+            let sample = structural_zipf(num_nodes, groups, 0xF1906 + (t * 1000 + groups) as u64);
+            zipf_all.extend(stress_values(&sample));
+            let dense = structural_occupancy(
+                num_nodes,
+                groups,
+                DENSE_OCCUPANCY,
+                0xF1916 + (t * 1000 + groups) as u64,
+            );
+            dense_stamped.extend(stress_values_stamped(&dense));
+        }
+        if zipf_all.is_empty() && dense_stamped.is_empty() {
+            continue; // no overlaps at this group count in any trial
+        }
+        let cell = |v: &Vec<f64>, p: f64| -> String {
+            if v.is_empty() {
+                "-".to_string()
+            } else {
+                f3(percentile(v, p))
+            }
+        };
+        rows.push(vec![
+            groups.to_string(),
+            if zipf_all.is_empty() { "-".into() } else { f3(mean(&zipf_all)) },
+            cell(&zipf_all, 90.0),
+            cell(&zipf_all, 100.0),
+            if dense_stamped.is_empty() { "-".into() } else { f3(mean(&dense_stamped)) },
+            cell(&dense_stamped, 90.0),
+            cell(&dense_stamped, 100.0),
+        ]);
+    }
+
+    print_table(
+        &format!("Figure 6: sequencing-node stress vs groups ({num_nodes} nodes, {trials} trials)"),
+        &[
+            "groups",
+            "zipf mean",
+            "p90",
+            "max",
+            "dense mean",
+            "p90",
+            "max",
+        ],
+        &rows,
+    );
+    let path = save_csv(
+        "fig6_stress",
+        &[
+            "groups",
+            "zipf_mean",
+            "zipf_p90",
+            "zipf_max",
+            "dense_stamped_mean",
+            "dense_stamped_p90",
+            "dense_stamped_max",
+        ],
+        &rows,
+    );
+    println!("\nSeries written to {path}");
+    println!("(Dense series uses Bernoulli membership at occupancy {DENSE_OCCUPANCY} and");
+    println!(" the stamped-only stress reading; see EXPERIMENTS.md.)");
+}

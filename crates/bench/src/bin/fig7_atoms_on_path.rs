@@ -1,0 +1,62 @@
+//! Figure 7: cumulative distribution of the ratio between the number of
+//! sequencing atoms on a message's path and the total number of nodes, for
+//! 128 subscribers and varying group counts.
+//!
+//! Paper result: even in the worst case the ratio stays below 0.5 — a
+//! message collects far fewer sequence numbers than a system-wide vector
+//! timestamp has entries, so the scheme wins whenever nodes outnumber
+//! groups (§4.4).
+
+use seqnet_bench::experiments::{atoms_on_path, structural_zipf};
+use seqnet_bench::output::{f3, print_table, save_csv};
+use seqnet_bench::ExperimentScale;
+use seqnet_overlap::stats::{cdf, mean, percentile};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let num_nodes = scale.num_hosts();
+    let trials = scale.trials(20);
+    let group_counts: &[usize] = if scale.paper {
+        &[8, 16, 32, 64]
+    } else {
+        &[4, 8]
+    };
+
+    let mut summary = Vec::new();
+    let mut cdf_rows = Vec::new();
+    for &groups in group_counts {
+        let mut stamp_ratios = Vec::new();
+        let mut path_ratios = Vec::new();
+        for t in 0..trials {
+            let sample = structural_zipf(num_nodes, groups, 0xF1907 + (t * 1000 + groups) as u64);
+            for (stamps, path_len) in atoms_on_path(&sample) {
+                stamp_ratios.push(stamps as f64 / num_nodes as f64);
+                path_ratios.push(path_len as f64 / num_nodes as f64);
+            }
+        }
+        for (v, frac) in cdf(&stamp_ratios) {
+            cdf_rows.push(vec![groups.to_string(), f3(v), f3(frac)]);
+        }
+        summary.push(vec![
+            groups.to_string(),
+            f3(mean(&stamp_ratios)),
+            f3(percentile(&stamp_ratios, 100.0)),
+            f3(mean(&path_ratios)),
+            f3(percentile(&path_ratios, 100.0)),
+        ]);
+    }
+
+    print_table(
+        &format!("Figure 7: sequencing atoms per path / nodes ({num_nodes} nodes)"),
+        &[
+            "groups",
+            "mean stamps/nodes",
+            "max stamps/nodes",
+            "mean path/nodes",
+            "max path/nodes",
+        ],
+        &summary,
+    );
+    let path = save_csv("fig7_atoms_on_path", &["groups", "ratio", "cdf"], &cdf_rows);
+    println!("\nCDF written to {path}");
+}

@@ -1,0 +1,110 @@
+//! Paper §5 future work: "whether sequencing networks perform well even
+//! when incrementally updated as groups and nodes join and leave very
+//! often."
+//!
+//! Replays a churn trace (group adds/removes) against the incremental
+//! graph and against full rebuilds, reporting update cost and the
+//! structural drift (retired transit atoms, path inflation) that lazy
+//! removal accumulates until compaction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqnet_bench::output::{f3, print_table, save_csv};
+use seqnet_bench::ExperimentScale;
+use seqnet_membership::{GroupId, NodeId};
+use seqnet_overlap::GraphBuilder;
+use std::time::Instant;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let num_nodes = scale.num_hosts() as u32;
+    let epochs = if scale.paper { 200 } else { 40 };
+    let report_every = epochs / 10;
+
+    let mut rng = StdRng::seed_from_u64(0xC4012);
+    let mut dyng = GraphBuilder::new().dynamic();
+    let mut live: Vec<GroupId> = Vec::new();
+    let mut next_group = 0u32;
+
+    let mut incremental_total = 0.0f64;
+    let mut rebuild_total = 0.0f64;
+    let mut rows = Vec::new();
+
+    for epoch in 1..=epochs {
+        // Churn step: 60% add, 40% remove once warmed up.
+        let t0 = Instant::now();
+        if live.len() < 4 || rng.gen_bool(0.6) {
+            let gid = GroupId(next_group);
+            next_group += 1;
+            let size = rng.gen_range(2..10);
+            let members: std::collections::BTreeSet<NodeId> =
+                (0..size).map(|_| NodeId(rng.gen_range(0..num_nodes))).collect();
+            dyng.add_group(gid, members);
+            live.push(gid);
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            dyng.remove_group(live.swap_remove(idx));
+        }
+        let incremental_ms = t0.elapsed().as_secs_f64() * 1e3;
+        incremental_total += incremental_ms;
+
+        // Cost of rebuilding from scratch instead.
+        let t1 = Instant::now();
+        let rebuilt = GraphBuilder::new().build(dyng.membership());
+        let rebuild_ms = t1.elapsed().as_secs_f64() * 1e3;
+        rebuild_total += rebuild_ms;
+
+        let graph = dyng.graph();
+        graph
+            .validate_against(dyng.membership())
+            .expect("incremental graph stays valid under churn");
+
+        if epoch % report_every == 0 {
+            // Path inflation: live-path atoms incremental vs rebuilt.
+            let inc_path: usize = graph.paths().map(|(_, p)| p.len()).sum();
+            let reb_path: usize = rebuilt.paths().map(|(_, p)| p.len()).sum();
+            rows.push(vec![
+                epoch.to_string(),
+                live.len().to_string(),
+                graph.num_overlap_atoms().to_string(),
+                dyng.num_retired().to_string(),
+                inc_path.to_string(),
+                reb_path.to_string(),
+                f3(incremental_total / epoch as f64),
+                f3(rebuild_total / epoch as f64),
+            ]);
+        }
+    }
+
+    print_table(
+        &format!("Future work: incremental updates under churn ({num_nodes} nodes, {epochs} epochs)"),
+        &[
+            "epoch",
+            "groups",
+            "live atoms",
+            "retired",
+            "inc path atoms",
+            "rebuilt path atoms",
+            "avg inc ms",
+            "avg rebuild ms",
+        ],
+        &rows,
+    );
+    let path = save_csv(
+        "future_churn",
+        &[
+            "epoch",
+            "groups",
+            "live_atoms",
+            "retired",
+            "inc_path_atoms",
+            "rebuilt_path_atoms",
+            "avg_inc_ms",
+            "avg_rebuild_ms",
+        ],
+        &rows,
+    );
+    println!("\nTable written to {path}");
+    println!("(Retired atoms are transit-only overhead until compaction; the paper's");
+    println!(" lazy-removal rule trades this drift for cheap updates.)");
+}

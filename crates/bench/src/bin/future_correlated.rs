@@ -1,0 +1,63 @@
+//! Paper §5 future work: "measure when group membership is (or can be)
+//! geographically-correlated."
+//!
+//! Group members are drawn from a home attachment cluster with probability
+//! `locality`; at locality 0 this is the paper's uniform workload. When
+//! communities are geographically correlated, the sequencing chain anchors
+//! inside the community and the ordering detour shrinks.
+
+use seqnet_bench::experiments::run_stretch_with;
+use seqnet_bench::output::{f3, print_table, save_csv};
+use seqnet_bench::ExperimentScale;
+use seqnet_core::metrics;
+use seqnet_membership::workload::CorrelatedGroups;
+use seqnet_overlap::stats::{mean, percentile};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let num_groups = if scale.paper { 32 } else { 6 };
+    let trials = scale.trials(5);
+
+    let mut rows = Vec::new();
+    for &locality in &[0.0, 0.25, 0.5, 0.75, 0.95] {
+        let mut values = Vec::new();
+        for t in 0..trials {
+            let bus = run_stretch_with(scale, 0xC0BE + t as u64, |rng| {
+                CorrelatedGroups::new(
+                    scale.num_hosts(),
+                    num_groups,
+                    scale.cluster_size(),
+                    locality,
+                )
+                .sample(rng)
+            });
+            values.extend(
+                metrics::stretch_by_destination(bus.all_deliveries())
+                    .into_iter()
+                    .map(|(_, s)| s),
+            );
+        }
+        if values.is_empty() {
+            continue;
+        }
+        rows.push(vec![
+            f3(locality),
+            f3(mean(&values)),
+            f3(percentile(&values, 50.0)),
+            f3(percentile(&values, 90.0)),
+            f3(percentile(&values, 100.0)),
+        ]);
+    }
+
+    print_table(
+        &format!("Future work: latency stretch vs membership locality ({num_groups} groups)"),
+        &["locality", "mean", "p50", "p90", "max"],
+        &rows,
+    );
+    let path = save_csv(
+        "future_correlated",
+        &["locality", "mean", "p50", "p90", "max"],
+        &rows,
+    );
+    println!("\nTable written to {path}");
+}

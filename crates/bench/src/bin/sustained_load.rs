@@ -1,0 +1,96 @@
+//! Sustained-load study: ordering-buffer behavior as the publish rate
+//! rises (an extension beyond the paper's one-shot workload).
+//!
+//! Every member of every group publishes as a Poisson source; the sweep
+//! raises the per-publisher rate and reports end-to-end latency, the time
+//! messages spend buffered waiting for predecessors, and the receiver
+//! buffer high-water mark. Without queuing in the network model, any
+//! buffering comes purely from cross-group ordering.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet_bench::output::{f3, print_table, save_csv};
+use seqnet_bench::ExperimentScale;
+use seqnet_core::traffic::{drive, Arrivals, PublisherSpec};
+use seqnet_core::{metrics, NetworkSetup, OrderedPubSub};
+use seqnet_membership::workload::ZipfGroups;
+use seqnet_sim::SimTime;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let num_groups = if scale.paper { 16 } else { 4 };
+    let horizon = SimTime::from_ms(if scale.paper { 2_000.0 } else { 300.0 });
+
+    let mut rng = StdRng::seed_from_u64(0x10AD);
+    let setup = NetworkSetup::generate(
+        &scale.topology(),
+        scale.num_hosts(),
+        scale.cluster_size(),
+        &mut rng,
+    );
+    let membership = ZipfGroups::new(scale.num_hosts(), num_groups)
+        .with_min_size(2)
+        .sample(&mut rng);
+
+    let mut rows = Vec::new();
+    for &mean_gap_ms in &[200.0f64, 100.0, 50.0, 20.0, 10.0] {
+        let mut bus = OrderedPubSub::with_network(&membership, &setup, &mut rng);
+        let publishers: Vec<PublisherSpec> = membership
+            .nodes()
+            .flat_map(|node| {
+                membership
+                    .groups_of(node)
+                    .map(move |group| PublisherSpec {
+                        node,
+                        group,
+                        arrivals: Arrivals::Poisson {
+                            mean: SimTime::from_ms(mean_gap_ms),
+                        },
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let ids = drive(&mut bus, &publishers, horizon, &mut rng).expect("valid workload");
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0, "sustained load must not deadlock");
+
+        let latency = metrics::mean_delivery_latency_ms(bus.all_deliveries());
+        let buffering = metrics::mean_buffering_ms(bus.all_deliveries());
+        let highwater = bus
+            .receiver_buffer_highwater()
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        rows.push(vec![
+            f3(1000.0 / mean_gap_ms),
+            ids.len().to_string(),
+            bus.all_deliveries().count().to_string(),
+            f3(latency),
+            f3(buffering),
+            highwater.to_string(),
+        ]);
+    }
+
+    print_table(
+        &format!(
+            "Sustained load: ordering-buffer behavior ({} hosts, {num_groups} groups, {horizon} horizon)",
+            scale.num_hosts()
+        ),
+        &[
+            "msgs/s per publisher",
+            "published",
+            "delivered",
+            "mean latency ms",
+            "mean buffering ms",
+            "max buffer depth",
+        ],
+        &rows,
+    );
+    let path = save_csv(
+        "sustained_load",
+        &["rate_per_publisher", "published", "delivered", "latency_ms", "buffering_ms", "max_buffer"],
+        &rows,
+    );
+    println!("\nTable written to {path}");
+}

@@ -1,0 +1,349 @@
+//! The paper's experiments (§4), parameterized by scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet_baseline::{vector_timestamp_bytes, CentralDelays, CentralSequencer};
+use seqnet_core::{metrics, NetworkSetup, OrderedPubSub};
+use seqnet_membership::workload::{OccupancyGroups, ZipfGroups};
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_overlap::{stats, Colocation, GraphBuilder, OverlapSet};
+use seqnet_topology::{RouterId, TransitStubParams};
+
+/// Paper scale (10,000 routers, 128 hosts, 100 trials) or quick scale for
+/// smoke tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// `true` = the paper's parameters.
+    pub paper: bool,
+}
+
+impl ExperimentScale {
+    /// Reads `SEQNET_QUICK`: set (to anything but `0`) means quick scale.
+    pub fn from_env() -> Self {
+        let quick = std::env::var("SEQNET_QUICK").is_ok_and(|v| v != "0");
+        ExperimentScale { paper: !quick }
+    }
+
+    /// The topology generator parameters for this scale.
+    pub fn topology(&self) -> TransitStubParams {
+        if self.paper {
+            TransitStubParams::paper()
+        } else {
+            TransitStubParams::small()
+        }
+    }
+
+    /// Number of subscriber hosts (the paper's headline configuration
+    /// uses 128).
+    pub fn num_hosts(&self) -> usize {
+        if self.paper {
+            128
+        } else {
+            16
+        }
+    }
+
+    /// Hosts per attachment cluster (the paper says "similar size
+    /// clusters" without the size; 8 gives 16 clusters at 128 hosts).
+    pub fn cluster_size(&self) -> usize {
+        if self.paper {
+            8
+        } else {
+            4
+        }
+    }
+
+    /// Scales a trial count down for quick runs.
+    pub fn trials(&self, paper_trials: usize) -> usize {
+        if self.paper {
+            paper_trials
+        } else {
+            paper_trials.div_ceil(20).max(2)
+        }
+    }
+}
+
+/// The Figure 3/4 measurement run: every node sends one message to each
+/// group it subscribes to, through the sequencer network; unicast
+/// reference delays are recorded alongside (paper §4.2).
+///
+/// Returns the completed engine for metric extraction.
+pub fn run_stretch_experiment(
+    scale: ExperimentScale,
+    num_groups: usize,
+    seed: u64,
+) -> OrderedPubSub {
+    run_stretch_with(scale, seed, |rng| {
+        ZipfGroups::new(scale.num_hosts(), num_groups).sample(rng)
+    })
+}
+
+/// Like [`run_stretch_experiment`] with a caller-supplied membership
+/// sampler (e.g. geographically-correlated workloads).
+pub fn run_stretch_with(
+    scale: ExperimentScale,
+    seed: u64,
+    sample: impl FnOnce(&mut StdRng) -> Membership,
+) -> OrderedPubSub {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let setup = NetworkSetup::generate(
+        &scale.topology(),
+        scale.num_hosts(),
+        scale.cluster_size(),
+        &mut rng,
+    );
+    let membership = sample(&mut rng);
+    let mut bus = OrderedPubSub::with_network(&membership, &setup, &mut rng);
+    for node in membership.nodes().collect::<Vec<_>>() {
+        for group in membership.groups_of(node).collect::<Vec<_>>() {
+            bus.publish(node, group, vec![]).expect("group exists");
+        }
+    }
+    bus.run_to_quiescence();
+    assert_eq!(bus.stuck_messages(), 0, "experiment run must not deadlock");
+    bus
+}
+
+/// Figure 3: per-destination latency stretch values for one run.
+pub fn latency_stretch(scale: ExperimentScale, num_groups: usize, seed: u64) -> Vec<f64> {
+    let bus = run_stretch_experiment(scale, num_groups, seed);
+    metrics::stretch_by_destination(bus.all_deliveries())
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect()
+}
+
+/// Figure 4: `(unicast delay ms, RDP)` scatter points for one run.
+pub fn rdp_points(scale: ExperimentScale, num_groups: usize, seed: u64) -> Vec<(f64, f64)> {
+    let bus = run_stretch_experiment(scale, num_groups, seed);
+    metrics::rdp_scatter(bus.all_deliveries())
+}
+
+/// Structural sample shared by Figures 5–8: membership → overlaps →
+/// graph → co-location. No topology needed.
+#[derive(Debug)]
+pub struct StructuralSample {
+    /// The sampled membership matrix.
+    pub membership: Membership,
+    /// Its sequencing graph (greedy chains; span optimization is
+    /// irrelevant to counts).
+    pub graph: seqnet_overlap::SequencingGraph,
+    /// The §3.4 co-location of its atoms.
+    pub colocation: Colocation,
+    /// Number of double overlaps.
+    pub num_overlaps: usize,
+}
+
+/// Samples the structural state for a Zipf workload (Figures 5, 6, 7).
+pub fn structural_zipf(num_nodes: usize, num_groups: usize, seed: u64) -> StructuralSample {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let membership = ZipfGroups::new(num_nodes, num_groups).sample(&mut rng);
+    structural_from(membership, &mut rng)
+}
+
+/// Samples the structural state for an occupancy workload (Figure 8).
+pub fn structural_occupancy(
+    num_nodes: usize,
+    num_groups: usize,
+    occupancy: f64,
+    seed: u64,
+) -> StructuralSample {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let membership = OccupancyGroups::new(num_nodes, num_groups, occupancy).sample(&mut rng);
+    structural_from(membership, &mut rng)
+}
+
+fn structural_from(membership: Membership, rng: &mut StdRng) -> StructuralSample {
+    let num_overlaps = OverlapSet::compute(&membership).len();
+    let graph = GraphBuilder::new().without_optimization().build(&membership);
+    let colocation = Colocation::compute(&graph, rng);
+    StructuralSample {
+        membership,
+        graph,
+        colocation,
+        num_overlaps,
+    }
+}
+
+/// Figure 5 data point: number of (non-ingress-only) sequencing nodes.
+pub fn sequencing_nodes(sample: &StructuralSample) -> usize {
+    sample.colocation.num_overlap_nodes()
+}
+
+/// Figure 6 data point: per-node stress values (all forwarded traffic,
+/// transit included).
+pub fn stress_values(sample: &StructuralSample) -> Vec<f64> {
+    stats::node_stress(&sample.graph, &sample.colocation)
+}
+
+/// Figure 6 data point under the stamped-only reading of stress (see
+/// [`stats::node_stress_stamped`]).
+pub fn stress_values_stamped(sample: &StructuralSample) -> Vec<f64> {
+    stats::node_stress_stamped(&sample.graph, &sample.colocation)
+}
+
+/// Figure 7 data points: for each group, `(stamps, path length)` — the
+/// sequence numbers a message collects and the atoms it traverses.
+pub fn atoms_on_path(sample: &StructuralSample) -> Vec<(usize, usize)> {
+    sample
+        .graph
+        .paths()
+        .map(|(g, p)| (sample.graph.stampers(g).len(), p.len()))
+        .collect()
+}
+
+/// The §4.4 overhead comparison: per-group stamp bytes vs the
+/// vector-timestamp bytes for the same system size.
+pub fn overhead_rows(num_nodes: usize, num_groups: usize, seed: u64) -> Vec<(GroupId, usize, usize)> {
+    let sample = structural_zipf(num_nodes, num_groups, seed);
+    let vector = vector_timestamp_bytes(num_nodes);
+    sample
+        .graph
+        .paths()
+        .map(|(g, _)| {
+            let stamps = sample.graph.stampers(g).len();
+            (g, 8 + stamps * 12, vector)
+        })
+        .collect()
+}
+
+/// The §1.2/§4.3/§2 load comparison: runs the same workload through the
+/// decentralized scheme, a central sequencer, and the Garcia-Molina-style
+/// propagation tree.
+///
+/// Returns `(total messages, central load, max atom stamping load,
+/// max receiver load, G-M root load)`.
+pub fn load_comparison(
+    num_nodes: usize,
+    num_groups: usize,
+    seed: u64,
+) -> (u64, u64, u64, u64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let membership = ZipfGroups::new(num_nodes, num_groups)
+        .with_min_size(2)
+        .sample(&mut rng);
+
+    let mut bus = OrderedPubSub::new(&membership);
+    let mut central = CentralSequencer::new(
+        &membership,
+        CentralDelays::Uniform(seqnet_sim::SimTime::from_ms(1.0)),
+    );
+    let mut gm = seqnet_baseline::PropagationTree::new(
+        &membership,
+        seqnet_sim::SimTime::from_ms(1.0),
+    );
+    let mut total = 0u64;
+    for node in membership.nodes().collect::<Vec<_>>() {
+        for group in membership.groups_of(node).collect::<Vec<_>>() {
+            bus.publish(node, group, vec![]).expect("exists");
+            central.publish(node, group, 0).expect("exists");
+            gm.publish(node, group).expect("exists");
+            total += 1;
+        }
+    }
+    bus.run_to_quiescence();
+    central.run_to_quiescence();
+    gm.run_to_quiescence();
+
+    let max_stamp = bus.atom_stamp_loads().iter().copied().max().unwrap_or(0);
+    let max_receiver = bus.receiver_loads().values().copied().max().unwrap_or(0);
+    let gm_root = gm.forward_loads().get(&gm.root()).copied().unwrap_or(0);
+    (
+        total,
+        central.sequencer_load(),
+        max_stamp,
+        max_receiver,
+        gm_root,
+    )
+}
+
+/// A central sequencer router for topology-backed comparisons: the first
+/// transit router (a natural "well-connected" choice).
+pub fn central_router() -> RouterId {
+    RouterId(0)
+}
+
+/// Convenience used by tests and benches: does every published message
+/// reach every member with agreement? Panics otherwise.
+pub fn assert_consistent(bus: &OrderedPubSub) {
+    let m = bus.membership();
+    let nodes: Vec<NodeId> = m.nodes().collect();
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            let da: Vec<_> = bus.delivered(a).iter().map(|d| d.id).collect();
+            let db: Vec<_> = bus.delivered(b).iter().map(|d| d.id).collect();
+            let ca: Vec<_> = da.iter().filter(|x| db.contains(x)).collect();
+            let cb: Vec<_> = db.iter().filter(|x| da.contains(x)).collect();
+            assert_eq!(ca, cb, "{a} and {b} disagree");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: ExperimentScale = ExperimentScale { paper: false };
+
+    #[test]
+    fn stretch_experiment_runs_at_quick_scale() {
+        let bus = run_stretch_experiment(QUICK, 4, 1);
+        assert_consistent(&bus);
+        let stretch = latency_stretch(QUICK, 4, 1);
+        assert!(!stretch.is_empty());
+        assert!(stretch.iter().all(|&s| s >= 1.0));
+    }
+
+    #[test]
+    fn structural_sample_counts_are_consistent() {
+        let sample = structural_zipf(32, 8, 3);
+        assert_eq!(sample.graph.num_overlap_atoms(), sample.num_overlaps);
+        assert!(sequencing_nodes(&sample) <= sample.num_overlaps.max(1));
+        for s in stress_values(&sample) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+        for (stamps, path_len) in atoms_on_path(&sample) {
+            assert!(stamps <= path_len);
+        }
+    }
+
+    #[test]
+    fn occupancy_extremes_structural() {
+        let empty = structural_occupancy(16, 4, 0.0, 1);
+        assert_eq!(empty.num_overlaps, 0);
+        let full = structural_occupancy(16, 4, 1.0, 1);
+        assert_eq!(full.num_overlaps, 6, "C(4,2) overlaps at full occupancy");
+        assert_eq!(
+            sequencing_nodes(&full),
+            1,
+            "identical member sets co-locate onto one node (paper §4.5)"
+        );
+    }
+
+    #[test]
+    fn load_comparison_shape() {
+        let (total, central, max_stamp, max_receiver, gm_root) = load_comparison(24, 8, 5);
+        assert_eq!(central, total);
+        assert_eq!(gm_root, total, "the G-M root sequences everything too");
+        assert!(max_stamp <= max_receiver);
+        assert!(max_stamp < total);
+    }
+
+    #[test]
+    fn overhead_rows_favor_stamps_when_nodes_exceed_groups() {
+        for (g, stamp_bytes, vector_bytes) in overhead_rows(64, 8, 7) {
+            assert!(stamp_bytes < vector_bytes, "{g}");
+        }
+    }
+
+    #[test]
+    fn scale_from_env_reads_quick_flag() {
+        // Not setting the variable here (process-global); just check the
+        // trial scaler math.
+        let quick = ExperimentScale { paper: false };
+        assert_eq!(quick.trials(100), 5);
+        assert_eq!(quick.trials(10), 2);
+        let paper = ExperimentScale { paper: true };
+        assert_eq!(paper.trials(100), 100);
+    }
+}

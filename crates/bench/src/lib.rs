@@ -1,0 +1,28 @@
+//! Experiment harness reproducing the paper's evaluation (§4).
+//!
+//! Each figure of the paper has a binary in `src/bin/` that runs the
+//! corresponding experiment and emits an ASCII table plus a CSV under
+//! `results/`. The experiment logic lives here so the Criterion
+//! micro-benchmarks can reuse it.
+//!
+//! | Paper result | Binary |
+//! |--------------|--------|
+//! | Figure 3 (latency stretch CDF) | `fig3_latency_stretch` |
+//! | Figure 4 (RDP vs unicast delay) | `fig4_rdp` |
+//! | Figure 5 (sequencing nodes vs groups) | `fig5_sequencing_nodes` |
+//! | Figure 6 (stress vs groups) | `fig6_stress` |
+//! | Figure 7 (atoms per path CDF) | `fig7_atoms_on_path` |
+//! | Figure 8 (occupancy sweep) | `fig8_occupancy` |
+//! | §2/§4.4 overhead claim | `overhead_vs_vector` |
+//! | §1.2/§4.3 load claim | `load_vs_central` |
+//!
+//! Set `SEQNET_QUICK=1` to run each binary at reduced scale (small
+//! topology, fewer trials) for smoke-testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+
+pub use experiments::ExperimentScale;

@@ -1,0 +1,204 @@
+//! Delay models: how long messages take between protocol endpoints.
+
+use seqnet_membership::NodeId;
+use seqnet_overlap::{AtomId, Colocation, Placement};
+use seqnet_sim::SimTime;
+use seqnet_topology::{DelayOracle, Graph as TopoGraph, HostId, HostMap, RouterId};
+use std::collections::HashMap;
+
+/// A communication endpoint of the ordering layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// An end host (publisher or subscriber).
+    Host(NodeId),
+    /// A sequencing atom (resolved to its sequencing node's machine).
+    Atom(AtomId),
+}
+
+/// How message propagation delay is computed between endpoints.
+#[derive(Debug, Clone)]
+pub enum DelayModel {
+    /// Every hop between distinct machines costs the same fixed delay.
+    /// Atoms are machines of their own; useful for logical-order tests and
+    /// quickstarts that do not care about topology.
+    Uniform(SimTime),
+    /// Shortest-path propagation delays on a router topology, with hosts
+    /// attached via a [`HostMap`] and atoms placed by co-location +
+    /// placement.
+    Table(DelayTable),
+    /// A uniform default with explicit per-channel overrides — used to
+    /// engineer adversarial timings (e.g. the slow `Q1 -> Q2` link in the
+    /// paper's Figure 2(a) circular-dependency example).
+    PerChannel {
+        /// Delay between distinct endpoints without an override.
+        default: SimTime,
+        /// Directed channel overrides.
+        overrides: HashMap<(Endpoint, Endpoint), SimTime>,
+    },
+}
+
+impl DelayModel {
+    /// Delay from `from` to `to`.
+    pub fn delay(&self, from: Endpoint, to: Endpoint) -> SimTime {
+        match self {
+            DelayModel::Uniform(d) => {
+                if from == to {
+                    SimTime::ZERO
+                } else {
+                    *d
+                }
+            }
+            DelayModel::Table(t) => t.delay(from, to),
+            DelayModel::PerChannel { default, overrides } => {
+                if let Some(&d) = overrides.get(&(from, to)) {
+                    d
+                } else if from == to {
+                    SimTime::ZERO
+                } else {
+                    *default
+                }
+            }
+        }
+    }
+}
+
+/// Precomputed endpoint-to-endpoint propagation delays over a topology.
+///
+/// Built once per experiment: one Dijkstra per *distinct router* that hosts
+/// an endpoint, then O(1) lookups. Co-located atoms resolve to the same
+/// router and therefore communicate with zero delay.
+#[derive(Debug, Clone)]
+pub struct DelayTable {
+    /// Router of every host, indexed by node id.
+    host_router: Vec<RouterId>,
+    /// Router of every atom, indexed by atom id (retired atoms keep the
+    /// router of their node at placement time).
+    atom_router: Vec<RouterId>,
+    /// Delay between involved routers.
+    delays: HashMap<(RouterId, RouterId), SimTime>,
+}
+
+impl DelayTable {
+    /// Builds the table for the given topology, attachment, and placement.
+    ///
+    /// `num_atoms` is the total atom count of the sequencing graph; atoms
+    /// without a sequencing node (retired) are pinned to router 0 — they
+    /// are never routed to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any queried router pair is disconnected (generated
+    /// topologies are connected).
+    pub fn build(
+        topo: &TopoGraph,
+        hosts: &HostMap,
+        coloc: &Colocation,
+        placement: &Placement,
+        num_atoms: usize,
+    ) -> Self {
+        let host_router: Vec<RouterId> = (0..hosts.num_hosts())
+            .map(|i| hosts.router_of(HostId(i as u32)))
+            .collect();
+        let atom_router: Vec<RouterId> = (0..num_atoms)
+            .map(|i| {
+                placement
+                    .router_of_atom(coloc, AtomId(i as u32))
+                    .unwrap_or(RouterId(0))
+            })
+            .collect();
+
+        // Distinct routers involved.
+        let mut routers: Vec<RouterId> = host_router
+            .iter()
+            .chain(atom_router.iter())
+            .copied()
+            .collect();
+        routers.sort();
+        routers.dedup();
+
+        let mut oracle = DelayOracle::new(topo);
+        let mut delays = HashMap::new();
+        for &src in &routers {
+            let sp = oracle.paths_from(src);
+            for &dst in &routers {
+                let d = sp
+                    .delay_to(dst)
+                    .unwrap_or_else(|| panic!("{dst} unreachable from {src}"));
+                delays.insert((src, dst), SimTime::from_micros(d.as_micros()));
+            }
+        }
+        DelayTable {
+            host_router,
+            atom_router,
+            delays,
+        }
+    }
+
+    fn router_of(&self, ep: Endpoint) -> RouterId {
+        match ep {
+            Endpoint::Host(n) => self.host_router[n.index()],
+            Endpoint::Atom(a) => self.atom_router[a.index()],
+        }
+    }
+
+    /// Propagation delay between two endpoints.
+    pub fn delay(&self, from: Endpoint, to: Endpoint) -> SimTime {
+        let (a, b) = (self.router_of(from), self.router_of(to));
+        self.delays[&(a, b)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use seqnet_membership::{GroupId, Membership};
+    use seqnet_overlap::GraphBuilder;
+    use seqnet_topology::{ClusteredAttachment, TransitStubParams};
+
+    #[test]
+    fn uniform_model_distances() {
+        let m = DelayModel::Uniform(SimTime::from_ms(1.0));
+        let a = Endpoint::Host(NodeId(0));
+        let b = Endpoint::Host(NodeId(1));
+        assert_eq!(m.delay(a, a), SimTime::ZERO);
+        assert_eq!(m.delay(a, b), SimTime::from_ms(1.0));
+        assert_eq!(
+            m.delay(Endpoint::Atom(AtomId(0)), Endpoint::Atom(AtomId(1))),
+            SimTime::from_ms(1.0)
+        );
+    }
+
+    #[test]
+    fn table_model_symmetric_and_colocated_zero() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let topo = TransitStubParams::small().generate(&mut rng);
+        let hosts = ClusteredAttachment::new(6, 3).attach(&topo, &mut rng);
+        let membership = Membership::from_groups([
+            (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(2)]),
+            (GroupId(1), vec![NodeId(0), NodeId(1), NodeId(3)]),
+            (GroupId(2), vec![NodeId(0), NodeId(1)]),
+        ]);
+        let graph = GraphBuilder::new().build(&membership);
+        let coloc = Colocation::compute(&graph, &mut rng);
+        let anchors = seqnet_overlap::place::member_anchors(&membership, |n| hosts.router_of(seqnet_topology::HostId(n.0)));
+        let placement = Placement::heuristic(&graph, &coloc, &topo.graph, &anchors, &mut rng);
+        let table = DelayTable::build(&topo.graph, &hosts, &coloc, &placement, graph.num_atoms());
+
+        let h0 = Endpoint::Host(NodeId(0));
+        let h1 = Endpoint::Host(NodeId(1));
+        assert_eq!(table.delay(h0, h1), table.delay(h1, h0), "symmetric");
+        assert_eq!(table.delay(h0, h0), SimTime::ZERO);
+
+        // Atoms sharing a sequencing node are zero-delay apart.
+        for node in coloc.nodes() {
+            for w in node.atoms.windows(2) {
+                assert_eq!(
+                    table.delay(Endpoint::Atom(w[0]), Endpoint::Atom(w[1])),
+                    SimTime::ZERO,
+                    "co-located atoms share a machine"
+                );
+            }
+        }
+    }
+}

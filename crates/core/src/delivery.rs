@@ -1,0 +1,469 @@
+//! The receiver-side delivery queue (Definition 1, operationalized).
+
+use crate::{Message, SeqNo};
+use seqnet_membership::{GroupId, NodeId};
+use seqnet_overlap::{AtomId, SequencingGraph};
+use std::collections::BTreeMap;
+
+/// Decides, for one subscriber, whether each arriving message is delivered
+/// immediately or buffered — using only the sequence numbers the message
+/// carries.
+///
+/// The subscriber tracks the next expected group-local number for each of
+/// its groups and the next expected overlap number for each *relevant*
+/// atom (atoms whose common-member set contains the subscriber — it
+/// receives every message such an atom stamps, so continuity is
+/// observable). A message is deliverable when **all** of those counters
+/// match; the decision is immediate and deterministic (paper §3.1), and
+/// Theorem 1 guarantees all members of a group deliver in the same order.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{Membership, NodeId, GroupId};
+/// use seqnet_overlap::GraphBuilder;
+/// use seqnet_core::{DeliveryQueue, ProtocolState, Message, MessageId};
+///
+/// let m = Membership::from_groups([
+///     (GroupId(0), vec![NodeId(0), NodeId(1)]),
+///     (GroupId(1), vec![NodeId(0), NodeId(1)]),
+/// ]);
+/// let graph = GraphBuilder::new().build(&m);
+/// let mut state = ProtocolState::new(&graph);
+/// let mut queue = DeliveryQueue::new(NodeId(1), &m, &graph);
+///
+/// let mut m1 = Message::new(MessageId(1), NodeId(0), GroupId(0), vec![]);
+/// let mut m2 = Message::new(MessageId(2), NodeId(0), GroupId(1), vec![]);
+/// state.sequence_fully(&graph, &mut m1);
+/// state.sequence_fully(&graph, &mut m2);
+///
+/// // m2 arrives first but must wait for m1 (the overlap atom stamped m1
+/// // first).
+/// assert!(queue.offer(m2).is_empty());
+/// let delivered = queue.offer(m1);
+/// assert_eq!(delivered.len(), 2);
+/// assert_eq!(delivered[0].id, MessageId(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeliveryQueue {
+    node: NodeId,
+    next_group: BTreeMap<GroupId, SeqNo>,
+    next_atom: BTreeMap<AtomId, SeqNo>,
+    /// Buffered messages indexed by group and group-local number. Only a
+    /// group's head (lowest number) can ever be deliverable, so the
+    /// deliver-or-buffer loop inspects one candidate per group instead of
+    /// rescanning a flat buffer.
+    buffer: BTreeMap<GroupId, BTreeMap<SeqNo, Message>>,
+    pending: usize,
+    delivered_count: u64,
+    max_buffered: usize,
+}
+
+impl DeliveryQueue {
+    /// Creates the queue for `node`, deriving its groups from `membership`
+    /// and its relevant atoms from `graph`.
+    pub fn new(node: NodeId, membership: &seqnet_membership::Membership, graph: &SequencingGraph) -> Self {
+        let next_group = membership
+            .groups_of(node)
+            .map(|g| (g, SeqNo::FIRST))
+            .collect();
+        let next_atom = graph
+            .relevant_atoms(node)
+            .into_iter()
+            .map(|a| (a, SeqNo::FIRST))
+            .collect();
+        DeliveryQueue {
+            node,
+            next_group,
+            next_atom,
+            buffer: BTreeMap::new(),
+            pending: 0,
+            delivered_count: 0,
+            max_buffered: 0,
+        }
+    }
+
+    /// The subscriber this queue belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether `msg` could be delivered right now.
+    pub fn is_deliverable(&self, msg: &Message) -> bool {
+        match self.next_group.get(&msg.group) {
+            Some(&expected) if msg.group_seq == expected => {}
+            _ => return false,
+        }
+        msg.stamps.iter().all(|s| {
+            match self.next_atom.get(&s.atom) {
+                // Relevant atom: require continuity.
+                Some(&expected) => s.seq == expected,
+                // Irrelevant atom: "the rest need only use the group-local
+                // sequence number" (§3.2) — ignore the stamp.
+                None => true,
+            }
+        })
+    }
+
+    /// Accepts an arriving message; returns every message that becomes
+    /// deliverable (in delivery order), which may be empty (buffered) and
+    /// may include previously buffered messages unblocked by this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message is not sequenced or the node does not
+    /// subscribe to its group — both indicate a routing bug.
+    pub fn offer(&mut self, msg: Message) -> Vec<Message> {
+        assert!(msg.is_sequenced(), "{} arrived unsequenced", msg.id);
+        assert!(
+            self.next_group.contains_key(&msg.group),
+            "{} does not subscribe to {}",
+            self.node,
+            msg.group
+        );
+        let mut out = Vec::new();
+        if self.is_deliverable(&msg) {
+            // Fast path: an in-order arrival never touches the buffer.
+            self.advance(&msg);
+            out.push(msg);
+            if self.pending == 0 {
+                self.delivered_count += 1;
+                return out;
+            }
+        } else {
+            let prev = self
+                .buffer
+                .entry(msg.group)
+                .or_default()
+                .insert(msg.group_seq, msg);
+            debug_assert!(prev.is_none(), "duplicate group-local number buffered");
+            self.pending += 1;
+            self.max_buffered = self.max_buffered.max(self.pending);
+            // Buffering changes no counter, so no previously buffered
+            // message can have become deliverable (the loop below always
+            // leaves the buffer head-free of deliverables).
+            return out;
+        }
+
+        // Only group heads can be deliverable; iterate to a fixpoint.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let groups: Vec<GroupId> = self.buffer.keys().copied().collect();
+            for g in groups {
+                loop {
+                    let deliverable = self
+                        .buffer
+                        .get(&g)
+                        .and_then(|q| q.values().next())
+                        .is_some_and(|head| self.is_deliverable(head));
+                    if !deliverable {
+                        break;
+                    }
+                    let queue = self.buffer.get_mut(&g).expect("group has entries");
+                    let (_, msg) = queue.pop_first().expect("head exists");
+                    if queue.is_empty() {
+                        self.buffer.remove(&g);
+                    }
+                    self.pending -= 1;
+                    self.advance(&msg);
+                    out.push(msg);
+                    progress = true;
+                }
+            }
+        }
+        self.delivered_count += out.len() as u64;
+        out
+    }
+
+    fn advance(&mut self, msg: &Message) {
+        let counter = self
+            .next_group
+            .get_mut(&msg.group)
+            .expect("checked in offer");
+        *counter = counter.next();
+        for s in &msg.stamps {
+            if let Some(counter) = self.next_atom.get_mut(&s.atom) {
+                *counter = counter.next();
+            }
+        }
+    }
+
+    /// Number of messages waiting for predecessors.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Iterates the buffered (not yet deliverable) messages.
+    pub fn pending_messages(&self) -> impl Iterator<Item = &Message> {
+        self.buffer.values().flat_map(|q| q.values())
+    }
+
+    /// Total messages delivered.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// High-water mark of the buffer, an indicator of reordering depth.
+    pub fn max_buffered(&self) -> usize {
+        self.max_buffered
+    }
+
+    /// Re-synchronizes expectations after a quiescent reconfiguration of
+    /// the sequencing graph (groups added/removed): newly relevant atoms
+    /// start at [`SeqNo::FIRST`], atoms gone from the graph are dropped,
+    /// and group expectations are kept for still-subscribed groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages are still buffered — reconfiguration must be
+    /// quiescent (the paper defers dynamic behavior to future work).
+    pub fn resync(
+        &mut self,
+        membership: &seqnet_membership::Membership,
+        graph: &SequencingGraph,
+    ) {
+        assert!(
+            self.pending == 0,
+            "cannot resync with {} buffered messages",
+            self.pending
+        );
+        let old_groups = std::mem::take(&mut self.next_group);
+        self.next_group = membership
+            .groups_of(self.node)
+            .map(|g| (g, old_groups.get(&g).copied().unwrap_or(SeqNo::FIRST)))
+            .collect();
+        let old_atoms = std::mem::take(&mut self.next_atom);
+        self.next_atom = graph
+            .relevant_atoms(self.node)
+            .into_iter()
+            .map(|a| (a, old_atoms.get(&a).copied().unwrap_or(SeqNo::FIRST)))
+            .collect();
+    }
+
+    /// Like [`DeliveryQueue::resync`], but *new* subscriptions and newly
+    /// relevant atoms expect the next number the live counters will assign
+    /// (`counter + 1`) rather than 1 — a subscriber joining mid-stream
+    /// starts from "now" instead of waiting for history it will never see.
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages are still buffered.
+    pub fn resync_with(
+        &mut self,
+        membership: &seqnet_membership::Membership,
+        graph: &SequencingGraph,
+        protocol: &crate::ProtocolState,
+    ) {
+        assert!(
+            self.pending == 0,
+            "cannot resync with {} buffered messages",
+            self.pending
+        );
+        let old_groups = std::mem::take(&mut self.next_group);
+        self.next_group = membership
+            .groups_of(self.node)
+            .map(|g| {
+                let expect = old_groups
+                    .get(&g)
+                    .copied()
+                    .unwrap_or_else(|| protocol.group_counter(g).next());
+                (g, expect)
+            })
+            .collect();
+        let old_atoms = std::mem::take(&mut self.next_atom);
+        self.next_atom = graph
+            .relevant_atoms(self.node)
+            .into_iter()
+            .map(|a| {
+                let expect = old_atoms
+                    .get(&a)
+                    .copied()
+                    .unwrap_or_else(|| protocol.overlap_counter(a).next());
+                (a, expect)
+            })
+            .collect();
+    }
+
+    /// Creates a queue for a node joining a live system: expectations are
+    /// seeded from the protocol's current counters so the node starts from
+    /// "now".
+    pub fn synced(
+        node: NodeId,
+        membership: &seqnet_membership::Membership,
+        graph: &SequencingGraph,
+        protocol: &crate::ProtocolState,
+    ) -> Self {
+        let mut q = DeliveryQueue {
+            node,
+            next_group: BTreeMap::new(),
+            next_atom: BTreeMap::new(),
+            buffer: BTreeMap::new(),
+            pending: 0,
+            delivered_count: 0,
+            max_buffered: 0,
+        };
+        q.resync_with(membership, graph, protocol);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MessageId, ProtocolState};
+    use seqnet_membership::Membership;
+    use seqnet_overlap::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    fn two_group_setup() -> (Membership, SequencingGraph, ProtocolState) {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(1), n(2)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        let state = ProtocolState::new(&graph);
+        (m, graph, state)
+    }
+
+    fn seq(
+        state: &mut ProtocolState,
+        graph: &SequencingGraph,
+        id: u64,
+        sender: u32,
+        group: u32,
+    ) -> Message {
+        let mut msg = Message::new(MessageId(id), n(sender), g(group), vec![]);
+        state.sequence_fully(graph, &mut msg);
+        msg
+    }
+
+    #[test]
+    fn in_order_arrival_delivers_immediately() {
+        let (m, graph, mut state) = two_group_setup();
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        for i in 1..=3 {
+            let msg = seq(&mut state, &graph, i, 0, 0);
+            let out = q.offer(msg);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].id, MessageId(i));
+        }
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.delivered_count(), 3);
+    }
+
+    #[test]
+    fn gap_buffers_until_filled() {
+        let (m, graph, mut state) = two_group_setup();
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        let m1 = seq(&mut state, &graph, 1, 0, 0);
+        let m2 = seq(&mut state, &graph, 2, 0, 0);
+        let m3 = seq(&mut state, &graph, 3, 0, 0);
+        assert!(q.offer(m3).is_empty());
+        assert!(q.offer(m2).is_empty());
+        assert_eq!(q.pending(), 2);
+        let out = q.offer(m1);
+        assert_eq!(
+            out.iter().map(|m| m.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "buffered messages released in order"
+        );
+        assert_eq!(q.max_buffered(), 2, "m1 passed through without buffering");
+    }
+
+    #[test]
+    fn cross_group_order_enforced_for_overlap_members() {
+        let (m, graph, mut state) = two_group_setup();
+        // Node 1 is in both groups: the overlap atom's numbers bind the
+        // two streams together.
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        let ma = seq(&mut state, &graph, 1, 0, 0); // stamped first
+        let mb = seq(&mut state, &graph, 2, 1, 1); // stamped second
+        assert!(q.offer(mb).is_empty(), "mb waits for ma");
+        let out = q.offer(ma);
+        assert_eq!(out.iter().map(|m| m.id.0).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn non_overlap_member_ignores_foreign_stamps() {
+        let (m, graph, mut state) = two_group_setup();
+        // Node 0 subscribes only to g0; the (g0,g1) overlap atom is not
+        // relevant to it even though g0 messages carry its stamps.
+        let mut q = DeliveryQueue::new(n(0), &m, &graph);
+        let _skip = seq(&mut state, &graph, 1, 1, 1); // g1 message consumes atom seq 1
+        let mg0 = seq(&mut state, &graph, 2, 0, 0); // g0 message has atom seq 2
+        let out = q.offer(mg0);
+        assert_eq!(out.len(), 1, "node 0 must not wait for a g1 message it will never get");
+    }
+
+    #[test]
+    fn same_order_at_all_overlap_members() {
+        let (m, graph, mut state) = two_group_setup();
+        let msgs: Vec<Message> = vec![
+            seq(&mut state, &graph, 1, 0, 0),
+            seq(&mut state, &graph, 2, 1, 1),
+            seq(&mut state, &graph, 3, 2, 0),
+            seq(&mut state, &graph, 4, 1, 1),
+        ];
+        // Deliver to node 1 in sequencing order, to node 2 in a permuted
+        // arrival order; final delivery order must match.
+        let mut q1 = DeliveryQueue::new(n(1), &m, &graph);
+        let mut order1 = Vec::new();
+        for msg in msgs.clone() {
+            order1.extend(q1.offer(msg).into_iter().map(|m| m.id));
+        }
+        let mut q2 = DeliveryQueue::new(n(2), &m, &graph);
+        let mut order2 = Vec::new();
+        for idx in [2, 0, 3, 1] {
+            order2.extend(q2.offer(msgs[idx].clone()).into_iter().map(|m| m.id));
+        }
+        assert_eq!(order1.len(), 4);
+        assert_eq!(order1, order2, "consistent order despite different arrival");
+    }
+
+    #[test]
+    #[should_panic(expected = "arrived unsequenced")]
+    fn unsequenced_message_rejected() {
+        let (m, graph, _) = two_group_setup();
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        let _ = q.offer(Message::new(MessageId(1), n(0), g(0), vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not subscribe")]
+    fn non_member_rejected() {
+        let (m, graph, mut state) = two_group_setup();
+        let mut q = DeliveryQueue::new(n(0), &m, &graph);
+        let msg = seq(&mut state, &graph, 1, 1, 1);
+        let _ = q.offer(msg);
+    }
+
+    #[test]
+    fn resync_keeps_group_progress() {
+        let (m, graph, mut state) = two_group_setup();
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        let m1 = seq(&mut state, &graph, 1, 0, 0);
+        assert_eq!(q.offer(m1).len(), 1);
+        // Rebuild the same graph (quiescent reconfiguration no-op).
+        q.resync(&m, &graph);
+        let m2 = seq(&mut state, &graph, 2, 0, 0);
+        assert_eq!(q.offer(m2).len(), 1, "group counter survived resync");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot resync")]
+    fn resync_requires_quiescence() {
+        let (m, graph, mut state) = two_group_setup();
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        let _gap = seq(&mut state, &graph, 1, 0, 0);
+        let m2 = seq(&mut state, &graph, 2, 0, 0);
+        assert!(q.offer(m2).is_empty());
+        q.resync(&m, &graph);
+    }
+}

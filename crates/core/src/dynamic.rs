@@ -1,0 +1,319 @@
+//! Dynamic membership on top of the simulated service — the paper's §5
+//! "dynamic behavior" future work, implemented with quiescent
+//! reconfiguration.
+
+use crate::{CoreError, DeliveryRecord, MessageId, OrderedPubSub};
+use bytes::Bytes;
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_overlap::{DynamicGraph, GraphBuilder};
+use seqnet_sim::SimTime;
+
+/// An ordered pub/sub service whose membership can change between bursts
+/// of traffic.
+///
+/// Joins and leaves update the sequencing graph *incrementally*
+/// ([`DynamicGraph`]): new overlaps get fresh atoms next to their partner
+/// groups, vanished overlaps retire lazily and keep forwarding as transit
+/// hops until [`DynamicOrderedPubSub::compact`]. Each change drains
+/// in-flight traffic first (membership changes are quiescent; the paper
+/// leaves concurrent reconfiguration open).
+///
+/// A subscriber joining mid-stream starts receiving from the join onward;
+/// sequence counters of surviving groups continue seamlessly.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{NodeId, GroupId};
+/// use seqnet_core::DynamicOrderedPubSub;
+///
+/// let mut bus = DynamicOrderedPubSub::new();
+/// bus.join(NodeId(0), GroupId(0))?;
+/// bus.join(NodeId(1), GroupId(0))?;
+/// bus.publish(NodeId(0), GroupId(0), b"pre".to_vec())?;
+/// bus.run_to_quiescence();
+///
+/// // Node 2 joins later: it sees only messages published after its join.
+/// bus.join(NodeId(2), GroupId(0))?;
+/// bus.publish(NodeId(0), GroupId(0), b"post".to_vec())?;
+/// bus.run_to_quiescence();
+/// assert_eq!(bus.delivered(NodeId(1)).len(), 2);
+/// assert_eq!(bus.delivered(NodeId(2)).len(), 1);
+/// # Ok::<(), seqnet_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct DynamicOrderedPubSub {
+    graph: DynamicGraph,
+    bus: OrderedPubSub,
+    hop: SimTime,
+}
+
+impl Default for DynamicOrderedPubSub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DynamicOrderedPubSub {
+    /// Creates an empty service with a uniform 1 ms hop delay.
+    pub fn new() -> Self {
+        Self::with_uniform_delay(SimTime::from_ms(1.0))
+    }
+
+    /// Creates an empty service with an explicit uniform hop delay.
+    pub fn with_uniform_delay(hop: SimTime) -> Self {
+        let graph = GraphBuilder::new().dynamic();
+        let bus = OrderedPubSub::with_uniform_delay(&Membership::new(), hop);
+        DynamicOrderedPubSub { graph, bus, hop }
+    }
+
+    /// Subscribes `node` to `group`, creating the group if needed. Drains
+    /// in-flight traffic, then updates the sequencing graph incrementally
+    /// (the paper models a membership change as removing the old group and
+    /// adding the new one, §3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotQuiescent`] only if draining is impossible
+    /// (stuck messages — cannot happen on valid graphs).
+    pub fn join(&mut self, node: NodeId, group: GroupId) -> Result<(), CoreError> {
+        self.change(group, |members| {
+            members.push(node);
+        })
+    }
+
+    /// Unsubscribes `node` from `group`; deletes the group when the last
+    /// member leaves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownGroup`] if the group does not exist or
+    /// the node is not a member.
+    pub fn leave(&mut self, node: NodeId, group: GroupId) -> Result<(), CoreError> {
+        if !self.graph.membership().is_member(node, group) {
+            return Err(CoreError::UnknownGroup(group));
+        }
+        self.change(group, |members| {
+            members.retain(|&m| m != node);
+        })
+    }
+
+    fn change(
+        &mut self,
+        group: GroupId,
+        update: impl FnOnce(&mut Vec<NodeId>),
+    ) -> Result<(), CoreError> {
+        self.bus.run_to_quiescence();
+
+        let mut members: Vec<NodeId> = self.graph.membership().members(group).collect();
+        let existed = !members.is_empty();
+        update(&mut members);
+        if existed {
+            self.graph.remove_group(group);
+        }
+        if !members.is_empty() {
+            self.graph.add_group(group, members);
+        }
+        self.bus
+            .reconfigure(self.graph.membership(), self.graph.graph())
+    }
+
+    /// Compacts the sequencing graph: drops lazily retired atoms and
+    /// rebuilds the chains (quiescent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotQuiescent`] if traffic cannot be drained.
+    pub fn compact(&mut self) -> Result<(), CoreError> {
+        self.bus.run_to_quiescence();
+        self.graph.compact();
+        // Compaction renumbers atoms, so no counter can carry over: the
+        // engine restarts fresh. Delivery history is discarded — callers
+        // that need it keep their own copies.
+        self.bus = OrderedPubSub::with_graph_unchecked(
+            self.graph.membership(),
+            self.graph.graph(),
+            crate::DelayModel::Uniform(self.hop),
+        )?;
+        Ok(())
+    }
+
+    /// Publishes at the current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownGroup`] for unknown groups.
+    pub fn publish(
+        &mut self,
+        sender: NodeId,
+        group: GroupId,
+        payload: impl Into<Bytes>,
+    ) -> Result<MessageId, CoreError> {
+        self.bus.publish(sender, group, payload)
+    }
+
+    /// Runs until idle; returns the number of events executed.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.bus.run_to_quiescence()
+    }
+
+    /// Deliveries at `node` so far (cleared by [`DynamicOrderedPubSub::compact`]).
+    pub fn delivered(&self, node: NodeId) -> &[DeliveryRecord] {
+        self.bus.delivered(node)
+    }
+
+    /// The current membership.
+    pub fn membership(&self) -> &Membership {
+        self.graph.membership()
+    }
+
+    /// Messages buffered at receivers (0 after quiescence on valid graphs).
+    pub fn stuck_messages(&self) -> usize {
+        self.bus.stuck_messages()
+    }
+
+    /// Retired atoms still forwarding as transit hops.
+    pub fn retired_atoms(&self) -> usize {
+        self.graph.num_retired()
+    }
+
+    /// Access to the underlying engine (metrics, graph).
+    pub fn engine(&self) -> &OrderedPubSub {
+        &self.bus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    #[test]
+    fn join_publish_leave_lifecycle() {
+        let mut bus = DynamicOrderedPubSub::new();
+        bus.join(n(0), g(0)).unwrap();
+        bus.join(n(1), g(0)).unwrap();
+        bus.publish(n(0), g(0), vec![1]).unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.delivered(n(0)).len(), 1);
+        assert_eq!(bus.delivered(n(1)).len(), 1);
+
+        bus.leave(n(1), g(0)).unwrap();
+        bus.publish(n(0), g(0), vec![2]).unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.delivered(n(0)).len(), 2);
+        assert_eq!(bus.delivered(n(1)).len(), 1, "left before the second message");
+        assert_eq!(bus.stuck_messages(), 0);
+    }
+
+    #[test]
+    fn late_joiner_starts_from_now() {
+        let mut bus = DynamicOrderedPubSub::new();
+        bus.join(n(0), g(0)).unwrap();
+        bus.join(n(1), g(0)).unwrap();
+        for i in 0..3u8 {
+            bus.publish(n(0), g(0), vec![i]).unwrap();
+        }
+        bus.run_to_quiescence();
+
+        bus.join(n(2), g(0)).unwrap();
+        bus.publish(n(0), g(0), vec![9]).unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.delivered(n(1)).len(), 4);
+        assert_eq!(bus.delivered(n(2)).len(), 1, "history is not replayed");
+        assert_eq!(bus.stuck_messages(), 0);
+    }
+
+    #[test]
+    fn overlap_created_dynamically_orders_messages() {
+        let mut bus = DynamicOrderedPubSub::new();
+        // Build two groups that become double-overlapped only after joins.
+        for node in [0, 1] {
+            bus.join(n(node), g(0)).unwrap();
+        }
+        for node in [2, 3] {
+            bus.join(n(node), g(1)).unwrap();
+        }
+        assert_eq!(bus.engine().graph().num_overlap_atoms(), 0);
+        // Nodes 0 and 1 also join g1: overlap {0,1} appears.
+        bus.join(n(0), g(1)).unwrap();
+        bus.join(n(1), g(1)).unwrap();
+        assert_eq!(bus.engine().graph().num_overlap_atoms(), 1);
+
+        for i in 0..6u8 {
+            let grp = if i % 2 == 0 { g(0) } else { g(1) };
+            let sender = if i % 2 == 0 { n(0) } else { n(2) };
+            bus.publish(sender, grp, vec![i]).unwrap();
+        }
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0);
+        let o0: Vec<_> = bus.delivered(n(0)).iter().map(|d| d.id).collect();
+        let o1: Vec<_> = bus.delivered(n(1)).iter().map(|d| d.id).collect();
+        assert_eq!(o0, o1, "dynamic overlap members agree");
+        assert_eq!(o0.len(), 6);
+    }
+
+    #[test]
+    fn group_counters_survive_membership_changes() {
+        let mut bus = DynamicOrderedPubSub::new();
+        bus.join(n(0), g(0)).unwrap();
+        bus.join(n(1), g(0)).unwrap();
+        bus.publish(n(0), g(0), vec![1]).unwrap();
+        bus.run_to_quiescence();
+        // Change membership (n2 joins): group counter must continue, or
+        // n0/n1 would wait for a phantom restart at 1.
+        bus.join(n(2), g(0)).unwrap();
+        bus.publish(n(0), g(0), vec![2]).unwrap();
+        bus.publish(n(1), g(0), vec![3]).unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0);
+        assert_eq!(bus.delivered(n(0)).len(), 3);
+        assert_eq!(bus.delivered(n(2)).len(), 2);
+    }
+
+    #[test]
+    fn leave_nonmember_is_an_error() {
+        let mut bus = DynamicOrderedPubSub::new();
+        bus.join(n(0), g(0)).unwrap();
+        assert!(bus.leave(n(1), g(0)).is_err());
+        assert!(bus.leave(n(0), g(9)).is_err());
+    }
+
+    #[test]
+    fn last_leave_deletes_group() {
+        let mut bus = DynamicOrderedPubSub::new();
+        bus.join(n(0), g(0)).unwrap();
+        bus.leave(n(0), g(0)).unwrap();
+        assert!(bus.membership().is_empty());
+        assert!(bus.publish(n(0), g(0), vec![]).is_err());
+    }
+
+    #[test]
+    fn churn_then_compact_sheds_retired_atoms() {
+        let mut bus = DynamicOrderedPubSub::new();
+        for round in 0..4u32 {
+            for node in 0..4u32 {
+                bus.join(n(node), g(round)).unwrap();
+            }
+        }
+        for round in 0..3u32 {
+            for node in 0..4u32 {
+                bus.leave(n(node), g(round)).unwrap();
+            }
+        }
+        assert!(bus.retired_atoms() > 0, "lazy retirement accumulates");
+        bus.compact().unwrap();
+        assert_eq!(bus.retired_atoms(), 0);
+        // Traffic still flows after compaction.
+        bus.publish(n(0), g(3), vec![]).unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0);
+        assert_eq!(bus.delivered(n(0)).len(), 1);
+    }
+}

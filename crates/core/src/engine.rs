@@ -1,0 +1,865 @@
+//! Discrete-event simulation of the full ordering pipeline: ingress,
+//! sequencing, and distribution (paper §3).
+
+use crate::{
+    CoreError, DelayModel, DelayTable, DeliveryQueue, Endpoint, Message, MessageId, NextHop,
+    ProtocolState,
+};
+use bytes::Bytes;
+use rand::Rng;
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_overlap::{AtomId, Colocation, GraphBuilder, Placement, SequencingGraph};
+use seqnet_sim::{FifoStamper, SimTime, Simulator};
+use seqnet_topology::{ClusteredAttachment, HostMap, Topology, TransitStubParams};
+use std::collections::{BTreeMap, HashMap};
+
+/// One message delivered to one destination, with full timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// The message.
+    pub id: MessageId,
+    /// Who published it.
+    pub sender: NodeId,
+    /// The destination group.
+    pub group: GroupId,
+    /// The subscriber that delivered it.
+    pub destination: NodeId,
+    /// When the sender published.
+    pub published: SimTime,
+    /// When the message arrived at the destination (end of the sequencing
+    /// + distribution traversal — the paper's latency-stretch numerator).
+    pub arrived: SimTime,
+    /// When the destination delivered it to the application (includes any
+    /// buffering while waiting for predecessors).
+    pub delivered: SimTime,
+    /// The direct shortest-path (unicast) delay from sender to destination
+    /// — the latency-stretch denominator.
+    pub unicast: SimTime,
+    /// Number of overlap stamps the message carried.
+    pub stamps: usize,
+    /// The application payload.
+    pub payload: Bytes,
+}
+
+/// A generated router topology plus host attachment, ready to run
+/// experiments on.
+#[derive(Debug, Clone)]
+pub struct NetworkSetup {
+    /// The router-level topology.
+    pub topology: Topology,
+    /// Where each host attaches.
+    pub hosts: HostMap,
+}
+
+impl NetworkSetup {
+    /// Generates a transit–stub topology and attaches `num_hosts` hosts in
+    /// clusters of `cluster_size` (paper §4.1).
+    pub fn generate<R: Rng>(
+        params: &TransitStubParams,
+        num_hosts: usize,
+        cluster_size: usize,
+        rng: &mut R,
+    ) -> Self {
+        let topology = params.generate(rng);
+        let hosts = ClusteredAttachment::new(num_hosts, cluster_size).attach(&topology, rng);
+        NetworkSetup { topology, hosts }
+    }
+}
+
+/// Design knobs of the network deployment, for ablation studies. The
+/// default enables everything the paper proposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkConfig {
+    /// Run the §3.4 two-step atom co-location (vs one node per atom).
+    pub colocate: bool,
+    /// Seed each group's placement at a member's attachment router (vs a
+    /// uniformly random router).
+    pub anchored: bool,
+    /// Use the §3.4 machine-mapping heuristic (vs fully random machines).
+    pub heuristic_placement: bool,
+    /// Run the chain-span local search during graph construction.
+    pub optimize_chains: bool,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            colocate: true,
+            anchored: true,
+            heuristic_placement: true,
+            optimize_chains: true,
+        }
+    }
+}
+
+/// A deferred publish, fired when `after` is delivered at `sender`.
+#[derive(Debug, Clone)]
+struct Trigger {
+    sender: NodeId,
+    after: MessageId,
+    group: GroupId,
+    payload: Bytes,
+    id: MessageId,
+}
+
+/// Everything the simulation events operate on.
+#[derive(Debug)]
+struct World {
+    membership: Membership,
+    graph: SequencingGraph,
+    protocol: ProtocolState,
+    queues: BTreeMap<NodeId, DeliveryQueue>,
+    delays: DelayModel,
+    fifo: FifoStamper<(Endpoint, Endpoint)>,
+    next_id: u64,
+    publish_time: HashMap<MessageId, SimTime>,
+    arrivals: HashMap<(MessageId, NodeId), SimTime>,
+    deliveries: BTreeMap<NodeId, Vec<DeliveryRecord>>,
+    triggers: Vec<Trigger>,
+    messages_published: u64,
+    traces: HashMap<MessageId, Vec<(Endpoint, SimTime)>>,
+    /// Ordering-metadata bytes carried across network hops (stamps and
+    /// group numbers, §4.4's overhead measure integrated over distance).
+    overhead_bytes: u64,
+}
+
+/// The ordered publish/subscribe service, simulated.
+///
+/// See the [crate docs](crate) for a quickstart. For topology-aware
+/// experiments use [`OrderedPubSub::with_network`].
+#[derive(Debug)]
+pub struct OrderedPubSub {
+    sim: Simulator<World>,
+}
+
+impl OrderedPubSub {
+    /// Builds the service over `membership` with a uniform 1 ms hop delay
+    /// (no topology), suitable for logical-ordering tests and examples.
+    pub fn new(membership: &Membership) -> Self {
+        Self::with_uniform_delay(membership, SimTime::from_ms(1.0))
+    }
+
+    /// Like [`OrderedPubSub::new`] with an explicit uniform hop delay.
+    pub fn with_uniform_delay(membership: &Membership, hop: SimTime) -> Self {
+        let graph = GraphBuilder::new().build(membership);
+        Self::assemble(membership.clone(), graph, DelayModel::Uniform(hop))
+    }
+
+    /// Builds the service on a router topology: the sequencing graph is
+    /// constructed, atoms are co-located onto sequencing nodes (§3.4), the
+    /// nodes are placed onto machines (§3.4), and all propagation delays
+    /// come from shortest paths.
+    pub fn with_network<R: Rng>(
+        membership: &Membership,
+        setup: &NetworkSetup,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_network_config(membership, setup, NetworkConfig::default(), rng)
+    }
+
+    /// Like [`OrderedPubSub::with_network`] with explicit choices for each
+    /// design knob — the ablation entry point.
+    pub fn with_network_config<R: Rng>(
+        membership: &Membership,
+        setup: &NetworkSetup,
+        config: NetworkConfig,
+        rng: &mut R,
+    ) -> Self {
+        let builder = if config.optimize_chains {
+            GraphBuilder::new()
+        } else {
+            GraphBuilder::new().without_optimization()
+        };
+        let graph = builder.build(membership);
+        let coloc = if config.colocate {
+            Colocation::compute(&graph, rng)
+        } else {
+            Colocation::scattered(&graph)
+        };
+        let placement = match (config.heuristic_placement, config.anchored) {
+            (true, true) => {
+                let anchors = seqnet_overlap::place::member_anchors(membership, |n| {
+                    setup.hosts.router_of(seqnet_topology::HostId(n.0))
+                });
+                Placement::heuristic(&graph, &coloc, &setup.topology.graph, &anchors, rng)
+            }
+            (true, false) => {
+                Placement::heuristic_unanchored(&graph, &coloc, &setup.topology.graph, rng)
+            }
+            (false, _) => Placement::random(&coloc, &setup.topology.graph, rng),
+        };
+        let table = DelayTable::build(
+            &setup.topology.graph,
+            &setup.hosts,
+            &coloc,
+            &placement,
+            graph.num_atoms(),
+        );
+        Self::assemble(membership.clone(), graph, DelayModel::Table(table))
+    }
+
+    /// Builds the service with an explicit (possibly deliberately invalid)
+    /// sequencing graph — used to demonstrate what goes wrong without
+    /// condition C2 (the paper's Figure 2(a) circular dependency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidGraph`] only if the graph is broken in
+    /// ways the engine cannot even run (a group with no path); C1/C2
+    /// violations are accepted — that is the point.
+    pub fn with_graph_unchecked(
+        membership: &Membership,
+        graph: SequencingGraph,
+        delays: DelayModel,
+    ) -> Result<Self, CoreError> {
+        for g in membership.groups() {
+            if membership.group_size(g) > 0 && graph.path(g).is_none() {
+                return Err(CoreError::InvalidGraph(format!("{g} has no path")));
+            }
+        }
+        Ok(Self::assemble(membership.clone(), graph, delays))
+    }
+
+    fn assemble(membership: Membership, graph: SequencingGraph, delays: DelayModel) -> Self {
+        let queues = membership
+            .nodes()
+            .map(|n| (n, DeliveryQueue::new(n, &membership, &graph)))
+            .collect();
+        let world = World {
+            protocol: ProtocolState::new(&graph),
+            queues,
+            membership,
+            graph,
+            delays,
+            fifo: FifoStamper::new(),
+            next_id: 0,
+            publish_time: HashMap::new(),
+            arrivals: HashMap::new(),
+            deliveries: BTreeMap::new(),
+            triggers: Vec::new(),
+            messages_published: 0,
+            traces: HashMap::new(),
+            overhead_bytes: 0,
+        };
+        OrderedPubSub {
+            sim: Simulator::new(world),
+        }
+    }
+
+    /// Publishes a message at the current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownGroup`] if the group has no members.
+    pub fn publish(
+        &mut self,
+        sender: NodeId,
+        group: GroupId,
+        payload: impl Into<Bytes>,
+    ) -> Result<MessageId, CoreError> {
+        self.publish_at(self.sim.now(), sender, group, payload)
+    }
+
+    /// Publishes at an explicit virtual time (≥ now).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownGroup`] if the group has no members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn publish_at(
+        &mut self,
+        at: SimTime,
+        sender: NodeId,
+        group: GroupId,
+        payload: impl Into<Bytes>,
+    ) -> Result<MessageId, CoreError> {
+        if self.sim.world().graph.path(group).is_none() {
+            return Err(CoreError::UnknownGroup(group));
+        }
+        let id = self.fresh_id();
+        let payload = payload.into();
+        self.sim.schedule_at(at, move |sim| {
+            inject(sim, id, sender, group, payload);
+        });
+        Ok(id)
+    }
+
+    /// Publishes causally: like [`OrderedPubSub::publish`] but requires the
+    /// sender to subscribe to the group, the precondition for causal order
+    /// (paper §3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SenderNotSubscribed`] if the sender is not a
+    /// member, or [`CoreError::UnknownGroup`].
+    pub fn publish_causal(
+        &mut self,
+        sender: NodeId,
+        group: GroupId,
+        payload: impl Into<Bytes>,
+    ) -> Result<MessageId, CoreError> {
+        if !self.sim.world().membership.is_member(sender, group) {
+            return Err(CoreError::SenderNotSubscribed { sender, group });
+        }
+        self.publish(sender, group, payload)
+    }
+
+    /// Registers a *causal reaction*: when `sender` delivers `after`, it
+    /// immediately publishes the given message. This models the
+    /// deliver-then-send causality the protocol preserves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SenderNotSubscribed`] if the sender is not a
+    /// member of `group` (reactions are causal by definition), or
+    /// [`CoreError::UnknownGroup`].
+    pub fn publish_after(
+        &mut self,
+        sender: NodeId,
+        after: MessageId,
+        group: GroupId,
+        payload: impl Into<Bytes>,
+    ) -> Result<MessageId, CoreError> {
+        let world = self.sim.world();
+        if world.graph.path(group).is_none() {
+            return Err(CoreError::UnknownGroup(group));
+        }
+        if !world.membership.is_member(sender, group) {
+            return Err(CoreError::SenderNotSubscribed { sender, group });
+        }
+        let id = self.fresh_id();
+        self.sim.world_mut().triggers.push(Trigger {
+            sender,
+            after,
+            group,
+            payload: payload.into(),
+            id,
+        });
+        Ok(id)
+    }
+
+    fn fresh_id(&mut self) -> MessageId {
+        let world = self.sim.world_mut();
+        let id = MessageId(world.next_id);
+        world.next_id += 1;
+        id
+    }
+
+    /// Runs until no events remain; returns the number of events executed.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        self.sim.run_to_quiescence()
+    }
+
+    /// Runs events up to `deadline` and advances the clock to it.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.sim.run_until(deadline)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The deliveries at `node`, in delivery order.
+    pub fn delivered(&self, node: NodeId) -> &[DeliveryRecord] {
+        self.sim
+            .world()
+            .deliveries
+            .get(&node)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterates all delivery records of all nodes.
+    pub fn all_deliveries(&self) -> impl Iterator<Item = &DeliveryRecord> {
+        self.sim.world().deliveries.values().flatten()
+    }
+
+    /// Messages sitting in receiver buffers, waiting for predecessors.
+    /// After [`OrderedPubSub::run_to_quiescence`], a non-zero value means
+    /// messages are stuck forever — e.g. the circular dependency of
+    /// Figure 2(a).
+    pub fn stuck_messages(&self) -> usize {
+        self.sim.world().queues.values().map(|q| q.pending()).sum()
+    }
+
+    /// Causal reactions whose trigger never fired.
+    pub fn pending_triggers(&self) -> usize {
+        self.sim.world().triggers.len()
+    }
+
+    /// Total messages published so far.
+    pub fn messages_published(&self) -> u64 {
+        self.sim.world().messages_published
+    }
+
+    /// The sequencing graph in use.
+    pub fn graph(&self) -> &SequencingGraph {
+        &self.sim.world().graph
+    }
+
+    /// The membership matrix in use.
+    pub fn membership(&self) -> &Membership {
+        &self.sim.world().membership
+    }
+
+    /// Replaces membership and sequencing graph in one quiescent step:
+    /// counters of surviving groups and atoms carry over (atom ids are
+    /// stable under [`seqnet_overlap::GraphBuilder::dynamic`] updates),
+    /// receiver expectations are re-synchronized, and subscribers joining
+    /// mid-stream start from the counters' current positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotQuiescent`] if events are pending or
+    /// messages are buffered — run
+    /// [`OrderedPubSub::run_to_quiescence`] first. Returns
+    /// [`CoreError::InvalidGraph`] if a non-empty group lacks a path.
+    pub fn reconfigure(
+        &mut self,
+        membership: &Membership,
+        graph: SequencingGraph,
+    ) -> Result<(), CoreError> {
+        let buffered = self.stuck_messages();
+        if self.sim.events_pending() > 0 || buffered > 0 {
+            return Err(CoreError::NotQuiescent {
+                pending_events: self.sim.events_pending(),
+                buffered_messages: buffered,
+            });
+        }
+        for g in membership.groups() {
+            if membership.group_size(g) > 0 && graph.path(g).is_none() {
+                return Err(CoreError::InvalidGraph(format!("{g} has no path")));
+            }
+        }
+        let world = self.sim.world_mut();
+        world.protocol.adopt(&graph);
+        let old_queues = std::mem::take(&mut world.queues);
+        let mut queues = BTreeMap::new();
+        for node in membership.nodes() {
+            let queue = match old_queues.get(&node) {
+                Some(q) => {
+                    let mut q = q.clone();
+                    q.resync_with(membership, &graph, &world.protocol);
+                    q
+                }
+                None => DeliveryQueue::synced(node, membership, &graph, &world.protocol),
+            };
+            queues.insert(node, queue);
+        }
+        world.queues = queues;
+        world.membership = membership.clone();
+        world.graph = graph;
+        Ok(())
+    }
+
+    /// Total ordering-metadata bytes the network carried so far: each
+    /// message's stamps + group number, counted once per hop between
+    /// sequencing atoms and once per distribution copy. The §4.4 overhead
+    /// argument, integrated over distance — compare against
+    /// `vector_timestamp_bytes(n)` times the same hop count.
+    pub fn ordering_overhead_bytes(&self) -> u64 {
+        self.sim.world().overhead_bytes
+    }
+
+    /// The hop-by-hop timeline of a message: the publishing host, every
+    /// sequencing atom it visited, and each destination's arrival, with
+    /// virtual timestamps. Useful for debugging placements and latency.
+    pub fn trace(&self, id: MessageId) -> Option<&[(Endpoint, SimTime)]> {
+        self.sim.world().traces.get(&id).map(Vec::as_slice)
+    }
+
+    /// Messages processed by each atom (stamping or transit), for load
+    /// comparisons against centralized sequencing.
+    pub fn atom_loads(&self) -> &[u64] {
+        self.sim.world().protocol.atom_loads()
+    }
+
+    /// Messages each atom actually stamped (transit excluded).
+    pub fn atom_stamp_loads(&self) -> &[u64] {
+        self.sim.world().protocol.stamp_loads()
+    }
+
+    /// Per-receiver ordering-buffer high-water marks: how deep the
+    /// deliver-or-buffer queue got while waiting for predecessors.
+    pub fn receiver_buffer_highwater(&self) -> BTreeMap<NodeId, usize> {
+        self.sim
+            .world()
+            .queues
+            .iter()
+            .map(|(n, q)| (*n, q.max_buffered()))
+            .collect()
+    }
+
+    /// Per-receiver delivered counts (the "most loaded receiver" bound of
+    /// the paper's scalability argument).
+    pub fn receiver_loads(&self) -> BTreeMap<NodeId, u64> {
+        self.sim
+            .world()
+            .queues
+            .iter()
+            .map(|(n, q)| (*n, q.delivered_count()))
+            .collect()
+    }
+}
+
+/// Event: a message enters the sequencing network.
+fn inject(sim: &mut Simulator<World>, id: MessageId, sender: NodeId, group: GroupId, payload: Bytes) {
+    let now = sim.now();
+    let world = sim.world_mut();
+    world.publish_time.insert(id, now);
+    world.messages_published += 1;
+    world.traces.insert(id, vec![(Endpoint::Host(sender), now)]);
+    let msg = Message::new(id, sender, group, payload);
+    let ingress = world
+        .graph
+        .ingress(group)
+        .expect("publish checked the path exists");
+    let delay = world
+        .delays
+        .delay(Endpoint::Host(sender), Endpoint::Atom(ingress));
+    let arrival = world
+        .fifo
+        .arrival((Endpoint::Host(sender), Endpoint::Atom(ingress)), now, delay);
+    sim.schedule_at(arrival, move |sim| at_atom(sim, msg, ingress));
+}
+
+/// Event: a message arrives at a sequencing atom.
+fn at_atom(sim: &mut Simulator<World>, mut msg: Message, atom: AtomId) {
+    let now = sim.now();
+    let world = sim.world_mut();
+    world
+        .traces
+        .entry(msg.id)
+        .or_default()
+        .push((Endpoint::Atom(atom), now));
+    match world.protocol.process(&world.graph, &mut msg, atom) {
+        NextHop::Atom(next) => {
+            world.overhead_bytes += msg.ordering_overhead_bytes() as u64;
+            let delay = world
+                .delays
+                .delay(Endpoint::Atom(atom), Endpoint::Atom(next));
+            let arrival =
+                world
+                    .fifo
+                    .arrival((Endpoint::Atom(atom), Endpoint::Atom(next)), now, delay);
+            sim.schedule_at(arrival, move |sim| at_atom(sim, msg, next));
+        }
+        NextHop::Egress => {
+            // Distribution: unicast to every group member from the egress
+            // atom's machine.
+            let members: Vec<NodeId> = world.membership.members(msg.group).collect();
+            world.overhead_bytes +=
+                (msg.ordering_overhead_bytes() * members.len()) as u64;
+            let sends: Vec<(SimTime, NodeId)> = members
+                .into_iter()
+                .map(|member| {
+                    let delay = world
+                        .delays
+                        .delay(Endpoint::Atom(atom), Endpoint::Host(member));
+                    let arrival = world.fifo.arrival(
+                        (Endpoint::Atom(atom), Endpoint::Host(member)),
+                        now,
+                        delay,
+                    );
+                    (arrival, member)
+                })
+                .collect();
+            for (arrival, member) in sends {
+                let copy = msg.clone();
+                sim.schedule_at(arrival, move |sim| arrive(sim, copy, member));
+            }
+        }
+    }
+}
+
+/// Event: a message reaches a destination host.
+fn arrive(sim: &mut Simulator<World>, msg: Message, member: NodeId) {
+    let now = sim.now();
+    let world = sim.world_mut();
+    world
+        .traces
+        .entry(msg.id)
+        .or_default()
+        .push((Endpoint::Host(member), now));
+    world.arrivals.insert((msg.id, member), now);
+    let queue = world
+        .queues
+        .get_mut(&member)
+        .expect("members have delivery queues");
+    let delivered = queue.offer(msg);
+
+    let mut fired: Vec<Trigger> = Vec::new();
+    for d in delivered {
+        let published = world.publish_time[&d.id];
+        let arrived = world.arrivals[&(d.id, member)];
+        let unicast = world
+            .delays
+            .delay(Endpoint::Host(d.sender), Endpoint::Host(member));
+        let record = DeliveryRecord {
+            id: d.id,
+            sender: d.sender,
+            group: d.group,
+            destination: member,
+            published,
+            arrived,
+            delivered: now,
+            unicast,
+            stamps: d.stamps.len(),
+            payload: d.payload,
+        };
+        world.deliveries.entry(member).or_default().push(record);
+
+        // Causal reactions waiting on this delivery.
+        let mut i = 0;
+        while i < world.triggers.len() {
+            if world.triggers[i].sender == member && world.triggers[i].after == d.id {
+                fired.push(world.triggers.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    for t in fired {
+        inject(sim, t.id, t.sender, t.group, t.payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    fn overlapped_membership() -> Membership {
+        Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(1), n(2), n(3)]),
+        ])
+    }
+
+    #[test]
+    fn every_member_delivers_every_message() {
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        bus.publish(n(0), g(0), b"a".to_vec()).unwrap();
+        bus.publish(n(3), g(1), b"b".to_vec()).unwrap();
+        bus.publish(n(1), g(0), b"c".to_vec()).unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0);
+        assert_eq!(bus.delivered(n(0)).len(), 2, "n0 gets both g0 messages");
+        assert_eq!(bus.delivered(n(1)).len(), 3);
+        assert_eq!(bus.delivered(n(2)).len(), 3);
+        assert_eq!(bus.delivered(n(3)).len(), 1);
+        assert_eq!(bus.messages_published(), 3);
+    }
+
+    #[test]
+    fn overlap_members_agree_on_order() {
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        for i in 0..10u32 {
+            let (sender, group) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            bus.publish(sender, group, vec![i as u8]).unwrap();
+        }
+        bus.run_to_quiescence();
+        let o1: Vec<MessageId> = bus.delivered(n(1)).iter().map(|d| d.id).collect();
+        let o2: Vec<MessageId> = bus.delivered(n(2)).iter().map(|d| d.id).collect();
+        assert_eq!(o1, o2, "nodes in both groups see identical order");
+        assert_eq!(o1.len(), 10);
+    }
+
+    #[test]
+    fn unknown_group_rejected() {
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        assert_eq!(
+            bus.publish(n(0), g(9), vec![]),
+            Err(CoreError::UnknownGroup(g(9)))
+        );
+    }
+
+    #[test]
+    fn causal_publish_requires_membership() {
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        assert!(bus.publish_causal(n(0), g(0), vec![]).is_ok());
+        assert_eq!(
+            bus.publish_causal(n(0), g(1), vec![]),
+            Err(CoreError::SenderNotSubscribed {
+                sender: n(0),
+                group: g(1)
+            })
+        );
+    }
+
+    #[test]
+    fn causal_reaction_ordering() {
+        // n1 subscribes to both groups. It reacts to m_a (on g0) by
+        // publishing m_b (on g1). Every common subscriber must deliver
+        // m_a before m_b.
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        let ma = bus.publish(n(0), g(0), b"cause".to_vec()).unwrap();
+        let mb = bus
+            .publish_after(n(1), ma, g(1), b"effect".to_vec())
+            .unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.pending_triggers(), 0);
+        for node in [n(1), n(2)] {
+            let order: Vec<MessageId> = bus.delivered(node).iter().map(|d| d.id).collect();
+            let pa = order.iter().position(|&x| x == ma).unwrap();
+            let pb = order.iter().position(|&x| x == mb).unwrap();
+            assert!(pa < pb, "{node} delivered effect before cause");
+        }
+    }
+
+    #[test]
+    fn trigger_without_delivery_stays_pending() {
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        let ghost = MessageId(999);
+        bus.publish_after(n(1), ghost, g(0), vec![]).unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.pending_triggers(), 1);
+    }
+
+    #[test]
+    fn timing_fields_are_consistent() {
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        bus.publish(n(0), g(0), vec![]).unwrap();
+        bus.run_to_quiescence();
+        for d in bus.all_deliveries() {
+            assert!(d.published <= d.arrived);
+            assert!(d.arrived <= d.delivered);
+        }
+    }
+
+    #[test]
+    fn publish_at_future_time() {
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        bus.publish_at(SimTime::from_ms(5.0), n(0), g(0), vec![])
+            .unwrap();
+        bus.run_to_quiescence();
+        let d = &bus.delivered(n(0))[0];
+        assert_eq!(d.published, SimTime::from_ms(5.0));
+    }
+
+    #[test]
+    fn network_backed_run_delivers_everything() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let setup = NetworkSetup::generate(&TransitStubParams::small(), 8, 4, &mut rng);
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2), n(3)]),
+            (g(1), vec![n(2), n(3), n(4), n(5)]),
+            (g(2), vec![n(0), n(3), n(6), n(7)]),
+        ]);
+        let mut bus = OrderedPubSub::with_network(&m, &setup, &mut rng);
+        // Every node publishes to each of its groups (the fig-3 workload).
+        for node in m.nodes().collect::<Vec<_>>() {
+            for grp in m.groups_of(node).collect::<Vec<_>>() {
+                bus.publish(node, grp, vec![]).unwrap();
+            }
+        }
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0, "no deadlock on a valid graph");
+        // Each group's members deliver size(group) messages per group.
+        let expected: usize = m
+            .nodes()
+            .map(|node| {
+                m.groups_of(node)
+                    .map(|grp| m.group_size(grp))
+                    .sum::<usize>()
+            })
+            .sum();
+        let total: usize = bus.all_deliveries().count();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn atom_and_receiver_loads_reported() {
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        for _ in 0..4 {
+            bus.publish(n(0), g(0), vec![]).unwrap();
+        }
+        bus.run_to_quiescence();
+        let total_atom_load: u64 = bus.atom_loads().iter().sum();
+        assert!(total_atom_load >= 4, "each message hits at least one atom");
+        let loads = bus.receiver_loads();
+        assert_eq!(loads[&n(0)], 4);
+        assert_eq!(loads[&n(3)], 0);
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use seqnet_membership::{GroupId, Membership, NodeId};
+    use seqnet_topology::TransitStubParams;
+
+    /// Every ablation variant must still satisfy the ordering contract —
+    /// the knobs trade performance, never correctness.
+    #[test]
+    fn all_network_configs_order_correctly() {
+        let m = Membership::from_groups([
+            (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(2)]),
+            (GroupId(1), vec![NodeId(1), NodeId(2), NodeId(3)]),
+            (GroupId(2), vec![NodeId(0), NodeId(2), NodeId(3)]),
+        ]);
+        let setup = NetworkSetup::generate(
+            &TransitStubParams::small(),
+            4,
+            2,
+            &mut StdRng::seed_from_u64(2),
+        );
+        for colocate in [true, false] {
+            for anchored in [true, false] {
+                for heuristic_placement in [true, false] {
+                    for optimize_chains in [true, false] {
+                        let config = NetworkConfig {
+                            colocate,
+                            anchored,
+                            heuristic_placement,
+                            optimize_chains,
+                        };
+                        let mut rng = StdRng::seed_from_u64(5);
+                        let mut bus =
+                            OrderedPubSub::with_network_config(&m, &setup, config, &mut rng);
+                        for i in 0..6u32 {
+                            let grp = GroupId(i % 3);
+                            let sender = m.members(grp).next().unwrap();
+                            bus.publish(sender, grp, vec![]).unwrap();
+                        }
+                        bus.run_to_quiescence();
+                        assert_eq!(bus.stuck_messages(), 0, "{config:?} deadlocked");
+                        let o2: Vec<_> =
+                            bus.delivered(NodeId(2)).iter().map(|d| d.id).collect();
+                        assert_eq!(o2.len(), 6, "{config:?} lost messages");
+                        for a in [NodeId(0), NodeId(1), NodeId(3)] {
+                            let da: Vec<_> =
+                                bus.delivered(a).iter().map(|d| d.id).collect();
+                            let ca: Vec<_> =
+                                da.iter().filter(|x| o2.contains(x)).collect();
+                            let cb: Vec<_> =
+                                o2.iter().filter(|x| da.contains(x)).collect();
+                            assert_eq!(ca, cb, "{config:?}: {a} disagrees with N2");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types of the core protocol.
+
+use seqnet_membership::{GroupId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the public protocol API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The destination group does not exist (or has no members).
+    UnknownGroup(GroupId),
+    /// A trigger referenced a node that subscribes to nothing.
+    UnknownNode(NodeId),
+    /// A causal publish was requested from a node outside the destination
+    /// group — the protocol only guarantees causal order "when the sender
+    /// is part of the group to which the message is sent" (paper §3.3).
+    SenderNotSubscribed {
+        /// The publishing node.
+        sender: NodeId,
+        /// The group it is not a member of.
+        group: GroupId,
+    },
+    /// The supplied sequencing graph fails C1/C2 validation.
+    InvalidGraph(String),
+    /// A reconfiguration was attempted while messages were still in
+    /// flight or buffered; membership changes must be quiescent.
+    NotQuiescent {
+        /// Simulator events still pending.
+        pending_events: usize,
+        /// Messages buffered at receivers.
+        buffered_messages: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            CoreError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            CoreError::SenderNotSubscribed { sender, group } => {
+                write!(f, "causal publish requires {sender} to subscribe to {group}")
+            }
+            CoreError::InvalidGraph(reason) => write!(f, "invalid sequencing graph: {reason}"),
+            CoreError::NotQuiescent {
+                pending_events,
+                buffered_messages,
+            } => write!(
+                f,
+                "not quiescent: {pending_events} pending events, {buffered_messages} buffered messages"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::UnknownGroup(GroupId(3)).to_string(),
+            "unknown group G3"
+        );
+        assert_eq!(
+            CoreError::SenderNotSubscribed {
+                sender: NodeId(1),
+                group: GroupId(2)
+            }
+            .to_string(),
+            "causal publish requires N1 to subscribe to G2"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,70 @@
+//! The decentralized message-ordering protocol for publish/subscribe
+//! systems (Lumezanu, Spring, Bhattacharjee — Middleware 2006).
+//!
+//! Messages addressed to a group traverse that group's *sequencing path* —
+//! a chain of sequencing atoms (see [`seqnet_overlap`]) — collecting:
+//!
+//! * a **group-local sequence number** from the group's ingress atom, and
+//! * one **overlap sequence number** from every atom instantiated for a
+//!   double overlap involving the group.
+//!
+//! Receivers deliver messages using only these numbers
+//! ([`DeliveryQueue`]): a message is deliverable exactly when its
+//! group-local number and all *relevant* overlap numbers are the next
+//! expected ones, which makes the deliver-or-buffer decision immediate and
+//! deterministic (paper §3.1/§3.3) and yields the same delivery order at
+//! every member of a group (Theorem 1). When publishers subscribe to the
+//! groups they publish to, the order is causal.
+//!
+//! The crate offers two ways to run the protocol:
+//!
+//! * [`OrderedPubSub`] — a deterministic discrete-event simulation of the
+//!   full system (ingress → sequencing → distribution), either with uniform
+//!   logical delays or on a generated router topology
+//!   ([`OrderedPubSub::with_network`]); this is the paper's evaluation
+//!   vehicle.
+//! * The pure state machines ([`ProtocolState`], [`DeliveryQueue`]) — used
+//!   by `seqnet-runtime` to deploy the protocol over real FIFO channels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use seqnet_membership::{Membership, NodeId, GroupId};
+//! use seqnet_core::OrderedPubSub;
+//!
+//! let m = Membership::from_groups([
+//!     (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(2)]),
+//!     (GroupId(1), vec![NodeId(1), NodeId(2)]),
+//! ]);
+//! let mut bus = OrderedPubSub::new(&m);
+//! bus.publish(NodeId(0), GroupId(0), b"to g0".to_vec())?;
+//! bus.publish(NodeId(1), GroupId(1), b"to g1".to_vec())?;
+//! bus.run_to_quiescence();
+//! // Nodes 1 and 2 subscribe to both groups: they deliver both messages in
+//! // the same order.
+//! let order1: Vec<_> = bus.delivered(NodeId(1)).iter().map(|d| d.id).collect();
+//! let order2: Vec<_> = bus.delivered(NodeId(2)).iter().map(|d| d.id).collect();
+//! assert_eq!(order1, order2);
+//! # Ok::<(), seqnet_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delay;
+mod delivery;
+mod dynamic;
+mod engine;
+mod error;
+mod message;
+pub mod metrics;
+mod protocol;
+pub mod traffic;
+
+pub use delay::{DelayModel, DelayTable, Endpoint};
+pub use delivery::DeliveryQueue;
+pub use dynamic::DynamicOrderedPubSub;
+pub use engine::{DeliveryRecord, NetworkConfig, NetworkSetup, OrderedPubSub};
+pub use error::CoreError;
+pub use message::{Message, MessageId, SeqNo, Stamp};
+pub use protocol::{NextHop, ProtocolState};

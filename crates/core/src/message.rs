@@ -1,0 +1,182 @@
+//! Messages and the sequence numbers they collect.
+
+use bytes::Bytes;
+use seqnet_membership::{GroupId, NodeId};
+use seqnet_overlap::AtomId;
+use std::fmt;
+
+/// Globally unique message identifier, assigned at publish time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A sequence number assigned by a sequencing atom or group ingress.
+///
+/// Numbers start at 1; [`SeqNo::ZERO`] means "not yet assigned".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNo(pub u64);
+
+impl SeqNo {
+    /// The unassigned sentinel.
+    pub const ZERO: SeqNo = SeqNo(0);
+    /// The first number a counter hands out.
+    pub const FIRST: SeqNo = SeqNo(1);
+
+    /// The following sequence number.
+    #[inline]
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0 + 1)
+    }
+
+    /// `true` once a number has been assigned.
+    #[inline]
+    pub fn is_assigned(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One sequence number collected from one sequencing atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stamp {
+    /// The atom that assigned the number.
+    pub atom: AtomId,
+    /// The assigned number (consecutive per atom, across both of the
+    /// atom's groups).
+    pub seq: SeqNo,
+}
+
+/// A published message traversing (or having traversed) the sequencing
+/// network.
+///
+/// The ordering overhead is `group_seq` plus one [`Stamp`] per double
+/// overlap of the destination group — independent of group size and, in
+/// the worst case, proportional to the number of groups (paper §2), unlike
+/// vector timestamps which grow with the number of nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Unique id.
+    pub id: MessageId,
+    /// The publishing node.
+    pub sender: NodeId,
+    /// The destination group.
+    pub group: GroupId,
+    /// Application payload.
+    pub payload: Bytes,
+    /// Group-local sequence number, assigned by the group's ingress atom.
+    pub group_seq: SeqNo,
+    /// Overlap sequence numbers in path order.
+    pub stamps: Vec<Stamp>,
+}
+
+impl Message {
+    /// Creates an unsequenced message (no numbers assigned yet).
+    pub fn new(
+        id: MessageId,
+        sender: NodeId,
+        group: GroupId,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        Message {
+            id,
+            sender,
+            group,
+            payload: payload.into(),
+            group_seq: SeqNo::ZERO,
+            stamps: Vec::new(),
+        }
+    }
+
+    /// The stamp assigned by `atom`, if the message passed it as a stamper.
+    pub fn stamp_of(&self, atom: AtomId) -> Option<SeqNo> {
+        self.stamps
+            .iter()
+            .find(|s| s.atom == atom)
+            .map(|s| s.seq)
+    }
+
+    /// `true` once the ingress assigned the group-local number.
+    pub fn is_sequenced(&self) -> bool {
+        self.group_seq.is_assigned()
+    }
+
+    /// Size in bytes of the ordering metadata this message carries (the
+    /// quantity compared against vector-timestamp overhead in §4.4):
+    /// 8 bytes of group-local number plus 12 per stamp (atom id + number).
+    pub fn ordering_overhead_bytes(&self) -> usize {
+        8 + self.stamps.len() * 12
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} from {} to {} (G{}, {} stamps)",
+            self.id,
+            self.sender,
+            self.group,
+            self.group_seq.0,
+            self.stamps.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqno_progression() {
+        assert!(!SeqNo::ZERO.is_assigned());
+        assert!(SeqNo::FIRST.is_assigned());
+        assert_eq!(SeqNo::ZERO.next(), SeqNo::FIRST);
+        assert_eq!(SeqNo(7).next(), SeqNo(8));
+    }
+
+    #[test]
+    fn new_message_is_unsequenced() {
+        let m = Message::new(MessageId(1), NodeId(0), GroupId(0), b"hi".to_vec());
+        assert!(!m.is_sequenced());
+        assert!(m.stamps.is_empty());
+        assert_eq!(m.payload.as_ref(), b"hi");
+    }
+
+    #[test]
+    fn stamp_lookup() {
+        let mut m = Message::new(MessageId(1), NodeId(0), GroupId(0), Bytes::new());
+        m.stamps.push(Stamp {
+            atom: AtomId(3),
+            seq: SeqNo(9),
+        });
+        assert_eq!(m.stamp_of(AtomId(3)), Some(SeqNo(9)));
+        assert_eq!(m.stamp_of(AtomId(4)), None);
+    }
+
+    #[test]
+    fn overhead_grows_with_stamps() {
+        let mut m = Message::new(MessageId(1), NodeId(0), GroupId(0), Bytes::new());
+        assert_eq!(m.ordering_overhead_bytes(), 8);
+        m.stamps.push(Stamp {
+            atom: AtomId(0),
+            seq: SeqNo(1),
+        });
+        assert_eq!(m.ordering_overhead_bytes(), 20);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = Message::new(MessageId(4), NodeId(2), GroupId(1), Bytes::new());
+        assert_eq!(m.to_string(), "m4 from N2 to G1 (G0, 0 stamps)");
+    }
+}

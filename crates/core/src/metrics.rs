@@ -1,0 +1,156 @@
+//! Evaluation metrics over delivery records (paper §4.2).
+
+use crate::DeliveryRecord;
+use seqnet_membership::NodeId;
+use std::collections::BTreeMap;
+
+/// Per-destination *latency stretch* (paper §4.2): for each destination,
+/// the average over its received messages of
+/// `sequencing traversal time / unicast time`. Self-deliveries (sender ==
+/// destination, unicast delay 0) are excluded.
+///
+/// Returns `(destination, average stretch)` pairs in node order.
+pub fn stretch_by_destination<'a>(
+    records: impl IntoIterator<Item = &'a DeliveryRecord>,
+) -> Vec<(NodeId, f64)> {
+    let mut acc: BTreeMap<NodeId, (f64, usize)> = BTreeMap::new();
+    for r in records {
+        if r.destination == r.sender || r.unicast.as_micros() == 0 {
+            continue;
+        }
+        let stretch = (r.arrived - r.published).as_micros() as f64 / r.unicast.as_micros() as f64;
+        let entry = acc.entry(r.destination).or_insert((0.0, 0));
+        entry.0 += stretch;
+        entry.1 += 1;
+    }
+    acc.into_iter()
+        .map(|(node, (sum, count))| (node, sum / count as f64))
+        .collect()
+}
+
+/// The relative delay penalty scatter (paper §4.2, Figure 4): one point
+/// `(unicast delay in ms, RDP)` per sender–destination record, excluding
+/// self-deliveries.
+pub fn rdp_scatter<'a>(
+    records: impl IntoIterator<Item = &'a DeliveryRecord>,
+) -> Vec<(f64, f64)> {
+    records
+        .into_iter()
+        .filter(|r| r.destination != r.sender && r.unicast.as_micros() > 0)
+        .map(|r| {
+            let rdp =
+                (r.arrived - r.published).as_micros() as f64 / r.unicast.as_micros() as f64;
+            (r.unicast.as_ms(), rdp)
+        })
+        .collect()
+}
+
+/// Average end-to-end delivery latency in milliseconds (publish →
+/// application delivery, buffering included).
+///
+/// # Panics
+///
+/// Panics if there are no records.
+pub fn mean_delivery_latency_ms<'a>(
+    records: impl IntoIterator<Item = &'a DeliveryRecord>,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for r in records {
+        sum += (r.delivered - r.published).as_ms();
+        count += 1;
+    }
+    assert!(count > 0, "no delivery records");
+    sum / count as f64
+}
+
+/// Average buffering time (arrival → delivery) in milliseconds — the price
+/// of waiting for predecessors.
+///
+/// # Panics
+///
+/// Panics if there are no records.
+pub fn mean_buffering_ms<'a>(records: impl IntoIterator<Item = &'a DeliveryRecord>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for r in records {
+        sum += (r.delivered - r.arrived).as_ms();
+        count += 1;
+    }
+    assert!(count > 0, "no delivery records");
+    sum / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MessageId, DeliveryRecord};
+    use seqnet_membership::GroupId;
+    use seqnet_sim::SimTime;
+
+    fn record(
+        sender: u32,
+        dest: u32,
+        published_us: u64,
+        arrived_us: u64,
+        delivered_us: u64,
+        unicast_us: u64,
+    ) -> DeliveryRecord {
+        DeliveryRecord {
+            id: MessageId(0),
+            sender: NodeId(sender),
+            group: GroupId(0),
+            destination: NodeId(dest),
+            published: SimTime::from_micros(published_us),
+            arrived: SimTime::from_micros(arrived_us),
+            delivered: SimTime::from_micros(delivered_us),
+            unicast: SimTime::from_micros(unicast_us),
+            stamps: 1,
+            payload: bytes::Bytes::new(),
+        }
+    }
+
+    #[test]
+    fn stretch_averages_per_destination() {
+        let records = vec![
+            record(0, 1, 0, 200, 200, 100), // stretch 2.0
+            record(2, 1, 0, 400, 400, 100), // stretch 4.0
+            record(0, 2, 0, 300, 300, 100), // stretch 3.0
+        ];
+        let s = stretch_by_destination(&records);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], (NodeId(1), 3.0));
+        assert_eq!(s[1], (NodeId(2), 3.0));
+    }
+
+    #[test]
+    fn self_deliveries_excluded() {
+        let records = vec![record(1, 1, 0, 200, 200, 0), record(0, 1, 0, 200, 200, 100)];
+        let s = stretch_by_destination(&records);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].1, 2.0);
+    }
+
+    #[test]
+    fn rdp_points() {
+        let records = vec![record(0, 1, 0, 500, 600, 250)];
+        let pts = rdp_scatter(&records);
+        assert_eq!(pts, vec![(0.25, 2.0)]);
+    }
+
+    #[test]
+    fn latency_and_buffering_means() {
+        let records = vec![
+            record(0, 1, 0, 100, 300, 50),
+            record(0, 2, 0, 200, 200, 50),
+        ];
+        assert_eq!(mean_delivery_latency_ms(&records), 0.25);
+        assert_eq!(mean_buffering_ms(&records), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no delivery records")]
+    fn empty_records_panic() {
+        let _ = mean_delivery_latency_ms(&[]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Traffic drivers: sustained publish schedules for load experiments.
+//!
+//! The paper's evaluation sends one message per (node, group) pair; these
+//! drivers generate *sustained* workloads — periodic or Poisson — so the
+//! receiver-side ordering buffers and the sequencing network can be
+//! studied under load.
+
+use crate::{CoreError, MessageId, OrderedPubSub};
+use rand::Rng;
+use seqnet_membership::{GroupId, NodeId};
+use seqnet_sim::SimTime;
+
+/// How publish instants are spaced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Fixed spacing: one publish every `period`.
+    Periodic {
+        /// Interval between consecutive publishes of one publisher.
+        period: SimTime,
+    },
+    /// Poisson process: exponential inter-arrival times with the given
+    /// mean (memoryless bursts, the classic open-loop load model).
+    Poisson {
+        /// Mean interval between consecutive publishes of one publisher.
+        mean: SimTime,
+    },
+}
+
+impl Arrivals {
+    fn next_gap<R: Rng>(&self, rng: &mut R) -> SimTime {
+        match self {
+            Arrivals::Periodic { period } => *period,
+            Arrivals::Poisson { mean } => {
+                // Inverse-CDF sampling; clamp the uniform away from 0 so
+                // ln() stays finite.
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                let gap = -(u.ln()) * mean.as_micros() as f64;
+                SimTime::from_micros(gap.round().max(1.0) as u64)
+            }
+        }
+    }
+}
+
+/// One publisher's schedule: who, where, how often.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublisherSpec {
+    /// The publishing node.
+    pub node: NodeId,
+    /// The destination group.
+    pub group: GroupId,
+    /// The arrival process.
+    pub arrivals: Arrivals,
+}
+
+/// Schedules sustained traffic into an [`OrderedPubSub`] until `horizon`.
+///
+/// Returns the ids of all scheduled messages, in schedule order.
+///
+/// # Errors
+///
+/// Returns the first publish error (e.g. an unknown group).
+///
+/// # Example
+///
+/// ```
+/// use seqnet_core::{traffic, OrderedPubSub};
+/// use seqnet_core::traffic::{Arrivals, PublisherSpec};
+/// use seqnet_membership::{Membership, NodeId, GroupId};
+/// use seqnet_sim::SimTime;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let m = Membership::from_groups([(GroupId(0), vec![NodeId(0), NodeId(1)])]);
+/// let mut bus = OrderedPubSub::new(&m);
+/// let ids = traffic::drive(
+///     &mut bus,
+///     &[PublisherSpec {
+///         node: NodeId(0),
+///         group: GroupId(0),
+///         arrivals: Arrivals::Periodic { period: SimTime::from_ms(2.0) },
+///     }],
+///     SimTime::from_ms(10.0),
+///     &mut StdRng::seed_from_u64(1),
+/// )?;
+/// assert_eq!(ids.len(), 4, "publishes at 2, 4, 6, 8 ms");
+/// bus.run_to_quiescence();
+/// assert_eq!(bus.delivered(NodeId(1)).len(), 4);
+/// # Ok::<(), seqnet_core::CoreError>(())
+/// ```
+pub fn drive<R: Rng>(
+    bus: &mut OrderedPubSub,
+    publishers: &[PublisherSpec],
+    horizon: SimTime,
+    rng: &mut R,
+) -> Result<Vec<MessageId>, CoreError> {
+    let mut ids = Vec::new();
+    let start = bus.now();
+    for spec in publishers {
+        let mut t = start + spec.arrivals.next_gap(rng);
+        while t < start + horizon {
+            ids.push(bus.publish_at(t, spec.node, spec.group, vec![])?);
+            t += spec.arrivals.next_gap(rng);
+        }
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seqnet_membership::Membership;
+
+    fn setup() -> (Membership, OrderedPubSub) {
+        let m = Membership::from_groups([
+            (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(2)]),
+            (GroupId(1), vec![NodeId(1), NodeId(2), NodeId(3)]),
+        ]);
+        let bus = OrderedPubSub::new(&m);
+        (m, bus)
+    }
+
+    #[test]
+    fn periodic_schedule_counts() {
+        let (_, mut bus) = setup();
+        let ids = drive(
+            &mut bus,
+            &[PublisherSpec {
+                node: NodeId(0),
+                group: GroupId(0),
+                arrivals: Arrivals::Periodic {
+                    period: SimTime::from_ms(1.0),
+                },
+            }],
+            SimTime::from_ms(10.0),
+            &mut StdRng::seed_from_u64(0),
+        )
+        .unwrap();
+        assert_eq!(ids.len(), 9, "publishes at 1..=9 ms");
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0);
+        assert_eq!(bus.delivered(NodeId(1)).len(), 9);
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_plausible() {
+        let (_, mut bus) = setup();
+        let ids = drive(
+            &mut bus,
+            &[PublisherSpec {
+                node: NodeId(0),
+                group: GroupId(0),
+                arrivals: Arrivals::Poisson {
+                    mean: SimTime::from_ms(1.0),
+                },
+            }],
+            SimTime::from_ms(1000.0),
+            &mut StdRng::seed_from_u64(7),
+        )
+        .unwrap();
+        // Expect ~1000 messages; Poisson std is ~sqrt(1000) ≈ 32.
+        assert!(
+            (850..1150).contains(&ids.len()),
+            "unexpected Poisson count {}",
+            ids.len()
+        );
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0);
+    }
+
+    #[test]
+    fn competing_publishers_stay_ordered() {
+        let (m, mut bus) = setup();
+        drive(
+            &mut bus,
+            &[
+                PublisherSpec {
+                    node: NodeId(1),
+                    group: GroupId(0),
+                    arrivals: Arrivals::Poisson {
+                        mean: SimTime::from_ms(2.0),
+                    },
+                },
+                PublisherSpec {
+                    node: NodeId(2),
+                    group: GroupId(1),
+                    arrivals: Arrivals::Poisson {
+                        mean: SimTime::from_ms(2.0),
+                    },
+                },
+            ],
+            SimTime::from_ms(100.0),
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0);
+        let o1: Vec<_> = bus.delivered(NodeId(1)).iter().map(|d| d.id).collect();
+        let o2: Vec<_> = bus.delivered(NodeId(2)).iter().map(|d| d.id).collect();
+        let c1: Vec<_> = o1.iter().filter(|x| o2.contains(x)).collect();
+        let c2: Vec<_> = o2.iter().filter(|x| o1.contains(x)).collect();
+        assert_eq!(c1, c2, "overlap members agree under sustained load");
+        let _ = m;
+    }
+
+    #[test]
+    fn unknown_group_propagates() {
+        let (_, mut bus) = setup();
+        let err = drive(
+            &mut bus,
+            &[PublisherSpec {
+                node: NodeId(0),
+                group: GroupId(9),
+                arrivals: Arrivals::Periodic {
+                    period: SimTime::from_ms(1.0),
+                },
+            }],
+            SimTime::from_ms(5.0),
+            &mut StdRng::seed_from_u64(0),
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::UnknownGroup(GroupId(9)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the protocol state machines in isolation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use seqnet_core::{DeliveryQueue, Message, MessageId, ProtocolState, SeqNo};
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_overlap::GraphBuilder;
+
+fn membership_strategy() -> impl Strategy<Value = Membership> {
+    (3usize..=10, 1usize..=5).prop_flat_map(|(nodes, groups)| {
+        vec(vec(0u32..nodes as u32, 2..=6), groups).prop_map(move |gm| {
+            let mut m = Membership::new();
+            for (gi, members) in gm.iter().enumerate() {
+                for &n in members {
+                    m.subscribe(NodeId(n), GroupId(gi as u32));
+                }
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sequencing invariants: group-local numbers are consecutive per
+    /// group; each atom's numbers are consecutive across its two groups;
+    /// a message collects exactly its group's stampers.
+    #[test]
+    fn sequencing_invariants(
+        m in membership_strategy(),
+        sends in vec((0usize..32, 0usize..32), 1..60),
+    ) {
+        let graph = GraphBuilder::new().build(&m);
+        let mut state = ProtocolState::new(&graph);
+        let groups: Vec<GroupId> = m.groups().collect();
+        let nodes: Vec<NodeId> = m.nodes().collect();
+
+        let mut per_group_last: std::collections::BTreeMap<GroupId, u64> = Default::default();
+        let mut per_atom_last: std::collections::BTreeMap<_, u64> = Default::default();
+        for (i, (s, g)) in sends.iter().enumerate() {
+            let group = groups[g % groups.len()];
+            let sender = nodes[s % nodes.len()];
+            let mut msg = Message::new(MessageId(i as u64), sender, group, vec![]);
+            state.sequence_fully(&graph, &mut msg);
+
+            let expected_group = per_group_last.entry(group).or_insert(0);
+            *expected_group += 1;
+            prop_assert_eq!(msg.group_seq, SeqNo(*expected_group));
+
+            let stampers = graph.stampers(group);
+            prop_assert_eq!(msg.stamps.len(), stampers.len());
+            for stamp in &msg.stamps {
+                prop_assert!(stampers.contains(&stamp.atom));
+                let last = per_atom_last.entry(stamp.atom).or_insert(0);
+                *last += 1;
+                prop_assert_eq!(stamp.seq, SeqNo(*last), "atom numbers must be consecutive");
+            }
+        }
+    }
+
+    /// Delivery safety for a single receiver under arbitrary arrival
+    /// permutations: no duplicates, per-group FIFO by group-local number,
+    /// and relevant-atom numbers nondecreasing in delivery order.
+    #[test]
+    fn delivery_safety_under_permutation(
+        m in membership_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let graph = GraphBuilder::new().build(&m);
+        let mut state = ProtocolState::new(&graph);
+        let groups: Vec<GroupId> = m.groups().collect();
+        let nodes: Vec<NodeId> = m.nodes().collect();
+
+        let mut msgs = Vec::new();
+        for i in 0..24u64 {
+            let group = groups[(i as usize) % groups.len()];
+            let sender = nodes[(i as usize) % nodes.len()];
+            let mut msg = Message::new(MessageId(i), sender, group, vec![]);
+            state.sequence_fully(&graph, &mut msg);
+            msgs.push(msg);
+        }
+
+        let receiver = nodes
+            .iter()
+            .copied()
+            .max_by_key(|n| m.groups_of(*n).count())
+            .expect("nodes exist");
+        let mut mine: Vec<Message> = msgs
+            .into_iter()
+            .filter(|msg| m.is_member(receiver, msg.group))
+            .collect();
+        let relevant: std::collections::BTreeSet<_> =
+            graph.relevant_atoms(receiver).into_iter().collect();
+
+        mine.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut q = DeliveryQueue::new(receiver, &m, &graph);
+        let mut delivered = Vec::new();
+        for msg in mine.clone() {
+            delivered.extend(q.offer(msg));
+        }
+        prop_assert_eq!(delivered.len(), mine.len(), "liveness: everything delivered");
+        prop_assert_eq!(q.pending(), 0);
+
+        // No duplicates.
+        let mut ids: Vec<MessageId> = delivered.iter().map(|d| d.id).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), delivered.len());
+
+        // Per-group FIFO and relevant-atom monotonicity.
+        let mut last_group: std::collections::BTreeMap<GroupId, SeqNo> = Default::default();
+        let mut last_atom: std::collections::BTreeMap<_, SeqNo> = Default::default();
+        for d in &delivered {
+            if let Some(&prev) = last_group.get(&d.group) {
+                prop_assert!(d.group_seq > prev, "group order violated");
+            }
+            last_group.insert(d.group, d.group_seq);
+            for s in &d.stamps {
+                if relevant.contains(&s.atom) {
+                    if let Some(&prev) = last_atom.get(&s.atom) {
+                        prop_assert!(s.seq > prev, "relevant atom order violated");
+                    }
+                    last_atom.insert(s.atom, s.seq);
+                }
+            }
+        }
+    }
+
+    /// Protocol adoption across a no-op reconfiguration preserves all
+    /// counters.
+    #[test]
+    fn adopt_preserves_counters(m in membership_strategy()) {
+        let graph = GraphBuilder::new().build(&m);
+        let mut state = ProtocolState::new(&graph);
+        let groups: Vec<GroupId> = m.groups().collect();
+        let nodes: Vec<NodeId> = m.nodes().collect();
+        for i in 0..10u64 {
+            let mut msg = Message::new(
+                MessageId(i),
+                nodes[i as usize % nodes.len()],
+                groups[i as usize % groups.len()],
+                vec![],
+            );
+            state.sequence_fully(&graph, &mut msg);
+        }
+        let before: Vec<SeqNo> = groups.iter().map(|&g| state.group_counter(g)).collect();
+        state.adopt(&graph);
+        let after: Vec<SeqNo> = groups.iter().map(|&g| state.group_counter(g)).collect();
+        prop_assert_eq!(before, after);
+    }
+}

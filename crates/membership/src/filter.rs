@@ -1,0 +1,340 @@
+//! Content-based subscriptions on top of interest groups.
+//!
+//! The paper's stock-ticker application (§1.1): "Consumers at different
+//! brokerage firms may be interested in messages that satisfy different
+//! filters — by company size, geography, or industry, for example. The
+//! consumers will be members of groups based on their subscriptions, with
+//! every group receiving the same set of messages."
+//!
+//! A [`Filter`] is a conjunction of attribute constraints; subscribers
+//! sharing a filter share a group ([`ContentRouter`] keys an
+//! [`crate::InterestRegistry`] by filter), and a published [`Event`] is
+//! routed to every group whose filter it satisfies.
+
+use crate::{GroupId, InterestRegistry, Membership, NodeId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An attribute value: strings for categorical attributes, integers for
+/// ordered ones (prices in cents, sizes, timestamps — integers keep
+/// filters totally ordered and hashable).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A categorical value.
+    Str(String),
+    /// An ordered numeric value.
+    Num(i64),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Num(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A constraint on one attribute.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Constraint {
+    /// The attribute must equal the value exactly.
+    Eq(Value),
+    /// The attribute must be a number in `[min, max]` (inclusive).
+    Range {
+        /// Lower bound, inclusive.
+        min: i64,
+        /// Upper bound, inclusive.
+        max: i64,
+    },
+    /// The attribute must be present with any value.
+    Exists,
+}
+
+impl Constraint {
+    /// Whether `value` satisfies this constraint.
+    pub fn matches(&self, value: &Value) -> bool {
+        match self {
+            Constraint::Eq(v) => v == value,
+            Constraint::Range { min, max } => match value {
+                Value::Num(n) => n >= min && n <= max,
+                Value::Str(_) => false,
+            },
+            Constraint::Exists => true,
+        }
+    }
+}
+
+/// A conjunction of attribute constraints — one subscription.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::filter::{Event, Filter};
+///
+/// let f = Filter::new()
+///     .eq("sector", "tech")
+///     .range("price_cents", 0, 50_000);
+/// let trade = Event::new().set("sector", "tech").set("price_cents", 12_999);
+/// assert!(f.matches(&trade));
+/// let pricey = Event::new().set("sector", "tech").set("price_cents", 99_000);
+/// assert!(!f.matches(&pricey));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Filter {
+    constraints: BTreeMap<String, Constraint>,
+}
+
+impl Filter {
+    /// The empty filter (matches every event).
+    pub fn new() -> Self {
+        Filter::default()
+    }
+
+    /// Requires `attribute == value`.
+    pub fn eq(mut self, attribute: &str, value: impl Into<Value>) -> Self {
+        self.constraints
+            .insert(attribute.to_string(), Constraint::Eq(value.into()));
+        self
+    }
+
+    /// Requires `min <= attribute <= max` (numeric).
+    pub fn range(mut self, attribute: &str, min: i64, max: i64) -> Self {
+        self.constraints
+            .insert(attribute.to_string(), Constraint::Range { min, max });
+        self
+    }
+
+    /// Requires the attribute to be present.
+    pub fn exists(mut self, attribute: &str) -> Self {
+        self.constraints
+            .insert(attribute.to_string(), Constraint::Exists);
+        self
+    }
+
+    /// Whether `event` satisfies every constraint.
+    pub fn matches(&self, event: &Event) -> bool {
+        self.constraints.iter().all(|(attr, c)| {
+            event
+                .get(attr)
+                .is_some_and(|v| c.matches(v))
+        })
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// `true` for the match-everything filter.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+/// A published event: an attribute map.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Event {
+    attributes: BTreeMap<String, Value>,
+}
+
+impl Event {
+    /// An empty event.
+    pub fn new() -> Self {
+        Event::default()
+    }
+
+    /// Sets an attribute (builder style).
+    pub fn set(mut self, attribute: &str, value: impl Into<Value>) -> Self {
+        self.attributes.insert(attribute.to_string(), value.into());
+        self
+    }
+
+    /// Reads an attribute.
+    pub fn get(&self, attribute: &str) -> Option<&Value> {
+        self.attributes.get(attribute)
+    }
+}
+
+/// Content-based routing: filters map to groups (equal filters share a
+/// group, per the paper's model) and events fan out to every matching
+/// group.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::filter::{ContentRouter, Event, Filter};
+/// use seqnet_membership::NodeId;
+///
+/// let mut router = ContentRouter::new();
+/// let tech = router.subscribe(NodeId(0), Filter::new().eq("sector", "tech"));
+/// let cheap = router.subscribe(NodeId(1), Filter::new().range("price_cents", 0, 10_000));
+///
+/// let trade = Event::new().set("sector", "tech").set("price_cents", 4_200);
+/// let groups = router.route(&trade);
+/// assert!(groups.contains(&tech) && groups.contains(&cheap));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ContentRouter {
+    registry: InterestRegistry<Filter>,
+}
+
+impl ContentRouter {
+    /// An empty router.
+    pub fn new() -> Self {
+        ContentRouter {
+            registry: InterestRegistry::new(),
+        }
+    }
+
+    /// Subscribes `node` with `filter`; nodes with equal filters share the
+    /// returned group.
+    pub fn subscribe(&mut self, node: NodeId, filter: Filter) -> GroupId {
+        self.registry.subscribe(node, filter)
+    }
+
+    /// Removes a subscription; the group dissolves with its last member.
+    pub fn unsubscribe(&mut self, node: NodeId, filter: &Filter) -> bool {
+        self.registry.unsubscribe(node, filter)
+    }
+
+    /// The groups whose filters match `event`, in group order — the
+    /// publisher sends one copy of the message to each.
+    pub fn route(&self, event: &Event) -> Vec<GroupId> {
+        let mut out: Vec<GroupId> = self
+            .registry
+            .interests()
+            .filter(|(f, _)| f.matches(event))
+            .map(|(_, g)| g)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The induced membership matrix — feed it to the ordering layer.
+    pub fn membership(&self) -> &Membership {
+        self.registry.membership()
+    }
+
+    /// The filter a group represents.
+    pub fn filter_of(&self, group: GroupId) -> Option<&Filter> {
+        self.registry.interest_of(group)
+    }
+
+    /// Number of live filter groups.
+    pub fn num_groups(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn constraints_match() {
+        assert!(Constraint::Eq("x".into()).matches(&"x".into()));
+        assert!(!Constraint::Eq("x".into()).matches(&"y".into()));
+        assert!(Constraint::Range { min: 1, max: 5 }.matches(&3.into()));
+        assert!(!Constraint::Range { min: 1, max: 5 }.matches(&9.into()));
+        assert!(
+            !Constraint::Range { min: 1, max: 5 }.matches(&"3".into()),
+            "strings never satisfy numeric ranges"
+        );
+        assert!(Constraint::Exists.matches(&"anything".into()));
+    }
+
+    #[test]
+    fn conjunction_semantics() {
+        let f = Filter::new().eq("sector", "tech").range("size", 100, 200);
+        assert!(f.matches(&Event::new().set("sector", "tech").set("size", 150)));
+        assert!(!f.matches(&Event::new().set("sector", "tech").set("size", 50)));
+        assert!(!f.matches(&Event::new().set("sector", "oil").set("size", 150)));
+        assert!(
+            !f.matches(&Event::new().set("sector", "tech")),
+            "missing attribute fails the conjunction"
+        );
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let f = Filter::new();
+        assert!(f.is_empty());
+        assert!(f.matches(&Event::new()));
+        assert!(f.matches(&Event::new().set("x", 1)));
+    }
+
+    #[test]
+    fn equal_filters_share_groups() {
+        let mut router = ContentRouter::new();
+        let f = Filter::new().eq("room", "rust");
+        let g1 = router.subscribe(n(0), f.clone());
+        let g2 = router.subscribe(n(1), f.clone());
+        assert_eq!(g1, g2);
+        assert_eq!(router.membership().group_size(g1), 2);
+        assert_eq!(router.filter_of(g1), Some(&f));
+    }
+
+    #[test]
+    fn routing_finds_all_matching_groups() {
+        let mut router = ContentRouter::new();
+        let tech = router.subscribe(n(0), Filter::new().eq("sector", "tech"));
+        let cheap = router.subscribe(n(1), Filter::new().range("price", 0, 100));
+        let any = router.subscribe(n(2), Filter::new());
+        let oil = router.subscribe(n(3), Filter::new().eq("sector", "oil"));
+
+        let event = Event::new().set("sector", "tech").set("price", 42);
+        let groups = router.route(&event);
+        assert!(groups.contains(&tech));
+        assert!(groups.contains(&cheap));
+        assert!(groups.contains(&any));
+        assert!(!groups.contains(&oil));
+    }
+
+    #[test]
+    fn overlapping_filters_create_double_overlaps() {
+        // Two brokers with both the sector and the price filter: the two
+        // filter groups double-overlap, so cross-group ordering applies —
+        // "update operations that change state result in consistent
+        // states" (§1.1).
+        let mut router = ContentRouter::new();
+        let sector = Filter::new().eq("sector", "tech");
+        let price = Filter::new().range("price", 0, 100);
+        for broker in [n(0), n(1)] {
+            router.subscribe(broker, sector.clone());
+            router.subscribe(broker, price.clone());
+        }
+        let m = router.membership();
+        let gs = router.route(&Event::new().set("sector", "tech").set("price", 1));
+        assert_eq!(gs.len(), 2);
+        assert!(m.double_overlapped(gs[0], gs[1]));
+    }
+
+    #[test]
+    fn unsubscribe_dissolves_empty_groups() {
+        let mut router = ContentRouter::new();
+        let f = Filter::new().exists("presence");
+        router.subscribe(n(0), f.clone());
+        assert_eq!(router.num_groups(), 1);
+        assert!(router.unsubscribe(n(0), &f));
+        assert_eq!(router.num_groups(), 0);
+        assert!(router.route(&Event::new().set("presence", 1)).is_empty());
+    }
+}

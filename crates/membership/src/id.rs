@@ -1,0 +1,108 @@
+//! Identifier newtypes shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies an end host (publisher and/or subscriber).
+///
+/// Node ids are dense small integers assigned by the deployment; they index
+/// into the membership matrix and into vector timestamps in the baselines.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::NodeId;
+/// let n = NodeId(7);
+/// assert_eq!(n.index(), 7);
+/// assert_eq!(format!("{n}"), "N7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` suitable for indexing dense arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifies a group of subscribers that share a subscription.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::GroupId;
+/// let g = GroupId(3);
+/// assert_eq!(g.index(), 3);
+/// assert_eq!(format!("{g}"), "G3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Returns the id as a `usize` suitable for indexing dense arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+impl From<u32> for GroupId {
+    fn from(v: u32) -> Self {
+        GroupId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n: NodeId = 42u32.into();
+        assert_eq!(n, NodeId(42));
+        assert_eq!(n.index(), 42);
+    }
+
+    #[test]
+    fn group_id_roundtrip() {
+        let g: GroupId = 9u32.into();
+        assert_eq!(g, GroupId(9));
+        assert_eq!(g.index(), 9);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(1).to_string(), "N1");
+        assert_eq!(GroupId(2).to_string(), "G2");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+        assert!(GroupId(2) < GroupId(10));
+    }
+}

@@ -1,0 +1,191 @@
+//! Mapping application-level *interests* onto groups.
+//!
+//! "Subscribers join groups that represent interests" (paper §1): a group
+//! is formed of all subscribers that share a common subscription. This
+//! registry performs that mapping — the first subscriber to a new interest
+//! creates its group, the last to leave deletes it — exactly the group
+//! add/remove operations the sequencing graph reacts to (§3.2).
+
+use crate::{GroupId, Membership, NodeId};
+use std::collections::BTreeMap;
+
+/// Maps interests (any ordered key type: topic strings, filter values,
+/// region coordinates, …) to groups, maintaining the membership matrix.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{InterestRegistry, NodeId};
+///
+/// let mut reg = InterestRegistry::new();
+/// let tech = reg.subscribe(NodeId(0), "sector:tech");
+/// assert_eq!(reg.subscribe(NodeId(1), "sector:tech"), tech, "same interest, same group");
+/// let energy = reg.subscribe(NodeId(1), "sector:energy");
+/// assert_ne!(tech, energy);
+/// assert_eq!(reg.membership().group_size(tech), 2);
+///
+/// // Last member leaving deletes the group; the interest can later be
+/// // re-created (with a fresh group id).
+/// assert!(reg.unsubscribe(NodeId(1), &"sector:energy"));
+/// assert_eq!(reg.group_of(&"sector:energy"), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InterestRegistry<F: Ord> {
+    groups: BTreeMap<F, GroupId>,
+    interests: BTreeMap<GroupId, F>,
+    membership: Membership,
+    next_id: u32,
+}
+
+impl<F: Ord + Clone> InterestRegistry<F> {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        InterestRegistry {
+            groups: BTreeMap::new(),
+            interests: BTreeMap::new(),
+            membership: Membership::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Subscribes `node` to `interest`, creating the interest's group on
+    /// first use ("When a subscriber node A adds a new subscription, if
+    /// there is no other node with the same subscription, a new group is
+    /// created with A as its only member", §3.2). Returns the group.
+    pub fn subscribe(&mut self, node: NodeId, interest: F) -> GroupId {
+        let group = match self.groups.get(&interest) {
+            Some(&g) => g,
+            None => {
+                let g = GroupId(self.next_id);
+                self.next_id += 1;
+                self.groups.insert(interest.clone(), g);
+                self.interests.insert(g, interest);
+                g
+            }
+        };
+        self.membership.subscribe(node, group);
+        group
+    }
+
+    /// Unsubscribes `node` from `interest`; deletes the group when the
+    /// last member leaves. Returns `true` if the subscription existed.
+    pub fn unsubscribe(&mut self, node: NodeId, interest: &F) -> bool {
+        let Some(&group) = self.groups.get(interest) else {
+            return false;
+        };
+        let removed = self.membership.unsubscribe(node, group);
+        if removed && self.membership.group_size(group) == 0 {
+            self.groups.remove(interest);
+            self.interests.remove(&group);
+        }
+        removed
+    }
+
+    /// The group currently representing `interest`, if any node holds it.
+    pub fn group_of(&self, interest: &F) -> Option<GroupId> {
+        self.groups.get(interest).copied()
+    }
+
+    /// The interest a group represents.
+    pub fn interest_of(&self, group: GroupId) -> Option<&F> {
+        self.interests.get(&group)
+    }
+
+    /// The membership matrix induced by the current subscriptions — feed
+    /// this to the graph builder / ordering engine.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Iterates `(interest, group)` pairs in interest order.
+    pub fn interests(&self) -> impl Iterator<Item = (&F, GroupId)> {
+        self.groups.iter().map(|(f, &g)| (f, g))
+    }
+
+    /// Number of live interests (== live groups).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` when nobody subscribes to anything.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn same_interest_shares_a_group() {
+        let mut reg = InterestRegistry::new();
+        let a = reg.subscribe(n(0), "nasdaq");
+        let b = reg.subscribe(n(1), "nasdaq");
+        assert_eq!(a, b);
+        assert_eq!(reg.membership().group_size(a), 2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_interests_get_distinct_groups() {
+        let mut reg = InterestRegistry::new();
+        let a = reg.subscribe(n(0), "alpha");
+        let b = reg.subscribe(n(0), "beta");
+        assert_ne!(a, b);
+        assert_eq!(reg.interest_of(a), Some(&"alpha"));
+        assert_eq!(reg.interest_of(b), Some(&"beta"));
+        assert_eq!(reg.membership().groups_of(n(0)).count(), 2);
+    }
+
+    #[test]
+    fn last_leave_deletes_interest() {
+        let mut reg = InterestRegistry::new();
+        let g = reg.subscribe(n(0), 42u32);
+        reg.subscribe(n(1), 42u32);
+        assert!(reg.unsubscribe(n(0), &42));
+        assert_eq!(reg.group_of(&42), Some(g), "one member remains");
+        assert!(reg.unsubscribe(n(1), &42));
+        assert_eq!(reg.group_of(&42), None);
+        assert!(reg.is_empty());
+        assert!(!reg.unsubscribe(n(1), &42), "already gone");
+    }
+
+    #[test]
+    fn recreated_interest_gets_fresh_group() {
+        // Fresh ids keep old sequence spaces dead (the termination-message
+        // semantics of §3.2 end a group's sequence space for good).
+        let mut reg = InterestRegistry::new();
+        let first = reg.subscribe(n(0), "room");
+        reg.unsubscribe(n(0), &"room");
+        let second = reg.subscribe(n(1), "room");
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn interests_iterate_in_order() {
+        let mut reg = InterestRegistry::new();
+        reg.subscribe(n(0), "b");
+        reg.subscribe(n(0), "a");
+        let keys: Vec<&&str> = reg.interests().map(|(f, _)| f).collect();
+        assert_eq!(keys, vec![&"a", &"b"]);
+    }
+
+    #[test]
+    fn registry_drives_overlap_formation() {
+        // Two brokers sharing two sector filters create a double overlap.
+        let mut reg = InterestRegistry::new();
+        for node in [n(0), n(1)] {
+            reg.subscribe(node, "tech");
+            reg.subscribe(node, "energy");
+        }
+        let m = reg.membership();
+        let tech = reg.group_of(&"tech").unwrap();
+        let energy = reg.group_of(&"energy").unwrap();
+        assert!(m.double_overlapped(tech, energy));
+    }
+}

@@ -1,0 +1,44 @@
+//! Group membership substrate for decentralized pub/sub ordering.
+//!
+//! This crate provides the *membership matrix* — which nodes belong to which
+//! groups — that the sequencing protocol of
+//! [Lumezanu, Spring, Bhattacharjee, *Decentralized Message Ordering for
+//! Publish/Subscribe Systems*, Middleware 2006] assumes is globally known
+//! (the paper suggests a DHT or the underlying pub/sub system; we model it
+//! as a shared data structure).
+//!
+//! It also contains the workload generators used by the paper's evaluation:
+//!
+//! * [`workload::ZipfGroups`] — group sizes follow a Zipf distribution with
+//!   exponent 1 (paper §4.1: sizes proportional to `r^-1 / H_{n,1}`).
+//! * [`workload::OccupancyGroups`] — each node joins each group
+//!   independently with probability `p` ("expected occupancy", paper §4.5).
+//!
+//! # Example
+//!
+//! ```
+//! use seqnet_membership::{Membership, NodeId, GroupId};
+//!
+//! let mut m = Membership::new();
+//! let a = NodeId(0);
+//! let b = NodeId(1);
+//! let g = GroupId(0);
+//! m.subscribe(a, g);
+//! m.subscribe(b, g);
+//! assert_eq!(m.members(g).count(), 2);
+//! assert!(m.is_member(a, g));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod filter;
+mod id;
+pub mod stats;
+mod interest;
+mod matrix;
+pub mod workload;
+
+pub use id::{GroupId, NodeId};
+pub use interest::InterestRegistry;
+pub use matrix::{Membership, MembershipDelta};

@@ -1,0 +1,365 @@
+//! The globally-known membership matrix.
+
+use crate::{GroupId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A change to the membership matrix, used to drive incremental updates of
+/// the sequencing graph.
+///
+/// The paper models membership change as group addition/removal: "changing
+/// the graph when group membership changes can be accomplished by adding a
+/// group with the new membership and removing the old one" (§3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembershipDelta {
+    /// A node subscribed; if the group did not exist it is created.
+    Subscribed(NodeId, GroupId),
+    /// A node unsubscribed; if it was the last member the group is deleted.
+    Unsubscribed(NodeId, GroupId),
+    /// A whole group appeared (e.g. batch workload setup).
+    GroupAdded(GroupId),
+    /// A whole group disappeared.
+    GroupRemoved(GroupId),
+}
+
+/// Which nodes belong to which groups.
+///
+/// The protocol assumes this matrix is globally known (paper §3: "we assume
+/// that the group membership matrix ... is globally known; it can be kept in
+/// a distributed data store such as a DHT or it can be provided by the
+/// underlying publish/subscribe system").
+///
+/// Both directions of the relation are indexed; iteration order is
+/// deterministic (sorted) so that simulations are reproducible.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{Membership, NodeId, GroupId};
+///
+/// let mut m = Membership::new();
+/// m.subscribe(NodeId(0), GroupId(0));
+/// m.subscribe(NodeId(1), GroupId(0));
+/// m.subscribe(NodeId(1), GroupId(1));
+/// assert_eq!(m.group_size(GroupId(0)), 2);
+/// assert_eq!(m.groups_of(NodeId(1)).count(), 2);
+/// let common: Vec<_> = m.common_members(GroupId(0), GroupId(1)).collect();
+/// assert_eq!(common, vec![NodeId(1)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Membership {
+    by_group: BTreeMap<GroupId, BTreeSet<NodeId>>,
+    by_node: BTreeMap<NodeId, BTreeSet<GroupId>>,
+}
+
+impl Membership {
+    /// Creates an empty membership matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a matrix from an explicit list of `(group, members)` pairs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use seqnet_membership::{Membership, NodeId, GroupId};
+    /// let m = Membership::from_groups([
+    ///     (GroupId(0), vec![NodeId(0), NodeId(1)]),
+    ///     (GroupId(1), vec![NodeId(1), NodeId(2)]),
+    /// ]);
+    /// assert_eq!(m.num_groups(), 2);
+    /// ```
+    pub fn from_groups<I, M>(groups: I) -> Self
+    where
+        I: IntoIterator<Item = (GroupId, M)>,
+        M: IntoIterator<Item = NodeId>,
+    {
+        let mut m = Self::new();
+        for (g, members) in groups {
+            m.by_group.entry(g).or_default();
+            for n in members {
+                m.subscribe(n, g);
+            }
+        }
+        m
+    }
+
+    /// Subscribes `node` to `group`, creating the group if needed.
+    ///
+    /// Returns `true` if this was a new subscription.
+    pub fn subscribe(&mut self, node: NodeId, group: GroupId) -> bool {
+        let inserted = self.by_group.entry(group).or_default().insert(node);
+        self.by_node.entry(node).or_default().insert(group);
+        inserted
+    }
+
+    /// Unsubscribes `node` from `group`.
+    ///
+    /// If the node was the last member, the group is deleted (paper §3.2:
+    /// "If A was the only member of the group, the group is deleted").
+    /// Returns `true` if the subscription existed.
+    pub fn unsubscribe(&mut self, node: NodeId, group: GroupId) -> bool {
+        let Some(members) = self.by_group.get_mut(&group) else {
+            return false;
+        };
+        let removed = members.remove(&node);
+        if members.is_empty() {
+            self.by_group.remove(&group);
+        }
+        if let Some(groups) = self.by_node.get_mut(&node) {
+            groups.remove(&group);
+            if groups.is_empty() {
+                self.by_node.remove(&node);
+            }
+        }
+        removed
+    }
+
+    /// Removes an entire group.
+    ///
+    /// Returns `true` if the group existed.
+    pub fn remove_group(&mut self, group: GroupId) -> bool {
+        let Some(members) = self.by_group.remove(&group) else {
+            return false;
+        };
+        for n in members {
+            if let Some(groups) = self.by_node.get_mut(&n) {
+                groups.remove(&group);
+                if groups.is_empty() {
+                    self.by_node.remove(&n);
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `node` subscribes to `group`.
+    pub fn is_member(&self, node: NodeId, group: GroupId) -> bool {
+        self.by_group
+            .get(&group)
+            .is_some_and(|members| members.contains(&node))
+    }
+
+    /// Iterates the members of `group` in ascending id order.
+    pub fn members(&self, group: GroupId) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_group
+            .get(&group)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Returns the member set of `group`, if the group exists.
+    pub fn member_set(&self, group: GroupId) -> Option<&BTreeSet<NodeId>> {
+        self.by_group.get(&group)
+    }
+
+    /// Iterates the groups `node` subscribes to, in ascending id order.
+    pub fn groups_of(&self, node: NodeId) -> impl Iterator<Item = GroupId> + '_ {
+        self.by_node
+            .get(&node)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Number of members of `group` (0 if the group does not exist).
+    pub fn group_size(&self, group: GroupId) -> usize {
+        self.by_group.get(&group).map_or(0, |s| s.len())
+    }
+
+    /// Iterates all groups in ascending id order.
+    pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.by_group.keys().copied()
+    }
+
+    /// Iterates all nodes that subscribe to at least one group.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_node.keys().copied()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.by_group.len()
+    }
+
+    /// Number of nodes with at least one subscription.
+    pub fn num_nodes(&self) -> usize {
+        self.by_node.len()
+    }
+
+    /// Returns `true` if no node subscribes to any group.
+    pub fn is_empty(&self) -> bool {
+        self.by_group.is_empty()
+    }
+
+    /// Iterates the nodes that belong to both `a` and `b`, ascending.
+    ///
+    /// The sequencing protocol cares about groups whose intersection has two
+    /// or more members ("double overlaps", paper §3).
+    pub fn common_members<'a>(
+        &'a self,
+        a: GroupId,
+        b: GroupId,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        let sa = self.by_group.get(&a);
+        let sb = self.by_group.get(&b);
+        sa.into_iter()
+            .flat_map(move |s| s.iter().copied())
+            .filter(move |n| sb.is_some_and(|s| s.contains(n)))
+    }
+
+    /// Number of nodes common to both groups.
+    pub fn overlap_size(&self, a: GroupId, b: GroupId) -> usize {
+        match (self.by_group.get(&a), self.by_group.get(&b)) {
+            (Some(sa), Some(sb)) => {
+                // Iterate the smaller set for speed.
+                let (small, large) = if sa.len() <= sb.len() { (sa, sb) } else { (sb, sa) };
+                small.iter().filter(|n| large.contains(n)).count()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Returns `true` if groups `a` and `b` are *double overlapped*: they
+    /// share at least two subscribers (paper §3).
+    pub fn double_overlapped(&self, a: GroupId, b: GroupId) -> bool {
+        if a == b {
+            return false;
+        }
+        match (self.by_group.get(&a), self.by_group.get(&b)) {
+            (Some(sa), Some(sb)) => {
+                let (small, large) = if sa.len() <= sb.len() { (sa, sb) } else { (sb, sa) };
+                small.iter().filter(|n| large.contains(n)).take(2).count() >= 2
+            }
+            _ => false,
+        }
+    }
+
+    /// The maximum, over all nodes, of the number of groups a node
+    /// subscribes to. This bounds the load of the most active receiver,
+    /// which in turn bounds sequencing-node load (paper §1.2, §4.3).
+    pub fn max_subscriptions(&self) -> usize {
+        self.by_node.values().map(|s| s.len()).max().unwrap_or(0)
+    }
+}
+
+impl Extend<(NodeId, GroupId)> for Membership {
+    fn extend<T: IntoIterator<Item = (NodeId, GroupId)>>(&mut self, iter: T) {
+        for (n, g) in iter {
+            self.subscribe(n, g);
+        }
+    }
+}
+
+impl FromIterator<(NodeId, GroupId)> for Membership {
+    fn from_iter<T: IntoIterator<Item = (NodeId, GroupId)>>(iter: T) -> Self {
+        let mut m = Self::new();
+        m.extend(iter);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    #[test]
+    fn subscribe_and_query() {
+        let mut m = Membership::new();
+        assert!(m.subscribe(n(1), g(0)));
+        assert!(!m.subscribe(n(1), g(0)), "duplicate subscribe is a no-op");
+        assert!(m.is_member(n(1), g(0)));
+        assert!(!m.is_member(n(2), g(0)));
+        assert_eq!(m.group_size(g(0)), 1);
+        assert_eq!(m.num_groups(), 1);
+        assert_eq!(m.num_nodes(), 1);
+    }
+
+    #[test]
+    fn unsubscribe_deletes_empty_group() {
+        let mut m = Membership::new();
+        m.subscribe(n(1), g(0));
+        m.subscribe(n(2), g(0));
+        assert!(m.unsubscribe(n(1), g(0)));
+        assert_eq!(m.group_size(g(0)), 1);
+        assert!(m.unsubscribe(n(2), g(0)));
+        assert_eq!(m.num_groups(), 0, "last member leaving deletes the group");
+        assert!(!m.unsubscribe(n(2), g(0)));
+    }
+
+    #[test]
+    fn remove_group_updates_both_indices() {
+        let mut m = Membership::new();
+        m.subscribe(n(1), g(0));
+        m.subscribe(n(1), g(1));
+        assert!(m.remove_group(g(0)));
+        assert!(!m.remove_group(g(0)));
+        assert_eq!(m.groups_of(n(1)).collect::<Vec<_>>(), vec![g(1)]);
+    }
+
+    #[test]
+    fn common_members_sorted() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(3), n(1), n(2)]),
+            (g(1), vec![n(2), n(4), n(3)]),
+        ]);
+        let common: Vec<_> = m.common_members(g(0), g(1)).collect();
+        assert_eq!(common, vec![n(2), n(3)]);
+        assert_eq!(m.overlap_size(g(0), g(1)), 2);
+    }
+
+    #[test]
+    fn double_overlap_requires_two_common() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(2), n(3)]),
+            (g(2), vec![n(1), n(2), n(3)]),
+        ]);
+        assert!(!m.double_overlapped(g(0), g(1)), "single shared member");
+        assert!(m.double_overlapped(g(0), g(2)), "shares n1 and n2");
+        assert!(m.double_overlapped(g(1), g(2)), "shares n2 and n3");
+        assert!(!m.double_overlapped(g(0), g(0)), "a group is not overlapped with itself");
+    }
+
+    #[test]
+    fn overlap_with_missing_group_is_zero() {
+        let m = Membership::from_groups([(g(0), vec![n(0), n(1)])]);
+        assert_eq!(m.overlap_size(g(0), g(9)), 0);
+        assert!(!m.double_overlapped(g(0), g(9)));
+        assert_eq!(m.common_members(g(0), g(9)).count(), 0);
+    }
+
+    #[test]
+    fn from_groups_keeps_empty_group() {
+        let m = Membership::from_groups([(g(0), vec![])]);
+        assert_eq!(m.num_groups(), 1);
+        assert_eq!(m.group_size(g(0)), 0);
+    }
+
+    #[test]
+    fn max_subscriptions() {
+        let m: Membership = [
+            (n(0), g(0)),
+            (n(0), g(1)),
+            (n(0), g(2)),
+            (n(1), g(0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(m.max_subscriptions(), 3);
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let m = Membership::from_groups([(g(1), vec![n(5), n(3)]), (g(0), vec![n(9)])]);
+        assert_eq!(m.groups().collect::<Vec<_>>(), vec![g(0), g(1)]);
+        assert_eq!(m.members(g(1)).collect::<Vec<_>>(), vec![n(3), n(5)]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Descriptive statistics of a membership matrix — the workload-side
+//! numbers experiment reports lead with.
+
+use crate::{GroupId, Membership};
+use std::collections::BTreeMap;
+
+/// A summary of a membership matrix's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipStats {
+    /// Number of groups with at least one member.
+    pub groups: usize,
+    /// Number of nodes with at least one subscription.
+    pub nodes: usize,
+    /// Total subscriptions (sum of group sizes).
+    pub subscriptions: usize,
+    /// Smallest group size.
+    pub min_group_size: usize,
+    /// Largest group size.
+    pub max_group_size: usize,
+    /// Mean group size.
+    pub mean_group_size: f64,
+    /// Most subscriptions held by a single node.
+    pub max_subscriptions_per_node: usize,
+    /// Number of group pairs sharing exactly one subscriber (ambiguity-
+    /// free overlaps that need no sequencing atom).
+    pub single_overlaps: usize,
+    /// Number of double overlaps (pairs sharing two or more subscribers).
+    pub double_overlaps: usize,
+}
+
+impl MembershipStats {
+    /// Computes the summary. Runs in `O(G^2 · set-intersection)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use seqnet_membership::{stats::MembershipStats, Membership, NodeId, GroupId};
+    /// let m = Membership::from_groups([
+    ///     (GroupId(0), vec![NodeId(0), NodeId(1)]),
+    ///     (GroupId(1), vec![NodeId(0), NodeId(1), NodeId(2)]),
+    ///     (GroupId(2), vec![NodeId(2)]),
+    /// ]);
+    /// let s = MembershipStats::compute(&m);
+    /// assert_eq!(s.groups, 3);
+    /// assert_eq!(s.double_overlaps, 1);
+    /// assert_eq!(s.single_overlaps, 1);
+    /// ```
+    pub fn compute(m: &Membership) -> Self {
+        let groups: Vec<GroupId> = m.groups().collect();
+        let sizes: Vec<usize> = groups.iter().map(|&g| m.group_size(g)).collect();
+        let subscriptions: usize = sizes.iter().sum();
+        let (mut single, mut double) = (0usize, 0usize);
+        for (i, &a) in groups.iter().enumerate() {
+            for &b in &groups[i + 1..] {
+                match m.overlap_size(a, b) {
+                    0 => {}
+                    1 => single += 1,
+                    _ => double += 1,
+                }
+            }
+        }
+        MembershipStats {
+            groups: groups.len(),
+            nodes: m.num_nodes(),
+            subscriptions,
+            min_group_size: sizes.iter().copied().min().unwrap_or(0),
+            max_group_size: sizes.iter().copied().max().unwrap_or(0),
+            mean_group_size: if sizes.is_empty() {
+                0.0
+            } else {
+                subscriptions as f64 / sizes.len() as f64
+            },
+            max_subscriptions_per_node: m.max_subscriptions(),
+            single_overlaps: single,
+            double_overlaps: double,
+        }
+    }
+}
+
+/// Histogram of group sizes: `size -> how many groups have it`.
+pub fn group_size_histogram(m: &Membership) -> BTreeMap<usize, usize> {
+    let mut hist = BTreeMap::new();
+    for g in m.groups() {
+        *hist.entry(m.group_size(g)).or_insert(0) += 1;
+    }
+    hist
+}
+
+/// Histogram of per-node subscription counts: `count -> how many nodes`.
+pub fn subscription_histogram(m: &Membership) -> BTreeMap<usize, usize> {
+    let mut hist = BTreeMap::new();
+    for n in m.nodes() {
+        *hist.entry(m.groups_of(n).count()).or_insert(0) += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ZipfGroups;
+    use crate::NodeId;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let s = MembershipStats::compute(&Membership::new());
+        assert_eq!(s.groups, 0);
+        assert_eq!(s.subscriptions, 0);
+        assert_eq!(s.mean_group_size, 0.0);
+        assert_eq!(s.double_overlaps, 0);
+    }
+
+    #[test]
+    fn overlap_classification() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(0), n(1)]),      // double with g0
+            (g(2), vec![n(2), n(5)]),      // single with g0
+            (g(3), vec![n(7)]),            // disjoint from all
+        ]);
+        let s = MembershipStats::compute(&m);
+        assert_eq!(s.double_overlaps, 1);
+        assert_eq!(s.single_overlaps, 1);
+        assert_eq!(s.groups, 4);
+        assert_eq!(s.min_group_size, 1);
+        assert_eq!(s.max_group_size, 3);
+        assert_eq!(s.max_subscriptions_per_node, 2);
+    }
+
+    #[test]
+    fn histograms_cover_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = ZipfGroups::new(32, 8).sample(&mut rng);
+        let gh = group_size_histogram(&m);
+        assert_eq!(gh.values().sum::<usize>(), m.num_groups());
+        let sh = subscription_histogram(&m);
+        assert_eq!(sh.values().sum::<usize>(), m.num_nodes());
+        let s = MembershipStats::compute(&m);
+        let weighted: usize = gh.iter().map(|(size, count)| size * count).sum();
+        assert_eq!(weighted, s.subscriptions);
+    }
+
+    #[test]
+    fn mean_matches_definition() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1)]),
+            (g(1), vec![n(0), n(1), n(2), n(3)]),
+        ]);
+        let s = MembershipStats::compute(&m);
+        assert_eq!(s.mean_group_size, 3.0);
+    }
+}

@@ -1,0 +1,442 @@
+//! Workload generators matching the paper's evaluation setup (§4.1, §4.5).
+
+use crate::{GroupId, Membership, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Generalized harmonic number `H_{n,1} = sum_{k=1..n} 1/k`.
+///
+/// The paper sizes groups proportionally to `r^-1 / H_{n,1}` where `r` is
+/// the group's rank and `n` the number of hosts (§4.1).
+///
+/// # Example
+///
+/// ```
+/// let h3 = seqnet_membership::workload::harmonic(3);
+/// assert!((h3 - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+/// ```
+pub fn harmonic(n: usize) -> f64 {
+    (1..=n).map(|k| 1.0 / k as f64).sum()
+}
+
+/// Group-size workload with Zipf(1)-distributed sizes (paper §4.1).
+///
+/// Group of rank `r` (1-based) has expected size `n * r^-1 / H_{n,1}`
+/// where `n` is the number of hosts. Members of each group are drawn
+/// uniformly at random without replacement.
+///
+/// "We choose the Zipf distribution because it is known to characterize the
+/// popularity of online communities."
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfGroups {
+    /// Total number of hosts that may subscribe.
+    pub num_nodes: usize,
+    /// Number of groups to create.
+    pub num_groups: usize,
+    /// Minimum group size (sizes round down to at least this). The paper
+    /// does not state a floor; 1 preserves the raw distribution.
+    pub min_size: usize,
+}
+
+impl ZipfGroups {
+    /// Creates the workload description for `num_nodes` hosts and
+    /// `num_groups` groups with a minimum group size of 1.
+    pub fn new(num_nodes: usize, num_groups: usize) -> Self {
+        Self {
+            num_nodes,
+            num_groups,
+            min_size: 1,
+        }
+    }
+
+    /// Sets the minimum group size.
+    pub fn with_min_size(mut self, min_size: usize) -> Self {
+        self.min_size = min_size;
+        self
+    }
+
+    /// The target size of the group with 1-based rank `r`.
+    pub fn size_of_rank(&self, r: usize) -> usize {
+        assert!(r >= 1, "ranks are 1-based");
+        let n = self.num_nodes as f64;
+        let raw = (n / r as f64 / harmonic(self.num_nodes)).round() as usize;
+        raw.clamp(self.min_size, self.num_nodes)
+    }
+
+    /// Samples a membership matrix. Groups `GroupId(0..num_groups)` are
+    /// created; `GroupId(i)` has rank `i + 1`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Membership {
+        let mut m = Membership::new();
+        let mut pool: Vec<NodeId> = (0..self.num_nodes as u32).map(NodeId).collect();
+        for gi in 0..self.num_groups {
+            let size = self.size_of_rank(gi + 1);
+            pool.shuffle(rng);
+            let gid = GroupId(gi as u32);
+            for &node in pool.iter().take(size) {
+                m.subscribe(node, gid);
+            }
+            if size == 0 {
+                // Keep the group present even when empty so group counts
+                // match the requested workload.
+                m.subscribe(NodeId(0), gid);
+                m.unsubscribe(NodeId(0), gid);
+            }
+        }
+        m
+    }
+}
+
+/// Bernoulli-membership workload parameterized by *expected occupancy*
+/// (paper §4.5): each node joins each group independently with probability
+/// `occupancy`. Occupancy 0 means all groups empty; 1 means every node
+/// subscribes to every group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyGroups {
+    /// Total number of hosts.
+    pub num_nodes: usize,
+    /// Number of groups.
+    pub num_groups: usize,
+    /// Probability that a given node is a member of a given group.
+    pub occupancy: f64,
+}
+
+impl OccupancyGroups {
+    /// Creates the workload description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `occupancy` is not within `[0, 1]`.
+    pub fn new(num_nodes: usize, num_groups: usize, occupancy: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&occupancy),
+            "occupancy must be in [0, 1], got {occupancy}"
+        );
+        Self {
+            num_nodes,
+            num_groups,
+            occupancy,
+        }
+    }
+
+    /// Samples a membership matrix.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Membership {
+        let mut m = Membership::new();
+        for gi in 0..self.num_groups as u32 {
+            for ni in 0..self.num_nodes as u32 {
+                if rng.gen_bool(self.occupancy) {
+                    m.subscribe(NodeId(ni), GroupId(gi));
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Geographically-correlated Zipf workload (the paper's §5 future work:
+/// "measure when group membership is (or can be) geographically-
+/// correlated").
+///
+/// Hosts are organized in consecutive-id clusters of `cluster_size`
+/// (matching `seqnet_topology::ClusteredAttachment`, which assigns host
+/// ids to clusters in order). Each group draws its members from a random
+/// *home cluster* with probability `locality`, and uniformly otherwise.
+/// `locality = 0` reduces to [`ZipfGroups`]; `locality = 1` makes groups
+/// as local as their size allows (spilling to neighboring clusters when
+/// the home cluster is exhausted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelatedGroups {
+    /// Total number of hosts.
+    pub num_nodes: usize,
+    /// Number of groups (Zipf(1) sizes, like [`ZipfGroups`]).
+    pub num_groups: usize,
+    /// Hosts per geographic cluster.
+    pub cluster_size: usize,
+    /// Probability that a member comes from the group's home locality.
+    pub locality: f64,
+}
+
+impl CorrelatedGroups {
+    /// Creates the workload description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_size == 0` or `locality` is outside `[0, 1]`.
+    pub fn new(num_nodes: usize, num_groups: usize, cluster_size: usize, locality: f64) -> Self {
+        assert!(cluster_size > 0, "cluster_size must be positive");
+        assert!(
+            (0.0..=1.0).contains(&locality),
+            "locality must be in [0, 1], got {locality}"
+        );
+        CorrelatedGroups {
+            num_nodes,
+            num_groups,
+            cluster_size,
+            locality,
+        }
+    }
+
+    /// Samples a membership matrix.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Membership {
+        let sizes = ZipfGroups::new(self.num_nodes, self.num_groups);
+        let num_clusters = self.num_nodes.div_ceil(self.cluster_size);
+        let mut m = Membership::new();
+        for gi in 0..self.num_groups {
+            let size = sizes.size_of_rank(gi + 1);
+            let home = rng.gen_range(0..num_clusters);
+            // Local candidates: the home cluster, then its neighbors by
+            // cluster distance (spill-over for groups larger than one
+            // cluster).
+            let mut cluster_order: Vec<usize> = vec![home];
+            for dist in 1..num_clusters {
+                if home >= dist {
+                    cluster_order.push(home - dist);
+                }
+                if home + dist < num_clusters {
+                    cluster_order.push(home + dist);
+                }
+            }
+            let mut local: Vec<NodeId> = Vec::new();
+            for c in cluster_order {
+                let start = c * self.cluster_size;
+                let end = ((c + 1) * self.cluster_size).min(self.num_nodes);
+                let mut cluster_nodes: Vec<NodeId> =
+                    (start as u32..end as u32).map(NodeId).collect();
+                cluster_nodes.shuffle(rng);
+                local.extend(cluster_nodes);
+            }
+            let mut uniform: Vec<NodeId> = (0..self.num_nodes as u32).map(NodeId).collect();
+            uniform.shuffle(rng);
+
+            let gid = GroupId(gi as u32);
+            let mut local_iter = local.into_iter();
+            let mut uniform_iter = uniform.into_iter();
+            let mut chosen = BTreeSet::new();
+            while chosen.len() < size {
+                let candidate = if rng.gen_bool(self.locality) {
+                    local_iter.next()
+                } else {
+                    uniform_iter.next()
+                };
+                match candidate {
+                    Some(n) => {
+                        chosen.insert(n);
+                    }
+                    None => break, // one stream exhausted; the other loop arm fills in
+                }
+            }
+            // Fill any shortfall from whatever remains.
+            for n in uniform_iter {
+                if chosen.len() >= size {
+                    break;
+                }
+                chosen.insert(n);
+            }
+            for n in chosen {
+                m.subscribe(n, gid);
+            }
+        }
+        m
+    }
+}
+
+/// Uniform-size workload: every group gets exactly `group_size` members
+/// drawn uniformly without replacement. Useful for controlled tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformGroups {
+    /// Total number of hosts.
+    pub num_nodes: usize,
+    /// Number of groups.
+    pub num_groups: usize,
+    /// Exact size of every group.
+    pub group_size: usize,
+}
+
+impl UniformGroups {
+    /// Creates the workload description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size > num_nodes`.
+    pub fn new(num_nodes: usize, num_groups: usize, group_size: usize) -> Self {
+        assert!(
+            group_size <= num_nodes,
+            "group_size {group_size} exceeds num_nodes {num_nodes}"
+        );
+        Self {
+            num_nodes,
+            num_groups,
+            group_size,
+        }
+    }
+
+    /// Samples a membership matrix.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Membership {
+        let mut m = Membership::new();
+        let mut pool: Vec<NodeId> = (0..self.num_nodes as u32).map(NodeId).collect();
+        for gi in 0..self.num_groups as u32 {
+            pool.shuffle(rng);
+            for &node in pool.iter().take(self.group_size) {
+                m.subscribe(node, GroupId(gi));
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn harmonic_known_values() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        // H_128 ~ 5.433
+        let h128 = harmonic(128);
+        assert!((5.4..5.5).contains(&h128), "H_128 = {h128}");
+    }
+
+    #[test]
+    fn zipf_sizes_decrease_with_rank() {
+        let w = ZipfGroups::new(128, 64);
+        let sizes: Vec<usize> = (1..=64).map(|r| w.size_of_rank(r)).collect();
+        assert!(sizes.windows(2).all(|p| p[0] >= p[1]), "sizes nonincreasing");
+        // Rank 1 expected ~ 128 / H_128 ~ 23.6
+        assert!((20..=27).contains(&sizes[0]), "rank-1 size {}", sizes[0]);
+    }
+
+    #[test]
+    fn zipf_sample_respects_sizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = ZipfGroups::new(64, 16).with_min_size(2);
+        let m = w.sample(&mut rng);
+        assert_eq!(m.num_groups(), 16);
+        for gi in 0..16u32 {
+            let want = w.size_of_rank(gi as usize + 1);
+            assert_eq!(m.group_size(GroupId(gi)), want, "group {gi}");
+            assert!(want >= 2);
+        }
+    }
+
+    #[test]
+    fn zipf_sample_is_deterministic_for_seed() {
+        let w = ZipfGroups::new(32, 8);
+        let a = w.sample(&mut StdRng::seed_from_u64(99));
+        let b = w.sample(&mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn occupancy_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = OccupancyGroups::new(16, 4, 0.0).sample(&mut rng);
+        assert!(empty.is_empty());
+        let full = OccupancyGroups::new(16, 4, 1.0).sample(&mut rng);
+        assert_eq!(full.num_groups(), 4);
+        for g in full.groups().collect::<Vec<_>>() {
+            assert_eq!(full.group_size(g), 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy must be in [0, 1]")]
+    fn occupancy_validates_probability() {
+        let _ = OccupancyGroups::new(4, 2, 1.5);
+    }
+
+    #[test]
+    fn occupancy_mid_density_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = OccupancyGroups::new(100, 10, 0.3).sample(&mut rng);
+        let total: usize = m.groups().collect::<Vec<_>>().iter().map(|&g| m.group_size(g)).sum();
+        // Expect ~300 subscriptions; allow generous slack.
+        assert!((200..400).contains(&total), "total subscriptions {total}");
+    }
+
+    #[test]
+    fn correlated_locality_one_keeps_groups_in_clusters() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = CorrelatedGroups::new(64, 8, 8, 1.0);
+        let m = w.sample(&mut rng);
+        for g in m.groups().collect::<Vec<_>>() {
+            let members: Vec<NodeId> = m.members(g).collect();
+            if members.len() <= 8 {
+                // A group that fits one cluster must span at most two
+                // adjacent clusters (home + spill at boundary shuffling).
+                let clusters: std::collections::BTreeSet<usize> =
+                    members.iter().map(|n| n.index() / 8).collect();
+                assert!(
+                    clusters.len() <= 2,
+                    "{g} spans {} clusters at locality 1",
+                    clusters.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_locality_zero_matches_group_sizes() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let w = CorrelatedGroups::new(64, 8, 8, 0.0);
+        let m = w.sample(&mut rng);
+        let zipf = ZipfGroups::new(64, 8);
+        for gi in 0..8u32 {
+            assert_eq!(
+                m.group_size(GroupId(gi)),
+                zipf.size_of_rank(gi as usize + 1),
+                "group {gi}"
+            );
+        }
+    }
+
+    #[test]
+    fn correlated_locality_reduces_spread() {
+        // Average number of distinct clusters per group must shrink as
+        // locality rises.
+        let spread = |locality: f64| -> f64 {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for seed in 0..10 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let m = CorrelatedGroups::new(64, 8, 8, locality).sample(&mut rng);
+                for g in m.groups().collect::<Vec<_>>() {
+                    let clusters: std::collections::BTreeSet<usize> =
+                        m.members(g).map(|n| n.index() / 8).collect();
+                    total += clusters.len() as f64;
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        let loose = spread(0.0);
+        let tight = spread(1.0);
+        assert!(
+            tight < loose,
+            "locality 1 spread {tight} should be below locality 0 spread {loose}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "locality must be in [0, 1]")]
+    fn correlated_validates_locality() {
+        let _ = CorrelatedGroups::new(8, 2, 4, 1.5);
+    }
+
+    #[test]
+    fn uniform_group_sizes_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = UniformGroups::new(20, 5, 7).sample(&mut rng);
+        for g in m.groups().collect::<Vec<_>>() {
+            assert_eq!(m.group_size(g), 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds num_nodes")]
+    fn uniform_validates_size() {
+        let _ = UniformGroups::new(4, 1, 5);
+    }
+}

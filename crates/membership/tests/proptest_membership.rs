@@ -1,0 +1,143 @@
+//! Property-based tests of the membership substrate: the matrix's two
+//! indices stay consistent under arbitrary operation sequences, filters
+//! behave like conjunctions, and workload statistics add up.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use seqnet_membership::filter::{Event, Filter};
+use seqnet_membership::stats::{group_size_histogram, subscription_histogram, MembershipStats};
+use seqnet_membership::{GroupId, InterestRegistry, Membership, NodeId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Subscribe(u32, u32),
+    Unsubscribe(u32, u32),
+    RemoveGroup(u32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u32..12, 0u32..6).prop_map(|(n, g)| Op::Subscribe(n, g)),
+        2 => (0u32..12, 0u32..6).prop_map(|(n, g)| Op::Unsubscribe(n, g)),
+        1 => (0u32..6).prop_map(Op::RemoveGroup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Both directions of the membership relation agree after any
+    /// operation sequence, and empty groups/nodes never linger.
+    #[test]
+    fn matrix_indices_stay_consistent(ops in vec(op_strategy(), 0..80)) {
+        let mut m = Membership::new();
+        for op in ops {
+            match op {
+                Op::Subscribe(n, g) => {
+                    m.subscribe(NodeId(n), GroupId(g));
+                }
+                Op::Unsubscribe(n, g) => {
+                    m.unsubscribe(NodeId(n), GroupId(g));
+                }
+                Op::RemoveGroup(g) => {
+                    m.remove_group(GroupId(g));
+                }
+            }
+        }
+        // Forward and reverse agree.
+        for g in m.groups().collect::<Vec<_>>() {
+            prop_assert!(m.group_size(g) > 0, "empty group {} lingered", g);
+            for node in m.members(g).collect::<Vec<_>>() {
+                prop_assert!(m.groups_of(node).any(|x| x == g));
+                prop_assert!(m.is_member(node, g));
+            }
+        }
+        for node in m.nodes().collect::<Vec<_>>() {
+            prop_assert!(m.groups_of(node).count() > 0, "empty node {} lingered", node);
+            for g in node_groups(&m, node) {
+                prop_assert!(m.members(g).any(|x| x == node));
+            }
+        }
+        // Stats stay additive.
+        let s = MembershipStats::compute(&m);
+        prop_assert_eq!(
+            s.subscriptions,
+            group_size_histogram(&m).iter().map(|(k, v)| k * v).sum::<usize>()
+        );
+        prop_assert_eq!(
+            s.subscriptions,
+            subscription_histogram(&m).iter().map(|(k, v)| k * v).sum::<usize>()
+        );
+    }
+
+    /// Overlap symmetry and bounds.
+    #[test]
+    fn overlap_size_is_symmetric(ops in vec(op_strategy(), 0..60)) {
+        let mut m = Membership::new();
+        for op in ops {
+            if let Op::Subscribe(n, g) = op {
+                m.subscribe(NodeId(n), GroupId(g));
+            }
+        }
+        let groups: Vec<GroupId> = m.groups().collect();
+        for &a in &groups {
+            for &b in &groups {
+                prop_assert_eq!(m.overlap_size(a, b), m.overlap_size(b, a));
+                prop_assert!(m.overlap_size(a, b) <= m.group_size(a).min(m.group_size(b)));
+                if a != b {
+                    prop_assert_eq!(
+                        m.double_overlapped(a, b),
+                        m.overlap_size(a, b) >= 2
+                    );
+                }
+            }
+        }
+    }
+
+    /// The interest registry's induced matrix matches its subscriptions.
+    #[test]
+    fn interest_registry_tracks_membership(
+        subs in vec((0u32..10, 0u8..5), 0..40),
+        unsubs in vec((0u32..10, 0u8..5), 0..40),
+    ) {
+        let mut reg = InterestRegistry::new();
+        for &(n, f) in &subs {
+            reg.subscribe(NodeId(n), f);
+        }
+        for &(n, f) in &unsubs {
+            reg.unsubscribe(NodeId(n), &f);
+        }
+        for (interest, group) in reg.interests().map(|(f, g)| (*f, g)).collect::<Vec<_>>() {
+            prop_assert_eq!(reg.interest_of(group), Some(&interest));
+            prop_assert!(reg.membership().group_size(group) > 0);
+        }
+        prop_assert_eq!(reg.len(), reg.membership().num_groups());
+    }
+
+    /// A filter is a conjunction: adding a constraint never widens the
+    /// match set.
+    #[test]
+    fn filters_are_monotone_conjunctions(
+        sector in "[a-c]",
+        lo in 0i64..50,
+        width in 0i64..50,
+        ev_sector in "[a-d]",
+        ev_price in 0i64..120,
+    ) {
+        let base = Filter::new().eq("sector", sector.as_str());
+        let narrowed = base.clone().range("price", lo, lo + width);
+        let event = Event::new().set("sector", ev_sector.as_str()).set("price", ev_price);
+        if narrowed.matches(&event) {
+            prop_assert!(base.matches(&event), "narrowing widened the match set");
+        }
+        // And the range constraint behaves as an interval.
+        prop_assert_eq!(
+            narrowed.matches(&event),
+            base.matches(&event) && (lo..=lo + width).contains(&ev_price)
+        );
+    }
+}
+
+fn node_groups(m: &Membership, node: NodeId) -> Vec<GroupId> {
+    m.groups_of(node).collect()
+}

@@ -1,0 +1,310 @@
+//! Sequencing atoms and double-overlap computation.
+
+use seqnet_membership::{GroupId, Membership, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies a sequencing atom within a [`crate::SequencingGraph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct AtomId(pub u32);
+
+impl AtomId {
+    /// Returns the id as a `usize` suitable for indexing dense arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AtomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+/// A *double overlap*: a pair of groups sharing at least two subscribers.
+///
+/// "We call groups that have two or more subscribers in common *double
+/// overlapped*, and our approach is to provide a sequence number space for
+/// each double-overlapped set of groups" (paper §3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Overlap {
+    /// The overlapped group pair, normalized so `pair.0 < pair.1`.
+    pub pair: (GroupId, GroupId),
+    /// The common subscribers; always has at least two elements.
+    pub members: BTreeSet<NodeId>,
+}
+
+impl Overlap {
+    /// Creates an overlap, normalizing the pair order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two groups are equal or fewer than two members are
+    /// given (a single shared subscriber is *not* a double overlap).
+    pub fn new(a: GroupId, b: GroupId, members: impl IntoIterator<Item = NodeId>) -> Self {
+        assert!(a != b, "an overlap needs two distinct groups");
+        let members: BTreeSet<NodeId> = members.into_iter().collect();
+        assert!(
+            members.len() >= 2,
+            "a double overlap needs at least two common members, got {}",
+            members.len()
+        );
+        let pair = if a < b { (a, b) } else { (b, a) };
+        Overlap { pair, members }
+    }
+
+    /// Returns `true` if `group` is one of the overlapped pair.
+    pub fn involves(&self, group: GroupId) -> bool {
+        self.pair.0 == group || self.pair.1 == group
+    }
+
+    /// Given one group of the pair, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is not part of the pair.
+    pub fn other(&self, group: GroupId) -> GroupId {
+        if self.pair.0 == group {
+            self.pair.1
+        } else if self.pair.1 == group {
+            self.pair.0
+        } else {
+            panic!("{group} is not part of overlap {:?}", self.pair)
+        }
+    }
+}
+
+/// What a sequencing atom does.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AtomKind {
+    /// Sequences a double overlap: stamps every message addressed to either
+    /// group of the pair.
+    Overlap(Overlap),
+    /// An *ingress-only* sequencer: assigns group-local numbers for a group
+    /// that has no double overlaps ("Adding the first group G0 is trivial:
+    /// an ingress-only sequencer is created", §3.2). Each group has at most
+    /// one, so these grow linearly with groups and are excluded from the
+    /// evaluation's sequencing-node counts (§4.3).
+    IngressOnly(GroupId),
+}
+
+/// A sequencing atom: id plus role.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Atom {
+    /// The atom's identifier within its graph.
+    pub id: AtomId,
+    /// The atom's role.
+    pub kind: AtomKind,
+}
+
+impl Atom {
+    /// The groups whose messages this atom stamps.
+    pub fn groups(&self) -> impl Iterator<Item = GroupId> + '_ {
+        let (a, b) = match &self.kind {
+            AtomKind::Overlap(o) => (Some(o.pair.0), Some(o.pair.1)),
+            AtomKind::IngressOnly(g) => (Some(*g), None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// Returns the overlap if this is an overlap atom.
+    pub fn overlap(&self) -> Option<&Overlap> {
+        match &self.kind {
+            AtomKind::Overlap(o) => Some(o),
+            AtomKind::IngressOnly(_) => None,
+        }
+    }
+
+    /// Returns `true` if this atom stamps messages of `group`.
+    pub fn stamps(&self, group: GroupId) -> bool {
+        match &self.kind {
+            AtomKind::Overlap(o) => o.involves(group),
+            AtomKind::IngressOnly(g) => *g == group,
+        }
+    }
+}
+
+/// All double overlaps of a membership matrix.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{Membership, NodeId, GroupId};
+/// use seqnet_overlap::OverlapSet;
+/// let m = Membership::from_groups([
+///     (GroupId(0), vec![NodeId(0), NodeId(1)]),
+///     (GroupId(1), vec![NodeId(0), NodeId(1)]),
+///     (GroupId(2), vec![NodeId(9)]),
+/// ]);
+/// let os = OverlapSet::compute(&m);
+/// assert_eq!(os.len(), 1);
+/// assert!(os.overlapping(GroupId(2)).next().is_none());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlapSet {
+    overlaps: Vec<Overlap>,
+}
+
+impl OverlapSet {
+    /// Computes every double overlap of `membership`, in normalized pair
+    /// order (deterministic).
+    pub fn compute(membership: &Membership) -> Self {
+        let groups: Vec<GroupId> = membership.groups().collect();
+        let mut overlaps = Vec::new();
+        for (i, &a) in groups.iter().enumerate() {
+            for &b in &groups[i + 1..] {
+                let common: BTreeSet<NodeId> = membership.common_members(a, b).collect();
+                if common.len() >= 2 {
+                    overlaps.push(Overlap {
+                        pair: (a, b),
+                        members: common,
+                    });
+                }
+            }
+        }
+        OverlapSet { overlaps }
+    }
+
+    /// Number of double overlaps.
+    pub fn len(&self) -> usize {
+        self.overlaps.len()
+    }
+
+    /// Returns `true` if there are no double overlaps.
+    pub fn is_empty(&self) -> bool {
+        self.overlaps.is_empty()
+    }
+
+    /// Iterates all overlaps.
+    pub fn iter(&self) -> impl Iterator<Item = &Overlap> {
+        self.overlaps.iter()
+    }
+
+    /// Iterates the overlaps involving `group`.
+    pub fn overlapping(&self, group: GroupId) -> impl Iterator<Item = &Overlap> {
+        self.overlaps.iter().filter(move |o| o.involves(group))
+    }
+
+    /// Looks up the overlap for a specific pair (order-insensitive).
+    pub fn get(&self, a: GroupId, b: GroupId) -> Option<&Overlap> {
+        let pair = if a < b { (a, b) } else { (b, a) };
+        self.overlaps.iter().find(|o| o.pair == pair)
+    }
+}
+
+impl<'a> IntoIterator for &'a OverlapSet {
+    type Item = &'a Overlap;
+    type IntoIter = std::slice::Iter<'a, Overlap>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.overlaps.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    /// The paper's Figure 2 membership: G0={A,B,D}, G1={A,B,C}, G2={B,C,D}
+    /// with A=0, B=1, C=2, D=3.
+    fn fig2_membership() -> Membership {
+        Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(3)]),
+            (g(1), vec![n(0), n(1), n(2)]),
+            (g(2), vec![n(1), n(2), n(3)]),
+        ])
+    }
+
+    #[test]
+    fn fig2_has_three_overlaps() {
+        let os = OverlapSet::compute(&fig2_membership());
+        assert_eq!(os.len(), 3);
+        assert_eq!(
+            os.get(g(0), g(1)).unwrap().members,
+            [n(0), n(1)].into_iter().collect()
+        );
+        assert_eq!(
+            os.get(g(1), g(2)).unwrap().members,
+            [n(1), n(2)].into_iter().collect()
+        );
+        assert_eq!(
+            os.get(g(2), g(0)).unwrap().members,
+            [n(1), n(3)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn single_shared_member_is_not_double() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1)]),
+            (g(1), vec![n(1), n(2)]),
+        ]);
+        assert!(OverlapSet::compute(&m).is_empty());
+    }
+
+    #[test]
+    fn overlap_normalizes_pair_order() {
+        let o = Overlap::new(g(5), g(2), [n(0), n(1)]);
+        assert_eq!(o.pair, (g(2), g(5)));
+        assert_eq!(o.other(g(2)), g(5));
+        assert_eq!(o.other(g(5)), g(2));
+        assert!(o.involves(g(2)) && o.involves(g(5)) && !o.involves(g(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two common members")]
+    fn overlap_requires_two_members() {
+        let _ = Overlap::new(g(0), g(1), [n(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct groups")]
+    fn overlap_requires_distinct_groups() {
+        let _ = Overlap::new(g(0), g(0), [n(0), n(1)]);
+    }
+
+    #[test]
+    fn atom_group_queries() {
+        let a = Atom {
+            id: AtomId(0),
+            kind: AtomKind::Overlap(Overlap::new(g(0), g(1), [n(0), n(1)])),
+        };
+        assert_eq!(a.groups().collect::<Vec<_>>(), vec![g(0), g(1)]);
+        assert!(a.stamps(g(0)) && a.stamps(g(1)) && !a.stamps(g(2)));
+        assert!(a.overlap().is_some());
+
+        let i = Atom {
+            id: AtomId(1),
+            kind: AtomKind::IngressOnly(g(7)),
+        };
+        assert_eq!(i.groups().collect::<Vec<_>>(), vec![g(7)]);
+        assert!(i.stamps(g(7)) && !i.stamps(g(0)));
+        assert!(i.overlap().is_none());
+    }
+
+    #[test]
+    fn overlapping_filters_by_group() {
+        let os = OverlapSet::compute(&fig2_membership());
+        let for_g0: Vec<_> = os.overlapping(g(0)).map(|o| o.pair).collect();
+        assert_eq!(for_g0, vec![(g(0), g(1)), (g(0), g(2))]);
+    }
+
+    #[test]
+    fn full_occupancy_single_overlap_per_pair() {
+        // Every node in every group: all pairs double overlapped.
+        let nodes: Vec<NodeId> = (0..4).map(n).collect();
+        let m = Membership::from_groups((0..5).map(|gi| (g(gi), nodes.clone())));
+        let os = OverlapSet::compute(&m);
+        assert_eq!(os.len(), 5 * 4 / 2);
+    }
+}

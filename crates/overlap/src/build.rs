@@ -1,0 +1,824 @@
+//! Sequencing-graph construction.
+//!
+//! The paper requires a graph where each group's atoms form a single path
+//! (C1) inside a loop-free undirected graph (C2) but leaves the arrangement
+//! algorithm open ("We use a global picture of the sequencing graph and
+//! subscription matrix state to find a new sequencer arrangement that
+//! satisfies C1 and C2", §3.2). Our construction:
+//!
+//! 1. Partition atoms into connected components of the *shares-a-group*
+//!    relation. All atoms of one group land in one component, so arranging
+//!    each component separately keeps C1 satisfiable and makes the global
+//!    graph a forest (C2).
+//! 2. Arrange each component on a **chain** (a simple path). Any subset of
+//!    a chain lies on a sub-path, so C1 holds for every group trivially,
+//!    and a chain is loop-free.
+//! 3. Order the chain to minimize the total *span* of groups — atoms
+//!    between a group's first and last atom that do not stamp it are pure
+//!    transit hops, costing latency. A greedy nearest-neighbor order is
+//!    refined by a bounded local search.
+//!
+//! Every group traverses its chain left-to-right, so any link shared by two
+//! group paths is traversed in one direction only — the uniform-orientation
+//! property the correctness proof's FIFO argument needs.
+
+use crate::{Atom, AtomId, AtomKind, Overlap, OverlapSet, SequencingGraph};
+use seqnet_membership::{GroupId, Membership, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Builds valid sequencing graphs from a membership matrix.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{Membership, NodeId, GroupId};
+/// use seqnet_overlap::GraphBuilder;
+/// let m = Membership::from_groups([
+///     (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(3)]),
+///     (GroupId(1), vec![NodeId(0), NodeId(1), NodeId(2)]),
+///     (GroupId(2), vec![NodeId(1), NodeId(2), NodeId(3)]),
+/// ]);
+/// let graph = GraphBuilder::new().build(&m);
+/// graph.validate_against(&m).expect("valid graph covering all overlaps");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphBuilder {
+    optimize: bool,
+    max_passes: usize,
+    /// Local search is skipped above this many atoms per component to keep
+    /// construction near-linear on dense workloads.
+    opt_threshold: usize,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBuilder {
+    /// A builder with span optimization enabled (3 passes, threshold 800).
+    pub fn new() -> Self {
+        GraphBuilder {
+            optimize: true,
+            max_passes: 3,
+            opt_threshold: 800,
+        }
+    }
+
+    /// Disables the local-search pass; chains keep their greedy order.
+    /// Used by the ablation benchmarks.
+    pub fn without_optimization(mut self) -> Self {
+        self.optimize = false;
+        self
+    }
+
+    /// Sets the maximum number of local-search passes.
+    pub fn with_max_passes(mut self, passes: usize) -> Self {
+        self.max_passes = passes;
+        self
+    }
+
+    /// Builds a sequencing graph for `membership`.
+    ///
+    /// The result satisfies C1 and C2 by construction
+    /// ([`SequencingGraph::validate_against`] is cheap insurance in tests).
+    pub fn build(&self, membership: &Membership) -> SequencingGraph {
+        let (atoms, chains, ingress_only) = self.build_parts(membership);
+        let mut paths: BTreeMap<GroupId, Vec<AtomId>> = BTreeMap::new();
+        for chain in &chains {
+            slice_paths(chain, &atoms, &mut paths);
+        }
+        for (g, ing) in ingress_only {
+            paths.insert(g, vec![ing]);
+        }
+        SequencingGraph::from_paths(atoms, paths)
+    }
+
+    /// Shared construction core: atoms, chains of overlap atoms, and
+    /// ingress-only atoms per overlap-free group.
+    fn build_parts(
+        &self,
+        membership: &Membership,
+    ) -> (Vec<Atom>, Vec<Vec<AtomId>>, BTreeMap<GroupId, AtomId>) {
+        let overlaps = OverlapSet::compute(membership);
+        let mut atoms: Vec<Atom> = overlaps
+            .iter()
+            .enumerate()
+            .map(|(i, o)| Atom {
+                id: AtomId(i as u32),
+                kind: AtomKind::Overlap(o.clone()),
+            })
+            .collect();
+
+        let group_atoms = index_group_atoms(&atoms);
+        let chains: Vec<Vec<AtomId>> = components(&atoms, &group_atoms)
+            .into_iter()
+            .map(|comp| {
+                let mut chain = greedy_chain(&comp, &atoms, &group_atoms);
+                if self.optimize && chain.len() <= self.opt_threshold {
+                    local_search(&mut chain, &atoms, self.max_passes);
+                }
+                chain
+            })
+            .collect();
+
+        // Ingress-only sequencers for groups without overlap atoms.
+        let covered: BTreeSet<GroupId> = group_atoms.keys().copied().collect();
+        let mut ingress_only = BTreeMap::new();
+        for g in membership.groups() {
+            if membership.group_size(g) == 0 || covered.contains(&g) {
+                continue;
+            }
+            let id = AtomId(atoms.len() as u32);
+            atoms.push(Atom {
+                id,
+                kind: AtomKind::IngressOnly(g),
+            });
+            ingress_only.insert(g, id);
+        }
+        (atoms, chains, ingress_only)
+    }
+}
+
+/// For each group, its atoms (stable order).
+fn index_group_atoms(atoms: &[Atom]) -> BTreeMap<GroupId, Vec<AtomId>> {
+    let mut map: BTreeMap<GroupId, Vec<AtomId>> = BTreeMap::new();
+    for a in atoms {
+        for g in a.groups() {
+            map.entry(g).or_default().push(a.id);
+        }
+    }
+    map
+}
+
+/// Connected components of the shares-a-group relation, each sorted.
+fn components(atoms: &[Atom], group_atoms: &BTreeMap<GroupId, Vec<AtomId>>) -> Vec<Vec<AtomId>> {
+    let n = atoms.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    for members in group_atoms.values() {
+        for w in members.windows(2) {
+            let (a, b) = (find(&mut parent, w[0].index()), find(&mut parent, w[1].index()));
+            if a != b {
+                parent[a] = b;
+            }
+        }
+    }
+    let mut comps: BTreeMap<usize, Vec<AtomId>> = BTreeMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        comps.entry(root).or_default().push(AtomId(i as u32));
+    }
+    comps.into_values().collect()
+}
+
+/// Nearest-neighbor chain construction: repeatedly extend the tail with an
+/// unplaced atom sharing a group with it, preferring to finish groups with
+/// few remaining atoms so that their spans close early.
+fn greedy_chain(
+    component: &[AtomId],
+    atoms: &[Atom],
+    group_atoms: &BTreeMap<GroupId, Vec<AtomId>>,
+) -> Vec<AtomId> {
+    if component.is_empty() {
+        return Vec::new();
+    }
+    let in_component: BTreeSet<AtomId> = component.iter().copied().collect();
+    let mut unplaced: BTreeSet<AtomId> = in_component.clone();
+    // Remaining unplaced atoms per group, to prefer closing small groups.
+    let mut remaining: BTreeMap<GroupId, usize> = BTreeMap::new();
+    for (g, members) in group_atoms {
+        let count = members.iter().filter(|a| in_component.contains(a)).count();
+        if count > 0 {
+            remaining.insert(*g, count);
+        }
+    }
+
+    // Start from the atom with the fewest partners (a natural endpoint).
+    let start = *component
+        .iter()
+        .min_by_key(|&&a| {
+            atoms[a.index()]
+                .groups()
+                .map(|g| remaining.get(&g).copied().unwrap_or(0))
+                .sum::<usize>()
+        })
+        .expect("component is non-empty");
+
+    let mut chain = Vec::with_capacity(component.len());
+    fn place(
+        a: AtomId,
+        atoms: &[Atom],
+        chain: &mut Vec<AtomId>,
+        unplaced: &mut BTreeSet<AtomId>,
+        remaining: &mut BTreeMap<GroupId, usize>,
+    ) {
+        chain.push(a);
+        unplaced.remove(&a);
+        for g in atoms[a.index()].groups() {
+            if let Some(c) = remaining.get_mut(&g) {
+                *c -= 1;
+            }
+        }
+    }
+    place(start, atoms, &mut chain, &mut unplaced, &mut remaining);
+
+    while !unplaced.is_empty() {
+        let tail = *chain.last().expect("chain is non-empty");
+        // Candidates sharing a group with the tail.
+        let mut best: Option<(usize, AtomId)> = None;
+        for g in atoms[tail.index()].groups() {
+            for &cand in &group_atoms[&g] {
+                if unplaced.contains(&cand) {
+                    // Prefer candidates from nearly-finished groups.
+                    let score = atoms[cand.index()]
+                        .groups()
+                        .map(|cg| remaining.get(&cg).copied().unwrap_or(0))
+                        .min()
+                        .unwrap_or(usize::MAX);
+                    if best.is_none_or(|(s, b)| (score, cand) < (s, b)) {
+                        best = Some((score, cand));
+                    }
+                }
+            }
+        }
+        let next = match best {
+            Some((_, cand)) => cand,
+            None => {
+                // Tail's groups are exhausted; reconnect at the latest
+                // placed atom that still has an unplaced partner.
+                let mut found = None;
+                'outer: for &placed in chain.iter().rev() {
+                    for g in atoms[placed.index()].groups() {
+                        for &cand in &group_atoms[&g] {
+                            if unplaced.contains(&cand) {
+                                found = Some(cand);
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                found.expect("component is connected, a partner must exist")
+            }
+        };
+        place(next, atoms, &mut chain, &mut unplaced, &mut remaining);
+    }
+    chain
+}
+
+/// Sum over groups of the span their atoms occupy on the chain. Spans in
+/// excess of the group's atom count are transit hops.
+fn total_span(chain: &[AtomId], atoms: &[Atom]) -> usize {
+    let mut first: BTreeMap<GroupId, usize> = BTreeMap::new();
+    let mut last: BTreeMap<GroupId, usize> = BTreeMap::new();
+    for (i, &a) in chain.iter().enumerate() {
+        for g in atoms[a.index()].groups() {
+            first.entry(g).or_insert(i);
+            last.insert(g, i);
+        }
+    }
+    first.iter().map(|(g, &f)| last[g] - f).sum()
+}
+
+/// Bounded best-improvement local search: try relocating each atom next to
+/// a partner (an atom sharing one of its groups) and keep the best
+/// span-reducing move; repeat for at most `max_passes` passes.
+fn local_search(chain: &mut Vec<AtomId>, atoms: &[Atom], max_passes: usize) {
+    if chain.len() < 3 {
+        return;
+    }
+    let mut current = total_span(chain, atoms);
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for i in 0..chain.len() {
+            let a = chain[i];
+            // Candidate destinations: adjacent to any partner of `a`.
+            let groups: Vec<GroupId> = atoms[a.index()].groups().collect();
+            let mut candidates: BTreeSet<usize> = BTreeSet::new();
+            for (j, &b) in chain.iter().enumerate() {
+                if j != i && atoms[b.index()].groups().any(|g| groups.contains(&g)) {
+                    candidates.insert(j);
+                    candidates.insert(j + 1);
+                }
+            }
+            let mut best: Option<(usize, usize)> = None; // (span, dest)
+            for &dest in &candidates {
+                if dest == i || dest == i + 1 {
+                    continue;
+                }
+                let mut trial = chain.clone();
+                let atom = trial.remove(i);
+                let adj = if dest > i { dest - 1 } else { dest };
+                trial.insert(adj, atom);
+                let span = total_span(&trial, atoms);
+                if span < current && best.is_none_or(|(s, _)| span < s) {
+                    best = Some((span, dest));
+                }
+            }
+            if let Some((span, dest)) = best {
+                let atom = chain.remove(i);
+                let adj = if dest > i { dest - 1 } else { dest };
+                chain.insert(adj, atom);
+                current = span;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Derives each group's path (the sub-chain between its first and last
+/// atom) and adds it to `paths`.
+fn slice_paths(chain: &[AtomId], atoms: &[Atom], paths: &mut BTreeMap<GroupId, Vec<AtomId>>) {
+    let mut first: BTreeMap<GroupId, usize> = BTreeMap::new();
+    let mut last: BTreeMap<GroupId, usize> = BTreeMap::new();
+    for (i, &a) in chain.iter().enumerate() {
+        for g in atoms[a.index()].groups() {
+            first.entry(g).or_insert(i);
+            last.insert(g, i);
+        }
+    }
+    for (g, &f) in &first {
+        let l = last[g];
+        paths.insert(*g, chain[f..=l].to_vec());
+    }
+}
+
+/// A sequencing graph that tracks membership changes incrementally.
+///
+/// Adding a group merges the affected chains and inserts the new atoms next
+/// to their partner groups' spans; removing a group retires its atoms
+/// lazily (they keep forwarding as transit hops), mirroring the paper's
+/// termination-message semantics (§3.2). Group membership *changes* are
+/// modeled as remove + add, as the paper prescribes.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{NodeId, GroupId};
+/// use seqnet_overlap::GraphBuilder;
+/// let mut dyng = GraphBuilder::new().dynamic();
+/// dyng.add_group(GroupId(0), [NodeId(0), NodeId(1), NodeId(2)]);
+/// dyng.add_group(GroupId(1), [NodeId(1), NodeId(2)]);
+/// let graph = dyng.graph();
+/// graph.validate().expect("incrementally built graph is valid");
+/// assert_eq!(graph.num_overlap_atoms(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    membership: Membership,
+    atoms: Vec<Atom>,
+    chains: Vec<Vec<AtomId>>,
+    retired: BTreeSet<AtomId>,
+    /// Ingress-only atom of groups that currently lack overlap atoms.
+    ingress_only: BTreeMap<GroupId, AtomId>,
+    optimize: bool,
+    max_passes: usize,
+    opt_threshold: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty [`DynamicGraph`] sharing this builder's
+    /// optimization settings.
+    pub fn dynamic(&self) -> DynamicGraph {
+        DynamicGraph {
+            membership: Membership::new(),
+            atoms: Vec::new(),
+            chains: Vec::new(),
+            retired: BTreeSet::new(),
+            ingress_only: BTreeMap::new(),
+            optimize: self.optimize,
+            max_passes: self.max_passes,
+            opt_threshold: self.opt_threshold,
+        }
+    }
+}
+
+impl DynamicGraph {
+    /// The current membership matrix.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Total atoms ever created (including retired ones).
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of retired atoms still occupying chain slots.
+    pub fn num_retired(&self) -> usize {
+        self.retired.len()
+    }
+
+    /// Adds a group with the given members, updating the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group already exists.
+    pub fn add_group(&mut self, group: GroupId, members: impl IntoIterator<Item = NodeId>) {
+        assert!(
+            self.membership.group_size(group) == 0,
+            "{group} already exists; remove it first (membership change = remove + add)"
+        );
+        let members: Vec<NodeId> = members.into_iter().collect();
+        for &m in &members {
+            self.membership.subscribe(m, group);
+        }
+
+        // New overlaps: only pairs involving the new group can change.
+        let mut new_atoms: Vec<(GroupId, Overlap)> = Vec::new();
+        for other in self.membership.groups().collect::<Vec<_>>() {
+            if other == group {
+                continue;
+            }
+            let common: BTreeSet<NodeId> = self.membership.common_members(group, other).collect();
+            if common.len() >= 2 {
+                new_atoms.push((other, Overlap::new(group, other, common)));
+            }
+        }
+
+        if new_atoms.is_empty() {
+            // No overlaps: the group gets an ingress-only sequencer.
+            let id = self.fresh_atom(AtomKind::IngressOnly(group));
+            self.ingress_only.insert(group, id);
+            return;
+        }
+
+        // Merge every chain hosting a live atom of a partner group.
+        let mut involved: BTreeSet<usize> = BTreeSet::new();
+        for (other, _) in &new_atoms {
+            if let Some(ci) = self.chain_of_group(*other) {
+                involved.insert(ci);
+            }
+        }
+        let mut merged: Vec<AtomId> = Vec::new();
+        for &ci in &involved {
+            merged.extend(std::mem::take(&mut self.chains[ci]));
+        }
+        self.chains.retain(|c| !c.is_empty());
+
+        // Insert each new atom right after its partner group's last live
+        // atom in the merged chain (or append when the partner had none).
+        for (other, overlap) in new_atoms {
+            let id = self.fresh_atom(AtomKind::Overlap(overlap));
+            let insert_at = merged
+                .iter()
+                .rposition(|&a| {
+                    !self.retired.contains(&a) && self.atoms[a.index()].stamps(other)
+                })
+                .map(|p| p + 1)
+                .unwrap_or(merged.len());
+            merged.insert(insert_at, id);
+            // The partner now has an overlap atom; its ingress-only
+            // sequencer (if any) is replaced (paper §3.2, Figure 1).
+            if let Some(ing) = self.ingress_only.remove(&other) {
+                self.retired.insert(ing);
+            }
+        }
+        if let Some(ing) = self.ingress_only.remove(&group) {
+            self.retired.insert(ing);
+        }
+
+        if self.optimize && merged.len() <= self.opt_threshold {
+            // Re-optimize only with live atoms pinned? Full local search on
+            // the merged chain; retired atoms carry no span weight.
+            local_search_live(&mut merged, &self.atoms, &self.retired, self.max_passes);
+        }
+        self.chains.push(merged);
+    }
+
+    /// Removes a group: its overlap atoms retire (the overlaps are gone)
+    /// and partners left without live atoms regain ingress-only
+    /// sequencers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group does not exist.
+    pub fn remove_group(&mut self, group: GroupId) {
+        assert!(
+            self.membership.group_size(group) > 0 || self.ingress_only.contains_key(&group),
+            "{group} does not exist"
+        );
+        self.membership.remove_group(group);
+        if let Some(ing) = self.ingress_only.remove(&group) {
+            self.retired.insert(ing);
+        }
+        let mut orphaned_partners: BTreeSet<GroupId> = BTreeSet::new();
+        for atom in &self.atoms {
+            if self.retired.contains(&atom.id) {
+                continue;
+            }
+            if let Some(o) = atom.overlap() {
+                if o.involves(group) {
+                    self.retired.insert(atom.id);
+                    orphaned_partners.insert(o.other(group));
+                }
+            }
+        }
+        // Partners whose last live atom just retired need ingress-only
+        // sequencers again.
+        for partner in orphaned_partners {
+            if self.membership.group_size(partner) == 0 {
+                continue;
+            }
+            let has_live = self.atoms.iter().any(|a| {
+                !self.retired.contains(&a.id) && a.overlap().is_some() && a.stamps(partner)
+            });
+            if !has_live && !self.ingress_only.contains_key(&partner) {
+                let id = self.fresh_atom(AtomKind::IngressOnly(partner));
+                self.ingress_only.insert(partner, id);
+            }
+        }
+    }
+
+    /// Compacts the graph: drops retired atoms and rebuilds from the
+    /// current membership (the eager counterpart of lazy retirement).
+    pub fn compact(&mut self) {
+        let builder = GraphBuilder {
+            optimize: self.optimize,
+            max_passes: self.max_passes,
+            opt_threshold: self.opt_threshold,
+        };
+        let (atoms, chains, ingress_only) = builder.build_parts(&self.membership);
+        self.atoms = atoms;
+        self.chains = chains;
+        self.ingress_only = ingress_only;
+        self.retired.clear();
+    }
+
+    /// Materializes the current [`SequencingGraph`].
+    pub fn graph(&self) -> SequencingGraph {
+        let mut paths: BTreeMap<GroupId, Vec<AtomId>> = BTreeMap::new();
+        for chain in &self.chains {
+            // Slice spans using only live stamps; retired atoms inside a
+            // span remain as transit hops.
+            let mut first: BTreeMap<GroupId, usize> = BTreeMap::new();
+            let mut last: BTreeMap<GroupId, usize> = BTreeMap::new();
+            for (i, &a) in chain.iter().enumerate() {
+                if self.retired.contains(&a) {
+                    continue;
+                }
+                for g in self.atoms[a.index()].groups() {
+                    first.entry(g).or_insert(i);
+                    last.insert(g, i);
+                }
+            }
+            for (g, &f) in &first {
+                paths.insert(*g, chain[f..=last[g]].to_vec());
+            }
+        }
+        for (&g, &ing) in &self.ingress_only {
+            paths.insert(g, vec![ing]);
+        }
+        let mut graph = SequencingGraph::from_paths(self.atoms.clone(), paths);
+        for &r in &self.retired {
+            graph.retire(r);
+        }
+        graph
+    }
+
+    fn fresh_atom(&mut self, kind: AtomKind) -> AtomId {
+        let id = AtomId(self.atoms.len() as u32);
+        self.atoms.push(Atom { id, kind });
+        id
+    }
+
+    fn chain_of_group(&self, group: GroupId) -> Option<usize> {
+        self.chains.iter().position(|c| {
+            c.iter().any(|&a| {
+                !self.retired.contains(&a) && self.atoms[a.index()].stamps(group)
+                    && self.atoms[a.index()].overlap().is_some()
+            })
+        })
+    }
+}
+
+/// Local search variant where retired atoms contribute no span.
+fn local_search_live(
+    chain: &mut Vec<AtomId>,
+    atoms: &[Atom],
+    retired: &BTreeSet<AtomId>,
+    max_passes: usize,
+) {
+    // Drop retired atoms entirely: they stamp nothing, so they are pure
+    // overhead wherever they sit; removing them shortens every span.
+    chain.retain(|a| !retired.contains(a));
+    local_search(chain, atoms, max_passes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seqnet_membership::workload::{OccupancyGroups, ZipfGroups};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    fn fig2_membership() -> Membership {
+        Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(3)]),
+            (g(1), vec![n(0), n(1), n(2)]),
+            (g(2), vec![n(1), n(2), n(3)]),
+        ])
+    }
+
+    #[test]
+    fn fig2_build_is_valid_chain() {
+        let m = fig2_membership();
+        let graph = GraphBuilder::new().build(&m);
+        graph.validate_against(&m).expect("valid");
+        assert_eq!(graph.num_overlap_atoms(), 3);
+        // Three atoms on a chain: exactly 2 edges.
+        assert_eq!(graph.edges().len(), 2);
+    }
+
+    #[test]
+    fn groups_without_overlaps_get_ingress_only() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1)]),
+            (g(1), vec![n(2), n(3)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        graph.validate_against(&m).expect("valid");
+        assert_eq!(graph.num_overlap_atoms(), 0);
+        assert_eq!(graph.num_atoms(), 2, "one ingress-only atom per group");
+        assert_eq!(graph.path(g(0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn zipf_workloads_build_valid_graphs() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = ZipfGroups::new(64, 16).sample(&mut rng);
+            let graph = GraphBuilder::new().build(&m);
+            graph
+                .validate_against(&m)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn dense_occupancy_builds_valid_graphs() {
+        for &occ in &[0.1, 0.3, 0.7, 1.0] {
+            let mut rng = StdRng::seed_from_u64(31);
+            let m = OccupancyGroups::new(24, 8, occ).sample(&mut rng);
+            let graph = GraphBuilder::new().build(&m);
+            graph
+                .validate_against(&m)
+                .unwrap_or_else(|e| panic!("occupancy {occ}: {e}"));
+        }
+    }
+
+    #[test]
+    fn optimization_never_increases_span() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = OccupancyGroups::new(20, 8, 0.4).sample(&mut rng);
+            let raw = GraphBuilder::new().without_optimization().build(&m);
+            let opt = GraphBuilder::new().build(&m);
+            let span_of = |graph: &SequencingGraph| -> usize {
+                graph.paths().map(|(_, p)| p.len()).sum()
+            };
+            assert!(
+                span_of(&opt) <= span_of(&raw),
+                "seed {seed}: optimized {} > raw {}",
+                span_of(&opt),
+                span_of(&raw)
+            );
+            opt.validate_against(&m).expect("optimized graph valid");
+        }
+    }
+
+    #[test]
+    fn separate_components_stay_separate() {
+        // Two independent cliques: their atoms must not share a chain edge.
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(0), n(1), n(2)]),
+            (g(2), vec![n(10), n(11), n(12)]),
+            (g(3), vec![n(10), n(11), n(12)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        graph.validate_against(&m).expect("valid");
+        assert_eq!(graph.num_overlap_atoms(), 2);
+        assert!(graph.edges().is_empty(), "two singleton chains have no edges");
+    }
+
+    #[test]
+    fn dynamic_matches_batch_for_adds() {
+        let mut dyng = GraphBuilder::new().dynamic();
+        dyng.add_group(g(0), [n(0), n(1), n(3)]);
+        dyng.add_group(g(1), [n(0), n(1), n(2)]);
+        dyng.add_group(g(2), [n(1), n(2), n(3)]);
+        let graph = dyng.graph();
+        graph
+            .validate_against(&fig2_membership())
+            .expect("incremental result valid");
+        assert_eq!(graph.num_overlap_atoms(), 3);
+    }
+
+    #[test]
+    fn dynamic_remove_retires_atoms() {
+        let mut dyng = GraphBuilder::new().dynamic();
+        dyng.add_group(g(0), [n(0), n(1)]);
+        dyng.add_group(g(1), [n(0), n(1)]);
+        assert_eq!(dyng.graph().num_overlap_atoms(), 1);
+        dyng.remove_group(g(1));
+        let graph = dyng.graph();
+        graph.validate().expect("valid after removal");
+        assert_eq!(graph.num_overlap_atoms(), 0, "overlap atom retired");
+        // g0 survives and regains an ingress-only sequencer.
+        assert!(graph.path(g(0)).is_some());
+        assert_eq!(dyng.num_retired(), 2, "overlap atom + g1 had no ingress atom");
+    }
+
+    #[test]
+    fn dynamic_membership_change_via_remove_add() {
+        let mut dyng = GraphBuilder::new().dynamic();
+        dyng.add_group(g(0), [n(0), n(1), n(2)]);
+        dyng.add_group(g(1), [n(1), n(2)]);
+        dyng.remove_group(g(1));
+        dyng.add_group(g(1), [n(0), n(1), n(5)]);
+        let graph = dyng.graph();
+        graph.validate_against(dyng.membership()).expect("valid");
+        assert_eq!(graph.num_overlap_atoms(), 1);
+    }
+
+    #[test]
+    fn dynamic_random_churn_stays_valid() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut dyng = GraphBuilder::new().dynamic();
+        let mut live: Vec<GroupId> = Vec::new();
+        let mut next_group = 0u32;
+        for step in 0..60 {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let gid = g(next_group);
+                next_group += 1;
+                let size = rng.gen_range(1..6);
+                let members: BTreeSet<NodeId> =
+                    (0..size).map(|_| n(rng.gen_range(0..12))).collect();
+                dyng.add_group(gid, members);
+                live.push(gid);
+            } else {
+                let idx = rng.gen_range(0..live.len());
+                let gid = live.swap_remove(idx);
+                dyng.remove_group(gid);
+            }
+            let graph = dyng.graph();
+            graph
+                .validate_against(dyng.membership())
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
+    }
+
+    #[test]
+    fn compact_drops_retired_atoms() {
+        let mut dyng = GraphBuilder::new().dynamic();
+        dyng.add_group(g(0), [n(0), n(1)]);
+        dyng.add_group(g(1), [n(0), n(1)]);
+        dyng.add_group(g(2), [n(0), n(1)]);
+        dyng.remove_group(g(2));
+        assert!(dyng.num_retired() > 0);
+        dyng.compact();
+        assert_eq!(dyng.num_retired(), 0);
+        let graph = dyng.graph();
+        graph.validate_against(dyng.membership()).expect("valid after compact");
+        assert_eq!(graph.num_overlap_atoms(), 1);
+    }
+
+    #[test]
+    fn chain_covers_every_atom_exactly_once() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = OccupancyGroups::new(16, 6, 0.5).sample(&mut rng);
+        let graph = GraphBuilder::new().build(&m);
+        // Each overlap atom appears on the paths of exactly its two groups
+        // (as a stamper) and possibly more (as transit).
+        for atom in graph.atoms() {
+            if let Some(o) = atom.overlap() {
+                for gr in [o.pair.0, o.pair.1] {
+                    assert!(
+                        graph.path(gr).unwrap().contains(&atom.id),
+                        "{} missing from {gr}",
+                        atom.id
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Atom-to-sequencing-node co-location (paper §3.4, steps 1 and 2).
+//!
+//! Sequencing atoms are virtual; placing related atoms on the same machine
+//! avoids needless network hops. The paper's two-step heuristic:
+//!
+//! 1. Co-locate atoms whose overlap member-sets have a **subset**
+//!    relationship.
+//! 2. For each remaining overlap, pick one of its members at random and
+//!    co-locate every overlap containing that member — each atom may be
+//!    pulled into such a step-2 co-location only once.
+//!
+//! Because every atom on a sequencing node then shares at least one
+//! subscriber, "the load of this member is an upper bound for the load on
+//! any sequencing node that lies on the path to it" (§4.3) — the protocol's
+//! scalability argument.
+
+use crate::{AtomId, SequencingGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use seqnet_membership::NodeId;
+use std::collections::BTreeMap;
+
+/// A sequencing node: a set of co-located atoms that will share a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencingNode {
+    /// The atoms hosted by this node, ascending.
+    pub atoms: Vec<AtomId>,
+    /// `true` if the node hosts only an ingress-only sequencer. The
+    /// evaluation excludes such nodes from sequencing-node counts because
+    /// they grow (at most) linearly with groups (§4.3).
+    pub ingress_only: bool,
+}
+
+/// The result of co-location: a partition of atoms into sequencing nodes.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_membership::{Membership, NodeId, GroupId};
+/// use seqnet_overlap::{GraphBuilder, Colocation};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let m = Membership::from_groups([
+///     (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(2)]),
+///     (GroupId(1), vec![NodeId(0), NodeId(1), NodeId(2)]),
+///     (GroupId(2), vec![NodeId(0), NodeId(1)]),
+/// ]);
+/// let graph = GraphBuilder::new().build(&m);
+/// let coloc = Colocation::compute(&graph, &mut StdRng::seed_from_u64(0));
+/// // {0,1} ⊂ {0,1,2}: subset rule packs everything onto one node.
+/// assert_eq!(coloc.num_overlap_nodes(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Colocation {
+    nodes: Vec<SequencingNode>,
+    atom_node: BTreeMap<AtomId, usize>,
+}
+
+impl Colocation {
+    /// Runs the two-step heuristic on the live overlap atoms of `graph`.
+    /// Ingress-only atoms each get a singleton node. Retired atoms are not
+    /// assigned to any node.
+    #[allow(clippy::needless_range_loop)] // indexed form reads clearer here
+    pub fn compute<R: Rng>(graph: &SequencingGraph, rng: &mut R) -> Self {
+        let overlap_atoms: Vec<AtomId> = graph
+            .atoms()
+            .iter()
+            .filter(|a| a.overlap().is_some() && !graph.is_retired(a.id))
+            .map(|a| a.id)
+            .collect();
+
+        let n = overlap_atoms.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        };
+
+        // Step 1: subset relationship between overlap member sets.
+        for i in 0..n {
+            let mi = &graph.atom(overlap_atoms[i]).overlap().expect("overlap atom").members;
+            for j in (i + 1)..n {
+                let mj = &graph.atom(overlap_atoms[j]).overlap().expect("overlap atom").members;
+                if mi.is_subset(mj) || mj.is_subset(mi) {
+                    union(&mut parent, i, j);
+                }
+            }
+        }
+
+        // Step 2: co-locate overlaps sharing a randomly chosen member; each
+        // atom participates in at most one such merge.
+        let mut colocated_once = vec![false; n];
+        for i in 0..n {
+            if colocated_once[i] {
+                continue;
+            }
+            let members: Vec<NodeId> = graph
+                .atom(overlap_atoms[i])
+                .overlap()
+                .expect("overlap atom")
+                .members
+                .iter()
+                .copied()
+                .collect();
+            let chosen = *members.choose(rng).expect("overlaps have members");
+            colocated_once[i] = true;
+            for j in 0..n {
+                if j == i || colocated_once[j] {
+                    continue;
+                }
+                let mj = &graph.atom(overlap_atoms[j]).overlap().expect("overlap atom").members;
+                if mj.contains(&chosen) {
+                    union(&mut parent, i, j);
+                    colocated_once[j] = true;
+                }
+            }
+        }
+
+        // Materialize clusters.
+        let mut cluster_atoms: BTreeMap<usize, Vec<AtomId>> = BTreeMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            cluster_atoms.entry(root).or_default().push(overlap_atoms[i]);
+        }
+        let mut nodes: Vec<SequencingNode> = cluster_atoms
+            .into_values()
+            .map(|atoms| SequencingNode {
+                atoms,
+                ingress_only: false,
+            })
+            .collect();
+
+        // Singleton nodes for ingress-only atoms.
+        for a in graph.atoms() {
+            if a.overlap().is_none() && !graph.is_retired(a.id) {
+                nodes.push(SequencingNode {
+                    atoms: vec![a.id],
+                    ingress_only: true,
+                });
+            }
+        }
+
+        let mut atom_node = BTreeMap::new();
+        for (idx, node) in nodes.iter().enumerate() {
+            for &a in &node.atoms {
+                atom_node.insert(a, idx);
+            }
+        }
+        Colocation { nodes, atom_node }
+    }
+
+    /// The ablation baseline: every atom on its own sequencing node.
+    pub fn scattered(graph: &SequencingGraph) -> Self {
+        let nodes: Vec<SequencingNode> = graph
+            .atoms()
+            .iter()
+            .filter(|a| !graph.is_retired(a.id))
+            .map(|a| SequencingNode {
+                atoms: vec![a.id],
+                ingress_only: a.overlap().is_none(),
+            })
+            .collect();
+        let mut atom_node = BTreeMap::new();
+        for (idx, node) in nodes.iter().enumerate() {
+            atom_node.insert(node.atoms[0], idx);
+        }
+        Colocation { nodes, atom_node }
+    }
+
+    /// All sequencing nodes.
+    pub fn nodes(&self) -> &[SequencingNode] {
+        &self.nodes
+    }
+
+    /// The sequencing node hosting `atom`, if the atom is live.
+    pub fn node_of(&self, atom: AtomId) -> Option<usize> {
+        self.atom_node.get(&atom).copied()
+    }
+
+    /// Number of sequencing nodes hosting at least one overlap atom
+    /// (the quantity plotted in the paper's Figures 5 and 8).
+    pub fn num_overlap_nodes(&self) -> usize {
+        self.nodes.iter().filter(|sn| !sn.ingress_only).count()
+    }
+
+    /// Total number of nodes including ingress-only singletons.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seqnet_membership::{GroupId, Membership};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    #[test]
+    fn subset_overlaps_share_a_node() {
+        // overlap(G0,G1) = {0,1,2}; overlap(G0,G2) = overlap(G1,G2) = {0,1}.
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(0), n(1), n(2)]),
+            (g(2), vec![n(0), n(1)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        assert_eq!(graph.num_overlap_atoms(), 3);
+        let coloc = Colocation::compute(&graph, &mut StdRng::seed_from_u64(1));
+        assert_eq!(coloc.num_overlap_nodes(), 1, "subset rule packs all atoms");
+    }
+
+    #[test]
+    fn disjoint_overlaps_stay_apart() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1)]),
+            (g(1), vec![n(0), n(1)]),
+            (g(2), vec![n(10), n(11)]),
+            (g(3), vec![n(10), n(11)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        let coloc = Colocation::compute(&graph, &mut StdRng::seed_from_u64(1));
+        assert_eq!(coloc.num_overlap_nodes(), 2, "no shared member, no merge");
+    }
+
+    #[test]
+    fn shared_member_may_merge_in_step2() {
+        // Two overlaps sharing node 1 but with no subset relation:
+        // {0,1} and {1,2}.
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(7)]),
+            (g(1), vec![n(0), n(1), n(6)]),
+            (g(2), vec![n(1), n(2), n(5)]),
+            (g(3), vec![n(1), n(2), n(4)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        assert_eq!(graph.num_overlap_atoms(), 2);
+        // With some seed choosing node 1 for the first overlap, both merge.
+        let merged = (0..64).any(|seed| {
+            let coloc = Colocation::compute(&graph, &mut StdRng::seed_from_u64(seed));
+            coloc.num_overlap_nodes() == 1
+        });
+        assert!(merged, "some random choice merges via the shared member");
+    }
+
+    #[test]
+    fn every_live_atom_assigned_exactly_once() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2), n(3)]),
+            (g(1), vec![n(0), n(1), n(4)]),
+            (g(2), vec![n(2), n(3), n(4), n(0)]),
+            (g(3), vec![n(5), n(6)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        let coloc = Colocation::compute(&graph, &mut StdRng::seed_from_u64(5));
+        let mut seen = std::collections::BTreeSet::new();
+        for node in coloc.nodes() {
+            for &a in &node.atoms {
+                assert!(seen.insert(a), "atom {a} assigned twice");
+                assert_eq!(coloc.node_of(a), Some(coloc.nodes().iter().position(|sn| sn.atoms.contains(&a)).unwrap()));
+            }
+        }
+        let live = graph
+            .atoms()
+            .iter()
+            .filter(|a| !graph.is_retired(a.id))
+            .count();
+        assert_eq!(seen.len(), live);
+    }
+
+    #[test]
+    fn ingress_only_nodes_flagged_and_excluded() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1)]),
+            (g(1), vec![n(5), n(6)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        let coloc = Colocation::compute(&graph, &mut StdRng::seed_from_u64(0));
+        assert_eq!(coloc.num_overlap_nodes(), 0);
+        assert_eq!(coloc.num_nodes(), 2);
+        assert!(coloc.nodes().iter().all(|sn| sn.ingress_only));
+    }
+
+    #[test]
+    fn scattered_gives_one_node_per_atom() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(0), n(1), n(2)]),
+            (g(2), vec![n(0), n(1)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        let coloc = Colocation::scattered(&graph);
+        assert_eq!(coloc.num_overlap_nodes(), 3);
+    }
+
+    #[test]
+    fn retired_atoms_not_assigned() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1)]),
+            (g(1), vec![n(0), n(1)]),
+        ]);
+        let mut graph = GraphBuilder::new().build(&m);
+        let atom = graph.atoms()[0].id;
+        graph.retire(atom);
+        let coloc = Colocation::compute(&graph, &mut StdRng::seed_from_u64(0));
+        assert_eq!(coloc.node_of(atom), None);
+        assert_eq!(coloc.num_overlap_nodes(), 0);
+    }
+
+    #[test]
+    fn colocated_node_atoms_share_a_member() {
+        // The scalability invariant (§4.3): all overlaps co-located by the
+        // heuristic's step 2 share a member. (Step-1 subset chains always
+        // share members pairwise through the subset relation.)
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2), n(3), n(4)]),
+            (g(1), vec![n(0), n(1), n(2), n(5)]),
+            (g(2), vec![n(2), n(3), n(4), n(5)]),
+            (g(3), vec![n(0), n(4), n(5), n(1)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        let coloc = Colocation::compute(&graph, &mut StdRng::seed_from_u64(3));
+        for node in coloc.nodes().iter().filter(|sn| sn.atoms.len() > 1) {
+            // Both merge rules (subset, shared chosen member) only join
+            // atoms with a common member, so within a node the
+            // shares-a-member relation must be connected.
+            let k = node.atoms.len();
+            let mut reached = vec![false; k];
+            reached[0] = true;
+            let mut frontier = vec![0usize];
+            while let Some(i) = frontier.pop() {
+                let mi = &graph.atom(node.atoms[i]).overlap().unwrap().members;
+                #[allow(clippy::needless_range_loop)] // parallel-indexing is the clear form
+                for j in 0..k {
+                    if !reached[j] {
+                        let mj = &graph.atom(node.atoms[j]).overlap().unwrap().members;
+                        if mi.intersection(mj).next().is_some() {
+                            reached[j] = true;
+                            frontier.push(j);
+                        }
+                    }
+                }
+            }
+            assert!(
+                reached.iter().all(|&r| r),
+                "node {:?} not connected under shares-a-member",
+                node.atoms
+            );
+        }
+    }
+}

@@ -1,0 +1,627 @@
+//! The sequencing graph: atoms arranged so C1 and C2 hold.
+
+use crate::{Atom, AtomId};
+#[cfg(test)]
+use crate::AtomKind;
+use seqnet_membership::{GroupId, Membership, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the sequencing-graph conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A group's path references an atom that does not exist.
+    UnknownAtom {
+        /// The group whose path is broken.
+        group: GroupId,
+        /// The missing atom.
+        atom: AtomId,
+    },
+    /// A group's path visits the same atom twice (not a simple path).
+    DuplicateAtomOnPath {
+        /// The group whose path is broken.
+        group: GroupId,
+        /// The repeated atom.
+        atom: AtomId,
+    },
+    /// C1 violated: an atom stamps a group but is absent from its path.
+    StamperNotOnPath {
+        /// The group missing a stamper.
+        group: GroupId,
+        /// The stamping atom not on the group's path.
+        atom: AtomId,
+    },
+    /// A group has no sequencing path at all.
+    MissingPath {
+        /// The group without a path.
+        group: GroupId,
+    },
+    /// C2 violated: the undirected sequencing graph contains a cycle.
+    CycleDetected {
+        /// An edge that closes a cycle.
+        edge: (AtomId, AtomId),
+    },
+    /// Two group paths traverse the same link in opposite directions,
+    /// which breaks the FIFO arrival-order propagation the correctness
+    /// proof relies on (paper §3.3).
+    InconsistentOrientation {
+        /// The link traversed both ways.
+        edge: (AtomId, AtomId),
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownAtom { group, atom } => {
+                write!(f, "path of {group} references unknown atom {atom}")
+            }
+            GraphError::DuplicateAtomOnPath { group, atom } => {
+                write!(f, "path of {group} visits {atom} twice")
+            }
+            GraphError::StamperNotOnPath { group, atom } => {
+                write!(f, "atom {atom} stamps {group} but is not on its path (C1)")
+            }
+            GraphError::MissingPath { group } => {
+                write!(f, "{group} has no sequencing path")
+            }
+            GraphError::CycleDetected { edge } => {
+                write!(f, "edge {}-{} closes a cycle (C2)", edge.0, edge.1)
+            }
+            GraphError::InconsistentOrientation { edge } => {
+                write!(f, "link {}-{} traversed in both directions", edge.0, edge.1)
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An arrangement of sequencing atoms plus, for every group, the ordered
+/// path its messages traverse.
+///
+/// A group's path contains *all* atoms that stamp the group (condition C1)
+/// and possibly *transit* atoms that forward without stamping — the paper's
+/// proof of Theorem 1 explicitly routes message `m3` through sequencer `Q1`
+/// "although it does not receive a sequence number from it."
+///
+/// Construct valid graphs with [`crate::GraphBuilder`]; the raw
+/// [`SequencingGraph::from_paths`] constructor accepts arbitrary (possibly
+/// invalid) arrangements so that C2 violations, such as the circular
+/// dependency of the paper's Figure 2(a), can be demonstrated.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SequencingGraph {
+    atoms: Vec<Atom>,
+    paths: BTreeMap<GroupId, Vec<AtomId>>,
+    retired: BTreeSet<AtomId>,
+}
+
+impl SequencingGraph {
+    /// Builds a graph from explicit atoms and per-group paths, without
+    /// validation. Atom ids must be dense (`atoms[i].id == AtomId(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if atom ids are not dense and in order.
+    pub fn from_paths(
+        atoms: Vec<Atom>,
+        paths: impl IntoIterator<Item = (GroupId, Vec<AtomId>)>,
+    ) -> Self {
+        for (i, a) in atoms.iter().enumerate() {
+            assert_eq!(a.id.index(), i, "atom ids must be dense and ordered");
+        }
+        SequencingGraph {
+            atoms,
+            paths: paths.into_iter().collect(),
+            retired: BTreeSet::new(),
+        }
+    }
+
+    /// All atoms, indexed by [`AtomId`].
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Looks up an atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn atom(&self, id: AtomId) -> &Atom {
+        &self.atoms[id.index()]
+    }
+
+    /// Number of atoms, including ingress-only and retired ones.
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of live (non-retired) overlap atoms.
+    pub fn num_overlap_atoms(&self) -> usize {
+        self.atoms
+            .iter()
+            .filter(|a| a.overlap().is_some() && !self.is_retired(a.id))
+            .count()
+    }
+
+    /// The ordered sequencing path of `group` (stampers and transit atoms).
+    pub fn path(&self, group: GroupId) -> Option<&[AtomId]> {
+        self.paths.get(&group).map(Vec::as_slice)
+    }
+
+    /// Iterates `(group, path)` pairs in group order.
+    pub fn paths(&self) -> impl Iterator<Item = (GroupId, &[AtomId])> {
+        self.paths.iter().map(|(g, p)| (*g, p.as_slice()))
+    }
+
+    /// The ingress atom of `group`: the first atom on its path, which
+    /// assigns the group-local sequence numbers.
+    pub fn ingress(&self, group: GroupId) -> Option<AtomId> {
+        self.paths.get(&group).and_then(|p| p.first().copied())
+    }
+
+    /// The atoms on `group`'s path that actually stamp its messages
+    /// (i.e. overlap atoms involving the group), in path order. Retired
+    /// atoms no longer stamp.
+    pub fn stampers(&self, group: GroupId) -> Vec<AtomId> {
+        self.paths
+            .get(&group)
+            .map(|p| {
+                p.iter()
+                    .copied()
+                    .filter(|&a| {
+                        !self.is_retired(a) && self.atoms[a.index()].overlap().is_some()
+                            && self.atoms[a.index()].stamps(group)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The atoms *relevant* to a subscriber: overlap atoms whose common-
+    /// member set contains the node. A relevant atom stamps exactly the
+    /// messages of two groups the node belongs to, so the node observes
+    /// every number the atom assigns and can demand continuity
+    /// (paper §3.2: "This sequencer is relevant for all nodes in G0 ∩ G1;
+    /// the rest need only use the group-local sequence number").
+    pub fn relevant_atoms(&self, node: NodeId) -> Vec<AtomId> {
+        self.atoms
+            .iter()
+            .filter(|a| !self.is_retired(a.id))
+            .filter(|a| a.overlap().is_some_and(|o| o.members.contains(&node)))
+            .map(|a| a.id)
+            .collect()
+    }
+
+    /// Marks an atom retired: it keeps forwarding but stops stamping
+    /// (paper §3.2's lazy removal — "adding ignored sequence numbers to a
+    /// message does not hurt correctness, only efficiency").
+    pub fn retire(&mut self, atom: AtomId) {
+        self.retired.insert(atom);
+    }
+
+    /// Returns `true` if the atom has been retired.
+    pub fn is_retired(&self, atom: AtomId) -> bool {
+        self.retired.contains(&atom)
+    }
+
+    /// Removes `group`'s path (e.g. after a termination message). Atoms
+    /// are not removed; callers should [`SequencingGraph::retire`] the
+    /// atoms whose overlap vanished.
+    pub fn remove_path(&mut self, group: GroupId) -> Option<Vec<AtomId>> {
+        self.paths.remove(&group)
+    }
+
+    /// The undirected links of the sequencing graph: consecutive pairs of
+    /// every path, deduplicated and normalized (`a < b`).
+    pub fn edges(&self) -> BTreeSet<(AtomId, AtomId)> {
+        let mut edges = BTreeSet::new();
+        for path in self.paths.values() {
+            for w in path.windows(2) {
+                let (a, b) = if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+                edges.insert((a, b));
+            }
+        }
+        edges
+    }
+
+    /// Renders the graph in Graphviz DOT format: overlap atoms as boxes
+    /// labeled with their group pair and member count, ingress-only atoms
+    /// as ellipses, and one dashed colored edge set per group path.
+    /// Retired atoms are drawn gray.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use seqnet_membership::{Membership, NodeId, GroupId};
+    /// use seqnet_overlap::GraphBuilder;
+    /// let m = Membership::from_groups([
+    ///     (GroupId(0), vec![NodeId(0), NodeId(1)]),
+    ///     (GroupId(1), vec![NodeId(0), NodeId(1)]),
+    /// ]);
+    /// let dot = GraphBuilder::new().build(&m).to_dot();
+    /// assert!(dot.starts_with("digraph sequencing"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph sequencing {\n  rankdir=LR;\n");
+        for atom in &self.atoms {
+            let style = if self.is_retired(atom.id) {
+                ", style=filled, fillcolor=gray80"
+            } else {
+                ""
+            };
+            match atom.overlap() {
+                Some(o) => {
+                    let _ = writeln!(
+                        out,
+                        "  {} [shape=box, label=\"{}\\n{} x {} ({} members)\"{}];",
+                        atom.id.0,
+                        atom.id,
+                        o.pair.0,
+                        o.pair.1,
+                        o.members.len(),
+                        style
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  {} [shape=ellipse, label=\"{} ingress\"{}];",
+                        atom.id.0, atom.id, style
+                    );
+                }
+            }
+        }
+        const COLORS: [&str; 8] = [
+            "blue", "red", "darkgreen", "orange", "purple", "brown", "teal", "magenta",
+        ];
+        for (g, path) in &self.paths {
+            let color = COLORS[g.index() % COLORS.len()];
+            for w in path.windows(2) {
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [color={color}, style=dashed, label=\"{g}\"];",
+                    w[0].0, w[1].0
+                );
+            }
+            if path.len() == 1 {
+                let _ = writeln!(out, "  {} [xlabel=\"{g}\"];", path[0].0);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Validates conditions C1 and C2 plus structural sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found; see [`GraphError`].
+    pub fn validate(&self) -> Result<(), GraphError> {
+        // Paths reference known atoms, are simple, and contain all stampers.
+        for (&group, path) in &self.paths {
+            let mut seen = BTreeSet::new();
+            for &a in path {
+                if a.index() >= self.atoms.len() {
+                    return Err(GraphError::UnknownAtom { group, atom: a });
+                }
+                if !seen.insert(a) {
+                    return Err(GraphError::DuplicateAtomOnPath { group, atom: a });
+                }
+            }
+            for atom in &self.atoms {
+                if atom.overlap().is_some() && atom.stamps(group) && !self.is_retired(atom.id)
+                    && !seen.contains(&atom.id)
+                {
+                    return Err(GraphError::StamperNotOnPath { group, atom: atom.id });
+                }
+            }
+        }
+        // Every group that some live overlap atom stamps must have a path.
+        for atom in &self.atoms {
+            if self.is_retired(atom.id) {
+                continue;
+            }
+            for g in atom.groups() {
+                if !self.paths.contains_key(&g) {
+                    return Err(GraphError::MissingPath { group: g });
+                }
+            }
+        }
+        // C2: the undirected link set must be a forest.
+        let edges = self.edges();
+        let mut uf = UnionFind::new(self.atoms.len());
+        for &(a, b) in &edges {
+            if !uf.union(a.index(), b.index()) {
+                return Err(GraphError::CycleDetected { edge: (a, b) });
+            }
+        }
+        // Uniform orientation: no link traversed in both directions.
+        let mut oriented: HashMap<(AtomId, AtomId), bool> = HashMap::new();
+        for path in self.paths.values() {
+            for w in path.windows(2) {
+                let (key, forward) = if w[0] < w[1] {
+                    ((w[0], w[1]), true)
+                } else {
+                    ((w[1], w[0]), false)
+                };
+                if let Some(&dir) = oriented.get(&key) {
+                    if dir != forward {
+                        return Err(GraphError::InconsistentOrientation { edge: key });
+                    }
+                } else {
+                    oriented.insert(key, forward);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the graph against a membership matrix: everything
+    /// [`SequencingGraph::validate`] checks, plus that each double overlap
+    /// of the matrix has exactly one live atom and each group a path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate_against(&self, membership: &Membership) -> Result<(), GraphError> {
+        self.validate()?;
+        let overlaps = crate::OverlapSet::compute(membership);
+        for o in &overlaps {
+            let found = self
+                .atoms
+                .iter()
+                .filter(|a| !self.is_retired(a.id))
+                .any(|a| a.overlap().is_some_and(|ao| ao.pair == o.pair));
+            if !found {
+                // Reuse StamperNotOnPath to signal a missing atom for the pair.
+                return Err(GraphError::MissingPath { group: o.pair.0 });
+            }
+        }
+        for g in membership.groups() {
+            if membership.group_size(g) > 0 && !self.paths.contains_key(&g) {
+                return Err(GraphError::MissingPath { group: g });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Minimal union-find for cycle detection.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Returns `false` if `a` and `b` were already connected.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Overlap;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+    fn q(i: u32) -> AtomId {
+        AtomId(i)
+    }
+
+    /// Figure 2 atoms: Q0 = G0∩G1 {A,B}, Q1 = G1∩G2 {B,C}... The paper
+    /// labels Q0,Q1,Q2 as sequencers of G0,G1,G2's overlaps; we use:
+    /// Q0 = overlap(G0,G1) = {A,B}, Q1 = overlap(G0,G2) = {B,D},
+    /// Q2 = overlap(G1,G2) = {B,C}.
+    fn fig2_atoms() -> Vec<Atom> {
+        vec![
+            Atom {
+                id: q(0),
+                kind: AtomKind::Overlap(Overlap::new(g(0), g(1), [n(0), n(1)])),
+            },
+            Atom {
+                id: q(1),
+                kind: AtomKind::Overlap(Overlap::new(g(0), g(2), [n(1), n(3)])),
+            },
+            Atom {
+                id: q(2),
+                kind: AtomKind::Overlap(Overlap::new(g(1), g(2), [n(1), n(2)])),
+            },
+        ]
+    }
+
+    /// Figure 2(a): triangle of atoms — violates C2.
+    fn fig2a_graph() -> SequencingGraph {
+        SequencingGraph::from_paths(
+            fig2_atoms(),
+            [
+                (g(0), vec![q(0), q(1)]),
+                (g(1), vec![q(0), q(2)]),
+                (g(2), vec![q(1), q(2)]),
+            ],
+        )
+    }
+
+    /// Figure 2(b): the chain Q0–Q1–Q2 with G1 redirected through Q1 —
+    /// loop-free.
+    fn fig2b_graph() -> SequencingGraph {
+        SequencingGraph::from_paths(
+            fig2_atoms(),
+            [
+                (g(0), vec![q(0), q(1)]),
+                (g(1), vec![q(0), q(1), q(2)]), // q1 is transit for G1
+                (g(2), vec![q(1), q(2)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn fig2a_violates_c2() {
+        let err = fig2a_graph().validate().unwrap_err();
+        assert!(matches!(err, GraphError::CycleDetected { .. }), "{err}");
+    }
+
+    #[test]
+    fn fig2b_is_valid() {
+        fig2b_graph().validate().expect("fig 2(b) satisfies C1 and C2");
+    }
+
+    #[test]
+    fn stampers_skip_transit_atoms() {
+        let gph = fig2b_graph();
+        assert_eq!(gph.stampers(g(1)), vec![q(0), q(2)], "Q1 is transit for G1");
+        assert_eq!(gph.path(g(1)).unwrap(), &[q(0), q(1), q(2)]);
+        assert_eq!(gph.ingress(g(1)), Some(q(0)));
+    }
+
+    #[test]
+    fn relevant_atoms_by_membership() {
+        let gph = fig2b_graph();
+        // B (=n1) is in every overlap.
+        assert_eq!(gph.relevant_atoms(n(1)), vec![q(0), q(1), q(2)]);
+        // A (=n0) only in overlap(G0,G1).
+        assert_eq!(gph.relevant_atoms(n(0)), vec![q(0)]);
+        // C (=n2) only in overlap(G1,G2).
+        assert_eq!(gph.relevant_atoms(n(2)), vec![q(2)]);
+    }
+
+    #[test]
+    fn c1_violation_detected() {
+        // G1's path omits Q2, which stamps it.
+        let gph = SequencingGraph::from_paths(
+            fig2_atoms(),
+            [
+                (g(0), vec![q(0), q(1)]),
+                (g(1), vec![q(0)]),
+                (g(2), vec![q(1), q(2)]),
+            ],
+        );
+        let err = gph.validate().unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::StamperNotOnPath {
+                group: g(1),
+                atom: q(2)
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_atom_detected() {
+        let gph = SequencingGraph::from_paths(
+            fig2_atoms(),
+            [
+                (g(0), vec![q(0), q(1), q(0)]),
+                (g(1), vec![q(0), q(2)]),
+                (g(2), vec![q(1), q(2)]),
+            ],
+        );
+        assert!(matches!(
+            gph.validate().unwrap_err(),
+            GraphError::DuplicateAtomOnPath { .. }
+        ));
+    }
+
+    #[test]
+    fn orientation_conflict_detected() {
+        // Two single-group ingress atoms sharing an edge in both directions.
+        let atoms = vec![
+            Atom {
+                id: q(0),
+                kind: AtomKind::Overlap(Overlap::new(g(0), g(1), [n(0), n(1)])),
+            },
+            Atom {
+                id: q(1),
+                kind: AtomKind::Overlap(Overlap::new(g(0), g(1), [n(0), n(2)])),
+            },
+        ];
+        // Pretend both atoms stamp both groups; g0 goes q0->q1, g1 goes q1->q0.
+        let gph = SequencingGraph::from_paths(
+            atoms,
+            [(g(0), vec![q(0), q(1)]), (g(1), vec![q(1), q(0)])],
+        );
+        assert!(matches!(
+            gph.validate().unwrap_err(),
+            GraphError::InconsistentOrientation { .. }
+        ));
+    }
+
+    #[test]
+    fn retiring_atom_relaxes_c1() {
+        let mut gph = SequencingGraph::from_paths(
+            fig2_atoms(),
+            [
+                (g(0), vec![q(0), q(1)]),
+                (g(1), vec![q(0), q(1), q(2)]),
+                (g(2), vec![q(1), q(2)]),
+            ],
+        );
+        gph.retire(q(2));
+        assert!(gph.is_retired(q(2)));
+        assert_eq!(gph.stampers(g(1)), vec![q(0)], "retired atoms stop stamping");
+        assert_eq!(gph.num_overlap_atoms(), 2);
+        gph.validate().expect("retired atoms are exempt from C1");
+    }
+
+    #[test]
+    fn edges_deduplicated() {
+        let gph = fig2b_graph();
+        let edges = gph.edges();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.contains(&(q(0), q(1))));
+        assert!(edges.contains(&(q(1), q(2))));
+    }
+
+    #[test]
+    fn validate_against_membership() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(3)]),
+            (g(1), vec![n(0), n(1), n(2)]),
+            (g(2), vec![n(1), n(2), n(3)]),
+        ]);
+        fig2b_graph().validate_against(&m).expect("covers all overlaps");
+        // A graph missing an atom for one overlap fails.
+        let incomplete = SequencingGraph::from_paths(
+            fig2_atoms()[..2].to_vec(),
+            [
+                (g(0), vec![q(0), q(1)]),
+                (g(1), vec![q(0)]),
+                (g(2), vec![q(1)]),
+            ],
+        );
+        assert!(incomplete.validate_against(&m).is_err());
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        SequencingGraph::default().validate().expect("empty graph");
+    }
+}

@@ -1,0 +1,58 @@
+//! Double-overlap detection, sequencing-graph construction, and sequencer
+//! placement for decentralized pub/sub ordering.
+//!
+//! This crate implements the structural half of the paper:
+//!
+//! * [`OverlapSet`] — computes the *double overlaps*: pairs of groups that
+//!   share at least two subscribers. Only messages to such groups can be
+//!   observed to arrive out of order (the paper's key insight, §3), so one
+//!   *sequencing atom* is instantiated per double overlap.
+//! * [`SequencingGraph`] — an arrangement of atoms such that each group's
+//!   atoms lie on a single path (**condition C1**) and the undirected graph
+//!   is loop-free (**condition C2**). The graph also records each group's
+//!   ordered *sequencing path*, including *transit* atoms the messages pass
+//!   through without being stamped.
+//! * [`GraphBuilder`] — constructs valid graphs from a membership matrix
+//!   (the paper leaves the algorithm open; see `DESIGN.md` §3.1 for ours),
+//!   supports incremental group addition and lazy removal, and optimizes
+//!   atom ordering to minimize transit hops.
+//! * [`colocate`] — the two-step heuristic of §3.4 that packs related atoms
+//!   onto shared *sequencing nodes*.
+//! * [`place`] — the per-group heuristic of §3.4 that maps sequencing nodes
+//!   onto machines of the underlying topology.
+//! * [`stats`] — the structural metrics of the evaluation (sequencing-node
+//!   counts, stress, atoms-per-path).
+//!
+//! # Example
+//!
+//! ```
+//! use seqnet_membership::{Membership, NodeId, GroupId};
+//! use seqnet_overlap::{OverlapSet, GraphBuilder};
+//!
+//! let m = Membership::from_groups([
+//!     (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(3)]),
+//!     (GroupId(1), vec![NodeId(0), NodeId(1), NodeId(2)]),
+//!     (GroupId(2), vec![NodeId(1), NodeId(2), NodeId(3)]),
+//! ]);
+//! let overlaps = OverlapSet::compute(&m);
+//! assert_eq!(overlaps.len(), 3, "three pairwise double overlaps");
+//!
+//! let graph = GraphBuilder::new().build(&m);
+//! graph.validate().expect("C1 and C2 hold");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atom;
+mod build;
+pub mod colocate;
+pub mod place;
+pub mod stats;
+mod graph;
+
+pub use atom::{Atom, AtomId, AtomKind, Overlap, OverlapSet};
+pub use build::{DynamicGraph, GraphBuilder};
+pub use colocate::{Colocation, SequencingNode};
+pub use graph::{GraphError, SequencingGraph};
+pub use place::Placement;

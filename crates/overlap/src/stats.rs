@@ -1,0 +1,215 @@
+//! Structural metrics of the paper's evaluation (§4.3–§4.5).
+
+use crate::{Colocation, SequencingGraph};
+use seqnet_membership::GroupId;
+
+/// Per-sequencing-node *stress*: "the ratio between the number of groups
+/// for which it has to forward messages and the total number of groups"
+/// (§4.3). A node forwards a group's messages when any atom it hosts lies
+/// on the group's sequencing path (stamping or transit).
+///
+/// Returns one value per non-ingress-only sequencing node, in node order.
+pub fn node_stress(graph: &SequencingGraph, coloc: &Colocation) -> Vec<f64> {
+    let total_groups = graph.paths().count();
+    if total_groups == 0 {
+        return Vec::new();
+    }
+    coloc
+        .nodes()
+        .iter()
+        .filter(|sn| !sn.ingress_only)
+        .map(|sn| {
+            let forwarded = graph
+                .paths()
+                .filter(|(_, path)| path.iter().any(|a| sn.atoms.contains(a)))
+                .count();
+            forwarded as f64 / total_groups as f64
+        })
+        .collect()
+}
+
+/// Per-sequencing-node stress counting only *sequenced* groups: the
+/// fraction of groups that some atom on the node stamps (transit traffic
+/// excluded). The paper's Figure 6 plateau near 0.2 matches this reading
+/// of "groups for which it has to forward messages" on dense workloads;
+/// [`node_stress`] is the strict all-forwarded-traffic reading.
+pub fn node_stress_stamped(graph: &SequencingGraph, coloc: &Colocation) -> Vec<f64> {
+    let total_groups = graph.paths().count();
+    if total_groups == 0 {
+        return Vec::new();
+    }
+    coloc
+        .nodes()
+        .iter()
+        .filter(|sn| !sn.ingress_only)
+        .map(|sn| {
+            let sequenced: std::collections::BTreeSet<GroupId> = sn
+                .atoms
+                .iter()
+                .filter(|&&a| !graph.is_retired(a))
+                .flat_map(|&a| graph.atom(a).groups())
+                .collect();
+            sequenced.len() as f64 / total_groups as f64
+        })
+        .collect()
+}
+
+/// For each group, the number of sequence numbers a message to it must
+/// collect: the live stamping atoms on its path (§4.4). The paper compares
+/// this against system-wide vector timestamps — the scheme wins when the
+/// stamp count stays below the number of nodes.
+pub fn stamps_per_group(graph: &SequencingGraph) -> Vec<(GroupId, usize)> {
+    graph
+        .paths()
+        .map(|(g, _)| (g, graph.stampers(g).len()))
+        .collect()
+}
+
+/// For each group, the full path length in atoms (stampers plus transit
+/// hops) — the number of sequencing atoms a message traverses.
+pub fn path_len_per_group(graph: &SequencingGraph) -> Vec<(GroupId, usize)> {
+    graph.paths().map(|(g, p)| (g, p.len())).collect()
+}
+
+/// The `p`-th percentile (0–100) of unsorted data, by nearest-rank.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "percentile of empty data");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("data must not contain NaN"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank]
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "mean of empty data");
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Cumulative distribution points `(value, fraction ≤ value)` of the data,
+/// sorted ascending — the form the paper's CDF figures use.
+pub fn cdf(data: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("data must not contain NaN"));
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seqnet_membership::{Membership, NodeId};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    fn fig2_graph() -> (Membership, SequencingGraph) {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(3)]),
+            (g(1), vec![n(0), n(1), n(2)]),
+            (g(2), vec![n(1), n(2), n(3)]),
+        ]);
+        let graph = GraphBuilder::new().build(&m);
+        (m, graph)
+    }
+
+    #[test]
+    fn stress_bounded_by_one() {
+        let (_, graph) = fig2_graph();
+        let coloc = Colocation::compute(&graph, &mut StdRng::seed_from_u64(0));
+        let stress = node_stress(&graph, &coloc);
+        assert_eq!(stress.len(), coloc.num_overlap_nodes());
+        for s in stress {
+            assert!((0.0..=1.0).contains(&s));
+            assert!(s > 0.0, "every node forwards at least one group");
+        }
+    }
+
+    #[test]
+    fn scattered_node_stress_counts_transit() {
+        let (_, graph) = fig2_graph();
+        let coloc = Colocation::scattered(&graph);
+        let stress = node_stress(&graph, &coloc);
+        // 3 atoms on a chain; the middle atom lies on all 3 group paths
+        // (one as transit), the ends on 2 each.
+        let mut sorted = stress.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(sorted.len(), 3);
+        assert!((sorted[2] - 1.0).abs() < 1e-9, "middle atom forwards all groups");
+        assert!((sorted[0] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stamped_stress_below_or_equal_full_stress() {
+        let (_, graph) = fig2_graph();
+        let coloc = Colocation::scattered(&graph);
+        let full = node_stress(&graph, &coloc);
+        let stamped = node_stress_stamped(&graph, &coloc);
+        assert_eq!(full.len(), stamped.len());
+        for (f, s) in full.iter().zip(&stamped) {
+            assert!(s <= f, "stamped stress {s} exceeds full stress {f}");
+            assert!(*s > 0.0);
+        }
+        // The middle atom of the fig2 chain stamps 2 of 3 groups but
+        // forwards all 3.
+        let mut stamped_sorted = stamped.clone();
+        stamped_sorted.sort_by(f64::total_cmp);
+        assert!((stamped_sorted[2] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stamps_equal_overlap_degree() {
+        let (_, graph) = fig2_graph();
+        for (grp, stamps) in stamps_per_group(&graph) {
+            assert_eq!(stamps, 2, "{grp} overlaps both other groups");
+        }
+        // Path length includes the middle transit atom for one group.
+        let total_path: usize = path_len_per_group(&graph).iter().map(|(_, l)| l).sum();
+        assert_eq!(total_path, 2 + 2 + 3);
+    }
+
+    #[test]
+    fn percentile_and_mean() {
+        let data = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&data, 50.0), 3.0);
+        assert_eq!(percentile(&data, 100.0), 5.0);
+        assert_eq!(mean(&data), 3.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let data = vec![3.0, 1.0, 2.0];
+        let c = cdf(&data);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], (1.0, 1.0 / 3.0));
+        assert_eq!(c[2], (3.0, 1.0));
+        assert!(c.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty data")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests: for *any* membership matrix, the builder produces
+//! a graph satisfying C1 and C2, and the structural metrics stay within
+//! their analytical bounds.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_overlap::{stats, Colocation, GraphBuilder, OverlapSet};
+
+fn membership_strategy() -> impl Strategy<Value = Membership> {
+    (2usize..=12, 1usize..=8).prop_flat_map(|(nodes, groups)| {
+        vec(vec(0u32..nodes as u32, 1..=8), groups).prop_map(move |group_members| {
+            let mut m = Membership::new();
+            for (gi, members) in group_members.iter().enumerate() {
+                for &n in members {
+                    m.subscribe(NodeId(n), GroupId(gi as u32));
+                }
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// C1 and C2 hold for every constructed graph, optimized or not.
+    #[test]
+    fn builder_always_satisfies_c1_c2(m in membership_strategy()) {
+        for builder in [GraphBuilder::new(), GraphBuilder::new().without_optimization()] {
+            let graph = builder.build(&m);
+            graph.validate_against(&m).map_err(|e| {
+                TestCaseError::fail(format!("invalid graph: {e}"))
+            })?;
+        }
+    }
+
+    /// One atom per double overlap, never more, never fewer.
+    #[test]
+    fn atom_count_equals_overlap_count(m in membership_strategy()) {
+        let overlaps = OverlapSet::compute(&m);
+        let graph = GraphBuilder::new().build(&m);
+        prop_assert_eq!(graph.num_overlap_atoms(), overlaps.len());
+    }
+
+    /// A group's path length is bounded by the total number of overlap
+    /// atoms, and its stamper count by the number of other groups
+    /// ("the path length through the sequencing network is bounded by the
+    /// total number of groups", §4.4).
+    #[test]
+    fn path_lengths_bounded(m in membership_strategy()) {
+        let graph = GraphBuilder::new().build(&m);
+        let num_groups = m.num_groups();
+        for (g, path) in graph.paths() {
+            let stampers = graph.stampers(g).len();
+            prop_assert!(stampers <= num_groups.saturating_sub(1).max(1),
+                "{} has {} stampers for {} groups", g, stampers, num_groups);
+            prop_assert!(path.len() <= graph.num_atoms());
+        }
+    }
+
+    /// Co-location never assigns an atom twice and never drops a live one;
+    /// every node's stress lies in (0, 1].
+    #[test]
+    fn colocation_partitions_atoms(m in membership_strategy(), seed in any::<u64>()) {
+        let graph = GraphBuilder::new().build(&m);
+        let coloc = Colocation::compute(&graph, &mut StdRng::seed_from_u64(seed));
+        let mut seen = std::collections::BTreeSet::new();
+        for node in coloc.nodes() {
+            for &a in &node.atoms {
+                prop_assert!(seen.insert(a), "atom assigned twice");
+            }
+        }
+        let live = graph.atoms().iter().filter(|a| !graph.is_retired(a.id)).count();
+        prop_assert_eq!(seen.len(), live);
+        for s in stats::node_stress(&graph, &coloc) {
+            prop_assert!(s > 0.0 && s <= 1.0, "stress {} out of range", s);
+        }
+    }
+
+    /// The relevant atoms of a node are exactly the atoms whose overlap
+    /// contains it — and the node belongs to both of each such atom's
+    /// groups (so it observes every number the atom assigns).
+    #[test]
+    fn relevant_atoms_are_observable(m in membership_strategy()) {
+        let graph = GraphBuilder::new().build(&m);
+        for node in m.nodes().collect::<Vec<_>>() {
+            for atom_id in graph.relevant_atoms(node) {
+                let overlap = graph.atom(atom_id).overlap().expect("relevant => overlap");
+                prop_assert!(overlap.members.contains(&node));
+                prop_assert!(m.is_member(node, overlap.pair.0));
+                prop_assert!(m.is_member(node, overlap.pair.1));
+            }
+        }
+    }
+
+    /// Incremental construction (adding groups one at a time) always
+    /// produces a valid graph equivalent in atom count to batch building.
+    #[test]
+    fn incremental_equals_batch(m in membership_strategy()) {
+        let mut dyng = GraphBuilder::new().dynamic();
+        for g in m.groups().collect::<Vec<_>>() {
+            let members: Vec<NodeId> = m.members(g).collect();
+            dyng.add_group(g, members);
+        }
+        let inc = dyng.graph();
+        inc.validate_against(&m).map_err(|e| {
+            TestCaseError::fail(format!("incremental graph invalid: {e}"))
+        })?;
+        let batch = GraphBuilder::new().build(&m);
+        prop_assert_eq!(inc.num_overlap_atoms(), batch.num_overlap_atoms());
+    }
+
+    /// Removing every group retires every overlap atom and leaves a valid
+    /// (empty) graph.
+    #[test]
+    fn removing_all_groups_empties_graph(m in membership_strategy()) {
+        let mut dyng = GraphBuilder::new().dynamic();
+        let groups: Vec<GroupId> = m.groups().collect();
+        for &g in &groups {
+            let members: Vec<NodeId> = m.members(g).collect();
+            dyng.add_group(g, members);
+        }
+        for &g in &groups {
+            dyng.remove_group(g);
+        }
+        let graph = dyng.graph();
+        graph.validate().map_err(|e| {
+            TestCaseError::fail(format!("invalid after removals: {e}"))
+        })?;
+        prop_assert_eq!(graph.num_overlap_atoms(), 0);
+        prop_assert!(dyng.membership().is_empty());
+    }
+}

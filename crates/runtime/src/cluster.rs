@@ -1,0 +1,867 @@
+//! Orchestration: sequencing-node and host threads wired by reliable links.
+
+use crate::link::{LinkReceiver, LinkSender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqnet_core::{DeliveryQueue, Message, MessageId, NextHop, ProtocolState};
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_overlap::{AtomId, Colocation, GraphBuilder, SequencingGraph};
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A party in the deployment: a sequencing-node thread or a host thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Party {
+    Node(usize),
+    Host(NodeId),
+}
+
+/// Identifies a directed reliable link between two parties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct LinkId(u32);
+
+#[derive(Debug, Clone)]
+struct WireData {
+    msg: Message,
+    /// The atom the receiving node should process next; `None` on links
+    /// that terminate at a host.
+    target_atom: Option<AtomId>,
+}
+
+#[derive(Debug, Clone)]
+enum Body {
+    Data(WireData),
+    Ack,
+}
+
+#[derive(Debug)]
+enum ThreadMsg {
+    Frame { link: LinkId, seq: u64, body: Body },
+    Publish(Message),
+    Shutdown,
+}
+
+#[derive(Debug, Clone)]
+struct DeliveryNote {
+    host: NodeId,
+    msg: Message,
+}
+
+/// A frame held by the delayer thread until its release time.
+#[derive(Debug)]
+struct DelayedFrame {
+    release_at: Instant,
+    to: Party,
+    link: LinkId,
+    seq: u64,
+    body: Body,
+}
+
+/// Counters aggregated across all threads at shutdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Data frames put on the wire (including retransmissions).
+    pub frames_sent: u64,
+    /// Frames dropped by the loss injector.
+    pub frames_dropped: u64,
+    /// Retransmissions performed by link senders.
+    pub retransmissions: u64,
+    /// Duplicate frames discarded by link receivers.
+    pub duplicates: u64,
+}
+
+/// Deployment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Probability that any frame (data or ack) is lost in transit.
+    pub drop_probability: f64,
+    /// How long a frame may stay unacknowledged before retransmission.
+    pub retransmit_timeout: Duration,
+    /// Maximum simulated propagation delay per frame: each transmission
+    /// is held for a uniform random duration in `[0, link_delay]` by a
+    /// delayer thread, so frames on *different* links genuinely race and
+    /// reorder (per-link FIFO is restored by the link layer). Zero sends
+    /// directly.
+    pub link_delay: Duration,
+    /// Seed for co-location and loss injection.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            drop_probability: 0.0,
+            retransmit_timeout: Duration::from_millis(10),
+            link_delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+/// Errors surfaced by the threaded deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Publish addressed a group with no members.
+    UnknownGroup(GroupId),
+    /// Fewer deliveries than expected arrived within the timeout.
+    Timeout {
+        /// How many deliveries were expected.
+        expected: usize,
+        /// How many actually arrived.
+        received: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            RuntimeError::Timeout { expected, received } => {
+                write!(f, "timed out with {received}/{expected} deliveries")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// Immutable wiring shared by all threads.
+#[derive(Debug)]
+struct Wiring {
+    graph: SequencingGraph,
+    membership: Membership,
+    /// Sequencing node hosting each live atom.
+    atom_node: HashMap<AtomId, usize>,
+    links: Vec<(Party, Party)>,
+    link_index: HashMap<(Party, Party), LinkId>,
+    outboxes: BTreeMap<Party, Sender<ThreadMsg>>,
+    config: ClusterConfig,
+    stats: Mutex<RuntimeStats>,
+    /// Frames routed through the delayer thread when `link_delay > 0`.
+    delayer: Option<Sender<DelayedFrame>>,
+}
+
+impl Wiring {
+    fn link_between(&self, from: Party, to: Party) -> LinkId {
+        self.link_index[&(from, to)]
+    }
+}
+
+/// A running threaded deployment of the ordering protocol.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Cluster {
+    wiring: Arc<Wiring>,
+    handles: Vec<JoinHandle<()>>,
+    notes: Receiver<DeliveryNote>,
+    next_id: u64,
+    shut_down: bool,
+}
+
+impl Cluster {
+    /// Builds the sequencing graph for `membership`, co-locates atoms into
+    /// sequencing nodes, spawns one thread per node and per subscriber
+    /// host, and wires them with reliable FIFO links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the constructed graph fails validation (a bug, not an
+    /// input error).
+    pub fn start(membership: &Membership, config: ClusterConfig) -> Self {
+        let graph = GraphBuilder::new().build(membership);
+        graph
+            .validate_against(membership)
+            .expect("constructed graph is valid");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let coloc = Colocation::compute(&graph, &mut rng);
+
+        let mut atom_node: HashMap<AtomId, usize> = HashMap::new();
+        for atom in graph.atoms() {
+            if let Some(nidx) = coloc.node_of(atom.id) {
+                atom_node.insert(atom.id, nidx);
+            }
+        }
+
+        // Enumerate links: node→node along paths, egress node→member hosts.
+        let mut links: Vec<(Party, Party)> = Vec::new();
+        let mut link_index: HashMap<(Party, Party), LinkId> = HashMap::new();
+        let add_link = |from: Party, to: Party,
+                            links: &mut Vec<(Party, Party)>,
+                            index: &mut HashMap<(Party, Party), LinkId>| {
+            index.entry((from, to)).or_insert_with(|| {
+                let id = LinkId(links.len() as u32);
+                links.push((from, to));
+                id
+            });
+        };
+        for (group, path) in graph.paths() {
+            for w in path.windows(2) {
+                let (a, b) = (atom_node[&w[0]], atom_node[&w[1]]);
+                if a != b {
+                    add_link(Party::Node(a), Party::Node(b), &mut links, &mut link_index);
+                }
+            }
+            let egress = atom_node[path.last().expect("paths are non-empty")];
+            for member in membership.members(group) {
+                add_link(
+                    Party::Node(egress),
+                    Party::Host(member),
+                    &mut links,
+                    &mut link_index,
+                );
+            }
+        }
+
+        // Channels: one inbox per party.
+        let mut outboxes: BTreeMap<Party, Sender<ThreadMsg>> = BTreeMap::new();
+        let mut inboxes: BTreeMap<Party, Receiver<ThreadMsg>> = BTreeMap::new();
+        let parties: Vec<Party> = (0..coloc.num_nodes())
+            .map(Party::Node)
+            .chain(membership.nodes().map(Party::Host))
+            .collect();
+        for &p in &parties {
+            let (tx, rx) = unbounded();
+            outboxes.insert(p, tx);
+            inboxes.insert(p, rx);
+        }
+
+        let (note_tx, note_rx) = unbounded();
+
+        // Delayer thread: holds frames for their simulated propagation
+        // delay, releasing in time order. Crossing frames on different
+        // links genuinely reorder.
+        let delayer = if config.link_delay > Duration::ZERO {
+            let (tx, rx) = unbounded::<DelayedFrame>();
+            let boxes = outboxes.clone();
+            std::thread::spawn(move || {
+                let mut holding: Vec<DelayedFrame> = Vec::new();
+                loop {
+                    let timeout = holding
+                        .iter()
+                        .map(|f| f.release_at.saturating_duration_since(Instant::now()))
+                        .min()
+                        .unwrap_or(Duration::from_millis(50));
+                    match rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
+                        Ok(frame) => holding.push(frame),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                    let now = Instant::now();
+                    let mut i = 0;
+                    while i < holding.len() {
+                        if holding[i].release_at <= now {
+                            let f = holding.swap_remove(i);
+                            let _ = boxes[&f.to].send(ThreadMsg::Frame {
+                                link: f.link,
+                                seq: f.seq,
+                                body: f.body,
+                            });
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                // Flush whatever remains on shutdown.
+                for f in holding {
+                    let _ = boxes[&f.to].send(ThreadMsg::Frame {
+                        link: f.link,
+                        seq: f.seq,
+                        body: f.body,
+                    });
+                }
+            });
+            Some(tx)
+        } else {
+            None
+        };
+
+        let wiring = Arc::new(Wiring {
+            graph,
+            membership: membership.clone(),
+            atom_node,
+            links,
+            link_index,
+            outboxes,
+            config: config.clone(),
+            stats: Mutex::new(RuntimeStats::default()),
+            delayer,
+        });
+
+        let mut handles = Vec::new();
+        for &p in &parties {
+            let inbox = inboxes.remove(&p).expect("inbox exists");
+            let wiring = Arc::clone(&wiring);
+            let note_tx = note_tx.clone();
+            let seed = config.seed ^ hash_party(p);
+            handles.push(std::thread::spawn(move || match p {
+                Party::Node(idx) => node_thread(idx, inbox, wiring, seed),
+                Party::Host(host) => host_thread(host, inbox, wiring, note_tx, seed),
+            }));
+        }
+
+        Cluster {
+            wiring,
+            handles,
+            notes: note_rx,
+            next_id: 0,
+            shut_down: false,
+        }
+    }
+
+    /// Publishes a message: hands it to the destination group's ingress
+    /// sequencing node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownGroup`] for groups with no members.
+    pub fn publish(
+        &mut self,
+        sender: NodeId,
+        group: GroupId,
+        payload: impl Into<bytes::Bytes>,
+    ) -> Result<MessageId, RuntimeError> {
+        let Some(ingress) = self.wiring.graph.ingress(group) else {
+            return Err(RuntimeError::UnknownGroup(group));
+        };
+        let id = MessageId(self.next_id);
+        self.next_id += 1;
+        let msg = Message::new(id, sender, group, payload.into());
+        let node = self.wiring.atom_node[&ingress];
+        self.wiring.outboxes[&Party::Node(node)]
+            .send(ThreadMsg::Publish(msg))
+            .expect("node thread is running");
+        Ok(id)
+    }
+
+    /// Collects exactly `expected` deliveries (across all hosts), grouped
+    /// by host in delivery order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Timeout`] if they do not all arrive in time.
+    pub fn wait_for_deliveries(
+        &mut self,
+        expected: usize,
+        timeout: Duration,
+    ) -> Result<BTreeMap<NodeId, Vec<Message>>, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        let mut out: BTreeMap<NodeId, Vec<Message>> = BTreeMap::new();
+        let mut received = 0usize;
+        while received < expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.notes.recv_timeout(remaining) {
+                Ok(note) => {
+                    out.entry(note.host).or_default().push(note.msg);
+                    received += 1;
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Timeout { expected, received });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The sequencing graph the deployment runs.
+    pub fn graph(&self) -> &SequencingGraph {
+        &self.wiring.graph
+    }
+
+    /// Number of sequencing-node threads.
+    pub fn num_sequencing_nodes(&self) -> usize {
+        self.wiring
+            .outboxes
+            .keys()
+            .filter(|p| matches!(p, Party::Node(_)))
+            .count()
+    }
+
+    /// Stops all threads and waits for them. Safe to call twice.
+    pub fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        for tx in self.wiring.outboxes.values() {
+            let _ = tx.send(ThreadMsg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Aggregated link statistics; complete after [`Cluster::shutdown`].
+    pub fn stats(&self) -> RuntimeStats {
+        *self.wiring.stats.lock()
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn hash_party(p: Party) -> u64 {
+    match p {
+        Party::Node(i) => 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1),
+        Party::Host(n) => 0xc2b2_ae3d_27d4_eb4fu64.wrapping_mul(u64::from(n.0) + 1),
+    }
+}
+
+/// Per-thread link machinery: senders, receivers, loss injection.
+struct LinkEngine {
+    me: Party,
+    senders: HashMap<LinkId, LinkSender<WireData>>,
+    receivers: HashMap<LinkId, LinkReceiver<WireData>>,
+    rng: StdRng,
+    local: RuntimeStats,
+}
+
+impl LinkEngine {
+    fn new(me: Party, seed: u64) -> Self {
+        LinkEngine {
+            me,
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            local: RuntimeStats::default(),
+        }
+    }
+
+    /// Sends `data` over the reliable link `me -> to`.
+    fn send_data(&mut self, wiring: &Wiring, to: Party, data: WireData) {
+        let link = wiring.link_between(self.me, to);
+        let sender = self
+            .senders
+            .entry(link)
+            .or_insert_with(|| LinkSender::new(wiring.config.retransmit_timeout));
+        let (seq, payload) = sender.send(data);
+        self.transmit(wiring, to, link, seq, Body::Data(payload));
+    }
+
+    /// Puts one frame on the wire, possibly dropping it.
+    fn transmit(&mut self, wiring: &Wiring, to: Party, link: LinkId, seq: u64, body: Body) {
+        if matches!(body, Body::Data(_)) {
+            self.local.frames_sent += 1;
+        }
+        if wiring.config.drop_probability > 0.0
+            && self.rng.gen_bool(wiring.config.drop_probability)
+        {
+            self.local.frames_dropped += 1;
+            return;
+        }
+        if let Some(delayer) = &wiring.delayer {
+            let jitter = wiring
+                .config
+                .link_delay
+                .mul_f64(self.rng.gen_range(0.0..=1.0));
+            let _ = delayer.send(DelayedFrame {
+                release_at: Instant::now() + jitter,
+                to,
+                link,
+                seq,
+                body,
+            });
+        } else {
+            let _ = wiring.outboxes[&to].send(ThreadMsg::Frame { link, seq, body });
+        }
+    }
+
+    /// Handles an incoming frame; returns in-order data payloads.
+    fn on_frame(&mut self, wiring: &Wiring, link: LinkId, seq: u64, body: Body) -> Vec<WireData> {
+        match body {
+            Body::Ack => {
+                if let Some(sender) = self.senders.get_mut(&link) {
+                    sender.acknowledge(seq);
+                }
+                Vec::new()
+            }
+            Body::Data(data) => {
+                // Acknowledge every data frame, duplicates included.
+                let (from, _to) = wiring.links[link.0 as usize];
+                self.transmit(wiring, from, link, seq, Body::Ack);
+                let receiver = self.receivers.entry(link).or_default();
+                let out = receiver.receive(seq, data);
+                self.local.duplicates = self
+                    .receivers
+                    .values()
+                    .map(|r| r.duplicates())
+                    .sum();
+                out
+            }
+        }
+    }
+
+    /// Retransmits overdue frames on all outgoing links.
+    fn retransmit_due(&mut self, wiring: &Wiring) {
+        let due: Vec<(LinkId, Vec<(u64, WireData)>)> = self
+            .senders
+            .iter_mut()
+            .map(|(&link, s)| (link, s.due_for_retransmit()))
+            .collect();
+        for (link, frames) in due {
+            let (_, to) = wiring.links[link.0 as usize];
+            for (seq, data) in frames {
+                self.transmit(wiring, to, link, seq, Body::Data(data));
+            }
+        }
+        self.local.retransmissions = self.senders.values().map(|s| s.retransmissions()).sum();
+    }
+
+    fn flush_stats(&self, wiring: &Wiring) {
+        let mut stats = wiring.stats.lock();
+        stats.frames_sent += self.local.frames_sent;
+        stats.frames_dropped += self.local.frames_dropped;
+        stats.retransmissions += self.local.retransmissions;
+        stats.duplicates += self.local.duplicates;
+    }
+}
+
+/// A sequencing-node thread: processes its atoms, forwards along paths.
+fn node_thread(idx: usize, inbox: Receiver<ThreadMsg>, wiring: Arc<Wiring>, seed: u64) {
+    let mut engine = LinkEngine::new(Party::Node(idx), seed);
+    let mut protocol = ProtocolState::new(&wiring.graph);
+    let tick = wiring.config.retransmit_timeout / 2;
+
+    loop {
+        let msg = match inbox.recv_timeout(tick.max(Duration::from_millis(1))) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match msg {
+            Some(ThreadMsg::Shutdown) => break,
+            Some(ThreadMsg::Publish(msg)) => {
+                let ingress = wiring
+                    .graph
+                    .ingress(msg.group)
+                    .expect("publish checked the group");
+                process_here(idx, &wiring, &mut protocol, &mut engine, msg, ingress);
+            }
+            Some(ThreadMsg::Frame { link, seq, body }) => {
+                for data in engine.on_frame(&wiring, link, seq, body) {
+                    let atom = data
+                        .target_atom
+                        .expect("node links always carry a target atom");
+                    process_here(idx, &wiring, &mut protocol, &mut engine, data.msg, atom);
+                }
+            }
+            None => {}
+        }
+        engine.retransmit_due(&wiring);
+    }
+    engine.flush_stats(&wiring);
+}
+
+/// Runs a message through this node's consecutive atoms, then forwards.
+fn process_here(
+    idx: usize,
+    wiring: &Wiring,
+    protocol: &mut ProtocolState,
+    engine: &mut LinkEngine,
+    mut msg: Message,
+    mut atom: AtomId,
+) {
+    loop {
+        match protocol.process(&wiring.graph, &mut msg, atom) {
+            NextHop::Atom(next) => {
+                let next_node = wiring.atom_node[&next];
+                if next_node == idx {
+                    atom = next;
+                } else {
+                    engine.send_data(
+                        wiring,
+                        Party::Node(next_node),
+                        WireData {
+                            msg,
+                            target_atom: Some(next),
+                        },
+                    );
+                    return;
+                }
+            }
+            NextHop::Egress => {
+                let members: Vec<NodeId> = wiring.membership.members(msg.group).collect();
+                for member in members {
+                    engine.send_data(
+                        wiring,
+                        Party::Host(member),
+                        WireData {
+                            msg: msg.clone(),
+                            target_atom: None,
+                        },
+                    );
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// A subscriber-host thread: reliable link termination plus the delivery
+/// queue.
+fn host_thread(
+    host: NodeId,
+    inbox: Receiver<ThreadMsg>,
+    wiring: Arc<Wiring>,
+    notes: Sender<DeliveryNote>,
+    seed: u64,
+) {
+    let mut engine = LinkEngine::new(Party::Host(host), seed);
+    let mut queue = DeliveryQueue::new(host, &wiring.membership, &wiring.graph);
+    let tick = wiring.config.retransmit_timeout / 2;
+
+    loop {
+        let msg = match inbox.recv_timeout(tick.max(Duration::from_millis(1))) {
+            Ok(m) => Some(m),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        match msg {
+            Some(ThreadMsg::Shutdown) => break,
+            Some(ThreadMsg::Publish(_)) => {
+                unreachable!("hosts never receive publishes directly")
+            }
+            Some(ThreadMsg::Frame { link, seq, body }) => {
+                for data in engine.on_frame(&wiring, link, seq, body) {
+                    for delivered in queue.offer(data.msg) {
+                        let _ = notes.send(DeliveryNote {
+                            host,
+                            msg: delivered,
+                        });
+                    }
+                }
+            }
+            None => {}
+        }
+        engine.retransmit_due(&wiring);
+    }
+    engine.flush_stats(&wiring);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    fn overlapped_membership() -> Membership {
+        Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(1), n(2), n(3)]),
+        ])
+    }
+
+    #[test]
+    fn reliable_links_deliver_everything() {
+        let m = overlapped_membership();
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        cluster.publish(n(0), g(0), b"a".to_vec()).unwrap();
+        cluster.publish(n(3), g(1), b"b".to_vec()).unwrap();
+        // g0 has 3 members, g1 has 3 members.
+        let deliveries = cluster
+            .wait_for_deliveries(6, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(deliveries[&n(1)].len(), 2);
+        assert_eq!(deliveries[&n(0)].len(), 1);
+        cluster.shutdown();
+        assert_eq!(cluster.stats().frames_dropped, 0);
+    }
+
+    #[test]
+    fn overlap_members_agree_on_order() {
+        let m = overlapped_membership();
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        let mut published = 0usize;
+        for i in 0..8u32 {
+            let (s, grp) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            cluster.publish(s, grp, vec![i as u8]).unwrap();
+            published += 3; // both groups have three members
+        }
+        let deliveries = cluster
+            .wait_for_deliveries(published, Duration::from_secs(5))
+            .unwrap();
+        let order = |node: NodeId| -> Vec<MessageId> {
+            deliveries[&node].iter().map(|m| m.id).collect()
+        };
+        assert_eq!(order(n(1)), order(n(2)), "overlap members agree");
+        assert_eq!(order(n(1)).len(), 8);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn lossy_links_recover_via_retransmission() {
+        let m = overlapped_membership();
+        let config = ClusterConfig {
+            drop_probability: 0.3,
+            retransmit_timeout: Duration::from_millis(5),
+            seed: 42,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::start(&m, config);
+        let mut expected = 0usize;
+        for i in 0..6u32 {
+            let (s, grp) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            cluster.publish(s, grp, vec![i as u8]).unwrap();
+            expected += 3;
+        }
+        let deliveries = cluster
+            .wait_for_deliveries(expected, Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(
+            deliveries[&n(1)].iter().map(|m| m.id).collect::<Vec<_>>(),
+            deliveries[&n(2)].iter().map(|m| m.id).collect::<Vec<_>>(),
+            "loss and retransmission must not break the order"
+        );
+        cluster.shutdown();
+        let stats = cluster.stats();
+        assert!(stats.frames_dropped > 0, "loss injector actually fired");
+        assert!(stats.retransmissions > 0, "retransmission actually fired");
+    }
+
+    #[test]
+    fn unknown_group_rejected() {
+        let m = overlapped_membership();
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        assert_eq!(
+            cluster.publish(n(0), g(9), vec![]),
+            Err(RuntimeError::UnknownGroup(g(9)))
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn timeout_reports_progress() {
+        let m = overlapped_membership();
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        cluster.publish(n(0), g(0), vec![]).unwrap();
+        let err = cluster
+            .wait_for_deliveries(100, Duration::from_millis(300))
+            .unwrap_err();
+        match err {
+            RuntimeError::Timeout { expected, received } => {
+                assert_eq!(expected, 100);
+                assert_eq!(received, 3, "the three real deliveries arrived");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn per_publisher_fifo_preserved() {
+        let m = Membership::from_groups([(g(0), vec![n(0), n(1)])]);
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        let ids: Vec<MessageId> = (0..10)
+            .map(|i| cluster.publish(n(0), g(0), vec![i as u8]).unwrap())
+            .collect();
+        let deliveries = cluster
+            .wait_for_deliveries(20, Duration::from_secs(5))
+            .unwrap();
+        for node in [n(0), n(1)] {
+            let got: Vec<MessageId> = deliveries[&node].iter().map(|m| m.id).collect();
+            assert_eq!(got, ids, "{node} must deliver in publish order");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let m = overlapped_membership();
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        cluster.shutdown();
+        cluster.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod delay_tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    #[test]
+    fn jittered_links_preserve_ordering() {
+        // Random per-frame delays reorder frames across links; the
+        // protocol must still converge with consistent orders.
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(1), n(2), n(3)]),
+            (g(2), vec![n(2), n(3), n(0)]),
+        ]);
+        let config = ClusterConfig {
+            drop_probability: 0.0,
+            retransmit_timeout: Duration::from_millis(30),
+            link_delay: Duration::from_millis(3),
+            seed: 77,
+        };
+        let mut cluster = Cluster::start(&m, config);
+        let mut expected = 0usize;
+        for i in 0..9u32 {
+            let grp = g(i % 3);
+            let sender = m.members(grp).next().unwrap();
+            cluster.publish(sender, grp, vec![i as u8]).unwrap();
+            expected += m.group_size(grp);
+        }
+        let deliveries = cluster
+            .wait_for_deliveries(expected, Duration::from_secs(30))
+            .unwrap();
+        let nodes: Vec<NodeId> = m.nodes().collect();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                let da: Vec<_> = deliveries[&a].iter().map(|x| x.id).collect();
+                let db: Vec<_> = deliveries[&b].iter().map(|x| x.id).collect();
+                let ca: Vec<_> = da.iter().filter(|x| db.contains(x)).collect();
+                let cb: Vec<_> = db.iter().filter(|x| da.contains(x)).collect();
+                assert_eq!(ca, cb, "{a} and {b} disagree under jitter");
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn jitter_plus_loss_still_converges() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1)]),
+            (g(1), vec![n(0), n(1)]),
+        ]);
+        let config = ClusterConfig {
+            drop_probability: 0.25,
+            retransmit_timeout: Duration::from_millis(8),
+            link_delay: Duration::from_millis(2),
+            seed: 3,
+        };
+        let mut cluster = Cluster::start(&m, config);
+        for i in 0..8u32 {
+            let grp = g(i % 2);
+            cluster.publish(n(0), grp, vec![i as u8]).unwrap();
+        }
+        let deliveries = cluster
+            .wait_for_deliveries(16, Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(
+            deliveries[&n(0)].iter().map(|x| x.id).collect::<Vec<_>>(),
+            deliveries[&n(1)].iter().map(|x| x.id).collect::<Vec<_>>(),
+        );
+        cluster.shutdown();
+        assert!(cluster.stats().frames_dropped > 0);
+    }
+}

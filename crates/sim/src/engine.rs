@@ -1,0 +1,273 @@
+//! The discrete-event engine.
+
+use crate::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+type Action<W> = Box<dyn FnOnce(&mut Simulator<W>) + Send>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    /// Max-heap ordering inverted so the heap pops the *earliest* event;
+    /// ties broken by schedule order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event simulator owning a user-defined world state `W`.
+///
+/// Events are `FnOnce(&mut Simulator<W>)` closures; they may mutate the
+/// world and schedule further events. Two events scheduled for the same
+/// instant fire in the order they were scheduled, making runs fully
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_sim::{Simulator, SimTime};
+/// let mut sim = Simulator::new(0u32);
+/// sim.schedule_at(SimTime::from_micros(5), |sim| *sim.world_mut() += 1);
+/// assert_eq!(sim.run_to_quiescence(), 1);
+/// assert_eq!(*sim.world(), 1);
+/// ```
+pub struct Simulator<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    world: W,
+    processed: u64,
+}
+
+impl<W: fmt::Debug> fmt::Debug for Simulator<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+impl<W> Simulator<W> {
+    /// Creates a simulator at time zero with the given world.
+    pub fn new(world: W) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            world,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulator, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`Simulator::now`]).
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F)
+    where
+        F: FnOnce(&mut Simulator<W>) + Send + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+    }
+
+    /// Schedules `action` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, action: F)
+    where
+        F: FnOnce(&mut Simulator<W>) + Send + 'static,
+    {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Executes the next pending event, advancing the clock to it.
+    ///
+    /// Returns `false` when no events remain.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event heap yielded a past event");
+        self.now = ev.at;
+        self.processed += 1;
+        (ev.action)(self);
+        true
+    }
+
+    /// Runs until no events remain. Returns the number of events executed
+    /// by this call.
+    pub fn run_to_quiescence(&mut self) -> u64 {
+        let before = self.processed;
+        while self.step() {}
+        self.processed - before
+    }
+
+    /// Runs events with `at <= deadline`, then advances the clock to
+    /// `deadline` (even if idle). Returns the number of events executed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.processed;
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.processed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new(Vec::new());
+        sim.schedule_at(SimTime::from_micros(30), |s| s.world_mut().push(3));
+        sim.schedule_at(SimTime::from_micros(10), |s| s.world_mut().push(1));
+        sim.schedule_at(SimTime::from_micros(20), |s| s.world_mut().push(2));
+        sim.run_to_quiescence();
+        assert_eq!(*sim.world(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let mut sim = Simulator::new(Vec::new());
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            sim.schedule_at(t, move |s| s.world_mut().push(i));
+        }
+        sim.run_to_quiescence();
+        assert_eq!(*sim.world(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_cascade() {
+        let mut sim = Simulator::new(0u64);
+        fn tick(sim: &mut Simulator<u64>) {
+            *sim.world_mut() += 1;
+            if *sim.world() < 10 {
+                sim.schedule_in(SimTime::from_micros(1), tick);
+            }
+        }
+        sim.schedule_at(SimTime::ZERO, tick);
+        let n = sim.run_to_quiescence();
+        assert_eq!(n, 10);
+        assert_eq!(sim.now(), SimTime::from_micros(9));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulator::new(Vec::new());
+        sim.schedule_at(SimTime::from_micros(10), |s| s.world_mut().push(1));
+        sim.schedule_at(SimTime::from_micros(30), |s| s.world_mut().push(2));
+        let n = sim.run_until(SimTime::from_micros(20));
+        assert_eq!(n, 1);
+        assert_eq!(*sim.world(), vec![1]);
+        assert_eq!(sim.now(), SimTime::from_micros(20), "clock advances to deadline");
+        assert_eq!(sim.events_pending(), 1);
+        sim.run_to_quiescence();
+        assert_eq!(*sim.world(), vec![1, 2]);
+    }
+
+    #[test]
+    fn run_until_includes_deadline_events() {
+        let mut sim = Simulator::new(0u32);
+        sim.schedule_at(SimTime::from_micros(10), |s| *s.world_mut() += 1);
+        sim.run_until(SimTime::from_micros(10));
+        assert_eq!(*sim.world(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new(());
+        sim.schedule_at(SimTime::from_micros(10), |s| {
+            s.schedule_at(SimTime::from_micros(5), |_| {});
+        });
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn counters_track_progress() {
+        let mut sim = Simulator::new(());
+        sim.schedule_in(SimTime::from_micros(1), |_| {});
+        sim.schedule_in(SimTime::from_micros(2), |_| {});
+        assert_eq!(sim.events_pending(), 2);
+        assert_eq!(sim.events_processed(), 0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.events_pending(), 0);
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn into_world_returns_final_state() {
+        let mut sim = Simulator::new(String::new());
+        sim.schedule_at(SimTime::ZERO, |s| s.world_mut().push_str("done"));
+        sim.run_to_quiescence();
+        assert_eq!(sim.into_world(), "done");
+    }
+}

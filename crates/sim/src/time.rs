@@ -1,0 +1,142 @@
+//! Virtual time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) virtual time, in integer microseconds.
+///
+/// `SimTime` doubles as a duration: `t + d` advances a time by a span and
+/// `t2 - t1` measures one. Using integers keeps event ordering exact.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_sim::SimTime;
+/// let t = SimTime::ZERO + SimTime::from_ms(1.5);
+/// assert_eq!(t.as_micros(), 1_500);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a time from (possibly fractional) milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "time must be finite and non-negative: {ms}"
+        );
+        SimTime((ms * 1_000.0).round() as u64)
+    }
+
+    /// The time in microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The time in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// `max(self, other)`.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("time overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    /// # Panics
+    ///
+    /// Panics on underflow (subtracting a later time from an earlier one).
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("time underflow"))
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_ms(2.5).as_micros(), 2_500);
+        assert_eq!(SimTime::from_micros(1_000).as_ms(), 1.0);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_micros(10);
+        let b = SimTime::from_micros(3);
+        assert_eq!(a + b, SimTime::from_micros(13));
+        assert_eq!(a - b, SimTime::from_micros(7));
+        assert!(b < a);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "time underflow")]
+    fn underflow_panics() {
+        let _ = SimTime::from_micros(1) - SimTime::from_micros(2);
+    }
+
+    #[test]
+    fn sum_works() {
+        let t: SimTime = (1..=3).map(SimTime::from_micros).sum();
+        assert_eq!(t, SimTime::from_micros(6));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_ms(0.25).to_string(), "0.250ms");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the discrete-event engine: total order of
+//! execution, determinism, and FIFO stamping.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use seqnet_sim::{FifoStamper, SimTime, Simulator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Events always execute in nondecreasing time order, with ties broken
+    /// by schedule order.
+    #[test]
+    fn execution_order_is_total(times in vec(0u64..1_000, 1..100)) {
+        let mut sim = Simulator::new(Vec::<(u64, usize)>::new());
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_micros(t), move |s| {
+                let now = s.now().as_micros();
+                s.world_mut().push((now, i));
+            });
+        }
+        sim.run_to_quiescence();
+        let log = sim.world();
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "tie not broken by schedule order");
+            }
+        }
+        // Each event fired at its scheduled time.
+        for &(t, i) in log {
+            prop_assert_eq!(t, times[i]);
+        }
+    }
+
+    /// Two identical schedules produce identical execution logs.
+    #[test]
+    fn runs_are_deterministic(times in vec(0u64..500, 1..60)) {
+        let run = || {
+            let mut sim = Simulator::new(Vec::<usize>::new());
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_micros(t), move |s| s.world_mut().push(i));
+            }
+            sim.run_to_quiescence();
+            sim.into_world()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// run_until splits a run without changing the overall execution.
+    #[test]
+    fn run_until_composes(times in vec(0u64..1_000, 1..60), cut in 0u64..1_000) {
+        let full = {
+            let mut sim = Simulator::new(Vec::<usize>::new());
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_micros(t), move |s| s.world_mut().push(i));
+            }
+            sim.run_to_quiescence();
+            sim.into_world()
+        };
+        let split = {
+            let mut sim = Simulator::new(Vec::<usize>::new());
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_micros(t), move |s| s.world_mut().push(i));
+            }
+            sim.run_until(SimTime::from_micros(cut));
+            sim.run_to_quiescence();
+            sim.into_world()
+        };
+        prop_assert_eq!(full, split);
+    }
+
+    /// FIFO stamping: per channel, arrivals are nondecreasing regardless
+    /// of per-message delays, and never earlier than the natural arrival.
+    #[test]
+    fn fifo_stamper_monotone(
+        sends in vec((0u8..4, 0u64..100, 1u64..500), 1..80),
+    ) {
+        let mut fifo = FifoStamper::new();
+        let mut last: std::collections::HashMap<u8, SimTime> = Default::default();
+        let mut clock = 0u64;
+        for (channel, gap, delay) in sends {
+            clock += gap;
+            let now = SimTime::from_micros(clock);
+            let arrival = fifo.arrival(channel, now, SimTime::from_micros(delay));
+            prop_assert!(arrival >= now + SimTime::from_micros(delay) || arrival >= now);
+            prop_assert!(arrival >= now, "arrival before send");
+            if let Some(&prev) = last.get(&channel) {
+                prop_assert!(arrival >= prev, "FIFO violated on channel {}", channel);
+            }
+            last.insert(channel, arrival);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Host-to-router attachment.
+//!
+//! Paper §4.1: "We attach hosts to the topology by grouping them into
+//! similar size clusters, then distributing each cluster uniformly at
+//! random through the topology. Nodes in the same cluster are placed close
+//! to each other. We choose this mapping because it is consistent with
+//! online communities, in which users tend to cluster around the
+//! lowest-latency server."
+
+use crate::{HostId, RouterId, Topology};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Maps each host to the router it attaches to.
+///
+/// Host-to-router attachment links are modeled as zero-delay: the host's
+/// first hop *is* its router, consistent with the paper measuring
+/// router-to-router propagation only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostMap {
+    attach: Vec<RouterId>,
+}
+
+impl HostMap {
+    /// Builds a map from an explicit attachment vector (index = host id).
+    pub fn from_vec(attach: Vec<RouterId>) -> Self {
+        HostMap { attach }
+    }
+
+    /// The router that `host` attaches to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host id is out of range.
+    pub fn router_of(&self, host: HostId) -> RouterId {
+        self.attach[host.index()]
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.attach.len()
+    }
+
+    /// Iterates `(host, router)` pairs in host-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (HostId, RouterId)> + '_ {
+        self.attach
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (HostId(i as u32), r))
+    }
+}
+
+/// Clustered host attachment (paper §4.1).
+///
+/// Hosts are split into clusters of `cluster_size` (the last cluster may be
+/// smaller); each cluster picks a stub domain uniformly at random and its
+/// hosts attach to routers inside that domain, so intra-cluster latency is
+/// low.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_topology::{TransitStubParams, ClusteredAttachment};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let topo = TransitStubParams::small().generate(&mut rng);
+/// let hosts = ClusteredAttachment::new(12, 4).attach(&topo, &mut rng);
+/// assert_eq!(hosts.num_hosts(), 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusteredAttachment {
+    /// Total number of hosts to attach.
+    pub num_hosts: usize,
+    /// Hosts per cluster.
+    pub cluster_size: usize,
+}
+
+impl ClusteredAttachment {
+    /// Creates an attachment policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_size == 0`.
+    pub fn new(num_hosts: usize, cluster_size: usize) -> Self {
+        assert!(cluster_size > 0, "cluster_size must be positive");
+        ClusteredAttachment {
+            num_hosts,
+            cluster_size,
+        }
+    }
+
+    /// Attaches hosts to the topology, returning the host map.
+    ///
+    /// Each cluster is assigned a distinct stub domain when enough domains
+    /// exist; otherwise domains are reused (wrapping), which only happens in
+    /// deliberately tiny test topologies.
+    pub fn attach<R: Rng>(&self, topo: &Topology, rng: &mut R) -> HostMap {
+        let num_domains = topo.num_stub_domains();
+        assert!(num_domains > 0, "topology has no stub domains");
+
+        let num_clusters = self.num_hosts.div_ceil(self.cluster_size);
+        // Pick a random sample of stub domains, distinct while possible.
+        let mut domain_order: Vec<usize> = (0..num_domains).collect();
+        domain_order.shuffle(rng);
+        let mut attach = Vec::with_capacity(self.num_hosts);
+        for cluster in 0..num_clusters {
+            let domain_idx = domain_order[cluster % num_domains];
+            let members = topo.stub_domain(domain_idx);
+            let in_this_cluster =
+                self.cluster_size.min(self.num_hosts - cluster * self.cluster_size);
+            for _ in 0..in_this_cluster {
+                attach.push(*members.choose(rng).expect("stub domains are non-empty"));
+            }
+        }
+        HostMap { attach }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Delay, TransitStubParams};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn attaches_every_host() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let topo = TransitStubParams::small().generate(&mut rng);
+        let hosts = ClusteredAttachment::new(17, 5).attach(&topo, &mut rng);
+        assert_eq!(hosts.num_hosts(), 17);
+        for (h, r) in hosts.iter() {
+            assert!(r.index() < topo.graph.num_routers(), "host {h} router {r}");
+        }
+    }
+
+    #[test]
+    fn cluster_members_share_stub_domain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let topo = TransitStubParams::small().generate(&mut rng);
+        let hosts = ClusteredAttachment::new(12, 4).attach(&topo, &mut rng);
+        // Hosts 0..4 form the first cluster: same domain.
+        let domain_of = |h: u32| topo.routers[hosts.router_of(HostId(h)).index()].domain;
+        for h in 1..4 {
+            assert_eq!(domain_of(0), domain_of(h), "host {h} left its cluster");
+        }
+        for h in 5..8 {
+            assert_eq!(domain_of(4), domain_of(h));
+        }
+    }
+
+    #[test]
+    fn intra_cluster_latency_below_cross_cluster() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = TransitStubParams::medium().generate(&mut rng);
+        let hosts = ClusteredAttachment::new(32, 8).attach(&topo, &mut rng);
+        let sp0 = topo.graph.shortest_paths(hosts.router_of(HostId(0)));
+        let intra: Delay = (1..8)
+            .map(|h| sp0.delay_to(hosts.router_of(HostId(h))).unwrap())
+            .sum();
+        let cross: Delay = (8..15)
+            .map(|h| sp0.delay_to(hosts.router_of(HostId(h))).unwrap())
+            .sum();
+        assert!(
+            intra < cross,
+            "intra-cluster total {intra} should be below cross-cluster {cross}"
+        );
+    }
+
+    #[test]
+    fn last_partial_cluster_ok() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let topo = TransitStubParams::small().generate(&mut rng);
+        let hosts = ClusteredAttachment::new(10, 4).attach(&topo, &mut rng);
+        assert_eq!(hosts.num_hosts(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster_size must be positive")]
+    fn zero_cluster_size_rejected() {
+        let _ = ClusteredAttachment::new(10, 0);
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = HostMap::from_vec(vec![RouterId(3), RouterId(7)]);
+        assert_eq!(m.router_of(HostId(0)), RouterId(3));
+        assert_eq!(m.router_of(HostId(1)), RouterId(7));
+        assert_eq!(m.num_hosts(), 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Propagation delay as a totally-ordered, exact quantity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A propagation delay, stored as integer microseconds.
+///
+/// Using integer microseconds instead of `f64` milliseconds gives delays a
+/// total order (no NaN), makes them hashable, and keeps discrete-event
+/// simulation arithmetic exact and platform-independent.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_topology::Delay;
+/// let a = Delay::from_ms(1.5);
+/// let b = Delay::from_micros(500);
+/// assert_eq!(a + b, Delay::from_ms(2.0));
+/// assert!(a > b);
+/// assert_eq!((a + b).as_ms(), 2.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Delay(u64);
+
+impl Delay {
+    /// Zero delay.
+    pub const ZERO: Delay = Delay(0);
+    /// The maximum representable delay; used as "unreachable" sentinel in
+    /// shortest-path computations.
+    pub const MAX: Delay = Delay(u64::MAX);
+
+    /// Creates a delay from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Delay(us)
+    }
+
+    /// Creates a delay from (possibly fractional) milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "delay must be finite and non-negative: {ms}");
+        Delay((ms * 1_000.0).round() as u64)
+    }
+
+    /// The delay in microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The delay in milliseconds.
+    #[inline]
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Delay) -> Delay {
+        Delay(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The ratio `self / other` as `f64`. Returns `f64::INFINITY` when
+    /// `other` is zero and `self` is not.
+    #[inline]
+    pub fn ratio(self, other: Delay) -> f64 {
+        if other.0 == 0 {
+            if self.0 == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl fmt::Display for Delay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+impl Add for Delay {
+    type Output = Delay;
+    #[inline]
+    fn add(self, rhs: Delay) -> Delay {
+        Delay(self.0.checked_add(rhs.0).expect("delay overflow"))
+    }
+}
+
+impl AddAssign for Delay {
+    #[inline]
+    fn add_assign(&mut self, rhs: Delay) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Delay {
+    type Output = Delay;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`Delay::saturating_sub`] when the operands
+    /// may be unordered.
+    #[inline]
+    fn sub(self, rhs: Delay) -> Delay {
+        Delay(self.0.checked_sub(rhs.0).expect("delay underflow"))
+    }
+}
+
+impl Mul<u64> for Delay {
+    type Output = Delay;
+    #[inline]
+    fn mul(self, rhs: u64) -> Delay {
+        Delay(self.0.checked_mul(rhs).expect("delay overflow"))
+    }
+}
+
+impl Div<u64> for Delay {
+    type Output = Delay;
+    #[inline]
+    fn div(self, rhs: u64) -> Delay {
+        Delay(self.0 / rhs)
+    }
+}
+
+impl Sum for Delay {
+    fn sum<I: Iterator<Item = Delay>>(iter: I) -> Delay {
+        iter.fold(Delay::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Delay::from_ms(1.0).as_micros(), 1_000);
+        assert_eq!(Delay::from_micros(2_500).as_ms(), 2.5);
+        assert_eq!(Delay::from_ms(0.0), Delay::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Delay::from_micros(100);
+        let b = Delay::from_micros(50);
+        assert_eq!(a + b, Delay::from_micros(150));
+        assert_eq!(a - b, Delay::from_micros(50));
+        assert_eq!(a * 3, Delay::from_micros(300));
+        assert_eq!(a / 4, Delay::from_micros(25));
+        assert_eq!(b.saturating_sub(a), Delay::ZERO);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(Delay::from_micros(10).ratio(Delay::from_micros(5)), 2.0);
+        assert_eq!(Delay::ZERO.ratio(Delay::ZERO), 1.0);
+        assert!(Delay::from_micros(1).ratio(Delay::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn sum_of_delays() {
+        let total: Delay = [1u64, 2, 3].into_iter().map(Delay::from_micros).sum();
+        assert_eq!(total, Delay::from_micros(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_ms_rejected() {
+        let _ = Delay::from_ms(-1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Delay::from_ms(1.5).to_string(), "1.500ms");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![Delay::from_ms(3.0), Delay::ZERO, Delay::from_ms(1.0)];
+        v.sort();
+        assert_eq!(v, vec![Delay::ZERO, Delay::from_ms(1.0), Delay::from_ms(3.0)]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Delivery trees for the distribution phase.
+//!
+//! "If the message is leaving the sequencer network, it will be sent to a
+//! delivery tree and on to group members" (paper §3.1). A delivery tree is
+//! the union of shortest paths from the egress router to every member
+//! router: per-member latency equals unicast latency (the simulator's
+//! model), but the tree shares upstream links, so the *link stress* — how
+//! many copies of a message cross a physical link — drops from the unicast
+//! fan-out's duplicates to one copy per tree link.
+
+use crate::{Delay, Graph, RouterId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A shortest-path delivery tree from one source router to a member set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveryTree {
+    source: RouterId,
+    /// Child -> parent edges of the tree (source has no parent).
+    parent: BTreeMap<RouterId, RouterId>,
+    /// Delay from the source to each covered router.
+    delay: BTreeMap<RouterId, Delay>,
+    members: Vec<RouterId>,
+}
+
+impl DeliveryTree {
+    /// Builds the tree as the union of shortest paths from `source` to
+    /// each member router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member is unreachable (generated topologies are
+    /// connected).
+    pub fn build(graph: &Graph, source: RouterId, members: &[RouterId]) -> Self {
+        let sp = graph.shortest_paths(source);
+        let mut parent = BTreeMap::new();
+        let mut delay = BTreeMap::new();
+        delay.insert(source, Delay::ZERO);
+        for &m in members {
+            let path = sp
+                .path_to(m)
+                .unwrap_or_else(|| panic!("{m} unreachable from {source}"));
+            let mut acc = Delay::ZERO;
+            for w in path.windows(2) {
+                let hop = graph
+                    .neighbors(w[0])
+                    .filter(|&(n, _)| n == w[1])
+                    .map(|(_, d)| d)
+                    .min()
+                    .expect("consecutive path routers are linked");
+                acc += hop;
+                parent.entry(w[1]).or_insert(w[0]);
+                delay.entry(w[1]).or_insert(acc);
+            }
+        }
+        DeliveryTree {
+            source,
+            parent,
+            delay,
+            members: members.to_vec(),
+        }
+    }
+
+    /// The egress router the tree is rooted at.
+    pub fn source(&self) -> RouterId {
+        self.source
+    }
+
+    /// Delay from the source to `router`, if the tree covers it.
+    pub fn delay_to(&self, router: RouterId) -> Option<Delay> {
+        self.delay.get(&router).copied()
+    }
+
+    /// Number of links in the tree — the copies of one message the
+    /// network carries. Unicast fan-out carries `sum(path hops)` instead.
+    pub fn num_links(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Total links a unicast fan-out to the same members would traverse
+    /// (counting shared links once per member).
+    pub fn unicast_link_crossings(&self, graph: &Graph) -> usize {
+        let sp = graph.shortest_paths(self.source);
+        self.members
+            .iter()
+            .map(|&m| sp.hops_to(m).expect("member reachable"))
+            .sum()
+    }
+
+    /// Per-link stress of unicast fan-out: how many copies cross each
+    /// link. In the tree every covered link carries exactly one copy.
+    pub fn unicast_link_stress(&self, graph: &Graph) -> BTreeMap<(RouterId, RouterId), usize> {
+        let sp = graph.shortest_paths(self.source);
+        let mut stress: BTreeMap<(RouterId, RouterId), usize> = BTreeMap::new();
+        for &m in &self.members {
+            let path = sp.path_to(m).expect("member reachable");
+            for w in path.windows(2) {
+                let key = if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+                *stress.entry(key).or_insert(0) += 1;
+            }
+        }
+        stress
+    }
+
+    /// The routers covered by the tree (members and interior nodes).
+    pub fn covered(&self) -> BTreeSet<RouterId> {
+        let mut out: BTreeSet<RouterId> = self.delay.keys().copied().collect();
+        out.insert(self.source);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TransitStubParams;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn star_graph() -> Graph {
+        // source 0 -> hub 1 -> leaves 2,3,4
+        let mut g = Graph::with_routers(5);
+        g.add_link(RouterId(0), RouterId(1), Delay::from_ms(5.0));
+        for leaf in 2..5u32 {
+            g.add_link(RouterId(1), RouterId(leaf), Delay::from_ms(1.0));
+        }
+        g
+    }
+
+    #[test]
+    fn tree_shares_the_trunk() {
+        let g = star_graph();
+        let members = [RouterId(2), RouterId(3), RouterId(4)];
+        let tree = DeliveryTree::build(&g, RouterId(0), &members);
+        // Tree: 0-1 once, then three leaf links = 4 links.
+        assert_eq!(tree.num_links(), 4);
+        // Unicast: each member's path crosses the trunk: 3 * 2 = 6 links.
+        assert_eq!(tree.unicast_link_crossings(&g), 6);
+        // Trunk stress under unicast is 3; in the tree it is 1 by def.
+        let stress = tree.unicast_link_stress(&g);
+        assert_eq!(stress[&(RouterId(0), RouterId(1))], 3);
+    }
+
+    #[test]
+    fn delays_match_shortest_paths() {
+        let g = star_graph();
+        let members = [RouterId(2), RouterId(3)];
+        let tree = DeliveryTree::build(&g, RouterId(0), &members);
+        assert_eq!(tree.delay_to(RouterId(2)), Some(Delay::from_ms(6.0)));
+        assert_eq!(tree.delay_to(RouterId(1)), Some(Delay::from_ms(5.0)));
+        assert_eq!(tree.delay_to(RouterId(4)), None, "not covered");
+        assert_eq!(tree.source(), RouterId(0));
+    }
+
+    #[test]
+    fn covered_includes_interior_routers() {
+        let g = star_graph();
+        let tree = DeliveryTree::build(&g, RouterId(0), &[RouterId(2)]);
+        let covered = tree.covered();
+        assert!(covered.contains(&RouterId(0)));
+        assert!(covered.contains(&RouterId(1)), "hub is interior");
+        assert!(covered.contains(&RouterId(2)));
+        assert!(!covered.contains(&RouterId(3)));
+    }
+
+    #[test]
+    fn tree_on_generated_topology_never_worse_than_unicast() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = TransitStubParams::small().generate(&mut rng);
+        let members: Vec<RouterId> = (0..8)
+            .map(|i| topo.stub_domain(i % topo.num_stub_domains())[0])
+            .collect();
+        let source = topo.stub_domain(topo.num_stub_domains() - 1)[1];
+        let tree = DeliveryTree::build(&topo.graph, source, &members);
+        assert!(tree.num_links() <= tree.unicast_link_crossings(&topo.graph));
+        // Every member is covered with its unicast delay.
+        let sp = topo.graph.shortest_paths(source);
+        for &m in &members {
+            assert_eq!(tree.delay_to(m), sp.delay_to(m));
+        }
+    }
+
+    #[test]
+    fn empty_member_set_is_trivial() {
+        let g = star_graph();
+        let tree = DeliveryTree::build(&g, RouterId(0), &[]);
+        assert_eq!(tree.num_links(), 0);
+        assert_eq!(tree.covered().len(), 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Weighted undirected router graphs and shortest-path computation.
+
+use crate::Delay;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifies a router in the topology graph.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RouterId(pub u32);
+
+impl RouterId {
+    /// Returns the id as a `usize` suitable for indexing dense arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RouterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// An undirected graph of routers with propagation-delay edge weights.
+///
+/// The simulator models "the propagation delay between routers, but not
+/// packet losses or queuing delays" (paper §4.1), so an edge weight is the
+/// complete cost model for a link.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_topology::{Graph, RouterId, Delay};
+/// let mut g = Graph::with_routers(3);
+/// g.add_link(RouterId(0), RouterId(1), Delay::from_ms(5.0));
+/// g.add_link(RouterId(1), RouterId(2), Delay::from_ms(7.0));
+/// let sp = g.shortest_paths(RouterId(0));
+/// assert_eq!(sp.delay_to(RouterId(2)), Some(Delay::from_ms(12.0)));
+/// assert_eq!(sp.path_to(RouterId(2)), Some(vec![RouterId(0), RouterId(1), RouterId(2)]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    /// adjacency[r] = list of (neighbor, delay)
+    adjacency: Vec<Vec<(RouterId, Delay)>>,
+    num_links: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph with `n` isolated routers `RouterId(0..n)`.
+    pub fn with_routers(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            num_links: 0,
+        }
+    }
+
+    /// Adds a router and returns its id.
+    pub fn add_router(&mut self) -> RouterId {
+        let id = RouterId(self.adjacency.len() as u32);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link between `a` and `b` with the given delay.
+    ///
+    /// Parallel links are permitted (the shortest one wins in routing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or if `a == b`.
+    pub fn add_link(&mut self, a: RouterId, b: RouterId, delay: Delay) {
+        assert!(a != b, "self-loop at {a}");
+        assert!(a.index() < self.adjacency.len(), "unknown router {a}");
+        assert!(b.index() < self.adjacency.len(), "unknown router {b}");
+        self.adjacency[a.index()].push((b, delay));
+        self.adjacency[b.index()].push((a, delay));
+        self.num_links += 1;
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected links.
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Iterates the neighbors of `r` with link delays.
+    pub fn neighbors(&self, r: RouterId) -> impl Iterator<Item = (RouterId, Delay)> + '_ {
+        self.adjacency[r.index()].iter().copied()
+    }
+
+    /// Returns `true` if two routers are directly linked.
+    pub fn linked(&self, a: RouterId, b: RouterId) -> bool {
+        self.adjacency[a.index()].iter().any(|&(n, _)| n == b)
+    }
+
+    /// Single-source shortest paths (Dijkstra) from `src`.
+    ///
+    /// Runs in `O((V + E) log V)`; with a 10,000-router topology and one
+    /// source per attached host this dominates experiment setup, so results
+    /// should be cached (see [`crate::DelayOracle`]).
+    pub fn shortest_paths(&self, src: RouterId) -> ShortestPaths {
+        assert!(src.index() < self.adjacency.len(), "unknown router {src}");
+        let n = self.adjacency.len();
+        let mut dist = vec![Delay::MAX; n];
+        let mut prev: Vec<Option<RouterId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src.index()] = Delay::ZERO;
+        heap.push(Reverse((Delay::ZERO, src)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u.index()] {
+                continue; // stale entry
+            }
+            for &(v, w) in &self.adjacency[u.index()] {
+                let nd = d + w;
+                if nd < dist[v.index()] {
+                    dist[v.index()] = nd;
+                    prev[v.index()] = Some(u);
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        ShortestPaths { src, dist, prev }
+    }
+
+    /// Returns `true` if every router can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.adjacency.is_empty() {
+            return true;
+        }
+        let sp = self.shortest_paths(RouterId(0));
+        sp.dist.iter().all(|&d| d != Delay::MAX)
+    }
+}
+
+/// The result of a single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    src: RouterId,
+    dist: Vec<Delay>,
+    prev: Vec<Option<RouterId>>,
+}
+
+impl ShortestPaths {
+    /// The source router.
+    pub fn source(&self) -> RouterId {
+        self.src
+    }
+
+    /// Shortest delay from the source to `dst`, or `None` if unreachable.
+    pub fn delay_to(&self, dst: RouterId) -> Option<Delay> {
+        let d = self.dist[dst.index()];
+        (d != Delay::MAX).then_some(d)
+    }
+
+    /// All delays, indexed by router; `Delay::MAX` marks unreachable.
+    pub fn delays(&self) -> &[Delay] {
+        &self.dist
+    }
+
+    /// The router sequence of the shortest path from the source to `dst`
+    /// (inclusive of both endpoints), or `None` if unreachable.
+    pub fn path_to(&self, dst: RouterId) -> Option<Vec<RouterId>> {
+        if self.dist[dst.index()] == Delay::MAX {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = self.prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.src);
+        path.reverse();
+        Some(path)
+    }
+
+    /// Number of hops (links) on the shortest path to `dst`.
+    pub fn hops_to(&self, dst: RouterId) -> Option<usize> {
+        self.path_to(dst).map(|p| p.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RouterId {
+        RouterId(i)
+    }
+    fn ms(v: f64) -> Delay {
+        Delay::from_ms(v)
+    }
+
+    /// A diamond where the long way around is cheaper than the direct edge.
+    fn diamond() -> Graph {
+        let mut g = Graph::with_routers(4);
+        g.add_link(r(0), r(1), ms(1.0));
+        g.add_link(r(1), r(3), ms(1.0));
+        g.add_link(r(0), r(2), ms(5.0));
+        g.add_link(r(2), r(3), ms(5.0));
+        g.add_link(r(0), r(3), ms(3.0));
+        g
+    }
+
+    #[test]
+    fn dijkstra_picks_cheapest_route() {
+        let g = diamond();
+        let sp = g.shortest_paths(r(0));
+        assert_eq!(sp.delay_to(r(3)), Some(ms(2.0)));
+        assert_eq!(sp.path_to(r(3)), Some(vec![r(0), r(1), r(3)]));
+        assert_eq!(sp.hops_to(r(3)), Some(2));
+    }
+
+    #[test]
+    fn dijkstra_source_is_zero() {
+        let g = diamond();
+        let sp = g.shortest_paths(r(2));
+        assert_eq!(sp.delay_to(r(2)), Some(Delay::ZERO));
+        assert_eq!(sp.path_to(r(2)), Some(vec![r(2)]));
+        assert_eq!(sp.source(), r(2));
+    }
+
+    #[test]
+    fn unreachable_router() {
+        let mut g = Graph::with_routers(3);
+        g.add_link(r(0), r(1), ms(1.0));
+        let sp = g.shortest_paths(r(0));
+        assert_eq!(sp.delay_to(r(2)), None);
+        assert_eq!(sp.path_to(r(2)), None);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn parallel_links_shortest_wins() {
+        let mut g = Graph::with_routers(2);
+        g.add_link(r(0), r(1), ms(9.0));
+        g.add_link(r(0), r(1), ms(2.0));
+        let sp = g.shortest_paths(r(0));
+        assert_eq!(sp.delay_to(r(1)), Some(ms(2.0)));
+        assert_eq!(g.num_links(), 2);
+    }
+
+    #[test]
+    fn dijkstra_matches_brute_force_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..12);
+            let mut g = Graph::with_routers(n);
+            // random connected-ish graph
+            for i in 1..n {
+                let j = rng.gen_range(0..i);
+                g.add_link(r(i as u32), r(j as u32), Delay::from_micros(rng.gen_range(1..100)));
+            }
+            for _ in 0..n {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b {
+                    g.add_link(r(a as u32), r(b as u32), Delay::from_micros(rng.gen_range(1..100)));
+                }
+            }
+            // Bellman-Ford brute force from router 0
+            let mut bf = vec![u64::MAX; n];
+            bf[0] = 0;
+            for _ in 0..n {
+                for u in 0..n {
+                    if bf[u] == u64::MAX {
+                        continue;
+                    }
+                    for (v, w) in g.neighbors(r(u as u32)) {
+                        let cand = bf[u] + w.as_micros();
+                        if cand < bf[v.index()] {
+                            bf[v.index()] = cand;
+                        }
+                    }
+                }
+            }
+            let sp = g.shortest_paths(r(0));
+            #[allow(clippy::needless_range_loop)] // parallel-indexing is the clear form
+            for v in 0..n {
+                let got = sp.delay_to(r(v as u32)).map(|d| d.as_micros()).unwrap_or(u64::MAX);
+                assert_eq!(got, bf[v], "router {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_delays_are_consistent() {
+        let g = diamond();
+        let sp = g.shortest_paths(r(0));
+        for dst in 0..4u32 {
+            let path = sp.path_to(r(dst)).unwrap();
+            let mut total = Delay::ZERO;
+            for w in path.windows(2) {
+                let hop = g
+                    .neighbors(w[0])
+                    .filter(|&(n, _)| n == w[1])
+                    .map(|(_, d)| d)
+                    .min()
+                    .unwrap();
+                total += hop;
+            }
+            assert_eq!(Some(total), sp.delay_to(r(dst)), "dst {dst}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut g = Graph::with_routers(1);
+        g.add_link(r(0), r(0), ms(1.0));
+    }
+
+    #[test]
+    fn add_router_grows_graph() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        assert_eq!((a, b), (r(0), r(1)));
+        assert_eq!(g.num_routers(), 2);
+        assert!(!g.linked(a, b));
+        g.add_link(a, b, ms(1.0));
+        assert!(g.linked(a, b));
+    }
+}

@@ -1,0 +1,132 @@
+//! Cached pairwise delay queries.
+
+use crate::{Delay, Graph, HostMap, HostId, RouterId, ShortestPaths};
+use std::collections::HashMap;
+
+/// Answers router-to-router and host-to-host propagation-delay queries,
+/// caching one single-source shortest-path computation per queried source
+/// router.
+///
+/// The experiments query delays between a few hundred attachment routers on
+/// a 10,000-router topology; caching turns that into at most one Dijkstra
+/// per attachment router.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_topology::{Graph, RouterId, Delay, DelayOracle};
+/// let mut g = Graph::with_routers(3);
+/// g.add_link(RouterId(0), RouterId(1), Delay::from_ms(2.0));
+/// g.add_link(RouterId(1), RouterId(2), Delay::from_ms(2.0));
+/// let mut oracle = DelayOracle::new(&g);
+/// assert_eq!(oracle.router_delay(RouterId(0), RouterId(2)), Delay::from_ms(4.0));
+/// ```
+#[derive(Debug)]
+pub struct DelayOracle<'g> {
+    graph: &'g Graph,
+    cache: HashMap<RouterId, ShortestPaths>,
+}
+
+impl<'g> DelayOracle<'g> {
+    /// Creates an oracle over `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        DelayOracle {
+            graph,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The shortest-path tree rooted at `src`, computing and caching it on
+    /// first use.
+    pub fn paths_from(&mut self, src: RouterId) -> &ShortestPaths {
+        self.cache
+            .entry(src)
+            .or_insert_with(|| self.graph.shortest_paths(src))
+    }
+
+    /// Shortest propagation delay between two routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is unreachable from `src`; the generated topologies
+    /// are always connected, so unreachability indicates a bug.
+    pub fn router_delay(&mut self, src: RouterId, dst: RouterId) -> Delay {
+        self.paths_from(src)
+            .delay_to(dst)
+            .unwrap_or_else(|| panic!("{dst} unreachable from {src}"))
+    }
+
+    /// Shortest propagation delay between two attached hosts.
+    pub fn host_delay(&mut self, hosts: &HostMap, a: HostId, b: HostId) -> Delay {
+        self.router_delay(hosts.router_of(a), hosts.router_of(b))
+    }
+
+    /// Router hop count of the shortest path between two hosts.
+    pub fn host_hops(&mut self, hosts: &HostMap, a: HostId, b: HostId) -> usize {
+        let (ra, rb) = (hosts.router_of(a), hosts.router_of(b));
+        self.paths_from(ra)
+            .hops_to(rb)
+            .unwrap_or_else(|| panic!("{rb} unreachable from {ra}"))
+    }
+
+    /// Number of distinct sources currently cached.
+    pub fn cached_sources(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Delay;
+
+    fn line_graph() -> Graph {
+        let mut g = Graph::with_routers(4);
+        for i in 0..3u32 {
+            g.add_link(RouterId(i), RouterId(i + 1), Delay::from_ms(1.0));
+        }
+        g
+    }
+
+    #[test]
+    fn caches_per_source() {
+        let g = line_graph();
+        let mut o = DelayOracle::new(&g);
+        assert_eq!(o.cached_sources(), 0);
+        let _ = o.router_delay(RouterId(0), RouterId(3));
+        let _ = o.router_delay(RouterId(0), RouterId(1));
+        assert_eq!(o.cached_sources(), 1, "same source reuses cache");
+        let _ = o.router_delay(RouterId(2), RouterId(0));
+        assert_eq!(o.cached_sources(), 2);
+    }
+
+    #[test]
+    fn symmetric_delays() {
+        let g = line_graph();
+        let mut o = DelayOracle::new(&g);
+        assert_eq!(
+            o.router_delay(RouterId(0), RouterId(3)),
+            o.router_delay(RouterId(3), RouterId(0)),
+        );
+    }
+
+    #[test]
+    fn host_queries_use_attachment() {
+        let g = line_graph();
+        let hosts = HostMap::from_vec(vec![RouterId(0), RouterId(3)]);
+        let mut o = DelayOracle::new(&g);
+        assert_eq!(
+            o.host_delay(&hosts, HostId(0), HostId(1)),
+            Delay::from_ms(3.0)
+        );
+        assert_eq!(o.host_hops(&hosts, HostId(0), HostId(1)), 3);
+    }
+
+    #[test]
+    fn same_host_zero_delay() {
+        let g = line_graph();
+        let hosts = HostMap::from_vec(vec![RouterId(2), RouterId(2)]);
+        let mut o = DelayOracle::new(&g);
+        assert_eq!(o.host_delay(&hosts, HostId(0), HostId(1)), Delay::ZERO);
+    }
+}

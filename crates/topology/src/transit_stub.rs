@@ -1,0 +1,389 @@
+//! Transit–stub topology generation in the style of GT-ITM.
+//!
+//! GT-ITM's transit–stub model (Zegura et al., Infocom 1996) builds an
+//! internet-like hierarchy: a core of interconnected *transit domains*, each
+//! transit router connecting one or more *stub domains*. Stub domains only
+//! carry traffic that originates or terminates in them.
+//!
+//! Delays follow the hierarchy: intra-stub links are fast (LAN-ish),
+//! transit–transit inter-domain links are slow (WAN-ish).
+
+use crate::{Delay, Graph, RouterId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+use std::ops::Range;
+
+/// Identifies a (transit or stub) domain within a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u32);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Whether a router sits in the transit core or in a stub domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainKind {
+    /// Backbone router inside a transit domain.
+    Transit,
+    /// Edge router inside a stub domain; hosts attach here.
+    Stub,
+}
+
+/// Structural metadata for one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterInfo {
+    /// Transit core or stub edge.
+    pub kind: DomainKind,
+    /// The domain this router belongs to.
+    pub domain: DomainId,
+}
+
+/// A generated topology: the router graph plus structural metadata.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// The router-level graph with propagation delays.
+    pub graph: Graph,
+    /// Metadata per router, indexed by [`RouterId`].
+    pub routers: Vec<RouterInfo>,
+    /// For each stub domain, its member routers.
+    pub stub_domains: Vec<Vec<RouterId>>,
+}
+
+impl Topology {
+    /// Routers of the given stub domain (index into [`Topology::stub_domains`]).
+    pub fn stub_domain(&self, idx: usize) -> &[RouterId] {
+        &self.stub_domains[idx]
+    }
+
+    /// Number of stub domains.
+    pub fn num_stub_domains(&self) -> usize {
+        self.stub_domains.len()
+    }
+}
+
+/// Parameters of the transit–stub generator.
+///
+/// The defaults ([`TransitStubParams::paper`]) produce the paper's scale:
+/// 10,000 routers (10 transit domains x 10 routers, 3 stub domains of 33
+/// routers per transit router).
+///
+/// # Example
+///
+/// ```
+/// use seqnet_topology::TransitStubParams;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let topo = TransitStubParams::small().generate(&mut StdRng::seed_from_u64(1));
+/// assert!(topo.graph.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitStubParams {
+    /// Number of transit domains.
+    pub transit_domains: usize,
+    /// Routers per transit domain.
+    pub transit_domain_size: usize,
+    /// Stub domains hanging off each transit router.
+    pub stubs_per_transit_router: usize,
+    /// Routers per stub domain.
+    pub stub_domain_size: usize,
+    /// Probability of an extra (non-spanning-tree) edge inside a transit domain.
+    pub transit_edge_prob: f64,
+    /// Probability of an extra edge inside a stub domain.
+    pub stub_edge_prob: f64,
+    /// Delay range for transit–transit inter-domain links, in ms.
+    pub transit_transit_delay_ms: Range<f64>,
+    /// Delay range for links inside a transit domain, in ms.
+    pub intra_transit_delay_ms: Range<f64>,
+    /// Delay range for transit–stub attachment links, in ms.
+    pub transit_stub_delay_ms: Range<f64>,
+    /// Delay range for links inside a stub domain, in ms.
+    pub intra_stub_delay_ms: Range<f64>,
+}
+
+impl TransitStubParams {
+    /// The paper-scale topology: 10,000 routers.
+    pub fn paper() -> Self {
+        TransitStubParams {
+            transit_domains: 10,
+            transit_domain_size: 10,
+            stubs_per_transit_router: 3,
+            stub_domain_size: 33,
+            ..Self::base()
+        }
+    }
+
+    /// A small topology (~310 routers) for unit tests and doc examples.
+    pub fn small() -> Self {
+        TransitStubParams {
+            transit_domains: 2,
+            transit_domain_size: 5,
+            stubs_per_transit_router: 2,
+            stub_domain_size: 15,
+            ..Self::base()
+        }
+    }
+
+    /// A medium topology (~2,020 routers) for integration tests.
+    pub fn medium() -> Self {
+        TransitStubParams {
+            transit_domains: 4,
+            transit_domain_size: 10,
+            stubs_per_transit_router: 2,
+            stub_domain_size: 24,
+            ..Self::base()
+        }
+    }
+
+    fn base() -> Self {
+        TransitStubParams {
+            transit_domains: 1,
+            transit_domain_size: 1,
+            stubs_per_transit_router: 1,
+            stub_domain_size: 1,
+            transit_edge_prob: 0.3,
+            stub_edge_prob: 0.2,
+            transit_transit_delay_ms: 20.0..50.0,
+            intra_transit_delay_ms: 10.0..20.0,
+            transit_stub_delay_ms: 5.0..10.0,
+            intra_stub_delay_ms: 1.0..5.0,
+        }
+    }
+
+    /// Total number of routers this configuration will generate.
+    pub fn total_routers(&self) -> usize {
+        let transit = self.transit_domains * self.transit_domain_size;
+        transit + transit * self.stubs_per_transit_router * self.stub_domain_size
+    }
+
+    /// Generates a topology.
+    ///
+    /// The result is always connected: each domain is built as a random
+    /// spanning tree plus probabilistic extra edges, domains are chained by
+    /// a random inter-domain spanning tree plus extras, and every stub
+    /// domain attaches to its transit router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the structural sizes is zero.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Topology {
+        assert!(self.transit_domains > 0, "need at least one transit domain");
+        assert!(self.transit_domain_size > 0, "transit domains must be non-empty");
+        assert!(self.stub_domain_size > 0, "stub domains must be non-empty");
+
+        let mut graph = Graph::new();
+        let mut routers: Vec<RouterInfo> = Vec::with_capacity(self.total_routers());
+        let mut stub_domains: Vec<Vec<RouterId>> = Vec::new();
+        let mut next_domain = 0u32;
+
+        // 1. Transit domains.
+        let mut transit_domain_routers: Vec<Vec<RouterId>> = Vec::new();
+        for _ in 0..self.transit_domains {
+            let domain = DomainId(next_domain);
+            next_domain += 1;
+            let members = self.connected_subgraph(
+                &mut graph,
+                rng,
+                self.transit_domain_size,
+                self.transit_edge_prob,
+                &self.intra_transit_delay_ms,
+            );
+            for _ in &members {
+                routers.push(RouterInfo {
+                    kind: DomainKind::Transit,
+                    domain,
+                });
+            }
+            transit_domain_routers.push(members);
+        }
+
+        // 2. Inter-transit-domain links: random spanning tree over domains
+        //    plus one extra random inter-domain link per domain pair with
+        //    the transit edge probability.
+        let mut order: Vec<usize> = (0..self.transit_domains).collect();
+        order.shuffle(rng);
+        for w in 1..order.len() {
+            let a = order[w];
+            let b = order[rng.gen_range(0..w)];
+            let ra = *transit_domain_routers[a].choose(rng).expect("non-empty domain");
+            let rb = *transit_domain_routers[b].choose(rng).expect("non-empty domain");
+            graph.add_link(ra, rb, self.sample_delay(rng, &self.transit_transit_delay_ms));
+        }
+        for a in 0..self.transit_domains {
+            for b in (a + 1)..self.transit_domains {
+                if rng.gen_bool(self.transit_edge_prob) {
+                    let ra = *transit_domain_routers[a].choose(rng).expect("non-empty");
+                    let rb = *transit_domain_routers[b].choose(rng).expect("non-empty");
+                    if !graph.linked(ra, rb) {
+                        graph.add_link(ra, rb, self.sample_delay(rng, &self.transit_transit_delay_ms));
+                    }
+                }
+            }
+        }
+
+        // 3. Stub domains hanging off each transit router.
+        for domain_routers in &transit_domain_routers {
+            for &transit_router in domain_routers {
+                for _ in 0..self.stubs_per_transit_router {
+                    let domain = DomainId(next_domain);
+                    next_domain += 1;
+                    let members = self.connected_subgraph(
+                        &mut graph,
+                        rng,
+                        self.stub_domain_size,
+                        self.stub_edge_prob,
+                        &self.intra_stub_delay_ms,
+                    );
+                    for _ in &members {
+                        routers.push(RouterInfo {
+                            kind: DomainKind::Stub,
+                            domain,
+                        });
+                    }
+                    let gateway = *members.choose(rng).expect("non-empty stub");
+                    graph.add_link(
+                        transit_router,
+                        gateway,
+                        self.sample_delay(rng, &self.transit_stub_delay_ms),
+                    );
+                    stub_domains.push(members);
+                }
+            }
+        }
+
+        debug_assert_eq!(graph.num_routers(), routers.len());
+        Topology {
+            graph,
+            routers,
+            stub_domains,
+        }
+    }
+
+    /// Adds `size` fresh routers forming a connected random subgraph:
+    /// a random spanning tree plus extra edges with probability `extra_prob`.
+    fn connected_subgraph<R: Rng>(
+        &self,
+        graph: &mut Graph,
+        rng: &mut R,
+        size: usize,
+        extra_prob: f64,
+        delay_ms: &Range<f64>,
+    ) -> Vec<RouterId> {
+        let members: Vec<RouterId> = (0..size).map(|_| graph.add_router()).collect();
+        for i in 1..size {
+            let j = rng.gen_range(0..i);
+            graph.add_link(members[i], members[j], self.sample_delay(rng, delay_ms));
+        }
+        for i in 0..size {
+            for j in (i + 1)..size {
+                // Skip pairs already joined by the spanning tree.
+                if !graph.linked(members[i], members[j]) && rng.gen_bool(extra_prob) {
+                    graph.add_link(members[i], members[j], self.sample_delay(rng, delay_ms));
+                }
+            }
+        }
+        members
+    }
+
+    fn sample_delay<R: Rng>(&self, rng: &mut R, range: &Range<f64>) -> Delay {
+        Delay::from_ms(rng.gen_range(range.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn paper_scale_is_ten_thousand() {
+        assert_eq!(TransitStubParams::paper().total_routers(), 10_000);
+    }
+
+    #[test]
+    fn small_topology_structure() {
+        let p = TransitStubParams::small();
+        let topo = p.generate(&mut StdRng::seed_from_u64(1));
+        assert_eq!(topo.graph.num_routers(), p.total_routers());
+        assert_eq!(topo.routers.len(), p.total_routers());
+        assert!(topo.graph.is_connected(), "generated topology must be connected");
+        let transit = topo
+            .routers
+            .iter()
+            .filter(|r| r.kind == DomainKind::Transit)
+            .count();
+        assert_eq!(transit, p.transit_domains * p.transit_domain_size);
+        assert_eq!(
+            topo.num_stub_domains(),
+            p.transit_domains * p.transit_domain_size * p.stubs_per_transit_router
+        );
+        for idx in 0..topo.num_stub_domains() {
+            assert_eq!(topo.stub_domain(idx).len(), p.stub_domain_size);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = TransitStubParams::small();
+        let a = p.generate(&mut StdRng::seed_from_u64(9));
+        let b = p.generate(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a.graph.num_links(), b.graph.num_links());
+        let spa = a.graph.shortest_paths(RouterId(0));
+        let spb = b.graph.shortest_paths(RouterId(0));
+        assert_eq!(spa.delays(), spb.delays());
+    }
+
+    #[test]
+    fn intra_stub_delays_smaller_than_transit() {
+        let p = TransitStubParams::small();
+        let topo = p.generate(&mut StdRng::seed_from_u64(3));
+        // Links between two stub routers of the same domain must fall in the
+        // intra-stub range.
+        for idx in 0..topo.num_stub_domains() {
+            let members = topo.stub_domain(idx);
+            for &m in members {
+                for (nbr, d) in topo.graph.neighbors(m) {
+                    if members.contains(&nbr) {
+                        let ms = d.as_ms();
+                        assert!(
+                            (1.0..5.0).contains(&ms),
+                            "intra-stub delay {ms}ms out of range"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stub_routers_reach_core_through_hierarchy() {
+        let p = TransitStubParams::small();
+        let topo = p.generate(&mut StdRng::seed_from_u64(4));
+        // Any two routers in different stub domains must communicate at a
+        // delay of at least the transit-stub attachment (they must leave the
+        // stub domain).
+        let a = topo.stub_domain(0)[0];
+        let b = topo.stub_domain(topo.num_stub_domains() - 1)[0];
+        let sp = topo.graph.shortest_paths(a);
+        let d = sp.delay_to(b).expect("connected");
+        assert!(d.as_ms() >= 5.0, "cross-stub delay {d} suspiciously small");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transit domain")]
+    fn zero_transit_domains_rejected() {
+        let mut p = TransitStubParams::small();
+        p.transit_domains = 0;
+        let _ = p.generate(&mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn medium_scale_connected() {
+        let p = TransitStubParams::medium();
+        let topo = p.generate(&mut StdRng::seed_from_u64(5));
+        assert_eq!(topo.graph.num_routers(), p.total_routers());
+        assert!(topo.graph.is_connected());
+    }
+}

@@ -1,0 +1,166 @@
+//! Flat Waxman random graphs, a secondary topology model.
+//!
+//! Waxman's model places routers uniformly in a unit square and links each
+//! pair with probability `alpha * exp(-d / (beta * L))` where `d` is the
+//! Euclidean distance and `L` the maximum possible distance. Link delay is
+//! proportional to distance. GT-ITM uses Waxman graphs inside its domains;
+//! we expose the flat variant for experiments that want an unstructured
+//! topology baseline.
+
+use crate::{Delay, Graph, RouterId, Topology};
+use crate::transit_stub::{DomainId, DomainKind, RouterInfo};
+use rand::Rng;
+
+/// Parameters of the Waxman random-graph generator.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_topology::WaxmanParams;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let topo = WaxmanParams::new(50).generate(&mut StdRng::seed_from_u64(7));
+/// assert_eq!(topo.graph.num_routers(), 50);
+/// assert!(topo.graph.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaxmanParams {
+    /// Number of routers.
+    pub routers: usize,
+    /// Waxman `alpha`: overall link density (0, 1].
+    pub alpha: f64,
+    /// Waxman `beta`: relative preference for long links (0, 1].
+    pub beta: f64,
+    /// Delay assigned to a link spanning the full unit-square diagonal, in ms.
+    pub max_delay_ms: f64,
+}
+
+impl WaxmanParams {
+    /// Creates a generator for `routers` routers with the customary
+    /// `alpha = 0.15`, `beta = 0.2` and 50 ms diagonal delay.
+    pub fn new(routers: usize) -> Self {
+        WaxmanParams {
+            routers,
+            alpha: 0.15,
+            beta: 0.2,
+            max_delay_ms: 50.0,
+        }
+    }
+
+    /// Generates a connected Waxman topology.
+    ///
+    /// Connectivity is guaranteed by adding each node's nearest already-
+    /// placed neighbor as a fallback link (a nearest-neighbor spanning
+    /// chain), mirroring what GT-ITM does by regenerating until connected.
+    ///
+    /// All routers are reported as [`DomainKind::Stub`] members of a single
+    /// domain so host attachment works uniformly across topology models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers == 0` or parameters are out of range.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> Topology {
+        assert!(self.routers > 0, "need at least one router");
+        assert!(self.alpha > 0.0 && self.alpha <= 1.0, "alpha in (0,1]");
+        assert!(self.beta > 0.0 && self.beta <= 1.0, "beta in (0,1]");
+
+        let n = self.routers;
+        let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+        let diag = 2f64.sqrt();
+        let mut graph = Graph::with_routers(n);
+
+        let delay_of = |a: (f64, f64), b: (f64, f64)| -> (f64, Delay) {
+            let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+            // Floor of 0.1 ms so coincident points still cost something.
+            (d, Delay::from_ms((d / diag * self.max_delay_ms).max(0.1)))
+        };
+
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (d, delay) = delay_of(pos[i], pos[j]);
+                let p = self.alpha * (-d / (self.beta * diag)).exp();
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    graph.add_link(RouterId(i as u32), RouterId(j as u32), delay);
+                }
+            }
+        }
+
+        // Connectivity fallback: link each router (past the first) to its
+        // nearest predecessor unless already linked.
+        for i in 1..n {
+            let nearest = (0..i)
+                .min_by(|&a, &b| {
+                    let da = delay_of(pos[i], pos[a]).0;
+                    let db = delay_of(pos[i], pos[b]).0;
+                    da.partial_cmp(&db).expect("distances are finite")
+                })
+                .expect("i >= 1");
+            let (ri, rn) = (RouterId(i as u32), RouterId(nearest as u32));
+            if !graph.linked(ri, rn) {
+                let (_, delay) = delay_of(pos[i], pos[nearest]);
+                graph.add_link(ri, rn, delay);
+            }
+        }
+
+        let routers = vec![
+            RouterInfo {
+                kind: DomainKind::Stub,
+                domain: DomainId(0),
+            };
+            n
+        ];
+        let stub_domains = vec![(0..n as u32).map(RouterId).collect()];
+        Topology {
+            graph,
+            routers,
+            stub_domains,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn waxman_is_connected() {
+        for seed in 0..5 {
+            let topo = WaxmanParams::new(40).generate(&mut StdRng::seed_from_u64(seed));
+            assert!(topo.graph.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn waxman_single_router() {
+        let topo = WaxmanParams::new(1).generate(&mut StdRng::seed_from_u64(0));
+        assert_eq!(topo.graph.num_routers(), 1);
+        assert!(topo.graph.is_connected());
+    }
+
+    #[test]
+    fn delays_scale_with_distance() {
+        let topo = WaxmanParams::new(100).generate(&mut StdRng::seed_from_u64(2));
+        let max = Delay::from_ms(50.0);
+        for r in 0..100u32 {
+            for (_, d) in topo.graph.neighbors(RouterId(r)) {
+                assert!(d <= max, "link delay {d} exceeds diagonal delay");
+                assert!(d >= Delay::from_ms(0.1));
+            }
+        }
+    }
+
+    #[test]
+    fn single_stub_domain_covers_all() {
+        let topo = WaxmanParams::new(10).generate(&mut StdRng::seed_from_u64(3));
+        assert_eq!(topo.num_stub_domains(), 1);
+        assert_eq!(topo.stub_domain(0).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in (0,1]")]
+    fn alpha_validated() {
+        let mut p = WaxmanParams::new(5);
+        p.alpha = 1.5;
+        let _ = p.generate(&mut StdRng::seed_from_u64(0));
+    }
+}

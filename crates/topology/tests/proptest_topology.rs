@@ -1,0 +1,92 @@
+//! Property-based tests of the topology substrate: generated topologies
+//! are connected with sane delays; shortest paths obey metric laws.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet_topology::{
+    ClusteredAttachment, Delay, DelayOracle, HostId, RouterId, TransitStubParams, WaxmanParams,
+};
+
+fn params_strategy() -> impl Strategy<Value = TransitStubParams> {
+    (1usize..=3, 2usize..=5, 1usize..=3, 2usize..=8).prop_map(
+        |(domains, dsize, stubs, ssize)| {
+            let mut p = TransitStubParams::small();
+            p.transit_domains = domains;
+            p.transit_domain_size = dsize;
+            p.stubs_per_transit_router = stubs;
+            p.stub_domain_size = ssize;
+            p
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated transit–stub topology is connected and has the
+    /// promised size.
+    #[test]
+    fn transit_stub_connected(p in params_strategy(), seed in any::<u64>()) {
+        let topo = p.generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(topo.graph.num_routers(), p.total_routers());
+        prop_assert!(topo.graph.is_connected());
+        prop_assert_eq!(
+            topo.num_stub_domains(),
+            p.transit_domains * p.transit_domain_size * p.stubs_per_transit_router
+        );
+    }
+
+    /// Shortest-path delays form a metric: symmetric, zero on the
+    /// diagonal, and satisfying the triangle inequality.
+    #[test]
+    fn shortest_paths_are_a_metric(seed in any::<u64>()) {
+        let p = TransitStubParams::small();
+        let topo = p.generate(&mut StdRng::seed_from_u64(seed));
+        let mut oracle = DelayOracle::new(&topo.graph);
+        // Sample a handful of routers.
+        let n = topo.graph.num_routers() as u32;
+        let picks: Vec<RouterId> =
+            (0..5).map(|i| RouterId((seed as u32).wrapping_add(i * 61) % n)).collect();
+        for &a in &picks {
+            prop_assert_eq!(oracle.router_delay(a, a), Delay::ZERO);
+            for &b in &picks {
+                prop_assert_eq!(oracle.router_delay(a, b), oracle.router_delay(b, a));
+                for &c in &picks {
+                    let direct = oracle.router_delay(a, c);
+                    let via = oracle.router_delay(a, b) + oracle.router_delay(b, c);
+                    prop_assert!(direct <= via, "triangle inequality violated");
+                }
+            }
+        }
+    }
+
+    /// Host attachment covers every host with an in-range router, for any
+    /// cluster size.
+    #[test]
+    fn attachment_total(hosts in 1usize..40, cluster in 1usize..12, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = TransitStubParams::small().generate(&mut rng);
+        let map = ClusteredAttachment::new(hosts, cluster).attach(&topo, &mut rng);
+        prop_assert_eq!(map.num_hosts(), hosts);
+        for (h, r) in map.iter() {
+            prop_assert!(r.index() < topo.graph.num_routers(), "host {} off-graph", h);
+        }
+        // Same-cluster hosts share a stub domain.
+        for i in 0..hosts {
+            let c = i / cluster;
+            let first_in_cluster = c * cluster;
+            let d1 = topo.routers[map.router_of(HostId(first_in_cluster as u32)).index()].domain;
+            let d2 = topo.routers[map.router_of(HostId(i as u32)).index()].domain;
+            prop_assert_eq!(d1, d2, "host {} strayed from its cluster domain", i);
+        }
+    }
+
+    /// Waxman graphs stay connected across parameters.
+    #[test]
+    fn waxman_connected(n in 1usize..80, seed in any::<u64>()) {
+        let topo = WaxmanParams::new(n).generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(topo.graph.num_routers(), n);
+        prop_assert!(topo.graph.is_connected());
+    }
+}

@@ -1,0 +1,77 @@
+# Gnuplot script regenerating figure-style plots from the CSVs in this
+# directory. Run from the repository root after the fig* binaries:
+#
+#   gnuplot results/plot.gp
+#
+# Produces PNG files next to the CSVs.
+
+set datafile separator ','
+set terminal pngcairo size 900,600 font ',11'
+set key left top
+set grid
+
+# Figure 3: latency-stretch CDFs, one curve per group count.
+set output 'results/fig3_latency_stretch.png'
+set title 'Figure 3: CDF of latency stretch (128 nodes)'
+set xlabel 'latency stretch'
+set ylabel 'cumulative fraction of destinations'
+set xrange [0:12]
+plot for [g in "8 16 32 64"] \
+    "< awk -F, -v g=".g." '$1==g' results/fig3_latency_stretch.csv" \
+    using 2:3 with steps title g.' groups'
+
+# Figure 4: RDP vs unicast delay scatter.
+set output 'results/fig4_rdp.png'
+set title 'Figure 4: RDP vs unicast delay (64 groups)'
+set xlabel 'unicast delay (ms)'
+set ylabel 'relative delay penalty'
+set autoscale
+set logscale y
+plot 'results/fig4_rdp.csv' skip 1 using 1:2 with points pt 7 ps 0.4 notitle
+unset logscale y
+
+# Figure 5: sequencing nodes vs groups (both workload series).
+set output 'results/fig5_sequencing_nodes.png'
+set title 'Figure 5: sequencing nodes vs groups (128 nodes)'
+set xlabel 'number of groups'
+set ylabel 'sequencing nodes'
+plot 'results/fig5_sequencing_nodes.csv' skip 1 using 1:2:3:4 with yerrorbars title 'Zipf (p10-p90)', \
+     '' skip 1 using 1:5:6:7 with yerrorbars title 'dense (p10-p90)'
+
+# Figure 6: stress vs groups.
+set output 'results/fig6_stress.png'
+set title 'Figure 6: sequencing-node stress vs groups (128 nodes)'
+set xlabel 'number of groups'
+set ylabel 'stress (groups served / total groups)'
+plot 'results/fig6_stress.csv' skip 1 using 1:2 with lines title 'Zipf, all traffic', \
+     '' skip 1 using 1:5 with lines title 'dense, stamped', \
+     '' skip 1 using 1:6 with lines dt 2 title 'dense p90'
+
+# Figure 7: atoms-per-path CDF.
+set output 'results/fig7_atoms_on_path.png'
+set title 'Figure 7: CDF of stamps per path / nodes (128 nodes)'
+set xlabel 'sequencing atoms on path / total nodes'
+set ylabel 'cumulative fraction of groups'
+set xrange [0:0.06]
+plot for [g in "8 16 32 64"] \
+    "< awk -F, -v g=".g." '$1==g' results/fig7_atoms_on_path.csv" \
+    using 2:3 with steps title g.' groups'
+set autoscale
+
+# Figure 8: occupancy sweep.
+set output 'results/fig8_occupancy.png'
+set title 'Figure 8: overlaps and sequencing nodes vs expected occupancy (128 nodes, 32 groups)'
+set xlabel 'expected occupancy'
+set ylabel 'count'
+plot 'results/fig8_occupancy.csv' skip 1 using 1:2 with linespoints title 'double overlaps', \
+     '' skip 1 using 1:3 with linespoints title 'sequencing nodes'
+
+# Sustained load: buffering behavior.
+set output 'results/sustained_load.png'
+set title 'Ordering-buffer behavior under sustained load'
+set xlabel 'messages/s per publisher'
+set ylabel 'max buffer depth'
+set y2label 'mean buffering (ms)'
+set y2tics
+plot 'results/sustained_load.csv' skip 1 using 1:6 with linespoints title 'max buffer depth', \
+     '' skip 1 using 1:5 axes x1y2 with linespoints title 'mean buffering (ms)'

@@ -1,0 +1,77 @@
+//! # seqnet — decentralized message ordering for publish/subscribe systems
+//!
+//! A reproduction of Lumezanu, Spring, Bhattacharjee, *Decentralized Message
+//! Ordering for Publish/Subscribe Systems* (Middleware 2006).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`membership`] — node/group ids, the globally-known membership matrix,
+//!   and the Zipf/occupancy workload generators of the paper's evaluation.
+//! * [`overlap`] — double-overlap computation, sequencing-graph construction
+//!   (conditions C1 and C2), atom co-location, and machine placement.
+//! * [`core`] — the ordering protocol itself: sequencing atoms, stamps, the
+//!   receiver delivery queue, and the high-level [`core::OrderedPubSub`]
+//!   service.
+//! * [`topology`] — transit-stub topology generation (GT-ITM replacement),
+//!   shortest paths, and host attachment.
+//! * [`sim`] — the deterministic packet-level discrete-event simulator.
+//! * [`baseline`] — centralized sequencer, vector-clock ordering, and direct
+//!   unicast baselines.
+//! * [`runtime`] — a threaded deployment of the protocol over FIFO channels.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use seqnet::membership::{Membership, NodeId, GroupId};
+//! use seqnet::core::OrderedPubSub;
+//!
+//! // Three nodes, two groups that share two members (a "double overlap").
+//! let m = Membership::from_groups([
+//!     (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(2)]),
+//!     (GroupId(1), vec![NodeId(1), NodeId(2)]),
+//! ]);
+//! let mut bus = OrderedPubSub::new(&m);
+//! bus.publish(NodeId(0), GroupId(0), b"hello".to_vec());
+//! bus.publish(NodeId(1), GroupId(1), b"world".to_vec());
+//! bus.run_to_quiescence();
+//! // Both members of the overlap deliver the two messages in the same order.
+//! let d1 = bus.delivered(NodeId(1));
+//! let d2 = bus.delivered(NodeId(2));
+//! assert_eq!(d1.len(), 2);
+//! assert_eq!(
+//!     d1.iter().map(|d| d.id).collect::<Vec<_>>(),
+//!     d2.iter().map(|d| d.id).collect::<Vec<_>>(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use seqnet_baseline as baseline;
+pub use seqnet_core as core;
+pub use seqnet_membership as membership;
+pub use seqnet_overlap as overlap;
+pub use seqnet_runtime as runtime;
+pub use seqnet_sim as sim;
+pub use seqnet_topology as topology;
+
+/// The most commonly used items in one import.
+///
+/// ```
+/// use seqnet::prelude::*;
+///
+/// let m = Membership::from_groups([(GroupId(0), vec![NodeId(0), NodeId(1)])]);
+/// let mut bus = OrderedPubSub::new(&m);
+/// bus.publish(NodeId(0), GroupId(0), b"hi".to_vec())?;
+/// bus.run_to_quiescence();
+/// assert_eq!(bus.delivered(NodeId(1)).len(), 1);
+/// # Ok::<(), seqnet::core::CoreError>(())
+/// ```
+pub mod prelude {
+    pub use seqnet_core::{
+        CoreError, DeliveryRecord, DynamicOrderedPubSub, Message, MessageId, NetworkSetup,
+        OrderedPubSub,
+    };
+    pub use seqnet_membership::{GroupId, Membership, NodeId};
+    pub use seqnet_overlap::{GraphBuilder, SequencingGraph};
+    pub use seqnet_sim::SimTime;
+}

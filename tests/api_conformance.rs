@@ -1,0 +1,92 @@
+//! API-guideline conformance checks: key public types are `Send`/`Sync`
+//! (usable across threads and in `Arc`), implement the common traits, and
+//! error types behave like errors.
+
+use seqnet::prelude::*;
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_send<T: Send>() {}
+fn assert_clone_debug<T: Clone + std::fmt::Debug>() {}
+fn assert_error<T: std::error::Error + Send + Sync + 'static>() {}
+
+#[test]
+fn core_types_are_send_sync() {
+    assert_send_sync::<Membership>();
+    assert_send_sync::<SequencingGraph>();
+    assert_send_sync::<Message>();
+    assert_send_sync::<DeliveryRecord>();
+    // Engines are Send (movable into worker threads; see the test below);
+    // share one across threads behind a mutex if needed.
+    assert_send::<OrderedPubSub>();
+    assert_send::<DynamicOrderedPubSub>();
+    assert_send_sync::<NetworkSetup>();
+    assert_send_sync::<seqnet::core::ProtocolState>();
+    assert_send_sync::<seqnet::core::DeliveryQueue>();
+    assert_send_sync::<seqnet::overlap::Colocation>();
+    assert_send_sync::<seqnet::overlap::Placement>();
+    assert_send_sync::<seqnet::topology::Graph>();
+    assert_send_sync::<seqnet::topology::Topology>();
+    assert_send_sync::<seqnet::sim::SimTime>();
+    assert_send_sync::<seqnet::baseline::CausalBroadcast>();
+    assert_send_sync::<seqnet::runtime::RuntimeStats>();
+}
+
+#[test]
+fn error_types_are_well_behaved() {
+    assert_error::<CoreError>();
+    assert_error::<seqnet::overlap::GraphError>();
+    assert_error::<seqnet::runtime::RuntimeError>();
+    // Display messages are lowercase and unpunctuated (C-GOOD-ERR).
+    let msg = CoreError::UnknownGroup(GroupId(1)).to_string();
+    assert!(msg.chars().next().unwrap().is_lowercase());
+    assert!(!msg.ends_with('.'));
+}
+
+#[test]
+fn value_types_have_common_traits() {
+    assert_clone_debug::<NodeId>();
+    assert_clone_debug::<GroupId>();
+    assert_clone_debug::<MessageId>();
+    assert_clone_debug::<SimTime>();
+    assert_clone_debug::<seqnet::overlap::AtomId>();
+    assert_clone_debug::<seqnet::topology::RouterId>();
+    assert_clone_debug::<seqnet::topology::Delay>();
+    assert_clone_debug::<seqnet::core::SeqNo>();
+    assert_clone_debug::<seqnet::core::Stamp>();
+
+    // Ids are ordered and hashable for use as map keys.
+    fn assert_ord_hash<T: Ord + std::hash::Hash>() {}
+    assert_ord_hash::<NodeId>();
+    assert_ord_hash::<GroupId>();
+    assert_ord_hash::<MessageId>();
+    assert_ord_hash::<seqnet::overlap::AtomId>();
+    assert_ord_hash::<seqnet::topology::RouterId>();
+    assert_ord_hash::<seqnet::topology::Delay>();
+    assert_ord_hash::<SimTime>();
+}
+
+#[test]
+fn display_is_compact_and_nonempty() {
+    // C-DEBUG-NONEMPTY / useful Display forms for ids.
+    assert_eq!(NodeId(3).to_string(), "N3");
+    assert_eq!(GroupId(4).to_string(), "G4");
+    assert_eq!(MessageId(5).to_string(), "m5");
+    assert_eq!(seqnet::overlap::AtomId(6).to_string(), "Q6");
+    assert_eq!(seqnet::topology::RouterId(7).to_string(), "R7");
+    assert!(!format!("{:?}", Membership::new()).is_empty());
+    assert!(!format!("{:?}", SequencingGraph::default()).is_empty());
+}
+
+#[test]
+fn engine_can_move_across_threads() {
+    // The simulation engine itself is Send: build on one thread, run on
+    // another (common in test harnesses and parallel sweeps).
+    let m = Membership::from_groups([(GroupId(0), vec![NodeId(0), NodeId(1)])]);
+    let mut bus = OrderedPubSub::new(&m);
+    bus.publish(NodeId(0), GroupId(0), vec![]).unwrap();
+    let handle = std::thread::spawn(move || {
+        bus.run_to_quiescence();
+        bus.delivered(NodeId(1)).len()
+    });
+    assert_eq!(handle.join().unwrap(), 1);
+}

@@ -1,0 +1,171 @@
+//! Cross-checks between the decentralized protocol and the baselines: the
+//! paper's load and overhead arguments (§1.2, §2, §4.4), verified.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet::baseline::{vector_timestamp_bytes, CentralDelays, CentralSequencer};
+use seqnet::core::OrderedPubSub;
+use seqnet::membership::workload::ZipfGroups;
+use seqnet::membership::{GroupId, Membership, NodeId};
+use seqnet::overlap::GraphBuilder;
+use seqnet::sim::SimTime;
+
+fn workload(m: &Membership) -> Vec<(NodeId, GroupId)> {
+    let mut out = Vec::new();
+    for node in m.nodes() {
+        for group in m.groups_of(node) {
+            out.push((node, group));
+        }
+    }
+    out
+}
+
+#[test]
+fn both_systems_deliver_the_same_message_sets() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = ZipfGroups::new(16, 6).with_min_size(2).sample(&mut rng);
+
+    let mut decentralized = OrderedPubSub::new(&m);
+    let mut central = CentralSequencer::new(&m, CentralDelays::Uniform(SimTime::from_ms(1.0)));
+    for (sender, group) in workload(&m) {
+        decentralized.publish(sender, group, vec![]).unwrap();
+        central.publish(sender, group, 0).unwrap();
+    }
+    decentralized.run_to_quiescence();
+    central.run_to_quiescence();
+
+    for node in m.nodes().collect::<Vec<_>>() {
+        let mut a: Vec<_> = decentralized.delivered(node).iter().map(|d| d.id).collect();
+        let mut b: Vec<_> = central.delivered(node).iter().map(|d| d.id).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "{node} delivered different message sets");
+    }
+}
+
+#[test]
+fn central_sequencer_load_exceeds_decentralized_stamping_load() {
+    // §1.2: "sequencing atoms order no more messages than the most active
+    // receiver", while a central sequencer orders *all* messages.
+    let mut rng = StdRng::seed_from_u64(2);
+    let m = ZipfGroups::new(32, 12).with_min_size(2).sample(&mut rng);
+
+    let mut decentralized = OrderedPubSub::new(&m);
+    let mut central = CentralSequencer::new(&m, CentralDelays::Uniform(SimTime::from_ms(1.0)));
+    let jobs = workload(&m);
+    let total = jobs.len() as u64;
+    for (sender, group) in jobs {
+        decentralized.publish(sender, group, vec![]).unwrap();
+        central.publish(sender, group, 0).unwrap();
+    }
+    decentralized.run_to_quiescence();
+    central.run_to_quiescence();
+
+    assert_eq!(central.sequencer_load(), total);
+    let max_stamp = decentralized
+        .atom_stamp_loads()
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_stamp < total,
+        "decentralized hot spot {max_stamp} should be below total {total}"
+    );
+    let max_receiver = decentralized
+        .receiver_loads()
+        .values()
+        .copied()
+        .max()
+        .unwrap_or(0);
+    assert!(max_stamp <= max_receiver, "scalability bound violated");
+}
+
+#[test]
+fn stamp_overhead_below_vector_timestamps_when_nodes_exceed_groups() {
+    // §4.4: "our sequencer-based approach is attractive whenever the
+    // number of nodes exceeds the number of groups": stamps per message
+    // are bounded by the number of groups, vector timestamps cost 8 bytes
+    // per *node*.
+    let mut rng = StdRng::seed_from_u64(3);
+    let num_nodes = 64;
+    let num_groups = 12;
+    let m = ZipfGroups::new(num_nodes, num_groups)
+        .with_min_size(2)
+        .sample(&mut rng);
+    let graph = GraphBuilder::new().build(&m);
+
+    let vector_bytes = vector_timestamp_bytes(num_nodes);
+    for group in m.groups().collect::<Vec<_>>() {
+        let stamps = graph.stampers(group).len();
+        assert!(stamps < num_groups, "stamps bounded by group count");
+        let stamp_bytes = 8 + stamps * 12;
+        assert!(
+            stamp_bytes < vector_bytes,
+            "{group}: stamp bytes {stamp_bytes} >= vector bytes {vector_bytes}"
+        );
+    }
+}
+
+#[test]
+fn central_total_order_is_stricter_than_needed() {
+    // The central sequencer orders even messages to disjoint groups; the
+    // decentralized scheme deliberately does not ("messages to unrelated
+    // groups may be delivered in any order", §1.2). Both are *consistent*;
+    // the decentralized one just promises less.
+    let m = Membership::from_groups([
+        (GroupId(0), vec![NodeId(0), NodeId(1)]),
+        (GroupId(1), vec![NodeId(2), NodeId(3)]),
+    ]);
+    let mut bus = OrderedPubSub::new(&m);
+    bus.publish(NodeId(0), GroupId(0), vec![]).unwrap();
+    bus.publish(NodeId(2), GroupId(1), vec![]).unwrap();
+    bus.run_to_quiescence();
+    // Disjoint groups: no overlap atoms at all.
+    assert_eq!(bus.graph().num_overlap_atoms(), 0);
+    assert_eq!(bus.all_deliveries().count(), 4);
+}
+
+#[test]
+fn gm_tree_detours_disjoint_groups_through_the_root() {
+    // Two disjoint groups: seqnet orders them independently (no overlap
+    // atoms, direct paths); the Garcia-Molina tree still funnels both
+    // through its root, adding hops for unrelated traffic.
+    use seqnet::baseline::PropagationTree;
+    use seqnet::sim::SimTime;
+
+    let m = Membership::from_groups([
+        (GroupId(0), vec![NodeId(0), NodeId(1)]),
+        (GroupId(1), vec![NodeId(2), NodeId(3)]),
+    ]);
+    let mut gm = PropagationTree::new(&m, SimTime::from_ms(1.0));
+    let mut bus = OrderedPubSub::new(&m);
+    for i in 0..6u32 {
+        let grp = GroupId(i % 2);
+        let sender = m.members(grp).next().unwrap();
+        gm.publish(sender, grp).unwrap();
+        bus.publish(sender, grp, vec![]).unwrap();
+    }
+    gm.run_to_quiescence();
+    bus.run_to_quiescence();
+
+    let mean = |records: Vec<f64>| records.iter().sum::<f64>() / records.len() as f64;
+    let gm_latency = mean(
+        gm.all_deliveries()
+            .map(|d| (d.delivered - d.published).as_ms())
+            .collect(),
+    );
+    let seq_latency = mean(
+        bus.all_deliveries()
+            .map(|d| (d.delivered - d.published).as_ms())
+            .collect(),
+    );
+    // The root of the G-M tree sequences everything.
+    assert_eq!(gm.forward_loads()[&gm.root()], 6);
+    // seqnet built no overlap atoms at all for disjoint groups.
+    assert_eq!(bus.graph().num_overlap_atoms(), 0);
+    assert!(
+        gm_latency >= seq_latency,
+        "G-M {gm_latency}ms should not beat independent sequencing {seq_latency}ms"
+    );
+}

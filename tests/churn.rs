@@ -1,0 +1,131 @@
+//! Quiescent membership churn: groups join and leave between bursts of
+//! traffic, the sequencing graph updates incrementally (lazy retirement),
+//! and ordering guarantees keep holding on the updated graph.
+//!
+//! The paper holds membership fixed during its experiments and defers
+//! dynamic behavior to future work (§5); we verify correctness (not
+//! performance) of the incremental path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqnet::core::{DelayModel, OrderedPubSub};
+use seqnet::membership::{GroupId, NodeId};
+use seqnet::overlap::GraphBuilder;
+use seqnet::sim::SimTime;
+
+#[test]
+fn traffic_between_membership_epochs_stays_ordered() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut dyng = GraphBuilder::new().dynamic();
+    let mut live_groups: Vec<GroupId> = Vec::new();
+    let mut next_group = 0u32;
+
+    for epoch in 0..12 {
+        // Mutate membership: mostly adds early, mixed later.
+        if live_groups.is_empty() || rng.gen_bool(0.65) {
+            let gid = GroupId(next_group);
+            next_group += 1;
+            let size = rng.gen_range(2..6);
+            let members: std::collections::BTreeSet<NodeId> =
+                (0..size).map(|_| NodeId(rng.gen_range(0..10))).collect();
+            dyng.add_group(gid, members);
+            live_groups.push(gid);
+        } else {
+            let idx = rng.gen_range(0..live_groups.len());
+            dyng.remove_group(live_groups.swap_remove(idx));
+        }
+
+        let graph = dyng.graph();
+        graph
+            .validate_against(dyng.membership())
+            .unwrap_or_else(|e| panic!("epoch {epoch}: {e}"));
+
+        // Run a burst of traffic on the updated graph.
+        let m = dyng.membership().clone();
+        if m.is_empty() {
+            continue;
+        }
+        let mut bus = OrderedPubSub::with_graph_unchecked(
+            &m,
+            graph,
+            DelayModel::Uniform(SimTime::from_ms(1.0)),
+        )
+        .expect("graph is valid");
+        let mut expected = 0usize;
+        for &g in &live_groups {
+            for sender in m.members(g).collect::<Vec<_>>() {
+                bus.publish(sender, g, vec![epoch as u8]).unwrap();
+                expected += m.group_size(g);
+            }
+        }
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0, "epoch {epoch} deadlocked");
+        assert_eq!(bus.all_deliveries().count(), expected, "epoch {epoch}");
+
+        let nodes: Vec<NodeId> = m.nodes().collect();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                let da: Vec<_> = bus.delivered(a).iter().map(|d| d.id).collect();
+                let db: Vec<_> = bus.delivered(b).iter().map(|d| d.id).collect();
+                let ca: Vec<_> = da.iter().filter(|x| db.contains(x)).collect();
+                let cb: Vec<_> = db.iter().filter(|x| da.contains(x)).collect();
+                assert_eq!(ca, cb, "epoch {epoch}: {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn retired_atoms_accumulate_then_compact() {
+    let mut dyng = GraphBuilder::new().dynamic();
+    // Build a clique of overlapping groups and then remove half.
+    let nodes: Vec<NodeId> = (0..6).map(NodeId).collect();
+    for gi in 0..6u32 {
+        dyng.add_group(GroupId(gi), nodes.clone());
+    }
+    assert_eq!(dyng.graph().num_overlap_atoms(), 15, "C(6,2) overlaps");
+    for gi in 0..3u32 {
+        dyng.remove_group(GroupId(gi));
+    }
+    let lazy = dyng.graph();
+    lazy.validate_against(dyng.membership()).expect("valid");
+    assert_eq!(lazy.num_overlap_atoms(), 3, "C(3,2) live overlaps remain");
+    assert!(dyng.num_retired() > 0, "lazy removal leaves retired atoms");
+
+    dyng.compact();
+    let compacted = dyng.graph();
+    compacted
+        .validate_against(dyng.membership())
+        .expect("valid after compaction");
+    assert_eq!(compacted.num_overlap_atoms(), 3);
+    assert_eq!(dyng.num_retired(), 0);
+    assert!(
+        compacted.num_atoms() < lazy.num_atoms(),
+        "compaction sheds retired atoms"
+    );
+}
+
+#[test]
+fn membership_change_is_remove_plus_add() {
+    // "changing the graph when group membership changes can be
+    // accomplished by adding a group with the new membership and removing
+    // the old one" (§3.2).
+    let mut dyng = GraphBuilder::new().dynamic();
+    dyng.add_group(GroupId(0), [NodeId(0), NodeId(1), NodeId(2)]);
+    dyng.add_group(GroupId(1), [NodeId(1), NodeId(2), NodeId(3)]);
+    assert_eq!(dyng.graph().num_overlap_atoms(), 1);
+
+    // Node 3 leaves G1, node 0 joins: overlap with G0 changes to {0,1,2}.
+    dyng.remove_group(GroupId(1));
+    dyng.add_group(GroupId(1), [NodeId(0), NodeId(1), NodeId(2)]);
+    let graph = dyng.graph();
+    graph.validate_against(dyng.membership()).expect("valid");
+    assert_eq!(graph.num_overlap_atoms(), 1);
+    let overlap = graph
+        .atoms()
+        .iter()
+        .filter(|a| !graph.is_retired(a.id))
+        .find_map(|a| a.overlap())
+        .expect("one live overlap");
+    assert_eq!(overlap.members.len(), 3, "updated overlap has three members");
+}

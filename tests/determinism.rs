@@ -1,0 +1,66 @@
+//! Determinism canaries: identical seeds must produce bit-identical
+//! behavior across the whole stack — the property every experiment and
+//! every regression bisect depends on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet::core::{NetworkSetup, OrderedPubSub};
+use seqnet::membership::workload::ZipfGroups;
+use seqnet::membership::NodeId;
+use seqnet::overlap::{Colocation, GraphBuilder};
+use seqnet::topology::TransitStubParams;
+
+fn full_run(seed: u64) -> Vec<(NodeId, u64, u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let setup = NetworkSetup::generate(&TransitStubParams::small(), 16, 4, &mut rng);
+    let m = ZipfGroups::new(16, 6).with_min_size(2).sample(&mut rng);
+    let mut bus = OrderedPubSub::with_network(&m, &setup, &mut rng);
+    for node in m.nodes().collect::<Vec<_>>() {
+        for group in m.groups_of(node).collect::<Vec<_>>() {
+            bus.publish(node, group, vec![]).unwrap();
+        }
+    }
+    bus.run_to_quiescence();
+    bus.all_deliveries()
+        .map(|d| {
+            (
+                d.destination,
+                d.id.0,
+                d.arrived.as_micros(),
+                d.delivered.as_micros(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn end_to_end_runs_are_reproducible() {
+    let a = full_run(42);
+    let b = full_run(42);
+    assert_eq!(a, b, "same seed, same run");
+    assert!(!a.is_empty());
+    let c = full_run(43);
+    assert_ne!(a, c, "different seed, different timings");
+}
+
+#[test]
+fn graph_construction_is_deterministic() {
+    let m = ZipfGroups::new(64, 16).sample(&mut StdRng::seed_from_u64(7));
+    let g1 = GraphBuilder::new().build(&m);
+    let g2 = GraphBuilder::new().build(&m);
+    assert_eq!(g1, g2);
+    let c1 = Colocation::compute(&g1, &mut StdRng::seed_from_u64(9));
+    let c2 = Colocation::compute(&g2, &mut StdRng::seed_from_u64(9));
+    assert_eq!(c1.num_overlap_nodes(), c2.num_overlap_nodes());
+    for atom in g1.atoms() {
+        assert_eq!(c1.node_of(atom.id), c2.node_of(atom.id));
+    }
+}
+
+#[test]
+fn workloads_are_deterministic() {
+    let w = ZipfGroups::new(128, 32);
+    let a = w.sample(&mut StdRng::seed_from_u64(5));
+    let b = w.sample(&mut StdRng::seed_from_u64(5));
+    assert_eq!(a, b);
+}

@@ -1,0 +1,149 @@
+//! End-to-end simulation runs on generated topologies with the paper's
+//! workloads: everything is delivered, orders agree, stretch is sane.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet::core::{metrics, NetworkSetup, OrderedPubSub};
+use seqnet::membership::workload::ZipfGroups;
+use seqnet::membership::{GroupId, Membership, NodeId};
+use seqnet::topology::TransitStubParams;
+
+/// The Figure 3 workload: every node sends one message to every group it
+/// subscribes to.
+fn publish_fig3_workload(bus: &mut OrderedPubSub, m: &Membership) -> usize {
+    let mut expected = 0;
+    for node in m.nodes().collect::<Vec<_>>() {
+        for group in m.groups_of(node).collect::<Vec<_>>() {
+            bus.publish(node, group, vec![]).unwrap();
+            expected += m.group_size(group);
+        }
+    }
+    expected
+}
+
+fn assert_pairwise_agreement(bus: &OrderedPubSub, m: &Membership) {
+    let nodes: Vec<NodeId> = m.nodes().collect();
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            let da: Vec<_> = bus.delivered(a).iter().map(|d| d.id).collect();
+            let db: Vec<_> = bus.delivered(b).iter().map(|d| d.id).collect();
+            let ca: Vec<_> = da.iter().filter(|x| db.contains(x)).collect();
+            let cb: Vec<_> = db.iter().filter(|x| da.contains(x)).collect();
+            assert_eq!(ca, cb, "{a} and {b} disagree on common messages");
+        }
+    }
+}
+
+#[test]
+fn zipf_workload_on_small_topology() {
+    let mut rng = StdRng::seed_from_u64(2006);
+    let setup = NetworkSetup::generate(&TransitStubParams::small(), 24, 6, &mut rng);
+    let m = ZipfGroups::new(24, 8).with_min_size(2).sample(&mut rng);
+    let mut bus = OrderedPubSub::with_network(&m, &setup, &mut rng);
+    let expected = publish_fig3_workload(&mut bus, &m);
+    bus.run_to_quiescence();
+
+    assert_eq!(bus.stuck_messages(), 0);
+    assert_eq!(bus.all_deliveries().count(), expected);
+    assert_pairwise_agreement(&bus, &m);
+}
+
+#[test]
+fn stretch_is_at_least_one_on_network_runs() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let setup = NetworkSetup::generate(&TransitStubParams::small(), 16, 4, &mut rng);
+    let m = ZipfGroups::new(16, 6).with_min_size(2).sample(&mut rng);
+    let mut bus = OrderedPubSub::with_network(&m, &setup, &mut rng);
+    publish_fig3_workload(&mut bus, &m);
+    bus.run_to_quiescence();
+
+    let stretch = metrics::stretch_by_destination(bus.all_deliveries());
+    assert!(!stretch.is_empty());
+    for (node, s) in stretch {
+        assert!(
+            s >= 1.0,
+            "{node}: stretch {s} below 1 — sequencing cannot beat the shortest path"
+        );
+        assert!(s.is_finite());
+    }
+}
+
+#[test]
+fn rdp_points_match_record_count() {
+    let mut rng = StdRng::seed_from_u64(123);
+    let setup = NetworkSetup::generate(&TransitStubParams::small(), 12, 4, &mut rng);
+    let m = ZipfGroups::new(12, 4).with_min_size(2).sample(&mut rng);
+    let mut bus = OrderedPubSub::with_network(&m, &setup, &mut rng);
+    publish_fig3_workload(&mut bus, &m);
+    bus.run_to_quiescence();
+
+    let non_self = bus
+        .all_deliveries()
+        .filter(|d| d.destination != d.sender && d.unicast.as_micros() > 0)
+        .count();
+    let pts = metrics::rdp_scatter(bus.all_deliveries());
+    assert_eq!(pts.len(), non_self);
+    for (unicast_ms, rdp) in pts {
+        assert!(unicast_ms > 0.0);
+        assert!(rdp >= 1.0, "rdp {rdp} below 1");
+    }
+}
+
+#[test]
+fn medium_topology_with_many_groups() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let setup = NetworkSetup::generate(&TransitStubParams::medium(), 32, 8, &mut rng);
+    let m = ZipfGroups::new(32, 16).with_min_size(2).sample(&mut rng);
+    let mut bus = OrderedPubSub::with_network(&m, &setup, &mut rng);
+    let expected = publish_fig3_workload(&mut bus, &m);
+    bus.run_to_quiescence();
+    assert_eq!(bus.stuck_messages(), 0);
+    assert_eq!(bus.all_deliveries().count(), expected);
+    assert_pairwise_agreement(&bus, &m);
+}
+
+#[test]
+fn repeated_rounds_remain_consistent() {
+    // Several rounds of the workload through the same engine: counters
+    // keep advancing, order stays consistent.
+    let mut rng = StdRng::seed_from_u64(55);
+    let m = Membership::from_groups([
+        (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(2)]),
+        (GroupId(1), vec![NodeId(1), NodeId(2), NodeId(3)]),
+        (GroupId(2), vec![NodeId(0), NodeId(2), NodeId(3)]),
+    ]);
+    let setup = NetworkSetup::generate(&TransitStubParams::small(), 4, 2, &mut rng);
+    let mut bus = OrderedPubSub::with_network(&m, &setup, &mut rng);
+    for _round in 0..5 {
+        publish_fig3_workload(&mut bus, &m);
+        bus.run_to_quiescence();
+    }
+    assert_eq!(bus.stuck_messages(), 0);
+    assert_pairwise_agreement(&bus, &m);
+    // 5 rounds x (sum over nodes of sum of group sizes of its groups)
+    let per_round: usize = m
+        .nodes()
+        .map(|n| m.groups_of(n).map(|g| m.group_size(g)).sum::<usize>())
+        .sum();
+    assert_eq!(bus.all_deliveries().count(), 5 * per_round);
+}
+
+#[test]
+fn receiver_load_bounds_stamping_load() {
+    // The scalability claim (§1.2/§4.3): "sequencing atoms order no more
+    // messages than the most active receiver in the network". Every
+    // message an atom *stamps* is received by each of its overlap members,
+    // so no atom's stamping load can exceed the busiest receiver's load.
+    let mut rng = StdRng::seed_from_u64(11);
+    let m = ZipfGroups::new(16, 6).with_min_size(2).sample(&mut rng);
+    let mut bus = OrderedPubSub::new(&m);
+    publish_fig3_workload(&mut bus, &m);
+    bus.run_to_quiescence();
+
+    let max_stamping = bus.atom_stamp_loads().iter().copied().max().unwrap_or(0);
+    let max_receiver = bus.receiver_loads().values().copied().max().unwrap_or(0);
+    assert!(
+        max_stamping <= max_receiver,
+        "busiest atom stamps {max_stamping} > busiest receiver {max_receiver}"
+    );
+}

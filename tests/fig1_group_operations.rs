@@ -1,0 +1,140 @@
+//! The paper's Figure 1 storyline: adding and removing groups for a set
+//! of four nodes A, B, C, D (§3.2).
+
+use seqnet::membership::{GroupId, NodeId};
+use seqnet::overlap::{AtomKind, GraphBuilder};
+
+const A: NodeId = NodeId(0);
+const B: NodeId = NodeId(1);
+const C: NodeId = NodeId(2);
+const D: NodeId = NodeId(3);
+const G0: GroupId = GroupId(0);
+const G1: GroupId = GroupId(1);
+const G2: GroupId = GroupId(2);
+
+#[test]
+fn adding_the_first_group_creates_an_ingress_only_sequencer() {
+    // "Adding the first group G0 is trivial: an ingress-only sequencer is
+    // created — this sequencer orders all messages sent to the group."
+    let mut dyng = GraphBuilder::new().dynamic();
+    dyng.add_group(G0, [A, B, C, D]);
+    let graph = dyng.graph();
+    graph.validate_against(dyng.membership()).expect("valid");
+    assert_eq!(graph.num_overlap_atoms(), 0);
+    assert_eq!(graph.num_atoms(), 1);
+    assert!(matches!(
+        graph.atoms()[0].kind,
+        AtomKind::IngressOnly(g) if g == G0
+    ));
+    assert_eq!(graph.path(G0).unwrap().len(), 1);
+}
+
+#[test]
+fn second_overlapping_group_replaces_the_ingress_only_sequencer() {
+    // "When the second group G1 is added, if the memberships of G0 and G1
+    // overlap with at least two nodes, a new sequencer Q0 must represent
+    // G0 ∩ G1. All messages for both groups must transit this sequencer,
+    // and the G0-specific sequencer may be replaced or removed."
+    let mut dyng = GraphBuilder::new().dynamic();
+    dyng.add_group(G0, [A, B, C, D]);
+    dyng.add_group(G1, [A, B]);
+    let graph = dyng.graph();
+    graph.validate_against(dyng.membership()).expect("valid");
+
+    assert_eq!(graph.num_overlap_atoms(), 1);
+    let overlap_atom = graph
+        .atoms()
+        .iter()
+        .find(|a| a.overlap().is_some() && !graph.is_retired(a.id))
+        .expect("Q0 exists");
+    let overlap = overlap_atom.overlap().unwrap();
+    assert_eq!(overlap.members, [A, B].into_iter().collect());
+
+    // Both groups' paths transit Q0.
+    assert!(graph.path(G0).unwrap().contains(&overlap_atom.id));
+    assert!(graph.path(G1).unwrap().contains(&overlap_atom.id));
+
+    // The G0-specific ingress-only sequencer was replaced (retired).
+    let ingress_only_live = graph
+        .atoms()
+        .iter()
+        .filter(|a| a.overlap().is_none() && !graph.is_retired(a.id))
+        .count();
+    assert_eq!(ingress_only_live, 0, "G0's dedicated sequencer retired");
+}
+
+#[test]
+fn the_sequencer_is_relevant_only_to_the_overlap_members() {
+    // "This sequencer is relevant for all nodes in G0 ∩ G1; the rest need
+    // only use the group-local sequence number."
+    let mut dyng = GraphBuilder::new().dynamic();
+    dyng.add_group(G0, [A, B, C, D]);
+    dyng.add_group(G1, [A, B]);
+    let graph = dyng.graph();
+    assert_eq!(graph.relevant_atoms(A).len(), 1);
+    assert_eq!(graph.relevant_atoms(B).len(), 1);
+    assert!(graph.relevant_atoms(C).is_empty());
+    assert!(graph.relevant_atoms(D).is_empty());
+}
+
+#[test]
+fn non_overlapping_second_group_keeps_both_ingress_only() {
+    // Without a double overlap, each group keeps its own ingress-only
+    // sequencer and messages are "forwarded immediately for distribution".
+    let mut dyng = GraphBuilder::new().dynamic();
+    dyng.add_group(G0, [A, B]);
+    dyng.add_group(G1, [C, D]);
+    let graph = dyng.graph();
+    graph.validate_against(dyng.membership()).expect("valid");
+    assert_eq!(graph.num_overlap_atoms(), 0);
+    let live_ingress = graph
+        .atoms()
+        .iter()
+        .filter(|a| a.overlap().is_none() && !graph.is_retired(a.id))
+        .count();
+    assert_eq!(live_ingress, 2);
+}
+
+#[test]
+fn removing_a_group_retires_its_sequencer_lazily() {
+    // "To remove a group, a termination message is sent... If the overlap
+    // is gone, the sequencer may retire." We model retirement lazily; the
+    // retired atom keeps forwarding as a transit hop.
+    let mut dyng = GraphBuilder::new().dynamic();
+    dyng.add_group(G0, [A, B, C, D]);
+    dyng.add_group(G1, [A, B]);
+    dyng.add_group(G2, [C, D]);
+    let before = dyng.graph();
+    assert_eq!(before.num_overlap_atoms(), 2, "G0 overlaps G1 and G2");
+
+    dyng.remove_group(G1);
+    let after = dyng.graph();
+    after.validate_against(dyng.membership()).expect("valid");
+    assert_eq!(after.num_overlap_atoms(), 1, "(G0,G1) atom retired");
+    assert!(after.path(G1).is_none(), "terminated sequence space");
+    assert!(dyng.num_retired() >= 1);
+
+    // G0 and G2 still share their sequencer and stay ordered.
+    let shared = after
+        .atoms()
+        .iter()
+        .find(|a| a.overlap().is_some() && !after.is_retired(a.id))
+        .unwrap();
+    assert!(after.path(G0).unwrap().contains(&shared.id));
+    assert!(after.path(G2).unwrap().contains(&shared.id));
+}
+
+#[test]
+fn removing_the_last_overlap_restores_ingress_only_operation() {
+    let mut dyng = GraphBuilder::new().dynamic();
+    dyng.add_group(G0, [A, B, C, D]);
+    dyng.add_group(G1, [A, B]);
+    dyng.remove_group(G1);
+    let graph = dyng.graph();
+    graph.validate_against(dyng.membership()).expect("valid");
+    assert_eq!(graph.num_overlap_atoms(), 0);
+    // G0 regains a (fresh) ingress-only sequencer.
+    let path = graph.path(G0).expect("G0 still live");
+    assert_eq!(path.len(), 1);
+    assert!(graph.atoms()[path[0].index()].overlap().is_none());
+}

@@ -1,0 +1,155 @@
+//! Reproduces the paper's Figure 2: without condition C2 the three
+//! messages acquire circularly dependent sequence numbers and node B can
+//! never deliver; redirecting G1 through Q1 (making the graph loop-free)
+//! removes the ambiguity.
+//!
+//! Groups: G0 = {A,B,D}, G1 = {A,B,C}, G2 = {B,C,D} with A=0, B=1, C=2,
+//! D=3. Atoms: Q0 = overlap(G0,G1) = {A,B}, Q1 = overlap(G0,G2) = {B,D},
+//! Q2 = overlap(G1,G2) = {B,C}.
+
+use seqnet::core::{DelayModel, Endpoint, OrderedPubSub};
+use seqnet::membership::{GroupId, Membership, NodeId};
+use seqnet::overlap::{Atom, AtomId, AtomKind, GraphError, Overlap, SequencingGraph};
+use seqnet::sim::SimTime;
+use std::collections::HashMap;
+
+const A: NodeId = NodeId(0);
+const B: NodeId = NodeId(1);
+const C: NodeId = NodeId(2);
+const D: NodeId = NodeId(3);
+const G0: GroupId = GroupId(0);
+const G1: GroupId = GroupId(1);
+const G2: GroupId = GroupId(2);
+const Q0: AtomId = AtomId(0);
+const Q1: AtomId = AtomId(1);
+const Q2: AtomId = AtomId(2);
+
+fn membership() -> Membership {
+    Membership::from_groups([
+        (G0, vec![A, B, D]),
+        (G1, vec![A, B, C]),
+        (G2, vec![B, C, D]),
+    ])
+}
+
+fn atoms() -> Vec<Atom> {
+    vec![
+        Atom {
+            id: Q0,
+            kind: AtomKind::Overlap(Overlap::new(G0, G1, [A, B])),
+        },
+        Atom {
+            id: Q1,
+            kind: AtomKind::Overlap(Overlap::new(G0, G2, [B, D])),
+        },
+        Atom {
+            id: Q2,
+            kind: AtomKind::Overlap(Overlap::new(G1, G2, [B, C])),
+        },
+    ]
+}
+
+/// The paper's timing: the Q1 -> Q2 connection is "very slow compared to
+/// the one between Q0 and Q2".
+fn delays() -> DelayModel {
+    let mut overrides = HashMap::new();
+    overrides.insert(
+        (Endpoint::Atom(Q1), Endpoint::Atom(Q2)),
+        SimTime::from_ms(5.0),
+    );
+    DelayModel::PerChannel {
+        default: SimTime::from_ms(1.0),
+        overrides,
+    }
+}
+
+/// Publishes the paper's three messages: m0 to G0 and m1 to G1 from A
+/// (m0 slightly earlier), m2 to G2 from D.
+fn publish_all(bus: &mut OrderedPubSub) {
+    bus.publish_at(SimTime::ZERO, A, G0, b"m0".to_vec()).unwrap();
+    bus.publish_at(SimTime::from_micros(100), A, G1, b"m1".to_vec())
+        .unwrap();
+    bus.publish_at(SimTime::ZERO, D, G2, b"m2".to_vec()).unwrap();
+}
+
+#[test]
+fn fig2a_cyclic_graph_fails_validation() {
+    let graph = SequencingGraph::from_paths(
+        atoms(),
+        [(G0, vec![Q0, Q1]), (G1, vec![Q0, Q2]), (G2, vec![Q1, Q2])],
+    );
+    let err = graph.validate().unwrap_err();
+    assert!(matches!(err, GraphError::CycleDetected { .. }), "{err}");
+}
+
+#[test]
+fn fig2a_circular_dependency_deadlocks_node_b() {
+    let graph = SequencingGraph::from_paths(
+        atoms(),
+        [(G0, vec![Q0, Q1]), (G1, vec![Q0, Q2]), (G2, vec![Q1, Q2])],
+    );
+    let mut bus = OrderedPubSub::with_graph_unchecked(&membership(), graph, delays())
+        .expect("runnable even though invalid");
+    publish_all(&mut bus);
+    bus.run_to_quiescence();
+
+    // Node B received all three messages but the circular sequence
+    // numbers (paper Figure 2(a) table) block every delivery.
+    assert_eq!(bus.delivered(B).len(), 0, "B must be deadlocked");
+    assert_eq!(bus.stuck_messages(), 3, "all three messages stuck at B");
+
+    // A, C and D each only track one sequencer and can deliver.
+    assert_eq!(bus.delivered(A).len(), 2);
+    assert_eq!(bus.delivered(C).len(), 2);
+    assert_eq!(bus.delivered(D).len(), 2);
+}
+
+#[test]
+fn fig2b_loop_free_graph_delivers_everything() {
+    // "We eliminate the circular dependency by redirecting message m1
+    // through sequencer Q1" — G1's path becomes Q0, Q1 (transit), Q2.
+    let graph = SequencingGraph::from_paths(
+        atoms(),
+        [
+            (G0, vec![Q0, Q1]),
+            (G1, vec![Q0, Q1, Q2]),
+            (G2, vec![Q1, Q2]),
+        ],
+    );
+    graph.validate().expect("fig 2(b) satisfies C1 and C2");
+    let mut bus =
+        OrderedPubSub::with_graph_unchecked(&membership(), graph, delays()).expect("valid");
+    publish_all(&mut bus);
+    bus.run_to_quiescence();
+
+    assert_eq!(bus.stuck_messages(), 0, "no deadlock with C2");
+    assert_eq!(bus.delivered(A).len(), 2);
+    assert_eq!(bus.delivered(B).len(), 3, "B delivers all three");
+    assert_eq!(bus.delivered(C).len(), 2);
+    assert_eq!(bus.delivered(D).len(), 2);
+
+    // Everyone agrees pairwise on common messages.
+    let nodes = [A, B, C, D];
+    for (i, &x) in nodes.iter().enumerate() {
+        for &y in &nodes[i + 1..] {
+            let dx: Vec<_> = bus.delivered(x).iter().map(|d| d.id).collect();
+            let dy: Vec<_> = bus.delivered(y).iter().map(|d| d.id).collect();
+            let cx: Vec<_> = dx.iter().filter(|m| dy.contains(m)).collect();
+            let cy: Vec<_> = dy.iter().filter(|m| dx.contains(m)).collect();
+            assert_eq!(cx, cy, "{x} and {y} disagree");
+        }
+    }
+}
+
+#[test]
+fn builder_produces_a_loop_free_arrangement_for_fig2() {
+    // The GraphBuilder must never produce the Figure 2(a) triangle.
+    let graph = seqnet::overlap::GraphBuilder::new().build(&membership());
+    graph.validate_against(&membership()).expect("valid");
+    // Running the same adversarial timings on the built graph delivers.
+    let mut bus =
+        OrderedPubSub::with_graph_unchecked(&membership(), graph, delays()).expect("valid");
+    publish_all(&mut bus);
+    bus.run_to_quiescence();
+    assert_eq!(bus.stuck_messages(), 0);
+}

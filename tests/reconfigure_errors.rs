@@ -1,0 +1,95 @@
+//! Error paths of quiescent reconfiguration and the dynamic facade.
+
+use seqnet::core::{CoreError, OrderedPubSub};
+use seqnet::membership::{GroupId, Membership, NodeId};
+use seqnet::overlap::GraphBuilder;
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+fn g(i: u32) -> GroupId {
+    GroupId(i)
+}
+
+fn base_membership() -> Membership {
+    Membership::from_groups([(g(0), vec![n(0), n(1)])])
+}
+
+#[test]
+fn reconfigure_rejects_pending_events() {
+    let m = base_membership();
+    let mut bus = OrderedPubSub::new(&m);
+    bus.publish(n(0), g(0), vec![]).unwrap();
+    // Do NOT drain: events are pending.
+    let err = bus
+        .reconfigure(&m, GraphBuilder::new().build(&m))
+        .unwrap_err();
+    match err {
+        CoreError::NotQuiescent { pending_events, .. } => assert!(pending_events > 0),
+        other => panic!("expected NotQuiescent, got {other}"),
+    }
+    // Draining first makes the same reconfiguration legal.
+    bus.run_to_quiescence();
+    bus.reconfigure(&m, GraphBuilder::new().build(&m)).unwrap();
+}
+
+#[test]
+fn reconfigure_rejects_graphs_missing_paths() {
+    let m = base_membership();
+    let mut bus = OrderedPubSub::new(&m);
+    let mut grown = m.clone();
+    grown.subscribe(n(2), g(1));
+    grown.subscribe(n(3), g(1));
+    // Graph built for the OLD membership has no path for the new group.
+    let stale_graph = GraphBuilder::new().build(&m);
+    let err = bus.reconfigure(&grown, stale_graph).unwrap_err();
+    assert!(matches!(err, CoreError::InvalidGraph(_)), "{err}");
+}
+
+#[test]
+fn reconfigure_to_grown_membership_works() {
+    let m = base_membership();
+    let mut bus = OrderedPubSub::new(&m);
+    bus.publish(n(0), g(0), vec![]).unwrap();
+    bus.run_to_quiescence();
+
+    let mut grown = m.clone();
+    grown.subscribe(n(0), g(1));
+    grown.subscribe(n(1), g(1));
+    bus.reconfigure(&grown, GraphBuilder::new().build(&grown))
+        .unwrap();
+
+    bus.publish(n(0), g(0), vec![]).unwrap();
+    bus.publish(n(1), g(1), vec![]).unwrap();
+    bus.run_to_quiescence();
+    assert_eq!(bus.stuck_messages(), 0);
+    assert_eq!(bus.delivered(n(0)).len(), 3);
+    // Order agreement survives the reconfiguration.
+    let o0: Vec<_> = bus.delivered(n(0)).iter().map(|d| d.id).collect();
+    let o1: Vec<_> = bus.delivered(n(1)).iter().map(|d| d.id).collect();
+    assert_eq!(o0, o1);
+}
+
+#[test]
+fn reconfigure_drops_departed_subscribers() {
+    let m = Membership::from_groups([(g(0), vec![n(0), n(1), n(2)])]);
+    let mut bus = OrderedPubSub::new(&m);
+    bus.publish(n(0), g(0), vec![]).unwrap();
+    bus.run_to_quiescence();
+
+    let mut shrunk = Membership::from_groups([(g(0), vec![n(0), n(1)])]);
+    bus.reconfigure(&shrunk, GraphBuilder::new().build(&shrunk))
+        .unwrap();
+    bus.publish(n(0), g(0), vec![]).unwrap();
+    bus.run_to_quiescence();
+    assert_eq!(bus.delivered(n(2)).len(), 1, "history kept, no new messages");
+    assert_eq!(bus.delivered(n(0)).len(), 2);
+    // Re-joining later restarts from "now".
+    shrunk.subscribe(n(2), g(0));
+    bus.reconfigure(&shrunk, GraphBuilder::new().build(&shrunk))
+        .unwrap();
+    bus.publish(n(1), g(0), vec![]).unwrap();
+    bus.run_to_quiescence();
+    assert_eq!(bus.stuck_messages(), 0);
+    assert_eq!(bus.delivered(n(2)).len(), 2);
+}

@@ -1,0 +1,151 @@
+//! A broad seeded sweep: many random configurations, one invariant set.
+//! Complements the proptest suites with fixed, reproducible coverage of
+//! larger configurations than shrinking-friendly proptest inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqnet::core::OrderedPubSub;
+use seqnet::membership::workload::{OccupancyGroups, ZipfGroups};
+use seqnet::membership::{Membership, NodeId};
+use seqnet::overlap::GraphBuilder;
+
+fn run_and_check(membership: &Membership, seed: u64) {
+    let graph = GraphBuilder::new().build(membership);
+    graph
+        .validate_against(membership)
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+
+    let mut bus = OrderedPubSub::new(membership);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes: Vec<NodeId> = membership.nodes().collect();
+    if nodes.is_empty() {
+        return;
+    }
+    let groups: Vec<_> = membership.groups().collect();
+    let mut expected = 0usize;
+    for _ in 0..40 {
+        let group = groups[rng.gen_range(0..groups.len())];
+        if membership.group_size(group) == 0 {
+            continue;
+        }
+        let members: Vec<NodeId> = membership.members(group).collect();
+        let sender = members[rng.gen_range(0..members.len())];
+        bus.publish(sender, group, vec![]).unwrap();
+        expected += members.len();
+    }
+    bus.run_to_quiescence();
+    assert_eq!(bus.stuck_messages(), 0, "seed {seed}: deadlock");
+    assert_eq!(bus.all_deliveries().count(), expected, "seed {seed}");
+
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            let da: Vec<_> = bus.delivered(a).iter().map(|d| d.id).collect();
+            let db: Vec<_> = bus.delivered(b).iter().map(|d| d.id).collect();
+            let ca: Vec<_> = da.iter().filter(|x| db.contains(x)).collect();
+            let cb: Vec<_> = db.iter().filter(|x| da.contains(x)).collect();
+            assert_eq!(ca, cb, "seed {seed}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn fifty_zipf_configurations() {
+    for seed in 0..50u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = rng.gen_range(8..40);
+        let groups = rng.gen_range(2..12);
+        let m = ZipfGroups::new(nodes, groups)
+            .with_min_size(2)
+            .sample(&mut rng);
+        run_and_check(&m, seed);
+    }
+}
+
+#[test]
+fn thirty_dense_configurations() {
+    for seed in 100..130u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nodes = rng.gen_range(6..24);
+        let groups = rng.gen_range(2..8);
+        let occupancy = rng.gen_range(0.2..0.8);
+        let m = OccupancyGroups::new(nodes, groups, occupancy).sample(&mut rng);
+        if m.is_empty() {
+            continue;
+        }
+        run_and_check(&m, seed);
+    }
+}
+
+#[test]
+fn pathological_shapes() {
+    // Full clique of identical groups.
+    let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+    let clique = Membership::from_groups(
+        (0..6u32).map(|g| (seqnet::membership::GroupId(g), nodes.clone())),
+    );
+    run_and_check(&clique, 9000);
+
+    // A long chain of pairwise-overlapping groups.
+    let chain = Membership::from_groups((0..10u32).map(|g| {
+        (
+            seqnet::membership::GroupId(g),
+            vec![NodeId(g), NodeId(g + 1), NodeId(g + 2)],
+        )
+    }));
+    run_and_check(&chain, 9001);
+
+    // A star: one hub group overlapping many petals pairwise through two
+    // shared hub members.
+    let mut star = Membership::new();
+    for petal in 0..8u32 {
+        star.subscribe(NodeId(0), seqnet::membership::GroupId(petal));
+        star.subscribe(NodeId(1), seqnet::membership::GroupId(petal));
+        star.subscribe(NodeId(10 + petal), seqnet::membership::GroupId(petal));
+    }
+    run_and_check(&star, 9002);
+}
+
+#[test]
+fn three_systems_agree_on_delivered_sets() {
+    // Differential check: decentralized sequencing, the central sequencer
+    // and the Garcia-Molina propagation tree must deliver identical
+    // message *sets* to every node (orders legitimately differ in
+    // strength) across many seeds.
+    use seqnet::baseline::{CentralDelays, CentralSequencer, PropagationTree};
+    use seqnet::sim::SimTime;
+
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let nodes = rng.gen_range(6..20);
+        let groups = rng.gen_range(2..6);
+        let m = ZipfGroups::new(nodes, groups)
+            .with_min_size(2)
+            .sample(&mut rng);
+
+        let mut bus = OrderedPubSub::new(&m);
+        let mut central =
+            CentralSequencer::new(&m, CentralDelays::Uniform(SimTime::from_ms(1.0)));
+        let mut gm = PropagationTree::new(&m, SimTime::from_ms(1.0));
+        for node in m.nodes().collect::<Vec<_>>() {
+            for group in m.groups_of(node).collect::<Vec<_>>() {
+                bus.publish(node, group, vec![]).unwrap();
+                central.publish(node, group, 0).unwrap();
+                gm.publish(node, group).unwrap();
+            }
+        }
+        bus.run_to_quiescence();
+        central.run_to_quiescence();
+        gm.run_to_quiescence();
+
+        for node in m.nodes().collect::<Vec<_>>() {
+            let mut a: Vec<u64> = bus.delivered(node).iter().map(|d| d.id.0).collect();
+            let mut b: Vec<u64> = central.delivered(node).iter().map(|d| d.id.0).collect();
+            let mut c: Vec<u64> = gm.delivered(node).iter().map(|d| d.id.0).collect();
+            a.sort();
+            b.sort();
+            c.sort();
+            assert_eq!(a, b, "seed {seed}: seqnet vs central at {node}");
+            assert_eq!(a, c, "seed {seed}: seqnet vs G-M at {node}");
+        }
+    }
+}
