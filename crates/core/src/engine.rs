@@ -9,7 +9,7 @@ use bytes::Bytes;
 use rand::Rng;
 use seqnet_membership::{GroupId, Membership, NodeId};
 use seqnet_overlap::{AtomId, Colocation, GraphBuilder, Placement, SequencingGraph};
-use seqnet_sim::{FifoStamper, SimTime, Simulator};
+use seqnet_sim::{FaultPlan, FifoStamper, SimTime, Simulator};
 use seqnet_topology::{ClusteredAttachment, HostMap, Topology, TransitStubParams};
 use std::collections::{BTreeMap, HashMap};
 
@@ -92,6 +92,39 @@ impl Default for NetworkConfig {
     }
 }
 
+/// Counters describing what an installed [`FaultPlan`] actually did to a
+/// simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Crash windows applied (windows naming atoms the graph does not
+    /// have are skipped).
+    pub crashes: u64,
+    /// Messages that arrived at a crashed atom and were parked in its
+    /// upstream buffer until the restart replayed them.
+    pub messages_parked: u64,
+    /// Transmissions deferred by a link partition or stretched by a
+    /// burst-loss retransmission penalty.
+    pub messages_delayed: u64,
+}
+
+/// Runtime state of an installed fault schedule.
+#[derive(Debug)]
+struct FaultCtx {
+    plan: FaultPlan,
+    /// Arrivals at a down atom, parked in arrival order. Replayed — still
+    /// in order — by the restart event at the window's `up_at`; the
+    /// channel-FIFO assumption thus holds across the outage.
+    parked: HashMap<AtomId, Vec<Message>>,
+    crashes: u64,
+    messages_parked: u64,
+    messages_delayed: u64,
+}
+
+/// Deterministic per-(message, edge) tag feeding the loss-penalty hash.
+fn fault_tag(id: MessageId, a: u64, b: u64) -> u64 {
+    id.0 ^ a.rotate_left(24) ^ b.rotate_left(48)
+}
+
 /// A deferred publish, fired when `after` is delivered at `sender`.
 #[derive(Debug, Clone)]
 struct Trigger {
@@ -121,6 +154,8 @@ struct World {
     /// Ordering-metadata bytes carried across network hops (stamps and
     /// group numbers, §4.4's overhead measure integrated over distance).
     overhead_bytes: u64,
+    /// Installed fault schedule, if any.
+    fault: Option<FaultCtx>,
 }
 
 /// The ordered publish/subscribe service, simulated.
@@ -240,6 +275,7 @@ impl OrderedPubSub {
             messages_published: 0,
             traces: HashMap::new(),
             overhead_bytes: 0,
+            fault: None,
         };
         OrderedPubSub {
             sim: Simulator::new(world),
@@ -346,6 +382,61 @@ impl OrderedPubSub {
         let id = MessageId(world.next_id);
         world.next_id += 1;
         id
+    }
+
+    /// Installs a deterministic, seedable fault schedule (crash windows,
+    /// link partitions, burst-loss windows) executed as simulator events,
+    /// so faulty runs stay byte-for-byte reproducible.
+    ///
+    /// In the simulator the plan's *node* indices name sequencing atoms:
+    /// a crashed atom parks arriving messages in its upstream buffer —
+    /// the paper's §3.1 output retransmission buffer, seen from the
+    /// sender's side — and a restart event at the window's end replays
+    /// them in arrival order. Partitions between atoms `a` and `b` hold
+    /// frames until the partition heals; burst-loss windows stretch
+    /// affected transmissions by a deterministic number of retransmit
+    /// intervals. Per-channel FIFO is preserved throughout, so the
+    /// protocol's channel assumption (and with it Definition 1 / Theorem
+    /// 1) must survive every schedule — tests assert exactly that.
+    /// Windows naming atoms the graph does not have are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if virtual time has already advanced past a window's
+    /// restart instant — install the plan before running the simulation.
+    pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
+        let num_atoms = self.sim.world().graph.num_atoms();
+        let mut crashes = 0u64;
+        for w in plan.crash_windows() {
+            if w.node < num_atoms {
+                crashes += 1;
+                let atom = AtomId(w.node as u32);
+                self.sim
+                    .schedule_at(w.up_at, move |sim| replay_atom(sim, atom));
+            }
+        }
+        self.sim.world_mut().fault = Some(FaultCtx {
+            plan,
+            parked: HashMap::new(),
+            crashes,
+            messages_parked: 0,
+            messages_delayed: 0,
+        });
+    }
+
+    /// What the installed fault plan did so far; all-zero when no plan
+    /// was applied.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.sim
+            .world()
+            .fault
+            .as_ref()
+            .map(|c| FaultStats {
+                crashes: c.crashes,
+                messages_parked: c.messages_parked,
+                messages_delayed: c.messages_delayed,
+            })
+            .unwrap_or_default()
     }
 
     /// Runs until no events remain; returns the number of events executed.
@@ -518,9 +609,17 @@ fn inject(sim: &mut Simulator<World>, id: MessageId, sender: NodeId, group: Grou
         .graph
         .ingress(group)
         .expect("publish checked the path exists");
-    let delay = world
+    let mut delay = world
         .delays
         .delay(Endpoint::Host(sender), Endpoint::Atom(ingress));
+    if let Some(ctx) = &mut world.fault {
+        let tag = fault_tag(id, 0x4000_0000 | u64::from(sender.0), u64::from(ingress.0));
+        let penalty = ctx.plan.loss_penalty(tag, now);
+        if penalty > SimTime::ZERO {
+            ctx.messages_delayed += 1;
+            delay = delay + penalty;
+        }
+    }
     let arrival = world
         .fifo
         .arrival((Endpoint::Host(sender), Endpoint::Atom(ingress)), now, delay);
@@ -531,6 +630,18 @@ fn inject(sim: &mut Simulator<World>, id: MessageId, sender: NodeId, group: Grou
 fn at_atom(sim: &mut Simulator<World>, mut msg: Message, atom: AtomId) {
     let now = sim.now();
     let world = sim.world_mut();
+    if let Some(ctx) = &mut world.fault {
+        // A crashed atom does not process: the message stays parked in
+        // its upstream buffer. Parking also while earlier parked messages
+        // remain keeps the channel FIFO across the restart boundary.
+        let down = ctx.plan.is_down(atom.0 as usize, now)
+            || ctx.parked.get(&atom).is_some_and(|v| !v.is_empty());
+        if down {
+            ctx.messages_parked += 1;
+            ctx.parked.entry(atom).or_default().push(msg);
+            return;
+        }
+    }
     world
         .traces
         .entry(msg.id)
@@ -539,13 +650,27 @@ fn at_atom(sim: &mut Simulator<World>, mut msg: Message, atom: AtomId) {
     match world.protocol.process(&world.graph, &mut msg, atom) {
         NextHop::Atom(next) => {
             world.overhead_bytes += msg.ordering_overhead_bytes() as u64;
-            let delay = world
+            let mut delay = world
                 .delays
                 .delay(Endpoint::Atom(atom), Endpoint::Atom(next));
+            let mut start = now;
+            if let Some(ctx) = &mut world.fault {
+                if let Some(heal) = ctx.plan.cut_until(atom.0 as usize, next.0 as usize, now) {
+                    // Partitioned: the frame waits out the cut.
+                    ctx.messages_delayed += 1;
+                    start = heal;
+                }
+                let tag = fault_tag(msg.id, u64::from(atom.0), u64::from(next.0));
+                let penalty = ctx.plan.loss_penalty(tag, now);
+                if penalty > SimTime::ZERO {
+                    ctx.messages_delayed += 1;
+                    delay = delay + penalty;
+                }
+            }
             let arrival =
                 world
                     .fifo
-                    .arrival((Endpoint::Atom(atom), Endpoint::Atom(next)), now, delay);
+                    .arrival((Endpoint::Atom(atom), Endpoint::Atom(next)), start, delay);
             sim.schedule_at(arrival, move |sim| at_atom(sim, msg, next));
         }
         NextHop::Egress => {
@@ -554,25 +679,48 @@ fn at_atom(sim: &mut Simulator<World>, mut msg: Message, atom: AtomId) {
             let members: Vec<NodeId> = world.membership.members(msg.group).collect();
             world.overhead_bytes +=
                 (msg.ordering_overhead_bytes() * members.len()) as u64;
-            let sends: Vec<(SimTime, NodeId)> = members
-                .into_iter()
-                .map(|member| {
-                    let delay = world
-                        .delays
-                        .delay(Endpoint::Atom(atom), Endpoint::Host(member));
-                    let arrival = world.fifo.arrival(
-                        (Endpoint::Atom(atom), Endpoint::Host(member)),
-                        now,
-                        delay,
+            let mut sends: Vec<(SimTime, NodeId)> = Vec::with_capacity(members.len());
+            for member in members {
+                let mut delay = world
+                    .delays
+                    .delay(Endpoint::Atom(atom), Endpoint::Host(member));
+                if let Some(ctx) = &mut world.fault {
+                    let tag = fault_tag(
+                        msg.id,
+                        u64::from(atom.0),
+                        0x8000_0000 | u64::from(member.0),
                     );
-                    (arrival, member)
-                })
-                .collect();
+                    let penalty = ctx.plan.loss_penalty(tag, now);
+                    if penalty > SimTime::ZERO {
+                        ctx.messages_delayed += 1;
+                        delay = delay + penalty;
+                    }
+                }
+                let arrival = world.fifo.arrival(
+                    (Endpoint::Atom(atom), Endpoint::Host(member)),
+                    now,
+                    delay,
+                );
+                sends.push((arrival, member));
+            }
             for (arrival, member) in sends {
                 let copy = msg.clone();
                 sim.schedule_at(arrival, move |sim| arrive(sim, copy, member));
             }
         }
+    }
+}
+
+/// Event: a crashed atom restarts and replays its parked arrivals, in
+/// the order they arrived — the simulator counterpart of the runtime's
+/// replay-from-upstream-retransmission-buffers recovery.
+fn replay_atom(sim: &mut Simulator<World>, atom: AtomId) {
+    let parked = match &mut sim.world_mut().fault {
+        Some(ctx) => ctx.parked.remove(&atom).unwrap_or_default(),
+        None => Vec::new(),
+    };
+    for msg in parked {
+        at_atom(sim, msg, atom);
     }
 }
 
@@ -800,6 +948,112 @@ mod tests {
         let loads = bus.receiver_loads();
         assert_eq!(loads[&n(0)], 4);
         assert_eq!(loads[&n(3)], 0);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use seqnet_sim::FaultPlan;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+    fn g(i: u32) -> GroupId {
+        GroupId(i)
+    }
+
+    fn overlapped_membership() -> Membership {
+        Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(1), n(2), n(3)]),
+        ])
+    }
+
+    /// Crashing every atom parks in-flight messages; once the atoms come
+    /// back, parked messages replay in arrival order and the total-order
+    /// guarantee (Definition 1 / Theorem 1) still holds.
+    #[test]
+    fn crash_all_atoms_then_recover() {
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        let atoms = bus.graph().num_atoms();
+        let mut plan = FaultPlan::new();
+        for a in 0..atoms {
+            plan = plan.crash(a, SimTime::from_ms(0.5), SimTime::from_ms(20.0));
+        }
+        bus.apply_fault_plan(plan);
+        for i in 0..6u32 {
+            let (sender, group) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            bus.publish(sender, group, vec![i as u8]).unwrap();
+        }
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0, "recovery left messages stuck");
+        let o1: Vec<MessageId> = bus.delivered(n(1)).iter().map(|d| d.id).collect();
+        let o2: Vec<MessageId> = bus.delivered(n(2)).iter().map(|d| d.id).collect();
+        assert_eq!(o1, o2, "order diverged across a full-crash outage");
+        assert_eq!(o1.len(), 6);
+        let stats = bus.fault_stats();
+        assert_eq!(stats.crashes, atoms as u64);
+        assert!(stats.messages_parked > 0, "publishes at 1ms hit down atoms");
+    }
+
+    /// Partitions and loss bursts delay but never lose or reorder: every
+    /// message is still delivered, in an order all overlap members share.
+    #[test]
+    fn partition_and_loss_preserve_delivery() {
+        let m = overlapped_membership();
+        let mut bus = OrderedPubSub::new(&m);
+        let atoms = bus.graph().num_atoms();
+        let mut plan =
+            FaultPlan::new().loss_burst(SimTime::ZERO, SimTime::from_ms(30.0), SimTime::from_ms(2.0), 3);
+        if atoms >= 2 {
+            plan = plan.partition(0, 1, SimTime::ZERO, SimTime::from_ms(10.0));
+        }
+        bus.apply_fault_plan(plan);
+        for i in 0..8u32 {
+            let (sender, group) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            bus.publish(sender, group, vec![i as u8]).unwrap();
+        }
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0);
+        let o1: Vec<MessageId> = bus.delivered(n(1)).iter().map(|d| d.id).collect();
+        let o2: Vec<MessageId> = bus.delivered(n(2)).iter().map(|d| d.id).collect();
+        assert_eq!(o1, o2);
+        assert_eq!(o1.len(), 8);
+    }
+
+    /// The same seed produces the byte-for-byte same run: identical
+    /// deliveries at identical simulated times.
+    #[test]
+    fn randomized_plan_is_deterministic() {
+        fn run_once(seed: u64) -> (Vec<(NodeId, MessageId, SimTime)>, FaultStats) {
+            let m = overlapped_membership();
+            let mut bus = OrderedPubSub::new(&m);
+            let atoms = bus.graph().num_atoms();
+            bus.apply_fault_plan(FaultPlan::randomized(seed, atoms, SimTime::from_ms(50.0)));
+            for i in 0..8u32 {
+                let (sender, group) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+                bus.publish_at(SimTime::from_ms(f64::from(i)), sender, group, vec![i as u8])
+                    .unwrap();
+            }
+            bus.run_to_quiescence();
+            assert_eq!(bus.stuck_messages(), 0, "seed {seed} left messages stuck");
+            let mut log: Vec<(NodeId, MessageId, SimTime)> = bus
+                .all_deliveries()
+                .map(|d| (d.destination, d.id, d.delivered))
+                .collect();
+            log.sort();
+            (log, bus.fault_stats())
+        }
+        for seed in [1u64, 7, 42] {
+            let (log_a, stats_a) = run_once(seed);
+            let (log_b, stats_b) = run_once(seed);
+            assert_eq!(log_a, log_b, "seed {seed} was not reproducible");
+            assert_eq!(stats_a, stats_b);
+            // 8 messages, each delivered by its group's 3 members.
+            assert_eq!(log_a.len(), 24, "seed {seed} lost deliveries");
+        }
     }
 }
 

@@ -64,7 +64,7 @@ pub mod traffic;
 pub use delay::{DelayModel, DelayTable, Endpoint};
 pub use delivery::DeliveryQueue;
 pub use dynamic::DynamicOrderedPubSub;
-pub use engine::{DeliveryRecord, NetworkConfig, NetworkSetup, OrderedPubSub};
+pub use engine::{DeliveryRecord, FaultStats, NetworkConfig, NetworkSetup, OrderedPubSub};
 pub use error::CoreError;
 pub use message::{Message, MessageId, SeqNo, Stamp};
 pub use protocol::{NextHop, ProtocolState};

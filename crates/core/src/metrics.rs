@@ -81,6 +81,19 @@ pub fn mean_buffering_ms<'a>(records: impl IntoIterator<Item = &'a DeliveryRecor
     sum / count as f64
 }
 
+/// Average crash-recovery latency in milliseconds, from the accumulated
+/// counters a runtime reports (`seqnet-runtime`'s
+/// `RuntimeStats::recovery_micros` and `RuntimeStats::crashes`): total
+/// time from restarted-thread start to the first snapshot that sealed
+/// replayed frames, divided by the number of crashes. Returns `0.0` when
+/// no crash occurred.
+pub fn mean_recovery_ms(total_recovery_micros: u64, crashes: u64) -> f64 {
+    if crashes == 0 {
+        return 0.0;
+    }
+    total_recovery_micros as f64 / crashes as f64 / 1000.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +165,11 @@ mod tests {
     #[should_panic(expected = "no delivery records")]
     fn empty_records_panic() {
         let _ = mean_delivery_latency_ms(&[]);
+    }
+
+    #[test]
+    fn recovery_latency_mean() {
+        assert_eq!(mean_recovery_ms(0, 0), 0.0);
+        assert_eq!(mean_recovery_ms(6_000, 2), 3.0);
     }
 }

@@ -1,4 +1,20 @@
 //! Orchestration: sequencing-node and host threads wired by reliable links.
+//!
+//! Beyond the fault-free pipeline, this module implements sequencer
+//! crash–recovery. Every sequencing node periodically checkpoints its
+//! durable state (protocol counters plus both halves of every link) into a
+//! shared snapshot store, and the runtime enforces a group-commit rule:
+//! *nothing escapes a node before a snapshot containing it*. Output frames
+//! are staged in the link senders' retransmission buffers but withheld from
+//! the wire until the next snapshot; acknowledgments to upstream peers are
+//! deferred and sent as a single cumulative ack covering exactly the
+//! snapshotted receive prefix. A restarted node therefore resumes from its
+//! last snapshot, and everything it processed after that snapshot is
+//! replayed to it from upstream retransmission buffers — the paper's §3.1
+//! output buffers double as the recovery log. Publishers reach ingress
+//! nodes over the same reliable links (capped-exponential-backoff retry),
+//! and nodes exchange heartbeats so that peer failures are detected, not
+//! just tolerated.
 
 use crate::link::{LinkReceiver, LinkSender};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -8,18 +24,22 @@ use rand::{Rng, SeedableRng};
 use seqnet_core::{DeliveryQueue, Message, MessageId, NextHop, ProtocolState};
 use seqnet_membership::{GroupId, Membership, NodeId};
 use seqnet_overlap::{AtomId, Colocation, GraphBuilder, SequencingGraph};
+use seqnet_sim::{FaultPlan, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A party in the deployment: a sequencing-node thread or a host thread.
+/// A party in the deployment: a sequencing-node thread, a host thread, or
+/// the publisher front-end living inside [`Cluster`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum Party {
     Node(usize),
     Host(NodeId),
+    Publisher,
 }
 
 /// Identifies a directed reliable link between two parties.
@@ -37,13 +57,21 @@ struct WireData {
 #[derive(Debug, Clone)]
 enum Body {
     Data(WireData),
+    /// Acknowledges exactly the frame sequence number it carries.
     Ack,
+    /// Cumulative acknowledgment: every frame up to and including the
+    /// carried sequence number is confirmed. Sent by sequencing nodes at
+    /// snapshot time, so an ack never outruns the durable state that
+    /// records its frames.
+    AckThrough,
+    /// Liveness beacon between sequencing nodes; carries no payload and
+    /// bypasses the reliable-delivery machinery.
+    Heartbeat,
 }
 
 #[derive(Debug)]
 enum ThreadMsg {
     Frame { link: LinkId, seq: u64, body: Body },
-    Publish(Message),
     Shutdown,
 }
 
@@ -74,6 +102,18 @@ pub struct RuntimeStats {
     pub retransmissions: u64,
     /// Duplicate frames discarded by link receivers.
     pub duplicates: u64,
+    /// Sequencing-node threads killed via [`Cluster::crash_node`].
+    pub crashes: u64,
+    /// Data frames replayed to restarted nodes from upstream
+    /// retransmission buffers before their recovery completed.
+    pub frames_replayed: u64,
+    /// Peer-failure detections: transitions of a monitored peer from
+    /// healthy to suspected after three missed heartbeat intervals.
+    pub heartbeat_misses: u64,
+    /// Total recovery latency in microseconds, summed over restarts:
+    /// thread start to the first snapshot that re-durably-records
+    /// replayed input.
+    pub recovery_micros: u64,
 }
 
 /// Deployment configuration.
@@ -81,14 +121,29 @@ pub struct RuntimeStats {
 pub struct ClusterConfig {
     /// Probability that any frame (data or ack) is lost in transit.
     pub drop_probability: f64,
-    /// How long a frame may stay unacknowledged before retransmission.
+    /// How long a frame may stay unacknowledged before its first
+    /// retransmission; the per-frame interval then doubles up to
+    /// [`backoff_cap`](Self::backoff_cap).
     pub retransmit_timeout: Duration,
+    /// Upper bound on the per-frame retransmission interval. Long
+    /// outages (a crashed peer) back off to this cap instead of
+    /// producing a retransmit storm at the fixed timeout.
+    pub backoff_cap: Duration,
     /// Maximum simulated propagation delay per frame: each transmission
     /// is held for a uniform random duration in `[0, link_delay]` by a
     /// delayer thread, so frames on *different* links genuinely race and
     /// reorder (per-link FIFO is restored by the link layer). Zero sends
     /// directly.
     pub link_delay: Duration,
+    /// How often sequencing nodes checkpoint their durable state. Staged
+    /// output frames and cumulative acks leave the node only at snapshot
+    /// time, so this bounds both the recovery rollback window and the
+    /// added per-hop latency.
+    pub snapshot_interval: Duration,
+    /// How often sequencing nodes emit heartbeats on node-to-node links.
+    /// A peer silent for three intervals is suspected (counted in
+    /// [`RuntimeStats::heartbeat_misses`]).
+    pub heartbeat_interval: Duration,
     /// Seed for co-location and loss injection.
     pub seed: u64,
 }
@@ -98,7 +153,10 @@ impl Default for ClusterConfig {
         ClusterConfig {
             drop_probability: 0.0,
             retransmit_timeout: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(80),
             link_delay: Duration::ZERO,
+            snapshot_interval: Duration::from_millis(3),
+            heartbeat_interval: Duration::from_millis(15),
             seed: 0,
         }
     }
@@ -131,6 +189,23 @@ impl fmt::Display for RuntimeError {
 
 impl Error for RuntimeError {}
 
+/// Durable state a sequencing node checkpoints: its protocol counters plus
+/// both halves of every link it terminates. The snapshot store stands in
+/// for stable storage; frames transmitted before the crash are exactly the
+/// frames some snapshot records, so restoring the latest snapshot plus
+/// replay from upstream output buffers reconstructs a consistent node.
+#[derive(Debug, Clone)]
+struct NodeSnapshot {
+    protocol: ProtocolState,
+    /// Per incoming link: the next in-order sequence number expected at
+    /// snapshot time (everything below it was processed and is covered by
+    /// `protocol`).
+    rx_next: HashMap<LinkId, u64>,
+    /// Per outgoing link: the next fresh sequence number and the frames
+    /// still unacknowledged at snapshot time.
+    tx_state: HashMap<LinkId, (u64, Vec<(u64, WireData)>)>,
+}
+
 /// Immutable wiring shared by all threads.
 #[derive(Debug)]
 struct Wiring {
@@ -143,6 +218,9 @@ struct Wiring {
     outboxes: BTreeMap<Party, Sender<ThreadMsg>>,
     config: ClusterConfig,
     stats: Mutex<RuntimeStats>,
+    /// Latest checkpoint per sequencing node; the stand-in for each
+    /// node's stable storage.
+    snapshots: Mutex<HashMap<usize, NodeSnapshot>>,
     /// Frames routed through the delayer thread when `link_delay > 0`.
     delayer: Option<Sender<DelayedFrame>>,
 }
@@ -155,11 +233,25 @@ impl Wiring {
 
 /// A running threaded deployment of the ordering protocol.
 ///
-/// See the [crate docs](crate) for an example.
+/// See the [crate docs](crate) for an example. Sequencing-node threads can
+/// be killed and restarted mid-run with [`Cluster::crash_node`] and
+/// [`Cluster::restart_node`]; delivery of every published message, in
+/// consistent order, survives such faults.
 #[derive(Debug)]
 pub struct Cluster {
     wiring: Arc<Wiring>,
-    handles: Vec<JoinHandle<()>>,
+    node_handles: HashMap<usize, JoinHandle<()>>,
+    host_handles: Vec<JoinHandle<()>>,
+    /// Retained clones of node inbox receivers so a restarted thread can
+    /// take over the same channel (frames queued while the node was down
+    /// are waiting for it).
+    node_inboxes: HashMap<usize, Receiver<ThreadMsg>>,
+    kill_flags: HashMap<usize, Arc<AtomicBool>>,
+    /// Publisher-side link machinery: publishes travel over reliable
+    /// links to ingress nodes and are retried with capped exponential
+    /// backoff until a node snapshot acknowledges them.
+    pub_engine: LinkEngine,
+    pub_inbox: Receiver<ThreadMsg>,
     notes: Receiver<DeliveryNote>,
     next_id: u64,
     shut_down: bool,
@@ -189,7 +281,8 @@ impl Cluster {
             }
         }
 
-        // Enumerate links: node→node along paths, egress node→member hosts.
+        // Enumerate links: publisher→ingress node, node→node along paths,
+        // egress node→member hosts.
         let mut links: Vec<(Party, Party)> = Vec::new();
         let mut link_index: HashMap<(Party, Party), LinkId> = HashMap::new();
         let add_link = |from: Party, to: Party,
@@ -202,6 +295,13 @@ impl Cluster {
             });
         };
         for (group, path) in graph.paths() {
+            let ingress = atom_node[path.first().expect("paths are non-empty")];
+            add_link(
+                Party::Publisher,
+                Party::Node(ingress),
+                &mut links,
+                &mut link_index,
+            );
             for w in path.windows(2) {
                 let (a, b) = (atom_node[&w[0]], atom_node[&w[1]]);
                 if a != b {
@@ -219,12 +319,13 @@ impl Cluster {
             }
         }
 
-        // Channels: one inbox per party.
+        // Channels: one inbox per party, including the publisher.
         let mut outboxes: BTreeMap<Party, Sender<ThreadMsg>> = BTreeMap::new();
         let mut inboxes: BTreeMap<Party, Receiver<ThreadMsg>> = BTreeMap::new();
         let parties: Vec<Party> = (0..coloc.num_nodes())
             .map(Party::Node)
             .chain(membership.nodes().map(Party::Host))
+            .chain(std::iter::once(Party::Publisher))
             .collect();
         for &p in &parties {
             let (tx, rx) = unbounded();
@@ -291,32 +392,61 @@ impl Cluster {
             outboxes,
             config: config.clone(),
             stats: Mutex::new(RuntimeStats::default()),
+            snapshots: Mutex::new(HashMap::new()),
             delayer,
         });
 
-        let mut handles = Vec::new();
+        let mut node_handles = HashMap::new();
+        let mut host_handles = Vec::new();
+        let mut node_inboxes = HashMap::new();
+        let mut kill_flags = HashMap::new();
+        let mut pub_inbox = None;
         for &p in &parties {
             let inbox = inboxes.remove(&p).expect("inbox exists");
-            let wiring = Arc::clone(&wiring);
-            let note_tx = note_tx.clone();
             let seed = config.seed ^ hash_party(p);
-            handles.push(std::thread::spawn(move || match p {
-                Party::Node(idx) => node_thread(idx, inbox, wiring, seed),
-                Party::Host(host) => host_thread(host, inbox, wiring, note_tx, seed),
-            }));
+            match p {
+                Party::Node(idx) => {
+                    let flag = Arc::new(AtomicBool::new(false));
+                    kill_flags.insert(idx, flag.clone());
+                    node_inboxes.insert(idx, inbox.clone());
+                    let wiring = Arc::clone(&wiring);
+                    node_handles.insert(
+                        idx,
+                        std::thread::spawn(move || {
+                            node_thread(idx, inbox, wiring, seed, flag, false)
+                        }),
+                    );
+                }
+                Party::Host(host) => {
+                    let wiring = Arc::clone(&wiring);
+                    let note_tx = note_tx.clone();
+                    host_handles.push(std::thread::spawn(move || {
+                        host_thread(host, inbox, wiring, note_tx, seed)
+                    }));
+                }
+                Party::Publisher => pub_inbox = Some(inbox),
+            }
         }
 
+        let pub_seed = config.seed ^ hash_party(Party::Publisher);
         Cluster {
             wiring,
-            handles,
+            node_handles,
+            host_handles,
+            node_inboxes,
+            kill_flags,
+            pub_engine: LinkEngine::new(Party::Publisher, pub_seed, false),
+            pub_inbox: pub_inbox.expect("publisher inbox exists"),
             notes: note_rx,
             next_id: 0,
             shut_down: false,
         }
     }
 
-    /// Publishes a message: hands it to the destination group's ingress
-    /// sequencing node.
+    /// Publishes a message: sends it over the reliable link to the
+    /// destination group's ingress sequencing node, where it is retried
+    /// with capped exponential backoff until a node snapshot covers it —
+    /// so publishes survive an ingress-node crash.
     ///
     /// # Errors
     ///
@@ -334,10 +464,28 @@ impl Cluster {
         self.next_id += 1;
         let msg = Message::new(id, sender, group, payload.into());
         let node = self.wiring.atom_node[&ingress];
-        self.wiring.outboxes[&Party::Node(node)]
-            .send(ThreadMsg::Publish(msg))
-            .expect("node thread is running");
+        self.pub_engine.send_data(
+            &self.wiring,
+            Party::Node(node),
+            WireData {
+                msg,
+                target_atom: Some(ingress),
+            },
+        );
+        self.pump_publisher();
         Ok(id)
+    }
+
+    /// Drains acknowledgments addressed to the publisher and retransmits
+    /// overdue publishes. Called from every front-end entry point; the
+    /// publisher has no thread of its own.
+    fn pump_publisher(&mut self) {
+        while let Ok(msg) = self.pub_inbox.try_recv() {
+            if let ThreadMsg::Frame { link, seq, body } = msg {
+                let _ = self.pub_engine.on_frame(&self.wiring, link, seq, body);
+            }
+        }
+        self.pub_engine.retransmit_due(&self.wiring);
     }
 
     /// Collects exactly `expected` deliveries (across all hosts), grouped
@@ -355,18 +503,119 @@ impl Cluster {
         let mut out: BTreeMap<NodeId, Vec<Message>> = BTreeMap::new();
         let mut received = 0usize;
         while received < expected {
+            self.pump_publisher();
             let remaining = deadline.saturating_duration_since(Instant::now());
-            match self.notes.recv_timeout(remaining) {
+            if remaining.is_zero() {
+                return Err(RuntimeError::Timeout { expected, received });
+            }
+            match self
+                .notes
+                .recv_timeout(remaining.min(Duration::from_millis(2)))
+            {
                 Ok(note) => {
                     out.entry(note.host).or_default().push(note.msg);
                     received += 1;
                 }
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
                     return Err(RuntimeError::Timeout { expected, received });
                 }
             }
         }
         Ok(out)
+    }
+
+    /// Kills the sequencing-node thread `node` as a simulated crash: its
+    /// volatile state (link buffers, unsnapshotted protocol progress,
+    /// staged outputs) is lost; only the shared snapshot store survives.
+    /// Frames sent to the node while it is down queue in its inbox.
+    /// Returns `true` if a running node was killed, `false` if it was
+    /// already down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a valid sequencing-node index.
+    pub fn crash_node(&mut self, node: usize) -> bool {
+        assert!(
+            self.node_inboxes.contains_key(&node),
+            "no sequencing node {node}"
+        );
+        let Some(handle) = self.node_handles.remove(&node) else {
+            return false;
+        };
+        self.kill_flags[&node].store(true, Ordering::Relaxed);
+        let _ = handle.join();
+        self.wiring.stats.lock().crashes += 1;
+        true
+    }
+
+    /// Restarts a crashed sequencing node: a fresh thread takes over the
+    /// node's inbox, restores the latest snapshot (if any), and rebuilds
+    /// unsnapshotted progress from replayed upstream retransmissions.
+    /// Returns `true` if a restart happened, `false` if the node was
+    /// already running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a valid sequencing-node index.
+    pub fn restart_node(&mut self, node: usize) -> bool {
+        assert!(
+            self.node_inboxes.contains_key(&node),
+            "no sequencing node {node}"
+        );
+        if self.node_handles.contains_key(&node) {
+            return false;
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        self.kill_flags.insert(node, Arc::clone(&flag));
+        let inbox = self.node_inboxes[&node].clone();
+        let wiring = Arc::clone(&self.wiring);
+        let seed = self.wiring.config.seed ^ hash_party(Party::Node(node));
+        self.node_handles.insert(
+            node,
+            std::thread::spawn(move || node_thread(node, inbox, wiring, seed, flag, true)),
+        );
+        true
+    }
+
+    /// Replays the crash windows of a deterministic [`FaultPlan`] against
+    /// the running cluster, mapping simulated microseconds 1:1 onto the
+    /// wall clock: each window kills its node at `down_at` and restarts
+    /// it at `up_at`. Windows naming nodes this deployment does not have
+    /// are skipped, as are partition and loss windows (those are
+    /// simulator-side faults; use `drop_probability` for runtime loss).
+    /// Publisher retransmissions keep flowing while this call sleeps
+    /// between events.
+    pub fn run_fault_plan(&mut self, plan: &FaultPlan) {
+        let n = self.node_inboxes.len();
+        // (time, node, is_down): sorting puts an `up` before a `down` at
+        // the same instant, and the is_down guard below keeps adjacent
+        // windows on one node from bouncing it.
+        let mut events: Vec<(u64, usize, bool)> = Vec::new();
+        for w in plan.crash_windows() {
+            if w.node < n {
+                events.push((w.down_at.as_micros(), w.node, true));
+                events.push((w.up_at.as_micros(), w.node, false));
+            }
+        }
+        events.sort_unstable();
+        let t0 = Instant::now();
+        for (t, node, down) in events {
+            let target = t0 + Duration::from_micros(t);
+            loop {
+                self.pump_publisher();
+                let now = Instant::now();
+                if now >= target {
+                    break;
+                }
+                std::thread::sleep((target - now).min(Duration::from_millis(1)));
+            }
+            if down {
+                self.crash_node(node);
+            } else if !plan.is_down(node, SimTime::from_micros(t)) {
+                self.restart_node(node);
+            }
+        }
     }
 
     /// The sequencing graph the deployment runs.
@@ -376,11 +625,7 @@ impl Cluster {
 
     /// Number of sequencing-node threads.
     pub fn num_sequencing_nodes(&self) -> usize {
-        self.wiring
-            .outboxes
-            .keys()
-            .filter(|p| matches!(p, Party::Node(_)))
-            .count()
+        self.node_inboxes.len()
     }
 
     /// Stops all threads and waits for them. Safe to call twice.
@@ -389,10 +634,15 @@ impl Cluster {
             return;
         }
         self.shut_down = true;
+        self.pump_publisher();
+        self.pub_engine.flush_stats(&self.wiring);
         for tx in self.wiring.outboxes.values() {
             let _ = tx.send(ThreadMsg::Shutdown);
         }
-        for h in self.handles.drain(..) {
+        for (_, h) in self.node_handles.drain() {
+            let _ = h.join();
+        }
+        for h in self.host_handles.drain(..) {
             let _ = h.join();
         }
     }
@@ -413,38 +663,83 @@ fn hash_party(p: Party) -> u64 {
     match p {
         Party::Node(i) => 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1),
         Party::Host(n) => 0xc2b2_ae3d_27d4_eb4fu64.wrapping_mul(u64::from(n.0) + 1),
+        Party::Publisher => 0x517c_c1b7_2722_0a95,
     }
 }
 
-/// Per-thread link machinery: senders, receivers, loss injection.
+/// Per-thread link machinery: senders, receivers, loss injection, and (for
+/// sequencing nodes) the staging area that withholds output frames until a
+/// snapshot records them.
+#[derive(Debug)]
 struct LinkEngine {
     me: Party,
+    /// Sequencing nodes defer acks to snapshot time (cumulative
+    /// [`Body::AckThrough`]); hosts and the publisher never crash and ack
+    /// every data frame immediately.
+    defer_acks: bool,
     senders: HashMap<LinkId, LinkSender<WireData>>,
     receivers: HashMap<LinkId, LinkReceiver<WireData>>,
+    /// Per incoming link: the highest cumulative ack this party has sent,
+    /// i.e. the receive prefix recorded by its last snapshot.
+    acked_floor: HashMap<LinkId, u64>,
+    /// Output frames registered with their link senders but not yet
+    /// transmitted; they leave the node only after the next snapshot.
+    staged: Vec<(Party, LinkId, u64, WireData)>,
     rng: StdRng,
     local: RuntimeStats,
 }
 
 impl LinkEngine {
-    fn new(me: Party, seed: u64) -> Self {
+    fn new(me: Party, seed: u64, defer_acks: bool) -> Self {
         LinkEngine {
             me,
+            defer_acks,
             senders: HashMap::new(),
             receivers: HashMap::new(),
+            acked_floor: HashMap::new(),
+            staged: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             local: RuntimeStats::default(),
         }
     }
 
-    /// Sends `data` over the reliable link `me -> to`.
+    fn sender_for(&mut self, wiring: &Wiring, link: LinkId) -> &mut LinkSender<WireData> {
+        self.senders.entry(link).or_insert_with(|| {
+            LinkSender::with_backoff(wiring.config.retransmit_timeout, wiring.config.backoff_cap)
+        })
+    }
+
+    /// Sends `data` over the reliable link `me -> to`, transmitting
+    /// immediately. Used by the publisher, which never crashes.
     fn send_data(&mut self, wiring: &Wiring, to: Party, data: WireData) {
         let link = wiring.link_between(self.me, to);
-        let sender = self
-            .senders
-            .entry(link)
-            .or_insert_with(|| LinkSender::new(wiring.config.retransmit_timeout));
-        let (seq, payload) = sender.send(data);
+        let (seq, payload) = self.sender_for(wiring, link).send(data);
         self.transmit(wiring, to, link, seq, Body::Data(payload));
+    }
+
+    /// Registers `data` on the reliable link `me -> to` but *stages* it:
+    /// the frame owns its sequence number and will appear in the next
+    /// snapshot, yet reaches the wire only via [`flush_staged`]
+    /// (after that snapshot is durable). Used by sequencing nodes.
+    ///
+    /// [`flush_staged`]: Self::flush_staged
+    fn send_data_held(&mut self, wiring: &Wiring, to: Party, data: WireData) {
+        let link = wiring.link_between(self.me, to);
+        let (seq, payload) = self.sender_for(wiring, link).send_held(data);
+        self.staged.push((to, link, seq, payload));
+    }
+
+    /// Transmits all staged frames and hands them to the normal
+    /// retransmission schedule. Call only after the snapshot recording
+    /// them has been stored.
+    fn flush_staged(&mut self, wiring: &Wiring) {
+        let staged = std::mem::take(&mut self.staged);
+        for (to, link, seq, data) in staged {
+            self.transmit(wiring, to, link, seq, Body::Data(data));
+        }
+        for sender in self.senders.values_mut() {
+            sender.release_held();
+        }
     }
 
     /// Puts one frame on the wire, possibly dropping it.
@@ -484,10 +779,34 @@ impl LinkEngine {
                 }
                 Vec::new()
             }
+            Body::AckThrough => {
+                if let Some(sender) = self.senders.get_mut(&link) {
+                    sender.acknowledge_through(seq);
+                }
+                Vec::new()
+            }
+            Body::Heartbeat => Vec::new(),
             Body::Data(data) => {
-                // Acknowledge every data frame, duplicates included.
                 let (from, _to) = wiring.links[link.0 as usize];
-                self.transmit(wiring, from, link, seq, Body::Ack);
+                if self.defer_acks {
+                    // No ack before a snapshot covers the frame. But if
+                    // the sender is retransmitting below our snapshotted
+                    // floor (it missed the cumulative ack, or it was
+                    // restored from an old checkpoint), re-advertise it.
+                    let stale = self
+                        .receivers
+                        .get(&link)
+                        .is_some_and(|r| seq < r.next_expected());
+                    if stale {
+                        let floor = self.acked_floor.get(&link).copied().unwrap_or(0);
+                        if floor > 0 {
+                            self.transmit(wiring, from, link, floor, Body::AckThrough);
+                        }
+                    }
+                } else {
+                    // Acknowledge every data frame, duplicates included.
+                    self.transmit(wiring, from, link, seq, Body::Ack);
+                }
                 let receiver = self.receivers.entry(link).or_default();
                 let out = receiver.receive(seq, data);
                 self.local.duplicates = self
@@ -516,52 +835,213 @@ impl LinkEngine {
         self.local.retransmissions = self.senders.values().map(|s| s.retransmissions()).sum();
     }
 
+    /// Checkpoints this node's durable state into the shared snapshot
+    /// store, then — and only then — releases staged output frames and
+    /// sends cumulative acks covering exactly the snapshotted receive
+    /// prefix. The ordering is the whole point: nothing escapes the node
+    /// before a snapshot containing it.
+    fn take_snapshot(&mut self, wiring: &Wiring, idx: usize, protocol: &ProtocolState) {
+        let rx_next: HashMap<LinkId, u64> = self
+            .receivers
+            .iter()
+            .map(|(&link, r)| (link, r.next_expected()))
+            .collect();
+        let tx_state: HashMap<LinkId, (u64, Vec<(u64, WireData)>)> = self
+            .senders
+            .iter()
+            .map(|(&link, s)| (link, s.snapshot()))
+            .collect();
+        wiring.snapshots.lock().insert(
+            idx,
+            NodeSnapshot {
+                protocol: protocol.clone(),
+                rx_next: rx_next.clone(),
+                tx_state,
+            },
+        );
+        // Durable now: staged outputs may leave the node.
+        self.flush_staged(wiring);
+        // Cumulative acks for the receive prefix the snapshot recorded.
+        for (link, next) in rx_next {
+            let floor = next.saturating_sub(1);
+            let prev = self.acked_floor.get(&link).copied().unwrap_or(0);
+            if floor > prev {
+                self.acked_floor.insert(link, floor);
+                let (from, _to) = wiring.links[link.0 as usize];
+                self.transmit(wiring, from, link, floor, Body::AckThrough);
+            }
+        }
+    }
+
+    /// Rebuilds link state from a snapshot. Restored output frames are
+    /// immediately due for retransmission (the peer may never have seen
+    /// them); the acked floors match what the snapshot had advertised.
+    fn restore(&mut self, wiring: &Wiring, snap: &NodeSnapshot) {
+        for (&link, &next) in &snap.rx_next {
+            self.receivers.insert(link, LinkReceiver::resume(next));
+            self.acked_floor.insert(link, next.saturating_sub(1));
+        }
+        for (&link, (next_seq, frames)) in &snap.tx_state {
+            self.senders.insert(
+                link,
+                LinkSender::resume(
+                    wiring.config.retransmit_timeout,
+                    wiring.config.backoff_cap,
+                    *next_seq,
+                    frames.clone(),
+                ),
+            );
+        }
+    }
+
     fn flush_stats(&self, wiring: &Wiring) {
         let mut stats = wiring.stats.lock();
         stats.frames_sent += self.local.frames_sent;
         stats.frames_dropped += self.local.frames_dropped;
         stats.retransmissions += self.local.retransmissions;
         stats.duplicates += self.local.duplicates;
+        stats.frames_replayed += self.local.frames_replayed;
+        stats.heartbeat_misses += self.local.heartbeat_misses;
+        stats.recovery_micros += self.local.recovery_micros;
     }
 }
 
-/// A sequencing-node thread: processes its atoms, forwards along paths.
-fn node_thread(idx: usize, inbox: Receiver<ThreadMsg>, wiring: Arc<Wiring>, seed: u64) {
-    let mut engine = LinkEngine::new(Party::Node(idx), seed);
+/// A sequencing-node thread: processes its atoms, forwards along paths,
+/// checkpoints periodically, heartbeats its downstream peers, and watches
+/// its upstream peers for silence. `restarted` marks a post-crash
+/// incarnation that should restore the latest snapshot and account the
+/// replay it receives.
+fn node_thread(
+    idx: usize,
+    inbox: Receiver<ThreadMsg>,
+    wiring: Arc<Wiring>,
+    seed: u64,
+    kill: Arc<AtomicBool>,
+    restarted: bool,
+) {
+    let config = &wiring.config;
+    let mut engine = LinkEngine::new(Party::Node(idx), seed, true);
     let mut protocol = ProtocolState::new(&wiring.graph);
-    let tick = wiring.config.retransmit_timeout / 2;
+    let started = Instant::now();
+    let mut replaying = restarted;
+    let mut replayed: u64 = 0;
+
+    if restarted {
+        let snap = wiring.snapshots.lock().get(&idx).cloned();
+        if let Some(snap) = snap {
+            protocol = snap.protocol.clone();
+            engine.restore(&wiring, &snap);
+        }
+        // No snapshot: nothing ever escaped this node (outputs and acks
+        // only leave at snapshot time), so a fresh start is consistent.
+    }
+
+    // Peers with links into this node, for heartbeat-based failure
+    // detection; peers this node heartbeats, i.e. its outgoing node links.
+    let mut watched: HashMap<usize, (Instant, bool)> = HashMap::new();
+    let mut hb_out: Vec<(Party, LinkId)> = Vec::new();
+    for (i, &(from, to)) in wiring.links.iter().enumerate() {
+        match (from, to) {
+            (Party::Node(p), Party::Node(q)) if q == idx => {
+                watched.insert(p, (Instant::now(), false));
+            }
+            (Party::Node(p), Party::Node(_)) if p == idx => {
+                hb_out.push((to, LinkId(i as u32)));
+            }
+            _ => {}
+        }
+    }
+
+    let tick = config
+        .snapshot_interval
+        .min(config.retransmit_timeout / 2)
+        .max(Duration::from_millis(1));
+    let mut last_snapshot = Instant::now();
+    let mut last_heartbeat = Instant::now();
 
     loop {
-        let msg = match inbox.recv_timeout(tick.max(Duration::from_millis(1))) {
-            Ok(m) => Some(m),
-            Err(RecvTimeoutError::Timeout) => None,
+        if kill.load(Ordering::Relaxed) {
+            // Simulated crash: volatile state is lost, no final snapshot.
+            engine.flush_stats(&wiring);
+            return;
+        }
+
+        // Block briefly for one message, then drain the immediate backlog
+        // (bounded, so housekeeping still runs under flood) — a restarted
+        // node chews through queued retransmissions before its first
+        // checkpoint this way.
+        let mut batch: Vec<ThreadMsg> = Vec::new();
+        match inbox.recv_timeout(tick) {
+            Ok(m) => batch.push(m),
+            Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
-        };
-        match msg {
-            Some(ThreadMsg::Shutdown) => break,
-            Some(ThreadMsg::Publish(msg)) => {
-                let ingress = wiring
-                    .graph
-                    .ingress(msg.group)
-                    .expect("publish checked the group");
-                process_here(idx, &wiring, &mut protocol, &mut engine, msg, ingress);
+        }
+        while batch.len() < 256 {
+            match inbox.try_recv() {
+                Ok(m) => batch.push(m),
+                Err(_) => break,
             }
-            Some(ThreadMsg::Frame { link, seq, body }) => {
-                for data in engine.on_frame(&wiring, link, seq, body) {
-                    let atom = data
-                        .target_atom
-                        .expect("node links always carry a target atom");
-                    process_here(idx, &wiring, &mut protocol, &mut engine, data.msg, atom);
+        }
+        let mut shutdown = false;
+        for msg in batch {
+            match msg {
+                ThreadMsg::Shutdown => shutdown = true,
+                ThreadMsg::Frame { link, seq, body } => {
+                    let (from, _to) = wiring.links[link.0 as usize];
+                    if let Party::Node(p) = from {
+                        if let Some(entry) = watched.get_mut(&p) {
+                            *entry = (Instant::now(), false);
+                        }
+                    }
+                    for data in engine.on_frame(&wiring, link, seq, body) {
+                        if replaying {
+                            replayed += 1;
+                        }
+                        let atom = data
+                            .target_atom
+                            .expect("node links always carry a target atom");
+                        process_here(idx, &wiring, &mut protocol, &mut engine, data.msg, atom);
+                    }
                 }
             }
-            None => {}
+        }
+        if shutdown {
+            break;
+        }
+
+        let now = Instant::now();
+        if now.duration_since(last_snapshot) >= config.snapshot_interval {
+            engine.take_snapshot(&wiring, idx, &protocol);
+            last_snapshot = now;
+            if replaying && replayed > 0 {
+                // Recovery complete: the replayed input is durable again.
+                replaying = false;
+                engine.local.frames_replayed += replayed;
+                replayed = 0;
+                engine.local.recovery_micros += started.elapsed().as_micros() as u64;
+            }
+        }
+        if now.duration_since(last_heartbeat) >= config.heartbeat_interval {
+            for &(to, link) in &hb_out {
+                engine.transmit(&wiring, to, link, 0, Body::Heartbeat);
+            }
+            last_heartbeat = now;
+        }
+        for (seen, suspected) in watched.values_mut() {
+            if !*suspected && now.duration_since(*seen) >= config.heartbeat_interval * 3 {
+                *suspected = true;
+                engine.local.heartbeat_misses += 1;
+            }
         }
         engine.retransmit_due(&wiring);
     }
+    engine.local.frames_replayed += replayed;
     engine.flush_stats(&wiring);
 }
 
 /// Runs a message through this node's consecutive atoms, then forwards.
+/// All outputs are staged: they reach the wire only after the next
+/// snapshot records them.
 fn process_here(
     idx: usize,
     wiring: &Wiring,
@@ -577,7 +1057,7 @@ fn process_here(
                 if next_node == idx {
                     atom = next;
                 } else {
-                    engine.send_data(
+                    engine.send_data_held(
                         wiring,
                         Party::Node(next_node),
                         WireData {
@@ -591,7 +1071,7 @@ fn process_here(
             NextHop::Egress => {
                 let members: Vec<NodeId> = wiring.membership.members(msg.group).collect();
                 for member in members {
-                    engine.send_data(
+                    engine.send_data_held(
                         wiring,
                         Party::Host(member),
                         WireData {
@@ -607,7 +1087,7 @@ fn process_here(
 }
 
 /// A subscriber-host thread: reliable link termination plus the delivery
-/// queue.
+/// queue. Hosts never crash, so they acknowledge every frame immediately.
 fn host_thread(
     host: NodeId,
     inbox: Receiver<ThreadMsg>,
@@ -615,7 +1095,7 @@ fn host_thread(
     notes: Sender<DeliveryNote>,
     seed: u64,
 ) {
-    let mut engine = LinkEngine::new(Party::Host(host), seed);
+    let mut engine = LinkEngine::new(Party::Host(host), seed, false);
     let mut queue = DeliveryQueue::new(host, &wiring.membership, &wiring.graph);
     let tick = wiring.config.retransmit_timeout / 2;
 
@@ -627,9 +1107,6 @@ fn host_thread(
         };
         match msg {
             Some(ThreadMsg::Shutdown) => break,
-            Some(ThreadMsg::Publish(_)) => {
-                unreachable!("hosts never receive publishes directly")
-            }
             Some(ThreadMsg::Frame { link, seq, body }) => {
                 for data in engine.on_frame(&wiring, link, seq, body) {
                     for delivered in queue.offer(data.msg) {
@@ -785,6 +1262,63 @@ mod tests {
         cluster.shutdown();
         cluster.shutdown();
     }
+
+    #[test]
+    fn crash_and_restart_recovers() {
+        let m = overlapped_membership();
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        cluster.publish(n(0), g(0), b"before".to_vec()).unwrap();
+        cluster
+            .wait_for_deliveries(3, Duration::from_secs(5))
+            .unwrap();
+
+        assert!(cluster.crash_node(0), "node 0 was running");
+        assert!(!cluster.crash_node(0), "second kill is a no-op");
+        // Publish into the outage: the frame queues (or retries from the
+        // publisher's link buffer) until the node is back.
+        cluster.publish(n(3), g(1), b"during".to_vec()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(cluster.restart_node(0), "node 0 was down");
+        assert!(!cluster.restart_node(0), "second restart is a no-op");
+        cluster.publish(n(0), g(0), b"after".to_vec()).unwrap();
+
+        let deliveries = cluster
+            .wait_for_deliveries(6, Duration::from_secs(10))
+            .unwrap();
+        let total: usize = deliveries.values().map(Vec::len).sum();
+        assert_eq!(total, 6, "nothing is lost across the crash");
+        cluster.shutdown();
+        assert_eq!(cluster.stats().crashes, 1);
+    }
+
+    #[test]
+    fn fault_plan_crash_windows_execute() {
+        let m = overlapped_membership();
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        let nodes = cluster.num_sequencing_nodes();
+        assert!(nodes >= 1);
+        let plan = FaultPlan::new().crash(
+            0,
+            SimTime::from_micros(5_000),
+            SimTime::from_micros(40_000),
+        );
+        for i in 0..4u32 {
+            let (s, grp) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            cluster.publish(s, grp, vec![i as u8]).unwrap();
+        }
+        cluster.run_fault_plan(&plan);
+        let deliveries = cluster
+            .wait_for_deliveries(12, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(deliveries.values().map(Vec::len).sum::<usize>(), 12);
+        assert_eq!(
+            deliveries[&n(1)].iter().map(|m| m.id).collect::<Vec<_>>(),
+            deliveries[&n(2)].iter().map(|m| m.id).collect::<Vec<_>>(),
+            "order agreement survives the crash window"
+        );
+        cluster.shutdown();
+        assert_eq!(cluster.stats().crashes, 1);
+    }
 }
 
 #[cfg(test)]
@@ -812,6 +1346,7 @@ mod delay_tests {
             retransmit_timeout: Duration::from_millis(30),
             link_delay: Duration::from_millis(3),
             seed: 77,
+            ..ClusterConfig::default()
         };
         let mut cluster = Cluster::start(&m, config);
         let mut expected = 0usize;
@@ -848,6 +1383,7 @@ mod delay_tests {
             retransmit_timeout: Duration::from_millis(8),
             link_delay: Duration::from_millis(2),
             seed: 3,
+            ..ClusterConfig::default()
         };
         let mut cluster = Cluster::start(&m, config);
         for i in 0..8u32 {

@@ -12,7 +12,14 @@
 //!   buffers**: frames carry link-level sequence numbers, receivers
 //!   acknowledge and reorder, senders retransmit unacknowledged frames —
 //!   so the protocol's FIFO-channel assumption holds even over lossy
-//!   links ([`ClusterConfig::drop_probability`] injects loss).
+//!   links ([`ClusterConfig::drop_probability`] injects loss);
+//! * sequencing nodes **crash and recover**: [`Cluster::crash_node`] kills
+//!   a node thread (volatile state lost), [`Cluster::restart_node`] brings
+//!   it back from its latest periodic snapshot plus replay out of upstream
+//!   retransmission buffers, and [`Cluster::run_fault_plan`] replays a
+//!   deterministic [`FaultPlan`]'s crash windows on the wall clock. Nodes
+//!   heartbeat each other for failure detection, and publishes are retried
+//!   with capped exponential backoff until durably sequenced.
 //!
 //! # Example
 //!
@@ -42,3 +49,4 @@ mod link;
 
 pub use cluster::{Cluster, ClusterConfig, RuntimeError, RuntimeStats};
 pub use link::{LinkReceiver, LinkSender};
+pub use seqnet_sim::FaultPlan;

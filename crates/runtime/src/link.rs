@@ -6,14 +6,38 @@
 //! carry link-level sequence numbers; the receiver acknowledges every frame
 //! and releases payloads strictly in order (reordering and deduplicating),
 //! while the sender retransmits frames that stay unacknowledged past a
-//! timeout. Together the two halves turn a lossy, order-preserving-or-not
-//! transport into the reliable FIFO channel the protocol assumes.
+//! timeout, doubling the per-frame retry interval up to a cap so long
+//! outages do not turn into retransmit storms. Together the two halves turn
+//! a lossy, order-preserving-or-not transport into the reliable FIFO
+//! channel the protocol assumes.
+//!
+//! The sender's retransmission buffer doubles as the recovery log for a
+//! crashed peer: [`LinkSender::snapshot`] / [`LinkSender::resume`] and
+//! [`LinkReceiver::resume`] let a node checkpoint both halves of every
+//! link and rebuild them after a restart, while
+//! [`LinkSender::acknowledge_through`] lets the recovering side confirm a
+//! whole prefix with a single cumulative ack.
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+/// Per-frame retransmission state: the payload plus its backoff schedule.
+#[derive(Debug, Clone)]
+struct Pending<T> {
+    payload: T,
+    /// Earliest instant at which the frame may be retransmitted.
+    next_due: Instant,
+    /// Current backoff interval; doubles on every retransmission up to
+    /// the sender's cap.
+    interval: Duration,
+    /// Held frames are registered (they own a sequence number and appear
+    /// in snapshots) but are exempt from retransmission until released.
+    held: bool,
+}
+
 /// Sender half of a reliable FIFO link: assigns link sequence numbers and
-/// keeps unacknowledged frames for retransmission.
+/// keeps unacknowledged frames for retransmission with capped exponential
+/// backoff.
 ///
 /// # Example
 ///
@@ -30,36 +54,104 @@ use std::time::{Duration, Instant};
 /// // The retransmitted "a" releases both, in order.
 /// let out = rx.receive(seq1, "a");
 /// assert_eq!(out, vec!["a", "b"]);
-/// tx.acknowledge(seq1);
-/// tx.acknowledge(seq2);
+/// // One cumulative ack clears the whole prefix.
+/// tx.acknowledge_through(seq2);
 /// assert_eq!(tx.unacked(), 0);
 /// ```
 #[derive(Debug)]
 pub struct LinkSender<T> {
     next_seq: u64,
-    unacked: BTreeMap<u64, (T, Instant)>,
+    unacked: BTreeMap<u64, Pending<T>>,
+    /// Initial retransmission timeout (backoff starting interval).
     timeout: Duration,
+    /// Upper bound on the per-frame backoff interval.
+    cap: Duration,
     retransmissions: u64,
 }
 
 impl<T: Clone> LinkSender<T> {
-    /// Creates a sender with the given retransmission timeout.
+    /// Creates a sender with a fixed retransmission interval (the backoff
+    /// cap equals the timeout, so the interval never grows).
     pub fn new(timeout: Duration) -> Self {
+        Self::with_backoff(timeout, timeout)
+    }
+
+    /// Creates a sender whose per-frame retransmission interval starts at
+    /// `timeout` and doubles after every retransmission, capped at `cap`.
+    /// A `cap` below `timeout` is clamped up to `timeout`.
+    pub fn with_backoff(timeout: Duration, cap: Duration) -> Self {
         LinkSender {
             next_seq: 1,
             unacked: BTreeMap::new(),
             timeout,
+            cap: cap.max(timeout),
             retransmissions: 0,
         }
+    }
+
+    /// Rebuilds a sender from snapshot state: the next fresh sequence
+    /// number and the frames that were unacknowledged at snapshot time.
+    /// Restored frames are immediately due for retransmission, since the
+    /// peer may never have received them.
+    pub fn resume(timeout: Duration, cap: Duration, next_seq: u64, frames: Vec<(u64, T)>) -> Self {
+        let now = Instant::now();
+        let mut sender = Self::with_backoff(timeout, cap);
+        sender.next_seq = next_seq.max(1);
+        for (seq, payload) in frames {
+            sender.unacked.insert(
+                seq,
+                Pending {
+                    payload,
+                    next_due: now,
+                    interval: sender.timeout,
+                    held: false,
+                },
+            );
+        }
+        sender
     }
 
     /// Registers a fresh payload for transmission; returns its link
     /// sequence number and a clone to put on the wire.
     pub fn send(&mut self, payload: T) -> (u64, T) {
+        self.send_inner(payload, Instant::now(), false)
+    }
+
+    /// Registers a payload but *holds* it: the frame owns a sequence
+    /// number and appears in [`snapshot`](Self::snapshot), yet is exempt
+    /// from retransmission until [`release_held`](Self::release_held).
+    /// Used to keep output frames from escaping a node before the
+    /// snapshot that contains them is taken.
+    pub fn send_held(&mut self, payload: T) -> (u64, T) {
+        self.send_inner(payload, Instant::now(), true)
+    }
+
+    fn send_inner(&mut self, payload: T, now: Instant, held: bool) -> (u64, T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.unacked.insert(seq, (payload.clone(), Instant::now()));
+        self.unacked.insert(
+            seq,
+            Pending {
+                payload: payload.clone(),
+                next_due: now + self.timeout,
+                interval: self.timeout,
+                held,
+            },
+        );
         (seq, payload)
+    }
+
+    /// Releases all held frames into the normal retransmission schedule,
+    /// restarting their timers from now.
+    pub fn release_held(&mut self) {
+        let now = Instant::now();
+        for pending in self.unacked.values_mut() {
+            if pending.held {
+                pending.held = false;
+                pending.interval = self.timeout;
+                pending.next_due = now + self.timeout;
+            }
+        }
     }
 
     /// Processes an acknowledgment: drops the frame from the buffer.
@@ -68,15 +160,36 @@ impl<T: Clone> LinkSender<T> {
         self.unacked.remove(&seq);
     }
 
-    /// Returns the frames due for retransmission (unacknowledged longer
-    /// than the timeout), resetting their timers.
+    /// Cumulative acknowledgment: drops every frame with sequence number
+    /// `<= seq` in O(log n), so a recovering receiver can confirm a whole
+    /// prefix without one ack per frame.
+    pub fn acknowledge_through(&mut self, seq: u64) {
+        match seq.checked_add(1) {
+            Some(bound) => {
+                self.unacked = self.unacked.split_off(&bound);
+            }
+            None => self.unacked.clear(),
+        }
+    }
+
+    /// Returns the frames due for retransmission (unacknowledged past
+    /// their per-frame backoff deadline), doubling each one's interval up
+    /// to the cap and rescheduling it.
     pub fn due_for_retransmit(&mut self) -> Vec<(u64, T)> {
-        let now = Instant::now();
+        self.due_at(Instant::now())
+    }
+
+    fn due_at(&mut self, now: Instant) -> Vec<(u64, T)> {
         let mut due = Vec::new();
-        for (&seq, (payload, sent_at)) in self.unacked.iter_mut() {
-            if now.duration_since(*sent_at) >= self.timeout {
-                *sent_at = now;
-                due.push((seq, payload.clone()));
+        for (&seq, pending) in self.unacked.iter_mut() {
+            if !pending.held && now >= pending.next_due {
+                pending.interval = pending
+                    .interval
+                    .checked_mul(2)
+                    .unwrap_or(self.cap)
+                    .min(self.cap);
+                pending.next_due = now + pending.interval;
+                due.push((seq, pending.payload.clone()));
             }
         }
         self.retransmissions += due.len() as u64;
@@ -91,6 +204,18 @@ impl<T: Clone> LinkSender<T> {
     /// Total retransmissions performed.
     pub fn retransmissions(&self) -> u64 {
         self.retransmissions
+    }
+
+    /// Exports the durable sender state for a checkpoint: the next fresh
+    /// sequence number plus every unacknowledged frame (held frames
+    /// included — that is the point), in sequence order.
+    pub fn snapshot(&self) -> (u64, Vec<(u64, T)>) {
+        let frames = self
+            .unacked
+            .iter()
+            .map(|(&seq, pending)| (seq, pending.payload.clone()))
+            .collect();
+        (self.next_seq, frames)
     }
 }
 
@@ -112,8 +237,15 @@ impl<T> Default for LinkReceiver<T> {
 impl<T> LinkReceiver<T> {
     /// Creates a receiver expecting sequence number 1.
     pub fn new() -> Self {
+        Self::resume(1)
+    }
+
+    /// Rebuilds a receiver from snapshot state: frames below
+    /// `next_expected` were already released before the checkpoint and
+    /// will be treated as duplicates if they arrive again.
+    pub fn resume(next_expected: u64) -> Self {
         LinkReceiver {
-            next_expected: 1,
+            next_expected: next_expected.max(1),
             buffer: BTreeMap::new(),
             duplicates: 0,
         }
@@ -137,6 +269,14 @@ impl<T> LinkReceiver<T> {
         out
     }
 
+    /// The next in-order sequence number this receiver will release.
+    /// Everything strictly below it has been handed to the application,
+    /// so `next_expected() - 1` is the cumulative-ack floor a checkpoint
+    /// should record.
+    pub fn next_expected(&self) -> u64 {
+        self.next_expected
+    }
+
     /// Frames buffered waiting for a gap to fill.
     pub fn pending(&self) -> usize {
         self.buffer.len()
@@ -158,6 +298,7 @@ mod tests {
         assert_eq!(rx.receive(1, "a"), vec!["a"]);
         assert_eq!(rx.receive(2, "b"), vec!["b"]);
         assert_eq!(rx.pending(), 0);
+        assert_eq!(rx.next_expected(), 3);
     }
 
     #[test]
@@ -184,11 +325,6 @@ mod tests {
         let mut tx = LinkSender::new(Duration::from_millis(1));
         let (s1, _) = tx.send("x");
         assert_eq!(tx.unacked(), 1);
-        assert!(tx.due_for_retransmit().is_empty() || {
-            // Extremely slow machines may already hit the 1 ms timeout;
-            // both outcomes are legal here.
-            true
-        });
         std::thread::sleep(Duration::from_millis(2));
         let due = tx.due_for_retransmit();
         assert_eq!(due, vec![(s1, "x")]);
@@ -196,6 +332,109 @@ mod tests {
         tx.acknowledge(s1);
         std::thread::sleep(Duration::from_millis(2));
         assert!(tx.due_for_retransmit().is_empty(), "acked frames stay quiet");
+    }
+
+    #[test]
+    fn backoff_doubles_up_to_cap() {
+        // Drive a synthetic clock so the schedule is deterministic.
+        let base = Instant::now();
+        let ms = Duration::from_millis;
+        let mut tx = LinkSender::with_backoff(ms(10), ms(40));
+        let (s1, _) = tx.send_inner("x", base, false);
+
+        // Not due before the initial timeout elapses.
+        assert!(tx.due_at(base + ms(9)).is_empty());
+        // First retransmit at +10ms; interval doubles to 20ms.
+        assert_eq!(tx.due_at(base + ms(10)), vec![(s1, "x")]);
+        assert!(tx.due_at(base + ms(29)).is_empty());
+        // Second at +30ms; interval doubles to 40ms (the cap).
+        assert_eq!(tx.due_at(base + ms(30)), vec![(s1, "x")]);
+        assert!(tx.due_at(base + ms(69)).is_empty());
+        // Third at +70ms; interval stays pinned at the 40ms cap.
+        assert_eq!(tx.due_at(base + ms(70)), vec![(s1, "x")]);
+        assert!(tx.due_at(base + ms(109)).is_empty());
+        assert_eq!(tx.due_at(base + ms(110)), vec![(s1, "x")]);
+        assert_eq!(tx.retransmissions(), 4);
+    }
+
+    #[test]
+    fn fixed_interval_when_cap_equals_timeout() {
+        let base = Instant::now();
+        let ms = Duration::from_millis;
+        let mut tx = LinkSender::new(ms(10));
+        let (s1, _) = tx.send_inner("x", base, false);
+        assert_eq!(tx.due_at(base + ms(10)), vec![(s1, "x")]);
+        assert_eq!(tx.due_at(base + ms(20)), vec![(s1, "x")]);
+        assert_eq!(tx.due_at(base + ms(30)), vec![(s1, "x")]);
+        assert_eq!(tx.retransmissions(), 3);
+    }
+
+    #[test]
+    fn zero_timeout_is_always_due() {
+        let mut tx = LinkSender::new(Duration::ZERO);
+        let (s1, _) = tx.send("x");
+        assert_eq!(tx.due_for_retransmit(), vec![(s1, "x")]);
+        assert_eq!(tx.due_for_retransmit(), vec![(s1, "x")]);
+    }
+
+    #[test]
+    fn acknowledge_through_clears_prefix() {
+        let mut tx = LinkSender::new(Duration::from_secs(1));
+        for i in 0..6 {
+            tx.send(i);
+        }
+        tx.acknowledge_through(4);
+        assert_eq!(tx.unacked(), 2);
+        let (_, frames) = tx.snapshot();
+        let seqs: Vec<u64> = frames.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, vec![5, 6]);
+        tx.acknowledge_through(u64::MAX);
+        assert_eq!(tx.unacked(), 0);
+    }
+
+    #[test]
+    fn held_frames_skip_retransmission_until_released() {
+        let mut tx = LinkSender::new(Duration::ZERO);
+        let (s1, _) = tx.send_held("staged");
+        assert!(
+            tx.due_for_retransmit().is_empty(),
+            "held frames must not escape"
+        );
+        // Held frames still appear in snapshots.
+        let (next_seq, frames) = tx.snapshot();
+        assert_eq!(next_seq, 2);
+        assert_eq!(frames, vec![(s1, "staged")]);
+        tx.release_held();
+        assert_eq!(tx.due_for_retransmit(), vec![(s1, "staged")]);
+    }
+
+    #[test]
+    fn snapshot_resume_roundtrip() {
+        let ms = Duration::from_millis;
+        let mut tx = LinkSender::new(ms(5));
+        tx.send("a");
+        tx.send("b");
+        tx.send("c");
+        tx.acknowledge(1);
+        let (next_seq, frames) = tx.snapshot();
+        assert_eq!(next_seq, 4);
+
+        let mut revived = LinkSender::resume(Duration::ZERO, Duration::ZERO, next_seq, frames);
+        assert_eq!(revived.unacked(), 2);
+        // Restored frames are immediately due.
+        assert_eq!(revived.due_for_retransmit(), vec![(2, "b"), (3, "c")]);
+        // Fresh sends continue the sequence space.
+        assert_eq!(revived.send("d").0, 4);
+    }
+
+    #[test]
+    fn receiver_resume_treats_prefix_as_released() {
+        let mut rx = LinkReceiver::resume(3);
+        assert!(rx.receive(1, "a").is_empty());
+        assert!(rx.receive(2, "b").is_empty());
+        assert_eq!(rx.duplicates(), 2);
+        assert_eq!(rx.receive(3, "c"), vec!["c"]);
+        assert_eq!(rx.next_expected(), 4);
     }
 
     #[test]

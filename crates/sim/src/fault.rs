@@ -1,0 +1,394 @@
+//! Deterministic, seedable fault plans.
+//!
+//! A [`FaultPlan`] describes *when* and *where* the environment misbehaves:
+//! sequencing-node crash–restart windows, link partitions between pairs of
+//! nodes, and burst-loss windows that stretch every transmission. The plan
+//! is pure data plus pure queries — executing it is the consumer's job:
+//!
+//! * the discrete-event engine (`seqnet-core`) turns plan windows into
+//!   simulator events, so faulty runs stay byte-for-byte reproducible;
+//! * the threaded runtime (`seqnet-runtime`) replays the same plan against
+//!   real threads, killing and restarting sequencing-node threads on the
+//!   plan's schedule (partitions and loss windows are simulator-only — the
+//!   runtime injects loss probabilistically instead).
+//!
+//! Node indices are plan-local: consumers map them onto whatever entity
+//! they crash (sequencing atoms in the simulator, sequencing-node threads
+//! in the runtime). Indices outside the consumer's range are ignored.
+//!
+//! # Example
+//!
+//! ```
+//! use seqnet_sim::{FaultPlan, SimTime};
+//!
+//! let plan = FaultPlan::new()
+//!     .crash(0, SimTime::from_ms(5.0), SimTime::from_ms(20.0))
+//!     .partition(1, 2, SimTime::from_ms(10.0), SimTime::from_ms(15.0));
+//! assert!(plan.is_down(0, SimTime::from_ms(7.0)));
+//! assert!(!plan.is_down(0, SimTime::from_ms(20.0)), "up again at the boundary");
+//! assert!(plan.is_cut(2, 1, SimTime::from_ms(12.0)), "partitions are symmetric");
+//! ```
+
+use crate::SimTime;
+
+/// One crash–restart window: the node is dead in `[down_at, up_at)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// The (consumer-mapped) node that crashes.
+    pub node: usize,
+    /// When the node dies.
+    pub down_at: SimTime,
+    /// When the node restarts (exclusive end of the outage).
+    pub up_at: SimTime,
+}
+
+/// One link partition: traffic between `a` and `b` (either direction) is
+/// cut in `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// One endpoint.
+    pub a: usize,
+    /// The other endpoint.
+    pub b: usize,
+    /// Start of the cut.
+    pub from: SimTime,
+    /// End of the cut (exclusive).
+    pub until: SimTime,
+}
+
+/// One burst-loss window: every transmission started in `[from, until)`
+/// loses up to `max_retries` copies, each costing one `retransmit_interval`
+/// of extra delay before the copy that survives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LossWindow {
+    /// Start of the burst.
+    pub from: SimTime,
+    /// End of the burst (exclusive).
+    pub until: SimTime,
+    /// Upper bound on lost copies per transmission.
+    pub max_retries: u32,
+    /// Delay added per lost copy (the model's retransmission timeout).
+    pub retransmit_interval: SimTime,
+}
+
+/// A deterministic schedule of crashes, partitions, and loss bursts.
+///
+/// Construction is by builder calls ([`FaultPlan::crash`],
+/// [`FaultPlan::partition`], [`FaultPlan::loss_burst`]) or the seeded
+/// generator [`FaultPlan::randomized`]. All queries are pure functions of
+/// the plan and the query time, so two runs driven by the same plan make
+/// identical fault decisions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    crashes: Vec<CrashWindow>,
+    partitions: Vec<PartitionWindow>,
+    loss: Vec<LossWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a crash–restart window for `node`.
+    ///
+    /// Every crash has a restart: permanent failures would make liveness
+    /// unsatisfiable, and the protocol's recovery story is
+    /// snapshot-plus-replay, not reconfiguration around a dead node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `down_at < up_at`.
+    pub fn crash(mut self, node: usize, down_at: SimTime, up_at: SimTime) -> Self {
+        assert!(down_at < up_at, "crash window must have positive length");
+        self.crashes.push(CrashWindow { node, down_at, up_at });
+        self
+    }
+
+    /// Adds a symmetric link partition between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < until`.
+    pub fn partition(mut self, a: usize, b: usize, from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "partition window must have positive length");
+        self.partitions.push(PartitionWindow { a, b, from, until });
+        self
+    }
+
+    /// Adds a burst-loss window stretching every transmission started
+    /// inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < until`.
+    pub fn loss_burst(
+        mut self,
+        from: SimTime,
+        until: SimTime,
+        retransmit_interval: SimTime,
+        max_retries: u32,
+    ) -> Self {
+        assert!(from < until, "loss window must have positive length");
+        self.loss.push(LossWindow {
+            from,
+            until,
+            max_retries,
+            retransmit_interval,
+        });
+        self
+    }
+
+    /// Generates a plan with a few crashes, partitions, and a loss burst,
+    /// all drawn deterministically from `seed` over `[0, horizon)` against
+    /// `nodes` fault targets. The same `(seed, nodes, horizon)` always
+    /// yields the same plan.
+    ///
+    /// Returns an empty plan when `nodes == 0` or the horizon is too short
+    /// to fit a window.
+    pub fn randomized(seed: u64, nodes: usize, horizon: SimTime) -> Self {
+        let mut plan = FaultPlan::new();
+        let span = horizon.as_micros();
+        if nodes == 0 || span < 16 {
+            return plan;
+        }
+        let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+        let mut next = move || splitmix64(&mut state);
+
+        // 1–3 crash windows, each at most a quarter of the horizon.
+        let n_crashes = 1 + (next() % 3) as usize;
+        for _ in 0..n_crashes {
+            let node = (next() % nodes as u64) as usize;
+            let down = next() % (span * 3 / 4);
+            let len = 1 + next() % (span / 4).max(1);
+            plan = plan.crash(
+                node,
+                SimTime::from_micros(down),
+                SimTime::from_micros(down + len),
+            );
+        }
+
+        // 0–2 partitions between distinct nodes (needs at least two).
+        if nodes >= 2 {
+            let n_parts = (next() % 3) as usize;
+            for _ in 0..n_parts {
+                let a = (next() % nodes as u64) as usize;
+                let mut b = (next() % nodes as u64) as usize;
+                if b == a {
+                    b = (b + 1) % nodes;
+                }
+                let from = next() % (span * 3 / 4);
+                let len = 1 + next() % (span / 4).max(1);
+                plan = plan.partition(
+                    a,
+                    b,
+                    SimTime::from_micros(from),
+                    SimTime::from_micros(from + len),
+                );
+            }
+        }
+
+        // 0–1 loss bursts.
+        if next() % 2 == 0 {
+            let from = next() % (span * 3 / 4);
+            let len = 1 + next() % (span / 8).max(1);
+            plan = plan.loss_burst(
+                SimTime::from_micros(from),
+                SimTime::from_micros(from + len),
+                SimTime::from_micros((span / 64).max(1)),
+                3,
+            );
+        }
+        plan
+    }
+
+    /// `true` if `node` is crashed at time `t`.
+    pub fn is_down(&self, node: usize, t: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|w| w.node == node && w.down_at <= t && t < w.up_at)
+    }
+
+    /// The restart time of the outage covering `t`, if `node` is down then.
+    pub fn next_up(&self, node: usize, t: SimTime) -> Option<SimTime> {
+        self.crashes
+            .iter()
+            .filter(|w| w.node == node && w.down_at <= t && t < w.up_at)
+            .map(|w| w.up_at)
+            .max()
+    }
+
+    /// `true` if the (symmetric) link between `a` and `b` is partitioned
+    /// at time `t`.
+    pub fn is_cut(&self, a: usize, b: usize, t: SimTime) -> bool {
+        self.cut_until(a, b, t).is_some()
+    }
+
+    /// The healing time of the partition covering `t` on the `a`–`b` link,
+    /// if one is active.
+    pub fn cut_until(&self, a: usize, b: usize, t: SimTime) -> Option<SimTime> {
+        self.partitions
+            .iter()
+            .filter(|w| {
+                ((w.a == a && w.b == b) || (w.a == b && w.b == a))
+                    && w.from <= t
+                    && t < w.until
+            })
+            .map(|w| w.until)
+            .max()
+    }
+
+    /// Extra delay a transmission started at `t` suffers from burst loss.
+    /// `tag` disambiguates transmissions (e.g. a message id) so different
+    /// messages lose a different — but deterministic — number of copies.
+    pub fn loss_penalty(&self, tag: u64, t: SimTime) -> SimTime {
+        let mut penalty = SimTime::ZERO;
+        for (i, w) in self.loss.iter().enumerate() {
+            if w.from <= t && t < w.until && w.max_retries > 0 {
+                let mut state = tag
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64);
+                let copies = splitmix64(&mut state) % (u64::from(w.max_retries) + 1);
+                for _ in 0..copies {
+                    penalty = penalty + w.retransmit_interval;
+                }
+            }
+        }
+        penalty
+    }
+
+    /// The scheduled crash windows.
+    pub fn crash_windows(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// The scheduled partitions.
+    pub fn partition_windows(&self) -> &[PartitionWindow] {
+        &self.partitions
+    }
+
+    /// The scheduled loss bursts.
+    pub fn loss_windows(&self) -> &[LossWindow] {
+        &self.loss
+    }
+
+    /// `true` if the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.partitions.is_empty() && self.loss.is_empty()
+    }
+
+    /// The latest instant at which any scheduled fault is still active.
+    pub fn horizon(&self) -> SimTime {
+        let crash = self.crashes.iter().map(|w| w.up_at).max();
+        let part = self.partitions.iter().map(|w| w.until).max();
+        let loss = self.loss.iter().map(|w| w.until).max();
+        [crash, part, loss]
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
+/// The splitmix64 step — a tiny, high-quality deterministic generator so
+/// plan randomization needs no external RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(t: u64) -> SimTime {
+        SimTime::from_micros(t)
+    }
+
+    #[test]
+    fn crash_windows_are_half_open() {
+        let plan = FaultPlan::new().crash(3, us(10), us(20));
+        assert!(!plan.is_down(3, us(9)));
+        assert!(plan.is_down(3, us(10)));
+        assert!(plan.is_down(3, us(19)));
+        assert!(!plan.is_down(3, us(20)));
+        assert!(!plan.is_down(4, us(15)), "other nodes unaffected");
+        assert_eq!(plan.next_up(3, us(15)), Some(us(20)));
+        assert_eq!(plan.next_up(3, us(25)), None);
+    }
+
+    #[test]
+    fn partitions_are_symmetric() {
+        let plan = FaultPlan::new().partition(1, 2, us(5), us(9));
+        assert!(plan.is_cut(1, 2, us(5)));
+        assert!(plan.is_cut(2, 1, us(8)));
+        assert!(!plan.is_cut(1, 2, us(9)));
+        assert!(!plan.is_cut(1, 3, us(6)));
+        assert_eq!(plan.cut_until(2, 1, us(5)), Some(us(9)));
+    }
+
+    #[test]
+    fn overlapping_outages_report_latest_restart() {
+        let plan = FaultPlan::new()
+            .crash(0, us(10), us(20))
+            .crash(0, us(15), us(30));
+        assert_eq!(plan.next_up(0, us(16)), Some(us(30)));
+    }
+
+    #[test]
+    fn loss_penalty_is_deterministic_and_bounded() {
+        let plan = FaultPlan::new().loss_burst(us(0), us(100), us(7), 3);
+        for tag in 0..50u64 {
+            let p1 = plan.loss_penalty(tag, us(50));
+            let p2 = plan.loss_penalty(tag, us(50));
+            assert_eq!(p1, p2, "same tag, same penalty");
+            assert!(p1.as_micros() <= 21, "at most max_retries * interval");
+            assert_eq!(p1.as_micros() % 7, 0, "whole retransmission intervals");
+        }
+        assert_eq!(
+            plan.loss_penalty(1, us(100)),
+            SimTime::ZERO,
+            "outside the window"
+        );
+        let tags_with_loss = (0..50u64)
+            .filter(|&t| plan.loss_penalty(t, us(50)) > SimTime::ZERO)
+            .count();
+        assert!(tags_with_loss > 0, "some transmissions actually lose copies");
+    }
+
+    #[test]
+    fn randomized_plans_are_reproducible() {
+        let a = FaultPlan::randomized(42, 5, SimTime::from_ms(100.0));
+        let b = FaultPlan::randomized(42, 5, SimTime::from_ms(100.0));
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "the generator always schedules a crash");
+        assert!(!a.crash_windows().is_empty());
+        let c = FaultPlan::randomized(43, 5, SimTime::from_ms(100.0));
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn randomized_plan_windows_fit_the_horizon() {
+        for seed in 0..20u64 {
+            let horizon = SimTime::from_ms(50.0);
+            let plan = FaultPlan::randomized(seed, 4, horizon);
+            for w in plan.crash_windows() {
+                assert!(w.node < 4);
+                assert!(w.down_at < w.up_at);
+                assert!(w.up_at <= horizon, "restart inside the horizon");
+            }
+            assert!(plan.horizon() <= horizon);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty_plans() {
+        assert!(FaultPlan::randomized(1, 0, SimTime::from_ms(10.0)).is_empty());
+        assert!(FaultPlan::randomized(1, 4, SimTime::from_micros(2)).is_empty());
+        assert_eq!(FaultPlan::new().horizon(), SimTime::ZERO);
+    }
+}

@@ -12,6 +12,10 @@
 //! * [`FifoStamper`] — computes arrival times that preserve FIFO order per
 //!   channel, implementing the paper's "FIFO channel between any two
 //!   sequencers" assumption even when per-message delays vary.
+//! * [`FaultPlan`] — a deterministic, seedable schedule of sequencing-node
+//!   crashes, link partitions, and burst-loss windows, executed as
+//!   simulator events by `seqnet-core` and replayed against real threads
+//!   by `seqnet-runtime`.
 //!
 //! # Example
 //!
@@ -34,9 +38,11 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fault;
 mod fifo;
 mod time;
 
 pub use engine::Simulator;
+pub use fault::{CrashWindow, FaultPlan, LossWindow, PartitionWindow};
 pub use fifo::FifoStamper;
 pub use time::SimTime;

@@ -9,9 +9,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use seqnet::core::{DelayModel, OrderedPubSub};
-use seqnet::membership::{GroupId, NodeId};
+use seqnet::membership::{GroupId, Membership, NodeId};
 use seqnet::overlap::GraphBuilder;
+use seqnet::runtime::{Cluster, ClusterConfig};
 use seqnet::sim::SimTime;
+use std::time::Duration;
 
 #[test]
 fn traffic_between_membership_epochs_stays_ordered() {
@@ -73,6 +75,73 @@ fn traffic_between_membership_epochs_stays_ordered() {
             }
         }
     }
+}
+
+/// The threaded deployment under churn *and* loss: each membership epoch
+/// redeploys the updated groups onto a fresh cluster whose links drop
+/// frames, so the reliable-link layer has to earn the FIFO-channel
+/// assumption every epoch.
+#[test]
+fn churned_memberships_converge_over_lossy_links() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut dyng = GraphBuilder::new().dynamic();
+    let mut live_groups: Vec<GroupId> = Vec::new();
+    let mut next_group = 0u32;
+    let mut total_dropped = 0u64;
+
+    for epoch in 0..4 {
+        if live_groups.len() < 2 || rng.gen_bool(0.6) {
+            let gid = GroupId(next_group);
+            next_group += 1;
+            let size = rng.gen_range(2..5);
+            let members: std::collections::BTreeSet<NodeId> =
+                (0..size).map(|_| NodeId(rng.gen_range(0..8))).collect();
+            dyng.add_group(gid, members);
+            live_groups.push(gid);
+        } else {
+            let idx = rng.gen_range(0..live_groups.len());
+            dyng.remove_group(live_groups.swap_remove(idx));
+        }
+
+        let m: Membership = dyng.membership().clone();
+        if m.is_empty() {
+            continue;
+        }
+        let config = ClusterConfig {
+            drop_probability: 0.25,
+            retransmit_timeout: Duration::from_millis(3),
+            seed: 1000 + epoch as u64,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::start(&m, config);
+        let mut expected = 0usize;
+        for &grp in &live_groups {
+            for sender in m.members(grp).collect::<Vec<_>>() {
+                cluster.publish(sender, grp, vec![epoch as u8]).unwrap();
+                expected += m.group_size(grp);
+            }
+        }
+        let deliveries = cluster
+            .wait_for_deliveries(expected, Duration::from_secs(60))
+            .unwrap_or_else(|e| panic!("epoch {epoch}: {e}"));
+
+        let nodes: Vec<NodeId> = m.nodes().collect();
+        let empty = Vec::new();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                let da: Vec<_> =
+                    deliveries.get(&a).unwrap_or(&empty).iter().map(|x| x.id).collect();
+                let db: Vec<_> =
+                    deliveries.get(&b).unwrap_or(&empty).iter().map(|x| x.id).collect();
+                let ca: Vec<_> = da.iter().filter(|x| db.contains(x)).collect();
+                let cb: Vec<_> = db.iter().filter(|x| da.contains(x)).collect();
+                assert_eq!(ca, cb, "epoch {epoch}: {a} vs {b} disagree");
+            }
+        }
+        cluster.shutdown();
+        total_dropped += cluster.stats().frames_dropped;
+    }
+    assert!(total_dropped > 0, "the loss injector fired across the epochs");
 }
 
 #[test]
