@@ -1,10 +1,8 @@
 //! Discrete-event simulation of the full ordering pipeline: ingress,
 //! sequencing, and distribution (paper §3).
 
-use crate::{
-    CoreError, DelayModel, DelayTable, DeliveryQueue, Endpoint, Message, MessageId, NextHop,
-    ProtocolState,
-};
+use crate::proto::{Command, Event, Frame, NodeCore, Peer, ReceiverCore, RecoveryStats, Routing};
+use crate::{CoreError, DelayModel, DelayTable, Endpoint, Message, MessageId, ProtocolState};
 use bytes::Bytes;
 use rand::Rng;
 use seqnet_membership::{GroupId, Membership, NodeId};
@@ -96,27 +94,26 @@ impl Default for NetworkConfig {
 /// simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
-    /// Crash windows applied (windows naming atoms the graph does not
-    /// have are skipped).
-    pub crashes: u64,
-    /// Messages that arrived at a crashed atom and were parked in its
-    /// upstream buffer until the restart replayed them.
-    pub messages_parked: u64,
+    /// Crash-recovery counters, aggregated across all atom cores. The
+    /// counter definitions are shared with the threaded runtime's
+    /// `RuntimeStats` (both embed [`RecoveryStats`] maintained by the
+    /// protocol core), so simulator and runtime report recovery behavior
+    /// identically. `recovery_micros` stays zero here: parked messages
+    /// replay at the restart instant, without a recovery phase of their
+    /// own.
+    pub recovery: RecoveryStats,
     /// Transmissions deferred by a link partition or stretched by a
     /// burst-loss retransmission penalty.
     pub messages_delayed: u64,
 }
 
-/// Runtime state of an installed fault schedule.
+/// Runtime state of an installed fault schedule. Crash windows execute as
+/// [`Event::NodeCrashed`]/[`Event::NodeRestarted`] events against the atom
+/// cores, which own the parking and replay; only the transport-level
+/// faults (partitions, loss penalties) remain here.
 #[derive(Debug)]
 struct FaultCtx {
     plan: FaultPlan,
-    /// Arrivals at a down atom, parked in arrival order. Replayed — still
-    /// in order — by the restart event at the window's `up_at`; the
-    /// channel-FIFO assumption thus holds across the outage.
-    parked: HashMap<AtomId, Vec<Message>>,
-    crashes: u64,
-    messages_parked: u64,
     messages_delayed: u64,
 }
 
@@ -141,7 +138,11 @@ struct World {
     membership: Membership,
     graph: SequencingGraph,
     protocol: ProtocolState,
-    queues: BTreeMap<NodeId, DeliveryQueue>,
+    /// One protocol core per atom (solo routing: atom `i` is node `i`).
+    /// All cores share the single `protocol` counter state, borrowed per
+    /// event — exactly how the runtime's per-thread cores borrow theirs.
+    cores: Vec<NodeCore>,
+    receivers: BTreeMap<NodeId, ReceiverCore>,
     delays: DelayModel,
     fifo: FifoStamper<(Endpoint, Endpoint)>,
     next_id: u64,
@@ -256,13 +257,17 @@ impl OrderedPubSub {
     }
 
     fn assemble(membership: Membership, graph: SequencingGraph, delays: DelayModel) -> Self {
-        let queues = membership
+        let receivers = membership
             .nodes()
-            .map(|n| (n, DeliveryQueue::new(n, &membership, &graph)))
+            .map(|n| (n, ReceiverCore::new(n, &membership, &graph)))
+            .collect();
+        let cores = (0..graph.num_atoms())
+            .map(|i| NodeCore::new(i, false))
             .collect();
         let world = World {
             protocol: ProtocolState::new(&graph),
-            queues,
+            cores,
+            receivers,
             membership,
             graph,
             delays,
@@ -406,20 +411,25 @@ impl OrderedPubSub {
     /// restart instant — install the plan before running the simulation.
     pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
         let num_atoms = self.sim.world().graph.num_atoms();
-        let mut crashes = 0u64;
+        let now = self.sim.now();
         for w in plan.crash_windows() {
             if w.node < num_atoms {
-                crashes += 1;
                 let atom = AtomId(w.node as u32);
+                // Crash/restart run as ordinary simulator events feeding
+                // the atom's protocol core. Scheduling them here — before
+                // any same-instant arrival is scheduled — makes the tie
+                // break the same way the old per-arrival `is_down` check
+                // did: an arrival at exactly `down_at` parks, an arrival
+                // at exactly `up_at` processes after the replay.
+                let down_at = if w.down_at > now { w.down_at } else { now };
                 self.sim
-                    .schedule_at(w.up_at, move |sim| replay_atom(sim, atom));
+                    .schedule_at(down_at, move |sim| crash_atom(sim, atom));
+                self.sim
+                    .schedule_at(w.up_at, move |sim| restart_atom(sim, atom));
             }
         }
         self.sim.world_mut().fault = Some(FaultCtx {
             plan,
-            parked: HashMap::new(),
-            crashes,
-            messages_parked: 0,
             messages_delayed: 0,
         });
     }
@@ -427,16 +437,15 @@ impl OrderedPubSub {
     /// What the installed fault plan did so far; all-zero when no plan
     /// was applied.
     pub fn fault_stats(&self) -> FaultStats {
-        self.sim
-            .world()
-            .fault
-            .as_ref()
-            .map(|c| FaultStats {
-                crashes: c.crashes,
-                messages_parked: c.messages_parked,
-                messages_delayed: c.messages_delayed,
-            })
-            .unwrap_or_default()
+        let world = self.sim.world();
+        let mut recovery = RecoveryStats::default();
+        for core in &world.cores {
+            recovery.merge(core.recovery_stats());
+        }
+        FaultStats {
+            recovery,
+            messages_delayed: world.fault.as_ref().map_or(0, |c| c.messages_delayed),
+        }
     }
 
     /// Runs until no events remain; returns the number of events executed.
@@ -474,7 +483,12 @@ impl OrderedPubSub {
     /// messages are stuck forever — e.g. the circular dependency of
     /// Figure 2(a).
     pub fn stuck_messages(&self) -> usize {
-        self.sim.world().queues.values().map(|q| q.pending()).sum()
+        self.sim
+            .world()
+            .receivers
+            .values()
+            .map(|r| r.queue().pending())
+            .sum()
     }
 
     /// Causal reactions whose trigger never fired.
@@ -528,20 +542,28 @@ impl OrderedPubSub {
         }
         let world = self.sim.world_mut();
         world.protocol.adopt(&graph);
-        let old_queues = std::mem::take(&mut world.queues);
-        let mut queues = BTreeMap::new();
+        let old_receivers = std::mem::take(&mut world.receivers);
+        let mut receivers = BTreeMap::new();
         for node in membership.nodes() {
-            let queue = match old_queues.get(&node) {
-                Some(q) => {
-                    let mut q = q.clone();
+            let receiver = match old_receivers.get(&node) {
+                Some(r) => {
+                    let mut q = r.queue().clone();
                     q.resync_with(membership, &graph, &world.protocol);
-                    q
+                    ReceiverCore::from_queue(q)
                 }
-                None => DeliveryQueue::synced(node, membership, &graph, &world.protocol),
+                None => ReceiverCore::synced(node, membership, &graph, &world.protocol),
             };
-            queues.insert(node, queue);
+            receivers.insert(node, receiver);
         }
-        world.queues = queues;
+        world.receivers = receivers;
+        // Quiescence (checked above) means no core holds parked frames;
+        // surviving cores keep their recovery counters, new atoms get
+        // fresh cores.
+        let atoms = graph.num_atoms();
+        world.cores.truncate(atoms);
+        while world.cores.len() < atoms {
+            world.cores.push(NodeCore::new(world.cores.len(), false));
+        }
         world.membership = membership.clone();
         world.graph = graph;
         Ok(())
@@ -579,9 +601,9 @@ impl OrderedPubSub {
     pub fn receiver_buffer_highwater(&self) -> BTreeMap<NodeId, usize> {
         self.sim
             .world()
-            .queues
+            .receivers
             .iter()
-            .map(|(n, q)| (*n, q.max_buffered()))
+            .map(|(n, r)| (*n, r.queue().max_buffered()))
             .collect()
     }
 
@@ -590,9 +612,9 @@ impl OrderedPubSub {
     pub fn receiver_loads(&self) -> BTreeMap<NodeId, u64> {
         self.sim
             .world()
-            .queues
+            .receivers
             .iter()
-            .map(|(n, q)| (*n, q.delivered_count()))
+            .map(|(n, r)| (*n, r.queue().delivered_count()))
             .collect()
     }
 }
@@ -626,61 +648,76 @@ fn inject(sim: &mut Simulator<World>, id: MessageId, sender: NodeId, group: Grou
     sim.schedule_at(arrival, move |sim| at_atom(sim, msg, ingress));
 }
 
-/// Event: a message arrives at a sequencing atom.
-fn at_atom(sim: &mut Simulator<World>, mut msg: Message, atom: AtomId) {
+/// Event: a message arrives at a sequencing atom. The atom's protocol
+/// core makes every ordering decision (stamp, forward, park); this driver
+/// only translates the emitted commands into scheduled transmissions
+/// under the delay, partition, and loss models.
+fn at_atom(sim: &mut Simulator<World>, msg: Message, atom: AtomId) {
     let now = sim.now();
     let world = sim.world_mut();
-    if let Some(ctx) = &mut world.fault {
-        // A crashed atom does not process: the message stays parked in
-        // its upstream buffer. Parking also while earlier parked messages
-        // remain keeps the channel FIFO across the restart boundary.
-        let down = ctx.plan.is_down(atom.0 as usize, now)
-            || ctx.parked.get(&atom).is_some_and(|v| !v.is_empty());
-        if down {
-            ctx.messages_parked += 1;
-            ctx.parked.entry(atom).or_default().push(msg);
-            return;
-        }
+    let id = msg.id;
+    let frame = Frame {
+        msg,
+        target_atom: Some(atom),
+    };
+    let routing = Routing::solo(&world.membership, &world.graph);
+    let core = &mut world.cores[atom.0 as usize];
+    if core.is_accepting() {
+        // Parked arrivals get their trace entry when the replay
+        // re-processes them, so the hop timestamps reflect actual work.
+        world
+            .traces
+            .entry(id)
+            .or_default()
+            .push((Endpoint::Atom(atom), now));
     }
-    world
-        .traces
-        .entry(msg.id)
-        .or_default()
-        .push((Endpoint::Atom(atom), now));
-    match world.protocol.process(&world.graph, &mut msg, atom) {
-        NextHop::Atom(next) => {
-            world.overhead_bytes += msg.ordering_overhead_bytes() as u64;
-            let mut delay = world
-                .delays
-                .delay(Endpoint::Atom(atom), Endpoint::Atom(next));
-            let mut start = now;
-            if let Some(ctx) = &mut world.fault {
-                if let Some(heal) = ctx.plan.cut_until(atom.0 as usize, next.0 as usize, now) {
-                    // Partitioned: the frame waits out the cut.
-                    ctx.messages_delayed += 1;
-                    start = heal;
+    let commands = core.on_event(&routing, &mut world.protocol, Event::FrameArrived { frame });
+
+    // Execute the emitted sends under the transport models. A node-core
+    // event yields either one forward to the next atom's owner or the
+    // egress fan-out to the group members, in membership order.
+    let mut hops: Vec<(SimTime, Message, AtomId)> = Vec::new();
+    let mut sends: Vec<(SimTime, Message, NodeId)> = Vec::new();
+    for command in commands {
+        match command {
+            Command::Send {
+                to: Peer::Node(_),
+                frame,
+            } => {
+                let next = frame
+                    .target_atom
+                    .expect("node-bound frames carry a target atom");
+                let msg = frame.msg;
+                world.overhead_bytes += msg.ordering_overhead_bytes() as u64;
+                let mut delay = world
+                    .delays
+                    .delay(Endpoint::Atom(atom), Endpoint::Atom(next));
+                let mut start = now;
+                if let Some(ctx) = &mut world.fault {
+                    if let Some(heal) = ctx.plan.cut_until(atom.0 as usize, next.0 as usize, now) {
+                        // Partitioned: the frame waits out the cut.
+                        ctx.messages_delayed += 1;
+                        start = heal;
+                    }
+                    let tag = fault_tag(msg.id, u64::from(atom.0), u64::from(next.0));
+                    let penalty = ctx.plan.loss_penalty(tag, now);
+                    if penalty > SimTime::ZERO {
+                        ctx.messages_delayed += 1;
+                        delay = delay + penalty;
+                    }
                 }
-                let tag = fault_tag(msg.id, u64::from(atom.0), u64::from(next.0));
-                let penalty = ctx.plan.loss_penalty(tag, now);
-                if penalty > SimTime::ZERO {
-                    ctx.messages_delayed += 1;
-                    delay = delay + penalty;
-                }
+                let arrival =
+                    world
+                        .fifo
+                        .arrival((Endpoint::Atom(atom), Endpoint::Atom(next)), start, delay);
+                hops.push((arrival, msg, next));
             }
-            let arrival =
-                world
-                    .fifo
-                    .arrival((Endpoint::Atom(atom), Endpoint::Atom(next)), start, delay);
-            sim.schedule_at(arrival, move |sim| at_atom(sim, msg, next));
-        }
-        NextHop::Egress => {
-            // Distribution: unicast to every group member from the egress
-            // atom's machine.
-            let members: Vec<NodeId> = world.membership.members(msg.group).collect();
-            world.overhead_bytes +=
-                (msg.ordering_overhead_bytes() * members.len()) as u64;
-            let mut sends: Vec<(SimTime, NodeId)> = Vec::with_capacity(members.len());
-            for member in members {
+            Command::Send {
+                to: Peer::Host(member),
+                frame,
+            } => {
+                let msg = frame.msg;
+                world.overhead_bytes += msg.ordering_overhead_bytes() as u64;
                 let mut delay = world
                     .delays
                     .delay(Endpoint::Atom(atom), Endpoint::Host(member));
@@ -701,30 +738,58 @@ fn at_atom(sim: &mut Simulator<World>, mut msg: Message, atom: AtomId) {
                     now,
                     delay,
                 );
-                sends.push((arrival, member));
+                sends.push((arrival, msg, member));
             }
-            for (arrival, member) in sends {
-                let copy = msg.clone();
-                sim.schedule_at(arrival, move |sim| arrive(sim, copy, member));
-            }
+            other => unreachable!("unexpected node-core command {other:?}"),
+        }
+    }
+    for (arrival, msg, next) in hops {
+        sim.schedule_at(arrival, move |sim| at_atom(sim, msg, next));
+    }
+    for (arrival, msg, member) in sends {
+        sim.schedule_at(arrival, move |sim| arrive(sim, msg, member));
+    }
+}
+
+/// Event: a crash window opens — the atom's core stops accepting and
+/// parks subsequent arrivals in its upstream buffer.
+fn crash_atom(sim: &mut Simulator<World>, atom: AtomId) {
+    let world = sim.world_mut();
+    let routing = Routing::solo(&world.membership, &world.graph);
+    let commands =
+        world.cores[atom.0 as usize].on_event(&routing, &mut world.protocol, Event::NodeCrashed);
+    debug_assert!(commands.is_empty());
+}
+
+/// Event: a crash window closes — the core replays its parked arrivals,
+/// in the order they arrived, through the normal arrival path (the
+/// simulator counterpart of the runtime's
+/// replay-from-upstream-retransmission-buffers recovery). With
+/// overlapping windows the atom stays down until the last one ends.
+fn restart_atom(sim: &mut Simulator<World>, atom: AtomId) {
+    let now = sim.now();
+    let world = sim.world_mut();
+    if world
+        .fault
+        .as_ref()
+        .is_some_and(|c| c.plan.is_down(atom.0 as usize, now))
+    {
+        return;
+    }
+    let routing = Routing::solo(&world.membership, &world.graph);
+    let commands =
+        world.cores[atom.0 as usize].on_event(&routing, &mut world.protocol, Event::NodeRestarted);
+    for command in commands {
+        match command {
+            Command::Replay { frame } => at_atom(sim, frame.msg, atom),
+            other => unreachable!("unexpected restart command {other:?}"),
         }
     }
 }
 
-/// Event: a crashed atom restarts and replays its parked arrivals, in
-/// the order they arrived — the simulator counterpart of the runtime's
-/// replay-from-upstream-retransmission-buffers recovery.
-fn replay_atom(sim: &mut Simulator<World>, atom: AtomId) {
-    let parked = match &mut sim.world_mut().fault {
-        Some(ctx) => ctx.parked.remove(&atom).unwrap_or_default(),
-        None => Vec::new(),
-    };
-    for msg in parked {
-        at_atom(sim, msg, atom);
-    }
-}
-
-/// Event: a message reaches a destination host.
+/// Event: a message reaches a destination host. The receiver core runs
+/// the Definition 1 deliver-or-buffer decision and emits one `Deliver`
+/// command per released message; this driver records them.
 fn arrive(sim: &mut Simulator<World>, msg: Message, member: NodeId) {
     let now = sim.now();
     let world = sim.world_mut();
@@ -734,11 +799,23 @@ fn arrive(sim: &mut Simulator<World>, msg: Message, member: NodeId) {
         .or_default()
         .push((Endpoint::Host(member), now));
     world.arrivals.insert((msg.id, member), now);
-    let queue = world
-        .queues
+    let receiver = world
+        .receivers
         .get_mut(&member)
-        .expect("members have delivery queues");
-    let delivered = queue.offer(msg);
+        .expect("members have receiver cores");
+    let delivered: Vec<Message> = receiver
+        .on_event(Event::FrameArrived {
+            frame: Frame {
+                msg,
+                target_atom: None,
+            },
+        })
+        .into_iter()
+        .map(|command| match command {
+            Command::Deliver { msg, .. } => msg,
+            other => unreachable!("unexpected receiver command {other:?}"),
+        })
+        .collect();
 
     let mut fired: Vec<Trigger> = Vec::new();
     for d in delivered {
@@ -994,8 +1071,15 @@ mod fault_tests {
         assert_eq!(o1, o2, "order diverged across a full-crash outage");
         assert_eq!(o1.len(), 6);
         let stats = bus.fault_stats();
-        assert_eq!(stats.crashes, atoms as u64);
-        assert!(stats.messages_parked > 0, "publishes at 1ms hit down atoms");
+        assert_eq!(stats.recovery.crashes, atoms as u64);
+        assert!(
+            stats.recovery.messages_parked > 0,
+            "publishes at 1ms hit down atoms"
+        );
+        assert_eq!(
+            stats.recovery.frames_replayed, stats.recovery.messages_parked,
+            "every parked message was replayed"
+        );
     }
 
     /// Partitions and loss bursts delay but never lose or reorder: every

@@ -23,8 +23,11 @@
 //!   logical delays or on a generated router topology
 //!   ([`OrderedPubSub::with_network`]); this is the paper's evaluation
 //!   vehicle.
-//! * The pure state machines ([`ProtocolState`], [`DeliveryQueue`]) — used
-//!   by `seqnet-runtime` to deploy the protocol over real FIFO channels.
+//! * The sans-I/O protocol core ([`proto`]) — pure event-in/command-out
+//!   state machines ([`proto::NodeCore`], [`proto::ReceiverCore`], built on
+//!   [`ProtocolState`] and [`DeliveryQueue`]) that both the simulator above
+//!   and `seqnet-runtime`'s real FIFO channels drive, so one implementation
+//!   of the ordering logic serves every deployment.
 //!
 //! # Quickstart
 //!
@@ -52,19 +55,17 @@
 #![warn(missing_docs)]
 
 mod delay;
-mod delivery;
 mod dynamic;
 mod engine;
 mod error;
 mod message;
 pub mod metrics;
-mod protocol;
+pub mod proto;
 pub mod traffic;
 
 pub use delay::{DelayModel, DelayTable, Endpoint};
-pub use delivery::DeliveryQueue;
 pub use dynamic::DynamicOrderedPubSub;
 pub use engine::{DeliveryRecord, FaultStats, NetworkConfig, NetworkSetup, OrderedPubSub};
 pub use error::CoreError;
 pub use message::{Message, MessageId, SeqNo, Stamp};
-pub use protocol::{NextHop, ProtocolState};
+pub use proto::{DeliveryQueue, NextHop, ProtocolState};

@@ -82,11 +82,13 @@ pub fn mean_buffering_ms<'a>(records: impl IntoIterator<Item = &'a DeliveryRecor
 }
 
 /// Average crash-recovery latency in milliseconds, from the accumulated
-/// counters a runtime reports (`seqnet-runtime`'s
-/// `RuntimeStats::recovery_micros` and `RuntimeStats::crashes`): total
-/// time from restarted-thread start to the first snapshot that sealed
-/// replayed frames, divided by the number of crashes. Returns `0.0` when
-/// no crash occurred.
+/// counters a driver reports (the `recovery_micros` and `crashes` fields
+/// of the shared [`RecoveryStats`](crate::proto::RecoveryStats), surfaced
+/// as `FaultStats::recovery` by the simulator and `RuntimeStats::recovery`
+/// by `seqnet-runtime`): total time from restarted-thread start to the
+/// first snapshot that sealed replayed frames, divided by the number of
+/// crashes. Always returns a defined, finite value — `0.0` when no crash
+/// occurred, never `NaN`.
 pub fn mean_recovery_ms(total_recovery_micros: u64, crashes: u64) -> f64 {
     if crashes == 0 {
         return 0.0;
@@ -171,5 +173,18 @@ mod tests {
     fn recovery_latency_mean() {
         assert_eq!(mean_recovery_ms(0, 0), 0.0);
         assert_eq!(mean_recovery_ms(6_000, 2), 3.0);
+    }
+
+    #[test]
+    fn recovery_latency_defined_with_zero_recoveries() {
+        // A fault-free run reports zero crashes; the mean must stay a
+        // defined, finite number (no 0/0 NaN, no panic), including when
+        // stray micros were accumulated without a completed crash count.
+        let fault_free = mean_recovery_ms(0, 0);
+        assert!(fault_free.is_finite());
+        assert_eq!(fault_free, 0.0);
+        let stray = mean_recovery_ms(1_234, 0);
+        assert!(stray.is_finite());
+        assert_eq!(stray, 0.0);
     }
 }

@@ -1,0 +1,128 @@
+//! The event/command vocabulary of the sans-I/O protocol core.
+//!
+//! Drivers translate their transport's happenings into [`Event`]s, feed
+//! them to a core ([`NodeCore`](crate::proto::NodeCore) or
+//! [`ReceiverCore`](crate::proto::ReceiverCore)), and execute the returned
+//! [`Command`]s on whatever medium they own — simulated channels with a
+//! delay model, or real links with retransmission. The core itself never
+//! touches clocks, threads, channels, or randomness.
+
+use crate::Message;
+use seqnet_membership::NodeId;
+use seqnet_overlap::AtomId;
+
+/// A party a protocol frame can travel between. Sequencing nodes are
+/// identified by driver-assigned index (one per atom in the simulator,
+/// one per co-location class in the threaded runtime); hosts are the
+/// subscriber endpoints; the publisher is the external message source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Peer {
+    /// An external publisher front-end.
+    Publisher,
+    /// A sequencing node, by driver-assigned index.
+    Node(usize),
+    /// A subscriber host.
+    Host(NodeId),
+}
+
+impl std::fmt::Display for Peer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Peer::Publisher => write!(f, "publisher"),
+            Peer::Node(i) => write!(f, "node{i}"),
+            Peer::Host(n) => write!(f, "host{}", n.0),
+        }
+    }
+}
+
+/// A protocol frame: a message plus the sequencing atom it is addressed
+/// to. Frames bound for a subscriber (distribution copies) carry no
+/// target atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The message being carried.
+    pub msg: Message,
+    /// The atom that must process the message next, or `None` for a
+    /// distribution copy addressed to a host's delivery queue.
+    pub target_atom: Option<AtomId>,
+}
+
+/// An input to a protocol core. Every driver obligation is expressed as
+/// one of these; see `PROTOCOL.md` ("Protocol core API") for the full
+/// contract.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A frame arrived over the transport, in channel-FIFO order.
+    FrameArrived {
+        /// The frame, already reassembled/deduplicated by the transport.
+        frame: Frame,
+    },
+    /// The node crashed: it stops processing and parks subsequent
+    /// arrivals until [`Event::NodeRestarted`].
+    NodeCrashed,
+    /// The node came back: parked frames are replayed in arrival order
+    /// (the core emits one [`Command::Replay`] per frame).
+    NodeRestarted,
+    /// The driver persisted a snapshot of the node's protocol state plus
+    /// the transport's receive progress. `rx_next` lists, per upstream
+    /// peer, the next link sequence number expected at the moment the
+    /// snapshot was taken — everything below it is now stable and may be
+    /// acknowledged (the PR 1 group-commit rule).
+    SnapshotTaken {
+        /// Per-upstream-peer next-expected link sequence numbers.
+        rx_next: Vec<(Peer, u64)>,
+    },
+    /// A timer tick. The core currently has no time-driven behavior and
+    /// returns no commands; the variant exists so drivers with timers
+    /// (heartbeats, batching) have a stable entry point.
+    Tick,
+}
+
+/// An output of a protocol core, to be executed by the driver.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Transmit `frame` to `to` now.
+    Send {
+        /// The destination party.
+        to: Peer,
+        /// The frame to transmit.
+        frame: Frame,
+    },
+    /// Hold `frame` for `to` in the staged-output buffer; it must not
+    /// reach the wire before the next [`Command::Flush`]. Emitted instead
+    /// of [`Command::Send`] when the core runs with the group-commit
+    /// discipline (nothing escapes a node before a snapshot contains it).
+    Stage {
+        /// The destination party.
+        to: Peer,
+        /// The frame to stage.
+        frame: Frame,
+    },
+    /// Release every staged frame to the wire (a snapshot sealed them).
+    Flush,
+    /// Tell `to` that every frame through link sequence number `through`
+    /// is stable here and may be dropped from its retransmission buffer.
+    Ack {
+        /// The upstream party being acknowledged.
+        to: Peer,
+        /// Cumulative link sequence number acknowledged.
+        through: u64,
+    },
+    /// Deliver `msg` to the application at `host` (Definition 1 said
+    /// yes). Emitted only by [`ReceiverCore`](crate::proto::ReceiverCore).
+    Deliver {
+        /// The subscriber delivering the message.
+        host: NodeId,
+        /// The message, in final delivery order.
+        msg: Message,
+    },
+    /// Re-process a frame that was parked across a crash window. Emitted
+    /// only while handling [`Event::NodeRestarted`], in arrival order;
+    /// the driver feeds each frame back as [`Event::FrameArrived`] (at
+    /// the restart instant, before any new arrival), which keeps the
+    /// channel-FIFO assumption across the outage.
+    Replay {
+        /// The parked frame to re-process.
+        frame: Frame,
+    },
+}

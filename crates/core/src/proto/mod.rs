@@ -1,0 +1,44 @@
+//! The sans-I/O protocol core: every ordering decision, no transport.
+//!
+//! This module family is the single implementation of the paper's
+//! protocol logic, shared verbatim by the deterministic simulator
+//! ([`OrderedPubSub`](crate::OrderedPubSub)) and the threaded runtime
+//! (`seqnet-runtime`). It is structured as pure state machines that
+//! consume [`Event`]s and emit [`Command`]s:
+//!
+//! * [`ProtocolState`] ([`atom`](self)) — the §3.1 sequencing-atom state
+//!   machine: group-local numbering at ingress, overlap stamping, transit
+//!   forwarding.
+//! * [`NodeCore`] — a sequencing node: routes frames through its
+//!   consecutive atoms, fans out at egress, parks frames across crash
+//!   windows and replays them on restart, and implements the PR 1
+//!   group-commit rule (stage outputs, flush + cumulatively ack at
+//!   snapshot time).
+//! * [`ReceiverCore`] / [`DeliveryQueue`] — the Definition 1
+//!   deliver-or-buffer rule at each subscriber.
+//! * [`Routing`] — the borrowed routing view (membership, graph, atom
+//!   ownership) a core consults per event.
+//! * [`RecoveryStats`] — crash-recovery counters shared by the
+//!   simulator's `FaultStats` and the runtime's `RuntimeStats`.
+//!
+//! Nothing in here touches clocks, threads, channels, or randomness;
+//! drivers own all of that. The contract each driver must uphold (FIFO
+//! frame delivery per channel, command execution order, snapshot
+//! semantics) is documented in `PROTOCOL.md` under "Protocol core API",
+//! and the `sim_runtime_equivalence` integration test feeds identical
+//! workloads and fault schedules through both drivers to check they
+//! produce identical per-receiver delivery orders.
+
+mod atom;
+mod event;
+mod node;
+mod receiver;
+mod routing;
+mod stats;
+
+pub use atom::{NextHop, ProtocolState};
+pub use event::{Command, Event, Frame, Peer};
+pub use node::NodeCore;
+pub use receiver::{DeliveryQueue, ReceiverCore};
+pub use routing::Routing;
+pub use stats::RecoveryStats;

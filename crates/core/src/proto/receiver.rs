@@ -308,6 +308,90 @@ impl DeliveryQueue {
     }
 }
 
+/// The receiver half of the protocol core: wraps a [`DeliveryQueue`] in
+/// the event-in/command-out shape, so host drivers (simulated arrival
+/// events or a runtime host thread) run Definition 1 the same way node
+/// drivers run the atom state machine. Feeding a distribution frame in
+/// returns one [`Command::Deliver`] per message the queue released, in
+/// final delivery order.
+#[derive(Debug, Clone)]
+pub struct ReceiverCore {
+    queue: DeliveryQueue,
+}
+
+impl ReceiverCore {
+    /// A core for subscriber `node`, expecting the first sequence numbers.
+    pub fn new(
+        node: NodeId,
+        membership: &seqnet_membership::Membership,
+        graph: &SequencingGraph,
+    ) -> Self {
+        ReceiverCore {
+            queue: DeliveryQueue::new(node, membership, graph),
+        }
+    }
+
+    /// A core for a subscriber joining a live system; see
+    /// [`DeliveryQueue::synced`].
+    pub fn synced(
+        node: NodeId,
+        membership: &seqnet_membership::Membership,
+        graph: &SequencingGraph,
+        protocol: &crate::ProtocolState,
+    ) -> Self {
+        ReceiverCore {
+            queue: DeliveryQueue::synced(node, membership, graph, protocol),
+        }
+    }
+
+    /// Wraps an existing queue (e.g. one carried across a reconfiguration
+    /// via [`DeliveryQueue::resync_with`]).
+    pub fn from_queue(queue: DeliveryQueue) -> Self {
+        ReceiverCore { queue }
+    }
+
+    /// The underlying deliver-or-buffer queue (pending counts, high-water
+    /// marks, delivered counts).
+    pub fn queue(&self) -> &DeliveryQueue {
+        &self.queue
+    }
+
+    /// Mutable access to the underlying queue, for driver-side
+    /// reconfiguration.
+    pub fn queue_mut(&mut self) -> &mut DeliveryQueue {
+        &mut self.queue
+    }
+
+    /// Feeds one event through the receiver; returns the commands the
+    /// driver must execute, in order. Only
+    /// [`Event::FrameArrived`](super::Event::FrameArrived) (with a
+    /// distribution frame, i.e. no target atom) produces output; hosts
+    /// never crash, so the remaining events are accepted as no-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frame still carries a `target_atom` (it was routed to a
+    /// host by mistake), or on the [`DeliveryQueue::offer`] contract
+    /// violations (unsequenced message, non-subscriber).
+    pub fn on_event(&mut self, event: super::Event) -> Vec<super::Command> {
+        match event {
+            super::Event::FrameArrived { frame } => {
+                assert!(
+                    frame.target_atom.is_none(),
+                    "distribution frames carry no target atom"
+                );
+                let host = self.queue.node();
+                self.queue
+                    .offer(frame.msg)
+                    .into_iter()
+                    .map(|msg| super::Command::Deliver { host, msg })
+                    .collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,5 +549,41 @@ mod tests {
         let m2 = seq(&mut state, &graph, 2, 0, 0);
         assert!(q.offer(m2).is_empty());
         q.resync(&m, &graph);
+    }
+
+    #[test]
+    fn receiver_core_emits_deliver_commands_in_release_order() {
+        use super::super::{Command, Event, Frame};
+        let (m, graph, mut state) = two_group_setup();
+        let mut core = ReceiverCore::new(n(1), &m, &graph);
+        let m1 = seq(&mut state, &graph, 1, 0, 0);
+        let m2 = seq(&mut state, &graph, 2, 0, 0);
+        // Out-of-order arrival: m2 buffers, then m1 releases both.
+        let held = core.on_event(Event::FrameArrived {
+            frame: Frame {
+                msg: m2,
+                target_atom: None,
+            },
+        });
+        assert!(held.is_empty());
+        assert_eq!(core.queue().pending(), 1);
+        let released = core.on_event(Event::FrameArrived {
+            frame: Frame {
+                msg: m1,
+                target_atom: None,
+            },
+        });
+        let ids: Vec<u64> = released
+            .iter()
+            .map(|c| match c {
+                Command::Deliver { host, msg } => {
+                    assert_eq!(*host, n(1));
+                    msg.id.0
+                }
+                other => panic!("unexpected command {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert!(core.on_event(Event::Tick).is_empty(), "non-frame events no-op");
     }
 }

@@ -1,0 +1,33 @@
+//! Shared crash-recovery counters.
+//!
+//! Both the simulator's `FaultStats` and the threaded runtime's
+//! `RuntimeStats` embed [`RecoveryStats`], so the two report recovery
+//! behavior with identical counter definitions — a prerequisite for the
+//! differential sim↔runtime test to compare them at all.
+
+/// Counters for the park/replay crash-recovery path. Maintained by
+/// [`NodeCore`](crate::proto::NodeCore) (except `recovery_micros`, which
+/// needs a clock and is therefore filled in by the driver).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Crash events processed ([`Event::NodeCrashed`](crate::proto::Event)).
+    pub crashes: u64,
+    /// Frames that arrived while the node was down and were parked.
+    pub messages_parked: u64,
+    /// Parked frames replayed after a restart.
+    pub frames_replayed: u64,
+    /// Total wall-clock (runtime) or virtual (simulator) microseconds
+    /// spent recovering; divided by `crashes` in
+    /// [`metrics::mean_recovery_ms`](crate::metrics::mean_recovery_ms).
+    pub recovery_micros: u64,
+}
+
+impl RecoveryStats {
+    /// Add another node's counters into this aggregate.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.crashes += other.crashes;
+        self.messages_parked += other.messages_parked;
+        self.frames_replayed += other.frames_replayed;
+        self.recovery_micros += other.recovery_micros;
+    }
+}

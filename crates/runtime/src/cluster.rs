@@ -21,7 +21,10 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use seqnet_core::{DeliveryQueue, Message, MessageId, NextHop, ProtocolState};
+use seqnet_core::proto::{
+    Command, Event, Frame, NodeCore, Peer, ProtocolState, ReceiverCore, RecoveryStats, Routing,
+};
+use seqnet_core::{Message, MessageId};
 use seqnet_membership::{GroupId, Membership, NodeId};
 use seqnet_overlap::{AtomId, Colocation, GraphBuilder, SequencingGraph};
 use seqnet_sim::{FaultPlan, SimTime};
@@ -33,30 +36,18 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A party in the deployment: a sequencing-node thread, a host thread, or
-/// the publisher front-end living inside [`Cluster`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-enum Party {
-    Node(usize),
-    Host(NodeId),
-    Publisher,
-}
+/// A party in the deployment — the protocol core's [`Peer`] type names
+/// sequencing-node threads, host threads, and the publisher front-end
+/// living inside [`Cluster`] alike.
+type Party = Peer;
 
 /// Identifies a directed reliable link between two parties.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct LinkId(u32);
 
 #[derive(Debug, Clone)]
-struct WireData {
-    msg: Message,
-    /// The atom the receiving node should process next; `None` on links
-    /// that terminate at a host.
-    target_atom: Option<AtomId>,
-}
-
-#[derive(Debug, Clone)]
 enum Body {
-    Data(WireData),
+    Data(Frame),
     /// Acknowledges exactly the frame sequence number it carries.
     Ack,
     /// Cumulative acknowledgment: every frame up to and including the
@@ -102,18 +93,20 @@ pub struct RuntimeStats {
     pub retransmissions: u64,
     /// Duplicate frames discarded by link receivers.
     pub duplicates: u64,
-    /// Sequencing-node threads killed via [`Cluster::crash_node`].
-    pub crashes: u64,
-    /// Data frames replayed to restarted nodes from upstream
-    /// retransmission buffers before their recovery completed.
-    pub frames_replayed: u64,
     /// Peer-failure detections: transitions of a monitored peer from
     /// healthy to suspected after three missed heartbeat intervals.
     pub heartbeat_misses: u64,
-    /// Total recovery latency in microseconds, summed over restarts:
-    /// thread start to the first snapshot that re-durably-records
-    /// replayed input.
-    pub recovery_micros: u64,
+    /// Crash-recovery counters, with definitions shared (via the protocol
+    /// core's [`RecoveryStats`]) with the simulator's `FaultStats`:
+    /// `crashes` counts sequencing-node threads killed via
+    /// [`Cluster::crash_node`]; `frames_replayed` counts data frames
+    /// replayed to restarted nodes from upstream retransmission buffers
+    /// before their recovery completed; `recovery_micros` sums recovery
+    /// latency over restarts (thread start to the first snapshot that
+    /// re-durably-records replayed input). `messages_parked` stays zero
+    /// here: a crashed thread's arrivals queue in its inbox (transport
+    /// buffering), they are never parked by a live core.
+    pub recovery: RecoveryStats,
 }
 
 /// Deployment configuration.
@@ -203,7 +196,7 @@ struct NodeSnapshot {
     rx_next: HashMap<LinkId, u64>,
     /// Per outgoing link: the next fresh sequence number and the frames
     /// still unacknowledged at snapshot time.
-    tx_state: HashMap<LinkId, (u64, Vec<(u64, WireData)>)>,
+    tx_state: HashMap<LinkId, (u64, Vec<(u64, Frame)>)>,
 }
 
 /// Immutable wiring shared by all threads.
@@ -467,7 +460,7 @@ impl Cluster {
         self.pub_engine.send_data(
             &self.wiring,
             Party::Node(node),
-            WireData {
+            Frame {
                 msg,
                 target_atom: Some(ingress),
             },
@@ -545,7 +538,7 @@ impl Cluster {
         };
         self.kill_flags[&node].store(true, Ordering::Relaxed);
         let _ = handle.join();
-        self.wiring.stats.lock().crashes += 1;
+        self.wiring.stats.lock().recovery.crashes += 1;
         true
     }
 
@@ -677,14 +670,14 @@ struct LinkEngine {
     /// [`Body::AckThrough`]); hosts and the publisher never crash and ack
     /// every data frame immediately.
     defer_acks: bool,
-    senders: HashMap<LinkId, LinkSender<WireData>>,
-    receivers: HashMap<LinkId, LinkReceiver<WireData>>,
+    senders: HashMap<LinkId, LinkSender<Frame>>,
+    receivers: HashMap<LinkId, LinkReceiver<Frame>>,
     /// Per incoming link: the highest cumulative ack this party has sent,
     /// i.e. the receive prefix recorded by its last snapshot.
     acked_floor: HashMap<LinkId, u64>,
     /// Output frames registered with their link senders but not yet
     /// transmitted; they leave the node only after the next snapshot.
-    staged: Vec<(Party, LinkId, u64, WireData)>,
+    staged: Vec<(Party, LinkId, u64, Frame)>,
     rng: StdRng,
     local: RuntimeStats,
 }
@@ -703,7 +696,7 @@ impl LinkEngine {
         }
     }
 
-    fn sender_for(&mut self, wiring: &Wiring, link: LinkId) -> &mut LinkSender<WireData> {
+    fn sender_for(&mut self, wiring: &Wiring, link: LinkId) -> &mut LinkSender<Frame> {
         self.senders.entry(link).or_insert_with(|| {
             LinkSender::with_backoff(wiring.config.retransmit_timeout, wiring.config.backoff_cap)
         })
@@ -711,7 +704,7 @@ impl LinkEngine {
 
     /// Sends `data` over the reliable link `me -> to`, transmitting
     /// immediately. Used by the publisher, which never crashes.
-    fn send_data(&mut self, wiring: &Wiring, to: Party, data: WireData) {
+    fn send_data(&mut self, wiring: &Wiring, to: Party, data: Frame) {
         let link = wiring.link_between(self.me, to);
         let (seq, payload) = self.sender_for(wiring, link).send(data);
         self.transmit(wiring, to, link, seq, Body::Data(payload));
@@ -723,7 +716,7 @@ impl LinkEngine {
     /// (after that snapshot is durable). Used by sequencing nodes.
     ///
     /// [`flush_staged`]: Self::flush_staged
-    fn send_data_held(&mut self, wiring: &Wiring, to: Party, data: WireData) {
+    fn send_data_held(&mut self, wiring: &Wiring, to: Party, data: Frame) {
         let link = wiring.link_between(self.me, to);
         let (seq, payload) = self.sender_for(wiring, link).send_held(data);
         self.staged.push((to, link, seq, payload));
@@ -771,7 +764,7 @@ impl LinkEngine {
     }
 
     /// Handles an incoming frame; returns in-order data payloads.
-    fn on_frame(&mut self, wiring: &Wiring, link: LinkId, seq: u64, body: Body) -> Vec<WireData> {
+    fn on_frame(&mut self, wiring: &Wiring, link: LinkId, seq: u64, body: Body) -> Vec<Frame> {
         match body {
             Body::Ack => {
                 if let Some(sender) = self.senders.get_mut(&link) {
@@ -821,7 +814,7 @@ impl LinkEngine {
 
     /// Retransmits overdue frames on all outgoing links.
     fn retransmit_due(&mut self, wiring: &Wiring) {
-        let due: Vec<(LinkId, Vec<(u64, WireData)>)> = self
+        let due: Vec<(LinkId, Vec<(u64, Frame)>)> = self
             .senders
             .iter_mut()
             .map(|(&link, s)| (link, s.due_for_retransmit()))
@@ -836,41 +829,53 @@ impl LinkEngine {
     }
 
     /// Checkpoints this node's durable state into the shared snapshot
-    /// store, then — and only then — releases staged output frames and
-    /// sends cumulative acks covering exactly the snapshotted receive
-    /// prefix. The ordering is the whole point: nothing escapes the node
-    /// before a snapshot containing it.
-    fn take_snapshot(&mut self, wiring: &Wiring, idx: usize, protocol: &ProtocolState) {
+    /// store and reports, per upstream peer, the next in-order sequence
+    /// number the snapshot recorded (sorted by peer for determinism).
+    /// The caller feeds that into [`NodeCore`] as an
+    /// [`Event::SnapshotTaken`]; the resulting [`Command::Flush`] and
+    /// [`Command::Ack`]s release staged outputs and cumulative acks — and
+    /// only then, so nothing escapes the node before a snapshot
+    /// containing it.
+    fn persist_snapshot(
+        &mut self,
+        wiring: &Wiring,
+        idx: usize,
+        protocol: &ProtocolState,
+    ) -> Vec<(Party, u64)> {
         let rx_next: HashMap<LinkId, u64> = self
             .receivers
             .iter()
             .map(|(&link, r)| (link, r.next_expected()))
             .collect();
-        let tx_state: HashMap<LinkId, (u64, Vec<(u64, WireData)>)> = self
+        let tx_state: HashMap<LinkId, (u64, Vec<(u64, Frame)>)> = self
             .senders
             .iter()
             .map(|(&link, s)| (link, s.snapshot()))
+            .collect();
+        let mut by_peer: Vec<(Party, u64)> = rx_next
+            .iter()
+            .map(|(&link, &next)| (wiring.links[link.0 as usize].0, next))
             .collect();
         wiring.snapshots.lock().insert(
             idx,
             NodeSnapshot {
                 protocol: protocol.clone(),
-                rx_next: rx_next.clone(),
+                rx_next,
                 tx_state,
             },
         );
-        // Durable now: staged outputs may leave the node.
-        self.flush_staged(wiring);
-        // Cumulative acks for the receive prefix the snapshot recorded.
-        for (link, next) in rx_next {
-            let floor = next.saturating_sub(1);
-            let prev = self.acked_floor.get(&link).copied().unwrap_or(0);
-            if floor > prev {
-                self.acked_floor.insert(link, floor);
-                let (from, _to) = wiring.links[link.0 as usize];
-                self.transmit(wiring, from, link, floor, Body::AckThrough);
-            }
-        }
+        by_peer.sort_unstable();
+        by_peer
+    }
+
+    /// Sends a cumulative ack to `to` covering everything through `through`
+    /// on the incoming link `to -> me`, and caches the new floor for
+    /// stale-frame re-advertisement. Executes [`Command::Ack`] — the
+    /// protocol core has already decided the floor actually advanced.
+    fn send_ack_through(&mut self, wiring: &Wiring, to: Party, through: u64) {
+        let link = wiring.link_between(to, self.me);
+        self.acked_floor.insert(link, through);
+        self.transmit(wiring, to, link, through, Body::AckThrough);
     }
 
     /// Rebuilds link state from a snapshot. Restored output frames are
@@ -900,9 +905,8 @@ impl LinkEngine {
         stats.frames_dropped += self.local.frames_dropped;
         stats.retransmissions += self.local.retransmissions;
         stats.duplicates += self.local.duplicates;
-        stats.frames_replayed += self.local.frames_replayed;
+        stats.recovery.merge(&self.local.recovery);
         stats.heartbeat_misses += self.local.heartbeat_misses;
-        stats.recovery_micros += self.local.recovery_micros;
     }
 }
 
@@ -922,6 +926,10 @@ fn node_thread(
     let config = &wiring.config;
     let mut engine = LinkEngine::new(Party::Node(idx), seed, true);
     let mut protocol = ProtocolState::new(&wiring.graph);
+    // Group-commit mode: the core *stages* every output frame, and this
+    // driver releases them only after a snapshot records them.
+    let mut core = NodeCore::new(idx, true);
+    let routing = Routing::colocated(&wiring.membership, &wiring.graph, &wiring.atom_node);
     let started = Instant::now();
     let mut replaying = restarted;
     let mut replayed: u64 = 0;
@@ -931,6 +939,12 @@ fn node_thread(
         if let Some(snap) = snap {
             protocol = snap.protocol.clone();
             engine.restore(&wiring, &snap);
+            // Seed the core's ack floors to match what the snapshot had
+            // advertised, so the next snapshot only acks real progress.
+            for (&link, &next) in &snap.rx_next {
+                let (from, _to) = wiring.links[link.0 as usize];
+                core.restore_floor(from, next.saturating_sub(1));
+            }
         }
         // No snapshot: nothing ever escaped this node (outputs and acks
         // only leave at snapshot time), so a fresh start is consistent.
@@ -997,10 +1011,21 @@ fn node_thread(
                         if replaying {
                             replayed += 1;
                         }
-                        let atom = data
-                            .target_atom
-                            .expect("node links always carry a target atom");
-                        process_here(idx, &wiring, &mut protocol, &mut engine, data.msg, atom);
+                        let commands = core.on_event(
+                            &routing,
+                            &mut protocol,
+                            Event::FrameArrived { frame: data },
+                        );
+                        for cmd in commands {
+                            match cmd {
+                                Command::Stage { to, frame } => {
+                                    engine.send_data_held(&wiring, to, frame);
+                                }
+                                other => {
+                                    unreachable!("group-commit frames only stage: {other:?}")
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -1011,14 +1036,23 @@ fn node_thread(
 
         let now = Instant::now();
         if now.duration_since(last_snapshot) >= config.snapshot_interval {
-            engine.take_snapshot(&wiring, idx, &protocol);
+            let rx_next = engine.persist_snapshot(&wiring, idx, &protocol);
+            for cmd in core.on_event(&routing, &mut protocol, Event::SnapshotTaken { rx_next }) {
+                match cmd {
+                    Command::Flush => engine.flush_staged(&wiring),
+                    Command::Ack { to, through } => {
+                        engine.send_ack_through(&wiring, to, through);
+                    }
+                    other => unreachable!("snapshots only flush and ack: {other:?}"),
+                }
+            }
             last_snapshot = now;
             if replaying && replayed > 0 {
                 // Recovery complete: the replayed input is durable again.
                 replaying = false;
-                engine.local.frames_replayed += replayed;
+                engine.local.recovery.frames_replayed += replayed;
                 replayed = 0;
-                engine.local.recovery_micros += started.elapsed().as_micros() as u64;
+                engine.local.recovery.recovery_micros += started.elapsed().as_micros() as u64;
             }
         }
         if now.duration_since(last_heartbeat) >= config.heartbeat_interval {
@@ -1035,55 +1069,9 @@ fn node_thread(
         }
         engine.retransmit_due(&wiring);
     }
-    engine.local.frames_replayed += replayed;
+    engine.local.recovery.frames_replayed += replayed;
+    engine.local.recovery.merge(core.recovery_stats());
     engine.flush_stats(&wiring);
-}
-
-/// Runs a message through this node's consecutive atoms, then forwards.
-/// All outputs are staged: they reach the wire only after the next
-/// snapshot records them.
-fn process_here(
-    idx: usize,
-    wiring: &Wiring,
-    protocol: &mut ProtocolState,
-    engine: &mut LinkEngine,
-    mut msg: Message,
-    mut atom: AtomId,
-) {
-    loop {
-        match protocol.process(&wiring.graph, &mut msg, atom) {
-            NextHop::Atom(next) => {
-                let next_node = wiring.atom_node[&next];
-                if next_node == idx {
-                    atom = next;
-                } else {
-                    engine.send_data_held(
-                        wiring,
-                        Party::Node(next_node),
-                        WireData {
-                            msg,
-                            target_atom: Some(next),
-                        },
-                    );
-                    return;
-                }
-            }
-            NextHop::Egress => {
-                let members: Vec<NodeId> = wiring.membership.members(msg.group).collect();
-                for member in members {
-                    engine.send_data_held(
-                        wiring,
-                        Party::Host(member),
-                        WireData {
-                            msg: msg.clone(),
-                            target_atom: None,
-                        },
-                    );
-                }
-                return;
-            }
-        }
-    }
 }
 
 /// A subscriber-host thread: reliable link termination plus the delivery
@@ -1096,7 +1084,7 @@ fn host_thread(
     seed: u64,
 ) {
     let mut engine = LinkEngine::new(Party::Host(host), seed, false);
-    let mut queue = DeliveryQueue::new(host, &wiring.membership, &wiring.graph);
+    let mut receiver = ReceiverCore::new(host, &wiring.membership, &wiring.graph);
     let tick = wiring.config.retransmit_timeout / 2;
 
     loop {
@@ -1109,11 +1097,13 @@ fn host_thread(
             Some(ThreadMsg::Shutdown) => break,
             Some(ThreadMsg::Frame { link, seq, body }) => {
                 for data in engine.on_frame(&wiring, link, seq, body) {
-                    for delivered in queue.offer(data.msg) {
-                        let _ = notes.send(DeliveryNote {
-                            host,
-                            msg: delivered,
-                        });
+                    for cmd in receiver.on_event(Event::FrameArrived { frame: data }) {
+                        match cmd {
+                            Command::Deliver { host, msg } => {
+                                let _ = notes.send(DeliveryNote { host, msg });
+                            }
+                            other => unreachable!("receivers only deliver: {other:?}"),
+                        }
                     }
                 }
             }
@@ -1288,7 +1278,7 @@ mod tests {
         let total: usize = deliveries.values().map(Vec::len).sum();
         assert_eq!(total, 6, "nothing is lost across the crash");
         cluster.shutdown();
-        assert_eq!(cluster.stats().crashes, 1);
+        assert_eq!(cluster.stats().recovery.crashes, 1);
     }
 
     #[test]
@@ -1317,7 +1307,7 @@ mod tests {
             "order agreement survives the crash window"
         );
         cluster.shutdown();
-        assert_eq!(cluster.stats().crashes, 1);
+        assert_eq!(cluster.stats().recovery.crashes, 1);
     }
 }
 

@@ -95,7 +95,7 @@ fn crash_mid_stream_is_transparent() {
     assert_pairwise_agreement(&m, &all);
     assert_eq!(all.values().map(Vec::len).sum::<usize>(), 24);
     cluster.shutdown();
-    assert_eq!(cluster.stats().crashes, 1);
+    assert_eq!(cluster.stats().recovery.crashes, 1);
 }
 
 /// Crash while lossy links are already forcing retransmissions: the crash
@@ -128,7 +128,7 @@ fn crash_during_retransmission_storm() {
     assert_pairwise_agreement(&m, &all);
     cluster.shutdown();
     let stats = cluster.stats();
-    assert_eq!(stats.crashes, 1);
+    assert_eq!(stats.recovery.crashes, 1);
     assert!(stats.frames_dropped > 0, "loss injector actually fired");
     assert!(stats.retransmissions > 0, "retransmission actually fired");
 }
@@ -180,7 +180,7 @@ fn two_nodes_down_concurrently() {
 
     assert_pairwise_agreement(&m, &all);
     cluster.shutdown();
-    assert_eq!(cluster.stats().crashes, 2);
+    assert_eq!(cluster.stats().recovery.crashes, 2);
 }
 
 /// Kill every sequencing node in turn, each time publishing into the
@@ -239,12 +239,12 @@ fn every_node_crashes_and_replay_restores_service() {
     assert_pairwise_agreement(&m, &all);
     cluster.shutdown();
     let stats = cluster.stats();
-    assert_eq!(stats.crashes, nodes as u64);
+    assert_eq!(stats.recovery.crashes, nodes as u64);
     assert!(
-        stats.frames_replayed > 0,
+        stats.recovery.frames_replayed > 0,
         "restarted nodes rebuilt from upstream replay"
     );
-    assert!(stats.recovery_micros > 0, "recovery latency was measured");
+    assert!(stats.recovery.recovery_micros > 0, "recovery latency was measured");
     assert!(
         stats.heartbeat_misses > 0,
         "an outage longer than three heartbeat intervals was detected"
@@ -272,7 +272,7 @@ fn runtime_executes_fault_plan_windows() {
         .unwrap();
     assert_pairwise_agreement(&m, &all);
     cluster.shutdown();
-    assert_eq!(cluster.stats().crashes, 2);
+    assert_eq!(cluster.stats().recovery.crashes, 2);
 }
 
 proptest! {
