@@ -1,0 +1,245 @@
+//! `seqnet-check` — run the model checker from the command line.
+//!
+//! ```text
+//! seqnet-check --list
+//! seqnet-check --all                          # exhaustive matrix, default bounds
+//! seqnet-check --scenario case3-pairwise
+//! seqnet-check --scenario disjoint-chain --mode random --seed 7 --walks 200
+//! seqnet-check --scenario two-group-overlap --replay 'seed=0 decisions=[0,3,1]'
+//! seqnet-check --all --trace-out /tmp/traces  # write counterexamples for CI upload
+//! ```
+//!
+//! Exit codes: `0` all explored schedules pass, `1` a violation was found
+//! (the shrunk, replayable trace is printed), `2` usage error.
+
+use std::process::ExitCode;
+
+use seqnet_check::explore::{explore, ExploreConfig, Outcome};
+use seqnet_check::invariants::default_oracles;
+use seqnet_check::random::{random_walks, scenario_for_walk, RandomConfig};
+use seqnet_check::scenario::{self, Scenario};
+use seqnet_check::shrink::{replay, shrink};
+use seqnet_sim::ScheduleTrace;
+
+struct Args {
+    list: bool,
+    all: bool,
+    scenario: Option<String>,
+    mode: Mode,
+    seed: u64,
+    walks: usize,
+    max_steps: usize,
+    max_depth: usize,
+    max_states: usize,
+    randomize_faults: bool,
+    trace_out: Option<String>,
+    replay: Option<String>,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Exhaustive,
+    Random,
+}
+
+fn usage() -> String {
+    "usage: seqnet-check [--list] [--all | --scenario NAME]\n\
+     \x20  [--mode exhaustive|random] [--seed N] [--walks N] [--max-steps N]\n\
+     \x20  [--max-depth N] [--max-states N] [--randomize-faults]\n\
+     \x20  [--replay 'seed=N decisions=[..]'] [--trace-out DIR]"
+        .into()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        all: false,
+        scenario: None,
+        mode: Mode::Exhaustive,
+        seed: 0,
+        walks: 64,
+        max_steps: 512,
+        max_depth: ExploreConfig::default().max_depth,
+        max_states: ExploreConfig::default().max_states,
+        randomize_faults: false,
+        trace_out: None,
+        replay: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--list" => args.list = true,
+            "--all" => args.all = true,
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "exhaustive" => Mode::Exhaustive,
+                    "random" => Mode::Random,
+                    other => return Err(format!("unknown mode {other}")),
+                }
+            }
+            "--seed" => args.seed = parse_num(&value("--seed")?)?,
+            "--walks" => args.walks = parse_num(&value("--walks")?)? as usize,
+            "--max-steps" => args.max_steps = parse_num(&value("--max-steps")?)? as usize,
+            "--max-depth" => args.max_depth = parse_num(&value("--max-depth")?)? as usize,
+            "--max-states" => args.max_states = parse_num(&value("--max-states")?)? as usize,
+            "--randomize-faults" => args.randomize_faults = true,
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse::<u64>().map_err(|_| format!("not a number: {s}"))
+}
+
+fn selected_scenarios(args: &Args) -> Result<Vec<Scenario>, String> {
+    if args.all {
+        return Ok(scenario::registry());
+    }
+    match &args.scenario {
+        Some(name) => scenario::by_name(name)
+            .map(|s| vec![s])
+            .ok_or_else(|| format!("unknown scenario {name} (try --list)")),
+        None => Err(format!("pick --all or --scenario NAME\n{}", usage())),
+    }
+}
+
+fn write_trace(dir: &str, scenario: &Scenario, trace: &ScheduleTrace) {
+    let _ = std::fs::create_dir_all(dir);
+    let path = format!("{dir}/{}.trace", scenario.name.replace('/', "_"));
+    if let Err(e) = std::fs::write(&path, format!("{trace}\n")) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("counterexample trace written to {path}");
+    }
+}
+
+/// Checks one scenario; returns `true` on pass.
+fn check_scenario(args: &Args, sc: &Scenario) -> bool {
+    let oracles = default_oracles();
+    let outcome = match args.mode {
+        Mode::Exhaustive => explore(
+            sc,
+            &oracles,
+            &ExploreConfig {
+                max_depth: args.max_depth,
+                max_states: args.max_states,
+            },
+        ),
+        Mode::Random => random_walks(
+            sc,
+            &oracles,
+            args.seed,
+            &RandomConfig {
+                walks: args.walks,
+                max_steps: args.max_steps,
+                randomize_faults: args.randomize_faults,
+            },
+        ),
+    };
+    match outcome {
+        Outcome::Pass(stats) => {
+            println!(
+                "PASS {}: {} states, {} transitions, {} terminals{}",
+                sc.name,
+                stats.states,
+                stats.transitions,
+                stats.terminals,
+                if stats.truncated { " (truncated)" } else { "" }
+            );
+            true
+        }
+        Outcome::Fail(cex) => {
+            println!("FAIL {}: {}", sc.name, cex.violation);
+            // Re-derive the concrete scenario a random walk ran (its seed
+            // selects the fault plan), then shrink within it.
+            let concrete = if args.mode == Mode::Random {
+                scenario_for_walk(
+                    sc,
+                    cex.trace.seed,
+                    &RandomConfig {
+                        walks: args.walks,
+                        max_steps: args.max_steps,
+                        randomize_faults: args.randomize_faults,
+                    },
+                )
+            } else {
+                sc.clone()
+            };
+            let shrunk = shrink(&concrete, &oracles, &cex.trace);
+            println!("  original: {}", cex.trace);
+            println!("  shrunk:   {shrunk}");
+            let res = replay(&concrete, &oracles, &shrunk.decisions);
+            print!("{}", indent(&res.log));
+            if let Some(dir) = &args.trace_out {
+                write_trace(dir, sc, &shrunk);
+            }
+            false
+        }
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    if args.list {
+        for sc in scenario::registry() {
+            println!(
+                "{:32} {} publishes, {} crash windows{}{}",
+                sc.name,
+                sc.publishes.len(),
+                sc.plan.crash_windows().len(),
+                if sc.group_commit { ", group-commit" } else { "" },
+                if sc.sabotage_unstaged { ", sabotaged" } else { "" },
+            );
+        }
+        return Ok(true);
+    }
+
+    if let Some(text) = &args.replay {
+        let trace = ScheduleTrace::parse(text)
+            .ok_or_else(|| format!("unparseable trace: {text}"))?;
+        let scenarios = selected_scenarios(&args)?;
+        let sc = scenarios
+            .first()
+            .ok_or_else(|| "replay needs a scenario".to_string())?;
+        let oracles = default_oracles();
+        let res = replay(sc, &oracles, &trace.decisions);
+        print!("{}", res.log);
+        return Ok(!res.failed());
+    }
+
+    let mut all_pass = true;
+    for sc in selected_scenarios(&args)? {
+        if !check_scenario(&args, &sc) {
+            all_pass = false;
+        }
+    }
+    Ok(all_pass)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! The explorable world: protocol cores plus a FIFO-channel network model,
+//! with every pending event exposed as a [`Transition`] the checker picks.
+//!
+//! The model deliberately contains **no clock**. Anything the simulator
+//! expresses as delay — slow links, partitions healing, loss forcing
+//! retransmission — appears here as the checker's freedom to defer a
+//! channel's head frame arbitrarily long while firing everything else.
+//! Schedule exploration therefore subsumes the timing-fault portion of a
+//! [`seqnet_sim::FaultPlan`]; only its crash windows carry over, as
+//! explicit crash/restart transitions whose *order* (not times) the
+//! checker controls.
+//!
+//! Determinism contract: [`World::enabled`] returns transitions in a
+//! deterministic sorted order, so a decision index (position in that list)
+//! plus the scenario fully determines the successor state. That is what
+//! makes a [`seqnet_sim::ScheduleTrace`] replayable.
+
+use seqnet_core::proto::{Command, Digest, Event, Frame, NodeCore, Peer, ProtocolState, ReceiverCore, Routing};
+use seqnet_core::{Message, MessageId};
+use seqnet_membership::{GroupId, NodeId};
+use seqnet_overlap::{GraphBuilder, SequencingGraph};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::scenario::Scenario;
+
+/// A crash or restart pending for one sequencing node, in plan order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The node goes down (frames park until restart).
+    Crash,
+    /// The node comes back and replays parked frames.
+    Restart,
+}
+
+/// One schedulable step of the world. [`World::enabled`] enumerates these
+/// in a deterministic order; the checker picks one by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Transition {
+    /// Publish workload message `i` (its id becomes `MessageId(i)`).
+    Publish(usize),
+    /// Deliver the head frame of the FIFO channel `src -> dst`.
+    Deliver(Peer, Peer),
+    /// Fire the next pending fault action of a sequencing node.
+    Fault(usize, FaultKind),
+    /// Take a snapshot at a group-commit node with staged output, which
+    /// flushes the staged frames and advances ack floors.
+    Snapshot(usize),
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transition::Publish(i) => write!(f, "publish m{i}"),
+            Transition::Deliver(src, dst) => write!(f, "deliver {src}->{dst}"),
+            Transition::Fault(n, FaultKind::Crash) => write!(f, "crash node{n}"),
+            Transition::Fault(n, FaultKind::Restart) => write!(f, "restart node{n}"),
+            Transition::Snapshot(n) => write!(f, "snapshot node{n}"),
+        }
+    }
+}
+
+/// What one [`World::step`] did, handed to the per-step invariant oracles.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// The transition that was executed.
+    pub transition: Transition,
+    /// Group-commit violations: raw sends a node emitted while the
+    /// staged-output discipline was in force (node index, message id).
+    pub unstaged_sends: Vec<(usize, MessageId)>,
+    /// Messages delivered to applications by this step, in delivery order.
+    pub delivered_now: Vec<(NodeId, MessageId, GroupId)>,
+}
+
+/// The immutable part of a compiled scenario, shared (via [`Rc`]) by every
+/// clone of a [`World`] so DFS branching never copies the graph.
+#[derive(Debug)]
+struct Compiled {
+    scenario: Scenario,
+    graph: SequencingGraph,
+}
+
+/// One explorable state: all protocol cores, the network, and the
+/// bookkeeping the oracles observe. Cloning is cheap enough to branch on
+/// (the membership/graph are behind an [`Rc`]).
+#[derive(Debug, Clone)]
+pub struct World {
+    setup: Rc<Compiled>,
+    /// One sequencing-node core per atom (solo routing: node i = atom i).
+    cores: Vec<NodeCore>,
+    /// The shared sequencing counters (solo layout, as in the simulator).
+    protocol: ProtocolState,
+    receivers: BTreeMap<NodeId, ReceiverCore>,
+    /// FIFO channels, keyed `(src, dst)`. Emptied keys are removed so two
+    /// histories reaching the same frames-in-flight digest identically.
+    channels: BTreeMap<(Peer, Peer), VecDeque<Frame>>,
+    /// Per-node staged output (group-commit mode), in stage order. Held
+    /// durably across crash windows, matching the runtime's contract that
+    /// a snapshot seals staged frames before anything escapes.
+    staged: Vec<Vec<(Peer, Frame)>>,
+    /// Frames received per node per upstream peer — the link receive
+    /// progress a snapshot records (`rx_next = count + 1`).
+    rx_count: Vec<BTreeMap<Peer, u64>>,
+    published: Vec<bool>,
+    /// Application delivery log per subscriber, in delivery order.
+    delivered: BTreeMap<NodeId, Vec<(MessageId, GroupId)>>,
+    /// Pending crash/restart actions per node, in plan-window order.
+    faults: Vec<VecDeque<FaultKind>>,
+}
+
+impl World {
+    /// Compiles `scenario` into its initial state.
+    pub fn new(scenario: &Scenario) -> World {
+        let graph = GraphBuilder::new().build(&scenario.membership);
+        let num_nodes = graph.num_atoms();
+        let cores = (0..num_nodes)
+            .map(|i| {
+                let mut core = NodeCore::new(i, scenario.group_commit);
+                if scenario.sabotage_unstaged {
+                    core.sabotage_skip_staging();
+                }
+                core
+            })
+            .collect();
+        let protocol = ProtocolState::new(&graph);
+        let receivers = scenario
+            .membership
+            .nodes()
+            .map(|node| {
+                (
+                    node,
+                    ReceiverCore::new(node, &scenario.membership, &graph),
+                )
+            })
+            .collect();
+        let delivered = scenario
+            .membership
+            .nodes()
+            .map(|node| (node, Vec::new()))
+            .collect();
+        let mut faults = vec![VecDeque::new(); num_nodes];
+        let mut windows = scenario.plan.crash_windows().to_vec();
+        windows.sort_by_key(|w| (w.down_at, w.up_at, w.node));
+        for w in windows {
+            // Plan node indices map onto sequencing atoms; out-of-range
+            // indices are ignored, as the FaultPlan contract specifies.
+            if let Some(queue) = faults.get_mut(w.node) {
+                queue.push_back(FaultKind::Crash);
+                queue.push_back(FaultKind::Restart);
+            }
+        }
+        World {
+            setup: Rc::new(Compiled {
+                scenario: scenario.clone(),
+                graph,
+            }),
+            cores,
+            protocol,
+            receivers,
+            channels: BTreeMap::new(),
+            staged: vec![Vec::new(); num_nodes],
+            rx_count: vec![BTreeMap::new(); num_nodes],
+            published: vec![false; scenario.publishes.len()],
+            delivered,
+            faults,
+        }
+    }
+
+    /// The scenario this world was compiled from.
+    pub fn scenario(&self) -> &Scenario {
+        &self.setup.scenario
+    }
+
+    /// The sequencing graph built for the scenario's membership.
+    pub fn graph(&self) -> &SequencingGraph {
+        &self.setup.graph
+    }
+
+    /// The delivery log of `host`, in delivery order.
+    pub fn delivered_log(&self, host: NodeId) -> &[(MessageId, GroupId)] {
+        self.delivered
+            .get(&host)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Every subscriber host, in id order.
+    pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.delivered.keys().copied()
+    }
+
+    /// `true` once every workload publish has been issued.
+    pub fn all_published(&self) -> bool {
+        self.published.iter().all(|&p| p)
+    }
+
+    /// `true` when nothing can happen anymore. The workload's structure
+    /// guarantees this implies: all messages published, all channels
+    /// drained, all staged output flushed, and every crashed node
+    /// restarted — so terminal oracles may demand complete delivery.
+    pub fn is_terminal(&self) -> bool {
+        self.enabled().is_empty()
+    }
+
+    /// Whether publish `i` may fire now: not yet published, and its causal
+    /// trigger (if any) already delivered at the sender.
+    fn publish_enabled(&self, i: usize) -> bool {
+        if self.published[i] {
+            return false;
+        }
+        let p = &self.setup.scenario.publishes[i];
+        match p.after {
+            None => true,
+            Some(j) => self
+                .delivered_log(p.sender)
+                .iter()
+                .any(|(id, _)| *id == MessageId(j as u64)),
+        }
+    }
+
+    /// Every transition currently enabled, in a deterministic order:
+    /// publishes by index, channel deliveries by `(src, dst)` key order,
+    /// fault actions by node, snapshots by node.
+    pub fn enabled(&self) -> Vec<Transition> {
+        let mut out = Vec::new();
+        for i in 0..self.published.len() {
+            if self.publish_enabled(i) {
+                out.push(Transition::Publish(i));
+            }
+        }
+        for (&(src, dst), queue) in &self.channels {
+            debug_assert!(!queue.is_empty(), "empty channels are removed");
+            out.push(Transition::Deliver(src, dst));
+        }
+        for (node, queue) in self.faults.iter().enumerate() {
+            if let Some(&kind) = queue.front() {
+                out.push(Transition::Fault(node, kind));
+            }
+        }
+        for (node, staged) in self.staged.iter().enumerate() {
+            if !staged.is_empty() && self.cores[node].is_accepting() {
+                out.push(Transition::Snapshot(node));
+            }
+        }
+        out
+    }
+
+    /// Executes one transition, returning what happened for the per-step
+    /// oracles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition` is not currently enabled (checker bug).
+    pub fn step(&mut self, transition: Transition) -> StepRecord {
+        let mut record = StepRecord {
+            transition,
+            unstaged_sends: Vec::new(),
+            delivered_now: Vec::new(),
+        };
+        let setup = self.setup.clone();
+        match transition {
+            Transition::Publish(i) => {
+                assert!(self.publish_enabled(i), "{transition} not enabled");
+                let p = &setup.scenario.publishes[i];
+                let msg = Message::new(MessageId(i as u64), p.sender, p.group, Vec::new());
+                let ingress = setup
+                    .graph
+                    .ingress(p.group)
+                    .unwrap_or_else(|| panic!("{} has no sequencing path", p.group));
+                self.published[i] = true;
+                self.enqueue(
+                    Peer::Host(p.sender),
+                    Peer::Node(ingress.index()),
+                    Frame {
+                        msg,
+                        target_atom: Some(ingress),
+                    },
+                );
+            }
+            Transition::Deliver(src, dst) => {
+                let frame = {
+                    let queue = self
+                        .channels
+                        .get_mut(&(src, dst))
+                        .unwrap_or_else(|| panic!("{transition} not enabled"));
+                    let frame = queue.pop_front().expect("channel nonempty");
+                    if queue.is_empty() {
+                        self.channels.remove(&(src, dst));
+                    }
+                    frame
+                };
+                match dst {
+                    Peer::Node(node) => {
+                        *self.rx_count[node].entry(src).or_insert(0) += 1;
+                        let routing =
+                            Routing::solo(&setup.scenario.membership, &setup.graph);
+                        let cmds = self.cores[node].on_event(
+                            &routing,
+                            &mut self.protocol,
+                            Event::FrameArrived { frame },
+                        );
+                        self.execute(node, cmds, &mut record);
+                    }
+                    Peer::Host(host) => {
+                        let receiver = self
+                            .receivers
+                            .get_mut(&host)
+                            .unwrap_or_else(|| panic!("{host} has no receiver"));
+                        for cmd in receiver.on_event(Event::FrameArrived { frame }) {
+                            match cmd {
+                                Command::Deliver { host, msg } => {
+                                    self.delivered
+                                        .get_mut(&host)
+                                        .expect("known host")
+                                        .push((msg.id, msg.group));
+                                    record.delivered_now.push((host, msg.id, msg.group));
+                                }
+                                other => panic!("receiver emitted {other:?}"),
+                            }
+                        }
+                    }
+                    Peer::Publisher => panic!("frames never flow to the publisher"),
+                }
+            }
+            Transition::Fault(node, kind) => {
+                let popped = self.faults[node].pop_front();
+                assert_eq!(popped, Some(kind), "{transition} not enabled");
+                let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+                let event = match kind {
+                    FaultKind::Crash => Event::NodeCrashed,
+                    FaultKind::Restart => Event::NodeRestarted,
+                };
+                let cmds = self.cores[node].on_event(&routing, &mut self.protocol, event);
+                self.execute(node, cmds, &mut record);
+            }
+            Transition::Snapshot(node) => {
+                assert!(
+                    !self.staged[node].is_empty() && self.cores[node].is_accepting(),
+                    "{transition} not enabled"
+                );
+                let rx_next: Vec<(Peer, u64)> = self.rx_count[node]
+                    .iter()
+                    .map(|(&peer, &count)| (peer, count + 1))
+                    .collect();
+                let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+                let cmds = self.cores[node].on_event(
+                    &routing,
+                    &mut self.protocol,
+                    Event::SnapshotTaken { rx_next },
+                );
+                self.execute(node, cmds, &mut record);
+            }
+        }
+        record
+    }
+
+    /// Executes the commands a node core returned. [`Command::Replay`]
+    /// re-enters the core immediately (the driver contract: parked frames
+    /// are re-presented at the restart instant, before any new arrival).
+    fn execute(&mut self, node: usize, cmds: Vec<Command>, record: &mut StepRecord) {
+        let setup = self.setup.clone();
+        for cmd in cmds {
+            match cmd {
+                Command::Send { to, frame } => {
+                    if setup.scenario.group_commit {
+                        // In group-commit mode a raw send means the core
+                        // bypassed staging — the violation the
+                        // staged-output oracle exists to catch. It still
+                        // hits the wire: that is what makes it a bug.
+                        record.unstaged_sends.push((node, frame.msg.id));
+                    }
+                    self.enqueue(Peer::Node(node), to, frame);
+                }
+                Command::Stage { to, frame } => {
+                    self.staged[node].push((to, frame));
+                }
+                Command::Flush => {
+                    let staged = std::mem::take(&mut self.staged[node]);
+                    for (to, frame) in staged {
+                        self.enqueue(Peer::Node(node), to, frame);
+                    }
+                }
+                Command::Ack { .. } => {
+                    // The model's channels are reliable and unbounded, so
+                    // there is no retransmission buffer to trim.
+                }
+                Command::Replay { frame } => {
+                    let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+                    let cmds = self.cores[node].on_event(
+                        &routing,
+                        &mut self.protocol,
+                        Event::FrameArrived { frame },
+                    );
+                    self.execute(node, cmds, record);
+                }
+                Command::Deliver { .. } => panic!("node cores never deliver"),
+            }
+        }
+    }
+
+    fn enqueue(&mut self, src: Peer, dst: Peer, frame: Frame) {
+        self.channels.entry((src, dst)).or_default().push_back(frame);
+    }
+
+    /// A platform-stable digest of the complete observable state, used by
+    /// the exhaustive explorer to deduplicate states reached by different
+    /// schedules. Two worlds with equal digests are (modulo hash
+    /// collisions) indistinguishable to every transition and oracle.
+    pub fn state_hash(&self) -> u64 {
+        let mut d = Digest::new();
+        for core in &self.cores {
+            core.digest_into(&mut d);
+        }
+        self.protocol.digest_into(&mut d);
+        for receiver in self.receivers.values() {
+            receiver.digest_into(&mut d);
+        }
+        d.write_u64(self.channels.len() as u64);
+        for (&(src, dst), queue) in &self.channels {
+            d.write_peer(src);
+            d.write_peer(dst);
+            d.write_u64(queue.len() as u64);
+            for frame in queue {
+                d.write_message(&frame.msg);
+                d.write_u64(frame.target_atom.map_or(u64::MAX, |a| u64::from(a.0)));
+            }
+        }
+        for staged in &self.staged {
+            d.write_u64(staged.len() as u64);
+            for (to, frame) in staged {
+                d.write_peer(*to);
+                d.write_message(&frame.msg);
+                d.write_u64(frame.target_atom.map_or(u64::MAX, |a| u64::from(a.0)));
+            }
+        }
+        for counts in &self.rx_count {
+            d.write_u64(counts.len() as u64);
+            for (&peer, &count) in counts {
+                d.write_peer(peer);
+                d.write_u64(count);
+            }
+        }
+        for &p in &self.published {
+            d.write_u64(u64::from(p));
+        }
+        for (host, log) in &self.delivered {
+            d.write_u64(u64::from(host.0));
+            d.write_u64(log.len() as u64);
+            for (id, group) in log {
+                d.write_u64(id.0);
+                d.write_u64(u64::from(group.0));
+            }
+        }
+        for queue in &self.faults {
+            d.write_u64(queue.len() as u64);
+            for kind in queue {
+                d.write_u64(match kind {
+                    FaultKind::Crash => 0,
+                    FaultKind::Restart => 1,
+                });
+            }
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    /// Always picks decision 0 — one arbitrary but fixed schedule.
+    fn run_first_schedule(world: &mut World) -> usize {
+        let mut steps = 0;
+        while let Some(&t) = world.enabled().first() {
+            world.step(t);
+            steps += 1;
+            assert!(steps < 10_000, "schedule does not terminate");
+        }
+        steps
+    }
+
+    #[test]
+    fn first_schedule_terminates_with_full_delivery() {
+        let sc = scenario::two_group_overlap();
+        let mut world = World::new(&sc);
+        run_first_schedule(&mut world);
+        assert!(world.all_published());
+        for host in sc.membership.nodes() {
+            let expected: usize = sc
+                .publishes
+                .iter()
+                .filter(|p| sc.membership.is_member(host, p.group))
+                .count();
+            assert_eq!(
+                world.delivered_log(host).len(),
+                expected,
+                "{host} delivered everything for its groups"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_variant_drains_fault_queue_before_terminating() {
+        let sc = scenario::two_group_overlap().crash_variant();
+        let mut world = World::new(&sc);
+        run_first_schedule(&mut world);
+        assert!(world.is_terminal());
+        assert_eq!(world.cores[0].recovery_stats().crashes, 1);
+        assert!(world.cores[0].is_accepting(), "restarted before terminal");
+    }
+
+    #[test]
+    fn group_commit_holds_output_until_snapshot() {
+        let sc = scenario::two_group_overlap().with_group_commit();
+        let mut world = World::new(&sc);
+        // Publish m0 and deliver it to the sequencing node.
+        world.step(Transition::Publish(0));
+        let deliver = world
+            .enabled()
+            .into_iter()
+            .find(|t| matches!(t, Transition::Deliver(..)))
+            .expect("frame in flight");
+        let record = world.step(deliver);
+        assert!(record.unstaged_sends.is_empty(), "honest core stages");
+        assert!(!world.staged[0].is_empty(), "fan-out staged, not sent");
+        assert!(world.channels.is_empty(), "nothing escaped the node");
+        // The snapshot releases it.
+        let record = world.step(Transition::Snapshot(0));
+        assert!(record.unstaged_sends.is_empty());
+        assert!(world.staged[0].is_empty());
+        assert!(!world.channels.is_empty(), "flush put frames on the wire");
+    }
+
+    #[test]
+    fn sabotaged_core_is_caught_as_unstaged_send() {
+        let sc = scenario::two_group_overlap().with_sabotaged_staging();
+        let mut world = World::new(&sc);
+        world.step(Transition::Publish(0));
+        let deliver = world
+            .enabled()
+            .into_iter()
+            .find(|t| matches!(t, Transition::Deliver(..)))
+            .expect("frame in flight");
+        let record = world.step(deliver);
+        assert!(
+            !record.unstaged_sends.is_empty(),
+            "sabotage bypasses staging and is recorded"
+        );
+    }
+
+    #[test]
+    fn state_hash_distinguishes_and_rejoins_schedules() {
+        let sc = scenario::two_group_overlap();
+        let base = World::new(&sc);
+        assert_eq!(base.state_hash(), World::new(&sc).state_hash());
+
+        // Publishing m0 then m1 in either order converges to the same
+        // state (independent enqueues onto different channels).
+        let mut ab = base.clone();
+        ab.step(Transition::Publish(0));
+        let mid_a = ab.state_hash();
+        ab.step(Transition::Publish(1));
+        let mut ba = base.clone();
+        ba.step(Transition::Publish(1));
+        assert_ne!(mid_a, ba.state_hash(), "different prefixes differ");
+        ba.step(Transition::Publish(0));
+        assert_eq!(ab.state_hash(), ba.state_hash(), "diamond rejoins");
+    }
+
+    #[test]
+    fn transitions_render_for_replay_logs() {
+        assert_eq!(Transition::Publish(3).to_string(), "publish m3");
+        assert_eq!(
+            Transition::Deliver(Peer::Host(NodeId(1)), Peer::Node(0)).to_string(),
+            "deliver host1->node0"
+        );
+        assert_eq!(
+            Transition::Fault(2, FaultKind::Crash).to_string(),
+            "crash node2"
+        );
+        assert_eq!(
+            Transition::Fault(2, FaultKind::Restart).to_string(),
+            "restart node2"
+        );
+        assert_eq!(Transition::Snapshot(1).to_string(), "snapshot node1");
+    }
+}

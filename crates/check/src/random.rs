@@ -1,0 +1,213 @@
+//! Seeded random-walk exploration with fault randomization.
+//!
+//! Exhaustive search covers small configurations completely; for anything
+//! larger the checker falls back to many independent random walks. Each
+//! walk draws its decisions from a [`splitmix64`] stream seeded by
+//! `mix(base_seed, walk_index)`, optionally replacing the scenario's fault
+//! plan with a [`FaultPlan::randomized`] drawn from the same per-walk seed
+//! — so a failing walk is fully reproducible from its seed alone, and the
+//! recorded decision list makes it replayable even after shrinking.
+
+use seqnet_core::proto::testing::splitmix64;
+use seqnet_sim::{FaultPlan, ScheduleTrace, SimTime};
+
+use crate::explore::{Counterexample, ExploreStats, Outcome};
+use crate::invariants::Invariant;
+use crate::model::World;
+use crate::scenario::Scenario;
+
+/// Bounds for a batch of random walks.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomConfig {
+    /// Number of independent walks.
+    pub walks: usize,
+    /// Step cap per walk (walks normally end at a terminal state first).
+    pub max_steps: usize,
+    /// Replace the scenario's fault plan with a randomized one per walk
+    /// (crash windows drawn from the walk seed).
+    pub randomize_faults: bool,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig {
+            walks: 64,
+            max_steps: 512,
+            randomize_faults: false,
+        }
+    }
+}
+
+/// The scenario a given walk actually runs: the base scenario, with its
+/// fault plan swapped for a seed-derived one when fault randomization is
+/// on. Exposed so counterexample replay can rebuild the identical world
+/// from `(base scenario, walk seed)`.
+pub fn scenario_for_walk(base: &Scenario, walk_seed: u64, config: &RandomConfig) -> Scenario {
+    if !config.randomize_faults {
+        return base.clone();
+    }
+    let world = World::new(base);
+    let nodes = world.graph().num_atoms();
+    // The horizon only orders the generated windows; the checker ignores
+    // the absolute times.
+    let plan = FaultPlan::randomized(walk_seed, nodes, SimTime::from_micros(1_000));
+    base.clone().with_plan(crashes_only(&plan))
+}
+
+/// Strips a plan to its crash windows — the only fault class the checker
+/// models explicitly (delay-like faults are subsumed by schedule choice).
+fn crashes_only(plan: &FaultPlan) -> FaultPlan {
+    let mut out = FaultPlan::new();
+    for w in plan.crash_windows() {
+        out = out.crash(w.node, w.down_at, w.up_at);
+    }
+    out
+}
+
+/// The per-walk seed: a deterministic mix of the batch seed and the walk
+/// index.
+pub fn walk_seed(base_seed: u64, walk: usize) -> u64 {
+    let mut state = base_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(walk as u64 + 1);
+    splitmix64(&mut state)
+}
+
+/// Runs `config.walks` random walks of `scenario` against `oracles`.
+/// Returns the first failing walk as a counterexample whose trace records
+/// the walk seed and the *resolved* decision indices actually taken.
+pub fn random_walks(
+    scenario: &Scenario,
+    oracles: &[Box<dyn Invariant>],
+    base_seed: u64,
+    config: &RandomConfig,
+) -> Outcome {
+    let mut stats = ExploreStats::default();
+    for walk in 0..config.walks {
+        let seed = walk_seed(base_seed, walk);
+        let walk_scenario = scenario_for_walk(scenario, seed, config);
+        let world = World::new(&walk_scenario);
+        for oracle in oracles {
+            if let Err(violation) = oracle.check_initial(&world) {
+                return Outcome::Fail(Counterexample {
+                    trace: ScheduleTrace::new(seed),
+                    violation,
+                });
+            }
+        }
+        if let Err(cex) = one_walk(world, oracles, seed, config.max_steps, &mut stats) {
+            return Outcome::Fail(cex);
+        }
+    }
+    Outcome::Pass(stats)
+}
+
+fn one_walk(
+    mut world: World,
+    oracles: &[Box<dyn Invariant>],
+    seed: u64,
+    max_steps: usize,
+    stats: &mut ExploreStats,
+) -> Result<(), Counterexample> {
+    let mut rng_state = seed;
+    let mut decisions = Vec::new();
+    for step in 0..max_steps {
+        let enabled = world.enabled();
+        if enabled.is_empty() {
+            stats.terminals += 1;
+            for oracle in oracles {
+                if let Err(violation) = oracle.check_terminal(&world) {
+                    return Err(Counterexample {
+                        trace: ScheduleTrace { seed, decisions },
+                        violation,
+                    });
+                }
+            }
+            stats.max_depth_seen = stats.max_depth_seen.max(step);
+            return Ok(());
+        }
+        let index = (splitmix64(&mut rng_state) % enabled.len() as u64) as u32;
+        let record = world.step(enabled[index as usize]);
+        decisions.push(index);
+        stats.transitions += 1;
+        stats.states += 1;
+        for oracle in oracles {
+            if let Err(violation) = oracle.check_step(&world, &record) {
+                return Err(Counterexample {
+                    trace: ScheduleTrace { seed, decisions },
+                    violation,
+                });
+            }
+        }
+    }
+    stats.truncated = true;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::default_oracles;
+    use crate::scenario;
+
+    #[test]
+    fn walks_are_reproducible_per_seed() {
+        assert_eq!(walk_seed(7, 3), walk_seed(7, 3));
+        assert_ne!(walk_seed(7, 3), walk_seed(7, 4));
+        assert_ne!(walk_seed(7, 3), walk_seed(8, 3));
+    }
+
+    #[test]
+    fn honest_scenarios_survive_random_walks() {
+        let cfg = RandomConfig {
+            walks: 16,
+            max_steps: 512,
+            randomize_faults: false,
+        };
+        for sc in [scenario::two_group_overlap(), scenario::causal_reaction()] {
+            let outcome = random_walks(&sc, &default_oracles(), 42, &cfg);
+            match outcome {
+                Outcome::Pass(stats) => {
+                    assert_eq!(stats.terminals, 16, "{}: every walk terminated", sc.name);
+                    assert!(!stats.truncated);
+                }
+                Outcome::Fail(cex) => panic!("{}: {} ({})", sc.name, cex.violation, cex.trace),
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_faults_inject_crashes_and_still_pass() {
+        let cfg = RandomConfig {
+            walks: 12,
+            max_steps: 1024,
+            randomize_faults: true,
+        };
+        let sc = scenario::disjoint_chain();
+        // At least one walk seed must actually schedule a crash.
+        let some_crash = (0..cfg.walks).any(|w| {
+            !scenario_for_walk(&sc, walk_seed(5, w), &cfg)
+                .plan
+                .crash_windows()
+                .is_empty()
+        });
+        assert!(some_crash, "fault randomization produces crash windows");
+        let outcome = random_walks(&sc, &default_oracles(), 5, &cfg);
+        assert!(
+            outcome.counterexample().is_none(),
+            "honest protocol survives injected crashes"
+        );
+    }
+
+    #[test]
+    fn sabotage_is_caught_by_random_walks() {
+        let cfg = RandomConfig {
+            walks: 32,
+            max_steps: 512,
+            randomize_faults: false,
+        };
+        let sc = scenario::two_group_overlap().with_sabotaged_staging();
+        let outcome = random_walks(&sc, &default_oracles(), 1, &cfg);
+        let cex = outcome.counterexample().expect("sabotage caught");
+        assert_eq!(cex.violation.invariant, "staged-output");
+        assert!(!cex.trace.is_empty());
+    }
+}

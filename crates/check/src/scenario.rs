@@ -1,0 +1,342 @@
+//! Named model-checking configurations: a membership topology, a workload
+//! of publishes (optionally causally chained), a fault plan, and the node
+//! operating mode.
+//!
+//! A [`Scenario`] is pure data; [`crate::model::World::new`] compiles it
+//! into an explorable initial state. The named constructors below form the
+//! checked configuration matrix — small enough for bounded-exhaustive
+//! exploration, chosen to cover the protocol's interesting shapes: a
+//! single double overlap, the paper's Figure 2 "case 3" triangle, a
+//! two-atom chain with a transit hop, and a causal publish chain. Each has
+//! a [`Scenario::crash_variant`] injecting a crash/restart window through
+//! [`FaultPlan`].
+
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_sim::{FaultPlan, SimTime};
+
+/// One message the workload publishes: `sender` publishes to `group`,
+/// optionally only after having *delivered* publish number `after` locally
+/// (a causal trigger: the sender reacted to a message it received).
+///
+/// The publish's [`crate::model::World`]-assigned message id equals its
+/// index in [`Scenario::publishes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Publish {
+    /// The publishing node (also the causal observer for `after`).
+    pub sender: NodeId,
+    /// The destination group.
+    pub group: GroupId,
+    /// If `Some(j)`, this publish is enabled only once `sender` has
+    /// delivered publish `j` — requires `sender` to subscribe to
+    /// publish `j`'s group.
+    pub after: Option<usize>,
+}
+
+impl Publish {
+    /// An unconditioned publish.
+    pub fn new(sender: NodeId, group: GroupId) -> Self {
+        Publish {
+            sender,
+            group,
+            after: None,
+        }
+    }
+
+    /// A publish causally triggered by the local delivery of publish
+    /// `after`.
+    pub fn after(sender: NodeId, group: GroupId, after: usize) -> Self {
+        Publish {
+            sender,
+            group,
+            after: Some(after),
+        }
+    }
+}
+
+/// A complete model-checking configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name (CLI selector, log label).
+    pub name: String,
+    /// Who subscribes to what.
+    pub membership: Membership,
+    /// The workload, in message-id order.
+    pub publishes: Vec<Publish>,
+    /// Crash/restart windows to inject. The checker uses only the crash
+    /// windows (and only their *order*, not their times): partitions and
+    /// loss are delay phenomena that schedule exploration already
+    /// subsumes, because the checker may defer any channel arbitrarily.
+    pub plan: FaultPlan,
+    /// Run node cores in group-commit mode (staged outputs released by
+    /// snapshots) instead of direct sends.
+    pub group_commit: bool,
+    /// Test-only: sabotage the group-commit discipline so the
+    /// staged-output oracle has something to catch. See
+    /// `NodeCore::sabotage_skip_staging`.
+    pub sabotage_unstaged: bool,
+}
+
+impl Scenario {
+    /// A fault-free, direct-send scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a causal publish's sender does not subscribe to the
+    /// trigger's group, or an `after` index is not an earlier publish —
+    /// such a workload could deadlock the exploration instead of failing
+    /// an oracle.
+    pub fn new(
+        name: impl Into<String>,
+        membership: Membership,
+        publishes: Vec<Publish>,
+    ) -> Self {
+        for (i, p) in publishes.iter().enumerate() {
+            if let Some(j) = p.after {
+                assert!(j < i, "publish {i} triggered by later publish {j}");
+                let trigger_group = publishes[j].group;
+                assert!(
+                    membership.is_member(p.sender, trigger_group),
+                    "publish {i}: {} cannot observe {} (not a member)",
+                    p.sender,
+                    trigger_group,
+                );
+            }
+        }
+        Scenario {
+            name: name.into(),
+            membership,
+            publishes,
+            plan: FaultPlan::new(),
+            group_commit: false,
+            sabotage_unstaged: false,
+        }
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Switches node cores to group-commit (staged-output) mode.
+    pub fn with_group_commit(mut self) -> Self {
+        self.name = format!("{}+gc", self.name);
+        self.group_commit = true;
+        self
+    }
+
+    /// Group-commit mode with the staging discipline deliberately broken
+    /// (outputs escape before any snapshot). Used to prove the
+    /// staged-output oracle fires; see ISSUE acceptance criteria.
+    pub fn with_sabotaged_staging(mut self) -> Self {
+        self.name = format!("{}+sabotage", self.name);
+        self.group_commit = true;
+        self.sabotage_unstaged = true;
+        self
+    }
+
+    /// The same scenario with one crash/restart window on sequencing node
+    /// (= atom) 0. Window times only order the fault queue — the checker
+    /// decides *when* the crash fires relative to every other event.
+    pub fn crash_variant(mut self) -> Self {
+        self.name = format!("{}+crash", self.name);
+        self.plan = self
+            .plan
+            .crash(0, SimTime::from_micros(1), SimTime::from_micros(2));
+        self
+    }
+}
+
+fn n(i: u32) -> NodeId {
+    NodeId(i)
+}
+fn g(i: u32) -> GroupId {
+    GroupId(i)
+}
+
+/// Two groups sharing a double overlap (`g0 = {0,1,2}`, `g1 = {1,2,3}`),
+/// three publishes from both sides of the overlap. One overlap atom, so
+/// one sequencing node — the ISSUE's acceptance configuration: 2 groups,
+/// 1 double overlap, 2+ common receivers.
+pub fn two_group_overlap() -> Scenario {
+    let m = Membership::from_groups([
+        (g(0), vec![n(0), n(1), n(2)]),
+        (g(1), vec![n(1), n(2), n(3)]),
+    ]);
+    Scenario::new(
+        "two-group-overlap",
+        m,
+        vec![
+            Publish::new(n(0), g(0)),
+            Publish::new(n(3), g(1)),
+            Publish::new(n(1), g(0)),
+        ],
+    )
+}
+
+/// The paper's Figure 2 triangle (three pairwise-overlapping groups),
+/// generalizing `tests/model_check_case3.rs`: concurrent publishes whose
+/// pairwise orderings must still compose consistently at every common
+/// subscriber ("case 3" of Theorem 1's proof).
+pub fn case3_pairwise() -> Scenario {
+    let m = Membership::from_groups([
+        (g(0), vec![n(0), n(1), n(3)]),
+        (g(1), vec![n(0), n(1), n(2)]),
+        (g(2), vec![n(1), n(2), n(3)]),
+    ]);
+    Scenario::new(
+        "case3-pairwise",
+        m,
+        vec![
+            Publish::new(n(0), g(0)),
+            Publish::new(n(0), g(1)),
+            Publish::new(n(3), g(2)),
+        ],
+    )
+}
+
+/// Two disjoint-member double overlaps chained by one group
+/// (`g0 = {0,1,10,11}` spans both): g0's path crosses two sequencing
+/// atoms, exercising transit forwarding and node-to-node frames.
+pub fn disjoint_chain() -> Scenario {
+    let m = Membership::from_groups([
+        (g(0), vec![n(0), n(1), n(10), n(11)]),
+        (g(1), vec![n(0), n(1), n(2)]),
+        (g(2), vec![n(10), n(11), n(12)]),
+    ]);
+    Scenario::new(
+        "disjoint-chain",
+        m,
+        vec![
+            Publish::new(n(0), g(0)),
+            Publish::new(n(2), g(1)),
+            Publish::new(n(12), g(2)),
+        ],
+    )
+}
+
+/// A causal chain across the overlap: node 1 subscribes to both groups,
+/// receives publish 0 on g0, and reacts by publishing to g1. Every
+/// subscriber of both groups must observe cause before effect — the
+/// paper's causality-for-self-subscribing-publishers guarantee.
+pub fn causal_reaction() -> Scenario {
+    let m = Membership::from_groups([
+        (g(0), vec![n(0), n(1), n(2)]),
+        (g(1), vec![n(1), n(2), n(3)]),
+    ]);
+    Scenario::new(
+        "causal-reaction",
+        m,
+        vec![
+            Publish::new(n(0), g(0)),
+            Publish::after(n(1), g(1), 0),
+        ],
+    )
+}
+
+/// The bounded configuration matrix exercised by `cargo test` and CI:
+/// every base topology fault-free and with a crash window, plus the
+/// group-commit and causal variants.
+pub fn registry() -> Vec<Scenario> {
+    vec![
+        two_group_overlap(),
+        two_group_overlap().crash_variant(),
+        two_group_overlap().with_group_commit(),
+        two_group_overlap().with_group_commit().crash_variant(),
+        case3_pairwise(),
+        case3_pairwise().crash_variant(),
+        disjoint_chain(),
+        disjoint_chain().crash_variant(),
+        causal_reaction(),
+        causal_reaction().crash_variant(),
+    ]
+}
+
+/// Looks a scenario up by [`Scenario::name`]. Besides the registry, the
+/// sabotaged variant resolves too — excluded from the clean matrix, but
+/// addressable so the CLI can demonstrate and replay the counterexample
+/// pipeline (`seqnet-check --scenario two-group-overlap+sabotage`).
+pub fn by_name(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name).or_else(|| {
+        (name == "two-group-overlap+sabotage")
+            .then(|| two_group_overlap().with_sabotaged_staging())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqnet_overlap::GraphBuilder;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let all = registry();
+        for (i, s) in all.iter().enumerate() {
+            assert!(
+                all.iter().skip(i + 1).all(|t| t.name != s.name),
+                "duplicate scenario name {}",
+                s.name
+            );
+            assert_eq!(by_name(&s.name).map(|t| t.name), Some(s.name.clone()));
+        }
+        assert!(by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn registry_covers_three_topologies_faultless_and_faulty() {
+        let all = registry();
+        let topologies: std::collections::BTreeSet<String> = all
+            .iter()
+            .map(|s| s.name.replace("+crash", ""))
+            .collect();
+        assert!(topologies.len() >= 3, "at least three base topologies");
+        for base in &topologies {
+            assert!(
+                all.iter().any(|s| &s.name == base && s.plan.is_empty()),
+                "{base} has a fault-free variant"
+            );
+            assert!(
+                all.iter()
+                    .any(|s| s.name == format!("{base}+crash") && !s.plan.is_empty()),
+                "{base} has a faulty variant"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_graphs_validate() {
+        for s in registry() {
+            let graph = GraphBuilder::new().build(&s.membership);
+            graph
+                .validate_against(&s.membership)
+                .unwrap_or_else(|e| panic!("{}: invalid graph: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn disjoint_chain_spans_two_atoms() {
+        let s = disjoint_chain();
+        let graph = GraphBuilder::new().build(&s.membership);
+        assert_eq!(graph.num_atoms(), 2, "two disjoint-member overlap atoms");
+        assert_eq!(
+            graph.path(GroupId(0)).map(|p| p.len()),
+            Some(2),
+            "g0 crosses both atoms"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot observe")]
+    fn causal_trigger_requires_subscription() {
+        let m = Membership::from_groups([
+            (g(0), vec![n(0), n(1)]),
+            (g(1), vec![n(2), n(3)]),
+        ]);
+        // n(2) does not subscribe to g0 and so can never observe publish 0.
+        let _ = Scenario::new(
+            "bad",
+            m,
+            vec![Publish::new(n(0), g(0)), Publish::after(n(2), g(1), 0)],
+        );
+    }
+}

@@ -28,9 +28,21 @@ impl SeqNo {
     pub const FIRST: SeqNo = SeqNo(1);
 
     /// The following sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the 64-bit sequence space is exhausted (the current
+    /// number is `u64::MAX`) — in both debug and release profiles, because
+    /// silently wrapping to the [`SeqNo::ZERO`] sentinel would corrupt
+    /// every receiver expectation. The last usable sequence number is
+    /// therefore `u64::MAX - 1`.
     #[inline]
     pub fn next(self) -> SeqNo {
-        SeqNo(self.0 + 1)
+        SeqNo(
+            self.0
+                .checked_add(1)
+                .expect("sequence number space exhausted"),
+        )
     }
 
     /// `true` once a number has been assigned.
@@ -142,6 +154,13 @@ mod tests {
         assert!(SeqNo::FIRST.is_assigned());
         assert_eq!(SeqNo::ZERO.next(), SeqNo::FIRST);
         assert_eq!(SeqNo(7).next(), SeqNo(8));
+        assert_eq!(SeqNo(u64::MAX - 1).next(), SeqNo(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence number space exhausted")]
+    fn seqno_overflow_panics_rather_than_wrapping() {
+        let _ = SeqNo(u64::MAX).next();
     }
 
     #[test]

@@ -181,6 +181,21 @@ impl ProtocolState {
     pub fn overlap_counter(&self, atom: AtomId) -> SeqNo {
         self.overlap_counters[atom.index()]
     }
+
+    /// Folds the sequencing counters into `d`, for model checkers
+    /// deduplicating explored states. Load statistics are excluded: they
+    /// never influence which number the next message receives.
+    pub fn digest_into(&self, d: &mut crate::proto::Digest) {
+        d.write_u64(self.overlap_counters.len() as u64);
+        for c in &self.overlap_counters {
+            d.write_seq(*c);
+        }
+        d.write_u64(self.group_counters.len() as u64);
+        for (g, c) in &self.group_counters {
+            d.write_u64(u64::from(g.0));
+            d.write_seq(*c);
+        }
+    }
 }
 
 #[cfg(test)]

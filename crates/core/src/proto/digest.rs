@@ -1,0 +1,125 @@
+//! State digests for the protocol cores, used by explicit-state model
+//! checkers to deduplicate visited states.
+//!
+//! Every core exposes a `digest_into` method that folds its complete
+//! observable state — everything that can influence a future transition —
+//! into a [`Digest`]. The digest is a plain FNV-1a accumulator: stable
+//! across runs and platforms (no `std::hash` randomization), cheap, and
+//! order-sensitive, which is exactly what schedule exploration needs. Two
+//! states with equal digests are treated as explored-already by
+//! `seqnet-check`; the 64-bit space makes accidental collisions across the
+//! bounded state counts involved (≤ millions) vanishingly unlikely, and a
+//! collision can only cause *under*-exploration, never a false alarm.
+
+use super::Peer;
+use crate::{Message, SeqNo};
+
+/// An order-sensitive, platform-stable 64-bit state accumulator (FNV-1a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Digest {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Digest { state: FNV_OFFSET }
+    }
+
+    /// Folds one 64-bit word into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.state ^= u64::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a sequence number.
+    pub fn write_seq(&mut self, s: SeqNo) {
+        self.write_u64(s.0);
+    }
+
+    /// Folds a peer identity, discriminant-tagged so `Node(0)` and
+    /// `Host(0)` stay distinct.
+    pub fn write_peer(&mut self, peer: Peer) {
+        match peer {
+            Peer::Publisher => self.write_u64(0),
+            Peer::Node(i) => {
+                self.write_u64(1);
+                self.write_u64(i as u64);
+            }
+            Peer::Host(n) => {
+                self.write_u64(2);
+                self.write_u64(u64::from(n.0));
+            }
+        }
+    }
+
+    /// Folds a message's ordering-relevant identity: id, sender, group,
+    /// group-local number, and every stamp. The payload is deliberately
+    /// excluded — it never influences a protocol transition.
+    pub fn write_message(&mut self, msg: &Message) {
+        self.write_u64(msg.id.0);
+        self.write_u64(u64::from(msg.sender.0));
+        self.write_u64(u64::from(msg.group.0));
+        self.write_seq(msg.group_seq);
+        self.write_u64(msg.stamps.len() as u64);
+        for s in &msg.stamps {
+            self.write_u64(u64::from(s.atom.0));
+            self.write_seq(s.seq);
+        }
+    }
+
+    /// The accumulated 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MessageId;
+    use seqnet_membership::{GroupId, NodeId};
+
+    #[test]
+    fn digest_is_order_sensitive_and_stable() {
+        let mut a = Digest::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Digest::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish(), "order matters");
+
+        let mut c = Digest::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        assert_eq!(a.finish(), c.finish(), "same input, same digest");
+    }
+
+    #[test]
+    fn message_digest_ignores_payload() {
+        let mut m1 = Message::new(MessageId(7), NodeId(0), GroupId(1), b"aaa".to_vec());
+        let m2 = Message::new(MessageId(7), NodeId(0), GroupId(1), b"zzz".to_vec());
+        let mut a = Digest::new();
+        a.write_message(&m1);
+        let mut b = Digest::new();
+        b.write_message(&m2);
+        assert_eq!(a.finish(), b.finish(), "payload excluded");
+
+        m1.group_seq = SeqNo(1);
+        let mut c = Digest::new();
+        c.write_message(&m1);
+        assert_ne!(a.finish(), c.finish(), "sequencing state included");
+    }
+}

@@ -20,6 +20,11 @@
 //!   ownership) a core consults per event.
 //! * [`RecoveryStats`] — crash-recovery counters shared by the
 //!   simulator's `FaultStats` and the runtime's `RuntimeStats`.
+//! * [`Digest`] — platform-stable state digests; every core folds its
+//!   observable state in via `digest_into`, which is how the
+//!   `seqnet-check` model checker deduplicates explored states.
+//! * [`testing`] — seeded configuration and fault-plan generators shared
+//!   by the proptest suites and the checker's random-walk mode.
 //!
 //! Nothing in here touches clocks, threads, channels, or randomness;
 //! drivers own all of that. The contract each driver must uphold (FIFO
@@ -30,13 +35,16 @@
 //! produce identical per-receiver delivery orders.
 
 mod atom;
+mod digest;
 mod event;
 mod node;
 mod receiver;
 mod routing;
 mod stats;
+pub mod testing;
 
 pub use atom::{NextHop, ProtocolState};
+pub use digest::Digest;
 pub use event::{Command, Event, Frame, Peer};
 pub use node::NodeCore;
 pub use receiver::{DeliveryQueue, ReceiverCore};

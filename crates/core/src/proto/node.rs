@@ -23,7 +23,7 @@ use std::collections::BTreeMap;
 /// numbers, retransmission, loss, and delay. The split is exercised by the
 /// `sim_runtime_equivalence` differential test, which feeds one workload
 /// through both drivers and asserts identical delivery orders.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NodeCore {
     /// This node's driver-assigned index (= atom index under solo routing).
     node: usize,
@@ -32,6 +32,10 @@ pub struct NodeCore {
     /// records it (the runtime's group-commit rule). The simulator crashes
     /// nodes between whole events, so it runs without staging.
     group_commit: bool,
+    /// Test-only sabotage: a group-commit core with this flag set emits
+    /// raw [`Command::Send`]s, violating the staged-output discipline.
+    /// Exists so the model checker can prove its oracle actually fires.
+    skip_staging: bool,
     /// Crashed: frames park instead of processing.
     down: bool,
     /// Frames that arrived while down, in arrival order.
@@ -49,10 +53,41 @@ impl NodeCore {
         NodeCore {
             node,
             group_commit,
+            skip_staging: false,
             down: false,
             parked: Vec::new(),
             floors: BTreeMap::new(),
             stats: RecoveryStats::default(),
+        }
+    }
+
+    /// Breaks the group-commit discipline on purpose: outputs bypass
+    /// staging and hit the wire as plain [`Command::Send`]s even in
+    /// group-commit mode. **Test-only** — used by the `seqnet-check`
+    /// staged-output oracle to prove it detects the violation it exists
+    /// for. Never call this from a driver.
+    #[doc(hidden)]
+    pub fn sabotage_skip_staging(&mut self) {
+        self.skip_staging = true;
+    }
+
+    /// Folds this core's complete observable state — liveness, parked
+    /// frames in arrival order, and ack floors — into `d`, for model
+    /// checkers deduplicating explored states. Recovery counters are
+    /// excluded: they are statistics and never influence a transition.
+    pub fn digest_into(&self, d: &mut super::Digest) {
+        d.write_u64(self.node as u64);
+        d.write_u64(u64::from(self.group_commit));
+        d.write_u64(u64::from(self.down));
+        d.write_u64(self.parked.len() as u64);
+        for frame in &self.parked {
+            d.write_message(&frame.msg);
+            d.write_u64(frame.target_atom.map_or(u64::MAX, |a| u64::from(a.0)));
+        }
+        d.write_u64(self.floors.len() as u64);
+        for (peer, floor) in &self.floors {
+            d.write_peer(*peer);
+            d.write_u64(*floor);
         }
     }
 
@@ -191,7 +226,7 @@ impl NodeCore {
     }
 
     fn output(&self, to: Peer, frame: Frame) -> Command {
-        if self.group_commit {
+        if self.group_commit && !self.skip_staging {
             Command::Stage { to, frame }
         } else {
             Command::Send { to, frame }

@@ -109,19 +109,29 @@ impl DeliveryQueue {
     /// deliverable (in delivery order), which may be empty (buffered) and
     /// may include previously buffered messages unblocked by this one.
     ///
+    /// Duplicate arrivals are idempotent: a message whose group-local
+    /// number was already delivered (it is below the group's expectation)
+    /// is dropped, and a copy of a message still buffered leaves the first
+    /// copy in place. Transports normally deduplicate before the core sees
+    /// a frame, but crash-replay paths can legally re-present one, so the
+    /// queue must not double-deliver or double-count.
+    ///
     /// # Panics
     ///
     /// Panics if the message is not sequenced or the node does not
     /// subscribe to its group — both indicate a routing bug.
     pub fn offer(&mut self, msg: Message) -> Vec<Message> {
         assert!(msg.is_sequenced(), "{} arrived unsequenced", msg.id);
-        assert!(
-            self.next_group.contains_key(&msg.group),
-            "{} does not subscribe to {}",
-            self.node,
-            msg.group
-        );
+        let expected = *self
+            .next_group
+            .get(&msg.group)
+            .unwrap_or_else(|| panic!("{} does not subscribe to {}", self.node, msg.group));
         let mut out = Vec::new();
+        if msg.group_seq < expected {
+            // Delivery is consecutive per group, so a number below the
+            // expectation was already delivered: a stale duplicate.
+            return out;
+        }
         if self.is_deliverable(&msg) {
             // Fast path: an in-order arrival never touches the buffer.
             self.advance(&msg);
@@ -131,12 +141,12 @@ impl DeliveryQueue {
                 return out;
             }
         } else {
-            let prev = self
-                .buffer
-                .entry(msg.group)
-                .or_default()
-                .insert(msg.group_seq, msg);
-            debug_assert!(prev.is_none(), "duplicate group-local number buffered");
+            let slot = self.buffer.entry(msg.group).or_default();
+            if slot.contains_key(&msg.group_seq) {
+                // A copy of a still-buffered message: keep the original.
+                return out;
+            }
+            slot.insert(msg.group_seq, msg);
             self.pending += 1;
             self.max_buffered = self.max_buffered.max(self.pending);
             // Buffering changes no counter, so no previously buffered
@@ -207,6 +217,30 @@ impl DeliveryQueue {
     /// High-water mark of the buffer, an indicator of reordering depth.
     pub fn max_buffered(&self) -> usize {
         self.max_buffered
+    }
+
+    /// Folds this queue's observable state — expectations and the buffered
+    /// messages — into `d`, for model checkers deduplicating explored
+    /// states. Delivered/high-water counters are excluded: they are
+    /// statistics and never influence a deliver-or-buffer decision.
+    pub fn digest_into(&self, d: &mut crate::proto::Digest) {
+        d.write_u64(u64::from(self.node.0));
+        d.write_u64(self.next_group.len() as u64);
+        for (g, s) in &self.next_group {
+            d.write_u64(u64::from(g.0));
+            d.write_seq(*s);
+        }
+        d.write_u64(self.next_atom.len() as u64);
+        for (a, s) in &self.next_atom {
+            d.write_u64(u64::from(a.0));
+            d.write_seq(*s);
+        }
+        d.write_u64(self.pending as u64);
+        for q in self.buffer.values() {
+            for msg in q.values() {
+                d.write_message(msg);
+            }
+        }
     }
 
     /// Re-synchronizes expectations after a quiescent reconfiguration of
@@ -360,6 +394,12 @@ impl ReceiverCore {
     /// reconfiguration.
     pub fn queue_mut(&mut self) -> &mut DeliveryQueue {
         &mut self.queue
+    }
+
+    /// Folds the receiver's state into `d`; see
+    /// [`DeliveryQueue::digest_into`].
+    pub fn digest_into(&self, d: &mut super::Digest) {
+        self.queue.digest_into(d);
     }
 
     /// Feeds one event through the receiver; returns the commands the
@@ -525,6 +565,107 @@ mod tests {
         let (m, graph, mut state) = two_group_setup();
         let mut q = DeliveryQueue::new(n(0), &m, &graph);
         let msg = seq(&mut state, &graph, 1, 1, 1);
+        let _ = q.offer(msg);
+    }
+
+    #[test]
+    fn stale_duplicate_of_delivered_message_is_ignored() {
+        let (m, graph, mut state) = two_group_setup();
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        let m1 = seq(&mut state, &graph, 1, 0, 0);
+        assert_eq!(q.offer(m1.clone()).len(), 1);
+        // A crash-replay path re-presents the delivered message.
+        assert!(q.offer(m1).is_empty(), "duplicate dropped");
+        assert_eq!(q.pending(), 0, "duplicate not buffered");
+        assert_eq!(q.delivered_count(), 1, "no double delivery");
+        // The stream continues undisturbed.
+        let m2 = seq(&mut state, &graph, 2, 0, 0);
+        assert_eq!(q.offer(m2).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_of_buffered_message_keeps_first_copy() {
+        let (m, graph, mut state) = two_group_setup();
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        let m1 = seq(&mut state, &graph, 1, 0, 0);
+        let m2 = seq(&mut state, &graph, 2, 0, 0);
+        assert!(q.offer(m2.clone()).is_empty(), "gap: m2 buffers");
+        assert!(q.offer(m2).is_empty(), "copy of buffered m2 dropped");
+        assert_eq!(q.pending(), 1, "still exactly one buffered copy");
+        let out = q.offer(m1);
+        assert_eq!(
+            out.iter().map(|m| m.id.0).collect::<Vec<_>>(),
+            vec![1, 2],
+            "each message delivered exactly once"
+        );
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not subscribe")]
+    fn unknown_group_rejected() {
+        let (m, graph, _) = two_group_setup();
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        // A group no one (and no graph path) has ever heard of.
+        let mut msg = Message::new(MessageId(9), n(0), g(7), vec![]);
+        msg.group_seq = SeqNo::FIRST;
+        let _ = q.offer(msg);
+    }
+
+    #[test]
+    fn gap_fill_cascades_across_groups() {
+        let (m, graph, mut state) = two_group_setup();
+        // Node 1 subscribes to both groups; the overlap atom binds them.
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        let m1 = seq(&mut state, &graph, 1, 0, 0); // g0, stamp 1
+        let m2 = seq(&mut state, &graph, 2, 1, 1); // g1, stamp 2
+        let m3 = seq(&mut state, &graph, 3, 0, 0); // g0, stamp 3
+        assert!(q.offer(m3).is_empty(), "g0 #2 waits for g0 #1");
+        assert!(q.offer(m2).is_empty(), "g1 head waits for stamp 1");
+        assert_eq!(q.pending(), 2);
+        // Filling the gap releases messages from BOTH groups, and m3 only
+        // becomes deliverable after m2 consumed stamp 2 — the release loop
+        // must iterate to a fixpoint across groups.
+        let out = q.offer(m1);
+        assert_eq!(
+            out.iter().map(|m| m.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "cascade releases in stamp order across groups"
+        );
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.delivered_count(), 3);
+    }
+
+    #[test]
+    fn counters_work_up_to_the_last_usable_sequence_number() {
+        // Single ingress-only group: no overlap stamps to fabricate.
+        let m = Membership::from_groups([(g(0), vec![n(0), n(1)])]);
+        let graph = GraphBuilder::new().build(&m);
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        // Fast-forward the expectation to the end of the sequence space
+        // (test-only: unit tests may reach into the private counter).
+        q.next_group.insert(g(0), SeqNo(u64::MAX - 1));
+        let mut msg = Message::new(MessageId(1), n(0), g(0), vec![]);
+        msg.group_seq = SeqNo(u64::MAX - 1);
+        assert_eq!(q.offer(msg).len(), 1, "penultimate number delivers");
+        assert_eq!(
+            q.next_group[&g(0)],
+            SeqNo(u64::MAX),
+            "expectation advanced to the last number"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence number space exhausted")]
+    fn delivering_the_final_sequence_number_overflows_loudly() {
+        let m = Membership::from_groups([(g(0), vec![n(0), n(1)])]);
+        let graph = GraphBuilder::new().build(&m);
+        let mut q = DeliveryQueue::new(n(1), &m, &graph);
+        q.next_group.insert(g(0), SeqNo(u64::MAX));
+        let mut msg = Message::new(MessageId(1), n(0), g(0), vec![]);
+        msg.group_seq = SeqNo(u64::MAX);
+        // Advancing past u64::MAX must panic, not wrap to the ZERO
+        // sentinel.
         let _ = q.offer(msg);
     }
 

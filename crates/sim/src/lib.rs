@@ -16,6 +16,9 @@
 //!   crashes, link partitions, and burst-loss windows, executed as
 //!   simulator events by `seqnet-core` and replayed against real threads
 //!   by `seqnet-runtime`.
+//! * [`ScheduleTrace`] — a replayable schedule (seed + decision list), the
+//!   interchange format between the `seqnet-check` model checker and
+//!   anything that re-executes one of its counterexamples.
 //!
 //! # Example
 //!
@@ -41,8 +44,10 @@ mod engine;
 mod fault;
 mod fifo;
 mod time;
+mod trace;
 
 pub use engine::Simulator;
 pub use fault::{CrashWindow, FaultPlan, LossWindow, PartitionWindow};
 pub use fifo::FifoStamper;
 pub use time::SimTime;
+pub use trace::{ParseTraceError, ScheduleTrace};

@@ -1,0 +1,151 @@
+//! Replayable schedule traces.
+//!
+//! A [`ScheduleTrace`] is the portable description of one explored
+//! schedule: the seed that parameterized the run plus the ordered list of
+//! scheduling decisions taken (each an index into the deterministic,
+//! sorted enabled-transition list at that step). `seqnet-check` emits one
+//! for every counterexample it finds; anything that can rebuild the same
+//! initial state — the checker itself, a CI job re-running an uploaded
+//! artifact, or a developer at a shell — re-executes the identical run
+//! from it, because every consumer enumerates transitions in the same
+//! deterministic order.
+//!
+//! The rendered form is a single line, `seed=<n> decisions=[a,b,c]`, so
+//! traces survive copy-paste through logs, CI artifacts, and commit
+//! messages without escaping concerns.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One replayable schedule: a seed plus the decision indices taken.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScheduleTrace {
+    /// The seed that parameterized the run (scenario randomization and/or
+    /// the random-walk generator). Zero for purely exhaustive runs.
+    pub seed: u64,
+    /// Indices into the sorted enabled-transition list, one per step.
+    pub decisions: Vec<u32>,
+}
+
+impl ScheduleTrace {
+    /// A trace with no decisions yet.
+    pub fn new(seed: u64) -> Self {
+        ScheduleTrace {
+            seed,
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Number of scheduling decisions recorded.
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// `true` when no decisions are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.decisions.is_empty()
+    }
+
+    /// The canonical single-line rendering, `seed=<n> decisions=[a,b,c]`.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parses the canonical rendering produced by [`ScheduleTrace::render`].
+    /// Returns `None` on any deviation from that format.
+    pub fn parse(s: &str) -> Option<Self> {
+        s.parse().ok()
+    }
+}
+
+impl fmt::Display for ScheduleTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={} decisions=[", self.seed)?;
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Error parsing a [`ScheduleTrace`] rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseTraceError;
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected `seed=<n> decisions=[a,b,c]`")
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl FromStr for ScheduleTrace {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let rest = s.strip_prefix("seed=").ok_or(ParseTraceError)?;
+        let (seed_str, rest) = rest.split_once(' ').ok_or(ParseTraceError)?;
+        let seed = seed_str.parse::<u64>().map_err(|_| ParseTraceError)?;
+        let list = rest
+            .strip_prefix("decisions=[")
+            .and_then(|r| r.strip_suffix(']'))
+            .ok_or(ParseTraceError)?;
+        let mut decisions = Vec::new();
+        if !list.is_empty() {
+            for part in list.split(',') {
+                decisions.push(part.trim().parse::<u32>().map_err(|_| ParseTraceError)?);
+            }
+        }
+        Ok(ScheduleTrace { seed, decisions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let t = ScheduleTrace {
+            seed: 42,
+            decisions: vec![0, 3, 1, 7],
+        };
+        assert_eq!(t.render(), "seed=42 decisions=[0,3,1,7]");
+        assert_eq!(ScheduleTrace::parse(&t.render()), Some(t));
+    }
+
+    #[test]
+    fn empty_decisions_round_trip() {
+        let t = ScheduleTrace::new(7);
+        assert!(t.is_empty());
+        assert_eq!(t.render(), "seed=7 decisions=[]");
+        assert_eq!(ScheduleTrace::parse(&t.render()), Some(t));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in [
+            "",
+            "seed=x decisions=[]",
+            "seed=1",
+            "seed=1 decisions=[1,]",
+            "seed=1 decisions=1,2",
+            "decisions=[1] seed=1",
+        ] {
+            assert_eq!(ScheduleTrace::parse(bad), None, "accepted {bad:?}");
+        }
+        // Whitespace inside the list is tolerated (hand-edited traces).
+        assert_eq!(
+            ScheduleTrace::parse("seed=1 decisions=[1, 2]"),
+            Some(ScheduleTrace {
+                seed: 1,
+                decisions: vec![1, 2]
+            })
+        );
+    }
+}

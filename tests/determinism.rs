@@ -64,3 +64,30 @@ fn workloads_are_deterministic() {
     let b = w.sample(&mut StdRng::seed_from_u64(5));
     assert_eq!(a, b);
 }
+
+/// A shrunk model-checker counterexample replays byte for byte: two
+/// replays of the same decision list produce identical step logs, and the
+/// rendered `seed=… decisions=[…]` line survives a parse/render
+/// round-trip — the contract that makes CI-printed traces debuggable.
+#[test]
+fn counterexample_replays_are_byte_identical() {
+    use seqnet_check::{default_oracles, explore, replay, scenario, shrink, ExploreConfig, Outcome};
+    use seqnet_sim::ScheduleTrace;
+
+    let sc = scenario::two_group_overlap().with_sabotaged_staging();
+    let oracles = default_oracles();
+    let Outcome::Fail(cex) = explore(&sc, &oracles, &ExploreConfig::default()) else {
+        panic!("sabotaged staging must fail")
+    };
+    let shrunk = shrink(&sc, &oracles, &cex.trace);
+
+    let a = replay(&sc, &oracles, &shrunk.decisions);
+    let b = replay(&sc, &oracles, &shrunk.decisions);
+    assert_eq!(a.log, b.log, "replay logs diverged");
+    assert_eq!(a.log.as_bytes(), b.log.as_bytes());
+    assert!(a.failed(), "shrunk trace still fails");
+
+    let rendered = shrunk.to_string();
+    let parsed: ScheduleTrace = rendered.parse().expect("rendered trace parses");
+    assert_eq!(parsed, shrunk, "trace round-trips through its rendering");
+}

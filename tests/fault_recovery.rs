@@ -20,6 +20,8 @@ use seqnet::sim::{FaultPlan, SimTime};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+mod strategies;
+
 fn n(i: u32) -> NodeId {
     NodeId(i)
 }
@@ -31,6 +33,19 @@ fn overlapped_membership() -> Membership {
     Membership::from_groups([
         (g(0), vec![n(0), n(1), n(2)]),
         (g(1), vec![n(1), n(2), n(3)]),
+    ])
+}
+
+/// Three groups forming two double overlaps with *disjoint* member sets
+/// ({0,1} and {10,11}), which the co-location heuristic can never merge —
+/// so this topology deterministically yields exactly two sequencing nodes
+/// for every seed, and g0's path crosses both (a node-to-node link, which
+/// heartbeat-based failure detection needs).
+fn two_sequencing_node_membership() -> Membership {
+    Membership::from_groups([
+        (g(0), vec![n(0), n(1), n(10), n(11)]),
+        (g(1), vec![n(0), n(1), n(2)]),
+        (g(2), vec![n(10), n(11), n(12)]),
     ])
 }
 
@@ -189,7 +204,7 @@ fn two_nodes_down_concurrently() {
 /// frames, nonzero recovery latency, and heartbeat-based detections.
 #[test]
 fn every_node_crashes_and_replay_restores_service() {
-    let m = overlapped_membership();
+    let m = two_sequencing_node_membership();
     let config = ClusterConfig {
         snapshot_interval: Duration::from_millis(2),
         heartbeat_interval: Duration::from_millis(5),
@@ -197,13 +212,15 @@ fn every_node_crashes_and_replay_restores_service() {
     };
     let mut cluster = Cluster::start(&m, config);
     let nodes = cluster.num_sequencing_nodes();
-    assert!(nodes >= 2, "two groups imply at least two sequencing nodes");
+    assert_eq!(nodes, 2, "disjoint-member overlap atoms are never merged");
 
+    let groups = [g(0), g(1), g(2)];
     let mut all: BTreeMap<NodeId, Vec<Message>> = BTreeMap::new();
     let mut payload = 0u8;
     let mut expected = 0usize;
-    for grp in [g(0), g(1)] {
-        cluster.publish(n(1), grp, vec![payload]).unwrap();
+    for &grp in &groups {
+        let sender = m.members(grp).next().unwrap();
+        cluster.publish(sender, grp, vec![payload]).unwrap();
         payload += 1;
         expected += m.group_size(grp);
     }
@@ -218,9 +235,12 @@ fn every_node_crashes_and_replay_restores_service() {
         assert!(cluster.crash_node(idx), "node {idx} was running");
         // Publishes during the downtime queue in the dead node's inbox (or
         // retry from upstream buffers) and are replayed after the restart.
+        // g0's path crosses both sequencing nodes, so every outage sits on
+        // some group's path.
         let mut expected = 0usize;
-        for grp in [g(0), g(1)] {
-            cluster.publish(n(1), grp, vec![payload]).unwrap();
+        for &grp in &groups {
+            let sender = m.members(grp).next().unwrap();
+            cluster.publish(sender, grp, vec![payload]).unwrap();
             payload += 1;
             expected += m.group_size(grp);
         }
@@ -255,15 +275,19 @@ fn every_node_crashes_and_replay_restores_service() {
 /// the wall clock; deliveries and order agreement survive.
 #[test]
 fn runtime_executes_fault_plan_windows() {
-    let m = overlapped_membership();
+    let m = two_sequencing_node_membership();
     let mut cluster = Cluster::start(&m, ClusterConfig::default());
+    assert_eq!(cluster.num_sequencing_nodes(), 2);
+    // Both windows name real sequencing nodes, so both crashes execute.
     let plan = FaultPlan::new()
         .crash(0, SimTime::from_micros(2_000), SimTime::from_micros(30_000))
         .crash(1, SimTime::from_micros(10_000), SimTime::from_micros(35_000));
+    let groups = [g(0), g(1), g(2)];
     let mut expected = 0usize;
     for i in 0..6u32 {
-        let (s, grp) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
-        cluster.publish(s, grp, vec![i as u8]).unwrap();
+        let grp = groups[i as usize % groups.len()];
+        let sender = m.members(grp).next().unwrap();
+        cluster.publish(sender, grp, vec![i as u8]).unwrap();
         expected += m.group_size(grp);
     }
     cluster.run_fault_plan(&plan);
@@ -279,31 +303,38 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Definition 1 under arbitrary randomized fault schedules in the
-    /// simulator: every message is eventually delivered to every group
-    /// member and overlap members agree on the relative order.
+    /// simulator, over arbitrary double-overlapped memberships from the
+    /// shared strategy module: every message is eventually delivered to
+    /// every group member and overlap members agree on the relative order.
     #[test]
     fn faulty_runs_stay_totally_ordered(
+        m in strategies::overlapped_membership(),
         seed in any::<u64>(),
-        schedule in vec((0usize..4, 0u32..2, 0u64..20_000), 1..16),
+        schedule in vec((0usize..64, 0usize..64, 0u64..20_000), 1..16),
     ) {
-        let m = overlapped_membership();
         let mut bus = OrderedPubSub::new(&m);
         let atoms = bus.graph().num_atoms();
         bus.apply_fault_plan(FaultPlan::randomized(seed, atoms, SimTime::from_ms(40.0)));
-        let nodes = [n(0), n(1), n(2), n(3)];
+        let nodes: Vec<NodeId> = m.nodes().collect();
+        let groups: Vec<GroupId> = m.groups().collect();
         let mut expected = 0usize;
         for &(s, grp, t) in &schedule {
-            let group = g(grp);
-            bus.publish_at(SimTime::from_micros(t), nodes[s], group, vec![]).unwrap();
+            let group = groups[grp % groups.len()];
+            bus.publish_at(SimTime::from_micros(t), nodes[s % nodes.len()], group, vec![])
+                .unwrap();
             expected += m.group_size(group);
         }
         bus.run_to_quiescence();
 
         prop_assert_eq!(bus.stuck_messages(), 0, "faults deadlocked the run");
         prop_assert_eq!(bus.all_deliveries().count(), expected, "a fault lost messages");
-        let o1: Vec<_> = bus.delivered(n(1)).iter().map(|d| d.id).collect();
-        let o2: Vec<_> = bus.delivered(n(2)).iter().map(|d| d.id).collect();
-        prop_assert_eq!(o1, o2, "overlap members diverged under faults");
+        // Nodes 0 and 1 form the strategy's guaranteed double overlap;
+        // their common messages must appear in the same relative order.
+        let o1: Vec<_> = bus.delivered(n(0)).iter().map(|d| d.id).collect();
+        let o2: Vec<_> = bus.delivered(n(1)).iter().map(|d| d.id).collect();
+        let c1: Vec<_> = o1.iter().filter(|x| o2.contains(x)).collect();
+        let c2: Vec<_> = o2.iter().filter(|x| o1.contains(x)).collect();
+        prop_assert_eq!(c1, c2, "overlap members diverged under faults");
     }
 
     /// The same fault-plan seed reproduces the run byte for byte:

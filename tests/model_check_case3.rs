@@ -7,6 +7,13 @@
 //! channels and *every* publish order of one message per group, and check
 //! liveness (no deadlock) plus pairwise agreement at all nodes. Unlike the
 //! randomized property tests, this is exhaustive over its (small) space.
+//!
+//! This sweep is the ancestor of the general model checker: `seqnet-check`
+//! explores the same configuration (as the `case3-pairwise` scenario in
+//! `crates/check/src/scenario.rs`) schedule by schedule, over crash faults
+//! and four other oracles — see `tests/model_check_matrix.rs` and
+//! PROTOCOL.md §10. The delay-lattice version here is kept as an
+//! independent cross-check through the full simulator stack.
 
 use seqnet::core::{DelayModel, Endpoint, OrderedPubSub};
 use seqnet::membership::{GroupId, Membership, NodeId};

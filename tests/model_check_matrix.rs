@@ -1,0 +1,83 @@
+//! The bounded model-checking configuration matrix, run on every `cargo
+//! test` (CI runs the same matrix through the `seqnet-check` binary).
+//!
+//! Exhaustively explores every registry scenario — four topologies, each
+//! fault-free and with a crash window, plus the group-commit variants —
+//! under all five invariant oracles, and proves the counterexample
+//! pipeline works end to end by checking a deliberately sabotaged core:
+//! explore → fail → shrink → replay must reproduce the same violation
+//! from a short decision list.
+
+use seqnet_check::{
+    default_oracles, explore, replay, scenario, shrink, ExploreConfig, Outcome,
+};
+
+/// Every scenario in the registry passes bounded-exhaustive exploration
+/// without truncation: all five oracles hold on every reachable schedule.
+#[test]
+fn registry_matrix_is_exhaustively_clean() {
+    for sc in scenario::registry() {
+        let outcome = explore(&sc, &default_oracles(), &ExploreConfig::default());
+        match outcome {
+            Outcome::Pass(stats) => {
+                assert!(
+                    !stats.truncated,
+                    "{}: exploration truncated at {} states — raise the bound \
+                     or shrink the scenario",
+                    sc.name, stats.states
+                );
+                assert!(stats.terminals > 0, "{}: no terminal state reached", sc.name);
+            }
+            Outcome::Fail(cex) => panic!(
+                "{}: invariant violated: {}\n  trace: {}",
+                sc.name, cex.violation, cex.trace
+            ),
+        }
+    }
+}
+
+/// The acceptance configuration (2 groups, 1 double overlap, 2 common
+/// receivers) with sabotaged group-commit staging: exploration finds the
+/// staged-output violation, shrinking compresses it to at most 15
+/// decisions, and replaying the shrunk trace reproduces the identical
+/// violation.
+#[test]
+fn sabotaged_core_yields_short_replayable_counterexample() {
+    let sc = scenario::two_group_overlap().with_sabotaged_staging();
+    let oracles = default_oracles();
+    let outcome = explore(&sc, &oracles, &ExploreConfig::default());
+    let Outcome::Fail(cex) = outcome else {
+        panic!("sabotaged staging must violate the staged-output oracle")
+    };
+    assert_eq!(cex.violation.invariant, "staged-output");
+
+    let shrunk = shrink(&sc, &oracles, &cex.trace);
+    assert!(
+        shrunk.len() <= 15,
+        "shrunk counterexample exceeds the acceptance bound: {shrunk}"
+    );
+
+    let res = replay(&sc, &oracles, &shrunk.decisions);
+    let violation = res.violation.expect("shrunk trace still fails");
+    assert_eq!(violation.invariant, cex.violation.invariant);
+    assert_eq!(res.executed, shrunk.decisions, "shrunk trace is canonical");
+}
+
+/// Oracles also hold along seeded random walks with randomized crash
+/// injection — the mode CI uses to reach schedules past the exhaustive
+/// depth bound.
+#[test]
+fn random_walks_with_fault_injection_stay_clean() {
+    use seqnet_check::{random_walks, RandomConfig};
+    let config = RandomConfig {
+        walks: 16,
+        max_steps: 256,
+        randomize_faults: true,
+    };
+    for sc in [scenario::two_group_overlap(), scenario::disjoint_chain()] {
+        let outcome = random_walks(&sc, &default_oracles(), 0xC0FFEE, &config);
+        if let Some(cex) = outcome.counterexample() {
+            panic!("{}: random walk violation: {}", sc.name, cex.violation);
+        }
+    }
+}

@@ -12,20 +12,13 @@ use seqnet::overlap::GraphBuilder;
 use seqnet::sim::SimTime;
 use std::collections::HashMap;
 
-/// A random membership: `num_nodes` nodes, groups from subscription lists.
+mod strategies;
+
+/// A random membership, drawn from the shared seeded strategy module so
+/// this suite, `fault_recovery.rs`, and `seqnet-check`'s random walks all
+/// explore the same configuration space.
 fn membership_strategy() -> impl Strategy<Value = Membership> {
-    // 4..=10 nodes, 2..=5 groups, each group samples 2..=6 members.
-    (4usize..=10, 2usize..=5).prop_flat_map(|(nodes, groups)| {
-        vec(vec(0u32..nodes as u32, 2..=6), groups).prop_map(move |group_members| {
-            let mut m = Membership::new();
-            for (gi, members) in group_members.iter().enumerate() {
-                for &n in members {
-                    m.subscribe(NodeId(n), GroupId(gi as u32));
-                }
-            }
-            m
-        })
-    })
+    strategies::membership()
 }
 
 /// Adversarial per-channel delays: every host/atom channel gets a random

@@ -1,0 +1,88 @@
+//! Shared proptest strategies for the workspace-level test suites.
+//!
+//! Thin [`Strategy`] adapters over the seeded generators in
+//! `seqnet::core::proto::testing`: proptest explores and shrinks a single
+//! `u64` seed while the generator guarantees structural validity, so every
+//! reported failure reproduces from one number. Included as `mod
+//! strategies;` by `property_ordering.rs` and `fault_recovery.rs`; also a
+//! test target of its own, so its `#[test]`s keep the adapters honest.
+
+// Each including test binary uses a subset of these adapters.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use seqnet::core::proto::testing;
+pub use seqnet::core::proto::testing::MembershipBounds;
+use seqnet::membership::Membership;
+use seqnet::sim::{FaultPlan, SimTime};
+
+/// An arbitrary valid membership within `bounds`, shrunk over its seed.
+pub fn membership_with(bounds: MembershipBounds) -> impl Strategy<Value = Membership> {
+    any::<u64>().prop_map(move |seed| testing::random_membership_with(seed, bounds))
+}
+
+/// An arbitrary valid membership under the default bounds (4–10 nodes,
+/// 2–5 groups, 2–6 member samples per group).
+pub fn membership() -> impl Strategy<Value = Membership> {
+    any::<u64>().prop_map(testing::random_membership)
+}
+
+/// A membership guaranteed to contain at least one double overlap (nodes
+/// 0 and 1 subscribe to groups 0 and 1) — the configurations where
+/// ordering is actually at stake.
+pub fn overlapped_membership() -> impl Strategy<Value = Membership> {
+    any::<u64>().prop_map(testing::random_overlapped_membership)
+}
+
+/// A randomized-but-reproducible fault plan targeting `nodes` sequencing
+/// nodes over `horizon`.
+pub fn fault_plan(nodes: usize, horizon: SimTime) -> impl Strategy<Value = FaultPlan> {
+    any::<u64>().prop_map(move |seed| testing::random_fault_plan(seed, nodes, horizon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqnet::membership::GroupId;
+    use seqnet::overlap::GraphBuilder;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every generated membership builds a graph satisfying C1/C2.
+        #[test]
+        fn generated_memberships_build_valid_graphs(m in membership()) {
+            let graph = GraphBuilder::new().build(&m);
+            prop_assert!(graph.validate_against(&m).is_ok());
+        }
+
+        /// The overlapped strategy always yields its promised overlap.
+        #[test]
+        fn overlapped_memberships_keep_the_overlap(m in overlapped_membership()) {
+            prop_assert!(m.double_overlapped(GroupId(0), GroupId(1)));
+        }
+
+        /// Custom bounds are respected.
+        #[test]
+        fn bounds_are_respected(
+            m in membership_with(MembershipBounds {
+                nodes: (3, 5),
+                groups: (2, 3),
+                members: (2, 3),
+            })
+        ) {
+            prop_assert!(m.num_nodes() <= 5);
+            prop_assert!(m.num_groups() >= 2 && m.num_groups() <= 3);
+        }
+
+        /// Fault-plan adaptation stays deterministic per seed (the adapter
+        /// must not smuggle in extra entropy).
+        #[test]
+        fn fault_plans_reproduce(seed in any::<u64>()) {
+            let horizon = SimTime::from_ms(40.0);
+            let a = testing::random_fault_plan(seed, 3, horizon);
+            let b = testing::random_fault_plan(seed, 3, horizon);
+            prop_assert_eq!(a, b);
+        }
+    }
+}
