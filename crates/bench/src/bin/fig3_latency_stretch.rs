@@ -33,13 +33,15 @@ fn main() {
             f3(mean(&values)),
             f3(percentile(&values, 50.0)),
             f3(percentile(&values, 90.0)),
+            f3(percentile(&values, 95.0)),
+            f3(percentile(&values, 99.0)),
             f3(percentile(&values, 100.0)),
         ]);
     }
 
     print_table(
         "Figure 3: latency stretch by destination (sequencers vs direct unicast)",
-        &["groups", "destinations", "mean", "p50", "p90", "max"],
+        &["groups", "destinations", "mean", "p50", "p90", "p95", "p99", "max"],
         &summary_rows,
     );
     let path = save_csv(
@@ -47,5 +49,11 @@ fn main() {
         &["groups", "stretch", "cdf"],
         &cdf_rows,
     );
+    let summary_path = save_csv(
+        "fig3_latency_stretch_summary",
+        &["groups", "destinations", "mean", "p50", "p90", "p95", "p99", "max"],
+        &summary_rows,
+    );
     println!("\nCDF written to {path}");
+    println!("Percentile summary written to {summary_path}");
 }

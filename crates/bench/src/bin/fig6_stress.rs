@@ -49,10 +49,16 @@ fn main() {
         rows.push(vec![
             groups.to_string(),
             if zipf_all.is_empty() { "-".into() } else { f3(mean(&zipf_all)) },
+            cell(&zipf_all, 50.0),
             cell(&zipf_all, 90.0),
+            cell(&zipf_all, 95.0),
+            cell(&zipf_all, 99.0),
             cell(&zipf_all, 100.0),
             if dense_stamped.is_empty() { "-".into() } else { f3(mean(&dense_stamped)) },
+            cell(&dense_stamped, 50.0),
             cell(&dense_stamped, 90.0),
+            cell(&dense_stamped, 95.0),
+            cell(&dense_stamped, 99.0),
             cell(&dense_stamped, 100.0),
         ]);
     }
@@ -62,10 +68,16 @@ fn main() {
         &[
             "groups",
             "zipf mean",
+            "p50",
             "p90",
+            "p95",
+            "p99",
             "max",
             "dense mean",
+            "p50",
             "p90",
+            "p95",
+            "p99",
             "max",
         ],
         &rows,
@@ -75,10 +87,16 @@ fn main() {
         &[
             "groups",
             "zipf_mean",
+            "zipf_p50",
             "zipf_p90",
+            "zipf_p95",
+            "zipf_p99",
             "zipf_max",
             "dense_stamped_mean",
+            "dense_stamped_p50",
             "dense_stamped_p90",
+            "dense_stamped_p95",
+            "dense_stamped_p99",
             "dense_stamped_max",
         ],
         &rows,

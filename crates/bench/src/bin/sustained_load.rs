@@ -54,8 +54,19 @@ fn main() {
         bus.run_to_quiescence();
         assert_eq!(bus.stuck_messages(), 0, "sustained load must not deadlock");
 
+        // A run that delivered nothing reports "-" cells, not a panic.
+        let dash = || "-".to_string();
         let latency = metrics::mean_delivery_latency_ms(bus.all_deliveries());
         let buffering = metrics::mean_buffering_ms(bus.all_deliveries());
+        let per_delivery_ms: Vec<f64> = bus
+            .all_deliveries()
+            .map(|r| (r.delivered - r.published).as_ms())
+            .collect();
+        let pct = |p: f64| {
+            seqnet_obs::stats::try_percentile(&per_delivery_ms, p)
+                .map(f3)
+                .unwrap_or_else(dash)
+        };
         let highwater = bus
             .receiver_buffer_highwater()
             .values()
@@ -66,8 +77,11 @@ fn main() {
             f3(1000.0 / mean_gap_ms),
             ids.len().to_string(),
             bus.all_deliveries().count().to_string(),
-            f3(latency),
-            f3(buffering),
+            latency.map(f3).unwrap_or_else(dash),
+            pct(50.0),
+            pct(95.0),
+            pct(99.0),
+            buffering.map(f3).unwrap_or_else(dash),
             highwater.to_string(),
         ]);
     }
@@ -82,6 +96,9 @@ fn main() {
             "published",
             "delivered",
             "mean latency ms",
+            "p50",
+            "p95",
+            "p99",
             "mean buffering ms",
             "max buffer depth",
         ],
@@ -89,7 +106,17 @@ fn main() {
     );
     let path = save_csv(
         "sustained_load",
-        &["rate_per_publisher", "published", "delivered", "latency_ms", "buffering_ms", "max_buffer"],
+        &[
+            "rate_per_publisher",
+            "published",
+            "delivered",
+            "latency_ms",
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "latency_p99_ms",
+            "buffering_ms",
+            "max_buffer",
+        ],
         &rows,
     );
     println!("\nTable written to {path}");

@@ -18,7 +18,8 @@ use seqnet_check::explore::{explore, ExploreConfig, Outcome};
 use seqnet_check::invariants::default_oracles;
 use seqnet_check::random::{random_walks, scenario_for_walk, RandomConfig};
 use seqnet_check::scenario::{self, Scenario};
-use seqnet_check::shrink::{replay, shrink};
+use seqnet_check::shrink::{replay, replay_traced, shrink};
+use seqnet_obs::FlightRecorder;
 use seqnet_sim::ScheduleTrace;
 
 struct Args {
@@ -124,6 +125,28 @@ fn write_trace(dir: &str, scenario: &Scenario, trace: &ScheduleTrace) {
     }
 }
 
+/// Replays the shrunk counterexample once more through a flight recorder
+/// and writes the structured event trace next to the decision trace, so a
+/// CI failure ships the full causal story (who stamped, forwarded,
+/// buffered what), not just the decision indices.
+fn write_events(
+    dir: &str,
+    concrete: &Scenario,
+    scenario_name: &str,
+    trace: &ScheduleTrace,
+) {
+    let _ = std::fs::create_dir_all(dir);
+    let mut recorder = FlightRecorder::new(65_536);
+    let oracles = default_oracles();
+    replay_traced(concrete, &oracles, &trace.decisions, &mut recorder);
+    let path = format!("{dir}/{}.events.jsonl", scenario_name.replace('/', "_"));
+    if let Err(e) = std::fs::write(&path, recorder.dump_jsonl()) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("event trace written to {path} ({} events)", recorder.seen());
+    }
+}
+
 /// Checks one scenario; returns `true` on pass.
 fn check_scenario(args: &Args, sc: &Scenario) -> bool {
     let oracles = default_oracles();
@@ -183,6 +206,7 @@ fn check_scenario(args: &Args, sc: &Scenario) -> bool {
             print!("{}", indent(&res.log));
             if let Some(dir) = &args.trace_out {
                 write_trace(dir, sc, &shrunk);
+                write_events(dir, &concrete, &sc.name, &shrunk);
             }
             false
         }

@@ -15,6 +15,7 @@
 //! plus the scenario fully determines the successor state. That is what
 //! makes a [`seqnet_sim::ScheduleTrace`] replayable.
 
+use seqnet_core::proto::trace::{Actor, EventKind, NullSink, TraceEvent, TraceSink};
 use seqnet_core::proto::{Command, Digest, Event, Frame, NodeCore, Peer, ProtocolState, ReceiverCore, Routing};
 use seqnet_core::{Message, MessageId};
 use seqnet_membership::{GroupId, NodeId};
@@ -253,6 +254,20 @@ impl World {
     ///
     /// Panics if `transition` is not currently enabled (checker bug).
     pub fn step(&mut self, transition: Transition) -> StepRecord {
+        self.step_traced(transition, &mut NullSink)
+    }
+
+    /// [`World::step`] with a structured trace sink: the protocol cores
+    /// report stamps, forwards, arrivals, buffering, and deliveries, and
+    /// the model itself reports publishes and snapshot flushes. The model
+    /// has no clock, so events carry whatever the caller last passed to
+    /// [`TraceSink::now`] — step-index stamping is the convention (see
+    /// [`crate::shrink::replay_traced`]).
+    pub fn step_traced<S: TraceSink + ?Sized>(
+        &mut self,
+        transition: Transition,
+        sink: &mut S,
+    ) -> StepRecord {
         let mut record = StepRecord {
             transition,
             unstaged_sends: Vec::new(),
@@ -269,6 +284,14 @@ impl World {
                     .ingress(p.group)
                     .unwrap_or_else(|| panic!("{} has no sequencing path", p.group));
                 self.published[i] = true;
+                if sink.enabled() {
+                    sink.record(TraceEvent {
+                        msg: Some(i as u64),
+                        group: Some(u64::from(p.group.0)),
+                        detail: Some(u64::from(p.sender.0)),
+                        ..TraceEvent::new(EventKind::Publish, Actor::Publisher)
+                    });
+                }
                 self.enqueue(
                     Peer::Host(p.sender),
                     Peer::Node(ingress.index()),
@@ -295,19 +318,20 @@ impl World {
                         *self.rx_count[node].entry(src).or_insert(0) += 1;
                         let routing =
                             Routing::solo(&setup.scenario.membership, &setup.graph);
-                        let cmds = self.cores[node].on_event(
+                        let cmds = self.cores[node].on_event_traced(
                             &routing,
                             &mut self.protocol,
                             Event::FrameArrived { frame },
+                            sink,
                         );
-                        self.execute(node, cmds, &mut record);
+                        self.execute(node, cmds, &mut record, sink);
                     }
                     Peer::Host(host) => {
                         let receiver = self
                             .receivers
                             .get_mut(&host)
                             .unwrap_or_else(|| panic!("{host} has no receiver"));
-                        for cmd in receiver.on_event(Event::FrameArrived { frame }) {
+                        for cmd in receiver.on_event_traced(Event::FrameArrived { frame }, sink) {
                             match cmd {
                                 Command::Deliver { host, msg } => {
                                     self.delivered
@@ -331,8 +355,9 @@ impl World {
                     FaultKind::Crash => Event::NodeCrashed,
                     FaultKind::Restart => Event::NodeRestarted,
                 };
-                let cmds = self.cores[node].on_event(&routing, &mut self.protocol, event);
-                self.execute(node, cmds, &mut record);
+                let cmds =
+                    self.cores[node].on_event_traced(&routing, &mut self.protocol, event, sink);
+                self.execute(node, cmds, &mut record, sink);
             }
             Transition::Snapshot(node) => {
                 assert!(
@@ -344,12 +369,13 @@ impl World {
                     .map(|(&peer, &count)| (peer, count + 1))
                     .collect();
                 let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
-                let cmds = self.cores[node].on_event(
+                let cmds = self.cores[node].on_event_traced(
                     &routing,
                     &mut self.protocol,
                     Event::SnapshotTaken { rx_next },
+                    sink,
                 );
-                self.execute(node, cmds, &mut record);
+                self.execute(node, cmds, &mut record, sink);
             }
         }
         record
@@ -358,7 +384,13 @@ impl World {
     /// Executes the commands a node core returned. [`Command::Replay`]
     /// re-enters the core immediately (the driver contract: parked frames
     /// are re-presented at the restart instant, before any new arrival).
-    fn execute(&mut self, node: usize, cmds: Vec<Command>, record: &mut StepRecord) {
+    fn execute<S: TraceSink + ?Sized>(
+        &mut self,
+        node: usize,
+        cmds: Vec<Command>,
+        record: &mut StepRecord,
+        sink: &mut S,
+    ) {
         let setup = self.setup.clone();
         for cmd in cmds {
             match cmd {
@@ -377,6 +409,15 @@ impl World {
                 }
                 Command::Flush => {
                     let staged = std::mem::take(&mut self.staged[node]);
+                    if sink.enabled() {
+                        sink.record(TraceEvent {
+                            detail: Some(staged.len() as u64),
+                            ..TraceEvent::new(
+                                EventKind::SnapshotFlush,
+                                Actor::Node(node as u64),
+                            )
+                        });
+                    }
                     for (to, frame) in staged {
                         self.enqueue(Peer::Node(node), to, frame);
                     }
@@ -387,12 +428,13 @@ impl World {
                 }
                 Command::Replay { frame } => {
                     let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
-                    let cmds = self.cores[node].on_event(
+                    let cmds = self.cores[node].on_event_traced(
                         &routing,
                         &mut self.protocol,
                         Event::FrameArrived { frame },
+                        sink,
                     );
-                    self.execute(node, cmds, record);
+                    self.execute(node, cmds, record, sink);
                 }
                 Command::Deliver { .. } => panic!("node cores never deliver"),
             }

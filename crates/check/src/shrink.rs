@@ -11,6 +11,7 @@
 
 use std::fmt::Write as _;
 
+use seqnet_core::proto::trace::{NullSink, TraceSink};
 use seqnet_sim::ScheduleTrace;
 
 use crate::invariants::{Invariant, Violation};
@@ -49,6 +50,21 @@ pub fn replay(
     oracles: &[Box<dyn Invariant>],
     decisions: &[u32],
 ) -> ReplayResult {
+    replay_traced(scenario, oracles, decisions, &mut NullSink)
+}
+
+/// [`replay`] with a structured trace sink: every step's protocol events
+/// are reported, stamped with the step index (the model has no clock, so
+/// the decision position *is* the causal time). Because the replay itself
+/// is deterministic, two replays of the same canonical decision list
+/// produce byte-identical JSONL dumps — the flight-recorder contract the
+/// integration tests pin down.
+pub fn replay_traced<S: TraceSink + ?Sized>(
+    scenario: &Scenario,
+    oracles: &[Box<dyn Invariant>],
+    decisions: &[u32],
+    sink: &mut S,
+) -> ReplayResult {
     let mut world = World::new(scenario);
     let mut result = ReplayResult {
         executed: Vec::new(),
@@ -70,7 +86,8 @@ pub fn replay(
         }
         let index = raw % enabled.len() as u32;
         let transition = enabled[index as usize];
-        let record = world.step(transition);
+        sink.now(step as u64);
+        let record = world.step_traced(transition, sink);
         result.executed.push(index);
         let _ = writeln!(
             result.log,

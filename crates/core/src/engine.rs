@@ -1,6 +1,7 @@
 //! Discrete-event simulation of the full ordering pipeline: ingress,
 //! sequencing, and distribution (paper §3).
 
+use crate::proto::trace::{Actor, EventKind, TraceEvent, TraceSink};
 use crate::proto::{Command, Event, Frame, NodeCore, Peer, ReceiverCore, RecoveryStats, Routing};
 use crate::{CoreError, DelayModel, DelayTable, Endpoint, Message, MessageId, ProtocolState};
 use bytes::Bytes;
@@ -10,6 +11,7 @@ use seqnet_overlap::{AtomId, Colocation, GraphBuilder, Placement, SequencingGrap
 use seqnet_sim::{FaultPlan, FifoStamper, SimTime, Simulator};
 use seqnet_topology::{ClusteredAttachment, HostMap, Topology, TransitStubParams};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// One message delivered to one destination, with full timing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,6 +159,10 @@ struct World {
     overhead_bytes: u64,
     /// Installed fault schedule, if any.
     fault: Option<FaultCtx>,
+    /// Installed trace sink, if any. Shared (`Arc<Mutex<_>>`, keeping
+    /// [`OrderedPubSub`] `Send`) so the caller keeps a handle to read
+    /// events back; stamped with virtual microseconds.
+    sink: Option<Arc<Mutex<dyn TraceSink + Send>>>,
 }
 
 /// The ordered publish/subscribe service, simulated.
@@ -281,10 +287,21 @@ impl OrderedPubSub {
             traces: HashMap::new(),
             overhead_bytes: 0,
             fault: None,
+            sink: None,
         };
         OrderedPubSub {
             sim: Simulator::new(world),
         }
+    }
+
+    /// Installs a structured trace sink: from now on every protocol step
+    /// (publish, stamp, forward, arrive, buffer, deliver, crash, replay)
+    /// is reported to it, stamped with virtual microseconds. The sink is
+    /// shared — keep a clone of the `Arc` to read the events back after
+    /// the run. Install before publishing; there is no way to trace
+    /// retroactively.
+    pub fn set_trace_sink(&mut self, sink: Arc<Mutex<dyn TraceSink + Send>>) {
+        self.sim.world_mut().sink = Some(sink);
     }
 
     /// Publishes a message at the current virtual time.
@@ -626,6 +643,18 @@ fn inject(sim: &mut Simulator<World>, id: MessageId, sender: NodeId, group: Grou
     world.publish_time.insert(id, now);
     world.messages_published += 1;
     world.traces.insert(id, vec![(Endpoint::Host(sender), now)]);
+    if let Some(sink) = &world.sink {
+        let mut sink = sink.lock().expect("trace sink poisoned");
+        sink.now(now.as_micros());
+        if sink.enabled() {
+            sink.record(TraceEvent {
+                msg: Some(id.0),
+                group: Some(u64::from(group.0)),
+                detail: Some(u64::from(sender.0)),
+                ..TraceEvent::new(EventKind::Publish, Actor::Publisher)
+            });
+        }
+    }
     let msg = Message::new(id, sender, group, payload);
     let ingress = world
         .graph
@@ -671,7 +700,15 @@ fn at_atom(sim: &mut Simulator<World>, msg: Message, atom: AtomId) {
             .or_default()
             .push((Endpoint::Atom(atom), now));
     }
-    let commands = core.on_event(&routing, &mut world.protocol, Event::FrameArrived { frame });
+    let event = Event::FrameArrived { frame };
+    let commands = match &world.sink {
+        Some(sink) => {
+            let mut sink = sink.lock().expect("trace sink poisoned");
+            sink.now(now.as_micros());
+            core.on_event_traced(&routing, &mut world.protocol, event, &mut *sink)
+        }
+        None => core.on_event(&routing, &mut world.protocol, event),
+    };
 
     // Execute the emitted sends under the transport models. A node-core
     // event yields either one forward to the next atom's owner or the
@@ -754,10 +791,18 @@ fn at_atom(sim: &mut Simulator<World>, msg: Message, atom: AtomId) {
 /// Event: a crash window opens — the atom's core stops accepting and
 /// parks subsequent arrivals in its upstream buffer.
 fn crash_atom(sim: &mut Simulator<World>, atom: AtomId) {
+    let now = sim.now();
     let world = sim.world_mut();
     let routing = Routing::solo(&world.membership, &world.graph);
-    let commands =
-        world.cores[atom.0 as usize].on_event(&routing, &mut world.protocol, Event::NodeCrashed);
+    let core = &mut world.cores[atom.0 as usize];
+    let commands = match &world.sink {
+        Some(sink) => {
+            let mut sink = sink.lock().expect("trace sink poisoned");
+            sink.now(now.as_micros());
+            core.on_event_traced(&routing, &mut world.protocol, Event::NodeCrashed, &mut *sink)
+        }
+        None => core.on_event(&routing, &mut world.protocol, Event::NodeCrashed),
+    };
     debug_assert!(commands.is_empty());
 }
 
@@ -777,8 +822,15 @@ fn restart_atom(sim: &mut Simulator<World>, atom: AtomId) {
         return;
     }
     let routing = Routing::solo(&world.membership, &world.graph);
-    let commands =
-        world.cores[atom.0 as usize].on_event(&routing, &mut world.protocol, Event::NodeRestarted);
+    let core = &mut world.cores[atom.0 as usize];
+    let commands = match &world.sink {
+        Some(sink) => {
+            let mut sink = sink.lock().expect("trace sink poisoned");
+            sink.now(now.as_micros());
+            core.on_event_traced(&routing, &mut world.protocol, Event::NodeRestarted, &mut *sink)
+        }
+        None => core.on_event(&routing, &mut world.protocol, Event::NodeRestarted),
+    };
     for command in commands {
         match command {
             Command::Replay { frame } => at_atom(sim, frame.msg, atom),
@@ -803,13 +855,21 @@ fn arrive(sim: &mut Simulator<World>, msg: Message, member: NodeId) {
         .receivers
         .get_mut(&member)
         .expect("members have receiver cores");
-    let delivered: Vec<Message> = receiver
-        .on_event(Event::FrameArrived {
-            frame: Frame {
-                msg,
-                target_atom: None,
-            },
-        })
+    let event = Event::FrameArrived {
+        frame: Frame {
+            msg,
+            target_atom: None,
+        },
+    };
+    let commands = match &world.sink {
+        Some(sink) => {
+            let mut sink = sink.lock().expect("trace sink poisoned");
+            sink.now(now.as_micros());
+            receiver.on_event_traced(event, &mut *sink)
+        }
+        None => receiver.on_event(event),
+    };
+    let delivered: Vec<Message> = commands
         .into_iter()
         .map(|command| match command {
             Command::Deliver { msg, .. } => msg,

@@ -46,39 +46,33 @@ pub fn rdp_scatter<'a>(
 }
 
 /// Average end-to-end delivery latency in milliseconds (publish →
-/// application delivery, buffering included).
-///
-/// # Panics
-///
-/// Panics if there are no records.
+/// application delivery, buffering included); `None` when there are no
+/// records — a run that delivered nothing (empty workload, all-crash
+/// fault schedule) is reportable, not a panic.
 pub fn mean_delivery_latency_ms<'a>(
     records: impl IntoIterator<Item = &'a DeliveryRecord>,
-) -> f64 {
+) -> Option<f64> {
     let mut sum = 0.0;
     let mut count = 0usize;
     for r in records {
         sum += (r.delivered - r.published).as_ms();
         count += 1;
     }
-    assert!(count > 0, "no delivery records");
-    sum / count as f64
+    (count > 0).then(|| sum / count as f64)
 }
 
 /// Average buffering time (arrival → delivery) in milliseconds — the price
-/// of waiting for predecessors.
-///
-/// # Panics
-///
-/// Panics if there are no records.
-pub fn mean_buffering_ms<'a>(records: impl IntoIterator<Item = &'a DeliveryRecord>) -> f64 {
+/// of waiting for predecessors; `None` when there are no records.
+pub fn mean_buffering_ms<'a>(
+    records: impl IntoIterator<Item = &'a DeliveryRecord>,
+) -> Option<f64> {
     let mut sum = 0.0;
     let mut count = 0usize;
     for r in records {
         sum += (r.delivered - r.arrived).as_ms();
         count += 1;
     }
-    assert!(count > 0, "no delivery records");
-    sum / count as f64
+    (count > 0).then(|| sum / count as f64)
 }
 
 /// Average crash-recovery latency in milliseconds, from the accumulated
@@ -159,14 +153,14 @@ mod tests {
             record(0, 1, 0, 100, 300, 50),
             record(0, 2, 0, 200, 200, 50),
         ];
-        assert_eq!(mean_delivery_latency_ms(&records), 0.25);
-        assert_eq!(mean_buffering_ms(&records), 0.1);
+        assert_eq!(mean_delivery_latency_ms(&records), Some(0.25));
+        assert_eq!(mean_buffering_ms(&records), Some(0.1));
     }
 
     #[test]
-    #[should_panic(expected = "no delivery records")]
-    fn empty_records_panic() {
-        let _ = mean_delivery_latency_ms(&[]);
+    fn empty_records_are_reportable() {
+        assert_eq!(mean_delivery_latency_ms(&[]), None);
+        assert_eq!(mean_buffering_ms(&[]), None);
     }
 
     #[test]

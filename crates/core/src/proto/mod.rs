@@ -25,6 +25,9 @@
 //!   `seqnet-check` model checker deduplicates explored states.
 //! * [`testing`] — seeded configuration and fault-plan generators shared
 //!   by the proptest suites and the checker's random-walk mode.
+//! * [`trace`] — the structured tracing hooks: every core has an
+//!   `on_event_traced` variant taking a `TraceSink`, and `on_event`
+//!   delegates to it with the zero-cost `NullSink`.
 //!
 //! Nothing in here touches clocks, threads, channels, or randomness;
 //! drivers own all of that. The contract each driver must uphold (FIFO
@@ -42,6 +45,7 @@ mod receiver;
 mod routing;
 mod stats;
 pub mod testing;
+pub mod trace;
 
 pub use atom::{NextHop, ProtocolState};
 pub use digest::Digest;

@@ -5,6 +5,7 @@ use super::atom::{NextHop, ProtocolState};
 use super::event::{Command, Event, Frame, Peer};
 use super::routing::Routing;
 use super::stats::RecoveryStats;
+use super::trace::{Actor, EventKind, NullSink, TraceEvent, TraceSink};
 use seqnet_membership::NodeId;
 use std::collections::BTreeMap;
 
@@ -132,11 +133,29 @@ impl NodeCore {
         protocol: &mut ProtocolState,
         event: Event,
     ) -> Vec<Command> {
+        self.on_event_traced(routing, protocol, event, &mut NullSink)
+    }
+
+    /// [`NodeCore::on_event`] with protocol tracing: stamps, forwards,
+    /// crashes, and replays are reported to `sink` as they happen. This
+    /// is the single implementation — `on_event` delegates here with the
+    /// [`NullSink`], whose constant-false `enabled()` lets the compiler
+    /// drop every emission, so the untraced path costs nothing.
+    pub fn on_event_traced<S: TraceSink + ?Sized>(
+        &mut self,
+        routing: &Routing<'_>,
+        protocol: &mut ProtocolState,
+        event: Event,
+        sink: &mut S,
+    ) -> Vec<Command> {
         match event {
-            Event::FrameArrived { frame } => self.on_frame(routing, protocol, frame),
+            Event::FrameArrived { frame } => self.on_frame(routing, protocol, frame, sink),
             Event::NodeCrashed => {
                 self.down = true;
                 self.stats.crashes += 1;
+                if sink.enabled() {
+                    sink.record(TraceEvent::new(EventKind::Crash, self.actor()));
+                }
                 Vec::new()
             }
             Event::NodeRestarted => {
@@ -145,7 +164,16 @@ impl NodeCore {
                 self.stats.frames_replayed += parked.len() as u64;
                 parked
                     .into_iter()
-                    .map(|frame| Command::Replay { frame })
+                    .map(|frame| {
+                        if sink.enabled() {
+                            sink.record(TraceEvent {
+                                msg: Some(frame.msg.id.0),
+                                group: Some(u64::from(frame.msg.group.0)),
+                                ..TraceEvent::new(EventKind::Replay, self.actor())
+                            });
+                        }
+                        Command::Replay { frame }
+                    })
                     .collect()
             }
             Event::SnapshotTaken { rx_next } => {
@@ -169,11 +197,12 @@ impl NodeCore {
     /// Runs a frame through this node's consecutive atoms, then forwards:
     /// to the next atom's owner if the path leaves this node, or fanned
     /// out to every group member at egress (in membership order).
-    fn on_frame(
+    fn on_frame<S: TraceSink + ?Sized>(
         &mut self,
         routing: &Routing<'_>,
         protocol: &mut ProtocolState,
         frame: Frame,
+        sink: &mut S,
     ) -> Vec<Command> {
         if self.down {
             self.stats.messages_parked += 1;
@@ -191,12 +220,46 @@ impl NodeCore {
         let mut msg = frame.msg;
         let mut out = Vec::new();
         loop {
-            match protocol.process(routing.graph(), &mut msg, atom) {
+            // Snapshot the sequencing state so a stamp assignment by
+            // `process` is observable; skipped entirely when untraced.
+            let pre = sink.enabled().then(|| (msg.group_seq, msg.stamps.len()));
+            let hop = protocol.process(routing.graph(), &mut msg, atom);
+            if let Some((seq_before, stamps_before)) = pre {
+                // The atom stamped if it appended an overlap stamp or
+                // assigned the group-local number; transit atoms did
+                // neither and emit nothing.
+                let assigned = if msg.stamps.len() > stamps_before {
+                    Some(msg.stamps[msg.stamps.len() - 1].seq.0)
+                } else if msg.group_seq != seq_before {
+                    Some(msg.group_seq.0)
+                } else {
+                    None
+                };
+                if let Some(seq) = assigned {
+                    sink.record(TraceEvent {
+                        msg: Some(msg.id.0),
+                        group: Some(u64::from(msg.group.0)),
+                        atom: Some(u64::from(atom.0)),
+                        seq: Some(seq),
+                        ..TraceEvent::new(EventKind::AtomStamp, self.actor())
+                    });
+                }
+            }
+            match hop {
                 NextHop::Atom(next) => {
                     let owner = routing.owner_of(next);
                     if owner == self.node {
                         atom = next;
                     } else {
+                        if sink.enabled() {
+                            sink.record(TraceEvent {
+                                msg: Some(msg.id.0),
+                                group: Some(u64::from(msg.group.0)),
+                                seq: Some(u64::from(self.group_commit && !self.skip_staging)),
+                                detail: Some(owner as u64),
+                                ..TraceEvent::new(EventKind::FrameForward, self.actor())
+                            });
+                        }
                         out.push(self.output(
                             Peer::Node(owner),
                             Frame {
@@ -231,6 +294,10 @@ impl NodeCore {
         } else {
             Command::Send { to, frame }
         }
+    }
+
+    fn actor(&self) -> Actor {
+        Actor::Node(self.node as u64)
     }
 }
 

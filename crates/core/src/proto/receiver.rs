@@ -1,5 +1,6 @@
 //! The receiver-side delivery queue (Definition 1, operationalized).
 
+use super::trace::{self, Actor, BufferReason, EventKind, NullSink, TraceEvent, TraceSink};
 use crate::{Message, SeqNo};
 use seqnet_membership::{GroupId, NodeId};
 use seqnet_overlap::{AtomId, SequencingGraph};
@@ -103,6 +104,27 @@ impl DeliveryQueue {
                 None => true,
             }
         })
+    }
+
+    /// Which continuity check would buffer `msg` right now: the
+    /// group-local counter ([`BufferReason::GroupGap`]) or a relevant
+    /// atom's counter ([`BufferReason::AtomGap`]); `None` when the
+    /// message is deliverable (or a stale duplicate, which
+    /// [`DeliveryQueue::offer`] drops rather than buffers). Group
+    /// continuity is checked first, mirroring [`DeliveryQueue::is_deliverable`].
+    pub fn blocking_reason(&self, msg: &Message) -> Option<BufferReason> {
+        match self.next_group.get(&msg.group) {
+            Some(&expected) if msg.group_seq == expected => {}
+            Some(&expected) if msg.group_seq < expected => return None,
+            Some(_) => return Some(BufferReason::GroupGap),
+            // Not a subscriber: offer() will panic; no reason to give.
+            None => return None,
+        }
+        let atom_gap = msg
+            .stamps
+            .iter()
+            .any(|s| matches!(self.next_atom.get(&s.atom), Some(&e) if s.seq != e));
+        atom_gap.then_some(BufferReason::AtomGap)
     }
 
     /// Accepts an arriving message; returns every message that becomes
@@ -414,6 +436,19 @@ impl ReceiverCore {
     /// host by mistake), or on the [`DeliveryQueue::offer`] contract
     /// violations (unsequenced message, non-subscriber).
     pub fn on_event(&mut self, event: super::Event) -> Vec<super::Command> {
+        self.on_event_traced(event, &mut NullSink)
+    }
+
+    /// [`ReceiverCore::on_event`] with protocol tracing: arrivals,
+    /// buffer decisions (with the failed continuity check as the
+    /// reason), and deliveries (with the full sequence vector) are
+    /// reported to `sink`. The single implementation — `on_event`
+    /// delegates here with the zero-cost [`NullSink`].
+    pub fn on_event_traced<S: TraceSink + ?Sized>(
+        &mut self,
+        event: super::Event,
+        sink: &mut S,
+    ) -> Vec<super::Command> {
         match event {
             super::Event::FrameArrived { frame } => {
                 assert!(
@@ -421,10 +456,50 @@ impl ReceiverCore {
                     "distribution frames carry no target atom"
                 );
                 let host = self.queue.node();
-                self.queue
-                    .offer(frame.msg)
+                let actor = Actor::Host(u64::from(host.0));
+                let traced = sink.enabled();
+                let msg = frame.msg;
+                let (id, group) = (msg.id.0, u64::from(msg.group.0));
+                if traced {
+                    sink.record(TraceEvent {
+                        msg: Some(id),
+                        group: Some(group),
+                        ..TraceEvent::new(EventKind::Arrive, actor)
+                    });
+                }
+                // The reason must be read before `offer` advances the
+                // counters; it is only reported if the message actually
+                // buffered (stale duplicates are dropped, not buffered).
+                let reason = if traced { self.queue.blocking_reason(&msg) } else { None };
+                let pending_before = self.queue.pending();
+                let released = self.queue.offer(msg);
+                if traced && self.queue.pending() > pending_before {
+                    sink.record(TraceEvent {
+                        msg: Some(id),
+                        group: Some(group),
+                        detail: Some(self.queue.pending() as u64),
+                        ..TraceEvent::new(
+                            EventKind::Buffer(
+                                reason.expect("a buffered message has a blocking reason"),
+                            ),
+                            actor,
+                        )
+                    });
+                }
+                released
                     .into_iter()
-                    .map(|msg| super::Command::Deliver { host, msg })
+                    .map(|msg| {
+                        if traced {
+                            sink.record(TraceEvent {
+                                msg: Some(msg.id.0),
+                                group: Some(u64::from(msg.group.0)),
+                                seq: Some(msg.group_seq.0),
+                                stamps: trace::stamp_vector(&msg),
+                                ..TraceEvent::new(EventKind::Deliver, actor)
+                            });
+                        }
+                        super::Command::Deliver { host, msg }
+                    })
                     .collect()
             }
             _ => Vec::new(),

@@ -79,20 +79,12 @@ impl MembershipStats {
 
 /// Histogram of group sizes: `size -> how many groups have it`.
 pub fn group_size_histogram(m: &Membership) -> BTreeMap<usize, usize> {
-    let mut hist = BTreeMap::new();
-    for g in m.groups() {
-        *hist.entry(m.group_size(g)).or_insert(0) += 1;
-    }
-    hist
+    seqnet_obs::stats::freq_histogram(m.groups().map(|g| m.group_size(g)))
 }
 
 /// Histogram of per-node subscription counts: `count -> how many nodes`.
 pub fn subscription_histogram(m: &Membership) -> BTreeMap<usize, usize> {
-    let mut hist = BTreeMap::new();
-    for n in m.nodes() {
-        *hist.entry(m.groups_of(n).count()).or_insert(0) += 1;
-    }
-    hist
+    seqnet_obs::stats::freq_histogram(m.nodes().map(|n| m.groups_of(n).count()))
 }
 
 #[cfg(test)]

@@ -1,0 +1,93 @@
+//! `seqnet-obs-report` — summarize a JSONL protocol trace.
+//!
+//! Usage:
+//!
+//! ```text
+//! seqnet-obs-report <trace.jsonl> [--csv-out DIR]
+//! ```
+//!
+//! Prints the summary, per-group, per-atom, and per-destination tables
+//! to stdout; with `--csv-out` also writes `per_group.csv`,
+//! `per_atom.csv`, and `per_host.csv` under DIR. Exit codes: 0 on
+//! success, 1 on a malformed trace, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use seqnet_obs::jsonl;
+use seqnet_obs::report::Report;
+
+struct Args {
+    trace: PathBuf,
+    csv_out: Option<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut trace = None;
+    let mut csv_out = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv-out" => {
+                let dir = it.next().ok_or("--csv-out needs a directory")?;
+                csv_out = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => {
+                if trace.replace(PathBuf::from(other)).is_some() {
+                    return Err("expected exactly one trace file".into());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        trace: trace.ok_or("missing trace file")?,
+        csv_out,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: seqnet-obs-report <trace.jsonl> [--csv-out DIR]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let text = match std::fs::read_to_string(&args.trace) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: cannot read {}: {err}", args.trace.display());
+            return ExitCode::from(1);
+        }
+    };
+    let Some(events) = jsonl::parse_jsonl_lines(&text) else {
+        eprintln!("error: {} is not a valid JSONL trace", args.trace.display());
+        return ExitCode::from(1);
+    };
+
+    let report = Report::from_events(&events);
+    print!("{}", report.render());
+
+    if let Some(dir) = &args.csv_out {
+        let write = |name: &str, body: String| -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(dir.join(name), body)
+        };
+        let result = write("per_group.csv", report.group_csv())
+            .and_then(|()| write("per_atom.csv", report.atom_csv()))
+            .and_then(|()| write("per_host.csv", report.host_csv()));
+        if let Err(err) = result {
+            eprintln!("error: writing CSVs under {}: {err}", dir.display());
+            return ExitCode::from(1);
+        }
+        eprintln!("wrote per_group.csv, per_atom.csv, per_host.csv to {}", dir.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,195 @@
+//! The typed protocol-event schema shared by every driver and exporter.
+
+use std::fmt;
+
+/// Why a receiver buffered a message instead of delivering it
+/// (Definition 1's two continuity checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BufferReason {
+    /// The group-local sequence number is ahead of the group expectation.
+    GroupGap,
+    /// A relevant overlap atom's stamp is ahead of the atom expectation.
+    AtomGap,
+}
+
+impl BufferReason {
+    /// The stable wire name used in JSONL dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BufferReason::GroupGap => "group-gap",
+            BufferReason::AtomGap => "atom-gap",
+        }
+    }
+
+    /// Parses the wire name back; inverse of [`BufferReason::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "group-gap" => Some(BufferReason::GroupGap),
+            "atom-gap" => Some(BufferReason::AtomGap),
+            _ => None,
+        }
+    }
+}
+
+/// What happened. One variant per observable protocol step; the set
+/// covers the full life of a message (publish → stamp → forward →
+/// arrive → buffer/deliver) plus the fault path (crash → replay →
+/// snapshot flush) and the runtime's failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A message entered the system at a publisher front-end. Drivers
+    /// set `detail` to the publishing host's node id.
+    Publish,
+    /// A sequencing atom assigned a number (group-local or overlap).
+    AtomStamp,
+    /// A node forwarded a frame to the next node on the path
+    /// (`detail` = destination node index; `seq` = 1 if staged).
+    FrameForward,
+    /// A distribution frame reached a subscriber host.
+    Arrive,
+    /// The host buffered the message; the reason says which check failed
+    /// (`detail` = buffered depth after insertion).
+    Buffer(BufferReason),
+    /// Definition 1 said yes: the message was handed to the application
+    /// (`seq` = group-local number, `stamps` = full sequence vector).
+    Deliver,
+    /// A sequencing node crashed; arrivals park until restart.
+    Crash,
+    /// A restarted node re-processed one parked frame.
+    Replay,
+    /// A snapshot sealed the staged output: frames flushed to the wire
+    /// (`detail` = how many) and cumulative acks advanced.
+    SnapshotFlush,
+    /// The runtime's failure detector missed a heartbeat
+    /// (`detail` = suspected node index).
+    HeartbeatMiss,
+}
+
+impl EventKind {
+    /// The stable wire name used in JSONL dumps (the buffer reason is
+    /// serialized separately).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Publish => "publish",
+            EventKind::AtomStamp => "atom-stamp",
+            EventKind::FrameForward => "frame-forward",
+            EventKind::Arrive => "arrive",
+            EventKind::Buffer(_) => "buffer",
+            EventKind::Deliver => "deliver",
+            EventKind::Crash => "crash",
+            EventKind::Replay => "replay",
+            EventKind::SnapshotFlush => "snapshot-flush",
+            EventKind::HeartbeatMiss => "heartbeat-miss",
+        }
+    }
+}
+
+/// Where an event happened. Node indices are driver-assigned (one per
+/// atom in the simulator, one per co-location class in the runtime);
+/// hosts are subscriber node ids, stable across both drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Actor {
+    /// An external publisher front-end.
+    Publisher,
+    /// A sequencing node, by driver-assigned index.
+    Node(u64),
+    /// A subscriber host, by node id.
+    Host(u64),
+}
+
+impl fmt::Display for Actor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Actor::Publisher => write!(f, "publisher"),
+            Actor::Node(i) => write!(f, "node{i}"),
+            Actor::Host(n) => write!(f, "host{n}"),
+        }
+    }
+}
+
+impl Actor {
+    /// Parses the wire name back; inverse of the `Display` impl.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "publisher" {
+            return Some(Actor::Publisher);
+        }
+        if let Some(rest) = s.strip_prefix("node") {
+            return rest.parse().ok().map(Actor::Node);
+        }
+        if let Some(rest) = s.strip_prefix("host") {
+            return rest.parse().ok().map(Actor::Host);
+        }
+        None
+    }
+}
+
+/// One observed protocol step. Identifiers are raw integers (this crate
+/// sits below the typed id wrappers); `at` is a timestamp in whatever
+/// unit the driver's clock uses — virtual microseconds in the simulator,
+/// wall microseconds in the runtime, the step index in the model
+/// checker. Sinks stamp `at` at record time, so emitters (the clock-free
+/// protocol cores) leave it zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Timestamp (virtual, wall, or step counter) — stamped by the sink.
+    pub at: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Where it happened.
+    pub actor: Actor,
+    /// The message id, if the event concerns one message.
+    pub msg: Option<u64>,
+    /// The destination group of that message.
+    pub group: Option<u64>,
+    /// The sequencing atom involved (stamp events).
+    pub atom: Option<u64>,
+    /// A sequence number: the assigned number for [`EventKind::AtomStamp`],
+    /// the group-local number for [`EventKind::Deliver`].
+    pub seq: Option<u64>,
+    /// Kind-specific detail; see the [`EventKind`] variant docs.
+    pub detail: Option<u64>,
+    /// The message's sequence vector `(atom, seq)` in path order;
+    /// populated on delivery.
+    pub stamps: Vec<(u64, u64)>,
+}
+
+impl TraceEvent {
+    /// A bare event of `kind` at `actor`; every optional field unset.
+    /// Emission sites fill in what they know with the struct-update
+    /// syntax.
+    pub fn new(kind: EventKind, actor: Actor) -> Self {
+        TraceEvent {
+            at: 0,
+            kind,
+            actor,
+            msg: None,
+            group: None,
+            atom: None,
+            seq: None,
+            detail: None,
+            stamps: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn actor_roundtrips_through_display() {
+        for actor in [Actor::Publisher, Actor::Node(3), Actor::Host(17)] {
+            assert_eq!(Actor::parse(&actor.to_string()), Some(actor));
+        }
+        assert_eq!(Actor::parse("gateway9"), None);
+        assert_eq!(Actor::parse("nodeX"), None);
+    }
+
+    #[test]
+    fn buffer_reason_roundtrips() {
+        for r in [BufferReason::GroupGap, BufferReason::AtomGap] {
+            assert_eq!(BufferReason::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(BufferReason::parse("gap"), None);
+    }
+}

@@ -1,0 +1,279 @@
+//! A fixed-bucket log-linear histogram: no dependencies, mergeable,
+//! bounded relative error.
+
+/// Linear sub-buckets per power of two (2^4 = 16), bounding the relative
+/// quantile error at 1/16 ≈ 6%.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// 16 exact buckets for values 0..16, then 16 per octave up to 2^63.
+const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A log-linear histogram over `u64` values (HdrHistogram-style, scaled
+/// down): values below 16 count exactly, larger values land in one of 16
+/// linear sub-buckets per power of two, so any quantile is off by at most
+/// ~6% of its value. The bucket layout is fixed, which makes histograms
+/// mergeable and their memory bounded (~8 KiB) regardless of range.
+///
+/// Record durations as integer microseconds and dimensionless ratios
+/// (stretch, stress) scaled by 1000.
+///
+/// # Example
+///
+/// ```
+/// use seqnet_obs::Histogram;
+/// let mut h = Histogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 100);
+/// assert_eq!(h.max(), Some(100));
+/// let p50 = h.quantile(0.50).unwrap();
+/// assert!((48..=56).contains(&p50));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (exp - SUB_BITS)) as usize) & (SUB - 1);
+    SUB + (exp - SUB_BITS) as usize * SUB + sub
+}
+
+/// The largest value that lands in bucket `b` (inclusive).
+fn bucket_upper(b: usize) -> u64 {
+    if b < SUB {
+        return b as u64;
+    }
+    let exp = (b - SUB) as u32 / SUB as u32 + SUB_BITS; // octave
+    let sub = ((b - SUB) % SUB) as u64;
+    let width = 1u64 << (exp - SUB_BITS);
+    // Summed in this order so the top bucket reaches u64::MAX without
+    // overflowing: (2^exp - 1) + 16 * 2^(exp-4) = 2^(exp+1) - 1.
+    ((1u64 << exp) - 1) + (sub + 1) * width
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram in; the bucket layout is fixed, so merging
+    /// is exact (per-bucket addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (e.g. `0.99` for p99),
+    /// reported as the upper bound of the containing bucket and clamped
+    /// to the recorded max. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(bucket_upper(b).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// The non-empty buckets as `(upper_bound, count)` pairs, in value
+    /// order — the shape Prometheus exposition and plotting want.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (bucket_upper(b), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            let q = (v as f64 + 1.0) / 16.0;
+            assert_eq!(h.quantile(q), Some(v), "q={q}");
+        }
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(15));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut values: Vec<u64> = (0..64u32)
+            .flat_map(|exp| {
+                [0u64, 1, 3].map(|off| (1u64 << exp).saturating_add(off << exp.saturating_sub(5)))
+            })
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let b = bucket_index(v);
+            assert!(b < NUM_BUCKETS, "v={v} b={b}");
+            assert!(b >= last, "v={v}: bucket index regressed");
+            last = b;
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn upper_bound_contains_its_bucket() {
+        for v in [0u64, 5, 15, 16, 17, 100, 1000, 123_456, u64::MAX / 3] {
+            let b = bucket_index(v);
+            assert!(bucket_upper(b) >= v, "v={v}");
+            if b + 1 < NUM_BUCKETS {
+                assert!(bucket_upper(b) < bucket_upper(b + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let got = h.quantile(q).unwrap() as f64;
+            let err = (got - exact as f64).abs() / exact as f64;
+            assert!(err < 0.07, "q={q}: got {got}, exact {exact}, err {err}");
+        }
+        assert_eq!(h.quantile(1.0), Some(10_000));
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..500u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+}

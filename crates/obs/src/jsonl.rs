@@ -1,0 +1,248 @@
+//! JSONL serialization of [`TraceEvent`]s — one event per line, a fixed
+//! key order, and a hand-rolled parser for the same subset, so dumps are
+//! byte-stable and round-trippable without a serde dependency.
+//!
+//! Key order: `at`, `kind`, `reason` (buffer events only), `actor`,
+//! `msg`, `group`, `atom`, `seq`, `detail`, `stamps`. Unset optional
+//! fields and empty stamp vectors are omitted entirely, which keeps the
+//! encoding canonical: equal events serialize to equal bytes.
+
+use std::fmt::Write as _;
+
+use crate::event::{Actor, BufferReason, EventKind, TraceEvent};
+
+/// Serializes one event as a single JSON object (no trailing newline).
+pub fn to_jsonl(event: &TraceEvent) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"at\":{},\"kind\":\"{}\"", event.at, event.kind.as_str());
+    if let EventKind::Buffer(reason) = event.kind {
+        let _ = write!(s, ",\"reason\":\"{}\"", reason.as_str());
+    }
+    let _ = write!(s, ",\"actor\":\"{}\"", event.actor);
+    for (key, value) in [
+        ("msg", event.msg),
+        ("group", event.group),
+        ("atom", event.atom),
+        ("seq", event.seq),
+        ("detail", event.detail),
+    ] {
+        if let Some(v) = value {
+            let _ = write!(s, ",\"{key}\":{v}");
+        }
+    }
+    if !event.stamps.is_empty() {
+        s.push_str(",\"stamps\":[");
+        for (i, (atom, seq)) in event.stamps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{atom},{seq}]");
+        }
+        s.push(']');
+    }
+    s.push('}');
+    s
+}
+
+/// Serializes a whole trace as JSONL (one event per line, trailing
+/// newline after each).
+pub fn to_jsonl_lines(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&to_jsonl(event));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses one line produced by [`to_jsonl`]. Accepts any key order;
+/// returns `None` on malformed input or unknown kinds.
+pub fn parse_jsonl(line: &str) -> Option<TraceEvent> {
+    let mut p = Parser { rest: line.trim() };
+    p.expect('{')?;
+    let mut at = 0u64;
+    let mut kind_name: Option<String> = None;
+    let mut reason: Option<BufferReason> = None;
+    let mut actor: Option<Actor> = None;
+    let (mut msg, mut group, mut atom, mut seq, mut detail) = (None, None, None, None, None);
+    let mut stamps = Vec::new();
+    loop {
+        let key = p.string()?;
+        p.expect(':')?;
+        match key.as_str() {
+            "at" => at = p.number()?,
+            "kind" => kind_name = Some(p.string()?),
+            "reason" => reason = BufferReason::parse(&p.string()?),
+            "actor" => actor = Actor::parse(&p.string()?),
+            "msg" => msg = Some(p.number()?),
+            "group" => group = Some(p.number()?),
+            "atom" => atom = Some(p.number()?),
+            "seq" => seq = Some(p.number()?),
+            "detail" => detail = Some(p.number()?),
+            "stamps" => stamps = p.pairs()?,
+            _ => return None,
+        }
+        match p.next_char()? {
+            ',' => continue,
+            '}' => break,
+            _ => return None,
+        }
+    }
+    if !p.rest.is_empty() {
+        return None;
+    }
+    let kind = match kind_name?.as_str() {
+        "publish" => EventKind::Publish,
+        "atom-stamp" => EventKind::AtomStamp,
+        "frame-forward" => EventKind::FrameForward,
+        "arrive" => EventKind::Arrive,
+        "buffer" => EventKind::Buffer(reason?),
+        "deliver" => EventKind::Deliver,
+        "crash" => EventKind::Crash,
+        "replay" => EventKind::Replay,
+        "snapshot-flush" => EventKind::SnapshotFlush,
+        "heartbeat-miss" => EventKind::HeartbeatMiss,
+        _ => return None,
+    };
+    Some(TraceEvent { at, kind, actor: actor?, msg, group, atom, seq, detail, stamps })
+}
+
+/// Parses a whole JSONL dump; `None` if any non-blank line is malformed.
+pub fn parse_jsonl_lines(text: &str) -> Option<Vec<TraceEvent>> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_jsonl)
+        .collect()
+}
+
+/// A minimal scanner for the subset of JSON that [`to_jsonl`] emits:
+/// flat objects of numbers, plain strings, and arrays of number pairs.
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl Parser<'_> {
+    fn next_char(&mut self) -> Option<char> {
+        let c = self.rest.chars().next()?;
+        self.rest = &self.rest[c.len_utf8()..];
+        Some(c)
+    }
+
+    fn expect(&mut self, want: char) -> Option<()> {
+        (self.next_char()? == want).then_some(())
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let end = self.rest.find('"')?;
+        let s = self.rest[..end].to_string();
+        self.rest = &self.rest[end + 1..];
+        // The schema never emits escapes; reject rather than mis-parse.
+        (!s.contains('\\')).then_some(s)
+    }
+
+    fn number(&mut self) -> Option<u64> {
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.rest.len());
+        let n = self.rest[..end].parse().ok()?;
+        self.rest = &self.rest[end..];
+        Some(n)
+    }
+
+    fn pairs(&mut self) -> Option<Vec<(u64, u64)>> {
+        self.expect('[')?;
+        let mut out = Vec::new();
+        if self.rest.starts_with(']') {
+            self.next_char();
+            return Some(out);
+        }
+        loop {
+            self.expect('[')?;
+            let a = self.number()?;
+            self.expect(',')?;
+            let b = self.number()?;
+            self.expect(']')?;
+            out.push((a, b));
+            match self.next_char()? {
+                ',' => continue,
+                ']' => return Some(out),
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent { at: 5, msg: Some(1), group: Some(2), ..TraceEvent::new(EventKind::Publish, Actor::Publisher) },
+            TraceEvent {
+                at: 9,
+                msg: Some(1),
+                group: Some(2),
+                atom: Some(4),
+                seq: Some(1),
+                ..TraceEvent::new(EventKind::AtomStamp, Actor::Node(0))
+            },
+            TraceEvent {
+                at: 12,
+                msg: Some(1),
+                group: Some(2),
+                detail: Some(3),
+                ..TraceEvent::new(EventKind::Buffer(BufferReason::AtomGap), Actor::Host(7))
+            },
+            TraceEvent {
+                at: 20,
+                msg: Some(1),
+                group: Some(2),
+                seq: Some(1),
+                stamps: vec![(4, 1), (9, 3)],
+                ..TraceEvent::new(EventKind::Deliver, Actor::Host(7))
+            },
+            TraceEvent::new(EventKind::Crash, Actor::Node(2)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        for event in sample() {
+            let line = to_jsonl(&event);
+            assert_eq!(parse_jsonl(&line), Some(event), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        let e = &sample()[3];
+        assert_eq!(
+            to_jsonl(e),
+            "{\"at\":20,\"kind\":\"deliver\",\"actor\":\"host7\",\"msg\":1,\"group\":2,\"seq\":1,\"stamps\":[[4,1],[9,3]]}"
+        );
+    }
+
+    #[test]
+    fn lines_roundtrip() {
+        let events = sample();
+        let text = to_jsonl_lines(&events);
+        assert_eq!(parse_jsonl_lines(&text), Some(events));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "{}",
+            "{\"at\":1}",
+            "{\"at\":1,\"kind\":\"warp\",\"actor\":\"node0\"}",
+            "{\"at\":1,\"kind\":\"buffer\",\"actor\":\"node0\"}",
+            "{\"at\":1,\"kind\":\"publish\",\"actor\":\"node0\"} trailing",
+        ] {
+            assert_eq!(parse_jsonl(bad), None, "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Observability primitives for the seqnet workspace.
+//!
+//! The paper's evaluation (§4.2) is entirely about distributions —
+//! latency stretch, buffering delay, per-atom occupancy — so this crate
+//! provides the machinery to measure them uniformly across the
+//! deterministic simulator, the threaded runtime, and the model checker:
+//!
+//! * [`TraceEvent`] / [`TraceSink`] — one typed protocol-event schema
+//!   (publish, stamp, forward, arrive, buffer, deliver, crash, replay,
+//!   snapshot flush) emitted by the protocol cores and their drivers.
+//!   [`NullSink`] makes the hooks zero-cost when tracing is off.
+//! * [`Recorder`] / [`FlightRecorder`] — an unbounded event log and a
+//!   bounded ring buffer any invariant failure can dump as a JSONL
+//!   causal trace of the last N events.
+//! * [`Histogram`] — a fixed-bucket log-linear histogram (no
+//!   dependencies, mergeable, p50/p90/p99/max) replacing mean-only
+//!   metrics, plus [`Registry`] for per-group/per-atom families.
+//! * [`stats`] — the shared scalar primitives (`mean`, `percentile`,
+//!   `cdf`, `freq_histogram`) the per-crate stats modules delegate to.
+//! * [`jsonl`] / [`prom`] / [`report`] — exporters: a JSONL event
+//!   stream, Prometheus-style text exposition, and the per-destination /
+//!   per-atom tables behind the `seqnet-obs-report` binary.
+//!
+//! This crate has **no dependencies** (not even on other seqnet crates):
+//! it sits at the bottom of the workspace so every layer — including
+//! `seqnet-membership` and `seqnet-overlap` — can share one counter and
+//! histogram implementation. Protocol identifiers therefore appear here
+//! as raw integers; the typed wrappers live in `seqnet-core`, which
+//! converts at the emission sites.
+
+mod event;
+mod hist;
+mod registry;
+mod sink;
+
+pub mod jsonl;
+pub mod prom;
+pub mod report;
+pub mod stats;
+
+pub use event::{Actor, BufferReason, EventKind, TraceEvent};
+pub use hist::Histogram;
+pub use registry::Registry;
+pub use sink::{FlightRecorder, NullSink, Recorder, TraceSink};

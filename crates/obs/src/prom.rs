@@ -1,0 +1,118 @@
+//! Prometheus-style text exposition of a [`Registry`].
+//!
+//! The output follows the text exposition format (`# TYPE` headers,
+//! cumulative `_bucket{le=...}` series, `_sum`/`_count`), with one
+//! simplification: labeled series carry a single integer label whose
+//! key the caller chooses per family (`group`, `atom`, `node`).
+//! Output is deterministic — families and labels in sorted order —
+//! so scrapes of identical state are byte-identical.
+
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+use crate::registry::Registry;
+
+/// Renders the whole registry. `namespace` prefixes every metric name
+/// (`seqnet` → `seqnet_latency_us_bucket{...}`); `label_key` maps a
+/// family name to the label key its integer label should use, e.g.
+/// `|name| if name.starts_with("atom_") { "atom" } else { "group" }`.
+pub fn exposition(
+    registry: &Registry,
+    namespace: &str,
+    label_key: impl Fn(&'static str) -> &'static str,
+) -> String {
+    let mut out = String::new();
+    let mut last_family = "";
+    for ((name, label), value) in registry.counters() {
+        if name != last_family {
+            let _ = writeln!(out, "# TYPE {namespace}_{name} counter");
+            last_family = name;
+        }
+        let labels = render_label(label_key(name), label);
+        let _ = writeln!(out, "{namespace}_{name}{labels} {value}");
+    }
+    last_family = "";
+    for ((name, label), hist) in registry.histograms() {
+        if name != last_family {
+            let _ = writeln!(out, "# TYPE {namespace}_{name} histogram");
+            last_family = name;
+        }
+        render_histogram(&mut out, namespace, name, label_key(name), label, hist);
+    }
+    out
+}
+
+fn render_label(key: &str, label: Option<u64>) -> String {
+    match label {
+        Some(v) => format!("{{{key}=\"{v}\"}}"),
+        None => String::new(),
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    namespace: &str,
+    name: &str,
+    key: &str,
+    label: Option<u64>,
+    hist: &Histogram,
+) {
+    let pair = |le: &str| match label {
+        Some(v) => format!("{{{key}=\"{v}\",le=\"{le}\"}}"),
+        None => format!("{{le=\"{le}\"}}"),
+    };
+    let mut cumulative = 0u64;
+    for (upper, count) in hist.nonzero_buckets() {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{namespace}_{name}_bucket{} {cumulative}",
+            pair(&upper.to_string())
+        );
+    }
+    let _ = writeln!(out, "{namespace}_{name}_bucket{} {cumulative}", pair("+Inf"));
+    let labels = render_label(key, label);
+    let _ = writeln!(out, "{namespace}_{name}_sum{labels} {}", hist.sum());
+    let _ = writeln!(out, "{namespace}_{name}_count{labels} {}", hist.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_is_deterministic_and_cumulative() {
+        let mut r = Registry::new();
+        r.inc("frames_total", Some(2), 4);
+        r.inc("frames_total", Some(1), 3);
+        r.observe("latency_us", Some(1), 5);
+        r.observe("latency_us", Some(1), 5);
+        r.observe("latency_us", Some(1), 200);
+        let text = exposition(&r, "seqnet", |_| "group");
+
+        assert!(text.contains("# TYPE seqnet_frames_total counter\n"));
+        // Sorted by label despite reversed insertion order.
+        let one = text.find("frames_total{group=\"1\"} 3").unwrap();
+        let two = text.find("frames_total{group=\"2\"} 4").unwrap();
+        assert!(one < two);
+
+        assert!(text.contains("# TYPE seqnet_latency_us histogram\n"));
+        assert!(text.contains("seqnet_latency_us_bucket{group=\"1\",le=\"5\"} 2\n"));
+        assert!(text.contains("seqnet_latency_us_bucket{group=\"1\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("seqnet_latency_us_sum{group=\"1\"} 210\n"));
+        assert!(text.contains("seqnet_latency_us_count{group=\"1\"} 3\n"));
+
+        assert_eq!(text, exposition(&r, "seqnet", |_| "group"));
+    }
+
+    #[test]
+    fn unlabeled_series_omit_braces_on_scalars() {
+        let mut r = Registry::new();
+        r.inc("published_total", None, 7);
+        r.observe("depth", None, 1);
+        let text = exposition(&r, "x", |_| "group");
+        assert!(text.contains("x_published_total 7\n"));
+        assert!(text.contains("x_depth_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("x_depth_sum 1\n"));
+    }
+}

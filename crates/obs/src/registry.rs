@@ -1,0 +1,137 @@
+//! A registry of counter and histogram families, keyed by a static
+//! metric name plus an optional integer label (group id, atom id, node
+//! index). This is the per-group / per-atom layer the paper's figures
+//! aggregate over, and the input to the Prometheus exposition in
+//! [`crate::prom`].
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+
+/// A metric key: family name plus optional integer label. `None` is the
+/// unlabeled total series.
+pub type Key = (&'static str, Option<u64>);
+
+/// Counter and histogram families. Deterministically ordered (BTreeMap)
+/// so expositions and reports are byte-stable across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<Key, u64>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `n` to the counter `name{label}` (creating it at zero).
+    pub fn inc(&mut self, name: &'static str, label: Option<u64>, n: u64) {
+        *self.counters.entry((name, label)).or_insert(0) += n;
+    }
+
+    /// The current value of a counter, zero if never incremented.
+    pub fn counter(&self, name: &'static str, label: Option<u64>) -> u64 {
+        self.counters.get(&(name, label)).copied().unwrap_or(0)
+    }
+
+    /// The histogram `name{label}`, created empty on first use.
+    pub fn histogram(&mut self, name: &'static str, label: Option<u64>) -> &mut Histogram {
+        self.histograms.entry((name, label)).or_default()
+    }
+
+    /// Records one observation into `name{label}`.
+    pub fn observe(&mut self, name: &'static str, label: Option<u64>, value: u64) {
+        self.histogram(name, label).record(value);
+    }
+
+    /// The histogram `name{label}`, if any observation created it.
+    pub fn get_histogram(&self, name: &'static str, label: Option<u64>) -> Option<&Histogram> {
+        self.histograms.get(&(name, label))
+    }
+
+    /// All counters, in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (Key, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All histograms, in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (Key, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, h)| (k, h))
+    }
+
+    /// The labels present in a histogram family, in order.
+    pub fn labels_of(&self, name: &'static str) -> Vec<Option<u64>> {
+        self.histograms
+            .keys()
+            .filter(|(n, _)| *n == name)
+            .map(|&(_, label)| label)
+            .collect()
+    }
+
+    /// Merges each histogram of the named family into one (the
+    /// cross-label aggregate the summary tables print).
+    pub fn merged(&self, name: &'static str) -> Histogram {
+        let mut total = Histogram::new();
+        for ((n, _), h) in &self.histograms {
+            if *n == name {
+                total.merge(h);
+            }
+        }
+        total
+    }
+
+    /// Folds another registry in (exact: fixed bucket layouts).
+    pub fn merge(&mut self, other: &Registry) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+
+    /// `true` when no counter or histogram has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let mut r = Registry::new();
+        r.inc("frames_total", Some(1), 2);
+        r.inc("frames_total", Some(1), 3);
+        r.inc("frames_total", None, 5);
+        assert_eq!(r.counter("frames_total", Some(1)), 5);
+        assert_eq!(r.counter("frames_total", None), 5);
+        assert_eq!(r.counter("missing", None), 0);
+
+        r.observe("latency_us", Some(1), 100);
+        r.observe("latency_us", Some(2), 300);
+        assert_eq!(r.get_histogram("latency_us", Some(1)).unwrap().count(), 1);
+        assert_eq!(r.merged("latency_us").count(), 2);
+        assert_eq!(r.merged("latency_us").max(), Some(300));
+        assert_eq!(r.labels_of("latency_us"), vec![Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn merge_combines_both_families() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.inc("n", None, 1);
+        b.inc("n", None, 2);
+        a.observe("h", Some(0), 10);
+        b.observe("h", Some(0), 20);
+        a.merge(&b);
+        assert_eq!(a.counter("n", None), 3);
+        let h = a.get_histogram("h", Some(0)).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 30);
+    }
+}

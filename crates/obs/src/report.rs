@@ -1,0 +1,327 @@
+//! Offline analysis of a JSONL event trace: the per-destination,
+//! per-group, and per-atom tables behind the `seqnet-obs-report` binary.
+//!
+//! Latency is `deliver.at - publish.at` of the same message; buffering
+//! time is `deliver.at - arrive.at` at the same host. Both are in
+//! whatever unit the producing driver's clock used (virtual or wall
+//! microseconds, or model-checker steps).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{BufferReason, EventKind, TraceEvent};
+use crate::hist::Histogram;
+
+/// Aggregates for one destination group.
+#[derive(Debug, Clone, Default)]
+pub struct GroupRow {
+    /// Messages published to the group.
+    pub published: u64,
+    /// Deliveries across all subscriber hosts.
+    pub delivered: u64,
+    /// Buffer events (either reason).
+    pub buffered: u64,
+    /// Publish-to-deliver latency per delivery.
+    pub latency: Histogram,
+}
+
+/// Aggregates for one sequencing atom.
+#[derive(Debug, Clone, Default)]
+pub struct AtomRow {
+    /// Stamps assigned (group-local or overlap).
+    pub stamps: u64,
+    /// Highest sequence number assigned.
+    pub max_seq: u64,
+}
+
+/// Aggregates for one subscriber host (a "destination" in the paper's
+/// per-destination figures).
+#[derive(Debug, Clone, Default)]
+pub struct HostRow {
+    /// Frames that arrived.
+    pub arrived: u64,
+    /// Arrivals that had to buffer, by reason (group gap, atom gap).
+    pub buffered: (u64, u64),
+    /// Messages delivered to the application.
+    pub delivered: u64,
+    /// Publish-to-deliver latency per delivery.
+    pub latency: Histogram,
+    /// Arrive-to-deliver holding time per delivery.
+    pub buffering: Histogram,
+}
+
+/// Everything the report renders, computed in one pass over the trace.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Total events in the trace.
+    pub events: u64,
+    /// Events per kind wire name.
+    pub kind_counts: BTreeMap<&'static str, u64>,
+    /// Per-group aggregates, keyed by group id.
+    pub per_group: BTreeMap<u64, GroupRow>,
+    /// Per-atom aggregates, keyed by atom id.
+    pub per_atom: BTreeMap<u64, AtomRow>,
+    /// Per-host aggregates, keyed by host node id.
+    pub per_host: BTreeMap<u64, HostRow>,
+}
+
+impl Report {
+    /// Builds the report from events in emission order.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut report = Report::default();
+        let mut published_at: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut arrived_at: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        for event in events {
+            report.events += 1;
+            *report.kind_counts.entry(event.kind.as_str()).or_insert(0) += 1;
+            match event.kind {
+                EventKind::Publish => {
+                    if let (Some(msg), Some(group)) = (event.msg, event.group) {
+                        published_at.entry(msg).or_insert(event.at);
+                        report.per_group.entry(group).or_default().published += 1;
+                    }
+                }
+                EventKind::AtomStamp => {
+                    if let Some(atom) = event.atom {
+                        let row = report.per_atom.entry(atom).or_default();
+                        row.stamps += 1;
+                        row.max_seq = row.max_seq.max(event.seq.unwrap_or(0));
+                    }
+                }
+                EventKind::Arrive => {
+                    if let (Some(host), Some(msg)) = (event.actor_host(), event.msg) {
+                        arrived_at.entry((host, msg)).or_insert(event.at);
+                        report.per_host.entry(host).or_default().arrived += 1;
+                    }
+                }
+                EventKind::Buffer(reason) => {
+                    if let Some(host) = event.actor_host() {
+                        let row = report.per_host.entry(host).or_default();
+                        match reason {
+                            BufferReason::GroupGap => row.buffered.0 += 1,
+                            BufferReason::AtomGap => row.buffered.1 += 1,
+                        }
+                    }
+                    if let Some(group) = event.group {
+                        report.per_group.entry(group).or_default().buffered += 1;
+                    }
+                }
+                EventKind::Deliver => {
+                    let (Some(host), Some(msg)) = (event.actor_host(), event.msg) else {
+                        continue;
+                    };
+                    let row = report.per_host.entry(host).or_default();
+                    row.delivered += 1;
+                    if let Some(&at) = published_at.get(&msg) {
+                        row.latency.record(event.at.saturating_sub(at));
+                    }
+                    if let Some(&at) = arrived_at.get(&(host, msg)) {
+                        row.buffering.record(event.at.saturating_sub(at));
+                    }
+                    if let Some(group) = event.group {
+                        let g = report.per_group.entry(group).or_default();
+                        g.delivered += 1;
+                        if let Some(&at) = published_at.get(&msg) {
+                            g.latency.record(event.at.saturating_sub(at));
+                        }
+                    }
+                }
+                EventKind::FrameForward
+                | EventKind::Crash
+                | EventKind::Replay
+                | EventKind::SnapshotFlush
+                | EventKind::HeartbeatMiss => {}
+            }
+        }
+        report
+    }
+
+    /// The human-readable tables (summary, per-group, per-atom,
+    /// per-destination), deterministic for a given trace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== summary ==");
+        let _ = writeln!(out, "events  {}", self.events);
+        for (kind, count) in &self.kind_counts {
+            let _ = writeln!(out, "{kind:<15} {count}");
+        }
+
+        let _ = writeln!(out, "\n== per-group ==");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "group", "published", "delivered", "buffered", "lat_p50", "lat_p90", "lat_p99", "lat_max"
+        );
+        for (group, row) in &self.per_group {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                group,
+                row.published,
+                row.delivered,
+                row.buffered,
+                opt(row.latency.p50()),
+                opt(row.latency.p90()),
+                opt(row.latency.p99()),
+                opt(row.latency.max()),
+            );
+        }
+
+        let _ = writeln!(out, "\n== per-atom ==");
+        let _ = writeln!(out, "{:>6} {:>8} {:>8}", "atom", "stamps", "max_seq");
+        for (atom, row) in &self.per_atom {
+            let _ = writeln!(out, "{:>6} {:>8} {:>8}", atom, row.stamps, row.max_seq);
+        }
+
+        let _ = writeln!(out, "\n== per-destination ==");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>8} {:>9} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8}",
+            "host", "arrived", "delivered", "grp_gap", "atom_gap", "lat_p50", "lat_p99", "buf_p50", "buf_p99"
+        );
+        for (host, row) in &self.per_host {
+            let _ = writeln!(
+                out,
+                "{:>6} {:>8} {:>9} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8}",
+                host,
+                row.arrived,
+                row.delivered,
+                row.buffered.0,
+                row.buffered.1,
+                opt(row.latency.p50()),
+                opt(row.latency.p99()),
+                opt(row.buffering.p50()),
+                opt(row.buffering.p99()),
+            );
+        }
+        out
+    }
+
+    /// Per-group rows as CSV.
+    pub fn group_csv(&self) -> String {
+        let mut out = String::from("group,published,delivered,buffered,lat_p50,lat_p90,lat_p99,lat_max\n");
+        for (group, row) in &self.per_group {
+            let _ = writeln!(
+                out,
+                "{group},{},{},{},{},{},{},{}",
+                row.published,
+                row.delivered,
+                row.buffered,
+                opt(row.latency.p50()),
+                opt(row.latency.p90()),
+                opt(row.latency.p99()),
+                opt(row.latency.max()),
+            );
+        }
+        out
+    }
+
+    /// Per-atom rows as CSV.
+    pub fn atom_csv(&self) -> String {
+        let mut out = String::from("atom,stamps,max_seq\n");
+        for (atom, row) in &self.per_atom {
+            let _ = writeln!(out, "{atom},{},{}", row.stamps, row.max_seq);
+        }
+        out
+    }
+
+    /// Per-destination rows as CSV.
+    pub fn host_csv(&self) -> String {
+        let mut out = String::from(
+            "host,arrived,delivered,buffered_group_gap,buffered_atom_gap,lat_p50,lat_p99,buf_p50,buf_p99\n",
+        );
+        for (host, row) in &self.per_host {
+            let _ = writeln!(
+                out,
+                "{host},{},{},{},{},{},{},{},{}",
+                row.arrived,
+                row.delivered,
+                row.buffered.0,
+                row.buffered.1,
+                opt(row.latency.p50()),
+                opt(row.latency.p99()),
+                opt(row.buffering.p50()),
+                opt(row.buffering.p99()),
+            );
+        }
+        out
+    }
+}
+
+impl TraceEvent {
+    fn actor_host(&self) -> Option<u64> {
+        match self.actor {
+            crate::event::Actor::Host(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+fn opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Actor;
+
+    fn trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent { at: 0, msg: Some(1), group: Some(9), ..TraceEvent::new(EventKind::Publish, Actor::Publisher) },
+            TraceEvent {
+                at: 2,
+                msg: Some(1),
+                group: Some(9),
+                atom: Some(4),
+                seq: Some(1),
+                ..TraceEvent::new(EventKind::AtomStamp, Actor::Node(0))
+            },
+            TraceEvent { at: 5, msg: Some(1), group: Some(9), ..TraceEvent::new(EventKind::Arrive, Actor::Host(7)) },
+            TraceEvent {
+                at: 5,
+                msg: Some(1),
+                group: Some(9),
+                ..TraceEvent::new(EventKind::Buffer(BufferReason::GroupGap), Actor::Host(7))
+            },
+            TraceEvent {
+                at: 11,
+                msg: Some(1),
+                group: Some(9),
+                seq: Some(1),
+                ..TraceEvent::new(EventKind::Deliver, Actor::Host(7))
+            },
+        ]
+    }
+
+    #[test]
+    fn one_message_lifecycle_lands_in_every_table() {
+        let r = Report::from_events(&trace());
+        assert_eq!(r.events, 5);
+        assert_eq!(r.kind_counts["publish"], 1);
+        assert_eq!(r.kind_counts["buffer"], 1);
+
+        let g = &r.per_group[&9];
+        assert_eq!((g.published, g.delivered, g.buffered), (1, 1, 1));
+        assert_eq!(g.latency.max(), Some(11));
+
+        assert_eq!(r.per_atom[&4].stamps, 1);
+        assert_eq!(r.per_atom[&4].max_seq, 1);
+
+        let h = &r.per_host[&7];
+        assert_eq!((h.arrived, h.delivered), (1, 1));
+        assert_eq!(h.buffered, (1, 0));
+        assert_eq!(h.buffering.max(), Some(6));
+    }
+
+    #[test]
+    fn render_and_csv_are_deterministic() {
+        let r = Report::from_events(&trace());
+        assert_eq!(r.render(), r.render());
+        assert!(r.render().contains("== per-destination =="));
+        assert!(r.group_csv().starts_with("group,published"));
+        assert_eq!(r.group_csv().lines().count(), 2);
+        assert_eq!(r.atom_csv().lines().count(), 2);
+        assert!(r.host_csv().contains("7,1,1,1,0,"));
+    }
+}

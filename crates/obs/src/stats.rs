@@ -1,0 +1,128 @@
+//! Shared scalar statistics primitives.
+//!
+//! One implementation of mean / percentile / CDF / frequency-histogram,
+//! deduplicating the near-identical helpers that used to live in
+//! `seqnet-membership::stats`, `seqnet-overlap::stats`, and the metrics
+//! paths of `seqnet-core` (which now delegate here). The panicking
+//! variants keep the historical contracts of those modules; the `try_`
+//! variants are for callers that must survive empty inputs.
+
+use std::collections::BTreeMap;
+
+/// Arithmetic mean; `None` when `data` is empty.
+pub fn try_mean(data: &[f64]) -> Option<f64> {
+    (!data.is_empty()).then(|| data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn mean(data: &[f64]) -> f64 {
+    try_mean(data).expect("mean of empty data")
+}
+
+/// The `p`-th percentile (0–100) of unsorted data, by nearest-rank;
+/// `None` when `data` is empty.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or the data contains NaN.
+pub fn try_percentile(data: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("data must not contain NaN"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    Some(sorted[rank])
+}
+
+/// The `p`-th percentile (0–100) of unsorted data, by nearest-rank.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!(!data.is_empty(), "percentile of empty data");
+    try_percentile(data, p).expect("checked nonempty")
+}
+
+/// Cumulative distribution points `(value, fraction ≤ value)` of the
+/// data, sorted ascending — the form the paper's CDF figures use.
+pub fn cdf(data: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("data must not contain NaN"));
+    let n = sorted.len() as f64;
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Frequency histogram of integer observations: `value -> occurrences`.
+/// Backs the group-size and subscription histograms of
+/// `seqnet-membership::stats`.
+pub fn freq_histogram(values: impl IntoIterator<Item = usize>) -> BTreeMap<usize, usize> {
+    let mut hist = BTreeMap::new();
+    for v in values {
+        *hist.entry(v).or_insert(0) += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_and_mean_nearest_rank() {
+        let data = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&data, 50.0), 3.0);
+        assert_eq!(percentile(&data, 100.0), 5.0);
+        assert_eq!(mean(&data), 3.0);
+        assert_eq!(try_mean(&[]), None);
+        assert_eq!(try_percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean of empty data")]
+    fn mean_empty_panics() {
+        let _ = mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty data")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_out_of_range_panics() {
+        let _ = try_percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let data = vec![3.0, 1.0, 2.0];
+        let c = cdf(&data);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], (1.0, 1.0 / 3.0));
+        assert_eq!(c[2], (3.0, 1.0));
+        assert!(c.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert!(cdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn freq_histogram_counts_everything() {
+        let h = freq_histogram([3, 1, 3, 3, 2]);
+        assert_eq!(h[&3], 3);
+        assert_eq!(h[&1], 1);
+        assert_eq!(h.values().sum::<usize>(), 5);
+    }
+}

@@ -71,42 +71,11 @@ pub fn path_len_per_group(graph: &SequencingGraph) -> Vec<(GroupId, usize)> {
     graph.paths().map(|(g, p)| (g, p.len())).collect()
 }
 
-/// The `p`-th percentile (0–100) of unsorted data, by nearest-rank.
-///
-/// # Panics
-///
-/// Panics if `data` is empty or `p` is outside `[0, 100]`.
-pub fn percentile(data: &[f64], p: f64) -> f64 {
-    assert!(!data.is_empty(), "percentile of empty data");
-    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-    let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("data must not contain NaN"));
-    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
-    sorted[rank]
-}
-
-/// Arithmetic mean.
-///
-/// # Panics
-///
-/// Panics if `data` is empty.
-pub fn mean(data: &[f64]) -> f64 {
-    assert!(!data.is_empty(), "mean of empty data");
-    data.iter().sum::<f64>() / data.len() as f64
-}
-
-/// Cumulative distribution points `(value, fraction ≤ value)` of the data,
-/// sorted ascending — the form the paper's CDF figures use.
-pub fn cdf(data: &[f64]) -> Vec<(f64, f64)> {
-    let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("data must not contain NaN"));
-    let n = sorted.len() as f64;
-    sorted
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (v, (i + 1) as f64 / n))
-        .collect()
-}
+// The scalar helpers (nearest-rank percentile, mean, CDF) are shared
+// with the other crates' stats modules; the single implementation lives
+// in `seqnet_obs::stats` with the same panicking contracts these
+// functions always had.
+pub use seqnet_obs::stats::{cdf, mean, percentile};
 
 #[cfg(test)]
 mod tests {

@@ -21,11 +21,13 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use seqnet_core::proto::trace::{Actor, EventKind, TraceEvent, TraceSink};
 use seqnet_core::proto::{
     Command, Event, Frame, NodeCore, Peer, ProtocolState, ReceiverCore, RecoveryStats, Routing,
 };
 use seqnet_core::{Message, MessageId};
 use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_obs::{prom, Recorder, Registry};
 use seqnet_overlap::{AtomId, Colocation, GraphBuilder, SequencingGraph};
 use seqnet_sim::{FaultPlan, SimTime};
 use std::collections::{BTreeMap, HashMap};
@@ -33,6 +35,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -139,6 +142,12 @@ pub struct ClusterConfig {
     pub heartbeat_interval: Duration,
     /// Seed for co-location and loss injection.
     pub seed: u64,
+    /// Record a structured protocol trace: every thread reports its
+    /// publish/stamp/forward/arrive/buffer/deliver events into a shared
+    /// [`Recorder`], stamped with wall microseconds since cluster start.
+    /// Read it back with [`Cluster::trace_events`]. Off by default — the
+    /// untraced paths compile down to the uninstrumented code.
+    pub trace: bool,
 }
 
 impl Default for ClusterConfig {
@@ -151,6 +160,7 @@ impl Default for ClusterConfig {
             snapshot_interval: Duration::from_millis(3),
             heartbeat_interval: Duration::from_millis(15),
             seed: 0,
+            trace: false,
         }
     }
 }
@@ -216,6 +226,11 @@ struct Wiring {
     snapshots: Mutex<HashMap<usize, NodeSnapshot>>,
     /// Frames routed through the delayer thread when `link_delay > 0`.
     delayer: Option<Sender<DelayedFrame>>,
+    /// Shared structured-trace recorder when `config.trace` is set; every
+    /// thread appends under the mutex, stamped relative to `epoch`.
+    trace: Option<Arc<StdMutex<Recorder>>>,
+    /// Cluster start instant — the zero point of trace timestamps.
+    epoch: Instant,
 }
 
 impl Wiring {
@@ -387,6 +402,10 @@ impl Cluster {
             stats: Mutex::new(RuntimeStats::default()),
             snapshots: Mutex::new(HashMap::new()),
             delayer,
+            trace: config
+                .trace
+                .then(|| Arc::new(StdMutex::new(Recorder::new()))),
+            epoch: Instant::now(),
         });
 
         let mut node_handles = HashMap::new();
@@ -457,6 +476,16 @@ impl Cluster {
         self.next_id += 1;
         let msg = Message::new(id, sender, group, payload.into());
         let node = self.wiring.atom_node[&ingress];
+        if let Some(rec) = &self.wiring.trace {
+            let mut sink = rec.lock().expect("trace sink poisoned");
+            sink.now(self.wiring.epoch.elapsed().as_micros() as u64);
+            sink.record(TraceEvent {
+                msg: Some(id.0),
+                group: Some(u64::from(group.0)),
+                detail: Some(u64::from(sender.0)),
+                ..TraceEvent::new(EventKind::Publish, Actor::Publisher)
+            });
+        }
         self.pub_engine.send_data(
             &self.wiring,
             Party::Node(node),
@@ -539,6 +568,13 @@ impl Cluster {
         self.kill_flags[&node].store(true, Ordering::Relaxed);
         let _ = handle.join();
         self.wiring.stats.lock().recovery.crashes += 1;
+        // The core never sees a crash event here (the crash *is* the
+        // thread dying), so the driver reports it.
+        if let Some(rec) = &self.wiring.trace {
+            let mut sink = rec.lock().expect("trace sink poisoned");
+            sink.now(self.wiring.epoch.elapsed().as_micros() as u64);
+            sink.record(TraceEvent::new(EventKind::Crash, Actor::Node(node as u64)));
+        }
         true
     }
 
@@ -643,6 +679,74 @@ impl Cluster {
     /// Aggregated link statistics; complete after [`Cluster::shutdown`].
     pub fn stats(&self) -> RuntimeStats {
         *self.wiring.stats.lock()
+    }
+
+    /// The structured trace recorded so far, in emission order; empty
+    /// unless the deployment was started with
+    /// [`trace`](ClusterConfig::trace). Safe to call while the cluster
+    /// runs — it snapshots the shared log under its mutex.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.wiring
+            .trace
+            .as_ref()
+            .map(|rec| rec.lock().expect("trace sink poisoned").events().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Prometheus text exposition of the runtime counters, plus — when
+    /// tracing is on — per-event-kind counters and a per-group delivery
+    /// latency histogram derived from the trace. Deterministic for a
+    /// given state, suitable for a scrape endpoint or a CI artifact.
+    pub fn prometheus_text(&self) -> String {
+        let stats = self.stats();
+        let mut reg = Registry::new();
+        reg.inc("crashes_total", None, stats.recovery.crashes);
+        reg.inc("duplicate_frames_total", None, stats.duplicates);
+        reg.inc("frames_dropped_total", None, stats.frames_dropped);
+        reg.inc("frames_replayed_total", None, stats.recovery.frames_replayed);
+        reg.inc("frames_sent_total", None, stats.frames_sent);
+        reg.inc("heartbeat_misses_total", None, stats.heartbeat_misses);
+        reg.inc("recovery_micros_total", None, stats.recovery.recovery_micros);
+        reg.inc("retransmissions_total", None, stats.retransmissions);
+        let mut published: HashMap<u64, u64> = HashMap::new();
+        for event in self.trace_events() {
+            reg.inc(event_family(event.kind), None, 1);
+            match event.kind {
+                EventKind::Publish => {
+                    if let Some(m) = event.msg {
+                        published.insert(m, event.at);
+                    }
+                }
+                EventKind::Deliver => {
+                    if let Some(&t0) = event.msg.and_then(|m| published.get(&m)) {
+                        reg.observe(
+                            "delivery_latency_us",
+                            event.group,
+                            event.at.saturating_sub(t0),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        prom::exposition(&reg, "seqnet", |_| "group")
+    }
+}
+
+/// Prometheus-safe counter family for an event kind (the wire names use
+/// hyphens, which are not valid metric-name characters).
+fn event_family(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::Publish => "events_publish_total",
+        EventKind::AtomStamp => "events_atom_stamp_total",
+        EventKind::FrameForward => "events_frame_forward_total",
+        EventKind::Arrive => "events_arrive_total",
+        EventKind::Buffer(_) => "events_buffer_total",
+        EventKind::Deliver => "events_deliver_total",
+        EventKind::Crash => "events_crash_total",
+        EventKind::Replay => "events_replay_total",
+        EventKind::SnapshotFlush => "events_snapshot_flush_total",
+        EventKind::HeartbeatMiss => "events_heartbeat_miss_total",
     }
 }
 
@@ -924,6 +1028,7 @@ fn node_thread(
     restarted: bool,
 ) {
     let config = &wiring.config;
+    let trace = wiring.trace.clone();
     let mut engine = LinkEngine::new(Party::Node(idx), seed, true);
     let mut protocol = ProtocolState::new(&wiring.graph);
     // Group-commit mode: the core *stages* every output frame, and this
@@ -1011,11 +1116,14 @@ fn node_thread(
                         if replaying {
                             replayed += 1;
                         }
-                        let commands = core.on_event(
-                            &routing,
-                            &mut protocol,
-                            Event::FrameArrived { frame: data },
-                        );
+                        let event = Event::FrameArrived { frame: data };
+                        let commands = if let Some(rec) = &trace {
+                            let mut sink = rec.lock().expect("trace sink poisoned");
+                            sink.now(wiring.epoch.elapsed().as_micros() as u64);
+                            core.on_event_traced(&routing, &mut protocol, event, &mut *sink)
+                        } else {
+                            core.on_event(&routing, &mut protocol, event)
+                        };
                         for cmd in commands {
                             match cmd {
                                 Command::Stage { to, frame } => {
@@ -1037,9 +1145,31 @@ fn node_thread(
         let now = Instant::now();
         if now.duration_since(last_snapshot) >= config.snapshot_interval {
             let rx_next = engine.persist_snapshot(&wiring, idx, &protocol);
-            for cmd in core.on_event(&routing, &mut protocol, Event::SnapshotTaken { rx_next }) {
+            let staged_frames = engine.staged.len() as u64;
+            let event = Event::SnapshotTaken { rx_next };
+            let commands = if let Some(rec) = &trace {
+                let mut sink = rec.lock().expect("trace sink poisoned");
+                sink.now(wiring.epoch.elapsed().as_micros() as u64);
+                core.on_event_traced(&routing, &mut protocol, event, &mut *sink)
+            } else {
+                core.on_event(&routing, &mut protocol, event)
+            };
+            for cmd in commands {
                 match cmd {
-                    Command::Flush => engine.flush_staged(&wiring),
+                    Command::Flush => {
+                        if let Some(rec) = &trace {
+                            let mut sink = rec.lock().expect("trace sink poisoned");
+                            sink.now(wiring.epoch.elapsed().as_micros() as u64);
+                            sink.record(TraceEvent {
+                                detail: Some(staged_frames),
+                                ..TraceEvent::new(
+                                    EventKind::SnapshotFlush,
+                                    Actor::Node(idx as u64),
+                                )
+                            });
+                        }
+                        engine.flush_staged(&wiring);
+                    }
                     Command::Ack { to, through } => {
                         engine.send_ack_through(&wiring, to, through);
                     }
@@ -1061,10 +1191,21 @@ fn node_thread(
             }
             last_heartbeat = now;
         }
-        for (seen, suspected) in watched.values_mut() {
+        for (&peer, (seen, suspected)) in watched.iter_mut() {
             if !*suspected && now.duration_since(*seen) >= config.heartbeat_interval * 3 {
                 *suspected = true;
                 engine.local.heartbeat_misses += 1;
+                if let Some(rec) = &trace {
+                    let mut sink = rec.lock().expect("trace sink poisoned");
+                    sink.now(wiring.epoch.elapsed().as_micros() as u64);
+                    sink.record(TraceEvent {
+                        detail: Some(peer as u64),
+                        ..TraceEvent::new(
+                            EventKind::HeartbeatMiss,
+                            Actor::Node(idx as u64),
+                        )
+                    });
+                }
             }
         }
         engine.retransmit_due(&wiring);
@@ -1083,6 +1224,7 @@ fn host_thread(
     notes: Sender<DeliveryNote>,
     seed: u64,
 ) {
+    let trace = wiring.trace.clone();
     let mut engine = LinkEngine::new(Party::Host(host), seed, false);
     let mut receiver = ReceiverCore::new(host, &wiring.membership, &wiring.graph);
     let tick = wiring.config.retransmit_timeout / 2;
@@ -1097,7 +1239,15 @@ fn host_thread(
             Some(ThreadMsg::Shutdown) => break,
             Some(ThreadMsg::Frame { link, seq, body }) => {
                 for data in engine.on_frame(&wiring, link, seq, body) {
-                    for cmd in receiver.on_event(Event::FrameArrived { frame: data }) {
+                    let event = Event::FrameArrived { frame: data };
+                    let commands = if let Some(rec) = &trace {
+                        let mut sink = rec.lock().expect("trace sink poisoned");
+                        sink.now(wiring.epoch.elapsed().as_micros() as u64);
+                        receiver.on_event_traced(event, &mut *sink)
+                    } else {
+                        receiver.on_event(event)
+                    };
+                    for cmd in commands {
                         match cmd {
                             Command::Deliver { host, msg } => {
                                 let _ = notes.send(DeliveryNote { host, msg });
@@ -1243,6 +1393,53 @@ mod tests {
             assert_eq!(got, ids, "{node} must deliver in publish order");
         }
         cluster.shutdown();
+    }
+
+    #[test]
+    fn tracing_records_the_full_pipeline() {
+        let m = overlapped_membership();
+        let config = ClusterConfig {
+            trace: true,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::start(&m, config);
+        cluster.publish(n(0), g(0), b"x".to_vec()).unwrap();
+        cluster
+            .wait_for_deliveries(3, Duration::from_secs(5))
+            .unwrap();
+        cluster.shutdown();
+        let events = cluster.trace_events();
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::Publish), 1);
+        assert!(count(EventKind::AtomStamp) >= 1, "sequencing was traced");
+        assert_eq!(count(EventKind::Arrive), 3, "one arrival per member");
+        assert_eq!(count(EventKind::Deliver), 3, "one delivery per member");
+        assert!(
+            count(EventKind::SnapshotFlush) >= 1,
+            "the frames escaped via a snapshot flush"
+        );
+        let prom = cluster.prometheus_text();
+        assert!(prom.contains("seqnet_events_deliver_total 3"), "{prom}");
+        assert!(
+            prom.contains("# TYPE seqnet_delivery_latency_us histogram"),
+            "{prom}"
+        );
+    }
+
+    #[test]
+    fn untraced_cluster_records_nothing() {
+        let m = overlapped_membership();
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        cluster.publish(n(0), g(0), vec![]).unwrap();
+        cluster
+            .wait_for_deliveries(3, Duration::from_secs(5))
+            .unwrap();
+        cluster.shutdown();
+        assert!(cluster.trace_events().is_empty());
+        // The exposition still renders the plain runtime counters.
+        let prom = cluster.prometheus_text();
+        assert!(prom.contains("# TYPE seqnet_frames_sent_total counter"));
+        assert!(!prom.contains("seqnet_events_deliver_total"));
     }
 
     #[test]

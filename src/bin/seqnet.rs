@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! seqnet sim   [--hosts N] [--groups G] [--messages M] [--seed S] [--topology small|medium|paper]
+//!              [--trace-out FILE]
 //! seqnet graph [--hosts N] [--groups G] [--seed S]
 //! seqnet demo
 //! seqnet help
@@ -14,9 +15,11 @@ use seqnet::core::{metrics, NetworkSetup, OrderedPubSub};
 use seqnet::membership::workload::{OccupancyGroups, ZipfGroups};
 use seqnet::membership::{GroupId, Membership, NodeId};
 use seqnet::overlap::{Colocation, GraphBuilder};
+use seqnet::obs::Recorder;
 use seqnet::topology::TransitStubParams;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 
 /// Parsed command-line options: `--key value` pairs after the subcommand.
 #[derive(Debug, Default, PartialEq)]
@@ -103,7 +106,9 @@ fn print_help() {
 
 USAGE:
   seqnet sim   [--hosts N] [--groups G] [--messages M] [--seed S] [--topology small|medium|paper]
-               run an ordered pub/sub simulation on a generated topology
+               [--trace-out FILE]
+               run an ordered pub/sub simulation on a generated topology;
+               --trace-out dumps the protocol trace as JSONL
   seqnet graph [--hosts N] [--groups G] [--seed S] [--workload dense|zipf] [--dot FILE]
                build and print a sequencing graph for a Zipf workload
   seqnet demo  minimal two-group ordering demonstration
@@ -122,6 +127,13 @@ fn cmd_sim(opts: &Options) -> Result<(), String> {
     let setup = NetworkSetup::generate(&params, hosts, (hosts / 8).max(2), &mut rng);
     let membership = ZipfGroups::new(hosts, groups).with_min_size(2).sample(&mut rng);
     let mut bus = OrderedPubSub::with_network(&membership, &setup, &mut rng);
+
+    // Optional protocol trace: record every event and dump JSONL at the end.
+    let recorder = opts.values.get("trace-out").map(|path| {
+        let recorder = Arc::new(Mutex::new(Recorder::new()));
+        bus.set_trace_sink(recorder.clone());
+        (path.clone(), recorder)
+    });
 
     println!(
         "topology: {} routers | hosts: {hosts} | groups: {groups} | overlaps: {}",
@@ -154,11 +166,19 @@ fn cmd_sim(opts: &Options) -> Result<(), String> {
         let max = values.iter().copied().fold(f64::MIN, f64::max);
         println!("latency stretch over {} destinations: mean {mean:.2}, max {max:.2}", values.len());
     }
-    println!(
-        "mean delivery latency: {:.2} ms (buffering {:.3} ms)",
+    if let (Some(latency), Some(buffering)) = (
         metrics::mean_delivery_latency_ms(bus.all_deliveries()),
         metrics::mean_buffering_ms(bus.all_deliveries()),
-    );
+    ) {
+        println!("mean delivery latency: {latency:.2} ms (buffering {buffering:.3} ms)");
+    }
+    if let Some((path, recorder)) = recorder {
+        let recorder = recorder.lock().expect("trace sink poisoned");
+        let events = recorder.events();
+        std::fs::write(&path, seqnet::obs::jsonl::to_jsonl_lines(events))
+            .map_err(|e| e.to_string())?;
+        println!("trace: {} events written to {path}", events.len());
+    }
     Ok(())
 }
 

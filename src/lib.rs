@@ -18,6 +18,8 @@
 //! * [`baseline`] — centralized sequencer, vector-clock ordering, and direct
 //!   unicast baselines.
 //! * [`runtime`] — a threaded deployment of the protocol over FIFO channels.
+//! * [`obs`] — structured protocol tracing, histogram metrics, the flight
+//!   recorder, and the JSONL / Prometheus exporters.
 //!
 //! # Quickstart
 //!
@@ -49,6 +51,7 @@
 pub use seqnet_baseline as baseline;
 pub use seqnet_core as core;
 pub use seqnet_membership as membership;
+pub use seqnet_obs as obs;
 pub use seqnet_overlap as overlap;
 pub use seqnet_runtime as runtime;
 pub use seqnet_sim as sim;

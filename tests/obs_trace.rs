@@ -1,0 +1,204 @@
+//! The two properties that make protocol traces trustworthy
+//! (PROTOCOL.md §11.3):
+//!
+//! 1. **Driver equivalence** — the simulator and the threaded runtime
+//!    drive the same sans-I/O cores, so for one membership and one
+//!    publish order they must emit identical *deterministic projections*
+//!    of the event stream: the global publish sequence, which messages
+//!    each sequencing atom stamped, and the per-(host, group) delivery
+//!    streams with their group-local numbers. Timestamps and the
+//!    cross-group interleaving of events are timing-dependent and are
+//!    deliberately outside the projection (same scope rule as
+//!    `tests/sim_runtime_equivalence.rs`).
+//! 2. **Deterministic replay** — a flight recording of a model-checker
+//!    schedule is itself a reproducible artifact: replaying the same
+//!    decision list twice produces byte-identical JSONL dumps, and the
+//!    dump round-trips through the parser.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqnet::core::OrderedPubSub;
+use seqnet::membership::workload::ZipfGroups;
+use seqnet::membership::{GroupId, Membership, NodeId};
+use seqnet::obs::jsonl::{parse_jsonl_lines, to_jsonl_lines};
+use seqnet::obs::{Actor, EventKind, FlightRecorder, Recorder, TraceEvent};
+use seqnet::runtime::{Cluster, ClusterConfig};
+use seqnet::sim::SimTime;
+use seqnet_check::scenario::two_group_overlap;
+use seqnet_check::shrink::replay_traced;
+use seqnet_check::default_oracles;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The schedule-independent projection of an event stream. Everything
+/// here is fixed by the membership and the global publish order; nothing
+/// depends on the driver's clock or thread interleaving.
+#[derive(Debug, PartialEq, Eq)]
+struct Projection {
+    /// `(msg, group, publishing host)` in publish order.
+    publishes: Vec<(u64, u64, u64)>,
+    /// Per atom: the sorted set of message ids it stamped. (The seq a
+    /// shared overlap atom assigns to a given message may legitimately
+    /// differ across drivers — only *which* messages cross it is
+    /// structural.)
+    stamped: BTreeMap<u64, Vec<u64>>,
+    /// Per `(host, group)`: `(msg, group-local seq)` in delivery order.
+    delivered: BTreeMap<(u64, u64), Vec<(u64, u64)>>,
+}
+
+fn project(events: &[TraceEvent]) -> Projection {
+    let mut p = Projection {
+        publishes: Vec::new(),
+        stamped: BTreeMap::new(),
+        delivered: BTreeMap::new(),
+    };
+    for e in events {
+        match e.kind {
+            EventKind::Publish => {
+                p.publishes
+                    .push((e.msg.unwrap(), e.group.unwrap(), e.detail.unwrap()));
+            }
+            EventKind::AtomStamp => {
+                p.stamped
+                    .entry(e.atom.unwrap())
+                    .or_default()
+                    .push(e.msg.unwrap());
+            }
+            EventKind::Deliver => {
+                let Actor::Host(host) = e.actor else {
+                    panic!("deliver events come from hosts, got {}", e.actor);
+                };
+                p.delivered
+                    .entry((host, e.group.unwrap()))
+                    .or_default()
+                    .push((e.msg.unwrap(), e.seq.unwrap()));
+            }
+            _ => {}
+        }
+    }
+    for msgs in p.stamped.values_mut() {
+        msgs.sort_unstable();
+    }
+    p
+}
+
+fn assert_fault_free(events: &[TraceEvent], driver: &str) {
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Crash | EventKind::Replay)),
+        "{driver}: a fault-free run must not report crash or replay events"
+    );
+}
+
+/// The shared workload of `tests/sim_runtime_equivalence.rs`: every node
+/// publishes to every group it belongs to, twice, in one global order.
+fn workload(m: &Membership) -> (Vec<(NodeId, GroupId)>, usize) {
+    let mut publishes = Vec::new();
+    let mut expected = 0usize;
+    for _ in 0..2 {
+        for node in m.nodes().collect::<Vec<_>>() {
+            for group in m.groups_of(node).collect::<Vec<_>>() {
+                publishes.push((node, group));
+                expected += m.group_size(group);
+            }
+        }
+    }
+    (publishes, expected)
+}
+
+#[test]
+fn sim_and_runtime_emit_the_same_projection() {
+    let seed = 11u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = ZipfGroups::new(10, 4).with_min_size(2).sample(&mut rng);
+    let (publishes, expected) = workload(&m);
+
+    // Simulator: strictly increasing publish times keep ingress arrival
+    // order identical to publish order.
+    let mut bus = OrderedPubSub::new(&m);
+    let sim_rec = Arc::new(Mutex::new(Recorder::new()));
+    bus.set_trace_sink(sim_rec.clone());
+    for (k, &(node, group)) in publishes.iter().enumerate() {
+        bus.publish_at(SimTime::from_micros((k as u64 + 1) * 700), node, group, vec![])
+            .unwrap();
+    }
+    bus.run_to_quiescence();
+    assert_eq!(bus.stuck_messages(), 0);
+    let sim_events = sim_rec.lock().unwrap().events().to_vec();
+
+    // Runtime: the single publisher front-end preserves the same order
+    // per ingress over FIFO links.
+    let config = ClusterConfig {
+        seed,
+        trace: true,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::start(&m, config);
+    for &(node, group) in &publishes {
+        cluster.publish(node, group, vec![]).unwrap();
+    }
+    cluster
+        .wait_for_deliveries(expected, Duration::from_secs(60))
+        .unwrap();
+    cluster.shutdown();
+    let runtime_events = cluster.trace_events();
+
+    assert_fault_free(&sim_events, "sim");
+    assert_fault_free(&runtime_events, "runtime");
+
+    let sim_view = project(&sim_events);
+    let runtime_view = project(&runtime_events);
+
+    // Sanity before the big comparison: both actually saw the workload.
+    assert_eq!(sim_view.publishes.len(), publishes.len());
+    assert_eq!(
+        sim_view.delivered.values().map(Vec::len).sum::<usize>(),
+        expected
+    );
+    assert_eq!(
+        sim_view, runtime_view,
+        "sim and runtime disagree on the deterministic trace projection"
+    );
+}
+
+#[test]
+fn flight_recorder_replay_is_byte_identical() {
+    // A crash-window scenario: reaching the terminal state forces the
+    // fault plan's crash/restart transitions to fire, so the recording
+    // covers the recovery path too.
+    let scenario = two_group_overlap().crash_variant();
+    // A long pseudo-arbitrary schedule; out-of-range decisions wrap
+    // modulo the enabled count, and replay stops at the terminal state.
+    let decisions: Vec<u32> = (0..500).map(|i| (i * 7 + 3) % 13).collect();
+
+    let mut first = FlightRecorder::new(65_536);
+    let r1 = replay_traced(&scenario, &default_oracles(), &decisions, &mut first);
+    let mut second = FlightRecorder::new(65_536);
+    let r2 = replay_traced(&scenario, &default_oracles(), &decisions, &mut second);
+
+    assert!(r1.violation.is_none(), "the scenario passes its oracles");
+    assert_eq!(r1.log, r2.log, "step logs must replay deterministically");
+    assert_eq!(
+        first.dump_jsonl(),
+        second.dump_jsonl(),
+        "flight-recorder dumps must be byte-identical across replays"
+    );
+    assert!(first.seen() > 0, "the run emitted events");
+    assert!(
+        first.events().any(|e| e.kind == EventKind::Crash),
+        "the crash variant exercises the fault path"
+    );
+
+    // The canonicalized decision list reproduces the same recording.
+    let mut canonical = FlightRecorder::new(65_536);
+    let r3 = replay_traced(&scenario, &default_oracles(), &r1.executed, &mut canonical);
+    assert_eq!(r3.log, r1.log);
+    assert_eq!(canonical.dump_jsonl(), first.dump_jsonl());
+
+    // And the dump round-trips through the JSONL parser.
+    let dump = first.dump_jsonl();
+    let parsed = parse_jsonl_lines(&dump).expect("every line parses");
+    assert_eq!(to_jsonl_lines(&parsed), dump);
+}
