@@ -1,0 +1,848 @@
+//! `seqnet-bench` — a deterministic, seedable load/soak harness driving
+//! the simulator and the threaded runtime through *identical* workloads,
+//! plus a schema validator for the JSON it emits.
+//!
+//! ```text
+//! seqnet-bench load [--driver sim|runtime|both] [--mode open|closed]
+//!                   [--seed N] [--groups N] [--overlap N] [--rate-hz F]
+//!                   [--chains N] [--warmup-ms N] [--measure-ms N]
+//!                   [--out PATH] [--smoke]
+//! seqnet-bench validate [PATH]
+//! ```
+//!
+//! `load` builds a chain-overlap membership (`--groups` groups, adjacent
+//! groups sharing `--overlap` members), generates one workload from
+//! `--seed` — open-loop (each group's first member publishes periodically
+//! at `--rate-hz`, phase-shifted per publisher) or closed-loop (`--chains`
+//! publish-on-delivery chains per group) — and runs it through the chosen
+//! drivers: the discrete-event simulator (virtual time, batched channel
+//! pumps) and the threaded runtime (wall time, coalesced links). Messages
+//! published during the warmup window are excluded from the stats; the
+//! measure window yields throughput, a delivery-latency histogram
+//! ([`seqnet_obs::Histogram`], microsecond buckets), an
+//! allocations-per-message proxy from a counting global allocator, and the
+//! wire batch-size histogram. Results go to `results/BENCH_5.json`
+//! (schema documented in `results/README.md`, checked by `validate` and
+//! by CI's bench-smoke job).
+//!
+//! `--smoke` shrinks the windows for CI; everything stays reproducible
+//! from the seed (wall-clock latencies on the runtime driver vary, the
+//! workload itself never does).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use seqnet_bench::output::{f3, print_table};
+use seqnet_core::{Message, MessageId, OrderedPubSub};
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_obs::Histogram;
+use seqnet_runtime::{Cluster, ClusterConfig};
+use seqnet_sim::SimTime;
+
+/// A pass-through allocator that counts allocation calls, giving the
+/// harness its allocations-per-message proxy: total allocator hits across
+/// every thread during the run, divided by messages delivered. The
+/// batched paths exist to push this toward zero on the hot path.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers to `System` for every operation; the counter is the only
+// addition and is atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Driver {
+    Sim,
+    Runtime,
+    Both,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Open,
+    Closed,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Open => "open",
+            Mode::Closed => "closed",
+        }
+    }
+}
+
+struct LoadConfig {
+    driver: Driver,
+    mode: Mode,
+    seed: u64,
+    groups: usize,
+    overlap: usize,
+    rate_hz: f64,
+    chains: usize,
+    warmup_ms: u64,
+    measure_ms: u64,
+    out: String,
+    smoke: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            driver: Driver::Both,
+            mode: Mode::Open,
+            seed: 0x5EED,
+            groups: 4,
+            overlap: 2,
+            rate_hz: 200.0,
+            chains: 2,
+            warmup_ms: 200,
+            measure_ms: 1_000,
+            out: "results/BENCH_5.json".to_string(),
+            smoke: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: seqnet-bench load [--driver sim|runtime|both] [--mode open|closed]\n\
+         \x20                        [--seed N] [--groups N] [--overlap N] [--rate-hz F]\n\
+         \x20                        [--chains N] [--warmup-ms N] [--measure-ms N]\n\
+         \x20                        [--out PATH] [--smoke]\n\
+         \x20      seqnet-bench validate [PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_load(args: &[String]) -> LoadConfig {
+    let mut cfg = LoadConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                usage()
+            }).clone()
+        };
+        match arg.as_str() {
+            "--driver" => {
+                cfg.driver = match value("--driver").as_str() {
+                    "sim" => Driver::Sim,
+                    "runtime" => Driver::Runtime,
+                    "both" => Driver::Both,
+                    other => {
+                        eprintln!("unknown driver {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--mode" => {
+                cfg.mode = match value("--mode").as_str() {
+                    "open" => Mode::Open,
+                    "closed" => Mode::Closed,
+                    other => {
+                        eprintln!("unknown mode {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--seed" => cfg.seed = value("--seed").parse().expect("--seed: u64"),
+            "--groups" => cfg.groups = value("--groups").parse().expect("--groups: usize"),
+            "--overlap" => cfg.overlap = value("--overlap").parse().expect("--overlap: usize"),
+            "--rate-hz" => cfg.rate_hz = value("--rate-hz").parse().expect("--rate-hz: f64"),
+            "--chains" => cfg.chains = value("--chains").parse().expect("--chains: usize"),
+            "--warmup-ms" => cfg.warmup_ms = value("--warmup-ms").parse().expect("--warmup-ms: u64"),
+            "--measure-ms" => {
+                cfg.measure_ms = value("--measure-ms").parse().expect("--measure-ms: u64")
+            }
+            "--out" => cfg.out = value("--out"),
+            "--smoke" => cfg.smoke = true,
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if cfg.smoke {
+        cfg.groups = cfg.groups.min(3);
+        cfg.rate_hz = cfg.rate_hz.min(150.0);
+        cfg.warmup_ms = cfg.warmup_ms.min(50);
+        cfg.measure_ms = cfg.measure_ms.min(250);
+    }
+    assert!(cfg.groups >= 1, "--groups must be at least 1");
+    assert!(cfg.rate_hz > 0.0, "--rate-hz must be positive");
+    assert!(cfg.measure_ms > 0, "--measure-ms must be positive");
+    assert!(cfg.chains >= 1, "--chains must be at least 1");
+    cfg
+}
+
+/// The chain-overlap membership both drivers share: group `i` subscribes
+/// nodes `i ..= i + overlap`, so adjacent groups share `overlap` members
+/// (double overlaps for `overlap >= 2`, forcing cross-group sequencing).
+fn membership(groups: usize, overlap: usize) -> Membership {
+    let mut m = Membership::new();
+    for grp in 0..groups {
+        for node in grp..=grp + overlap {
+            m.subscribe(NodeId(node as u32), GroupId(grp as u32));
+        }
+    }
+    m
+}
+
+/// One publish in the generated workload, shared verbatim by both
+/// drivers. Open-loop entries carry an absolute send time; closed-loop
+/// entries carry the chain they extend (publish when the chain's previous
+/// message is first delivered).
+struct WorkItem {
+    at_us: u64,
+    sender: NodeId,
+    group: GroupId,
+    chain: usize,
+}
+
+/// The deterministic workload: for open loop, every group's first member
+/// publishing at `rate_hz` with a seed-drawn phase; for closed loop,
+/// `chains` chains per group, each long enough to sustain `rate_hz` over
+/// the horizon. One function of the config — the drivers replay it.
+fn workload(cfg: &LoadConfig, m: &Membership) -> Vec<WorkItem> {
+    use seqnet_core::proto::testing::splitmix64;
+    let mut state = cfg.seed ^ 0xB00C_5EED;
+    let horizon_us = (cfg.warmup_ms + cfg.measure_ms) * 1_000;
+    let period_us = (1_000_000.0 / cfg.rate_hz).max(1.0) as u64;
+    let mut items = Vec::new();
+    match cfg.mode {
+        Mode::Open => {
+            for group in m.groups() {
+                let sender = m.members(group).next().expect("groups are non-empty");
+                let phase = splitmix64(&mut state) % period_us;
+                let mut t = phase;
+                while t < horizon_us {
+                    items.push(WorkItem { at_us: t, sender, group, chain: usize::MAX });
+                    t += period_us;
+                }
+            }
+            items.sort_by_key(|w| w.at_us);
+        }
+        Mode::Closed => {
+            let per_chain =
+                ((horizon_us as f64 / period_us as f64) / cfg.chains as f64).ceil() as usize;
+            let mut chain = 0usize;
+            for group in m.groups() {
+                let sender = m.members(group).next().expect("groups are non-empty");
+                for _ in 0..cfg.chains {
+                    let phase = splitmix64(&mut state) % period_us;
+                    for link in 0..per_chain.max(1) {
+                        // Only the head has a meaningful time; the rest
+                        // fire on delivery of their predecessor.
+                        items.push(WorkItem {
+                            at_us: if link == 0 { phase } else { u64::MAX },
+                            sender,
+                            group,
+                            chain,
+                        });
+                    }
+                    chain += 1;
+                }
+            }
+        }
+    }
+    items
+}
+
+/// Per-driver results, in the units the JSON schema pins down.
+struct DriverReport {
+    driver: &'static str,
+    time_base: &'static str,
+    published: u64,
+    delivered: u64,
+    msgs_per_sec: f64,
+    latency_us: Histogram,
+    allocations_per_message: f64,
+    batch_sizes: BTreeMap<usize, u64>,
+}
+
+fn run_sim_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> DriverReport {
+    let mut bus = OrderedPubSub::new(m);
+    let warmup = SimTime::from_micros(cfg.warmup_ms * 1_000);
+    let allocs_before = allocations();
+    let mut published = 0u64;
+    match cfg.mode {
+        Mode::Open => {
+            for w in items {
+                bus.publish_at(SimTime::from_micros(w.at_us), w.sender, w.group, Vec::new())
+                    .expect("open-loop publish");
+                published += 1;
+            }
+        }
+        Mode::Closed => {
+            // Chains become publish-after triggers: each message fires
+            // when its predecessor reaches its own sender.
+            let mut last: HashMap<usize, MessageId> = HashMap::new();
+            for w in items {
+                let id = match last.get(&w.chain) {
+                    None => bus
+                        .publish_at(SimTime::from_micros(w.at_us), w.sender, w.group, Vec::new())
+                        .expect("chain head publish"),
+                    Some(&prev) => bus
+                        .publish_after(w.sender, prev, w.group, Vec::new())
+                        .expect("chain link publish"),
+                };
+                last.insert(w.chain, id);
+                published += 1;
+            }
+        }
+    }
+    bus.run_to_quiescence();
+    let allocs = allocations() - allocs_before;
+    assert_eq!(bus.stuck_messages(), 0, "load run must not deadlock");
+
+    let mut latency = Histogram::new();
+    let mut delivered = 0u64;
+    let mut span_end = warmup;
+    for d in bus.all_deliveries() {
+        if d.published < warmup {
+            continue;
+        }
+        latency.record((d.delivered - d.published).as_micros());
+        span_end = span_end.max(d.delivered);
+        delivered += 1;
+    }
+    let total_delivered = bus.all_deliveries().count() as u64;
+    let span_s = (span_end - warmup).as_ms().max(1.0) / 1_000.0;
+    DriverReport {
+        driver: "sim",
+        time_base: "virtual-us",
+        published,
+        delivered,
+        msgs_per_sec: delivered as f64 / span_s,
+        latency_us: latency,
+        allocations_per_message: allocs as f64 / total_delivered.max(1) as f64,
+        batch_sizes: bus.batch_size_counts().clone(),
+    }
+}
+
+fn run_runtime_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> DriverReport {
+    let mut cluster = Cluster::start(
+        m,
+        ClusterConfig {
+            coalesce: true,
+            seed: cfg.seed,
+            ..ClusterConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let warmup = start + Duration::from_millis(cfg.warmup_ms);
+    let horizon = start + Duration::from_millis(cfg.warmup_ms + cfg.measure_ms);
+    let allocs_before = allocations();
+
+    let mut latency = Histogram::new();
+    let mut sent_at: HashMap<MessageId, Instant> = HashMap::new();
+    let mut expected = 0usize;
+    let mut received = 0usize;
+    let mut measured = 0u64;
+    let mut publish = |cluster: &mut Cluster,
+                       sent_at: &mut HashMap<MessageId, Instant>,
+                       expected: &mut usize,
+                       w: &WorkItem|
+     -> MessageId {
+        let id = cluster.publish(w.sender, w.group, Vec::new()).expect("publish");
+        sent_at.insert(id, Instant::now());
+        *expected += m.group_size(w.group);
+        id
+    };
+    // Records one delivery; returns its latency source instant presence.
+    let mut note = |latency: &mut Histogram, sent_at: &HashMap<MessageId, Instant>,
+                    measured: &mut u64, id: MessageId, at: Instant| {
+        if let Some(&t0) = sent_at.get(&id) {
+            if t0 >= warmup {
+                latency.record(at.duration_since(t0).as_micros() as u64);
+                *measured += 1;
+            }
+        }
+    };
+
+    match cfg.mode {
+        Mode::Open => {
+            let mut next = 0usize;
+            while next < items.len() {
+                let now = Instant::now();
+                let due = start + Duration::from_micros(items[next].at_us);
+                if now >= due {
+                    publish(&mut cluster, &mut sent_at, &mut expected, &items[next]);
+                    next += 1;
+                    continue;
+                }
+                if let Some((_, msg)) = cluster.next_delivery(due.saturating_duration_since(now)) {
+                    note(&mut latency, &sent_at, &mut measured, msg.id, Instant::now());
+                    received += 1;
+                }
+            }
+        }
+        Mode::Closed => {
+            // Group the items by chain, publish each head, then publish
+            // the next link whenever a chain's newest message first
+            // arrives anywhere.
+            let mut chains: BTreeMap<usize, Vec<&WorkItem>> = BTreeMap::new();
+            for w in items {
+                chains.entry(w.chain).or_default().push(w);
+            }
+            let mut cursor: HashMap<usize, usize> = HashMap::new();
+            let mut head_of: HashMap<MessageId, usize> = HashMap::new();
+            let mut advanced: HashSet<MessageId> = HashSet::new();
+            for (&chain, links) in &chains {
+                let id = publish(&mut cluster, &mut sent_at, &mut expected, links[0]);
+                cursor.insert(chain, 1);
+                head_of.insert(id, chain);
+            }
+            while Instant::now() < horizon {
+                let Some((_, msg)) = cluster.next_delivery(Duration::from_millis(5)) else {
+                    continue;
+                };
+                note(&mut latency, &sent_at, &mut measured, msg.id, Instant::now());
+                received += 1;
+                if let Some(&chain) = head_of.get(&msg.id) {
+                    if advanced.insert(msg.id) {
+                        let at = cursor[&chain];
+                        if let Some(w) = chains[&chain].get(at) {
+                            let id = publish(&mut cluster, &mut sent_at, &mut expected, w);
+                            cursor.insert(chain, at + 1);
+                            head_of.insert(id, chain);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Drain the tail: everything published must still arrive everywhere.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while received < expected && Instant::now() < deadline {
+        match cluster.next_delivery(Duration::from_millis(20)) {
+            Some((_, msg)) => {
+                note(&mut latency, &sent_at, &mut measured, msg.id, Instant::now());
+                received += 1;
+            }
+            None => {}
+        }
+    }
+    assert_eq!(received, expected, "runtime load run lost deliveries");
+    let elapsed = Instant::now().duration_since(warmup).as_secs_f64().max(1e-3);
+    cluster.shutdown();
+    let allocs = allocations() - allocs_before;
+    DriverReport {
+        driver: "runtime",
+        time_base: "wall-us",
+        published: sent_at.len() as u64,
+        delivered: measured,
+        msgs_per_sec: measured as f64 / elapsed,
+        latency_us: latency,
+        allocations_per_message: allocs as f64 / (received as u64).max(1) as f64,
+        batch_sizes: cluster.batch_size_counts(),
+    }
+}
+
+fn report_json(r: &DriverReport) -> String {
+    let q = |v: Option<u64>| v.unwrap_or(0).to_string();
+    let sizes = r
+        .batch_sizes
+        .iter()
+        .map(|(size, count)| format!("\"{size}\": {count}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n      \"driver\": \"{}\",\n      \"time_base\": \"{}\",\n      \
+         \"messages_published\": {},\n      \"messages_delivered\": {},\n      \
+         \"msgs_per_sec\": {:.3},\n      \"delivery_latency_us\": {{\"p50\": {}, \
+         \"p95\": {}, \"p99\": {}, \"mean\": {:.1}, \"max\": {}, \"count\": {}}},\n      \
+         \"allocations_per_message\": {:.3},\n      \"batch_sizes\": {{{}}}\n    }}",
+        r.driver,
+        r.time_base,
+        r.published,
+        r.delivered,
+        r.msgs_per_sec,
+        q(r.latency_us.p50()),
+        q(r.latency_us.p95()),
+        q(r.latency_us.p99()),
+        r.latency_us.mean().unwrap_or(0.0),
+        q(r.latency_us.max()),
+        r.latency_us.count(),
+        r.allocations_per_message,
+        sizes
+    )
+}
+
+fn write_json(cfg: &LoadConfig, reports: &[DriverReport]) {
+    let drivers = reports.iter().map(report_json).collect::<Vec<_>>().join(",\n    ");
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_5\",\n  \"schema_version\": 1,\n  \"seed\": {},\n  \
+         \"workload\": {{\n    \"mode\": \"{}\",\n    \"groups\": {},\n    \"overlap\": {},\n    \
+         \"rate_hz\": {:.3},\n    \"chains\": {},\n    \"warmup_ms\": {},\n    \
+         \"measure_ms\": {},\n    \"smoke\": {}\n  }},\n  \"drivers\": [\n    {}\n  ]\n}}\n",
+        cfg.seed,
+        cfg.mode.name(),
+        cfg.groups,
+        cfg.overlap,
+        cfg.rate_hz,
+        cfg.chains,
+        cfg.warmup_ms,
+        cfg.measure_ms,
+        cfg.smoke,
+        drivers
+    );
+    if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&cfg.out, json).expect("write BENCH json");
+    println!("wrote {}", cfg.out);
+}
+
+fn cmd_load(args: &[String]) {
+    let cfg = parse_load(args);
+    let m = membership(cfg.groups, cfg.overlap);
+    let items = workload(&cfg, &m);
+    let mut reports = Vec::new();
+    if matches!(cfg.driver, Driver::Sim | Driver::Both) {
+        reports.push(run_sim_driver(&cfg, &m, &items));
+    }
+    if matches!(cfg.driver, Driver::Runtime | Driver::Both) {
+        reports.push(run_runtime_driver(&cfg, &m, &items));
+    }
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.driver.to_string(),
+                r.published.to_string(),
+                r.delivered.to_string(),
+                f3(r.msgs_per_sec),
+                r.latency_us.p50().unwrap_or(0).to_string(),
+                r.latency_us.p95().unwrap_or(0).to_string(),
+                r.latency_us.p99().unwrap_or(0).to_string(),
+                f3(r.allocations_per_message),
+                r.batch_sizes.keys().max().copied().unwrap_or(0).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("seqnet-bench load ({}-loop, seed {})", cfg.mode.name(), cfg.seed),
+        &[
+            "driver", "published", "measured", "msgs/s", "p50us", "p95us", "p99us",
+            "allocs/msg", "max batch",
+        ],
+        &rows,
+    );
+    write_json(&cfg, &reports);
+}
+
+// ---------------------------------------------------------------------------
+// `validate`: a dependency-free JSON reader plus the BENCH_* schema checks.
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON value — just enough to validate the bench schema.
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+    fn error(&self, what: &str) -> ! {
+        panic!("invalid JSON at byte {}: {what}", self.pos)
+    }
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        if self.pos >= self.bytes.len() {
+            self.error("unexpected end of input")
+        }
+        self.bytes[self.pos]
+    }
+    fn eat(&mut self, b: u8) {
+        if self.peek() != b {
+            self.error(&format!("expected {:?}", b as char))
+        }
+        self.pos += 1;
+    }
+    fn eat_lit(&mut self, lit: &str) {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+        } else {
+            self.error(&format!("expected {lit}"))
+        }
+    }
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => {
+                self.eat(b'{');
+                let mut fields = Vec::new();
+                if self.peek() != b'}' {
+                    loop {
+                        let key = self.string();
+                        self.eat(b':');
+                        fields.push((key, self.value()));
+                        if self.peek() == b',' {
+                            self.eat(b',');
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat(b'}');
+                Json::Obj(fields)
+            }
+            b'[' => {
+                self.eat(b'[');
+                let mut items = Vec::new();
+                if self.peek() != b']' {
+                    loop {
+                        items.push(self.value());
+                        if self.peek() == b',' {
+                            self.eat(b',');
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat(b']');
+                Json::Arr(items)
+            }
+            b'"' => Json::Str(self.string()),
+            b't' => {
+                self.eat_lit("true");
+                Json::Bool(true)
+            }
+            b'f' => {
+                self.eat_lit("false");
+                Json::Bool(false)
+            }
+            b'n' => {
+                self.eat_lit("null");
+                Json::Null
+            }
+            _ => {
+                let start = self.pos;
+                while self.pos < self.bytes.len()
+                    && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                Json::Num(text.parse().unwrap_or_else(|_| self.error("bad number")))
+            }
+        }
+    }
+    fn string(&mut self) -> String {
+        self.eat(b'"');
+        let mut out = String::new();
+        loop {
+            if self.pos >= self.bytes.len() {
+                self.error("unterminated string")
+            }
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.bytes.get(self.pos).copied().unwrap_or(b'"');
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                    self.pos += 1;
+                }
+                other => {
+                    out.push(other as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Validates one BENCH_*.json against the schema `results/README.md`
+/// documents. Process exit code is the CI contract: 0 valid, 1 invalid.
+fn cmd_validate(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| { eprintln!("cannot read {path}: {e}"); std::process::exit(1) });
+    let mut parser = Parser::new(&text);
+    let doc = parser.value();
+    let mut errors: Vec<String> = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            errors.push(what.to_string());
+        }
+    };
+
+    check(
+        doc.get("bench").and_then(Json::str).map(|b| b.starts_with("BENCH_")) == Some(true),
+        "top-level \"bench\" must be a \"BENCH_*\" string",
+    );
+    check(
+        doc.get("schema_version").and_then(Json::num) == Some(1.0),
+        "\"schema_version\" must be 1",
+    );
+    check(doc.get("seed").and_then(Json::num).is_some(), "\"seed\" must be a number");
+    let workload = doc.get("workload");
+    check(workload.is_some(), "\"workload\" object missing");
+    if let Some(w) = workload {
+        check(
+            matches!(w.get("mode").and_then(Json::str), Some("open") | Some("closed")),
+            "workload.mode must be \"open\" or \"closed\"",
+        );
+        for key in ["groups", "overlap", "rate_hz", "chains", "warmup_ms", "measure_ms"] {
+            check(
+                w.get(key).and_then(Json::num).is_some(),
+                &format!("workload.{key} must be a number"),
+            );
+        }
+        check(
+            matches!(w.get("smoke"), Some(Json::Bool(_))),
+            "workload.smoke must be a bool",
+        );
+    }
+    match doc.get("drivers") {
+        Some(Json::Arr(drivers)) if !drivers.is_empty() => {
+            for (i, d) in drivers.iter().enumerate() {
+                let at = |what: &str| format!("drivers[{i}].{what}");
+                check(
+                    matches!(d.get("driver").and_then(Json::str), Some("sim") | Some("runtime")),
+                    &at("driver must be \"sim\" or \"runtime\""),
+                );
+                check(
+                    matches!(
+                        d.get("time_base").and_then(Json::str),
+                        Some("virtual-us") | Some("wall-us")
+                    ),
+                    &at("time_base must be \"virtual-us\" or \"wall-us\""),
+                );
+                for key in ["messages_published", "messages_delivered", "allocations_per_message"] {
+                    check(
+                        d.get(key).and_then(Json::num).map_or(false, |n| n >= 0.0),
+                        &at(&format!("{key} must be a non-negative number")),
+                    );
+                }
+                check(
+                    d.get("msgs_per_sec").and_then(Json::num).map_or(false, |n| n > 0.0),
+                    &at("msgs_per_sec must be positive"),
+                );
+                match d.get("delivery_latency_us") {
+                    Some(lat) => {
+                        let pct = |k: &str| lat.get(k).and_then(Json::num);
+                        for key in ["p50", "p95", "p99", "mean", "max", "count"] {
+                            check(pct(key).is_some(), &at(&format!("delivery_latency_us.{key}")));
+                        }
+                        if let (Some(p50), Some(p95), Some(p99)) =
+                            (pct("p50"), pct("p95"), pct("p99"))
+                        {
+                            check(
+                                p50 <= p95 && p95 <= p99,
+                                &at("latency percentiles must be non-decreasing"),
+                            );
+                        }
+                    }
+                    None => check(false, &at("delivery_latency_us object missing")),
+                }
+                match d.get("batch_sizes") {
+                    Some(Json::Obj(sizes)) => {
+                        for (size, count) in sizes {
+                            check(
+                                size.parse::<usize>().map_or(false, |s| s >= 1),
+                                &at("batch_sizes keys must be positive integers"),
+                            );
+                            check(
+                                count.num().map_or(false, |c| c >= 1.0),
+                                &at("batch_sizes counts must be positive"),
+                            );
+                        }
+                    }
+                    _ => check(false, &at("batch_sizes object missing")),
+                }
+            }
+        }
+        _ => check(false, "\"drivers\" must be a non-empty array"),
+    }
+
+    if errors.is_empty() {
+        println!("{path}: valid — schema_version 1, all checks passed");
+    } else {
+        eprintln!("{path}: INVALID");
+        for e in &errors {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("load") => cmd_load(&args[1..]),
+        Some("validate") => {
+            let path = args.get(1).map(String::as_str).unwrap_or("results/BENCH_5.json");
+            cmd_validate(path);
+        }
+        _ => usage(),
+    }
+}

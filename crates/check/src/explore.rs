@@ -143,6 +143,16 @@ fn dfs(
             stats.truncated = true;
             return Ok(());
         }
+        for oracle in oracles {
+            if let Err(violation) = oracle.check_edge(world, transition) {
+                let mut decisions = path.clone();
+                decisions.push(index as u32);
+                return Err(Counterexample {
+                    trace: ScheduleTrace { seed: 0, decisions },
+                    violation,
+                });
+            }
+        }
         let mut child = world.clone();
         let record = child.step(transition);
         stats.transitions += 1;

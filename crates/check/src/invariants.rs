@@ -1,9 +1,11 @@
 //! Pluggable invariant oracles checked against every explored state.
 //!
-//! Each oracle sees the world at three moments: once at the initial state
-//! ([`Invariant::check_initial`]), after every executed transition
-//! ([`Invariant::check_step`]), and at every terminal state
-//! ([`Invariant::check_terminal`]). Safety properties (consistency,
+//! Each oracle sees the world at four moments: once at the initial state
+//! ([`Invariant::check_initial`]), on every explored edge before it fires
+//! ([`Invariant::check_edge`] — where differential oracles like
+//! [`BatchVsStep`] re-execute the transition on clones), after every
+//! executed transition ([`Invariant::check_step`]), and at every terminal
+//! state ([`Invariant::check_terminal`]). Safety properties (consistency,
 //! causality, no-duplication, staged output) are per-step so a violation
 //! is caught at the earliest state exhibiting it — which keeps
 //! counterexamples short before shrinking even starts. Completeness
@@ -16,7 +18,7 @@ use seqnet_overlap::Colocation;
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::model::{StepRecord, World};
+use crate::model::{StepRecord, Transition, World};
 
 /// A detected invariant violation: which oracle fired and why.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +44,15 @@ pub trait Invariant {
 
     /// Checked once on the initial state, before any transition.
     fn check_initial(&self, _world: &World) -> Result<(), Violation> {
+        Ok(())
+    }
+
+    /// Checked on every explored edge, *before* the transition executes
+    /// on the exploration's own world: `pre` is the source state and
+    /// `transition` is enabled in it. Differential oracles (like
+    /// [`BatchVsStep`]) re-execute the transition on clones of `pre`
+    /// here; the exploration's world is untouched either way.
+    fn check_edge(&self, _pre: &World, _transition: Transition) -> Result<(), Violation> {
         Ok(())
     }
 
@@ -283,6 +294,59 @@ impl Invariant for StructuralValidity {
     }
 }
 
+/// The PROTOCOL.md §12 equivalence contract, checked differentially on
+/// every explored edge: executing any enabled transition through the
+/// batched fast path ([`World::step_batched`] — `NodeCore::on_events`,
+/// `ReceiverCore::offer_batch`, batched restart replay) must leave the
+/// world in exactly the state, with exactly the step record, that
+/// per-event stepping produces. With this oracle registered,
+/// `seqnet-check --all` fails if batched and stepped execution diverge on
+/// any explored schedule — while the exploration itself keeps stepping
+/// the *unbatched* semantics.
+pub struct BatchVsStep;
+
+impl Invariant for BatchVsStep {
+    fn name(&self) -> &'static str {
+        "batch-vs-step"
+    }
+
+    fn check_edge(&self, pre: &World, transition: Transition) -> Result<(), Violation> {
+        let mut stepped = pre.clone();
+        let mut batched = pre.clone();
+        let s = stepped.step(transition);
+        let b = batched.step_batched(transition);
+        if stepped.state_hash() != batched.state_hash() {
+            return Err(Violation {
+                invariant: self.name(),
+                detail: format!(
+                    "batched execution of `{transition}` diverged from stepped: state {:016x} vs {:016x}",
+                    batched.state_hash(),
+                    stepped.state_hash()
+                ),
+            });
+        }
+        if s.delivered_now != b.delivered_now {
+            return Err(Violation {
+                invariant: self.name(),
+                detail: format!(
+                    "batched `{transition}` delivered {:?}, stepped delivered {:?}",
+                    b.delivered_now, s.delivered_now
+                ),
+            });
+        }
+        if s.unstaged_sends != b.unstaged_sends {
+            return Err(Violation {
+                invariant: self.name(),
+                detail: format!(
+                    "batched `{transition}` recorded unstaged sends {:?}, stepped {:?}",
+                    b.unstaged_sends, s.unstaged_sends
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 use rand::SeedableRng;
 
 /// The full oracle battery every checked run uses by default.
@@ -293,6 +357,7 @@ pub fn default_oracles() -> Vec<Box<dyn Invariant>> {
         Box::new(NoLossNoDup),
         Box::new(StagedOutput),
         Box::new(StructuralValidity),
+        Box::new(BatchVsStep),
     ]
 }
 
@@ -309,7 +374,7 @@ mod tests {
     }
 
     #[test]
-    fn default_battery_has_the_five_issue_oracles() {
+    fn default_battery_has_the_six_issue_oracles() {
         let names: Vec<&str> = default_oracles().iter().map(|o| o.name()).collect();
         assert_eq!(
             names,
@@ -319,8 +384,28 @@ mod tests {
                 "no-loss-no-dup",
                 "staged-output",
                 "structural-validity",
+                "batch-vs-step",
             ]
         );
+    }
+
+    #[test]
+    fn batch_vs_step_accepts_every_edge_of_a_crashy_run() {
+        let sc = scenario::two_group_overlap().with_group_commit().crash_variant();
+        let mut world = World::new(&sc);
+        let mut steps = 0usize;
+        loop {
+            let enabled = world.enabled();
+            let Some(&t) = enabled.get(steps % enabled.len().max(1)) else {
+                break;
+            };
+            BatchVsStep
+                .check_edge(&world, t)
+                .unwrap_or_else(|v| panic!("step {steps}: {v}"));
+            world.step(t);
+            steps += 1;
+            assert!(steps < 10_000, "schedule does not terminate");
+        }
     }
 
     #[test]

@@ -23,8 +23,13 @@
 //! Invariants are first-class pluggable oracles ([`invariants`]): pairwise
 //! per-group delivery consistency (Theorem 1), causality for
 //! self-subscribing publishers, no-loss/no-duplication across crash
-//! windows, the group-commit staged-output rule (PROTOCOL.md §8), and
-//! C1/C2 structural validity after `overlap::build`/`colocate`.
+//! windows, the group-commit staged-output rule (PROTOCOL.md §8), C1/C2
+//! structural validity after `overlap::build`/`colocate`, and the batched
+//! execution contract (PROTOCOL.md §12): on every explored edge the
+//! `batch-vs-step` oracle re-executes the transition through the batched
+//! core fast path and fails the run if it diverges from per-event
+//! stepping — while the exploration itself keeps stepping the unbatched
+//! semantics.
 //!
 //! The named configurations under [`scenario`] include the generalization
 //! of the original ad-hoc `tests/model_check_case3.rs` sweep; the
@@ -56,7 +61,7 @@ pub mod scenario;
 pub mod shrink;
 
 pub use explore::{explore, Counterexample, ExploreConfig, ExploreStats, Outcome};
-pub use invariants::{default_oracles, Invariant, Violation};
+pub use invariants::{default_oracles, BatchVsStep, Invariant, Violation};
 pub use model::{StepRecord, Transition, World};
 pub use random::{random_walks, RandomConfig};
 pub use scenario::{Publish, Scenario};

@@ -16,7 +16,9 @@
 //! makes a [`seqnet_sim::ScheduleTrace`] replayable.
 
 use seqnet_core::proto::trace::{Actor, EventKind, NullSink, TraceEvent, TraceSink};
-use seqnet_core::proto::{Command, Digest, Event, Frame, NodeCore, Peer, ProtocolState, ReceiverCore, Routing};
+use seqnet_core::proto::{
+    Command, CommandBuf, Digest, Event, Frame, NodeCore, Peer, ProtocolState, ReceiverCore, Routing,
+};
 use seqnet_core::{Message, MessageId};
 use seqnet_membership::{GroupId, NodeId};
 use seqnet_overlap::{GraphBuilder, SequencingGraph};
@@ -381,6 +383,161 @@ impl World {
         record
     }
 
+    /// [`World::step`] through the batched fast path (PROTOCOL.md §12):
+    /// core events go through [`NodeCore::on_events`] /
+    /// [`ReceiverCore::offer_batch`] with a [`CommandBuf`], and a
+    /// restart's replayed frames re-enter the core as *one* batch instead
+    /// of one call per frame. The `batch-vs-step` oracle holds this method
+    /// to state-and-record equivalence with [`World::step`] on every
+    /// explored edge; it exists for that differential check, not for
+    /// speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition` is not currently enabled (checker bug).
+    pub fn step_batched(&mut self, transition: Transition) -> StepRecord {
+        let mut record = StepRecord {
+            transition,
+            unstaged_sends: Vec::new(),
+            delivered_now: Vec::new(),
+        };
+        let setup = self.setup.clone();
+        match transition {
+            // Publishing touches no core API; the paths are identical.
+            Transition::Publish(_) => return self.step(transition),
+            Transition::Deliver(src, dst) => {
+                let frame = {
+                    let queue = self
+                        .channels
+                        .get_mut(&(src, dst))
+                        .unwrap_or_else(|| panic!("{transition} not enabled"));
+                    let frame = queue.pop_front().expect("channel nonempty");
+                    if queue.is_empty() {
+                        self.channels.remove(&(src, dst));
+                    }
+                    frame
+                };
+                match dst {
+                    Peer::Node(node) => {
+                        *self.rx_count[node].entry(src).or_insert(0) += 1;
+                        let routing =
+                            Routing::solo(&setup.scenario.membership, &setup.graph);
+                        let mut buf = CommandBuf::new();
+                        self.cores[node].on_events(
+                            &routing,
+                            &mut self.protocol,
+                            [Event::FrameArrived { frame }],
+                            &mut buf,
+                        );
+                        self.execute_batched(node, buf.into_commands(), &mut record);
+                    }
+                    Peer::Host(host) => {
+                        let receiver = self
+                            .receivers
+                            .get_mut(&host)
+                            .unwrap_or_else(|| panic!("{host} has no receiver"));
+                        let mut buf = CommandBuf::new();
+                        receiver.offer_batch([Event::FrameArrived { frame }], &mut buf);
+                        for cmd in buf.drain() {
+                            match cmd {
+                                Command::Deliver { host, msg } => {
+                                    self.delivered
+                                        .get_mut(&host)
+                                        .expect("known host")
+                                        .push((msg.id, msg.group));
+                                    record.delivered_now.push((host, msg.id, msg.group));
+                                }
+                                other => panic!("receiver emitted {other:?}"),
+                            }
+                        }
+                    }
+                    Peer::Publisher => panic!("frames never flow to the publisher"),
+                }
+            }
+            Transition::Fault(node, kind) => {
+                let popped = self.faults[node].pop_front();
+                assert_eq!(popped, Some(kind), "{transition} not enabled");
+                let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+                let event = match kind {
+                    FaultKind::Crash => Event::NodeCrashed,
+                    FaultKind::Restart => Event::NodeRestarted,
+                };
+                let mut buf = CommandBuf::new();
+                self.cores[node].on_events(&routing, &mut self.protocol, [event], &mut buf);
+                self.execute_batched(node, buf.into_commands(), &mut record);
+            }
+            Transition::Snapshot(node) => {
+                assert!(
+                    !self.staged[node].is_empty() && self.cores[node].is_accepting(),
+                    "{transition} not enabled"
+                );
+                let rx_next: Vec<(Peer, u64)> = self.rx_count[node]
+                    .iter()
+                    .map(|(&peer, &count)| (peer, count + 1))
+                    .collect();
+                let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+                let mut buf = CommandBuf::new();
+                self.cores[node].on_events(
+                    &routing,
+                    &mut self.protocol,
+                    [Event::SnapshotTaken { rx_next }],
+                    &mut buf,
+                );
+                self.execute_batched(node, buf.into_commands(), &mut record);
+            }
+        }
+        record
+    }
+
+    /// [`World::execute`] for the batched path: maximal runs of
+    /// [`Command::Replay`] re-enter the core as one `on_events` batch (the
+    /// command-order position of the run is preserved, so interleaved
+    /// non-replay commands still execute where stepped execution would).
+    fn execute_batched(&mut self, node: usize, cmds: Vec<Command>, record: &mut StepRecord) {
+        let setup = self.setup.clone();
+        let mut replays: Vec<Event> = Vec::new();
+        for cmd in cmds {
+            if !matches!(cmd, Command::Replay { .. }) && !replays.is_empty() {
+                self.replay_batch(node, std::mem::take(&mut replays), record);
+            }
+            match cmd {
+                Command::Send { to, frame } => {
+                    if setup.scenario.group_commit {
+                        record.unstaged_sends.push((node, frame.msg.id));
+                    }
+                    self.enqueue(Peer::Node(node), to, frame);
+                }
+                Command::Stage { to, frame } => {
+                    self.staged[node].push((to, frame));
+                }
+                Command::Flush => {
+                    let staged = std::mem::take(&mut self.staged[node]);
+                    for (to, frame) in staged {
+                        self.enqueue(Peer::Node(node), to, frame);
+                    }
+                }
+                Command::Ack { .. } => {}
+                Command::Replay { frame } => {
+                    replays.push(Event::FrameArrived { frame });
+                }
+                Command::Deliver { .. } => panic!("node cores never deliver"),
+            }
+        }
+        if !replays.is_empty() {
+            self.replay_batch(node, replays, record);
+        }
+    }
+
+    /// Feeds a run of replayed frames into `node`'s core as one batch and
+    /// executes the resulting commands (batched, recursively).
+    fn replay_batch(&mut self, node: usize, events: Vec<Event>, record: &mut StepRecord) {
+        let setup = self.setup.clone();
+        let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+        let mut buf = CommandBuf::new();
+        self.cores[node].on_events(&routing, &mut self.protocol, events, &mut buf);
+        self.execute_batched(node, buf.into_commands(), record);
+    }
+
     /// Executes the commands a node core returned. [`Command::Replay`]
     /// re-enters the core immediately (the driver contract: parked frames
     /// are re-presented at the restart instant, before any new arrival).
@@ -609,6 +766,40 @@ mod tests {
         assert_ne!(mid_a, ba.state_hash(), "different prefixes differ");
         ba.step(Transition::Publish(0));
         assert_eq!(ab.state_hash(), ba.state_hash(), "diamond rejoins");
+    }
+
+    #[test]
+    fn batched_stepping_matches_per_event_stepping() {
+        // Drive stepped and batched worlds in lockstep over a varied
+        // schedule (rotating pick hits publishes, deliveries, crash
+        // windows with parked-frame replays, and snapshot flushes).
+        for sc in [
+            scenario::two_group_overlap(),
+            scenario::two_group_overlap().crash_variant(),
+            scenario::two_group_overlap().with_group_commit(),
+        ] {
+            let mut stepped = World::new(&sc);
+            let mut batched = World::new(&sc);
+            let mut steps = 0usize;
+            loop {
+                let enabled = stepped.enabled();
+                assert_eq!(enabled, batched.enabled(), "{}: enabled sets agree", sc.name);
+                let Some(&t) = enabled.get(steps % enabled.len().max(1)) else {
+                    break;
+                };
+                let s = stepped.step(t);
+                let b = batched.step_batched(t);
+                assert_eq!(
+                    stepped.state_hash(),
+                    batched.state_hash(),
+                    "{}: states agree after {t}",
+                    sc.name
+                );
+                assert_eq!(format!("{s:?}"), format!("{b:?}"), "{}: records agree", sc.name);
+                steps += 1;
+                assert!(steps < 10_000, "schedule does not terminate");
+            }
+        }
     }
 
     #[test]

@@ -125,6 +125,15 @@ fn one_walk(
             return Ok(());
         }
         let index = (splitmix64(&mut rng_state) % enabled.len() as u64) as u32;
+        for oracle in oracles {
+            if let Err(violation) = oracle.check_edge(&world, enabled[index as usize]) {
+                decisions.push(index);
+                return Err(Counterexample {
+                    trace: ScheduleTrace { seed, decisions },
+                    violation,
+                });
+            }
+        }
         let record = world.step(enabled[index as usize]);
         decisions.push(index);
         stats.transitions += 1;

@@ -86,6 +86,14 @@ pub fn replay_traced<S: TraceSink + ?Sized>(
         }
         let index = raw % enabled.len() as u32;
         let transition = enabled[index as usize];
+        for oracle in oracles {
+            if let Err(violation) = oracle.check_edge(&world, transition) {
+                result.executed.push(index);
+                let _ = writeln!(result.log, "step {step}: VIOLATION {violation}");
+                result.violation = Some(violation);
+                return result;
+            }
+        }
         sink.now(step as u64);
         let record = world.step_traced(transition, sink);
         result.executed.push(index);

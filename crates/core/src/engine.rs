@@ -2,7 +2,9 @@
 //! sequencing, and distribution (paper §3).
 
 use crate::proto::trace::{Actor, EventKind, TraceEvent, TraceSink};
-use crate::proto::{Command, Event, Frame, NodeCore, Peer, ReceiverCore, RecoveryStats, Routing};
+use crate::proto::{
+    Command, CommandBuf, Event, Frame, NodeCore, Peer, ReceiverCore, RecoveryStats, Routing,
+};
 use crate::{CoreError, DelayModel, DelayTable, Endpoint, Message, MessageId, ProtocolState};
 use bytes::Bytes;
 use rand::Rng;
@@ -10,7 +12,7 @@ use seqnet_membership::{GroupId, Membership, NodeId};
 use seqnet_overlap::{AtomId, Colocation, GraphBuilder, Placement, SequencingGraph};
 use seqnet_sim::{FaultPlan, FifoStamper, SimTime, Simulator};
 use seqnet_topology::{ClusteredAttachment, HostMap, Topology, TransitStubParams};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 /// One message delivered to one destination, with full timing.
@@ -147,6 +149,26 @@ struct World {
     receivers: BTreeMap<NodeId, ReceiverCore>,
     delays: DelayModel,
     fifo: FifoStamper<(Endpoint, Endpoint)>,
+    /// One in-flight queue per directed channel, ordered by arrival time
+    /// (the [`FifoStamper`] clamps arrivals to be non-decreasing per
+    /// channel, so pushes always append in order). Whenever a queue is
+    /// non-empty, exactly one `pump_channel` event is scheduled at or
+    /// before its head's arrival; the pump drains every frame due at its
+    /// instant — up to `batch_limit` — into one batched core call.
+    channels: HashMap<(Endpoint, Endpoint), VecDeque<(SimTime, Message)>>,
+    /// Largest number of frames a single pump may hand the core at once.
+    /// `usize::MAX` (the default) batches everything due; `1` degenerates
+    /// to per-event stepping, the mode differential tests compare against.
+    batch_limit: usize,
+    /// Histogram of realized batch sizes (batch size → pump count).
+    batch_sizes: BTreeMap<usize, u64>,
+    /// Reused command buffer for the batched core calls.
+    cmdbuf: CommandBuf,
+    /// Reused scratch holding the frames of the batch being pumped.
+    batch_scratch: Vec<Message>,
+    /// Reused scratch holding computed (destination, arrival, message)
+    /// transmissions until the world borrow ends and they can be enqueued.
+    outbox: Vec<(Endpoint, SimTime, Message)>,
     next_id: u64,
     publish_time: HashMap<MessageId, SimTime>,
     arrivals: HashMap<(MessageId, NodeId), SimTime>,
@@ -278,6 +300,12 @@ impl OrderedPubSub {
             graph,
             delays,
             fifo: FifoStamper::new(),
+            channels: HashMap::new(),
+            batch_limit: usize::MAX,
+            batch_sizes: BTreeMap::new(),
+            cmdbuf: CommandBuf::new(),
+            batch_scratch: Vec::new(),
+            outbox: Vec::new(),
             next_id: 0,
             publish_time: HashMap::new(),
             arrivals: HashMap::new(),
@@ -302,6 +330,25 @@ impl OrderedPubSub {
     /// retroactively.
     pub fn set_trace_sink(&mut self, sink: Arc<Mutex<dyn TraceSink + Send>>) {
         self.sim.world_mut().sink = Some(sink);
+    }
+
+    /// Selects between the batched fast path (the default: every frame
+    /// due on a channel at the same instant flows through one
+    /// [`NodeCore::on_events`] / [`ReceiverCore::offer_batch`] call with
+    /// reused buffers) and per-event stepping (`false`: batch limit 1,
+    /// one core call per frame). The two modes are semantically
+    /// equivalent — same delivery orders, same timestamps, same stats
+    /// (PROTOCOL.md §12) — which `tests/batch_equivalence.rs` verifies;
+    /// stepping exists for that comparison and for bisecting.
+    pub fn set_batching(&mut self, enabled: bool) {
+        self.sim.world_mut().batch_limit = if enabled { usize::MAX } else { 1 };
+    }
+
+    /// Histogram of realized batch sizes: how many channel pumps handed
+    /// the cores a batch of each size. Per-event stepping reports every
+    /// pump under size 1.
+    pub fn batch_size_counts(&self) -> &BTreeMap<usize, u64> {
+        &self.sim.world().batch_sizes
     }
 
     /// Publishes a message at the current virtual time.
@@ -674,48 +721,118 @@ fn inject(sim: &mut Simulator<World>, id: MessageId, sender: NodeId, group: Grou
     let arrival = world
         .fifo
         .arrival((Endpoint::Host(sender), Endpoint::Atom(ingress)), now, delay);
-    sim.schedule_at(arrival, move |sim| at_atom(sim, msg, ingress));
+    enqueue_channel(sim, Endpoint::Host(sender), Endpoint::Atom(ingress), arrival, msg);
 }
 
-/// Event: a message arrives at a sequencing atom. The atom's protocol
-/// core makes every ordering decision (stamp, forward, park); this driver
-/// only translates the emitted commands into scheduled transmissions
-/// under the delay, partition, and loss models.
-fn at_atom(sim: &mut Simulator<World>, msg: Message, atom: AtomId) {
+/// Appends a frame to its directed channel and, if the queue was empty,
+/// schedules the pump that will drain it. The [`FifoStamper`] guarantees
+/// per-channel arrivals are non-decreasing, so appending preserves the
+/// queue's arrival order and the already-scheduled pump (at the old head's
+/// arrival, ≤ this one) stays correct for a non-empty queue.
+fn enqueue_channel(
+    sim: &mut Simulator<World>,
+    from: Endpoint,
+    to: Endpoint,
+    arrival: SimTime,
+    msg: Message,
+) {
+    let world = sim.world_mut();
+    let queue = world.channels.entry((from, to)).or_default();
+    debug_assert!(
+        queue.back().map_or(true, |&(a, _)| a <= arrival),
+        "FIFO stamping keeps channel arrivals non-decreasing"
+    );
+    let was_empty = queue.is_empty();
+    queue.push_back((arrival, msg));
+    if was_empty {
+        sim.schedule_at(arrival, move |sim| pump_channel(sim, from, to));
+    }
+}
+
+/// Event: a channel pump fires. Drains every frame due now (up to the
+/// batch limit) into one batched core call, and reschedules itself if
+/// frames remain. This is the simulator's event-batching point: identical
+/// arrival instants — bursts, fan-ins, replay storms — reach the core as
+/// one batch instead of one event each.
+fn pump_channel(sim: &mut Simulator<World>, from: Endpoint, to: Endpoint) {
+    let now = sim.now();
+    let (mut batch, reschedule) = {
+        let world = sim.world_mut();
+        let limit = world.batch_limit.max(1);
+        let queue = world
+            .channels
+            .get_mut(&(from, to))
+            .expect("a scheduled pump has a channel queue");
+        let mut batch = std::mem::take(&mut world.batch_scratch);
+        while batch.len() < limit && queue.front().is_some_and(|&(a, _)| a <= now) {
+            batch.push(queue.pop_front().expect("front checked").1);
+        }
+        debug_assert!(!batch.is_empty(), "pumps fire at their head's arrival");
+        *world.batch_sizes.entry(batch.len()).or_insert(0) += 1;
+        (batch, queue.front().map(|&(a, _)| a.max(now)))
+    };
+    // Keep the queue-nonempty ⇒ pump-scheduled invariant before touching
+    // the cores (which may enqueue onto *other* channels, never this one).
+    if let Some(at) = reschedule {
+        sim.schedule_at(at, move |sim| pump_channel(sim, from, to));
+    }
+    match to {
+        Endpoint::Atom(atom) => at_atom_batch(sim, &mut batch, atom),
+        Endpoint::Host(member) => arrive_batch(sim, &mut batch, member),
+    }
+    sim.world_mut().batch_scratch = batch;
+}
+
+/// Event: a batch of messages reaches a sequencing atom. The atom's
+/// protocol core makes every ordering decision (stamp, forward, park);
+/// this driver only translates the emitted commands into channel
+/// transmissions under the delay, partition, and loss models. `msgs` is
+/// drained in order; processing a batch of n is semantically identical to
+/// n single arrivals (PROTOCOL.md §12), the commands merely accumulate in
+/// one reused buffer.
+fn at_atom_batch(sim: &mut Simulator<World>, msgs: &mut Vec<Message>, atom: AtomId) {
     let now = sim.now();
     let world = sim.world_mut();
-    let id = msg.id;
-    let frame = Frame {
-        msg,
-        target_atom: Some(atom),
-    };
-    let routing = Routing::solo(&world.membership, &world.graph);
-    let core = &mut world.cores[atom.0 as usize];
-    if core.is_accepting() {
-        // Parked arrivals get their trace entry when the replay
-        // re-processes them, so the hop timestamps reflect actual work.
-        world
-            .traces
-            .entry(id)
-            .or_default()
-            .push((Endpoint::Atom(atom), now));
-    }
-    let event = Event::FrameArrived { frame };
-    let commands = match &world.sink {
-        Some(sink) => {
-            let mut sink = sink.lock().expect("trace sink poisoned");
-            sink.now(now.as_micros());
-            core.on_event_traced(&routing, &mut world.protocol, event, &mut *sink)
+    let mut out = std::mem::take(&mut world.cmdbuf);
+    debug_assert!(out.is_empty(), "command buffer is drained between pumps");
+    {
+        let routing = Routing::solo(&world.membership, &world.graph);
+        let core = &mut world.cores[atom.0 as usize];
+        if core.is_accepting() {
+            // Parked arrivals get their trace entry when the replay
+            // re-processes them, so the hop timestamps reflect actual
+            // work. Liveness cannot change inside a batch — crashes and
+            // restarts are separate events — so one check covers it.
+            for msg in msgs.iter() {
+                world
+                    .traces
+                    .entry(msg.id)
+                    .or_default()
+                    .push((Endpoint::Atom(atom), now));
+            }
         }
-        None => core.on_event(&routing, &mut world.protocol, event),
-    };
+        let events = msgs.drain(..).map(|msg| Event::FrameArrived {
+            frame: Frame {
+                msg,
+                target_atom: Some(atom),
+            },
+        });
+        match &world.sink {
+            Some(sink) => {
+                let mut sink = sink.lock().expect("trace sink poisoned");
+                sink.now(now.as_micros());
+                core.on_events_traced(&routing, &mut world.protocol, events, &mut *sink, &mut out);
+            }
+            None => core.on_events(&routing, &mut world.protocol, events, &mut out),
+        }
+    }
 
-    // Execute the emitted sends under the transport models. A node-core
-    // event yields either one forward to the next atom's owner or the
-    // egress fan-out to the group members, in membership order.
-    let mut hops: Vec<(SimTime, Message, AtomId)> = Vec::new();
-    let mut sends: Vec<(SimTime, Message, NodeId)> = Vec::new();
-    for command in commands {
+    // Execute the emitted sends under the transport models. Each frame
+    // yields either one forward to the next atom's owner or the egress
+    // fan-out to the group members, in membership order; arrival stamps
+    // are computed in command order, exactly as per-event stepping would.
+    let mut outbox = std::mem::take(&mut world.outbox);
+    for command in out.drain() {
         match command {
             Command::Send {
                 to: Peer::Node(_),
@@ -747,7 +864,7 @@ fn at_atom(sim: &mut Simulator<World>, msg: Message, atom: AtomId) {
                     world
                         .fifo
                         .arrival((Endpoint::Atom(atom), Endpoint::Atom(next)), start, delay);
-                hops.push((arrival, msg, next));
+                outbox.push((Endpoint::Atom(next), arrival, msg));
             }
             Command::Send {
                 to: Peer::Host(member),
@@ -775,17 +892,16 @@ fn at_atom(sim: &mut Simulator<World>, msg: Message, atom: AtomId) {
                     now,
                     delay,
                 );
-                sends.push((arrival, msg, member));
+                outbox.push((Endpoint::Host(member), arrival, msg));
             }
             other => unreachable!("unexpected node-core command {other:?}"),
         }
     }
-    for (arrival, msg, next) in hops {
-        sim.schedule_at(arrival, move |sim| at_atom(sim, msg, next));
+    world.cmdbuf = out;
+    for (dest, arrival, msg) in outbox.drain(..) {
+        enqueue_channel(sim, Endpoint::Atom(atom), dest, arrival, msg);
     }
-    for (arrival, msg, member) in sends {
-        sim.schedule_at(arrival, move |sim| arrive(sim, msg, member));
-    }
+    sim.world_mut().outbox = outbox;
 }
 
 /// Event: a crash window opens — the atom's core stops accepting and
@@ -821,6 +937,7 @@ fn restart_atom(sim: &mut Simulator<World>, atom: AtomId) {
     {
         return;
     }
+    let limit = world.batch_limit.max(1);
     let routing = Routing::solo(&world.membership, &world.graph);
     let core = &mut world.cores[atom.0 as usize];
     let commands = match &world.sink {
@@ -831,54 +948,72 @@ fn restart_atom(sim: &mut Simulator<World>, atom: AtomId) {
         }
         None => core.on_event(&routing, &mut world.protocol, Event::NodeRestarted),
     };
+    // Parked frames replay through the normal arrival path as natural
+    // batches at the restart instant (arrival order preserved), chunked
+    // to the batch limit so stepped mode replays one frame per call.
+    let mut batch = std::mem::take(&mut sim.world_mut().batch_scratch);
+    debug_assert!(batch.is_empty(), "replay scratch is drained between events");
     for command in commands {
         match command {
-            Command::Replay { frame } => at_atom(sim, frame.msg, atom),
+            Command::Replay { frame } => batch.push(frame.msg),
             other => unreachable!("unexpected restart command {other:?}"),
         }
+        if batch.len() >= limit {
+            at_atom_batch(sim, &mut batch, atom);
+        }
     }
+    if !batch.is_empty() {
+        at_atom_batch(sim, &mut batch, atom);
+    }
+    sim.world_mut().batch_scratch = batch;
 }
 
-/// Event: a message reaches a destination host. The receiver core runs
-/// the Definition 1 deliver-or-buffer decision and emits one `Deliver`
-/// command per released message; this driver records them.
-fn arrive(sim: &mut Simulator<World>, msg: Message, member: NodeId) {
+/// Event: a batch of messages reaches a destination host. The receiver
+/// core runs the Definition 1 deliver-or-buffer decision per frame (one
+/// batched call, reused buffers) and emits one `Deliver` command per
+/// released message; this driver records them. All frames in a batch
+/// share one arrival instant — the pump only coalesces same-instant
+/// arrivals — so the recorded timings equal per-event stepping's.
+fn arrive_batch(sim: &mut Simulator<World>, msgs: &mut Vec<Message>, member: NodeId) {
     let now = sim.now();
     let world = sim.world_mut();
-    world
-        .traces
-        .entry(msg.id)
-        .or_default()
-        .push((Endpoint::Host(member), now));
-    world.arrivals.insert((msg.id, member), now);
-    let receiver = world
-        .receivers
-        .get_mut(&member)
-        .expect("members have receiver cores");
-    let event = Event::FrameArrived {
-        frame: Frame {
-            msg,
-            target_atom: None,
-        },
-    };
-    let commands = match &world.sink {
-        Some(sink) => {
-            let mut sink = sink.lock().expect("trace sink poisoned");
-            sink.now(now.as_micros());
-            receiver.on_event_traced(event, &mut *sink)
+    let mut out = std::mem::take(&mut world.cmdbuf);
+    debug_assert!(out.is_empty(), "command buffer is drained between pumps");
+    {
+        for msg in msgs.iter() {
+            world
+                .traces
+                .entry(msg.id)
+                .or_default()
+                .push((Endpoint::Host(member), now));
+            world.arrivals.insert((msg.id, member), now);
         }
-        None => receiver.on_event(event),
-    };
-    let delivered: Vec<Message> = commands
-        .into_iter()
-        .map(|command| match command {
-            Command::Deliver { msg, .. } => msg,
-            other => unreachable!("unexpected receiver command {other:?}"),
-        })
-        .collect();
+        let receiver = world
+            .receivers
+            .get_mut(&member)
+            .expect("members have receiver cores");
+        let events = msgs.drain(..).map(|msg| Event::FrameArrived {
+            frame: Frame {
+                msg,
+                target_atom: None,
+            },
+        });
+        match &world.sink {
+            Some(sink) => {
+                let mut sink = sink.lock().expect("trace sink poisoned");
+                sink.now(now.as_micros());
+                receiver.offer_batch_traced(events, &mut *sink, &mut out);
+            }
+            None => receiver.offer_batch(events, &mut out),
+        }
+    }
 
     let mut fired: Vec<Trigger> = Vec::new();
-    for d in delivered {
+    for command in out.drain() {
+        let d = match command {
+            Command::Deliver { msg, .. } => msg,
+            other => unreachable!("unexpected receiver command {other:?}"),
+        };
         let published = world.publish_time[&d.id];
         let arrived = world.arrivals[&(d.id, member)];
         let unicast = world
@@ -908,6 +1043,7 @@ fn arrive(sim: &mut Simulator<World>, msg: Message, member: NodeId) {
             }
         }
     }
+    world.cmdbuf = out;
     for t in fired {
         inject(sim, t.id, t.sender, t.group, t.payload);
     }

@@ -20,6 +20,10 @@
 //!   ownership) a core consults per event.
 //! * [`RecoveryStats`] — crash-recovery counters shared by the
 //!   simulator's `FaultStats` and the runtime's `RuntimeStats`.
+//! * [`CommandBuf`] — the caller-owned command buffer behind the batched
+//!   fast path (`NodeCore::on_events`, `ReceiverCore::offer_batch`): a
+//!   batch is semantically a sequence of single events, executed without
+//!   per-message allocations (PROTOCOL.md §12).
 //! * [`Digest`] — platform-stable state digests; every core folds its
 //!   observable state in via `digest_into`, which is how the
 //!   `seqnet-check` model checker deduplicates explored states.
@@ -38,6 +42,7 @@
 //! produce identical per-receiver delivery orders.
 
 mod atom;
+mod batch;
 mod digest;
 mod event;
 mod node;
@@ -48,6 +53,7 @@ pub mod testing;
 pub mod trace;
 
 pub use atom::{NextHop, ProtocolState};
+pub use batch::CommandBuf;
 pub use digest::Digest;
 pub use event::{Command, Event, Frame, Peer};
 pub use node::NodeCore;

@@ -2,11 +2,11 @@
 //! replay, and group-commit — sans I/O.
 
 use super::atom::{NextHop, ProtocolState};
+use super::batch::CommandBuf;
 use super::event::{Command, Event, Frame, Peer};
 use super::routing::Routing;
 use super::stats::RecoveryStats;
 use super::trace::{Actor, EventKind, NullSink, TraceEvent, TraceSink};
-use seqnet_membership::NodeId;
 use std::collections::BTreeMap;
 
 /// The protocol logic of one sequencing node, as a pure event-in /
@@ -137,10 +137,10 @@ impl NodeCore {
     }
 
     /// [`NodeCore::on_event`] with protocol tracing: stamps, forwards,
-    /// crashes, and replays are reported to `sink` as they happen. This
-    /// is the single implementation — `on_event` delegates here with the
-    /// [`NullSink`], whose constant-false `enabled()` lets the compiler
-    /// drop every emission, so the untraced path costs nothing.
+    /// crashes, and replays are reported to `sink` as they happen. Thin
+    /// wrapper over [`NodeCore::on_event_into`] allocating a fresh buffer
+    /// per call; hot loops should batch via [`NodeCore::on_events`]
+    /// instead.
     pub fn on_event_traced<S: TraceSink + ?Sized>(
         &mut self,
         routing: &Routing<'_>,
@@ -148,38 +148,81 @@ impl NodeCore {
         event: Event,
         sink: &mut S,
     ) -> Vec<Command> {
+        let mut out = CommandBuf::new();
+        self.on_event_into(routing, protocol, event, sink, &mut out);
+        out.into_commands()
+    }
+
+    /// Batched fast path: feeds every event through the state machine in
+    /// order, appending the emitted commands to the caller-owned `out`.
+    /// Semantically identical to calling [`NodeCore::on_event`] per event
+    /// and concatenating the results (PROTOCOL.md §12) — but scratch
+    /// buffers are reused, so a warm buffer makes the whole batch
+    /// allocation-free apart from the frames themselves.
+    pub fn on_events(
+        &mut self,
+        routing: &Routing<'_>,
+        protocol: &mut ProtocolState,
+        events: impl IntoIterator<Item = Event>,
+        out: &mut CommandBuf,
+    ) {
+        self.on_events_traced(routing, protocol, events, &mut NullSink, out);
+    }
+
+    /// [`NodeCore::on_events`] with protocol tracing.
+    pub fn on_events_traced<S: TraceSink + ?Sized>(
+        &mut self,
+        routing: &Routing<'_>,
+        protocol: &mut ProtocolState,
+        events: impl IntoIterator<Item = Event>,
+        sink: &mut S,
+        out: &mut CommandBuf,
+    ) {
+        for event in events {
+            self.on_event_into(routing, protocol, event, sink, out);
+        }
+    }
+
+    /// The single implementation: feeds one event through the state
+    /// machine, appending the emitted commands to `out`. Every other
+    /// entry point (`on_event`, `on_event_traced`, `on_events`) funnels
+    /// here.
+    pub fn on_event_into<S: TraceSink + ?Sized>(
+        &mut self,
+        routing: &Routing<'_>,
+        protocol: &mut ProtocolState,
+        event: Event,
+        sink: &mut S,
+        out: &mut CommandBuf,
+    ) {
         match event {
-            Event::FrameArrived { frame } => self.on_frame(routing, protocol, frame, sink),
+            Event::FrameArrived { frame } => self.on_frame(routing, protocol, frame, sink, out),
             Event::NodeCrashed => {
                 self.down = true;
                 self.stats.crashes += 1;
                 if sink.enabled() {
                     sink.record(TraceEvent::new(EventKind::Crash, self.actor()));
                 }
-                Vec::new()
             }
             Event::NodeRestarted => {
                 self.down = false;
                 let parked = std::mem::take(&mut self.parked);
                 self.stats.frames_replayed += parked.len() as u64;
-                parked
-                    .into_iter()
-                    .map(|frame| {
-                        if sink.enabled() {
-                            sink.record(TraceEvent {
-                                msg: Some(frame.msg.id.0),
-                                group: Some(u64::from(frame.msg.group.0)),
-                                ..TraceEvent::new(EventKind::Replay, self.actor())
-                            });
-                        }
-                        Command::Replay { frame }
-                    })
-                    .collect()
+                for frame in parked {
+                    if sink.enabled() {
+                        sink.record(TraceEvent {
+                            msg: Some(frame.msg.id.0),
+                            group: Some(u64::from(frame.msg.group.0)),
+                            ..TraceEvent::new(EventKind::Replay, self.actor())
+                        });
+                    }
+                    out.push(Command::Replay { frame });
+                }
             }
             Event::SnapshotTaken { rx_next } => {
                 // The snapshot is durable: release staged outputs, then
                 // acknowledge exactly the receive prefix it recorded.
-                let mut out = vec![Command::Flush];
+                out.push(Command::Flush);
                 for (peer, next) in rx_next {
                     let floor = next.saturating_sub(1);
                     let prev = self.floors.get(&peer).copied().unwrap_or(0);
@@ -188,9 +231,8 @@ impl NodeCore {
                         out.push(Command::Ack { to: peer, through: floor });
                     }
                 }
-                out
             }
-            Event::Tick => Vec::new(),
+            Event::Tick => {}
         }
     }
 
@@ -203,11 +245,12 @@ impl NodeCore {
         protocol: &mut ProtocolState,
         frame: Frame,
         sink: &mut S,
-    ) -> Vec<Command> {
+        out: &mut CommandBuf,
+    ) {
         if self.down {
             self.stats.messages_parked += 1;
             self.parked.push(frame);
-            return Vec::new();
+            return;
         }
         let mut atom = frame
             .target_atom
@@ -218,7 +261,6 @@ impl NodeCore {
             "frame routed to the wrong node"
         );
         let mut msg = frame.msg;
-        let mut out = Vec::new();
         loop {
             // Snapshot the sequencing state so a stamp assignment by
             // `process` is observable; skipped entirely when untraced.
@@ -271,21 +313,35 @@ impl NodeCore {
                     }
                 }
                 NextHop::Egress => {
-                    let members: Vec<NodeId> = routing.membership().members(msg.group).collect();
-                    for member in members {
+                    // Fan out in membership order through the reused
+                    // scratch; the last member takes the message by move,
+                    // so an n-way fan-out clones n-1 times, not n.
+                    let mut members = std::mem::take(&mut out.members);
+                    members.extend(routing.membership().members(msg.group));
+                    if let Some((&last, rest)) = members.split_last() {
+                        for &member in rest {
+                            out.push(self.output(
+                                Peer::Host(member),
+                                Frame {
+                                    msg: msg.clone(),
+                                    target_atom: None,
+                                },
+                            ));
+                        }
                         out.push(self.output(
-                            Peer::Host(member),
+                            Peer::Host(last),
                             Frame {
-                                msg: msg.clone(),
+                                msg,
                                 target_atom: None,
                             },
                         ));
                     }
+                    members.clear();
+                    out.members = members;
                     break;
                 }
             }
         }
-        out
     }
 
     fn output(&self, to: Peer, frame: Frame) -> Command {
@@ -305,7 +361,7 @@ impl NodeCore {
 mod tests {
     use super::*;
     use crate::{Message, MessageId};
-    use seqnet_membership::{GroupId, Membership};
+    use seqnet_membership::{GroupId, Membership, NodeId};
     use seqnet_overlap::GraphBuilder;
 
     fn n(i: u32) -> NodeId {

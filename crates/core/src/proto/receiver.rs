@@ -143,30 +143,43 @@ impl DeliveryQueue {
     /// Panics if the message is not sequenced or the node does not
     /// subscribe to its group — both indicate a routing bug.
     pub fn offer(&mut self, msg: Message) -> Vec<Message> {
+        let mut out = Vec::new();
+        self.offer_into(msg, &mut out);
+        out
+    }
+
+    /// [`DeliveryQueue::offer`] writing the released messages into a
+    /// caller-owned buffer instead of allocating one — the batched fast
+    /// path. Released messages are **appended** to `out` in delivery
+    /// order; the caller decides when to drain. Identical semantics to
+    /// `offer` otherwise (same panics, same duplicate handling, same
+    /// counters).
+    pub fn offer_into(&mut self, msg: Message, out: &mut Vec<Message>) {
         assert!(msg.is_sequenced(), "{} arrived unsequenced", msg.id);
         let expected = *self
             .next_group
             .get(&msg.group)
             .unwrap_or_else(|| panic!("{} does not subscribe to {}", self.node, msg.group));
-        let mut out = Vec::new();
         if msg.group_seq < expected {
             // Delivery is consecutive per group, so a number below the
             // expectation was already delivered: a stale duplicate.
-            return out;
+            return;
         }
+        // `out` may already hold earlier releases; count only ours.
+        let base = out.len();
         if self.is_deliverable(&msg) {
             // Fast path: an in-order arrival never touches the buffer.
             self.advance(&msg);
             out.push(msg);
             if self.pending == 0 {
                 self.delivered_count += 1;
-                return out;
+                return;
             }
         } else {
             let slot = self.buffer.entry(msg.group).or_default();
             if slot.contains_key(&msg.group_seq) {
                 // A copy of a still-buffered message: keep the original.
-                return out;
+                return;
             }
             slot.insert(msg.group_seq, msg);
             self.pending += 1;
@@ -174,7 +187,7 @@ impl DeliveryQueue {
             // Buffering changes no counter, so no previously buffered
             // message can have become deliverable (the loop below always
             // leaves the buffer head-free of deliverables).
-            return out;
+            return;
         }
 
         // Only group heads can be deliverable; iterate to a fixpoint.
@@ -204,8 +217,7 @@ impl DeliveryQueue {
                 }
             }
         }
-        self.delivered_count += out.len() as u64;
-        out
+        self.delivered_count += (out.len() - base) as u64;
     }
 
     fn advance(&mut self, msg: &Message) {
@@ -442,8 +454,9 @@ impl ReceiverCore {
     /// [`ReceiverCore::on_event`] with protocol tracing: arrivals,
     /// buffer decisions (with the failed continuity check as the
     /// reason), and deliveries (with the full sequence vector) are
-    /// reported to `sink`. The single implementation — `on_event`
-    /// delegates here with the zero-cost [`NullSink`].
+    /// reported to `sink`. Thin wrapper over the batched implementation
+    /// allocating a fresh buffer per call; hot loops should batch via
+    /// [`ReceiverCore::offer_batch`] instead.
     pub fn on_event_traced<S: TraceSink + ?Sized>(
         &mut self,
         event: super::Event,
@@ -451,59 +464,102 @@ impl ReceiverCore {
     ) -> Vec<super::Command> {
         match event {
             super::Event::FrameArrived { frame } => {
-                assert!(
-                    frame.target_atom.is_none(),
-                    "distribution frames carry no target atom"
-                );
-                let host = self.queue.node();
-                let actor = Actor::Host(u64::from(host.0));
-                let traced = sink.enabled();
-                let msg = frame.msg;
-                let (id, group) = (msg.id.0, u64::from(msg.group.0));
-                if traced {
-                    sink.record(TraceEvent {
-                        msg: Some(id),
-                        group: Some(group),
-                        ..TraceEvent::new(EventKind::Arrive, actor)
-                    });
-                }
-                // The reason must be read before `offer` advances the
-                // counters; it is only reported if the message actually
-                // buffered (stale duplicates are dropped, not buffered).
-                let reason = if traced { self.queue.blocking_reason(&msg) } else { None };
-                let pending_before = self.queue.pending();
-                let released = self.queue.offer(msg);
-                if traced && self.queue.pending() > pending_before {
-                    sink.record(TraceEvent {
-                        msg: Some(id),
-                        group: Some(group),
-                        detail: Some(self.queue.pending() as u64),
-                        ..TraceEvent::new(
-                            EventKind::Buffer(
-                                reason.expect("a buffered message has a blocking reason"),
-                            ),
-                            actor,
-                        )
-                    });
-                }
-                released
-                    .into_iter()
-                    .map(|msg| {
-                        if traced {
-                            sink.record(TraceEvent {
-                                msg: Some(msg.id.0),
-                                group: Some(u64::from(msg.group.0)),
-                                seq: Some(msg.group_seq.0),
-                                stamps: trace::stamp_vector(&msg),
-                                ..TraceEvent::new(EventKind::Deliver, actor)
-                            });
-                        }
-                        super::Command::Deliver { host, msg }
-                    })
-                    .collect()
+                let mut out = super::CommandBuf::new();
+                self.frame_into(frame, sink, &mut out);
+                out.into_commands()
             }
             _ => Vec::new(),
         }
+    }
+
+    /// Batched fast path: runs every arrival through the deliver-or-buffer
+    /// rule in order, appending one [`Command::Deliver`](super::Command)
+    /// per released message to the caller-owned `out`. Semantically
+    /// identical to calling [`ReceiverCore::on_event`] per event and
+    /// concatenating the results (PROTOCOL.md §12); non-frame events are
+    /// no-ops exactly as there. Scratch buffers are reused, so a warm
+    /// buffer makes the whole batch allocation-free apart from the
+    /// messages themselves.
+    pub fn offer_batch(
+        &mut self,
+        events: impl IntoIterator<Item = super::Event>,
+        out: &mut super::CommandBuf,
+    ) {
+        self.offer_batch_traced(events, &mut NullSink, out);
+    }
+
+    /// [`ReceiverCore::offer_batch`] with protocol tracing.
+    pub fn offer_batch_traced<S: TraceSink + ?Sized>(
+        &mut self,
+        events: impl IntoIterator<Item = super::Event>,
+        sink: &mut S,
+        out: &mut super::CommandBuf,
+    ) {
+        for event in events {
+            if let super::Event::FrameArrived { frame } = event {
+                self.frame_into(frame, sink, out);
+            }
+        }
+    }
+
+    /// The single implementation: one distribution frame through the
+    /// queue, deliveries appended to `out`. Every entry point funnels
+    /// here.
+    fn frame_into<S: TraceSink + ?Sized>(
+        &mut self,
+        frame: super::Frame,
+        sink: &mut S,
+        out: &mut super::CommandBuf,
+    ) {
+        assert!(
+            frame.target_atom.is_none(),
+            "distribution frames carry no target atom"
+        );
+        let host = self.queue.node();
+        let actor = Actor::Host(u64::from(host.0));
+        let traced = sink.enabled();
+        let msg = frame.msg;
+        let (id, group) = (msg.id.0, u64::from(msg.group.0));
+        if traced {
+            sink.record(TraceEvent {
+                msg: Some(id),
+                group: Some(group),
+                ..TraceEvent::new(EventKind::Arrive, actor)
+            });
+        }
+        // The reason must be read before `offer` advances the
+        // counters; it is only reported if the message actually
+        // buffered (stale duplicates are dropped, not buffered).
+        let reason = if traced { self.queue.blocking_reason(&msg) } else { None };
+        let pending_before = self.queue.pending();
+        let mut released = std::mem::take(&mut out.msgs);
+        self.queue.offer_into(msg, &mut released);
+        if traced && self.queue.pending() > pending_before {
+            sink.record(TraceEvent {
+                msg: Some(id),
+                group: Some(group),
+                detail: Some(self.queue.pending() as u64),
+                ..TraceEvent::new(
+                    EventKind::Buffer(
+                        reason.expect("a buffered message has a blocking reason"),
+                    ),
+                    actor,
+                )
+            });
+        }
+        for msg in released.drain(..) {
+            if traced {
+                sink.record(TraceEvent {
+                    msg: Some(msg.id.0),
+                    group: Some(u64::from(msg.group.0)),
+                    seq: Some(msg.group_seq.0),
+                    stamps: trace::stamp_vector(&msg),
+                    ..TraceEvent::new(EventKind::Deliver, actor)
+                });
+            }
+            out.push(super::Command::Deliver { host, msg });
+        }
+        out.msgs = released;
     }
 }
 

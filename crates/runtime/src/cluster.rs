@@ -23,7 +23,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use seqnet_core::proto::trace::{Actor, EventKind, TraceEvent, TraceSink};
 use seqnet_core::proto::{
-    Command, Event, Frame, NodeCore, Peer, ProtocolState, ReceiverCore, RecoveryStats, Routing,
+    Command, CommandBuf, Event, Frame, NodeCore, Peer, ProtocolState, ReceiverCore, RecoveryStats,
+    Routing,
 };
 use seqnet_core::{Message, MessageId};
 use seqnet_membership::{GroupId, Membership, NodeId};
@@ -51,6 +52,13 @@ struct LinkId(u32);
 #[derive(Debug, Clone)]
 enum Body {
     Data(Frame),
+    /// A coalesced run of data frames carrying consecutive link sequence
+    /// numbers starting at the `ThreadMsg::Frame` sequence number: many
+    /// small frames, one wire write. Produced by [`LinkEngine::flush_staged`]
+    /// when [`ClusterConfig::coalesce`] is set; each frame stays
+    /// individually tracked in the sender's retransmission buffer, so
+    /// retransmissions and snapshots are unaffected by the framing.
+    DataBatch(Vec<Frame>),
     /// Acknowledges exactly the frame sequence number it carries.
     Ack,
     /// Cumulative acknowledgment: every frame up to and including the
@@ -140,6 +148,13 @@ pub struct ClusterConfig {
     /// A peer silent for three intervals is suspected (counted in
     /// [`RuntimeStats::heartbeat_misses`]).
     pub heartbeat_interval: Duration,
+    /// Coalesce staged output frames at flush time: each snapshot flush
+    /// puts one [`Body::DataBatch`] per link on the wire instead of one
+    /// message per frame. Framing only — every frame keeps its own link
+    /// sequence number, retransmission entry, and snapshot slot, and the
+    /// receiving side acknowledges a batch with a single cumulative ack.
+    /// Off by default.
+    pub coalesce: bool,
     /// Seed for co-location and loss injection.
     pub seed: u64,
     /// Record a structured protocol trace: every thread reports its
@@ -159,6 +174,7 @@ impl Default for ClusterConfig {
             link_delay: Duration::ZERO,
             snapshot_interval: Duration::from_millis(3),
             heartbeat_interval: Duration::from_millis(15),
+            coalesce: false,
             seed: 0,
             trace: false,
         }
@@ -221,6 +237,12 @@ struct Wiring {
     outboxes: BTreeMap<Party, Sender<ThreadMsg>>,
     config: ClusterConfig,
     stats: Mutex<RuntimeStats>,
+    /// Wire-write size histogram: how many data transmissions carried
+    /// each frame count (1 for `Body::Data`, the run length for
+    /// `Body::DataBatch`). Merged from per-thread tallies at thread exit,
+    /// so it is complete after [`Cluster::shutdown`]. Mirrors the
+    /// simulator's `batch_size_counts`.
+    batch_sizes: Mutex<BTreeMap<usize, u64>>,
     /// Latest checkpoint per sequencing node; the stand-in for each
     /// node's stable storage.
     snapshots: Mutex<HashMap<usize, NodeSnapshot>>,
@@ -400,6 +422,7 @@ impl Cluster {
             outboxes,
             config: config.clone(),
             stats: Mutex::new(RuntimeStats::default()),
+            batch_sizes: Mutex::new(BTreeMap::new()),
             snapshots: Mutex::new(HashMap::new()),
             delayer,
             trace: config
@@ -681,6 +704,38 @@ impl Cluster {
         *self.wiring.stats.lock()
     }
 
+    /// Wire-write size histogram: transmission count per frames-per-write
+    /// (`Body::Data` counts as size 1, a coalesced `Body::DataBatch` as
+    /// its run length). The runtime twin of the simulator's
+    /// `batch_size_counts`; complete after [`Cluster::shutdown`].
+    pub fn batch_size_counts(&self) -> BTreeMap<usize, u64> {
+        self.wiring.batch_sizes.lock().clone()
+    }
+
+    /// Receives the next delivery from any host within `timeout`, pumping
+    /// the publisher while waiting. Returns the delivering host and the
+    /// message, or `None` on timeout — the streaming counterpart of
+    /// [`Cluster::wait_for_deliveries`] for drivers (load harnesses, soak
+    /// tests) that need per-delivery receive timestamps.
+    pub fn next_delivery(&mut self, timeout: Duration) -> Option<(NodeId, Message)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pump_publisher();
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            match self
+                .notes
+                .recv_timeout(remaining.min(Duration::from_millis(2)))
+            {
+                Ok(note) => return Some((note.host, note.msg)),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
     /// The structured trace recorded so far, in emission order; empty
     /// unless the deployment was started with
     /// [`trace`](ClusterConfig::trace). Safe to call while the cluster
@@ -784,6 +839,9 @@ struct LinkEngine {
     staged: Vec<(Party, LinkId, u64, Frame)>,
     rng: StdRng,
     local: RuntimeStats,
+    /// Thread-local wire-write size tally, merged into
+    /// `Wiring::batch_sizes` by [`LinkEngine::flush_stats`].
+    local_batches: BTreeMap<usize, u64>,
 }
 
 impl LinkEngine {
@@ -797,6 +855,7 @@ impl LinkEngine {
             staged: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             local: RuntimeStats::default(),
+            local_batches: BTreeMap::new(),
         }
     }
 
@@ -828,21 +887,52 @@ impl LinkEngine {
 
     /// Transmits all staged frames and hands them to the normal
     /// retransmission schedule. Call only after the snapshot recording
-    /// them has been stored.
+    /// them has been stored. With [`ClusterConfig::coalesce`] set, the
+    /// staged frames on each link leave as one [`Body::DataBatch`] per
+    /// maximal run of consecutive sequence numbers (in practice one
+    /// batch per link per flush) instead of one message each.
     fn flush_staged(&mut self, wiring: &Wiring) {
         let staged = std::mem::take(&mut self.staged);
-        for (to, link, seq, data) in staged {
-            self.transmit(wiring, to, link, seq, Body::Data(data));
+        if wiring.config.coalesce {
+            // Links in order of first staged frame; within a link, the
+            // sender's buffer is already in sequence (= staging) order.
+            let mut order: Vec<(Party, LinkId)> = Vec::new();
+            for &(to, link, _, _) in &staged {
+                if !order.contains(&(to, link)) {
+                    order.push((to, link));
+                }
+            }
+            for (to, link) in order {
+                let runs = self.sender_for(wiring, link).release_held_coalesced();
+                for (first, frames) in runs {
+                    self.transmit(wiring, to, link, first, Body::DataBatch(frames));
+                }
+            }
+        } else {
+            for (to, link, seq, data) in staged {
+                self.transmit(wiring, to, link, seq, Body::Data(data));
+            }
         }
         for sender in self.senders.values_mut() {
             sender.release_held();
         }
     }
 
-    /// Puts one frame on the wire, possibly dropping it.
+    /// Puts one frame (or one coalesced run) on the wire, possibly
+    /// dropping it — loss applies per wire write, so a dropped batch
+    /// loses all its frames at once (each recovers individually via
+    /// retransmission).
     fn transmit(&mut self, wiring: &Wiring, to: Party, link: LinkId, seq: u64, body: Body) {
-        if matches!(body, Body::Data(_)) {
-            self.local.frames_sent += 1;
+        match &body {
+            Body::Data(_) => {
+                self.local.frames_sent += 1;
+                *self.local_batches.entry(1).or_insert(0) += 1;
+            }
+            Body::DataBatch(frames) => {
+                self.local.frames_sent += frames.len() as u64;
+                *self.local_batches.entry(frames.len()).or_insert(0) += 1;
+            }
+            _ => {}
         }
         if wiring.config.drop_probability > 0.0
             && self.rng.gen_bool(wiring.config.drop_probability)
@@ -906,6 +996,42 @@ impl LinkEngine {
                 }
                 let receiver = self.receivers.entry(link).or_default();
                 let out = receiver.receive(seq, data);
+                self.local.duplicates = self
+                    .receivers
+                    .values()
+                    .map(|r| r.duplicates())
+                    .sum();
+                out
+            }
+            Body::DataBatch(frames) => {
+                if frames.is_empty() {
+                    return Vec::new();
+                }
+                let (from, _to) = wiring.links[link.0 as usize];
+                let last = seq + frames.len() as u64 - 1;
+                if self.defer_acks {
+                    // Same stale-retransmission rule as single frames: a
+                    // whole run below our snapshotted floor means the
+                    // sender missed the cumulative ack — re-advertise it.
+                    let stale = self
+                        .receivers
+                        .get(&link)
+                        .is_some_and(|r| last < r.next_expected());
+                    if stale {
+                        let floor = self.acked_floor.get(&link).copied().unwrap_or(0);
+                        if floor > 0 {
+                            self.transmit(wiring, from, link, floor, Body::AckThrough);
+                        }
+                    }
+                }
+                let receiver = self.receivers.entry(link).or_default();
+                let out = receiver.receive_batch(seq, frames);
+                let floor = receiver.next_expected() - 1;
+                if !self.defer_acks && floor > 0 {
+                    // One cumulative ack covers the whole wire batch (and
+                    // any earlier frames it released).
+                    self.transmit(wiring, from, link, floor, Body::AckThrough);
+                }
                 self.local.duplicates = self
                     .receivers
                     .values()
@@ -1011,6 +1137,10 @@ impl LinkEngine {
         stats.duplicates += self.local.duplicates;
         stats.recovery.merge(&self.local.recovery);
         stats.heartbeat_misses += self.local.heartbeat_misses;
+        let mut sizes = wiring.batch_sizes.lock();
+        for (&size, &count) in &self.local_batches {
+            *sizes.entry(size).or_insert(0) += count;
+        }
     }
 }
 
@@ -1034,6 +1164,9 @@ fn node_thread(
     // Group-commit mode: the core *stages* every output frame, and this
     // driver releases them only after a snapshot records them.
     let mut core = NodeCore::new(idx, true);
+    // Reused command buffer: the batched fast path appends into it, so
+    // after warm-up the per-frame hot loop allocates nothing.
+    let mut cmdbuf = CommandBuf::new();
     let routing = Routing::colocated(&wiring.membership, &wiring.graph, &wiring.atom_node);
     let started = Instant::now();
     let mut replaying = restarted;
@@ -1112,26 +1245,37 @@ fn node_thread(
                             *entry = (Instant::now(), false);
                         }
                     }
-                    for data in engine.on_frame(&wiring, link, seq, body) {
-                        if replaying {
-                            replayed += 1;
-                        }
-                        let event = Event::FrameArrived { frame: data };
-                        let commands = if let Some(rec) = &trace {
-                            let mut sink = rec.lock().expect("trace sink poisoned");
-                            sink.now(wiring.epoch.elapsed().as_micros() as u64);
-                            core.on_event_traced(&routing, &mut protocol, event, &mut *sink)
-                        } else {
-                            core.on_event(&routing, &mut protocol, event)
-                        };
-                        for cmd in commands {
-                            match cmd {
-                                Command::Stage { to, frame } => {
-                                    engine.send_data_held(&wiring, to, frame);
-                                }
-                                other => {
-                                    unreachable!("group-commit frames only stage: {other:?}")
-                                }
+                    let frames = engine.on_frame(&wiring, link, seq, body);
+                    if frames.is_empty() {
+                        continue;
+                    }
+                    if replaying {
+                        replayed += frames.len() as u64;
+                    }
+                    let events = frames
+                        .into_iter()
+                        .map(|data| Event::FrameArrived { frame: data });
+                    cmdbuf.clear();
+                    if let Some(rec) = &trace {
+                        let mut sink = rec.lock().expect("trace sink poisoned");
+                        sink.now(wiring.epoch.elapsed().as_micros() as u64);
+                        core.on_events_traced(
+                            &routing,
+                            &mut protocol,
+                            events,
+                            &mut *sink,
+                            &mut cmdbuf,
+                        );
+                    } else {
+                        core.on_events(&routing, &mut protocol, events, &mut cmdbuf);
+                    }
+                    for cmd in cmdbuf.drain() {
+                        match cmd {
+                            Command::Stage { to, frame } => {
+                                engine.send_data_held(&wiring, to, frame);
+                            }
+                            other => {
+                                unreachable!("group-commit frames only stage: {other:?}")
                             }
                         }
                     }
@@ -1227,6 +1371,7 @@ fn host_thread(
     let trace = wiring.trace.clone();
     let mut engine = LinkEngine::new(Party::Host(host), seed, false);
     let mut receiver = ReceiverCore::new(host, &wiring.membership, &wiring.graph);
+    let mut cmdbuf = CommandBuf::new();
     let tick = wiring.config.retransmit_timeout / 2;
 
     loop {
@@ -1238,16 +1383,20 @@ fn host_thread(
         match msg {
             Some(ThreadMsg::Shutdown) => break,
             Some(ThreadMsg::Frame { link, seq, body }) => {
-                for data in engine.on_frame(&wiring, link, seq, body) {
-                    let event = Event::FrameArrived { frame: data };
-                    let commands = if let Some(rec) = &trace {
+                let frames = engine.on_frame(&wiring, link, seq, body);
+                if !frames.is_empty() {
+                    let events = frames
+                        .into_iter()
+                        .map(|data| Event::FrameArrived { frame: data });
+                    cmdbuf.clear();
+                    if let Some(rec) = &trace {
                         let mut sink = rec.lock().expect("trace sink poisoned");
                         sink.now(wiring.epoch.elapsed().as_micros() as u64);
-                        receiver.on_event_traced(event, &mut *sink)
+                        receiver.offer_batch_traced(events, &mut *sink, &mut cmdbuf);
                     } else {
-                        receiver.on_event(event)
-                    };
-                    for cmd in commands {
+                        receiver.offer_batch(events, &mut cmdbuf);
+                    }
+                    for cmd in cmdbuf.drain() {
                         match cmd {
                             Command::Deliver { host, msg } => {
                                 let _ = notes.send(DeliveryNote { host, msg });
@@ -1347,6 +1496,61 @@ mod tests {
         let stats = cluster.stats();
         assert!(stats.frames_dropped > 0, "loss injector actually fired");
         assert!(stats.retransmissions > 0, "retransmission actually fired");
+    }
+
+    #[test]
+    fn coalesced_flushes_preserve_delivery_order() {
+        let m = overlapped_membership();
+        let config = ClusterConfig {
+            coalesce: true,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::start(&m, config);
+        let mut published = 0usize;
+        for i in 0..8u32 {
+            let (s, grp) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            cluster.publish(s, grp, vec![i as u8]).unwrap();
+            published += 3;
+        }
+        let deliveries = cluster
+            .wait_for_deliveries(published, Duration::from_secs(5))
+            .unwrap();
+        let order = |node: NodeId| -> Vec<MessageId> {
+            deliveries[&node].iter().map(|m| m.id).collect()
+        };
+        assert_eq!(order(n(1)), order(n(2)), "coalescing must not reorder");
+        assert_eq!(order(n(1)).len(), 8);
+        cluster.shutdown();
+        assert_eq!(cluster.stats().frames_dropped, 0);
+    }
+
+    #[test]
+    fn coalesced_lossy_links_recover_via_retransmission() {
+        let m = overlapped_membership();
+        let config = ClusterConfig {
+            coalesce: true,
+            drop_probability: 0.3,
+            retransmit_timeout: Duration::from_millis(5),
+            seed: 42,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::start(&m, config);
+        let mut expected = 0usize;
+        for i in 0..6u32 {
+            let (s, grp) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            cluster.publish(s, grp, vec![i as u8]).unwrap();
+            expected += 3;
+        }
+        let deliveries = cluster
+            .wait_for_deliveries(expected, Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(
+            deliveries[&n(1)].iter().map(|m| m.id).collect::<Vec<_>>(),
+            deliveries[&n(2)].iter().map(|m| m.id).collect::<Vec<_>>(),
+            "a dropped batch must recover frame by frame without reordering"
+        );
+        cluster.shutdown();
+        assert!(cluster.stats().frames_dropped > 0, "loss injector fired");
     }
 
     #[test]

@@ -154,6 +154,40 @@ impl<T: Clone> LinkSender<T> {
         }
     }
 
+    /// [`release_held`](Self::release_held) with frame coalescing: the
+    /// released frames come back grouped into maximal runs of consecutive
+    /// sequence numbers, each run `(first_seq, payloads)` meant to go on
+    /// the wire as **one** write instead of one per frame. Under the
+    /// group-commit discipline every data frame between two flushes is
+    /// held, so in practice a flush yields a single run per link.
+    ///
+    /// Coalescing changes transport framing only: each frame keeps its
+    /// own sequence number, retransmission entry, and backoff schedule
+    /// (retransmissions go out individually), and cumulative
+    /// [`acknowledge_through`](Self::acknowledge_through) covers a run
+    /// exactly as it covers singles.
+    pub fn release_held_coalesced(&mut self) -> Vec<(u64, Vec<T>)> {
+        let now = Instant::now();
+        let mut runs: Vec<(u64, Vec<T>)> = Vec::new();
+        let mut prev_seq: Option<u64> = None;
+        for (&seq, pending) in self.unacked.iter_mut() {
+            if !pending.held {
+                continue;
+            }
+            pending.held = false;
+            pending.interval = self.timeout;
+            pending.next_due = now + self.timeout;
+            match (prev_seq, runs.last_mut()) {
+                (Some(prev), Some((_, run))) if seq == prev + 1 => {
+                    run.push(pending.payload.clone());
+                }
+                _ => runs.push((seq, vec![pending.payload.clone()])),
+            }
+            prev_seq = Some(seq);
+        }
+        runs
+    }
+
     /// Processes an acknowledgment: drops the frame from the buffer.
     /// Duplicate acks are ignored.
     pub fn acknowledge(&mut self, seq: u64) {
@@ -265,6 +299,25 @@ impl<T> LinkReceiver<T> {
         while let Some(payload) = self.buffer.remove(&self.next_expected) {
             self.next_expected += 1;
             out.push(payload);
+        }
+        out
+    }
+
+    /// Accepts a coalesced run of frames carrying consecutive sequence
+    /// numbers starting at `first_seq` (the unit
+    /// [`LinkSender::release_held_coalesced`] puts on the wire) and
+    /// returns the payloads that become releasable, in FIFO order.
+    /// Exactly equivalent to calling [`receive`](Self::receive) once per
+    /// frame; per-frame duplicate detection still applies, so a partially
+    /// retransmitted run is deduplicated frame by frame.
+    pub fn receive_batch(
+        &mut self,
+        first_seq: u64,
+        payloads: impl IntoIterator<Item = T>,
+    ) -> Vec<T> {
+        let mut out = Vec::new();
+        for (offset, payload) in payloads.into_iter().enumerate() {
+            out.extend(self.receive(first_seq + offset as u64, payload));
         }
         out
     }
@@ -449,5 +502,131 @@ mod tests {
         let mut tx = LinkSender::new(Duration::from_secs(1));
         let seqs: Vec<u64> = (0..5).map(|i| tx.send(i).0).collect();
         assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn coalesced_release_yields_one_run_of_held_frames() {
+        let mut tx = LinkSender::new(Duration::from_secs(1));
+        for payload in ["a", "b", "c"] {
+            tx.send_held(payload);
+        }
+        let runs = tx.release_held_coalesced();
+        assert_eq!(runs, vec![(1, vec!["a", "b", "c"])]);
+        assert_eq!(tx.unacked(), 3, "frames stay individually tracked");
+
+        let mut rx = LinkReceiver::new();
+        let (first, payloads) = runs.into_iter().next().unwrap();
+        assert_eq!(rx.receive_batch(first, payloads), vec!["a", "b", "c"]);
+        assert_eq!(rx.next_expected(), 4);
+    }
+
+    #[test]
+    fn coalesced_run_acks_through_on_run_boundary() {
+        // Flush-on-ack-boundary: one cumulative ack for the run clears
+        // exactly the run, leaving later frames untouched.
+        let mut tx = LinkSender::new(Duration::from_secs(1));
+        for payload in ["a", "b", "c"] {
+            tx.send_held(payload);
+        }
+        let runs = tx.release_held_coalesced();
+        let (first, payloads) = runs.into_iter().next().unwrap();
+        let last = first + payloads.len() as u64 - 1;
+        tx.send("d"); // next flush window, not covered by the run's ack
+
+        let mut rx = LinkReceiver::new();
+        rx.receive_batch(first, payloads);
+        // The receiver's cumulative floor lands exactly on the run
+        // boundary, and acking through it clears the run and nothing else.
+        assert_eq!(rx.next_expected() - 1, last);
+        tx.acknowledge_through(rx.next_expected() - 1);
+        assert_eq!(tx.unacked(), 1);
+        let (_, frames) = tx.snapshot();
+        assert_eq!(frames, vec![(4, "d")]);
+    }
+
+    #[test]
+    fn interleaved_singles_split_coalesced_runs() {
+        // A non-held send between two held groups breaks seq adjacency,
+        // so the release yields two runs rather than one bogus span.
+        let mut tx = LinkSender::new(Duration::from_secs(1));
+        tx.send_held("a");
+        tx.send_held("b");
+        let (s3, _) = tx.send("solo");
+        tx.acknowledge(s3);
+        tx.send_held("c");
+        let runs = tx.release_held_coalesced();
+        assert_eq!(runs, vec![(1, vec!["a", "b"]), (4, vec!["c"])]);
+    }
+
+    #[test]
+    fn coalesced_run_survives_snapshot_resume_cycle() {
+        // A coalesced frame spanning a snapshot/resume cycle: the run is
+        // flushed, the wire write is lost, and the sender crashes. The
+        // resumed sender still carries every frame of the run individually
+        // and retransmits them; the receiver reassembles the stream.
+        let mut tx = LinkSender::new(Duration::from_millis(5));
+        for payload in ["a", "b", "c"] {
+            tx.send_held(payload);
+        }
+        let runs = tx.release_held_coalesced();
+        assert_eq!(runs.len(), 1, "one wire write");
+        // ...which the network drops. Snapshot after the flush.
+        let (next_seq, frames) = tx.snapshot();
+        assert_eq!(frames.len(), 3, "whole run in the snapshot");
+        drop(tx);
+
+        let mut revived = LinkSender::resume(Duration::ZERO, Duration::ZERO, next_seq, frames);
+        let mut rx = LinkReceiver::new();
+        let mut released = Vec::new();
+        for (seq, payload) in revived.due_for_retransmit() {
+            released.extend(rx.receive(seq, payload));
+        }
+        assert_eq!(released, vec!["a", "b", "c"]);
+        assert_eq!(revived.send("d").0, 4, "sequence space continues");
+    }
+
+    #[test]
+    fn coalesced_release_restarts_backoff_like_release_held() {
+        // Backoff interaction: releasing via the coalescing path arms the
+        // same per-frame schedule as release_held — first retry after the
+        // base timeout, then doubling per frame up to the cap.
+        let base = Instant::now();
+        let ms = Duration::from_millis;
+        let mut tx = LinkSender::with_backoff(ms(10), ms(40));
+        tx.send_inner("a", base, true);
+        tx.send_inner("b", base, true);
+        let runs = tx.release_held_coalesced();
+        assert_eq!(runs, vec![(1, vec!["a", "b"])]);
+        // Frames retransmit individually, on their own schedule. (The
+        // release stamps next_due from the real clock, so poll with slack.)
+        assert!(tx.due_at(base + ms(9)).is_empty());
+        let due: Vec<u64> = tx
+            .due_at(base + ms(19))
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(due, vec![1, 2]);
+        // Interval doubled to 20ms after the first retransmission, and
+        // from here the schedule is fully synthetic: next_due is 20ms
+        // after the poll that retransmitted.
+        assert!(tx.due_at(base + ms(38)).is_empty());
+        assert_eq!(tx.due_at(base + ms(39)).len(), 2);
+    }
+
+    #[test]
+    fn receive_batch_deduplicates_partially_retransmitted_runs() {
+        let mut rx = LinkReceiver::new();
+        assert_eq!(rx.receive_batch(1, ["a", "b"]), vec!["a", "b"]);
+        // The same run arrives again (the batch write raced the ack) plus
+        // one fresh frame: only the fresh frame is released.
+        assert_eq!(rx.receive_batch(1, ["a", "b", "c"]), vec!["c"]);
+        assert_eq!(rx.duplicates(), 2);
+    }
+
+    #[test]
+    fn release_held_coalesced_with_nothing_held_is_empty() {
+        let mut tx = LinkSender::<&str>::new(Duration::from_secs(1));
+        tx.send("solo");
+        assert!(tx.release_held_coalesced().is_empty());
     }
 }

@@ -113,6 +113,68 @@ fn crash_mid_stream_is_transparent() {
     assert_eq!(cluster.stats().recovery.crashes, 1);
 }
 
+/// The same kill/restart transparency with frame coalescing enabled: a
+/// crash can now interrupt multi-frame wire writes, and the restarted
+/// node's replay arrives partly as coalesced runs — recovery must not
+/// depend on the one-frame-per-write framing. The wire histogram proves
+/// the run actually coalesced.
+#[test]
+fn crash_mid_stream_is_transparent_with_coalescing() {
+    let m = overlapped_membership();
+    let mut cluster = Cluster::start(
+        &m,
+        ClusterConfig {
+            coalesce: true,
+            ..ClusterConfig::default()
+        },
+    );
+
+    // Bursts keep several frames staged per snapshot, so flushes release
+    // multi-frame runs rather than singletons.
+    let mut all = BTreeMap::new();
+    let mut publish_burst = |cluster: &mut Cluster, base: u32| -> usize {
+        let mut expected = 0usize;
+        for i in base..base + 6 {
+            let (s, grp) = if i % 2 == 0 { (n(0), g(0)) } else { (n(3), g(1)) };
+            cluster.publish(s, grp, vec![i as u8]).unwrap();
+            expected += m.group_size(grp);
+        }
+        expected
+    };
+    let expected = publish_burst(&mut cluster, 0);
+    merge(
+        &mut all,
+        cluster
+            .wait_for_deliveries(expected, Duration::from_secs(30))
+            .unwrap(),
+    );
+
+    assert!(cluster.crash_node(0), "node 0 was running");
+    let expected = publish_burst(&mut cluster, 6);
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(cluster.restart_node(0), "node 0 was down");
+    merge(
+        &mut all,
+        cluster
+            .wait_for_deliveries(expected, Duration::from_secs(30))
+            .unwrap(),
+    );
+
+    assert_pairwise_agreement(&m, &all);
+    assert_eq!(all.values().map(Vec::len).sum::<usize>(), 36);
+    cluster.shutdown();
+    assert_eq!(cluster.stats().recovery.crashes, 1);
+    assert!(
+        cluster.stats().recovery.frames_replayed > 0,
+        "restart must replay the outage backlog"
+    );
+    assert!(
+        cluster.batch_size_counts().keys().any(|&size| size > 1),
+        "coalescing must actually produce multi-frame wire writes: {:?}",
+        cluster.batch_size_counts()
+    );
+}
+
 /// Crash while lossy links are already forcing retransmissions: the crash
 /// and the loss recovery must compose.
 #[test]

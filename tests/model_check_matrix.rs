@@ -3,17 +3,19 @@
 //!
 //! Exhaustively explores every registry scenario — four topologies, each
 //! fault-free and with a crash window, plus the group-commit variants —
-//! under all five invariant oracles, and proves the counterexample
-//! pipeline works end to end by checking a deliberately sabotaged core:
-//! explore → fail → shrink → replay must reproduce the same violation
-//! from a short decision list.
+//! under all six invariant oracles (including the `batch-vs-step`
+//! differential oracle, which re-executes every explored edge through the
+//! batched core fast path and demands equivalence with per-event
+//! stepping), and proves the counterexample pipeline works end to end by
+//! checking a deliberately sabotaged core: explore → fail → shrink →
+//! replay must reproduce the same violation from a short decision list.
 
 use seqnet_check::{
     default_oracles, explore, replay, scenario, shrink, ExploreConfig, Outcome,
 };
 
 /// Every scenario in the registry passes bounded-exhaustive exploration
-/// without truncation: all five oracles hold on every reachable schedule.
+/// without truncation: all six oracles hold on every reachable schedule.
 #[test]
 fn registry_matrix_is_exhaustively_clean() {
     for sc in scenario::registry() {
@@ -61,6 +63,28 @@ fn sabotaged_core_yields_short_replayable_counterexample() {
     let violation = res.violation.expect("shrunk trace still fails");
     assert_eq!(violation.invariant, cex.violation.invariant);
     assert_eq!(res.executed, shrunk.decisions, "shrunk trace is canonical");
+}
+
+/// The default battery registers the `batch-vs-step` oracle, so
+/// `seqnet-check --all` (which runs this battery) fails if batched and
+/// stepped execution diverge on any explored schedule — and the matrix
+/// above therefore re-proves PROTOCOL.md §12 on every edge it visits.
+#[test]
+fn batch_vs_step_oracle_is_registered_and_bites() {
+    use seqnet_check::{BatchVsStep, Invariant, Transition, World};
+    assert!(
+        default_oracles().iter().any(|o| o.name() == "batch-vs-step"),
+        "default battery must register the differential oracle"
+    );
+    // And it actually exercises the batched path: checking an edge leaves
+    // the caller's world untouched while validating the transition.
+    let sc = scenario::two_group_overlap().with_group_commit();
+    let world = World::new(&sc);
+    let before = world.state_hash();
+    BatchVsStep
+        .check_edge(&world, Transition::Publish(0))
+        .expect("honest edge passes");
+    assert_eq!(world.state_hash(), before, "check_edge is side-effect free");
 }
 
 /// Oracles also hold along seeded random walks with randomized crash
