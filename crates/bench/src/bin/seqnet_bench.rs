@@ -1,9 +1,9 @@
 //! `seqnet-bench` — a deterministic, seedable load/soak harness driving
-//! the simulator and the threaded runtime through *identical* workloads,
-//! plus a schema validator for the JSON it emits.
+//! the simulator, the threaded runtime, and the socket cluster through
+//! *identical* workloads, plus a schema validator for the JSON it emits.
 //!
 //! ```text
-//! seqnet-bench load [--driver sim|runtime|both] [--mode open|closed]
+//! seqnet-bench load [--driver sim|runtime|socket|both|all] [--mode open|closed]
 //!                   [--seed N] [--groups N] [--overlap N] [--rate-hz F]
 //!                   [--chains N] [--warmup-ms N] [--measure-ms N]
 //!                   [--out PATH] [--smoke]
@@ -16,14 +16,17 @@
 //! at `--rate-hz`, phase-shifted per publisher) or closed-loop (`--chains`
 //! publish-on-delivery chains per group) — and runs it through the chosen
 //! drivers: the discrete-event simulator (virtual time, batched channel
-//! pumps) and the threaded runtime (wall time, coalesced links). Messages
+//! pumps), the threaded runtime (wall time, coalesced links), and the
+//! socket cluster (wall time, one OS process per sequencing node over
+//! real TCP; this binary respawns itself as the node processes). Messages
 //! published during the warmup window are excluded from the stats; the
 //! measure window yields throughput, a delivery-latency histogram
 //! ([`seqnet_obs::Histogram`], microsecond buckets), an
 //! allocations-per-message proxy from a counting global allocator, and the
-//! wire batch-size histogram. Results go to `results/BENCH_5.json`
+//! wire batch-size histogram. Results go to `results/BENCH_6.json`
 //! (schema documented in `results/README.md`, checked by `validate` and
-//! by CI's bench-smoke job).
+//! by CI's bench-smoke job). `--driver both` is sim + runtime; `all` adds
+//! the socket cluster.
 //!
 //! `--smoke` shrinks the windows for CI; everything stays reproducible
 //! from the seed (wall-clock latencies on the runtime driver vary, the
@@ -36,6 +39,7 @@ use std::time::{Duration, Instant};
 
 use seqnet_bench::output::{f3, print_table};
 use seqnet_core::{Message, MessageId, OrderedPubSub};
+use seqnet_deploy::DeployCluster;
 use seqnet_membership::{GroupId, Membership, NodeId};
 use seqnet_obs::Histogram;
 use seqnet_runtime::{Cluster, ClusterConfig};
@@ -76,7 +80,11 @@ fn allocations() -> u64 {
 enum Driver {
     Sim,
     Runtime,
+    Socket,
+    /// Simulator + threaded runtime (the historical default pair).
     Both,
+    /// All three drivers, socket cluster included.
+    All,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -111,7 +119,7 @@ struct LoadConfig {
 impl Default for LoadConfig {
     fn default() -> Self {
         LoadConfig {
-            driver: Driver::Both,
+            driver: Driver::All,
             mode: Mode::Open,
             seed: 0x5EED,
             groups: 4,
@@ -120,7 +128,7 @@ impl Default for LoadConfig {
             chains: 2,
             warmup_ms: 200,
             measure_ms: 1_000,
-            out: "results/BENCH_5.json".to_string(),
+            out: "results/BENCH_6.json".to_string(),
             smoke: false,
         }
     }
@@ -128,7 +136,7 @@ impl Default for LoadConfig {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: seqnet-bench load [--driver sim|runtime|both] [--mode open|closed]\n\
+        "usage: seqnet-bench load [--driver sim|runtime|socket|both|all] [--mode open|closed]\n\
          \x20                        [--seed N] [--groups N] [--overlap N] [--rate-hz F]\n\
          \x20                        [--chains N] [--warmup-ms N] [--measure-ms N]\n\
          \x20                        [--out PATH] [--smoke]\n\
@@ -152,7 +160,9 @@ fn parse_load(args: &[String]) -> LoadConfig {
                 cfg.driver = match value("--driver").as_str() {
                     "sim" => Driver::Sim,
                     "runtime" => Driver::Runtime,
+                    "socket" => Driver::Socket,
                     "both" => Driver::Both,
+                    "all" => Driver::All,
                     other => {
                         eprintln!("unknown driver {other:?}");
                         usage()
@@ -344,8 +354,49 @@ fn run_sim_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> Drive
     }
 }
 
+/// Anything that can stand in as the wall-clock deployment under load:
+/// the threaded runtime or the socket cluster. Same publish/delivery
+/// surface, different transport — which is the point of benchmarking them
+/// side by side.
+trait LoadTarget {
+    /// The `driver` string the JSON schema records.
+    const NAME: &'static str;
+    fn publish(&mut self, sender: NodeId, group: GroupId) -> MessageId;
+    fn next_delivery(&mut self, timeout: Duration) -> Option<(NodeId, Message)>;
+    /// Shuts the deployment down and returns the wire batch-size histogram.
+    fn finish(&mut self) -> BTreeMap<usize, u64>;
+}
+
+impl LoadTarget for Cluster {
+    const NAME: &'static str = "runtime";
+    fn publish(&mut self, sender: NodeId, group: GroupId) -> MessageId {
+        Cluster::publish(self, sender, group, Vec::new()).expect("runtime publish")
+    }
+    fn next_delivery(&mut self, timeout: Duration) -> Option<(NodeId, Message)> {
+        Cluster::next_delivery(self, timeout)
+    }
+    fn finish(&mut self) -> BTreeMap<usize, u64> {
+        self.shutdown();
+        self.batch_size_counts()
+    }
+}
+
+impl LoadTarget for DeployCluster {
+    const NAME: &'static str = "socket";
+    fn publish(&mut self, sender: NodeId, group: GroupId) -> MessageId {
+        DeployCluster::publish(self, sender, group, Vec::new()).expect("socket publish")
+    }
+    fn next_delivery(&mut self, timeout: Duration) -> Option<(NodeId, Message)> {
+        DeployCluster::next_delivery(self, timeout)
+    }
+    fn finish(&mut self) -> BTreeMap<usize, u64> {
+        let _ = self.shutdown();
+        self.batch_size_counts()
+    }
+}
+
 fn run_runtime_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> DriverReport {
-    let mut cluster = Cluster::start(
+    let cluster = Cluster::start(
         m,
         ClusterConfig {
             coalesce: true,
@@ -353,6 +404,31 @@ fn run_runtime_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> D
             ..ClusterConfig::default()
         },
     );
+    run_wall_driver(cfg, m, items, cluster)
+}
+
+/// The socket cluster under the same load: every sequencing node is a
+/// child OS process (this binary re-executed in node mode), every link a
+/// real TCP connection.
+fn run_socket_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> DriverReport {
+    let cluster = DeployCluster::start(
+        m,
+        ClusterConfig {
+            coalesce: true,
+            seed: cfg.seed,
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("socket cluster starts");
+    run_wall_driver(cfg, m, items, cluster)
+}
+
+fn run_wall_driver<T: LoadTarget>(
+    cfg: &LoadConfig,
+    m: &Membership,
+    items: &[WorkItem],
+    mut cluster: T,
+) -> DriverReport {
     let start = Instant::now();
     let warmup = start + Duration::from_millis(cfg.warmup_ms);
     let horizon = start + Duration::from_millis(cfg.warmup_ms + cfg.measure_ms);
@@ -363,12 +439,12 @@ fn run_runtime_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> D
     let mut expected = 0usize;
     let mut received = 0usize;
     let mut measured = 0u64;
-    let mut publish = |cluster: &mut Cluster,
+    let mut publish = |cluster: &mut T,
                        sent_at: &mut HashMap<MessageId, Instant>,
                        expected: &mut usize,
                        w: &WorkItem|
      -> MessageId {
-        let id = cluster.publish(w.sender, w.group, Vec::new()).expect("publish");
+        let id = cluster.publish(w.sender, w.group);
         sent_at.insert(id, Instant::now());
         *expected += m.group_size(w.group);
         id
@@ -447,19 +523,19 @@ fn run_runtime_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> D
             None => {}
         }
     }
-    assert_eq!(received, expected, "runtime load run lost deliveries");
+    assert_eq!(received, expected, "{} load run lost deliveries", T::NAME);
     let elapsed = Instant::now().duration_since(warmup).as_secs_f64().max(1e-3);
-    cluster.shutdown();
+    let batch_sizes = cluster.finish();
     let allocs = allocations() - allocs_before;
     DriverReport {
-        driver: "runtime",
+        driver: T::NAME,
         time_base: "wall-us",
         published: sent_at.len() as u64,
         delivered: measured,
         msgs_per_sec: measured as f64 / elapsed,
         latency_us: latency,
         allocations_per_message: allocs as f64 / (received as u64).max(1) as f64,
-        batch_sizes: cluster.batch_size_counts(),
+        batch_sizes,
     }
 }
 
@@ -496,7 +572,7 @@ fn report_json(r: &DriverReport) -> String {
 fn write_json(cfg: &LoadConfig, reports: &[DriverReport]) {
     let drivers = reports.iter().map(report_json).collect::<Vec<_>>().join(",\n    ");
     let json = format!(
-        "{{\n  \"bench\": \"BENCH_5\",\n  \"schema_version\": 1,\n  \"seed\": {},\n  \
+        "{{\n  \"bench\": \"BENCH_6\",\n  \"schema_version\": 1,\n  \"seed\": {},\n  \
          \"workload\": {{\n    \"mode\": \"{}\",\n    \"groups\": {},\n    \"overlap\": {},\n    \
          \"rate_hz\": {:.3},\n    \"chains\": {},\n    \"warmup_ms\": {},\n    \
          \"measure_ms\": {},\n    \"smoke\": {}\n  }},\n  \"drivers\": [\n    {}\n  ]\n}}\n",
@@ -523,11 +599,14 @@ fn cmd_load(args: &[String]) {
     let m = membership(cfg.groups, cfg.overlap);
     let items = workload(&cfg, &m);
     let mut reports = Vec::new();
-    if matches!(cfg.driver, Driver::Sim | Driver::Both) {
+    if matches!(cfg.driver, Driver::Sim | Driver::Both | Driver::All) {
         reports.push(run_sim_driver(&cfg, &m, &items));
     }
-    if matches!(cfg.driver, Driver::Runtime | Driver::Both) {
+    if matches!(cfg.driver, Driver::Runtime | Driver::Both | Driver::All) {
         reports.push(run_runtime_driver(&cfg, &m, &items));
+    }
+    if matches!(cfg.driver, Driver::Socket | Driver::All) {
+        reports.push(run_socket_driver(&cfg, &m, &items));
     }
     let rows: Vec<Vec<String>> = reports
         .iter()
@@ -767,8 +846,11 @@ fn cmd_validate(path: &str) {
             for (i, d) in drivers.iter().enumerate() {
                 let at = |what: &str| format!("drivers[{i}].{what}");
                 check(
-                    matches!(d.get("driver").and_then(Json::str), Some("sim") | Some("runtime")),
-                    &at("driver must be \"sim\" or \"runtime\""),
+                    matches!(
+                        d.get("driver").and_then(Json::str),
+                        Some("sim") | Some("runtime") | Some("socket")
+                    ),
+                    &at("driver must be \"sim\", \"runtime\" or \"socket\""),
                 );
                 check(
                     matches!(
@@ -836,11 +918,14 @@ fn cmd_validate(path: &str) {
 }
 
 fn main() {
+    // If the socket driver spawned this binary as a sequencing-node
+    // process, become that node and never return.
+    seqnet_deploy::run_if_child();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("load") => cmd_load(&args[1..]),
         Some("validate") => {
-            let path = args.get(1).map(String::as_str).unwrap_or("results/BENCH_5.json");
+            let path = args.get(1).map(String::as_str).unwrap_or("results/BENCH_6.json");
             cmd_validate(path);
         }
         _ => usage(),

@@ -1,0 +1,214 @@
+//! Process-level fault schedules — the deployment analogue of the
+//! simulator's [`FaultPlan`].
+//!
+//! Where a `FaultPlan` crash window flips a bit in the simulator and kills
+//! a thread in the threaded runtime, a [`ChaosPlan`] event acts on real
+//! operating-system state: `Kill` SIGKILLs a child process and respawns
+//! it, `DropConn` severs the coordinator's TCP connection to a node
+//! mid-stream, and `StallLink` freezes that connection (alive but moving
+//! no bytes) for a window. Plans are deterministic values: built
+//! explicitly, derived from a `FaultPlan` (so the three-way oracle can
+//! replay one schedule on all drivers), or generated from a seed.
+//!
+//! [`FaultPlan`]: seqnet_runtime::FaultPlan
+
+use seqnet_runtime::FaultPlan;
+use std::time::Duration;
+
+/// What a chaos event does to its target node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosKind {
+    /// SIGKILL the node's process at the event time and respawn it
+    /// `down_for` later. The respawned incarnation restores its disk
+    /// snapshot and replays from upstream retransmission buffers.
+    Kill {
+        /// Outage length before the respawn.
+        down_for: Duration,
+    },
+    /// Close the coordinator↔node TCP connection mid-stream. Both sides
+    /// reconnect with capped backoff and replay unacknowledged frames.
+    DropConn,
+    /// Freeze the coordinator↔node connection for the window: the socket
+    /// stays open but neither side's bytes move, exercising the
+    /// retransmission and backoff machinery without a connection error.
+    StallLink {
+        /// How long the connection stays frozen.
+        stall_for: Duration,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// When the fault fires, relative to plan start.
+    pub at: Duration,
+    /// The sequencing node it targets.
+    pub node: usize,
+    /// What happens.
+    pub kind: ChaosKind,
+}
+
+/// A deterministic schedule of process-level faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a kill/respawn cycle: SIGKILL `node` at `down_at`, respawn at
+    /// `up_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn kill(mut self, node: usize, down_at: Duration, up_at: Duration) -> Self {
+        assert!(down_at < up_at, "kill window must have positive length");
+        self.events.push(ChaosEvent {
+            at: down_at,
+            node,
+            kind: ChaosKind::Kill {
+                down_for: up_at - down_at,
+            },
+        });
+        self
+    }
+
+    /// Adds a mid-stream connection drop at `at`.
+    pub fn drop_conn(mut self, node: usize, at: Duration) -> Self {
+        self.events.push(ChaosEvent {
+            at,
+            node,
+            kind: ChaosKind::DropConn,
+        });
+        self
+    }
+
+    /// Adds a connection stall of `stall_for` starting at `at`.
+    pub fn stall_link(mut self, node: usize, at: Duration, stall_for: Duration) -> Self {
+        self.events.push(ChaosEvent {
+            at,
+            node,
+            kind: ChaosKind::StallLink { stall_for },
+        });
+        self
+    }
+
+    /// The events in firing order (stable for equal times).
+    pub fn events(&self) -> Vec<ChaosEvent> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|e| e.at);
+        sorted
+    }
+
+    /// `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maps a simulator [`FaultPlan`]'s crash windows onto real process
+    /// kills, 1 simulated microsecond = 1 wall microsecond — the bridge
+    /// that lets one fault schedule drive the simulator (flag flip), the
+    /// threaded runtime (thread kill), and the socket cluster (SIGKILL)
+    /// in the three-way differential oracle. Partition and loss windows
+    /// have no process-level analogue and are skipped.
+    pub fn from_fault_plan(plan: &FaultPlan) -> Self {
+        let mut out = ChaosPlan::new();
+        for w in plan.crash_windows() {
+            out = out.kill(
+                w.node,
+                Duration::from_micros(w.down_at.as_micros()),
+                Duration::from_micros(w.up_at.as_micros()),
+            );
+        }
+        out
+    }
+
+    /// A seed-derived plan over `nodes` sequencing nodes within
+    /// `horizon`: one kill/respawn cycle plus one connection drop and one
+    /// stall, targets and times drawn from a splitmix64 stream. Equal
+    /// seeds give equal plans.
+    pub fn seeded(seed: u64, nodes: usize, horizon: Duration) -> Self {
+        use seqnet_core::proto::testing::splitmix64;
+        if nodes == 0 {
+            return ChaosPlan::new();
+        }
+        let mut state = seed ^ 0xC4A0_5EED;
+        let span = horizon.as_micros().max(10) as u64;
+        let mut draw = |lo: u64, hi: u64| lo + splitmix64(&mut state) % (hi - lo).max(1);
+        let kill_node = draw(0, nodes as u64) as usize;
+        let down_at = draw(span / 10, span / 2);
+        let up_at = down_at + draw(span / 10, span / 4).max(1);
+        let drop_node = draw(0, nodes as u64) as usize;
+        let drop_at = draw(span / 10, (span * 3) / 4);
+        let stall_node = draw(0, nodes as u64) as usize;
+        let stall_at = draw(span / 10, (span * 3) / 4);
+        let stall_for = draw(span / 20, span / 5).max(1);
+        ChaosPlan::new()
+            .kill(
+                kill_node,
+                Duration::from_micros(down_at),
+                Duration::from_micros(up_at),
+            )
+            .drop_conn(drop_node, Duration::from_micros(drop_at))
+            .stall_link(
+                stall_node,
+                Duration::from_micros(stall_at),
+                Duration::from_micros(stall_for),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqnet_sim::SimTime;
+
+    #[test]
+    fn events_come_back_in_firing_order() {
+        let plan = ChaosPlan::new()
+            .drop_conn(1, Duration::from_millis(30))
+            .kill(0, Duration::from_millis(10), Duration::from_millis(20))
+            .stall_link(2, Duration::from_millis(5), Duration::from_millis(3));
+        let at: Vec<Duration> = plan.events().iter().map(|e| e.at).collect();
+        assert!(at.windows(2).all(|w| w[0] <= w[1]), "sorted: {at:?}");
+    }
+
+    #[test]
+    fn fault_plan_crash_windows_map_to_kills() {
+        let fp = seqnet_runtime::FaultPlan::new().crash(
+            1,
+            SimTime::from_micros(5_000),
+            SimTime::from_micros(40_000),
+        );
+        let plan = ChaosPlan::from_fault_plan(&fp);
+        let events = plan.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].node, 1);
+        assert_eq!(events[0].at, Duration::from_micros(5_000));
+        assert_eq!(
+            events[0].kind,
+            ChaosKind::Kill {
+                down_for: Duration::from_micros(35_000)
+            }
+        );
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_bounded() {
+        let a = ChaosPlan::seeded(7, 3, Duration::from_secs(2));
+        let b = ChaosPlan::seeded(7, 3, Duration::from_secs(2));
+        assert_eq!(a, b);
+        let c = ChaosPlan::seeded(8, 3, Duration::from_secs(2));
+        assert_ne!(a, c, "different seeds draw different plans");
+        for e in a.events() {
+            assert!(e.node < 3);
+            assert!(e.at <= Duration::from_secs(2));
+        }
+        assert!(ChaosPlan::seeded(1, 0, Duration::from_secs(1)).is_empty());
+    }
+}

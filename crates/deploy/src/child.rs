@@ -1,0 +1,66 @@
+//! The `cluster-node` child entry point.
+//!
+//! Any binary that may host sequencing-node processes calls
+//! [`run_if_child`] first thing in `main`. When the coordinator spawned
+//! this process (`argv[1] == "cluster-node"`), the call runs the node to
+//! completion and exits; otherwise it returns immediately and `main`
+//! proceeds as usual. This is how one executable serves as CLI,
+//! benchmark, and cluster node at once — the coordinator simply respawns
+//! its own binary.
+
+use crate::node::run_node;
+use crate::spec::ClusterSpec;
+use std::path::PathBuf;
+
+fn die(msg: &str) -> ! {
+    eprintln!("cluster-node: {msg}");
+    std::process::exit(2);
+}
+
+/// Dispatches to the node main loop when this process was spawned as
+/// `<bin> cluster-node --spec <path> --node <idx> --incarnation <k>`.
+/// Exits the process when it was; returns otherwise.
+pub fn run_if_child() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) != Some("cluster-node") {
+        return;
+    }
+    let mut spec_path: Option<PathBuf> = None;
+    let mut node: Option<usize> = None;
+    let mut incarnation: u64 = 0;
+    let mut it = args[2..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => die(&format!("{what} requires a value")),
+            }
+        };
+        match flag.as_str() {
+            "--spec" => spec_path = Some(PathBuf::from(value("--spec"))),
+            "--node" => match value("--node").parse() {
+                Ok(v) => node = Some(v),
+                Err(_) => die("--node must be an index"),
+            },
+            "--incarnation" => match value("--incarnation").parse() {
+                Ok(v) => incarnation = v,
+                Err(_) => die("--incarnation must be a number"),
+            },
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        die("--spec is required");
+    };
+    let Some(node) = node else {
+        die("--node is required");
+    };
+    let spec = match ClusterSpec::load(&spec_path) {
+        Ok(spec) => spec,
+        Err(e) => die(&e),
+    };
+    match run_node(&spec, node, incarnation) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => die(&format!("node {node}: {e}")),
+    }
+}

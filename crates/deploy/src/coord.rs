@@ -1,0 +1,619 @@
+//! The coordinator: publisher front-end, in-process subscriber hosts, and
+//! the chaos controller for a multi-process cluster.
+//!
+//! [`DeployCluster::start`] reserves one localhost port per sequencing
+//! node, writes the spec file, spawns one real OS process per node, and
+//! dials each of them. The coordinator terminates every
+//! publisher-and-host end of the link table in a single [`WireEngine`]
+//! (immediate acks — the coordinator never crashes) and runs the
+//! unchanged [`ReceiverCore`] per subscriber host, so delivery order is
+//! produced by exactly the protocol code the simulator and the threaded
+//! runtime execute. Chaos is real: [`DeployCluster::kill_node`] SIGKILLs
+//! the child process, [`DeployCluster::drop_conn`] severs a live TCP
+//! connection, [`DeployCluster::stall_link`] freezes one without closing
+//! it.
+
+use crate::chaos::{ChaosKind, ChaosPlan};
+use crate::conn::{Conn, Dialer};
+use crate::engine::WireEngine;
+use crate::spec::ClusterSpec;
+use crate::topo::{Proc, Topology};
+use crate::wire::{NodeWireStats, WireMsg};
+use seqnet_core::proto::{Command, CommandBuf, Event, Frame, Peer, ReceiverCore, RecoveryStats};
+use seqnet_core::{Message, MessageId};
+use seqnet_membership::{GroupId, Membership, NodeId};
+use seqnet_obs::{prom, Registry};
+use seqnet_runtime::{ClusterConfig, RuntimeError};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command as ProcessCommand, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Run-directory disambiguator for clusters started by one process.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Aggregated statistics for a socket deployment, shaped like the
+/// threaded runtime's `RuntimeStats` with deployment extras.
+#[derive(Debug, Clone, Default)]
+pub struct DeployStats {
+    /// Data frames put on any wire (coordinator + all node processes,
+    /// retransmissions included).
+    pub frames_sent: u64,
+    /// Frames discarded by loss injectors before the transport.
+    pub frames_dropped: u64,
+    /// Retransmissions performed by link senders.
+    pub retransmissions: u64,
+    /// Duplicate frames discarded by link receivers.
+    pub duplicates: u64,
+    /// Peer-failure detections across node processes.
+    pub heartbeat_misses: u64,
+    /// Crash-recovery counters: `crashes` counts real SIGKILLs,
+    /// `frames_replayed` and `recovery_micros` come from the respawned
+    /// processes' own measurements.
+    pub recovery: RecoveryStats,
+    /// Disk checkpoints written across node processes.
+    pub snapshots: u64,
+    /// Frames-per-wire-write histogram, merged across processes.
+    pub batch_sizes: BTreeMap<usize, u64>,
+}
+
+/// A running socket-based multi-process deployment.
+///
+/// Mirrors the threaded [`seqnet_runtime::Cluster`] API — `publish`,
+/// `next_delivery`, `wait_for_deliveries`, crash injection — with real
+/// processes behind it.
+#[derive(Debug)]
+pub struct DeployCluster {
+    spec: ClusterSpec,
+    topo: Topology,
+    binary: PathBuf,
+    children: HashMap<usize, Child>,
+    incarnations: Vec<u64>,
+    conns: HashMap<usize, Conn>,
+    dialers: HashMap<usize, Dialer>,
+    epochs: HashMap<usize, u64>,
+    engine: WireEngine,
+    receivers: HashMap<NodeId, ReceiverCore>,
+    cmdbuf: CommandBuf,
+    deliveries: VecDeque<(NodeId, Message)>,
+    node_stats: HashMap<usize, NodeWireStats>,
+    next_id: u64,
+    crashes: u64,
+    shut_down: bool,
+}
+
+fn node_addr(spec: &ClusterSpec, node: usize) -> SocketAddr {
+    SocketAddr::from(([127, 0, 0, 1], spec.ports[node]))
+}
+
+/// Picks the binary that hosts the `cluster-node` entry point: an explicit
+/// override, the `SEQNET_BIN` environment variable, or this executable.
+fn resolve_binary(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(bin) = explicit {
+        return Ok(bin);
+    }
+    if let Ok(bin) = std::env::var("SEQNET_BIN") {
+        return Ok(PathBuf::from(bin));
+    }
+    std::env::current_exe().map_err(|e| format!("cannot locate own executable: {e}"))
+}
+
+impl DeployCluster {
+    /// Starts a cluster whose node processes run the `cluster-node` entry
+    /// point of `SEQNET_BIN` (or, absent that, of the current executable —
+    /// any binary whose `main` calls [`crate::run_if_child`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the failure: invalid config, port
+    /// reservation, spec write, or child spawn.
+    pub fn start(membership: &Membership, config: ClusterConfig) -> Result<Self, String> {
+        Self::start_with_binary(membership, config, None)
+    }
+
+    /// [`start`](Self::start) with an explicit child binary.
+    ///
+    /// # Errors
+    ///
+    /// As [`start`](Self::start).
+    pub fn start_with_binary(
+        membership: &Membership,
+        config: ClusterConfig,
+        binary: Option<PathBuf>,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let binary = resolve_binary(binary)?;
+        let topo = Topology::derive(membership, config.seed);
+
+        let dir = std::env::temp_dir().join(format!(
+            "seqnet-cluster-{}-{}",
+            std::process::id(),
+            RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+        // Reserve one port per node: bind :0, note the port, release it.
+        // Children rebind with SO_REUSEADDR plus a retry loop, absorbing
+        // both this race and post-SIGKILL TIME_WAIT.
+        let mut ports = Vec::with_capacity(topo.num_nodes);
+        for _ in 0..topo.num_nodes {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| format!("reserve port: {e}"))?;
+            ports.push(
+                probe
+                    .local_addr()
+                    .map_err(|e| format!("reserve port: {e}"))?
+                    .port(),
+            );
+        }
+
+        let spec = ClusterSpec {
+            config: config.clone(),
+            membership: membership.clone(),
+            ports,
+            dir: dir.clone(),
+        };
+        let spec_path = dir.join("spec.txt");
+        std::fs::write(&spec_path, spec.encode())
+            .map_err(|e| format!("write {}: {e}", spec_path.display()))?;
+
+        let mut cluster = DeployCluster {
+            engine: WireEngine::new(
+                Peer::Publisher,
+                config.seed ^ 0x517c_c1b7_2722_0a95,
+                false,
+                config.retransmit_timeout,
+                config.backoff_cap,
+                config.coalesce,
+                config.drop_probability,
+            ),
+            receivers: membership
+                .nodes()
+                .map(|h| (h, ReceiverCore::new(h, membership, &topo.graph)))
+                .collect(),
+            incarnations: vec![0; topo.num_nodes],
+            children: HashMap::new(),
+            conns: HashMap::new(),
+            dialers: HashMap::new(),
+            epochs: HashMap::new(),
+            cmdbuf: CommandBuf::new(),
+            deliveries: VecDeque::new(),
+            node_stats: HashMap::new(),
+            next_id: 0,
+            crashes: 0,
+            shut_down: false,
+            binary,
+            spec,
+            topo,
+        };
+        for idx in 0..cluster.topo.num_nodes {
+            cluster.spawn_child(idx)?;
+            cluster.dialers.insert(
+                idx,
+                Dialer::new(
+                    node_addr(&cluster.spec, idx),
+                    Duration::from_millis(5),
+                    cluster.spec.config.backoff_cap,
+                ),
+            );
+        }
+        Ok(cluster)
+    }
+
+    fn spawn_child(&mut self, idx: usize) -> Result<(), String> {
+        let child = ProcessCommand::new(&self.binary)
+            .arg("cluster-node")
+            .arg("--spec")
+            .arg(self.spec.dir.join("spec.txt"))
+            .arg("--node")
+            .arg(idx.to_string())
+            .arg("--incarnation")
+            .arg(self.incarnations[idx].to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawn node {idx} ({}): {e}", self.binary.display()))?;
+        self.children.insert(idx, child);
+        Ok(())
+    }
+
+    fn redial(&mut self, idx: usize) {
+        self.dialers.entry(idx).or_insert_with(|| {
+            Dialer::new(
+                node_addr(&self.spec, idx),
+                Duration::from_millis(5),
+                self.spec.config.backoff_cap,
+            )
+        });
+    }
+
+    /// One poll round: dial, read, process, retransmit, write. Called
+    /// from every front-end entry point; the coordinator has no thread of
+    /// its own.
+    fn pump(&mut self) {
+        // Establish due connections.
+        let due: Vec<usize> = self.dialers.keys().copied().collect();
+        for idx in due {
+            let Some(stream) = self.dialers.get_mut(&idx).and_then(Dialer::poll) else {
+                continue;
+            };
+            let Ok(mut conn) = Conn::new(stream) else {
+                continue;
+            };
+            conn.queue(&WireMsg::Hello {
+                party: Peer::Publisher,
+                incarnation: 0,
+            });
+            self.dialers.remove(&idx);
+            self.conns.insert(idx, conn);
+            let epoch = self.epochs.entry(idx).or_insert(0);
+            *epoch += 1;
+            let epoch = *epoch;
+            self.engine
+                .reconnect_replay_to(&self.topo, Proc::Node(idx), epoch);
+        }
+
+        // Drain every connection.
+        let ids: Vec<usize> = self.conns.keys().copied().collect();
+        for idx in ids {
+            let msgs = match self.conns.get_mut(&idx).expect("conn exists").poll_read() {
+                Ok(msgs) => msgs,
+                Err(_) => {
+                    self.conns.remove(&idx);
+                    self.redial(idx);
+                    continue;
+                }
+            };
+            for msg in msgs {
+                match msg {
+                    WireMsg::Hello { .. } | WireMsg::Shutdown => {}
+                    WireMsg::Stats(stats) => {
+                        self.node_stats.insert(idx, stats);
+                    }
+                    WireMsg::Link { link, seq, body } => {
+                        let frames = self.engine.on_link(&self.topo, link, seq, body);
+                        if frames.is_empty() {
+                            continue;
+                        }
+                        let Peer::Host(host) = self.topo.links[link as usize].1 else {
+                            // In-order data can only arrive on node→host
+                            // links; anything else has no receiving core.
+                            continue;
+                        };
+                        let receiver = self.receivers.get_mut(&host).expect("host receiver");
+                        let events = frames
+                            .into_iter()
+                            .map(|data| Event::FrameArrived { frame: data });
+                        self.cmdbuf.clear();
+                        receiver.offer_batch(events, &mut self.cmdbuf);
+                        for cmd in self.cmdbuf.drain() {
+                            match cmd {
+                                Command::Deliver { host, msg } => {
+                                    self.deliveries.push_back((host, msg));
+                                }
+                                other => unreachable!("receivers only deliver: {other:?}"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        self.engine.retransmit_due(&self.topo);
+        for (to, msg) in self.engine.take_out() {
+            let Proc::Node(idx) = Topology::owner(to) else {
+                unreachable!("coordinator transmissions target node processes");
+            };
+            if let Some(conn) = self.conns.get_mut(&idx) {
+                conn.queue(&msg);
+            }
+            // No connection: drop. The link layer's retransmission
+            // schedule and reconnect replay recover the frame.
+        }
+        let ids: Vec<usize> = self.conns.keys().copied().collect();
+        for idx in ids {
+            if self
+                .conns
+                .get_mut(&idx)
+                .expect("conn exists")
+                .poll_write()
+                .is_err()
+            {
+                self.conns.remove(&idx);
+                self.redial(idx);
+            }
+        }
+    }
+
+    /// Publishes a message to `group`'s ingress sequencing node over the
+    /// reliable publisher link, exactly as the threaded runtime does.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownGroup`] for groups with no members.
+    pub fn publish(
+        &mut self,
+        sender: NodeId,
+        group: GroupId,
+        payload: impl Into<bytes::Bytes>,
+    ) -> Result<MessageId, RuntimeError> {
+        let Some(ingress) = self.topo.graph.ingress(group) else {
+            return Err(RuntimeError::UnknownGroup(group));
+        };
+        let id = MessageId(self.next_id);
+        self.next_id += 1;
+        let msg = Message::new(id, sender, group, payload.into());
+        let node = self.topo.atom_node[&ingress];
+        self.engine.send_data(
+            &self.topo,
+            Peer::Node(node),
+            Frame {
+                msg,
+                target_atom: Some(ingress),
+            },
+        );
+        self.pump();
+        Ok(id)
+    }
+
+    /// Receives the next delivery from any host within `timeout`, pumping
+    /// the network while waiting.
+    pub fn next_delivery(&mut self, timeout: Duration) -> Option<(NodeId, Message)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(d) = self.deliveries.pop_front() {
+                return Some(d);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            self.pump();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Collects exactly `expected` deliveries (across all hosts), grouped
+    /// by host in delivery order.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Timeout`] if they do not all arrive in time.
+    pub fn wait_for_deliveries(
+        &mut self,
+        expected: usize,
+        timeout: Duration,
+    ) -> Result<BTreeMap<NodeId, Vec<Message>>, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        let mut out: BTreeMap<NodeId, Vec<Message>> = BTreeMap::new();
+        let mut received = 0usize;
+        while received < expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RuntimeError::Timeout { expected, received });
+            }
+            if let Some((host, msg)) = self.next_delivery(remaining.min(Duration::from_millis(5)))
+            {
+                out.entry(host).or_default().push(msg);
+                received += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// SIGKILLs sequencing node `node` — a real `kill -9`, no shutdown
+    /// handshake; everything volatile in that process is gone. Returns
+    /// `true` if a running process was killed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a valid sequencing-node index.
+    pub fn kill_node(&mut self, node: usize) -> bool {
+        assert!(node < self.topo.num_nodes, "no sequencing node {node}");
+        let Some(mut child) = self.children.remove(&node) else {
+            return false;
+        };
+        let _ = child.kill();
+        let _ = child.wait();
+        self.crashes += 1;
+        // Our side of the connection dies with the peer; close it now and
+        // start redialing for the respawn.
+        self.conns.remove(&node);
+        self.redial(node);
+        true
+    }
+
+    /// Respawns a killed node with a bumped incarnation; it restores its
+    /// disk snapshot and replays the rest from upstream. Returns `true`
+    /// if a respawn happened, `false` if the node was already running.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spawn failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a valid sequencing-node index.
+    pub fn respawn_node(&mut self, node: usize) -> Result<bool, String> {
+        assert!(node < self.topo.num_nodes, "no sequencing node {node}");
+        if self.children.contains_key(&node) {
+            return Ok(false);
+        }
+        self.incarnations[node] += 1;
+        self.spawn_child(node)?;
+        self.redial(node);
+        Ok(true)
+    }
+
+    /// Severs the coordinator's TCP connection to `node` mid-stream. Both
+    /// sides reconnect (capped backoff) and replay unacknowledged frames.
+    pub fn drop_conn(&mut self, node: usize) {
+        self.conns.remove(&node);
+        self.redial(node);
+    }
+
+    /// Freezes the coordinator↔`node` connection for `window`: the socket
+    /// stays open, no bytes move in either direction on our side.
+    pub fn stall_link(&mut self, node: usize, window: Duration) {
+        if let Some(conn) = self.conns.get_mut(&node) {
+            conn.stalled_until = Some(Instant::now() + window);
+        }
+    }
+
+    /// Replays a [`ChaosPlan`] against the running cluster, mapping plan
+    /// time 1:1 onto the wall clock and pumping the network between
+    /// events. Kills respawn automatically at the end of their windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first respawn failure.
+    pub fn run_chaos_plan(&mut self, plan: &ChaosPlan) -> Result<(), String> {
+        enum Action {
+            Down,
+            Up,
+            Drop,
+            Stall(Duration),
+        }
+        let mut timeline: Vec<(Duration, usize, Action)> = Vec::new();
+        for event in plan.events() {
+            if event.node >= self.topo.num_nodes {
+                continue;
+            }
+            match event.kind {
+                ChaosKind::Kill { down_for } => {
+                    timeline.push((event.at, event.node, Action::Down));
+                    timeline.push((event.at + down_for, event.node, Action::Up));
+                }
+                ChaosKind::DropConn => timeline.push((event.at, event.node, Action::Drop)),
+                ChaosKind::StallLink { stall_for } => {
+                    timeline.push((event.at, event.node, Action::Stall(stall_for)));
+                }
+            }
+        }
+        timeline.sort_by_key(|&(at, node, _)| (at, node));
+        let t0 = Instant::now();
+        for (at, node, action) in timeline {
+            let target = t0 + at;
+            loop {
+                self.pump();
+                let now = Instant::now();
+                if now >= target {
+                    break;
+                }
+                std::thread::sleep((target - now).min(Duration::from_millis(1)));
+            }
+            match action {
+                Action::Down => {
+                    self.kill_node(node);
+                }
+                Action::Up => {
+                    self.respawn_node(node)?;
+                }
+                Action::Drop => self.drop_conn(node),
+                Action::Stall(window) => self.stall_link(node, window),
+            }
+        }
+        Ok(())
+    }
+
+    /// The run directory (spec, snapshots, per-node obs JSONL traces).
+    pub fn dir(&self) -> &std::path::Path {
+        &self.spec.dir
+    }
+
+    /// Number of sequencing-node processes.
+    pub fn num_sequencing_nodes(&self) -> usize {
+        self.topo.num_nodes
+    }
+
+    /// Stops every node process — a `Shutdown` frame each, stats replies
+    /// collected with a deadline, stragglers SIGKILLed — and returns the
+    /// aggregated statistics. Safe to call twice.
+    pub fn shutdown(&mut self) -> DeployStats {
+        if !self.shut_down {
+            self.shut_down = true;
+            let running: Vec<usize> = self.children.keys().copied().collect();
+            for &idx in &running {
+                if let Some(conn) = self.conns.get_mut(&idx) {
+                    conn.queue(&WireMsg::Shutdown);
+                }
+            }
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while Instant::now() < deadline
+                && running.iter().any(|idx| !self.node_stats.contains_key(idx))
+            {
+                self.pump();
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            for (_, mut child) in self.children.drain() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+            self.conns.clear();
+            self.dialers.clear();
+        }
+        self.stats()
+    }
+
+    /// Aggregated statistics: the coordinator's own engine counters plus
+    /// every stats reply received from node processes. Complete after
+    /// [`shutdown`](Self::shutdown).
+    pub fn stats(&self) -> DeployStats {
+        let mut stats = DeployStats {
+            frames_sent: self.engine.stats.frames_sent,
+            frames_dropped: self.engine.stats.frames_dropped,
+            retransmissions: self.engine.stats.retransmissions,
+            duplicates: self.engine.stats.duplicates,
+            recovery: RecoveryStats {
+                crashes: self.crashes,
+                ..RecoveryStats::default()
+            },
+            ..DeployStats::default()
+        };
+        for (&size, &count) in &self.engine.stats.batch_sizes {
+            *stats.batch_sizes.entry(size).or_insert(0) += count;
+        }
+        for node in self.node_stats.values() {
+            stats.frames_sent += node.frames_sent;
+            stats.retransmissions += node.retransmissions;
+            stats.duplicates += node.duplicates;
+            stats.heartbeat_misses += node.heartbeat_misses;
+            stats.recovery.frames_replayed += node.frames_replayed;
+            stats.recovery.recovery_micros += node.recovery_micros;
+            stats.snapshots += node.snapshots;
+            for (&size, &count) in &node.batch_sizes {
+                *stats.batch_sizes.entry(size).or_insert(0) += count;
+            }
+        }
+        stats
+    }
+
+    /// Wire-write size histogram, the socket twin of the runtime's
+    /// `batch_size_counts`. Complete after [`shutdown`](Self::shutdown).
+    pub fn batch_size_counts(&self) -> BTreeMap<usize, u64> {
+        self.stats().batch_sizes
+    }
+
+    /// Prometheus text exposition of the deployment counters.
+    pub fn prometheus_text(&self) -> String {
+        let stats = self.stats();
+        let mut reg = Registry::new();
+        reg.inc("crashes_total", None, stats.recovery.crashes);
+        reg.inc("duplicate_frames_total", None, stats.duplicates);
+        reg.inc("frames_dropped_total", None, stats.frames_dropped);
+        reg.inc("frames_replayed_total", None, stats.recovery.frames_replayed);
+        reg.inc("frames_sent_total", None, stats.frames_sent);
+        reg.inc("heartbeat_misses_total", None, stats.heartbeat_misses);
+        reg.inc("recovery_micros_total", None, stats.recovery.recovery_micros);
+        reg.inc("retransmissions_total", None, stats.retransmissions);
+        reg.inc("snapshots_total", None, stats.snapshots);
+        prom::exposition(&reg, "seqnet_deploy", |_| "group")
+    }
+}
+
+impl Drop for DeployCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

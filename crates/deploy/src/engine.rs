@@ -1,0 +1,505 @@
+//! The socket deployment's link engine: the exact reliable-link discipline
+//! of the threaded runtime's internal `LinkEngine`, retargeted from
+//! channels to wire messages.
+//!
+//! The engine owns one [`LinkSender`]/[`LinkReceiver`] pair per link it
+//! terminates and turns protocol traffic into `(destination, WireMsg)`
+//! transmissions which the owning process routes onto its TCP
+//! connections. Sequencing nodes run it with deferred acks (group-commit:
+//! outputs stage until a snapshot covers them, cumulative acks advance
+//! only at snapshot time); the coordinator's publisher and host endpoints
+//! ack every frame immediately. Reconnects replay the unacknowledged
+//! suffix exactly once per connection epoch via
+//! [`LinkSender::reconnect_replay`].
+
+use crate::topo::{Proc, Topology};
+use crate::wire::{WireBody, WireMsg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqnet_core::proto::{Frame, Peer};
+use seqnet_runtime::{LinkReceiver, LinkSender};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+/// Wire-level counters a process accumulates, shipped to the coordinator
+/// in the shutdown `Stats` frame.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Data frames handed to the transport (incl. retransmissions).
+    pub frames_sent: u64,
+    /// Frames discarded by the loss injector before the transport.
+    pub frames_dropped: u64,
+    /// Retransmissions performed by link senders.
+    pub retransmissions: u64,
+    /// Duplicates discarded by link receivers.
+    pub duplicates: u64,
+    /// Frames per wire write (1 for single frames, run length for
+    /// coalesced batches).
+    pub batch_sizes: BTreeMap<usize, u64>,
+}
+
+/// Reliable-link state for one process. See the module docs.
+#[derive(Debug)]
+pub struct WireEngine {
+    me: Peer,
+    defer_acks: bool,
+    timeout: Duration,
+    cap: Duration,
+    coalesce: bool,
+    drop_probability: f64,
+    rng: StdRng,
+    senders: HashMap<u32, LinkSender<Frame>>,
+    receivers: HashMap<u32, LinkReceiver<Frame>>,
+    /// Last cumulative ack floor advertised per incoming link, re-sent
+    /// when a sender retransmits below it.
+    acked_floor: HashMap<u32, u64>,
+    /// Output frames registered with their senders but withheld from the
+    /// wire until the next snapshot flush.
+    staged: Vec<(Peer, u32, u64, Frame)>,
+    /// Transmissions awaiting routing by the owning process.
+    out: Vec<(Peer, WireMsg)>,
+    /// Counters; the process folds them into its `Stats` frame.
+    pub stats: EngineStats,
+}
+
+impl WireEngine {
+    /// An engine for party `me`. `defer_acks` selects the group-commit
+    /// discipline (sequencing nodes) over immediate acks (coordinator
+    /// endpoints). Loss injection and retransmission timing come from the
+    /// shared cluster config.
+    pub fn new(
+        me: Peer,
+        seed: u64,
+        defer_acks: bool,
+        timeout: Duration,
+        cap: Duration,
+        coalesce: bool,
+        drop_probability: f64,
+    ) -> Self {
+        WireEngine {
+            me,
+            defer_acks,
+            timeout,
+            cap,
+            coalesce,
+            drop_probability,
+            rng: StdRng::seed_from_u64(seed),
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            acked_floor: HashMap::new(),
+            staged: Vec::new(),
+            out: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    fn sender_for(&mut self, link: u32) -> &mut LinkSender<Frame> {
+        let (timeout, cap) = (self.timeout, self.cap);
+        self.senders
+            .entry(link)
+            .or_insert_with(|| LinkSender::with_backoff(timeout, cap))
+    }
+
+    /// Drains the pending transmissions for routing onto connections.
+    pub fn take_out(&mut self) -> Vec<(Peer, WireMsg)> {
+        std::mem::take(&mut self.out)
+    }
+
+    fn transmit(&mut self, to: Peer, link: u32, seq: u64, body: WireBody) {
+        match &body {
+            WireBody::Data(_) => {
+                self.stats.frames_sent += 1;
+                *self.stats.batch_sizes.entry(1).or_insert(0) += 1;
+            }
+            WireBody::DataBatch(frames) => {
+                self.stats.frames_sent += frames.len() as u64;
+                *self.stats.batch_sizes.entry(frames.len()).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+        if self.drop_probability > 0.0 && self.rng.gen_bool(self.drop_probability) {
+            self.stats.frames_dropped += 1;
+            return;
+        }
+        self.out.push((to, WireMsg::Link { link, seq, body }));
+    }
+
+    /// Sends `data` over the reliable link `me -> to`, transmitting
+    /// immediately. Used by the coordinator's publisher front-end.
+    pub fn send_data(&mut self, topo: &Topology, to: Peer, data: Frame) {
+        let link = topo.link_between(self.me, to);
+        let (seq, payload) = self.sender_for(link).send(data);
+        self.transmit(to, link, seq, WireBody::Data(payload));
+    }
+
+    /// Registers `data` on the link `me -> to` but stages it: the frame
+    /// owns its sequence number and appears in the next snapshot, yet
+    /// reaches the wire only via [`flush_staged`](Self::flush_staged).
+    pub fn send_data_held(&mut self, topo: &Topology, to: Peer, data: Frame) {
+        let link = topo.link_between(self.me, to);
+        let (seq, payload) = self.sender_for(link).send_held(data);
+        self.staged.push((to, link, seq, payload));
+    }
+
+    /// Transmits all staged frames (one coalesced batch per consecutive
+    /// run when configured) and hands them to the retransmission
+    /// schedule. Call only after the snapshot recording them is durable.
+    pub fn flush_staged(&mut self) {
+        let staged = std::mem::take(&mut self.staged);
+        if self.coalesce {
+            let mut order: Vec<(Peer, u32)> = Vec::new();
+            for &(to, link, _, _) in &staged {
+                if !order.contains(&(to, link)) {
+                    order.push((to, link));
+                }
+            }
+            for (to, link) in order {
+                let runs = self.sender_for(link).release_held_coalesced();
+                for (first, frames) in runs {
+                    self.transmit(to, link, first, WireBody::DataBatch(frames));
+                }
+            }
+        } else {
+            for (to, link, seq, data) in staged {
+                self.transmit(to, link, seq, WireBody::Data(data));
+            }
+        }
+        for sender in self.senders.values_mut() {
+            sender.release_held();
+        }
+    }
+
+    /// Handles one incoming link frame; returns in-order data payloads.
+    pub fn on_link(&mut self, topo: &Topology, link: u32, seq: u64, body: WireBody) -> Vec<Frame> {
+        match body {
+            WireBody::Ack => {
+                if let Some(sender) = self.senders.get_mut(&link) {
+                    sender.acknowledge(seq);
+                }
+                Vec::new()
+            }
+            WireBody::AckThrough => {
+                if let Some(sender) = self.senders.get_mut(&link) {
+                    sender.acknowledge_through(seq);
+                }
+                Vec::new()
+            }
+            WireBody::Heartbeat => Vec::new(),
+            WireBody::Data(data) => {
+                let (from, _to) = topo.links[link as usize];
+                if self.defer_acks {
+                    // No ack before a snapshot covers the frame, but a
+                    // sender retransmitting below the snapshotted floor
+                    // missed the cumulative ack — re-advertise it.
+                    let stale = self
+                        .receivers
+                        .get(&link)
+                        .is_some_and(|r| seq < r.next_expected());
+                    if stale {
+                        let floor = self.acked_floor.get(&link).copied().unwrap_or(0);
+                        if floor > 0 {
+                            self.transmit(from, link, floor, WireBody::AckThrough);
+                        }
+                    }
+                } else {
+                    self.transmit(from, link, seq, WireBody::Ack);
+                }
+                let receiver = self.receivers.entry(link).or_default();
+                let out = receiver.receive(seq, data);
+                self.stats.duplicates = self.receivers.values().map(|r| r.duplicates()).sum();
+                out
+            }
+            WireBody::DataBatch(frames) => {
+                if frames.is_empty() {
+                    return Vec::new();
+                }
+                let (from, _to) = topo.links[link as usize];
+                let last = seq + frames.len() as u64 - 1;
+                if self.defer_acks {
+                    let stale = self
+                        .receivers
+                        .get(&link)
+                        .is_some_and(|r| last < r.next_expected());
+                    if stale {
+                        let floor = self.acked_floor.get(&link).copied().unwrap_or(0);
+                        if floor > 0 {
+                            self.transmit(from, link, floor, WireBody::AckThrough);
+                        }
+                    }
+                }
+                let receiver = self.receivers.entry(link).or_default();
+                let out = receiver.receive_batch(seq, frames);
+                let floor = receiver.next_expected() - 1;
+                if !self.defer_acks && floor > 0 {
+                    self.transmit(from, link, floor, WireBody::AckThrough);
+                }
+                self.stats.duplicates = self.receivers.values().map(|r| r.duplicates()).sum();
+                out
+            }
+        }
+    }
+
+    /// Emits a heartbeat on outgoing link `link` to `to`. Heartbeats are
+    /// unsequenced (seq 0) and never retransmitted.
+    pub fn heartbeat(&mut self, to: Peer, link: u32) {
+        self.out.push((
+            to,
+            WireMsg::Link {
+                link,
+                seq: 0,
+                body: WireBody::Heartbeat,
+            },
+        ));
+    }
+
+    /// Retransmits overdue frames on all outgoing links.
+    pub fn retransmit_due(&mut self, topo: &Topology) {
+        let due: Vec<(u32, Vec<(u64, Frame)>)> = self
+            .senders
+            .iter_mut()
+            .map(|(&link, s)| (link, s.due_for_retransmit()))
+            .collect();
+        for (link, frames) in due {
+            let (_, to) = topo.links[link as usize];
+            for (seq, data) in frames {
+                self.transmit(to, link, seq, WireBody::Data(data));
+            }
+        }
+        self.stats.retransmissions = self.senders.values().map(|s| s.retransmissions()).sum();
+    }
+
+    /// Replays the unacknowledged (non-staged) suffix of every link whose
+    /// destination lives in process `proc`, exactly once per connection
+    /// `epoch` — called when a connection to that process is
+    /// (re)established, so a respawned or reconnected peer receives the
+    /// retransmission-buffer contents immediately instead of waiting out
+    /// the backoff schedule.
+    pub fn reconnect_replay_to(&mut self, topo: &Topology, proc: Proc, epoch: u64) {
+        let links: Vec<u32> = self
+            .senders
+            .keys()
+            .copied()
+            .filter(|&l| Topology::owner(topo.links[l as usize].1) == proc)
+            .collect();
+        for link in links {
+            let to = topo.links[link as usize].1;
+            let burst = self
+                .senders
+                .get_mut(&link)
+                .expect("sender exists")
+                .reconnect_replay(epoch);
+            for (seq, data) in burst {
+                self.transmit(to, link, seq, WireBody::Data(data));
+            }
+        }
+        self.stats.retransmissions = self.senders.values().map(|s| s.retransmissions()).sum();
+    }
+
+    /// Sends a cumulative ack to `to` covering everything through
+    /// `through` on the incoming link `to -> me`, caching the floor for
+    /// stale-frame re-advertisement.
+    pub fn send_ack_through(&mut self, topo: &Topology, to: Peer, through: u64) {
+        let link = topo.link_between(to, self.me);
+        self.acked_floor.insert(link, through);
+        self.transmit(to, link, through, WireBody::AckThrough);
+    }
+
+    /// The durable link state a snapshot records: per incoming link the
+    /// next expected sequence number, per outgoing link the next fresh
+    /// sequence number plus unacknowledged frames.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_links(&self) -> (Vec<(u32, u64)>, Vec<(u32, u64, Vec<(u64, Frame)>)>) {
+        let mut rx: Vec<(u32, u64)> = self
+            .receivers
+            .iter()
+            .map(|(&link, r)| (link, r.next_expected()))
+            .collect();
+        rx.sort_unstable();
+        let mut tx: Vec<(u32, u64, Vec<(u64, Frame)>)> = self
+            .senders
+            .iter()
+            .map(|(&link, s)| {
+                let (next, frames) = s.snapshot();
+                (link, next, frames)
+            })
+            .collect();
+        tx.sort_unstable_by_key(|&(link, _, _)| link);
+        (rx, tx)
+    }
+
+    /// Rebuilds link state from snapshot parts. Restored output frames
+    /// are immediately due for retransmission; acked floors match what
+    /// the snapshot had advertised.
+    pub fn restore_links(&mut self, rx: &[(u32, u64)], tx: &[(u32, u64, Vec<(u64, Frame)>)]) {
+        for &(link, next) in rx {
+            self.receivers.insert(link, LinkReceiver::resume(next));
+            self.acked_floor.insert(link, next.saturating_sub(1));
+        }
+        for (link, next_seq, frames) in tx {
+            self.senders.insert(
+                *link,
+                LinkSender::resume(self.timeout, self.cap, *next_seq, frames.clone()),
+            );
+        }
+    }
+
+    /// Staged frames currently withheld (used for flush bookkeeping).
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqnet_core::{Message, MessageId};
+    use seqnet_membership::{GroupId, Membership, NodeId};
+
+    fn topo() -> Topology {
+        Topology::derive(
+            &Membership::from_groups([
+                (GroupId(0), vec![NodeId(0), NodeId(1), NodeId(2)]),
+                (GroupId(1), vec![NodeId(1), NodeId(2), NodeId(3)]),
+            ]),
+            11,
+        )
+    }
+
+    fn frame(id: u64) -> Frame {
+        Frame {
+            msg: Message::new(MessageId(id), NodeId(0), GroupId(0), Vec::new()),
+            target_atom: None,
+        }
+    }
+
+    fn engine(me: Peer, defer: bool) -> WireEngine {
+        WireEngine::new(
+            me,
+            1,
+            defer,
+            Duration::from_millis(10),
+            Duration::from_millis(100),
+            false,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn publisher_traffic_flows_and_is_acked() {
+        let t = topo();
+        let ingress = t
+            .links
+            .iter()
+            .find(|(f, _)| *f == Peer::Publisher)
+            .expect("publisher link")
+            .1;
+        let mut publisher = engine(Peer::Publisher, false);
+        let mut node = engine(ingress, true);
+        publisher.send_data(&t, ingress, frame(1));
+        let sent = publisher.take_out();
+        assert_eq!(sent.len(), 1);
+        let (to, WireMsg::Link { link, seq, body }) = sent.into_iter().next().expect("one") else {
+            panic!("expected link frame");
+        };
+        assert_eq!(to, ingress);
+        let delivered = node.on_link(&t, link, seq, body);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].msg.id, MessageId(1));
+        // Deferred acks: the node sent nothing back yet.
+        assert!(node.take_out().is_empty());
+        // Snapshot time: the node acks through the received prefix.
+        node.send_ack_through(&t, Peer::Publisher, seq);
+        let acks = node.take_out();
+        assert_eq!(acks.len(), 1);
+        let (_, WireMsg::Link { link, seq, body }) = acks.into_iter().next().expect("ack") else {
+            panic!("expected ack frame");
+        };
+        assert!(matches!(body, WireBody::AckThrough));
+        publisher.on_link(&t, link, seq, body);
+        publisher.retransmit_due(&t);
+        assert!(
+            publisher.take_out().is_empty(),
+            "acked frame must not retransmit"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_sender_and_receiver_state() {
+        let t = topo();
+        let ingress = t
+            .links
+            .iter()
+            .find(|(f, _)| *f == Peer::Publisher)
+            .expect("publisher link")
+            .1;
+        let mut node = engine(ingress, true);
+        let link = t.link_between(Peer::Publisher, ingress);
+        // Receive two frames, stage one output.
+        node.on_link(&t, link, 1, WireBody::Data(frame(1)));
+        node.on_link(&t, link, 2, WireBody::Data(frame(2)));
+        let host_link = t
+            .links
+            .iter()
+            .position(|(f, _)| *f == ingress)
+            .expect("outgoing link") as u32;
+        let to = t.links[host_link as usize].1;
+        node.send_data_held(&t, to, frame(3));
+        let (rx, tx) = node.snapshot_links();
+        assert!(rx.contains(&(link, 3)), "next expected is 3: {rx:?}");
+        assert_eq!(tx.iter().find(|e| e.0 == host_link).expect("tx").2.len(), 1);
+
+        let mut restored = engine(ingress, true);
+        restored.restore_links(&rx, &tx);
+        // Duplicate of an already-snapshotted frame: dropped, and the
+        // stale-retransmission rule re-advertises the floor.
+        restored.send_ack_through(&t, Peer::Publisher, 2);
+        let _ = restored.take_out();
+        let out = restored.on_link(&t, link, 1, WireBody::Data(frame(1)));
+        assert!(out.is_empty(), "below-floor frame is a duplicate");
+        let msgs = restored.take_out();
+        assert!(
+            msgs.iter().any(|(_, m)| matches!(
+                m,
+                WireMsg::Link {
+                    body: WireBody::AckThrough,
+                    seq: 2,
+                    ..
+                }
+            )),
+            "floor re-advertised: {msgs:?}"
+        );
+        // The restored staged frame is due for retransmission.
+        std::thread::sleep(Duration::from_millis(12));
+        restored.retransmit_due(&t);
+        let due = restored.take_out();
+        assert!(
+            due.iter()
+                .any(|(_, m)| matches!(m, WireMsg::Link { seq: 1, body: WireBody::Data(_), .. })),
+            "restored tx frame retransmits: {due:?}"
+        );
+    }
+
+    #[test]
+    fn reconnect_replay_runs_once_per_epoch() {
+        let t = topo();
+        let ingress = t
+            .links
+            .iter()
+            .find(|(f, _)| *f == Peer::Publisher)
+            .expect("publisher link")
+            .1;
+        let Peer::Node(node_idx) = ingress else {
+            panic!("ingress is a node");
+        };
+        let mut publisher = engine(Peer::Publisher, false);
+        publisher.send_data(&t, ingress, frame(1));
+        publisher.send_data(&t, ingress, frame(2));
+        let _ = publisher.take_out();
+        publisher.reconnect_replay_to(&t, Proc::Node(node_idx), 1);
+        assert_eq!(publisher.take_out().len(), 2, "both unacked frames replay");
+        publisher.reconnect_replay_to(&t, Proc::Node(node_idx), 1);
+        assert!(publisher.take_out().is_empty(), "same epoch replays nothing");
+        publisher.reconnect_replay_to(&t, Proc::Node(node_idx), 2);
+        assert_eq!(publisher.take_out().len(), 2, "new epoch replays again");
+    }
+}

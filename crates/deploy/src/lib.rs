@@ -1,0 +1,82 @@
+//! Socket-based multi-process deployment of the decentralized ordering
+//! protocol, with real-process crash injection.
+//!
+//! The simulator proves the protocol correct under adversarial schedules;
+//! the threaded runtime proves it across real threads and channels. This
+//! crate closes the last gap to the paper's deployment model: every
+//! sequencing node is a separate OS process, every link is a real TCP
+//! connection on localhost, and every fault is a real fault — SIGKILL,
+//! severed connections, frozen sockets. The protocol cores ([`NodeCore`],
+//! [`ReceiverCore`]) and the link-level seq/ack/retransmit/backoff
+//! machinery are exactly the ones the other two drivers run; only the
+//! transport underneath them changes. That is the point: a three-way
+//! differential oracle can push one seeded workload plus one fault
+//! schedule through simulator, threads, and processes, and demand
+//! identical per-group per-receiver delivery orders.
+//!
+//! Layering, bottom up:
+//!
+//! - [`wire`]: length-prefixed frame codec, tolerant of short reads and
+//!   partial writes, rejecting garbage without panicking.
+//! - [`conn`]: non-blocking framed connections and capped-backoff
+//!   redialing.
+//! - [`sys`]: the one `unsafe` corner — `SO_REUSEADDR` listener binding so
+//!   a SIGKILL-respawned node can reclaim its port immediately.
+//! - [`topo`]: the deterministic link table every process re-derives from
+//!   `(membership, seed)`; nothing is shipped, everything is recomputed.
+//! - [`spec`]: the plain-text cluster spec handed to child processes.
+//! - [`engine`]: the reliable-link discipline (group-commit staging,
+//!   deferred cumulative acks, reconnect replay) over wire messages.
+//! - [`snapshot`]: atomic on-disk node checkpoints (write-temp-rename).
+//! - [`node`] / [`child`]: the sequencing-node process.
+//! - [`coord`]: the coordinator — publisher, in-process subscriber hosts,
+//!   chaos controller, stats aggregation.
+//! - [`chaos`]: deterministic process-level fault schedules, convertible
+//!   from the simulator's `FaultPlan` for the oracle.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use seqnet_deploy::{run_if_child, DeployCluster};
+//! use seqnet_membership::{GroupId, Membership, NodeId};
+//! use seqnet_runtime::ClusterConfig;
+//! use std::time::Duration;
+//!
+//! // First thing in main: become a node process if spawned as one.
+//! run_if_child();
+//!
+//! let membership = Membership::from_groups([
+//!     (GroupId(0), vec![NodeId(0), NodeId(1)]),
+//!     (GroupId(1), vec![NodeId(1), NodeId(2)]),
+//! ]);
+//! let mut cluster = DeployCluster::start(&membership, ClusterConfig::default()).unwrap();
+//! cluster.publish(NodeId(0), GroupId(0), &b"hello"[..]).unwrap();
+//! let deliveries = cluster.wait_for_deliveries(2, Duration::from_secs(10)).unwrap();
+//! cluster.shutdown();
+//! # let _ = deliveries;
+//! ```
+//!
+//! [`NodeCore`]: seqnet_core::proto::NodeCore
+//! [`ReceiverCore`]: seqnet_core::proto::ReceiverCore
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod child;
+pub mod conn;
+pub mod coord;
+pub mod engine;
+pub mod node;
+pub mod snapshot;
+pub mod spec;
+pub mod sys;
+pub mod topo;
+pub mod wire;
+
+pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan};
+pub use child::run_if_child;
+pub use coord::{DeployCluster, DeployStats};
+pub use spec::ClusterSpec;
+pub use topo::{Proc, Topology};
+pub use wire::{CodecError, NodeWireStats, WireBody, WireMsg};

@@ -1,0 +1,456 @@
+//! The sequencing-node child process.
+//!
+//! `run_node` is the entire life of one node process: it re-derives the
+//! topology from the spec, restores its last disk snapshot (if any),
+//! listens for the coordinator and lower-index peers, dials higher-index
+//! peers, and then runs the same group-commit loop as the threaded
+//! runtime's `node_thread` — frames in through [`WireEngine`], events
+//! through the unchanged [`NodeCore`], staged outputs released only after
+//! the snapshot recording them has been renamed into place. SIGKILL can
+//! land anywhere in this loop; correctness rests solely on the snapshot
+//! discipline, never on a clean shutdown path.
+
+use crate::conn::{Conn, ConnError, Dialer};
+use crate::engine::WireEngine;
+use crate::snapshot::{snapshot_path, DiskSnapshot};
+use crate::spec::ClusterSpec;
+use crate::topo::{Proc, Topology};
+use crate::wire::{NodeWireStats, WireMsg};
+use seqnet_core::proto::trace::{Actor, EventKind, TraceEvent};
+use seqnet_core::proto::{Command, CommandBuf, Event, NodeCore, Peer, ProtocolState, Routing};
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Incremental observability log: one JSONL line per protocol event,
+/// flushed immediately so the record survives a SIGKILL mid-run.
+struct ObsLog {
+    file: Option<std::fs::File>,
+    epoch: Instant,
+}
+
+impl ObsLog {
+    fn open(path: &Path) -> Self {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok();
+        ObsLog {
+            file,
+            epoch: Instant::now(),
+        }
+    }
+
+    fn record(&mut self, kind: EventKind, actor: Actor, detail: Option<u64>) {
+        let Some(file) = &mut self.file else { return };
+        let event = TraceEvent {
+            at: self.epoch.elapsed().as_micros() as u64,
+            detail,
+            ..TraceEvent::new(kind, actor)
+        };
+        let _ = file.write_all(seqnet_obs::jsonl::to_jsonl(&event).as_bytes());
+        let _ = file.write_all(b"\n");
+        let _ = file.flush();
+    }
+}
+
+/// Binds the node's listening port, absorbing the TIME_WAIT / rebind race
+/// after a SIGKILL-respawn cycle: SO_REUSEADDR plus a bounded retry loop.
+fn bind_with_retry(port: u16) -> io::Result<TcpListener> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match crate::sys::listen_reuseaddr(port) {
+            Ok(l) => {
+                l.set_nonblocking(true)?;
+                return Ok(l);
+            }
+            Err(e) => {
+                if Instant::now() > deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+fn peer_addr(spec: &ClusterSpec, node: usize) -> SocketAddr {
+    SocketAddr::from(([127, 0, 0, 1], spec.ports[node]))
+}
+
+/// Runs sequencing node `idx` to completion: until a `Shutdown` frame
+/// arrives (clean exit, stats reply) or the process is killed.
+///
+/// # Errors
+///
+/// Returns the I/O failure that made the node unable to run (listener
+/// bind, snapshot store).
+pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<()> {
+    let config = &spec.config;
+    let topo = Topology::derive(&spec.membership, config.seed);
+    let mut obs = ObsLog::open(&spec.dir.join(format!("node{idx}.obs.jsonl")));
+    let actor = Actor::Node(idx as u64);
+
+    let mut engine = WireEngine::new(
+        Peer::Node(idx),
+        config.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx as u64 + 1),
+        true,
+        config.retransmit_timeout,
+        config.backoff_cap,
+        config.coalesce,
+        config.drop_probability,
+    );
+    let mut protocol = ProtocolState::new(&topo.graph);
+    // Group-commit mode: the core stages every output frame; this driver
+    // releases them only after a snapshot records them.
+    let mut core = NodeCore::new(idx, true);
+    let mut cmdbuf = CommandBuf::new();
+    let routing = Routing::colocated(&topo.membership, &topo.graph, &topo.atom_node);
+
+    let started = Instant::now();
+    let restarted = incarnation > 0;
+    let mut replaying = restarted;
+    let mut replayed: u64 = 0;
+    let mut heartbeat_misses: u64 = 0;
+    let mut frames_replayed_total: u64 = 0;
+    let mut recovery_micros: u64 = 0;
+    let mut snapshots: u64 = 0;
+
+    if restarted {
+        if let Some(snap) = DiskSnapshot::load(&snapshot_path(&spec.dir, idx))? {
+            protocol = ProtocolState::import_counters(&topo.graph, &snap.overlaps, &snap.groups);
+            engine.restore_links(&snap.rx_next, &snap.tx);
+            // Seed the core's ack floors to match what the snapshot had
+            // advertised, so the next snapshot only acks real progress.
+            for &(link, next) in &snap.rx_next {
+                let (from, _to) = topo.links[link as usize];
+                core.restore_floor(from, next.saturating_sub(1));
+            }
+            obs.record(EventKind::Crash, actor, Some(incarnation));
+        }
+        // No snapshot: nothing ever escaped this node (outputs and acks
+        // only leave at snapshot time), so a fresh start is consistent.
+    }
+
+    let listener = bind_with_retry(spec.ports[idx])?;
+
+    // Dialing rule: node i dials node j iff i < j (ties broken by index so
+    // each process pair has exactly one connection); the coordinator dials
+    // every node. So this node dials its higher-index peers and accepts
+    // everyone else.
+    let mut dialers: HashMap<Proc, Dialer> = HashMap::new();
+    let dial_base = Duration::from_millis(5);
+    for &j in topo.node_peers(idx).iter().filter(|&&j| j > idx) {
+        dialers.insert(
+            Proc::Node(j),
+            Dialer::new(peer_addr(spec, j), dial_base, config.backoff_cap),
+        );
+    }
+    let mut conns: HashMap<Proc, Conn> = HashMap::new();
+    let mut pending: Vec<Conn> = Vec::new();
+    let mut epochs: HashMap<Proc, u64> = HashMap::new();
+
+    let (watched_peers, hb_out) = topo.heartbeat_plan(idx);
+    let mut watched: HashMap<usize, (Instant, bool)> = watched_peers
+        .iter()
+        .map(|&p| (p, (Instant::now(), false)))
+        .collect();
+
+    let mut last_snapshot = Instant::now();
+    let mut last_heartbeat = Instant::now();
+    let mut shutdown_via: Option<Proc> = None;
+
+    'main: loop {
+        // Accept new connections; they become routable once they say Hello.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => match Conn::new(stream) {
+                    Ok(conn) => pending.push(conn),
+                    Err(_) => continue,
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Dial higher-index peers that are due.
+        let due: Vec<Proc> = dialers.keys().copied().collect();
+        for proc in due {
+            let Some(stream) = dialers.get_mut(&proc).and_then(Dialer::poll) else {
+                continue;
+            };
+            let Ok(mut conn) = Conn::new(stream) else {
+                continue;
+            };
+            conn.queue(&WireMsg::Hello {
+                party: Peer::Node(idx),
+                incarnation,
+            });
+            dialers.remove(&proc);
+            conns.insert(proc, conn);
+            let epoch = epochs.entry(proc).or_insert(0);
+            *epoch += 1;
+            engine.reconnect_replay_to(&topo, proc, *epoch);
+        }
+
+        // Promote pending connections on their Hello; anything else as a
+        // first message (or a read error) discards the connection.
+        let mut promoted: Vec<(Proc, Conn, Vec<WireMsg>)> = Vec::new();
+        let mut i = 0;
+        while i < pending.len() {
+            match pending[i].poll_read() {
+                Ok(msgs) if msgs.is_empty() => i += 1,
+                Ok(mut msgs) => {
+                    let conn = pending.swap_remove(i);
+                    if let WireMsg::Hello { party, .. } = msgs[0] {
+                        let proc = Topology::owner(party);
+                        let rest = msgs.split_off(1);
+                        promoted.push((proc, conn, rest));
+                    }
+                }
+                Err(_) => {
+                    pending.swap_remove(i);
+                }
+            }
+        }
+        for (proc, conn, rest) in promoted {
+            conns.insert(proc, conn);
+            let epoch = epochs.entry(proc).or_insert(0);
+            *epoch += 1;
+            engine.reconnect_replay_to(&topo, proc, *epoch);
+            for msg in rest {
+                handle_msg(
+                    msg,
+                    proc,
+                    &topo,
+                    &mut engine,
+                    &mut core,
+                    &mut protocol,
+                    &routing,
+                    &mut cmdbuf,
+                    &mut watched,
+                    replaying,
+                    &mut replayed,
+                    &mut shutdown_via,
+                );
+            }
+        }
+
+        // Drain every established connection.
+        let procs: Vec<Proc> = conns.keys().copied().collect();
+        for proc in procs {
+            let msgs = match conns.get_mut(&proc).expect("conn exists").poll_read() {
+                Ok(msgs) => msgs,
+                Err(_) => {
+                    conns.remove(&proc);
+                    if let Proc::Node(j) = proc {
+                        if j > idx {
+                            dialers.insert(
+                                proc,
+                                Dialer::new(peer_addr(spec, j), dial_base, config.backoff_cap),
+                            );
+                        }
+                    }
+                    continue;
+                }
+            };
+            for msg in msgs {
+                handle_msg(
+                    msg,
+                    proc,
+                    &topo,
+                    &mut engine,
+                    &mut core,
+                    &mut protocol,
+                    &routing,
+                    &mut cmdbuf,
+                    &mut watched,
+                    replaying,
+                    &mut replayed,
+                    &mut shutdown_via,
+                );
+            }
+        }
+        if let Some(via) = shutdown_via {
+            // Reply with the node's counters, then drain the socket.
+            let stats = NodeWireStats {
+                frames_sent: engine.stats.frames_sent,
+                retransmissions: engine.stats.retransmissions,
+                duplicates: engine.stats.duplicates,
+                heartbeat_misses,
+                frames_replayed: frames_replayed_total + replayed,
+                recovery_micros,
+                snapshots,
+                batch_sizes: engine.stats.batch_sizes.clone(),
+            };
+            if let Some(conn) = conns.get_mut(&via) {
+                conn.queue(&WireMsg::Stats(stats));
+                let deadline = Instant::now() + Duration::from_secs(2);
+                while conn.backlog() > 0 && Instant::now() < deadline {
+                    if conn.poll_write().is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            break 'main;
+        }
+
+        let now = Instant::now();
+        if now.duration_since(last_snapshot) >= config.snapshot_interval {
+            let (overlaps, groups) = protocol.export_counters();
+            let (rx_next, tx) = engine.snapshot_links();
+            let staged_frames = engine.staged_len() as u64;
+            DiskSnapshot {
+                overlaps,
+                groups,
+                rx_next: rx_next.clone(),
+                tx,
+            }
+            .save(&snapshot_path(&spec.dir, idx))?;
+            snapshots += 1;
+            let mut by_peer: Vec<(Peer, u64)> = rx_next
+                .iter()
+                .map(|&(link, next)| (topo.links[link as usize].0, next))
+                .collect();
+            by_peer.sort_unstable();
+            for cmd in core.on_event(
+                &routing,
+                &mut protocol,
+                Event::SnapshotTaken { rx_next: by_peer },
+            ) {
+                match cmd {
+                    Command::Flush => {
+                        obs.record(EventKind::SnapshotFlush, actor, Some(staged_frames));
+                        engine.flush_staged();
+                    }
+                    Command::Ack { to, through } => {
+                        engine.send_ack_through(&topo, to, through);
+                    }
+                    other => unreachable!("snapshots only flush and ack: {other:?}"),
+                }
+            }
+            last_snapshot = now;
+            if replaying && replayed > 0 {
+                // Recovery complete: the replayed input is durable again.
+                replaying = false;
+                frames_replayed_total += replayed;
+                obs.record(EventKind::Replay, actor, Some(replayed));
+                replayed = 0;
+                recovery_micros += started.elapsed().as_micros() as u64;
+            }
+        }
+
+        if now.duration_since(last_heartbeat) >= config.heartbeat_interval {
+            for &(to, link) in &hb_out {
+                engine.heartbeat(to, link);
+            }
+            last_heartbeat = now;
+        }
+        for (&peer, (seen, suspected)) in watched.iter_mut() {
+            if !*suspected
+                && now.duration_since(*seen)
+                    >= config.heartbeat_interval * config.heartbeat_miss_threshold
+            {
+                *suspected = true;
+                heartbeat_misses += 1;
+                obs.record(EventKind::HeartbeatMiss, actor, Some(peer as u64));
+                // Tear the connection down so reconnect (with its replay)
+                // rather than a half-dead socket carries the recovery.
+                let proc = Proc::Node(peer);
+                if conns.remove(&proc).is_some() && peer > idx {
+                    dialers.insert(
+                        proc,
+                        Dialer::new(peer_addr(spec, peer), dial_base, config.backoff_cap),
+                    );
+                }
+            }
+        }
+
+        engine.retransmit_due(&topo);
+
+        // Route the engine's transmissions onto connections. A missing
+        // connection silently drops the message — the link layer's
+        // retransmission schedule (and reconnect replay) recovers it.
+        for (to, msg) in engine.take_out() {
+            if let Some(conn) = conns.get_mut(&Topology::owner(to)) {
+                conn.queue(&msg);
+            }
+        }
+        let procs: Vec<Proc> = conns.keys().copied().collect();
+        for proc in procs {
+            if conns
+                .get_mut(&proc)
+                .expect("conn exists")
+                .poll_write()
+                .is_err()
+            {
+                conns.remove(&proc);
+                if let Proc::Node(j) = proc {
+                    if j > idx {
+                        dialers.insert(
+                            proc,
+                            Dialer::new(peer_addr(spec, j), dial_base, config.backoff_cap),
+                        );
+                    }
+                }
+            }
+        }
+
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    Ok(())
+}
+
+/// Feeds one wire message through the link engine and the protocol core.
+#[allow(clippy::too_many_arguments)]
+fn handle_msg(
+    msg: WireMsg,
+    from_proc: Proc,
+    topo: &Topology,
+    engine: &mut WireEngine,
+    core: &mut NodeCore,
+    protocol: &mut ProtocolState,
+    routing: &Routing<'_>,
+    cmdbuf: &mut CommandBuf,
+    watched: &mut HashMap<usize, (Instant, bool)>,
+    replaying: bool,
+    replayed: &mut u64,
+    shutdown_via: &mut Option<Proc>,
+) {
+    match msg {
+        WireMsg::Hello { .. } => {}
+        WireMsg::Stats(_) => {}
+        WireMsg::Shutdown => *shutdown_via = Some(from_proc),
+        WireMsg::Link { link, seq, body } => {
+            if let Proc::Node(p) = from_proc {
+                if let Some(entry) = watched.get_mut(&p) {
+                    *entry = (Instant::now(), false);
+                }
+            }
+            let frames = engine.on_link(topo, link, seq, body);
+            if frames.is_empty() {
+                return;
+            }
+            if replaying {
+                *replayed += frames.len() as u64;
+            }
+            let events = frames
+                .into_iter()
+                .map(|data| Event::FrameArrived { frame: data });
+            cmdbuf.clear();
+            core.on_events(routing, protocol, events, cmdbuf);
+            for cmd in cmdbuf.drain() {
+                match cmd {
+                    Command::Stage { to, frame } => {
+                        engine.send_data_held(topo, to, frame);
+                    }
+                    other => unreachable!("group-commit frames only stage: {other:?}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Durable node checkpoints on disk.
+//!
+//! The threaded runtime checkpoints into a shared in-memory snapshot
+//! store; a real process loses its memory when SIGKILLed, so the socket
+//! deployment writes each node's durable state to
+//! `<dir>/node<idx>.snap` — protocol counters (via
+//! `ProtocolState::export_counters`) plus both halves of every link —
+//! using write-to-temp-then-rename so a crash mid-write never leaves a
+//! torn snapshot behind. The group-commit rule is unchanged: staged
+//! outputs and cumulative acks leave the node only after the rename
+//! returns, so everything that ever escaped the node is recorded in some
+//! on-disk snapshot.
+
+use crate::wire::{put_frame, take_frame, CodecError};
+use seqnet_core::proto::Frame;
+use std::io;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"SQSNAP1\n";
+
+/// A node's durable state as serialized to disk.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiskSnapshot {
+    /// Overlap-counter values, by counter index (from
+    /// `ProtocolState::export_counters`).
+    pub overlaps: Vec<u64>,
+    /// Group-counter values as `(group id, counter)` pairs.
+    pub groups: Vec<(u32, u64)>,
+    /// Per incoming link: the next in-order sequence number expected at
+    /// snapshot time.
+    pub rx_next: Vec<(u32, u64)>,
+    /// Per outgoing link: the next fresh sequence number and the frames
+    /// unacknowledged at snapshot time.
+    pub tx: Vec<(u32, u64, Vec<(u64, Frame)>)>,
+}
+
+/// The snapshot path for node `idx` under `dir`.
+pub fn snapshot_path(dir: &Path, idx: usize) -> PathBuf {
+    dir.join(format!("node{idx}.snap"))
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, CodecError> {
+    if buf.len() < 4 {
+        return Err(CodecError::Garbled("truncated snapshot"));
+    }
+    let v = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    *buf = &buf[4..];
+    Ok(v)
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    if buf.len() < 8 {
+        return Err(CodecError::Garbled("truncated snapshot"));
+    }
+    let v = u64::from_le_bytes(buf[..8].try_into().unwrap());
+    *buf = &buf[8..];
+    Ok(v)
+}
+
+impl DiskSnapshot {
+    /// Serializes the snapshot.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, self.overlaps.len() as u32);
+        for &c in &self.overlaps {
+            put_u64(&mut out, c);
+        }
+        put_u32(&mut out, self.groups.len() as u32);
+        for &(g, c) in &self.groups {
+            put_u32(&mut out, g);
+            put_u64(&mut out, c);
+        }
+        put_u32(&mut out, self.rx_next.len() as u32);
+        for &(link, next) in &self.rx_next {
+            put_u32(&mut out, link);
+            put_u64(&mut out, next);
+        }
+        put_u32(&mut out, self.tx.len() as u32);
+        for (link, next_seq, frames) in &self.tx {
+            put_u32(&mut out, *link);
+            put_u64(&mut out, *next_seq);
+            put_u32(&mut out, frames.len() as u32);
+            for (seq, frame) in frames {
+                put_u64(&mut out, *seq);
+                put_frame(&mut out, frame);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a snapshot previously produced by
+    /// [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or corrupt input.
+    pub fn decode(mut buf: &[u8]) -> Result<Self, CodecError> {
+        if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+            return Err(CodecError::Garbled("bad snapshot magic"));
+        }
+        buf = &buf[MAGIC.len()..];
+        let mut snap = DiskSnapshot::default();
+        for _ in 0..take_u32(&mut buf)? {
+            snap.overlaps.push(take_u64(&mut buf)?);
+        }
+        for _ in 0..take_u32(&mut buf)? {
+            let g = take_u32(&mut buf)?;
+            snap.groups.push((g, take_u64(&mut buf)?));
+        }
+        for _ in 0..take_u32(&mut buf)? {
+            let link = take_u32(&mut buf)?;
+            snap.rx_next.push((link, take_u64(&mut buf)?));
+        }
+        for _ in 0..take_u32(&mut buf)? {
+            let link = take_u32(&mut buf)?;
+            let next_seq = take_u64(&mut buf)?;
+            let n = take_u32(&mut buf)?;
+            let mut frames = Vec::with_capacity((n as usize).min(1024));
+            for _ in 0..n {
+                let seq = take_u64(&mut buf)?;
+                frames.push((seq, take_frame(&mut buf)?));
+            }
+            snap.tx.push((link, next_seq, frames));
+        }
+        if !buf.is_empty() {
+            return Err(CodecError::Garbled("trailing snapshot bytes"));
+        }
+        Ok(snap)
+    }
+
+    /// Atomically persists the snapshot: write to `<path>.tmp`, rename
+    /// over `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem failure.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("snap.tmp");
+        std::fs::write(&tmp, self.encode())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads the latest snapshot, `None` if the node never checkpointed.
+    ///
+    /// # Errors
+    ///
+    /// A present-but-corrupt snapshot is an error (stable storage lied),
+    /// not a silent fresh start.
+    pub fn load(path: &Path) -> io::Result<Option<Self>> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Self::decode(&bytes)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqnet_core::{Message, MessageId};
+    use seqnet_membership::{GroupId, NodeId};
+
+    fn frame(id: u64) -> Frame {
+        Frame {
+            msg: Message::new(MessageId(id), NodeId(1), GroupId(0), b"x".to_vec()),
+            target_atom: None,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_disk() {
+        let snap = DiskSnapshot {
+            overlaps: vec![3, 0, 7],
+            groups: vec![(0, 4), (1, 9)],
+            rx_next: vec![(2, 11)],
+            tx: vec![(5, 13, vec![(11, frame(1)), (12, frame(2))])],
+        };
+        let dir = std::env::temp_dir().join(format!("seqnet-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = snapshot_path(&dir, 0);
+        snap.save(&path).expect("save");
+        let back = DiskSnapshot::load(&path).expect("load").expect("present");
+        assert_eq!(back, snap);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_clean_fresh_start() {
+        let path = std::env::temp_dir().join("seqnet-snap-test-definitely-missing.snap");
+        assert!(DiskSnapshot::load(&path).expect("ok").is_none());
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_loud() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("seqnet-snap-corrupt-{}.snap", std::process::id()));
+        std::fs::write(&path, b"SQSNAP1\n\x05\x00\x00").expect("write");
+        assert!(DiskSnapshot::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,132 @@
+//! The one OS-specific corner of the deployment: binding a listener with
+//! `SO_REUSEADDR`.
+//!
+//! A SIGKILLed node's accepted connections share its listening port; the
+//! kernel closes them on its behalf, leaving that port in `TIME_WAIT`.
+//! Without `SO_REUSEADDR` the respawned incarnation cannot rebind for a
+//! minute — longer than any recovery budget — so on Linux the listener is
+//! created by hand (socket → setsockopt → bind → listen) through a minimal
+//! FFI surface and wrapped back into a [`TcpListener`]. This module is the
+//! only `unsafe` code in the crate.
+
+use std::io;
+use std::net::TcpListener;
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod imp {
+    use super::*;
+    use std::os::unix::io::FromRawFd;
+
+    /// `struct sockaddr_in` for `AF_INET`; `sin_port` and `sin_addr` are
+    /// in network byte order.
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    pub fn listen_reuseaddr(port: u16) -> io::Result<TcpListener> {
+        // SAFETY: plain libc socket calls on a freshly created fd; the fd
+        // is closed on every error path and ownership passes to the
+        // returned TcpListener on success.
+        unsafe {
+            let fd = socket(AF_INET, SOCK_STREAM, 0);
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let fail = |fd: i32| -> io::Error {
+                let e = io::Error::last_os_error();
+                close(fd);
+                e
+            };
+            let one: i32 = 1;
+            if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) < 0 {
+                return Err(fail(fd));
+            }
+            let addr = SockaddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: port.to_be(),
+                // 127.0.0.1 in network byte order: the first byte in
+                // memory is 127.
+                sin_addr: u32::from_ne_bytes([127, 0, 0, 1]),
+                sin_zero: [0; 8],
+            };
+            if bind(fd, &addr, std::mem::size_of::<SockaddrIn>() as u32) < 0 {
+                return Err(fail(fd));
+            }
+            if listen(fd, 128) < 0 {
+                return Err(fail(fd));
+            }
+            Ok(TcpListener::from_raw_fd(fd))
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::*;
+
+    pub fn listen_reuseaddr(port: u16) -> io::Result<TcpListener> {
+        TcpListener::bind(("127.0.0.1", port))
+    }
+}
+
+/// Binds a localhost listener on `port` with `SO_REUSEADDR` set, so a
+/// respawned node can reclaim its port while the killed incarnation's
+/// connections sit in `TIME_WAIT`.
+///
+/// # Errors
+///
+/// Propagates the failing socket call's `errno`.
+pub fn listen_reuseaddr(port: u16) -> io::Result<TcpListener> {
+    imp::listen_reuseaddr(port)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn reuseaddr_listener_accepts_connections() {
+        // Port 0: the kernel picks; we read it back and connect.
+        let listener = listen_reuseaddr(0).expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        let mut client = std::net::TcpStream::connect(addr).expect("connect");
+        client.write_all(b"ping").expect("write");
+        let (mut server, _) = listener.accept().expect("accept");
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn rebinding_a_just_used_port_succeeds() {
+        let first = listen_reuseaddr(0).expect("bind");
+        let port = first.local_addr().expect("addr").port();
+        // Hold a connection through the listener's death so the port has
+        // live TCP state, then rebind immediately.
+        let client = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        let (server, _) = first.accept().expect("accept");
+        drop(first);
+        drop(server);
+        drop(client);
+        listen_reuseaddr(port).expect("rebind with SO_REUSEADDR");
+    }
+}

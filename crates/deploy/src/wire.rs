@@ -1,0 +1,543 @@
+//! Length-prefixed wire codec for the socket deployment.
+//!
+//! Every TCP connection carries a stream of frames, each encoded as a
+//! 4-byte little-endian length followed by that many payload bytes. The
+//! payload starts with a one-byte message kind. Decoding is fully
+//! incremental — [`FrameBuffer`] accepts bytes in arbitrary chunks (short
+//! reads, dribble transports) and yields complete messages as they become
+//! available — and fully defensive: truncated, garbled, or oversized input
+//! produces a [`CodecError`], never a panic, so the connection owner can
+//! quarantine the peer.
+//!
+//! The codec is hand-rolled (no serde): the workspace treats the wire
+//! format as part of the protocol surface (PROTOCOL.md §13), and the
+//! explicit byte layout keeps it inspectable and stable.
+
+use bytes::Bytes;
+use seqnet_core::proto::{Frame, Peer};
+use seqnet_core::{Message, MessageId, SeqNo, Stamp};
+use seqnet_membership::{GroupId, NodeId};
+use seqnet_overlap::AtomId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Upper bound on one wire frame's payload. Anything larger is treated as
+/// a garbled or hostile length prefix and rejected before allocation.
+pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
+
+/// Upper bound on counted collections inside a frame (stamps, batch runs,
+/// stats entries) — a second line of defense against garbled counts that
+/// pass the overall length check.
+const MAX_COUNT: usize = 1 << 20;
+
+/// Decode failure. The connection that produced it must be quarantined:
+/// once framing is lost there is no way to resynchronize the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is zero).
+    BadLength(usize),
+    /// A complete frame failed structural decoding.
+    Garbled(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadLength(n) => write!(f, "bad frame length {n}"),
+            CodecError::Garbled(what) => write!(f, "garbled frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Per-node counters shipped to the coordinator at orderly shutdown,
+/// mirroring the threaded runtime's `RuntimeStats` fields plus the wire
+/// batch-size histogram (the coordinator folds them into `DeployStats`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeWireStats {
+    /// Data frames this node put on the wire (incl. retransmissions).
+    pub frames_sent: u64,
+    /// Retransmissions performed by this node's link senders.
+    pub retransmissions: u64,
+    /// Duplicate frames discarded by this node's link receivers.
+    pub duplicates: u64,
+    /// Peer-failure detections (heartbeat silence past the threshold).
+    pub heartbeat_misses: u64,
+    /// Data frames replayed to this node after restarts, before recovery
+    /// completed.
+    pub frames_replayed: u64,
+    /// Summed recovery latency (process start to first covering snapshot)
+    /// over this incarnation, in microseconds.
+    pub recovery_micros: u64,
+    /// Snapshots persisted by this incarnation.
+    pub snapshots: u64,
+    /// Wire-write size histogram: frames per write.
+    pub batch_sizes: BTreeMap<usize, u64>,
+}
+
+/// One message on a deployment connection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// Connection handshake: the first message on every connection names
+    /// the dialing process and its incarnation (respawn count).
+    Hello {
+        /// The party that owns the dialing process (the coordinator
+        /// announces itself as [`Peer::Publisher`]).
+        party: Peer,
+        /// Respawn count of the dialing process, 0 for the first launch.
+        incarnation: u64,
+    },
+    /// A reliable-link frame: the link id is an index into the shared
+    /// deterministic link table, `seq` is the link sequence number (or the
+    /// ack floor for ack bodies, 0 for heartbeats).
+    Link {
+        /// Index into the deterministic link table.
+        link: u32,
+        /// Link sequence number / cumulative ack floor.
+        seq: u64,
+        /// The frame body.
+        body: WireBody,
+    },
+    /// Coordinator → node: checkpoint, report stats, and exit cleanly.
+    Shutdown,
+    /// Node → coordinator: final counters, sent in response to
+    /// [`WireMsg::Shutdown`].
+    Stats(NodeWireStats),
+}
+
+/// Body of a [`WireMsg::Link`] frame — the socket analogue of the
+/// threaded runtime's internal `Body` enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireBody {
+    /// One protocol frame.
+    Data(Frame),
+    /// A coalesced run of protocol frames with consecutive link sequence
+    /// numbers starting at the carried `seq`.
+    DataBatch(Vec<Frame>),
+    /// Acknowledges exactly the carried sequence number.
+    Ack,
+    /// Acknowledges everything through the carried sequence number.
+    AckThrough,
+    /// Liveness beacon; bypasses reliable delivery.
+    Heartbeat,
+}
+
+// --- encoding ---------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_peer(out: &mut Vec<u8>, p: Peer) {
+    match p {
+        Peer::Publisher => out.push(0),
+        Peer::Node(i) => {
+            out.push(1);
+            put_u32(out, i as u32);
+        }
+        Peer::Host(n) => {
+            out.push(2);
+            put_u32(out, n.0);
+        }
+    }
+}
+
+pub(crate) fn put_frame(out: &mut Vec<u8>, f: &Frame) {
+    let m = &f.msg;
+    put_u64(out, m.id.0);
+    put_u32(out, m.sender.0);
+    put_u32(out, m.group.0);
+    put_u64(out, m.group_seq.0);
+    put_u32(out, m.stamps.len() as u32);
+    for s in &m.stamps {
+        put_u32(out, s.atom.0);
+        put_u64(out, s.seq.0);
+    }
+    put_u32(out, m.payload.len() as u32);
+    out.extend_from_slice(m.payload.as_ref());
+    match f.target_atom {
+        None => out.push(0),
+        Some(a) => {
+            out.push(1);
+            put_u32(out, a.0);
+        }
+    }
+}
+
+/// Appends `msg` to `out` as one length-prefixed wire frame.
+pub fn encode(msg: &WireMsg, out: &mut Vec<u8>) {
+    let at = out.len();
+    put_u32(out, 0); // patched below
+    match msg {
+        WireMsg::Hello { party, incarnation } => {
+            out.push(0);
+            put_peer(out, *party);
+            put_u64(out, *incarnation);
+        }
+        WireMsg::Link { link, seq, body } => {
+            out.push(1);
+            put_u32(out, *link);
+            put_u64(out, *seq);
+            match body {
+                WireBody::Data(f) => {
+                    out.push(0);
+                    put_frame(out, f);
+                }
+                WireBody::DataBatch(fs) => {
+                    out.push(1);
+                    put_u32(out, fs.len() as u32);
+                    for f in fs {
+                        put_frame(out, f);
+                    }
+                }
+                WireBody::Ack => out.push(2),
+                WireBody::AckThrough => out.push(3),
+                WireBody::Heartbeat => out.push(4),
+            }
+        }
+        WireMsg::Shutdown => out.push(2),
+        WireMsg::Stats(s) => {
+            out.push(3);
+            put_u64(out, s.frames_sent);
+            put_u64(out, s.retransmissions);
+            put_u64(out, s.duplicates);
+            put_u64(out, s.heartbeat_misses);
+            put_u64(out, s.frames_replayed);
+            put_u64(out, s.recovery_micros);
+            put_u64(out, s.snapshots);
+            put_u32(out, s.batch_sizes.len() as u32);
+            for (&size, &count) in &s.batch_sizes {
+                put_u32(out, size as u32);
+                put_u64(out, count);
+            }
+        }
+    }
+    let len = (out.len() - at - 4) as u32;
+    out[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+// --- decoding ---------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.at < n {
+            return Err(CodecError::Garbled("truncated field"));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn count(&mut self) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        if n > MAX_COUNT {
+            return Err(CodecError::Garbled("implausible element count"));
+        }
+        Ok(n)
+    }
+
+    fn peer(&mut self) -> Result<Peer, CodecError> {
+        match self.u8()? {
+            0 => Ok(Peer::Publisher),
+            1 => Ok(Peer::Node(self.u32()? as usize)),
+            2 => Ok(Peer::Host(NodeId(self.u32()?))),
+            _ => Err(CodecError::Garbled("unknown peer kind")),
+        }
+    }
+
+    fn frame(&mut self) -> Result<Frame, CodecError> {
+        let id = MessageId(self.u64()?);
+        let sender = NodeId(self.u32()?);
+        let group = GroupId(self.u32()?);
+        let group_seq = SeqNo(self.u64()?);
+        let n_stamps = self.count()?;
+        let mut stamps = Vec::with_capacity(n_stamps.min(1024));
+        for _ in 0..n_stamps {
+            stamps.push(Stamp {
+                atom: AtomId(self.u32()?),
+                seq: SeqNo(self.u64()?),
+            });
+        }
+        let n_payload = self.u32()? as usize;
+        let payload = Bytes::copy_from_slice(self.take(n_payload)?);
+        let target_atom = match self.u8()? {
+            0 => None,
+            1 => Some(AtomId(self.u32()?)),
+            _ => return Err(CodecError::Garbled("bad target_atom tag")),
+        };
+        Ok(Frame {
+            msg: Message {
+                id,
+                sender,
+                group,
+                payload,
+                group_seq,
+                stamps,
+            },
+            target_atom,
+        })
+    }
+
+    fn done(&self) -> Result<(), CodecError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Garbled("trailing bytes"))
+        }
+    }
+}
+
+/// Decodes one protocol frame from the front of `buf`, advancing it past
+/// the consumed bytes. Used by the disk snapshot codec, which shares the
+/// wire frame layout.
+pub(crate) fn take_frame(buf: &mut &[u8]) -> Result<Frame, CodecError> {
+    let mut r = Reader { buf, at: 0 };
+    let f = r.frame()?;
+    *buf = &buf[r.at..];
+    Ok(f)
+}
+
+/// Decodes one complete frame payload (the bytes after the length prefix).
+pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, CodecError> {
+    let mut r = Reader {
+        buf: payload,
+        at: 0,
+    };
+    let msg = match r.u8()? {
+        0 => WireMsg::Hello {
+            party: r.peer()?,
+            incarnation: r.u64()?,
+        },
+        1 => {
+            let link = r.u32()?;
+            let seq = r.u64()?;
+            let body = match r.u8()? {
+                0 => WireBody::Data(r.frame()?),
+                1 => {
+                    let n = r.count()?;
+                    let mut fs = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        fs.push(r.frame()?);
+                    }
+                    WireBody::DataBatch(fs)
+                }
+                2 => WireBody::Ack,
+                3 => WireBody::AckThrough,
+                4 => WireBody::Heartbeat,
+                _ => return Err(CodecError::Garbled("unknown body kind")),
+            };
+            WireMsg::Link { link, seq, body }
+        }
+        2 => WireMsg::Shutdown,
+        3 => {
+            let mut s = NodeWireStats {
+                frames_sent: r.u64()?,
+                retransmissions: r.u64()?,
+                duplicates: r.u64()?,
+                heartbeat_misses: r.u64()?,
+                frames_replayed: r.u64()?,
+                recovery_micros: r.u64()?,
+                snapshots: r.u64()?,
+                ..NodeWireStats::default()
+            };
+            let n = r.count()?;
+            for _ in 0..n {
+                let size = r.u32()? as usize;
+                let count = r.u64()?;
+                s.batch_sizes.insert(size, count);
+            }
+            WireMsg::Stats(s)
+        }
+        _ => return Err(CodecError::Garbled("unknown message kind")),
+    };
+    r.done()?;
+    Ok(msg)
+}
+
+/// Incremental frame assembler: feed it bytes as they arrive (in chunks of
+/// any size) and drain complete messages. A [`CodecError`] from [`next`]
+/// is terminal for the stream — quarantine the connection.
+///
+/// [`next`]: FrameBuffer::next
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes before `start` are consumed; compacted lazily.
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact when the dead prefix dominates, so long-lived
+        // connections don't grow without bound.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete message, `Ok(None)` if more bytes are
+    /// needed, or a terminal [`CodecError`].
+    pub fn next(&mut self) -> Result<Option<WireMsg>, CodecError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(CodecError::BadLength(len));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let msg = decode_payload(&avail[4..4 + len])?;
+        self.start += 4 + len;
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame(id: u64) -> Frame {
+        let mut msg = Message::new(MessageId(id), NodeId(3), GroupId(1), b"payload".to_vec());
+        msg.group_seq = SeqNo(9);
+        msg.stamps.push(Stamp {
+            atom: AtomId(4),
+            seq: SeqNo(17),
+        });
+        Frame {
+            msg,
+            target_atom: Some(AtomId(2)),
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let msgs = vec![
+            WireMsg::Hello {
+                party: Peer::Node(7),
+                incarnation: 3,
+            },
+            WireMsg::Hello {
+                party: Peer::Publisher,
+                incarnation: 0,
+            },
+            WireMsg::Link {
+                link: 5,
+                seq: 42,
+                body: WireBody::Data(sample_frame(1)),
+            },
+            WireMsg::Link {
+                link: 0,
+                seq: 10,
+                body: WireBody::DataBatch(vec![sample_frame(2), sample_frame(3)]),
+            },
+            WireMsg::Link {
+                link: 1,
+                seq: 6,
+                body: WireBody::Ack,
+            },
+            WireMsg::Link {
+                link: 1,
+                seq: 6,
+                body: WireBody::AckThrough,
+            },
+            WireMsg::Link {
+                link: 2,
+                seq: 0,
+                body: WireBody::Heartbeat,
+            },
+            WireMsg::Shutdown,
+            WireMsg::Stats(NodeWireStats {
+                frames_sent: 10,
+                retransmissions: 2,
+                duplicates: 1,
+                heartbeat_misses: 0,
+                frames_replayed: 4,
+                recovery_micros: 1234,
+                snapshots: 6,
+                batch_sizes: [(1, 8), (4, 2)].into_iter().collect(),
+            }),
+        ];
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            encode(m, &mut bytes);
+        }
+        let mut fb = FrameBuffer::new();
+        fb.push(&bytes);
+        for expect in &msgs {
+            let got = fb.next().expect("valid stream").expect("complete frame");
+            assert_eq!(&got, expect);
+        }
+        assert!(fb.next().expect("empty tail").is_none());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut fb = FrameBuffer::new();
+        fb.push(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        fb.push(&[0u8; 16]);
+        assert!(matches!(fb.next(), Err(CodecError::BadLength(_))));
+    }
+
+    #[test]
+    fn zero_length_prefix_is_rejected() {
+        let mut fb = FrameBuffer::new();
+        fb.push(&0u32.to_le_bytes());
+        assert_eq!(fb.next(), Err(CodecError::BadLength(0)));
+    }
+
+    #[test]
+    fn truncated_frame_waits_for_more_bytes() {
+        let mut bytes = Vec::new();
+        encode(
+            &WireMsg::Link {
+                link: 9,
+                seq: 1,
+                body: WireBody::Data(sample_frame(5)),
+            },
+            &mut bytes,
+        );
+        let mut fb = FrameBuffer::new();
+        fb.push(&bytes[..bytes.len() - 1]);
+        assert_eq!(fb.next(), Ok(None));
+        fb.push(&bytes[bytes.len() - 1..]);
+        assert!(fb.next().expect("valid").is_some());
+    }
+}

@@ -1,0 +1,246 @@
+//! Fuzz-ish property tests of the deployment wire codec: arbitrary
+//! messages must round-trip under arbitrary chunking, and truncated,
+//! garbled, or oversized input must be rejected with a [`CodecError`] —
+//! never a panic — so the connection owner can quarantine the stream.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use seqnet_deploy::conn::{Conn, ConnError};
+use seqnet_deploy::wire::{decode_payload, encode, FrameBuffer, MAX_FRAME_LEN};
+use seqnet_deploy::{CodecError, NodeWireStats, WireBody, WireMsg};
+use seqnet_core::proto::{Frame, Peer};
+use seqnet_core::{Message, MessageId, SeqNo, Stamp};
+use seqnet_membership::{GroupId, NodeId};
+use seqnet_overlap::AtomId;
+
+fn peer_strategy() -> impl Strategy<Value = Peer> {
+    prop_oneof![
+        1 => Just(Peer::Publisher),
+        2 => (0u32..100_000).prop_map(|i| Peer::Node(i as usize)),
+        2 => (0u32..100_000).prop_map(|n| Peer::Host(NodeId(n))),
+    ]
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        (any::<u64>(), 0u32..1_000, 0u32..1_000, any::<u64>()),
+        (
+            vec((0u32..256, any::<u64>()), 0..8),
+            vec(any::<u8>(), 0..48),
+            prop_oneof![
+                1 => Just(None),
+                2 => (0u32..256).prop_map(Some),
+            ],
+        ),
+    )
+        .prop_map(|((id, sender, group, group_seq), (stamps, payload, target))| {
+            let mut msg = Message::new(MessageId(id), NodeId(sender), GroupId(group), payload);
+            msg.group_seq = SeqNo(group_seq);
+            msg.stamps = stamps
+                .into_iter()
+                .map(|(atom, seq)| Stamp {
+                    atom: AtomId(atom),
+                    seq: SeqNo(seq),
+                })
+                .collect();
+            Frame {
+                msg,
+                target_atom: target.map(AtomId),
+            }
+        })
+}
+
+fn body_strategy() -> impl Strategy<Value = WireBody> {
+    prop_oneof![
+        3 => frame_strategy().prop_map(WireBody::Data),
+        2 => vec(frame_strategy(), 0..4).prop_map(WireBody::DataBatch),
+        1 => Just(WireBody::Ack),
+        1 => Just(WireBody::AckThrough),
+        1 => Just(WireBody::Heartbeat),
+    ]
+}
+
+fn stats_strategy() -> impl Strategy<Value = NodeWireStats> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        vec((0u32..4_096, any::<u64>()), 0..6),
+    )
+        .prop_map(|((fs, rt, dup, hb), (rep, rec, snap), sizes)| NodeWireStats {
+            frames_sent: fs,
+            retransmissions: rt,
+            duplicates: dup,
+            heartbeat_misses: hb,
+            frames_replayed: rep,
+            recovery_micros: rec,
+            snapshots: snap,
+            batch_sizes: sizes.into_iter().map(|(s, c)| (s as usize, c)).collect(),
+        })
+}
+
+fn msg_strategy() -> impl Strategy<Value = WireMsg> {
+    prop_oneof![
+        1 => (peer_strategy(), any::<u64>()).prop_map(|(party, incarnation)| WireMsg::Hello {
+            party,
+            incarnation,
+        }),
+        4 => (any::<u32>(), any::<u64>(), body_strategy()).prop_map(|(link, seq, body)| {
+            WireMsg::Link { link, seq, body }
+        }),
+        1 => Just(WireMsg::Shutdown),
+        1 => stats_strategy().prop_map(WireMsg::Stats),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any message sequence round-trips through the incremental decoder
+    /// no matter how the byte stream is chunked (short reads).
+    #[test]
+    fn roundtrip_under_arbitrary_chunking(
+        msgs in vec(msg_strategy(), 1..8),
+        chunks in vec(1usize..17, 0..64),
+    ) {
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            encode(m, &mut bytes);
+        }
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        let mut sizes = chunks.into_iter().chain(std::iter::repeat(3));
+        let mut at = 0;
+        while at < bytes.len() {
+            let n = sizes.next().unwrap().min(bytes.len() - at);
+            fb.push(&bytes[at..at + n]);
+            at += n;
+            while let Some(m) = fb.next().map_err(|e| e.to_string())? {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(fb.pending(), 0);
+    }
+
+    /// Every strict prefix of a valid payload is rejected: the decoder
+    /// consumes each field in order and a cut always lands mid-message.
+    #[test]
+    fn truncated_payloads_are_rejected(msg in msg_strategy(), cut in 0usize..4_096) {
+        let mut bytes = Vec::new();
+        encode(&msg, &mut bytes);
+        let payload = &bytes[4..];
+        let cut = cut % payload.len().max(1);
+        if cut < payload.len() {
+            prop_assert!(decode_payload(&payload[..cut]).is_err());
+        }
+    }
+
+    /// Bytes past the end of a message are rejected as trailing garbage
+    /// rather than silently ignored.
+    #[test]
+    fn trailing_junk_is_rejected(msg in msg_strategy(), junk in vec(any::<u8>(), 1..16)) {
+        let mut bytes = Vec::new();
+        encode(&msg, &mut bytes);
+        let mut payload = bytes[4..].to_vec();
+        payload.extend_from_slice(&junk);
+        prop_assert!(matches!(
+            decode_payload(&payload),
+            Err(CodecError::Garbled(_))
+        ));
+    }
+
+    /// Arbitrary garbage never panics the decoder — it either parses,
+    /// waits for more bytes, or errors.
+    #[test]
+    fn garbled_bytes_never_panic(bytes in vec(any::<u8>(), 0..512)) {
+        let _ = decode_payload(&bytes);
+        let mut fb = FrameBuffer::new();
+        fb.push(&bytes);
+        for _ in 0..1_024 {
+            match fb.next() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// Hostile length prefixes (zero or beyond [`MAX_FRAME_LEN`]) are
+    /// rejected before any allocation happens.
+    #[test]
+    fn hostile_length_prefixes_are_rejected(extra in any::<u32>(), flip in any::<bool>()) {
+        let len = if flip { 0 } else { MAX_FRAME_LEN as u32 + 1 + (extra % 1_024) };
+        let mut fb = FrameBuffer::new();
+        fb.push(&len.to_le_bytes());
+        fb.push(&[0u8; 8]);
+        prop_assert!(matches!(fb.next(), Err(CodecError::BadLength(_))));
+    }
+}
+
+/// Dribble stress: a message stream forced through a real socket one byte
+/// at a time — every read is a short read, every write a short write — must
+/// still round-trip intact.
+#[test]
+fn one_byte_dribble_through_a_real_socket() {
+    use std::io::Write;
+
+    let msgs: Vec<WireMsg> = vec![
+        WireMsg::Hello {
+            party: Peer::Node(3),
+            incarnation: 2,
+        },
+        WireMsg::Link {
+            link: 7,
+            seq: 40,
+            body: WireBody::DataBatch(vec![
+                Frame {
+                    msg: Message::new(MessageId(1), NodeId(0), GroupId(0), b"abc".to_vec()),
+                    target_atom: Some(AtomId(1)),
+                },
+                Frame {
+                    msg: Message::new(MessageId(2), NodeId(1), GroupId(0), vec![]),
+                    target_atom: None,
+                },
+            ]),
+        },
+        WireMsg::Link {
+            link: 7,
+            seq: 41,
+            body: WireBody::AckThrough,
+        },
+        WireMsg::Shutdown,
+    ];
+    let mut bytes = Vec::new();
+    for m in &msgs {
+        encode(m, &mut bytes);
+    }
+
+    // Write side: a raw blocking stream issuing one-byte writes with
+    // Nagle off, so the reader sees a maximally fragmented stream.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let raw = std::net::TcpStream::connect(addr).expect("connect");
+    let (accepted, _) = listener.accept().expect("accept");
+    let mut b = Conn::new(accepted).expect("conn");
+    let writer = std::thread::spawn(move || {
+        let mut stream = raw;
+        let _ = stream.set_nodelay(true);
+        for byte in bytes {
+            stream.write_all(&[byte]).expect("write byte");
+            stream.flush().ok();
+        }
+    });
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut got = Vec::new();
+    while got.len() < msgs.len() {
+        assert!(std::time::Instant::now() < deadline, "dribble stalled");
+        match b.poll_read() {
+            Ok(ms) => got.extend(ms),
+            Err(ConnError::Closed(_)) => break,
+            Err(e) => panic!("dribbled stream must stay clean: {e}"),
+        }
+        std::thread::sleep(std::time::Duration::from_micros(100));
+    }
+    writer.join().expect("writer thread");
+    assert_eq!(got, msgs);
+}

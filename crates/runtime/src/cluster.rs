@@ -145,9 +145,14 @@ pub struct ClusterConfig {
     /// added per-hop latency.
     pub snapshot_interval: Duration,
     /// How often sequencing nodes emit heartbeats on node-to-node links.
-    /// A peer silent for three intervals is suspected (counted in
-    /// [`RuntimeStats::heartbeat_misses`]).
+    /// A peer silent for [`heartbeat_miss_threshold`](Self::heartbeat_miss_threshold)
+    /// intervals is suspected (counted in [`RuntimeStats::heartbeat_misses`]).
     pub heartbeat_interval: Duration,
+    /// How many consecutive silent heartbeat intervals mark a peer as
+    /// suspected. Shared by the threaded and socket drivers; the socket
+    /// driver additionally tears the connection down and starts
+    /// reconnecting once a peer is suspected.
+    pub heartbeat_miss_threshold: u32,
     /// Coalesce staged output frames at flush time: each snapshot flush
     /// puts one [`Body::DataBatch`] per link on the wire instead of one
     /// message per frame. Framing only — every frame keeps its own link
@@ -165,6 +170,58 @@ pub struct ClusterConfig {
     pub trace: bool,
 }
 
+impl ClusterConfig {
+    /// Checks the configuration for values that would wedge or livelock a
+    /// cluster, returning a descriptive error for the first problem found.
+    /// [`Cluster::start`] (and the socket driver's cluster launcher) call
+    /// this and refuse to run on `Err`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.drop_probability) {
+            return Err(format!(
+                "drop_probability must be in [0, 1), got {}: a cluster that \
+                 drops every frame cannot make progress",
+                self.drop_probability
+            ));
+        }
+        if self.retransmit_timeout.is_zero() {
+            return Err(
+                "retransmit_timeout must be positive: a zero timeout turns every \
+                 transmission into an immediate retransmit storm"
+                    .into(),
+            );
+        }
+        if self.backoff_cap < self.retransmit_timeout {
+            return Err(format!(
+                "backoff_cap ({:?}) must be >= retransmit_timeout ({:?}): the cap \
+                 bounds the exponential backoff that starts at the timeout",
+                self.backoff_cap, self.retransmit_timeout
+            ));
+        }
+        if self.snapshot_interval.is_zero() {
+            return Err(
+                "snapshot_interval must be positive: staged frames and acks only \
+                 leave a node at snapshot time"
+                    .into(),
+            );
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err(
+                "heartbeat_interval must be positive: zero-interval heartbeats \
+                 saturate every link"
+                    .into(),
+            );
+        }
+        if self.heartbeat_miss_threshold == 0 {
+            return Err(
+                "heartbeat_miss_threshold must be at least 1: a threshold of zero \
+                 suspects every peer instantly, even a healthy one"
+                    .into(),
+            );
+        }
+        Ok(())
+    }
+}
+
 impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
@@ -174,6 +231,7 @@ impl Default for ClusterConfig {
             link_delay: Duration::ZERO,
             snapshot_interval: Duration::from_millis(3),
             heartbeat_interval: Duration::from_millis(15),
+            heartbeat_miss_threshold: 3,
             coalesce: false,
             seed: 0,
             trace: false,
@@ -295,8 +353,9 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if the constructed graph fails validation (a bug, not an
-    /// input error).
+    /// input error), or if `config` fails [`ClusterConfig::validate`].
     pub fn start(membership: &Membership, config: ClusterConfig) -> Self {
+        config.validate().expect("invalid ClusterConfig");
         let graph = GraphBuilder::new().build(membership);
         graph
             .validate_against(membership)
@@ -1336,7 +1395,10 @@ fn node_thread(
             last_heartbeat = now;
         }
         for (&peer, (seen, suspected)) in watched.iter_mut() {
-            if !*suspected && now.duration_since(*seen) >= config.heartbeat_interval * 3 {
+            if !*suspected
+                && now.duration_since(*seen)
+                    >= config.heartbeat_interval * config.heartbeat_miss_threshold
+            {
                 *suspected = true;
                 engine.local.heartbeat_misses += 1;
                 if let Some(rec) = &trace {
@@ -1429,6 +1491,63 @@ mod tests {
             (g(0), vec![n(0), n(1), n(2)]),
             (g(1), vec![n(1), n(2), n(3)]),
         ])
+    }
+
+    #[test]
+    fn config_validation_names_the_offending_field() {
+        assert!(ClusterConfig::default().validate().is_ok());
+
+        let cases: [(ClusterConfig, &str); 6] = [
+            (
+                ClusterConfig {
+                    drop_probability: 1.0,
+                    ..ClusterConfig::default()
+                },
+                "drop_probability",
+            ),
+            (
+                ClusterConfig {
+                    retransmit_timeout: Duration::ZERO,
+                    ..ClusterConfig::default()
+                },
+                "retransmit_timeout",
+            ),
+            (
+                ClusterConfig {
+                    backoff_cap: Duration::from_millis(1),
+                    ..ClusterConfig::default()
+                },
+                "backoff_cap",
+            ),
+            (
+                ClusterConfig {
+                    snapshot_interval: Duration::ZERO,
+                    ..ClusterConfig::default()
+                },
+                "snapshot_interval",
+            ),
+            (
+                ClusterConfig {
+                    heartbeat_interval: Duration::ZERO,
+                    ..ClusterConfig::default()
+                },
+                "heartbeat_interval",
+            ),
+            (
+                ClusterConfig {
+                    heartbeat_miss_threshold: 0,
+                    ..ClusterConfig::default()
+                },
+                "heartbeat_miss_threshold",
+            ),
+        ];
+        for (config, field) in cases {
+            let err = config.validate().expect_err(field);
+            assert!(
+                err.contains(field),
+                "error for {field} should name the field, got: {err}"
+            );
+        }
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct LinkSender<T> {
     /// Upper bound on the per-frame backoff interval.
     cap: Duration,
     retransmissions: u64,
+    /// Highest connection epoch for which a reconnect replay burst has
+    /// been issued (0 = never). Guards against duplicate bursts when a
+    /// transport flaps faster than acks come back.
+    last_replay_epoch: u64,
 }
 
 impl<T: Clone> LinkSender<T> {
@@ -86,6 +90,7 @@ impl<T: Clone> LinkSender<T> {
             timeout,
             cap: cap.max(timeout),
             retransmissions: 0,
+            last_replay_epoch: 0,
         }
     }
 
@@ -228,6 +233,40 @@ impl<T: Clone> LinkSender<T> {
         }
         self.retransmissions += due.len() as u64;
         due
+    }
+
+    /// Replays the retransmission buffer after a transport reconnect:
+    /// returns every unacknowledged, unheld frame — i.e. everything past
+    /// the last acknowledged frame — **exactly once per connection
+    /// epoch**, restarting each frame's backoff at the base timeout.
+    ///
+    /// The caller assigns a strictly increasing `epoch` to every newly
+    /// established connection. A transport that flaps rapidly (connect,
+    /// drop, reconnect before any ack returns) presents a *new* epoch each
+    /// time but the buffer contents barely change; the epoch guard ensures
+    /// a repeated call for an already-replayed epoch contributes nothing,
+    /// and per-frame backoff (not the reconnect path) covers frames lost
+    /// between two replays. Without the guard every reconnect event —
+    /// including spurious duplicate notifications for the same socket —
+    /// would re-burst the full buffer onto a link that is already
+    /// retransmitting it.
+    pub fn reconnect_replay(&mut self, epoch: u64) -> Vec<(u64, T)> {
+        if epoch <= self.last_replay_epoch {
+            return Vec::new();
+        }
+        self.last_replay_epoch = epoch;
+        let now = Instant::now();
+        let mut burst = Vec::new();
+        for (&seq, pending) in self.unacked.iter_mut() {
+            if pending.held {
+                continue;
+            }
+            pending.interval = self.timeout;
+            pending.next_due = now + self.timeout;
+            burst.push((seq, pending.payload.clone()));
+        }
+        self.retransmissions += burst.len() as u64;
+        burst
     }
 
     /// Number of frames awaiting acknowledgment.
@@ -621,6 +660,43 @@ mod tests {
         // one fresh frame: only the fresh frame is released.
         assert_eq!(rx.receive_batch(1, ["a", "b", "c"]), vec!["c"]);
         assert_eq!(rx.duplicates(), 2);
+    }
+
+    #[test]
+    fn reconnect_replay_resends_from_last_ack_exactly_once_per_epoch() {
+        let mut tx = LinkSender::new(Duration::from_secs(1));
+        for payload in ["a", "b", "c", "d"] {
+            tx.send(payload);
+        }
+        tx.acknowledge_through(2);
+
+        // First reconnect: everything past the last acknowledged frame.
+        assert_eq!(tx.reconnect_replay(1), vec![(3, "c"), (4, "d")]);
+        // Regression: a duplicate notification for the same epoch (rapid
+        // flap, double-reported reconnect) must not re-burst the buffer.
+        assert!(tx.reconnect_replay(1).is_empty());
+        assert!(tx.reconnect_replay(0).is_empty(), "stale epoch ignored");
+        assert_eq!(tx.retransmissions(), 2, "one burst, not three");
+
+        // A genuinely new connection epoch replays what is still unacked.
+        tx.acknowledge(3);
+        assert_eq!(tx.reconnect_replay(2), vec![(4, "d")]);
+    }
+
+    #[test]
+    fn reconnect_replay_skips_held_frames_and_restarts_backoff() {
+        let ms = Duration::from_millis;
+        let mut tx = LinkSender::with_backoff(ms(10), ms(80));
+        tx.send("wire");
+        tx.send_held("staged");
+
+        // Held frames must not escape via the reconnect path: nothing may
+        // leave a node before the snapshot that contains it.
+        assert_eq!(tx.reconnect_replay(1), vec![(1, "wire")]);
+
+        // The replay restarted frame 1's backoff at the base timeout, so
+        // it is not due again immediately after the burst.
+        assert!(tx.due_for_retransmit().is_empty());
     }
 
     #[test]

@@ -2,12 +2,17 @@
 //! sequencing graphs without writing code.
 //!
 //! ```text
-//! seqnet sim   [--hosts N] [--groups G] [--messages M] [--seed S] [--topology small|medium|paper]
-//!              [--trace-out FILE]
-//! seqnet graph [--hosts N] [--groups G] [--seed S]
+//! seqnet sim     [--hosts N] [--groups G] [--messages M] [--seed S] [--topology small|medium|paper]
+//!                [--trace-out FILE]
+//! seqnet graph   [--hosts N] [--groups G] [--seed S]
+//! seqnet cluster [--hosts N] [--groups G] [--messages M] [--seed S] [--chaos 0|1]
 //! seqnet demo
 //! seqnet help
 //! ```
+//!
+//! The binary doubles as the sequencing-node child process for `seqnet
+//! cluster`: the coordinator respawns it as `seqnet cluster-node ...`,
+//! which `run_if_child` intercepts before normal argument parsing.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -76,6 +81,8 @@ impl Options {
 }
 
 fn main() -> ExitCode {
+    // Become a sequencing-node process if the coordinator spawned us as one.
+    seqnet::deploy::run_if_child();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
         Some((cmd, rest)) => (cmd.as_str(), rest),
@@ -84,6 +91,7 @@ fn main() -> ExitCode {
     let result = match cmd {
         "sim" => Options::parse(rest).and_then(|o| cmd_sim(&o)),
         "graph" => Options::parse(rest).and_then(|o| cmd_graph(&o)),
+        "cluster" => Options::parse(rest).and_then(|o| cmd_cluster(&o)),
         "demo" => cmd_demo(),
         "help" | "--help" | "-h" => {
             print_help();
@@ -111,6 +119,10 @@ USAGE:
                --trace-out dumps the protocol trace as JSONL
   seqnet graph [--hosts N] [--groups G] [--seed S] [--workload dense|zipf] [--dot FILE]
                build and print a sequencing graph for a Zipf workload
+  seqnet cluster [--hosts N] [--groups G] [--messages M] [--seed S] [--chaos 0|1]
+               launch a real multi-process cluster on localhost sockets
+               (one OS process per sequencing node); --chaos 1 SIGKILLs
+               and respawns a node mid-run
   seqnet demo  minimal two-group ordering demonstration
   seqnet help  this text"
     );
@@ -237,6 +249,71 @@ fn cmd_graph(opts: &Options) -> Result<(), String> {
     if let Some(path) = opts.values.get("dot") {
         std::fs::write(path, graph.to_dot()).map_err(|e| e.to_string())?;
         println!("\nGraphviz DOT written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_cluster(opts: &Options) -> Result<(), String> {
+    use seqnet::deploy::{ChaosPlan, DeployCluster};
+    use seqnet::membership::workload::ZipfGroups;
+    use seqnet::runtime::ClusterConfig;
+    use std::time::Duration;
+
+    let hosts = opts.usize_or("hosts", 8)?;
+    let groups = opts.usize_or("groups", 3)?;
+    let messages = opts.usize_or("messages", 60)?;
+    let seed = opts.u64_or("seed", 1)?;
+    let chaos = opts.u64_or("chaos", 0)? != 0;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let membership = ZipfGroups::new(hosts, groups).with_min_size(2).sample(&mut rng);
+    let config = ClusterConfig {
+        seed,
+        snapshot_interval: Duration::from_millis(2),
+        ..ClusterConfig::default()
+    };
+    let mut cluster = DeployCluster::start(&membership, config)?;
+    println!(
+        "cluster: {} sequencing-node processes, run dir {}",
+        cluster.num_sequencing_nodes(),
+        cluster.dir().display()
+    );
+
+    let jobs: Vec<(NodeId, GroupId)> = membership
+        .nodes()
+        .flat_map(|n| membership.groups_of(n).map(move |g| (n, g)).collect::<Vec<_>>())
+        .collect();
+    if jobs.is_empty() {
+        return Err("workload produced no subscriptions; try more hosts".into());
+    }
+    let mut expected = 0usize;
+    for i in 0..messages {
+        let (sender, group) = jobs[i % jobs.len()];
+        cluster.publish(sender, group, vec![]).map_err(|e| e.to_string())?;
+        expected += membership.group_size(group);
+    }
+    if chaos {
+        let plan = ChaosPlan::seeded(seed, cluster.num_sequencing_nodes(), Duration::from_millis(400));
+        println!("chaos: replaying seeded plan {plan:?}");
+        cluster.run_chaos_plan(&plan)?;
+    }
+    let deliveries = cluster
+        .wait_for_deliveries(expected, Duration::from_secs(30))
+        .map_err(|e| e.to_string())?;
+    let stats = cluster.shutdown();
+    let received: usize = deliveries.values().map(Vec::len).sum();
+    println!("published {messages} messages -> {received}/{expected} deliveries");
+    println!(
+        "wire: {} frames sent, {} retransmissions, {} duplicates dropped, {} snapshots",
+        stats.frames_sent, stats.retransmissions, stats.duplicates, stats.snapshots
+    );
+    if stats.recovery.crashes > 0 {
+        println!(
+            "recovery: {} crash(es), {} frames replayed, {:.1} ms mean recovery",
+            stats.recovery.crashes,
+            stats.recovery.frames_replayed,
+            stats.recovery.recovery_micros as f64 / 1000.0 / stats.recovery.crashes as f64
+        );
     }
     Ok(())
 }

@@ -18,6 +18,8 @@
 //! * [`baseline`] — centralized sequencer, vector-clock ordering, and direct
 //!   unicast baselines.
 //! * [`runtime`] — a threaded deployment of the protocol over FIFO channels.
+//! * [`deploy`] — a socket-based multi-process deployment with real-process
+//!   crash injection (`seqnet cluster`).
 //! * [`obs`] — structured protocol tracing, histogram metrics, the flight
 //!   recorder, and the JSONL / Prometheus exporters.
 //!
@@ -50,6 +52,7 @@
 
 pub use seqnet_baseline as baseline;
 pub use seqnet_core as core;
+pub use seqnet_deploy as deploy;
 pub use seqnet_membership as membership;
 pub use seqnet_obs as obs;
 pub use seqnet_overlap as overlap;

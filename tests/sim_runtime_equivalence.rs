@@ -1,17 +1,22 @@
-//! Differential sim↔runtime testing: one protocol core, two drivers.
+//! Differential sim↔runtime↔socket testing: one protocol core, three
+//! drivers.
 //!
-//! The simulator (`seqnet::core::OrderedPubSub`) and the threaded runtime
-//! (`seqnet::runtime::Cluster`) both drive the sans-I/O protocol core in
-//! `seqnet_core::proto`. These tests feed the *same* seeded workload — and,
-//! in the faulty variant, the same [`FaultPlan`] — through both drivers and
-//! assert they produce **identical per-receiver delivery orders within
-//! every group**. Message ids are assigned sequentially from 0 by both
-//! front-ends, so publishing in the same global order makes ids comparable
-//! across the two systems.
+//! The simulator (`seqnet::core::OrderedPubSub`), the threaded runtime
+//! (`seqnet::runtime::Cluster`), and the socket deployment
+//! (`seqnet::deploy::DeployCluster`, one real OS process per sequencing
+//! node) all drive the sans-I/O protocol core in `seqnet_core::proto`.
+//! These tests feed the *same* seeded workload — and, in the faulty
+//! variants, the same [`FaultPlan`] — through all three drivers and assert
+//! they produce **identical per-receiver delivery orders within every
+//! group**. Message ids are assigned sequentially from 0 by every
+//! front-end, so publishing in the same global order makes ids comparable
+//! across the three systems. For the socket leg the fault plan is
+//! converted by `ChaosPlan::from_fault_plan` into real SIGKILL + respawn
+//! cycles against child processes.
 //!
 //! Scope of the equivalence: within a group, the delivery order at every
 //! member is fixed by the group-local sequence numbers the ingress atom
-//! assigns, and both drivers present publishes to that atom in the same
+//! assigns, and all drivers present publishes to that atom in the same
 //! FIFO order — so the per-(group, receiver) id sequences must match
 //! exactly, crash windows included. The *interleaving across groups* is
 //! timing-dependent (wall clock vs virtual clock) and is deliberately not
@@ -19,19 +24,22 @@
 //!
 //! One caveat on fault plans: a [`FaultPlan`]'s crash-window indices name
 //! *sequencing atoms* when applied to the simulator but *sequencing nodes*
-//! (co-located atom groups) when replayed against a cluster. The plan here
-//! crashes index 0, which exists in both interpretations; equivalence of
-//! the delivered orders is required regardless of which party the index
-//! lands on, because crash–recovery must be order-transparent.
+//! (co-located atom groups) when replayed against a cluster — threaded or
+//! socket. The plans here crash index 0, which exists in all
+//! interpretations; equivalence of the delivered orders is required
+//! regardless of which party the index lands on, because crash–recovery
+//! must be order-transparent.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use seqnet::core::{Message, OrderedPubSub};
+use seqnet::deploy::{ChaosPlan, DeployCluster};
 use seqnet::membership::workload::ZipfGroups;
 use seqnet::membership::{GroupId, Membership, NodeId};
 use seqnet::runtime::{Cluster, ClusterConfig};
 use seqnet::sim::{FaultPlan, SimTime};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Per-(group, receiver) delivered message ids, in delivery order.
@@ -47,7 +55,7 @@ fn sim_orders(bus: &OrderedPubSub, m: &Membership) -> GroupOrders {
     orders
 }
 
-fn runtime_orders(deliveries: &BTreeMap<NodeId, Vec<Message>>) -> GroupOrders {
+fn delivery_orders(deliveries: &BTreeMap<NodeId, Vec<Message>>) -> GroupOrders {
     let mut orders = GroupOrders::new();
     for (&node, msgs) in deliveries {
         for msg in msgs {
@@ -55,6 +63,20 @@ fn runtime_orders(deliveries: &BTreeMap<NodeId, Vec<Message>>) -> GroupOrders {
         }
     }
     orders
+}
+
+/// Asserts every per-(group, receiver) sequence delivers each id at most
+/// once — the no-duplication half of exactly-once delivery.
+fn assert_no_duplicates(orders: &GroupOrders, driver: &str) {
+    for ((group, node), ids) in orders {
+        let mut seen = std::collections::BTreeSet::new();
+        for id in ids {
+            assert!(
+                seen.insert(id),
+                "{driver}: message {id} delivered twice to {node} in {group}"
+            );
+        }
+    }
 }
 
 /// The shared workload: every node publishes to every group it belongs
@@ -74,8 +96,86 @@ fn workload(m: &Membership, rounds: u32) -> (Vec<(NodeId, GroupId)>, usize) {
     (publishes, expected)
 }
 
-/// Runs the workload through both drivers (with an optional fault plan)
-/// and asserts identical per-group delivery orders at every receiver.
+/// The binary hosting the `cluster-node` entry point for the socket leg:
+/// the `seqnet` CLI built alongside these tests, or an explicit override.
+fn seqnet_binary() -> PathBuf {
+    option_env!("CARGO_BIN_EXE_seqnet")
+        .map(PathBuf::from)
+        .or_else(|| std::env::var("SEQNET_BIN").ok().map(PathBuf::from))
+        .expect("no seqnet binary for node processes: set SEQNET_BIN")
+}
+
+/// Runs the workload through the socket deployment — real node processes,
+/// real TCP — applying `plan`'s crash windows as real SIGKILL + respawn
+/// cycles. Returns the per-group delivery orders.
+fn socket_orders(
+    seed: u64,
+    m: &Membership,
+    publishes: &[(NodeId, GroupId)],
+    expected: usize,
+    plan: Option<&FaultPlan>,
+) -> GroupOrders {
+    let config = ClusterConfig {
+        seed,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = DeployCluster::start_with_binary(m, config, Some(seqnet_binary()))
+        .expect("socket cluster starts");
+    for &(node, group) in publishes {
+        cluster.publish(node, group, vec![]).unwrap();
+    }
+    if let Some(plan) = plan {
+        cluster
+            .run_chaos_plan(&ChaosPlan::from_fault_plan(plan))
+            .expect("chaos plan replays");
+    }
+    let deliveries = cluster
+        .wait_for_deliveries(expected, Duration::from_secs(60))
+        .expect("socket cluster delivers everything");
+    let stats = cluster.shutdown();
+
+    // Observability: every node process wrote an incremental JSONL trace
+    // that survives SIGKILL, and it parses.
+    let mut obs_files = 0;
+    for idx in 0..cluster.num_sequencing_nodes() {
+        let path = cluster.dir().join(format!("node{idx}.obs.jsonl"));
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        obs_files += 1;
+        assert!(
+            seqnet::obs::jsonl::parse_jsonl_lines(&text).is_some(),
+            "node {idx} obs log parses"
+        );
+    }
+    assert!(obs_files > 0, "node processes wrote obs logs");
+    assert!(stats.snapshots > 0, "node processes checkpointed to disk");
+
+    if let Some(plan) = plan {
+        let expected_kills = plan
+            .crash_windows()
+            .iter()
+            .filter(|w| w.node < cluster.num_sequencing_nodes())
+            .count() as u64;
+        assert_eq!(
+            stats.recovery.crashes, expected_kills,
+            "every crash window SIGKILLed a real process"
+        );
+    }
+
+    let orders = delivery_orders(&deliveries);
+    assert_no_duplicates(&orders, "socket");
+    assert_eq!(
+        orders.values().map(Vec::len).sum::<usize>(),
+        expected,
+        "socket: zero loss"
+    );
+    orders
+}
+
+/// Runs the workload through all three drivers (with an optional fault
+/// plan) and asserts identical per-group delivery orders at every
+/// receiver.
 fn assert_equivalent(seed: u64, plan: Option<FaultPlan>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let m = ZipfGroups::new(10, 4).with_min_size(2).sample(&mut rng);
@@ -96,8 +196,9 @@ fn assert_equivalent(seed: u64, plan: Option<FaultPlan>) {
     let sim = sim_orders(&bus, &m);
     assert_eq!(sim.values().map(Vec::len).sum::<usize>(), expected);
 
-    // Runtime: the single publisher front-end feeds ingress nodes over
-    // FIFO links, preserving the same publish order per ingress.
+    // Threaded runtime: the single publisher front-end feeds ingress
+    // nodes over FIFO links, preserving the same publish order per
+    // ingress.
     let config = ClusterConfig {
         seed,
         ..ClusterConfig::default()
@@ -113,11 +214,18 @@ fn assert_equivalent(seed: u64, plan: Option<FaultPlan>) {
         .wait_for_deliveries(expected, Duration::from_secs(60))
         .unwrap();
     cluster.shutdown();
-    let threaded = runtime_orders(&deliveries);
+    let threaded = delivery_orders(&deliveries);
+
+    // Socket deployment: real processes, real TCP, real SIGKILL.
+    let socket = socket_orders(seed, &m, &publishes, expected, plan.as_ref());
 
     assert_eq!(
         sim, threaded,
         "sim and runtime disagree on some per-group delivery order"
+    );
+    assert_eq!(
+        threaded, socket,
+        "runtime and socket cluster disagree on some per-group delivery order"
     );
 
     if plan.is_some() {
@@ -140,13 +248,41 @@ fn fault_free_runs_agree() {
 
 #[test]
 fn crash_window_runs_agree() {
-    // Index 0 names atom 0 in the simulator and sequencing node 0 in the
-    // runtime (see module docs); both always exist. The window spans the
-    // publish burst, so frames park (sim) / queue (runtime) and replay.
+    // Index 0 names atom 0 in the simulator and sequencing node 0 in both
+    // cluster drivers (see module docs); all always exist. The window
+    // spans the publish burst, so frames park (sim) / queue (runtime) /
+    // get retransmitted to the respawned process (socket) and replay.
     let plan = FaultPlan::new().crash(
         0,
         SimTime::from_micros(5_000),
         SimTime::from_micros(40_000),
     );
     assert_equivalent(11, Some(plan));
+}
+
+#[test]
+fn late_crash_window_runs_agree() {
+    // A different seed and a window that opens after most snapshots have
+    // covered the burst: recovery restores from the checkpoint instead of
+    // replaying the whole stream.
+    let plan = FaultPlan::new().crash(
+        0,
+        SimTime::from_micros(20_000),
+        SimTime::from_micros(45_000),
+    );
+    assert_equivalent(23, Some(plan));
+}
+
+#[test]
+fn double_crash_window_runs_agree() {
+    // Two kill/respawn cycles on the same node: the second incarnation
+    // restores the snapshot the first one wrote after its own recovery.
+    let plan = FaultPlan::new()
+        .crash(0, SimTime::from_micros(4_000), SimTime::from_micros(24_000))
+        .crash(
+            0,
+            SimTime::from_micros(44_000),
+            SimTime::from_micros(64_000),
+        );
+    assert_equivalent(47, Some(plan));
 }
