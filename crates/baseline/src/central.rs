@@ -214,6 +214,7 @@ fn at_sequencer(sim: &mut Simulator<CentralWorld>, id: MessageId, sender: NodeId
                 delivered: now,
                 unicast,
                 stamps: 1,
+                epoch: 0,
                 payload: bytes::Bytes::new(),
             };
             world.deliveries.entry(member).or_default().push(record);

@@ -218,6 +218,7 @@ fn at_tree_node(
             delivered: now,
             unicast: world.hop,
             stamps: 1,
+            epoch: 0,
             payload: bytes::Bytes::new(),
         };
         world.deliveries.entry(node).or_default().push(record);

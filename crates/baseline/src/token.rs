@@ -180,6 +180,7 @@ fn token_arrives(sim: &mut Simulator<TokenWorld>) {
                     delivered: now,
                     unicast: world.hop,
                     stamps: 0,
+                    epoch: 0,
                     payload: bytes::Bytes::new(),
                 };
                 world.deliveries.entry(member).or_default().push(record);

@@ -6,7 +6,7 @@
 //! seqnet-bench load [--driver sim|runtime|socket|both|all] [--mode open|closed]
 //!                   [--seed N] [--groups N] [--overlap N] [--rate-hz F]
 //!                   [--chains N] [--warmup-ms N] [--measure-ms N]
-//!                   [--out PATH] [--smoke]
+//!                   [--churn-cycles N] [--out PATH] [--smoke]
 //! seqnet-bench validate [PATH]
 //! ```
 //!
@@ -27,6 +27,16 @@
 //! (schema documented in `results/README.md`, checked by `validate` and
 //! by CI's bench-smoke job). `--driver both` is sim + runtime; `all` adds
 //! the socket cluster.
+//!
+//! `--churn-cycles N` turns the run into the **churn scenario**
+//! (`results/BENCH_8.json`): the threaded runtime alone, open loop, with
+//! `N` epoch-stamped online reconfigurations (PROTOCOL.md §14) spread
+//! evenly across the measure window — an extra node repeatedly joins and
+//! leaves group 0, and every handoff window absorbs a small publish burst
+//! that parks and replays under the new epoch. The report splits the
+//! latency histogram into *steady* deliveries (published outside any
+//! handoff) and *churn* deliveries (parked inside one), so the p50/p95/p99
+//! cost of reconfiguring under live traffic is measured, not guessed.
 //!
 //! `--smoke` shrinks the windows for CI; everything stays reproducible
 //! from the seed (wall-clock latencies on the runtime driver vary, the
@@ -112,6 +122,10 @@ struct LoadConfig {
     chains: usize,
     warmup_ms: u64,
     measure_ms: u64,
+    /// Online reconfigurations spread across the measure window
+    /// (PROTOCOL.md §14). 0 = plain load run (BENCH_6); positive =
+    /// churn scenario (BENCH_8), threaded runtime only.
+    churn_cycles: usize,
     out: String,
     smoke: bool,
 }
@@ -128,6 +142,7 @@ impl Default for LoadConfig {
             chains: 2,
             warmup_ms: 200,
             measure_ms: 1_000,
+            churn_cycles: 0,
             out: "results/BENCH_6.json".to_string(),
             smoke: false,
         }
@@ -139,7 +154,7 @@ fn usage() -> ! {
         "usage: seqnet-bench load [--driver sim|runtime|socket|both|all] [--mode open|closed]\n\
          \x20                        [--seed N] [--groups N] [--overlap N] [--rate-hz F]\n\
          \x20                        [--chains N] [--warmup-ms N] [--measure-ms N]\n\
-         \x20                        [--out PATH] [--smoke]\n\
+         \x20                        [--churn-cycles N] [--out PATH] [--smoke]\n\
          \x20      seqnet-bench validate [PATH]"
     );
     std::process::exit(2);
@@ -147,6 +162,7 @@ fn usage() -> ! {
 
 fn parse_load(args: &[String]) -> LoadConfig {
     let mut cfg = LoadConfig::default();
+    let mut out_set = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| -> String {
@@ -188,7 +204,14 @@ fn parse_load(args: &[String]) -> LoadConfig {
             "--measure-ms" => {
                 cfg.measure_ms = value("--measure-ms").parse().expect("--measure-ms: u64")
             }
-            "--out" => cfg.out = value("--out"),
+            "--churn-cycles" => {
+                cfg.churn_cycles =
+                    value("--churn-cycles").parse().expect("--churn-cycles: usize")
+            }
+            "--out" => {
+                cfg.out = value("--out");
+                out_set = true;
+            }
             "--smoke" => cfg.smoke = true,
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -201,11 +224,19 @@ fn parse_load(args: &[String]) -> LoadConfig {
         cfg.rate_hz = cfg.rate_hz.min(150.0);
         cfg.warmup_ms = cfg.warmup_ms.min(50);
         cfg.measure_ms = cfg.measure_ms.min(250);
+        cfg.churn_cycles = cfg.churn_cycles.min(2);
+    }
+    if cfg.churn_cycles > 0 && !out_set {
+        cfg.out = "results/BENCH_8.json".to_string();
     }
     assert!(cfg.groups >= 1, "--groups must be at least 1");
     assert!(cfg.rate_hz > 0.0, "--rate-hz must be positive");
     assert!(cfg.measure_ms > 0, "--measure-ms must be positive");
     assert!(cfg.chains >= 1, "--chains must be at least 1");
+    assert!(
+        cfg.churn_cycles == 0 || cfg.mode == Mode::Open,
+        "--churn-cycles requires --mode open"
+    );
     cfg
 }
 
@@ -539,8 +570,182 @@ fn run_wall_driver<T: LoadTarget>(
     }
 }
 
-fn report_json(r: &DriverReport) -> String {
+/// The churn scenario's extra results: the same run's latency histogram
+/// split by whether a message was published inside a handoff window
+/// (parked, replayed under the next epoch) or in steady state.
+struct ChurnReport {
+    cycles: u64,
+    steady: Histogram,
+    churn: Histogram,
+}
+
+/// The churn scenario (BENCH_8): open-loop load on the threaded runtime
+/// while `cfg.churn_cycles` online reconfigurations fire at even spacing
+/// across the measure window. Each cycle flips an extra node in or out of
+/// group 0 via `begin_reconfigure`, pushes a 3-publish burst into the
+/// handoff window so parking is exercised, then blocks in
+/// `complete_reconfigure` until the old epoch drains. Burst messages are
+/// the churn population; everything else is steady.
+fn run_churn_driver(
+    cfg: &LoadConfig,
+    m: &Membership,
+    items: &[WorkItem],
+) -> (DriverReport, ChurnReport) {
+    let mut cluster = Cluster::start(
+        m,
+        ClusterConfig {
+            coalesce: true,
+            seed: cfg.seed,
+            ..ClusterConfig::default()
+        },
+    );
+    let joiner = NodeId(m.num_nodes() as u32 + 7);
+    let grown = {
+        let mut next = m.clone();
+        next.subscribe(joiner, GroupId(0));
+        next
+    };
+    let g0_sender = m.members(GroupId(0)).next().expect("group 0 is non-empty");
+
+    let start = Instant::now();
+    let warmup = start + Duration::from_millis(cfg.warmup_ms);
+    let allocs_before = allocations();
+    let churn_at: Vec<Instant> = (1..=cfg.churn_cycles as u64)
+        .map(|i| {
+            warmup + Duration::from_micros(i * cfg.measure_ms * 1_000 / (cfg.churn_cycles as u64 + 1))
+        })
+        .collect();
+
+    let mut all = Histogram::new();
+    let mut steady = Histogram::new();
+    let mut churn = Histogram::new();
+    let mut churn_ids: HashSet<MessageId> = HashSet::new();
+    let mut sent_at: HashMap<MessageId, Instant> = HashMap::new();
+    let mut expected = 0usize;
+    let mut received = 0usize;
+    let mut measured = 0u64;
+    let mut next = 0usize;
+    let mut cycle = 0usize;
+    let mut joined = false;
+
+    macro_rules! note {
+        ($id:expr, $at:expr) => {
+            if let Some(&t0) = sent_at.get(&$id) {
+                if t0 >= warmup {
+                    let us = $at.duration_since(t0).as_micros() as u64;
+                    all.record(us);
+                    if churn_ids.contains(&$id) {
+                        churn.record(us);
+                    } else {
+                        steady.record(us);
+                    }
+                    measured += 1;
+                }
+            }
+        };
+    }
+
+    while next < items.len() || cycle < cfg.churn_cycles {
+        let now = Instant::now();
+        if cycle < cfg.churn_cycles && now >= churn_at[cycle] {
+            joined = !joined;
+            let next_m = if joined { &grown } else { m };
+            cluster.begin_reconfigure(next_m).expect("stage the handoff");
+            for _ in 0..3 {
+                let id = cluster
+                    .publish(g0_sender, GroupId(0), Vec::new())
+                    .expect("parked publish inside the handoff window");
+                sent_at.insert(id, Instant::now());
+                churn_ids.insert(id);
+                expected += next_m.group_size(GroupId(0));
+            }
+            cluster
+                .complete_reconfigure(Duration::from_secs(30))
+                .expect("handoff drains under live load");
+            cycle += 1;
+            continue;
+        }
+        let next_tick = churn_at.get(cycle).copied();
+        if next < items.len() {
+            let w = &items[next];
+            let due = start + Duration::from_micros(w.at_us);
+            if now >= due {
+                let id = cluster
+                    .publish(w.sender, w.group, Vec::new())
+                    .expect("open-loop publish");
+                sent_at.insert(id, Instant::now());
+                // Group 0's audience includes the joiner in odd epochs.
+                let cur = if joined { &grown } else { m };
+                expected += cur.group_size(w.group);
+                next += 1;
+                continue;
+            }
+            let mut wait = due.saturating_duration_since(now);
+            if let Some(tick) = next_tick {
+                wait = wait.min(tick.saturating_duration_since(now));
+            }
+            if let Some((_, msg)) = cluster.next_delivery(wait) {
+                note!(msg.id, Instant::now());
+                received += 1;
+            }
+        } else {
+            // Only churn ticks remain; drain while waiting for them.
+            let wait = next_tick
+                .map(|tick| tick.saturating_duration_since(now))
+                .unwrap_or(Duration::from_millis(5))
+                .max(Duration::from_millis(1));
+            if let Some((_, msg)) = cluster.next_delivery(wait) {
+                note!(msg.id, Instant::now());
+                received += 1;
+            }
+        }
+    }
+    // Drain the tail: everything published must still arrive everywhere.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while received < expected && Instant::now() < deadline {
+        if let Some((_, msg)) = cluster.next_delivery(Duration::from_millis(20)) {
+            note!(msg.id, Instant::now());
+            received += 1;
+        }
+    }
+    assert_eq!(received, expected, "churn run lost deliveries");
+    assert_eq!(cluster.epoch(), cfg.churn_cycles as u64, "every handoff activated");
+    assert!(!cluster.reconfig_pending(), "no handoff left dangling");
+    let elapsed = Instant::now().duration_since(warmup).as_secs_f64().max(1e-3);
+    cluster.shutdown();
+    let batch_sizes = cluster.batch_size_counts();
+    let allocs = allocations() - allocs_before;
+    (
+        DriverReport {
+            driver: "runtime",
+            time_base: "wall-us",
+            published: sent_at.len() as u64,
+            delivered: measured,
+            msgs_per_sec: measured as f64 / elapsed,
+            latency_us: all,
+            allocations_per_message: allocs as f64 / (received as u64).max(1) as f64,
+            batch_sizes,
+        },
+        ChurnReport { cycles: cfg.churn_cycles as u64, steady, churn },
+    )
+}
+
+/// One latency-percentile block, shared by the per-driver reports and the
+/// churn scenario's steady/churn split.
+fn latency_json(h: &Histogram) -> String {
     let q = |v: Option<u64>| v.unwrap_or(0).to_string();
+    format!(
+        "{{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}, \"max\": {}, \"count\": {}}}",
+        q(h.p50()),
+        q(h.p95()),
+        q(h.p99()),
+        h.mean().unwrap_or(0.0),
+        q(h.max()),
+        h.count()
+    )
+}
+
+fn report_json(r: &DriverReport) -> String {
     let sizes = r
         .batch_sizes
         .iter()
@@ -550,32 +755,40 @@ fn report_json(r: &DriverReport) -> String {
     format!(
         "{{\n      \"driver\": \"{}\",\n      \"time_base\": \"{}\",\n      \
          \"messages_published\": {},\n      \"messages_delivered\": {},\n      \
-         \"msgs_per_sec\": {:.3},\n      \"delivery_latency_us\": {{\"p50\": {}, \
-         \"p95\": {}, \"p99\": {}, \"mean\": {:.1}, \"max\": {}, \"count\": {}}},\n      \
+         \"msgs_per_sec\": {:.3},\n      \"delivery_latency_us\": {},\n      \
          \"allocations_per_message\": {:.3},\n      \"batch_sizes\": {{{}}}\n    }}",
         r.driver,
         r.time_base,
         r.published,
         r.delivered,
         r.msgs_per_sec,
-        q(r.latency_us.p50()),
-        q(r.latency_us.p95()),
-        q(r.latency_us.p99()),
-        r.latency_us.mean().unwrap_or(0.0),
-        q(r.latency_us.max()),
-        r.latency_us.count(),
+        latency_json(&r.latency_us),
         r.allocations_per_message,
         sizes
     )
 }
 
-fn write_json(cfg: &LoadConfig, reports: &[DriverReport]) {
+fn write_json(cfg: &LoadConfig, reports: &[DriverReport], churn: Option<&ChurnReport>) {
+    let bench = if churn.is_some() { "BENCH_8" } else { "BENCH_6" };
     let drivers = reports.iter().map(report_json).collect::<Vec<_>>().join(",\n    ");
+    let churn_block = churn
+        .map(|c| {
+            format!(
+                ",\n  \"churn\": {{\n    \"cycles\": {},\n    \
+                 \"steady_latency_us\": {},\n    \"churn_latency_us\": {}\n  }}",
+                c.cycles,
+                latency_json(&c.steady),
+                latency_json(&c.churn)
+            )
+        })
+        .unwrap_or_default();
     let json = format!(
-        "{{\n  \"bench\": \"BENCH_6\",\n  \"schema_version\": 1,\n  \"seed\": {},\n  \
+        "{{\n  \"bench\": \"{}\",\n  \"schema_version\": 1,\n  \"seed\": {},\n  \
          \"workload\": {{\n    \"mode\": \"{}\",\n    \"groups\": {},\n    \"overlap\": {},\n    \
          \"rate_hz\": {:.3},\n    \"chains\": {},\n    \"warmup_ms\": {},\n    \
-         \"measure_ms\": {},\n    \"smoke\": {}\n  }},\n  \"drivers\": [\n    {}\n  ]\n}}\n",
+         \"measure_ms\": {},\n    \"churn_cycles\": {},\n    \"smoke\": {}\n  }},\n  \
+         \"drivers\": [\n    {}\n  ]{}\n}}\n",
+        bench,
         cfg.seed,
         cfg.mode.name(),
         cfg.groups,
@@ -584,8 +797,10 @@ fn write_json(cfg: &LoadConfig, reports: &[DriverReport]) {
         cfg.chains,
         cfg.warmup_ms,
         cfg.measure_ms,
+        cfg.churn_cycles,
         cfg.smoke,
-        drivers
+        drivers,
+        churn_block
     );
     if let Some(dir) = std::path::Path::new(&cfg.out).parent() {
         std::fs::create_dir_all(dir).expect("create output dir");
@@ -599,14 +814,25 @@ fn cmd_load(args: &[String]) {
     let m = membership(cfg.groups, cfg.overlap);
     let items = workload(&cfg, &m);
     let mut reports = Vec::new();
-    if matches!(cfg.driver, Driver::Sim | Driver::Both | Driver::All) {
-        reports.push(run_sim_driver(&cfg, &m, &items));
-    }
-    if matches!(cfg.driver, Driver::Runtime | Driver::Both | Driver::All) {
-        reports.push(run_runtime_driver(&cfg, &m, &items));
-    }
-    if matches!(cfg.driver, Driver::Socket | Driver::All) {
-        reports.push(run_socket_driver(&cfg, &m, &items));
+    let mut churn_report = None;
+    if cfg.churn_cycles > 0 {
+        // The churn scenario is a wall-clock handoff benchmark; the
+        // threaded runtime is the one driver whose drain rule runs in
+        // real time without per-process orchestration overhead skewing
+        // the parked-latency numbers.
+        let (report, churn) = run_churn_driver(&cfg, &m, &items);
+        reports.push(report);
+        churn_report = Some(churn);
+    } else {
+        if matches!(cfg.driver, Driver::Sim | Driver::Both | Driver::All) {
+            reports.push(run_sim_driver(&cfg, &m, &items));
+        }
+        if matches!(cfg.driver, Driver::Runtime | Driver::Both | Driver::All) {
+            reports.push(run_runtime_driver(&cfg, &m, &items));
+        }
+        if matches!(cfg.driver, Driver::Socket | Driver::All) {
+            reports.push(run_socket_driver(&cfg, &m, &items));
+        }
     }
     let rows: Vec<Vec<String>> = reports
         .iter()
@@ -632,7 +858,24 @@ fn cmd_load(args: &[String]) {
         ],
         &rows,
     );
-    write_json(&cfg, &reports);
+    if let Some(c) = &churn_report {
+        let lat_row = |name: &str, h: &Histogram| {
+            vec![
+                name.to_string(),
+                h.count().to_string(),
+                h.p50().unwrap_or(0).to_string(),
+                h.p95().unwrap_or(0).to_string(),
+                h.p99().unwrap_or(0).to_string(),
+                h.max().unwrap_or(0).to_string(),
+            ]
+        };
+        print_table(
+            &format!("churn split ({} reconfigurations)", c.cycles),
+            &["phase", "count", "p50us", "p95us", "p99us", "maxus"],
+            &[lat_row("steady", &c.steady), lat_row("churn", &c.churn)],
+        );
+    }
+    write_json(&cfg, &reports, churn_report.as_ref());
 }
 
 // ---------------------------------------------------------------------------
@@ -904,6 +1147,48 @@ fn cmd_validate(path: &str) {
             }
         }
         _ => check(false, "\"drivers\" must be a non-empty array"),
+    }
+    // BENCH_8 (the churn scenario) additionally carries the steady/churn
+    // latency split; a stray "churn" object on any other bench is a bug.
+    let is_churn = doc.get("bench").and_then(Json::str) == Some("BENCH_8");
+    if is_churn {
+        match doc.get("churn") {
+            Some(c) => {
+                check(
+                    c.get("cycles").and_then(Json::num).map_or(false, |n| n >= 1.0),
+                    "churn.cycles must be at least 1",
+                );
+                for block in ["steady_latency_us", "churn_latency_us"] {
+                    match c.get(block) {
+                        Some(lat) => {
+                            let pct = |k: &str| lat.get(k).and_then(Json::num);
+                            for key in ["p50", "p95", "p99", "mean", "max", "count"] {
+                                check(pct(key).is_some(), &format!("churn.{block}.{key}"));
+                            }
+                            if let (Some(p50), Some(p95), Some(p99)) =
+                                (pct("p50"), pct("p95"), pct("p99"))
+                            {
+                                check(
+                                    p50 <= p95 && p95 <= p99,
+                                    &format!("churn.{block} percentiles must be non-decreasing"),
+                                );
+                            }
+                            check(
+                                pct("count").map_or(false, |n| n >= 1.0),
+                                &format!("churn.{block}.count must be positive"),
+                            );
+                        }
+                        None => check(false, &format!("churn.{block} object missing")),
+                    }
+                }
+            }
+            None => check(false, "BENCH_8 requires a \"churn\" object"),
+        }
+    } else {
+        check(
+            doc.get("churn").is_none(),
+            "only BENCH_8 carries a \"churn\" object",
+        );
     }
 
     if errors.is_empty() {

@@ -85,16 +85,16 @@ impl Invariant for PairwiseConsistency {
             for &b in &hosts[i + 1..] {
                 let log_a = world.delivered_log(a);
                 let log_b = world.delivered_log(b);
-                let ids_a: BTreeSet<MessageId> = log_a.iter().map(|(id, _)| *id).collect();
-                let ids_b: BTreeSet<MessageId> = log_b.iter().map(|(id, _)| *id).collect();
+                let ids_a: BTreeSet<MessageId> = log_a.iter().map(|(id, _, _)| *id).collect();
+                let ids_b: BTreeSet<MessageId> = log_b.iter().map(|(id, _, _)| *id).collect();
                 let proj_a: Vec<MessageId> = log_a
                     .iter()
-                    .map(|(id, _)| *id)
+                    .map(|(id, _, _)| *id)
                     .filter(|id| ids_b.contains(id))
                     .collect();
                 let proj_b: Vec<MessageId> = log_b
                     .iter()
-                    .map(|(id, _)| *id)
+                    .map(|(id, _, _)| *id)
                     .filter(|id| ids_a.contains(id))
                     .collect();
                 if proj_a != proj_b {
@@ -129,8 +129,8 @@ impl Invariant for CausalOrder {
             let cause = MessageId(j as u64);
             for host in world.hosts() {
                 let log = world.delivered_log(host);
-                let pos_effect = log.iter().position(|(id, _)| *id == effect);
-                let pos_cause = log.iter().position(|(id, _)| *id == cause);
+                let pos_effect = log.iter().position(|(id, _, _)| *id == effect);
+                let pos_cause = log.iter().position(|(id, _, _)| *id == cause);
                 if let (Some(pe), Some(pc)) = (pos_effect, pos_cause) {
                     if pe < pc {
                         return Err(Violation {
@@ -142,10 +142,11 @@ impl Invariant for CausalOrder {
                     }
                 } else if pos_effect.is_some()
                     && pos_cause.is_none()
-                    && world
-                        .scenario()
-                        .membership
-                        .is_member(host, publishes[j].group)
+                    && world.publish_epoch(j).is_some_and(|epoch| {
+                        world
+                            .epoch_membership(epoch)
+                            .is_member(host, publishes[j].group)
+                    })
                 {
                     return Err(Violation {
                         invariant: self.name(),
@@ -161,9 +162,10 @@ impl Invariant for CausalOrder {
 }
 
 /// No duplication (per step: a delivery log never repeats an id, and a
-/// host only receives messages of groups it subscribes to) and no loss
-/// (terminal: every publish reached every member of its group across
-/// whatever crash windows the schedule contained).
+/// host only receives messages of groups it subscribes to *in the epoch
+/// the message was sequenced under*) and no loss (terminal: every publish
+/// reached every member its epoch's configuration prescribes, across
+/// whatever crash windows and reconfigurations the schedule contained).
 pub struct NoLossNoDup;
 
 impl Invariant for NoLossNoDup {
@@ -175,17 +177,19 @@ impl Invariant for NoLossNoDup {
         for host in world.hosts() {
             let log = world.delivered_log(host);
             let mut seen = BTreeSet::new();
-            for &(id, group) in log {
+            for &(id, group, epoch) in log {
                 if !seen.insert(id) {
                     return Err(Violation {
                         invariant: self.name(),
                         detail: format!("{host} delivered {id} twice"),
                     });
                 }
-                if !world.scenario().membership.is_member(host, group) {
+                if !world.epoch_membership(epoch).is_member(host, group) {
                     return Err(Violation {
                         invariant: self.name(),
-                        detail: format!("{host} delivered {id} of {group} without subscribing"),
+                        detail: format!(
+                            "{host} delivered {id} of {group} without subscribing in epoch {epoch}"
+                        ),
                     });
                 }
             }
@@ -200,25 +204,102 @@ impl Invariant for NoLossNoDup {
                 detail: "terminal state with unpublished workload messages".into(),
             });
         }
-        let membership = &world.scenario().membership;
         for (i, p) in world.scenario().publishes.iter().enumerate() {
             let id = MessageId(i as u64);
-            for member in membership.members(p.group) {
+            // The audience is the membership of the epoch the publish was
+            // sequenced under: a pre-handoff message still reaches a
+            // leaver, a parked one already reaches a joiner.
+            let epoch = world
+                .publish_epoch(i)
+                .expect("all_published checked above");
+            for member in world.epoch_membership(epoch).members(p.group) {
                 let count = world
                     .delivered_log(member)
                     .iter()
-                    .filter(|(d, _)| *d == id)
+                    .filter(|(d, _, _)| *d == id)
                     .count();
                 if count != 1 {
                     return Err(Violation {
                         invariant: self.name(),
                         detail: format!(
-                            "{member} delivered {id} of {} {count} times at terminal",
+                            "{member} delivered {id} of {} {count} times at terminal (epoch {epoch})",
                             p.group
                         ),
                     });
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+/// The epoch-handoff contract (PROTOCOL.md §14), checked whenever a
+/// scenario reconfigures online: epochs never run backwards at any
+/// subscriber (every epoch-N message is delivered before any epoch-N+1
+/// message — the global-drain handoff rule), a delivery's epoch tag
+/// always matches the epoch its publish was sequenced under, nothing is
+/// delivered out of a future epoch, and a terminal state has no pending
+/// handoff or parked publish left behind.
+pub struct EpochHandoff;
+
+impl Invariant for EpochHandoff {
+    fn name(&self) -> &'static str {
+        "epoch-handoff"
+    }
+
+    fn check_step(&self, world: &World, record: &StepRecord) -> Result<(), Violation> {
+        for host in world.hosts() {
+            let log = world.delivered_log(host);
+            for pair in log.windows(2) {
+                if pair[1].2 < pair[0].2 {
+                    return Err(Violation {
+                        invariant: self.name(),
+                        detail: format!(
+                            "{host} delivered epoch-{} {} after epoch-{} {}: epochs ran backwards",
+                            pair[1].2, pair[1].0, pair[0].2, pair[0].0
+                        ),
+                    });
+                }
+            }
+        }
+        for &(host, id, _, epoch) in &record.delivered_now {
+            let assigned = world.publish_epoch(id.0 as usize);
+            if assigned != Some(epoch) {
+                return Err(Violation {
+                    invariant: self.name(),
+                    detail: format!(
+                        "{host} delivered {id} under epoch {epoch}, but it was sequenced under {assigned:?}"
+                    ),
+                });
+            }
+            if epoch > world.epoch() {
+                return Err(Violation {
+                    invariant: self.name(),
+                    detail: format!(
+                        "{host} delivered {id} of future epoch {epoch} (current {})",
+                        world.epoch()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_terminal(&self, world: &World) -> Result<(), Violation> {
+        if world.handoff_pending() {
+            return Err(Violation {
+                invariant: self.name(),
+                detail: "terminal state with the epoch handoff still pending".into(),
+            });
+        }
+        if world.parked_publishes() > 0 {
+            return Err(Violation {
+                invariant: self.name(),
+                detail: format!(
+                    "terminal state with {} parked publishes never injected",
+                    world.parked_publishes()
+                ),
+            });
         }
         Ok(())
     }
@@ -358,6 +439,7 @@ pub fn default_oracles() -> Vec<Box<dyn Invariant>> {
         Box::new(StagedOutput),
         Box::new(StructuralValidity),
         Box::new(BatchVsStep),
+        Box::new(EpochHandoff),
     ]
 }
 
@@ -374,7 +456,7 @@ mod tests {
     }
 
     #[test]
-    fn default_battery_has_the_six_issue_oracles() {
+    fn default_battery_has_the_seven_oracles() {
         let names: Vec<&str> = default_oracles().iter().map(|o| o.name()).collect();
         assert_eq!(
             names,
@@ -385,6 +467,7 @@ mod tests {
                 "staged-output",
                 "structural-validity",
                 "batch-vs-step",
+                "epoch-handoff",
             ]
         );
     }
@@ -476,5 +559,47 @@ mod tests {
                 .check_terminal(&world)
                 .unwrap_or_else(|v| panic!("{}: {v}", sc.name));
         }
+    }
+
+    #[test]
+    fn churn_scenarios_pass_the_epoch_aware_oracles_step_by_step() {
+        for sc in [
+            scenario::join_during_flight(),
+            scenario::leave_with_parked_atoms(),
+            scenario::crash_during_handoff(),
+        ] {
+            let mut world = World::new(&sc);
+            while let Some(&t) = world.enabled().first() {
+                let record = world.step(t);
+                NoLossNoDup
+                    .check_step(&world, &record)
+                    .unwrap_or_else(|v| panic!("{}: {v}", sc.name));
+                EpochHandoff
+                    .check_step(&world, &record)
+                    .unwrap_or_else(|v| panic!("{}: {v}", sc.name));
+            }
+            NoLossNoDup
+                .check_terminal(&world)
+                .unwrap_or_else(|v| panic!("{}: {v}", sc.name));
+            EpochHandoff
+                .check_terminal(&world)
+                .unwrap_or_else(|v| panic!("{}: {v}", sc.name));
+            assert_eq!(world.epoch(), 1, "{}: handoff advanced the epoch", sc.name);
+        }
+    }
+
+    #[test]
+    fn epoch_handoff_oracle_fires_on_an_abandoned_handoff() {
+        // Fire the reconfiguration, then pretend the run is over while the
+        // drain is still pending: the terminal check must object.
+        let sc = scenario::join_during_flight();
+        let mut world = World::new(&sc);
+        world.step(Transition::Publish(0));
+        world.step(Transition::Reconfigure);
+        assert!(world.handoff_pending());
+        let violation = EpochHandoff
+            .check_terminal(&world)
+            .expect_err("pending handoff detected");
+        assert_eq!(violation.invariant, "epoch-handoff");
     }
 }

@@ -20,13 +20,13 @@ use seqnet_core::proto::{
     Command, CommandBuf, Digest, Event, Frame, NodeCore, Peer, ProtocolState, ReceiverCore, Routing,
 };
 use seqnet_core::{Message, MessageId};
-use seqnet_membership::{GroupId, NodeId};
+use seqnet_membership::{GroupId, Membership, NodeId};
 use seqnet_overlap::{GraphBuilder, SequencingGraph};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
-use crate::scenario::Scenario;
+use crate::scenario::{ReconfigOp, Scenario};
 
 /// A crash or restart pending for one sequencing node, in plan order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -50,6 +50,13 @@ pub enum Transition {
     /// Take a snapshot at a group-commit node with staged output, which
     /// flushes the staged frames and advances ack floors.
     Snapshot(usize),
+    /// Begin the scenario's online reconfiguration (PROTOCOL.md §14):
+    /// from here on, publishes park for the next epoch.
+    Reconfigure,
+    /// Complete the pending epoch handoff. Enabled only once the old
+    /// epoch has fully drained — no frame in flight, no staged output,
+    /// no crashed node, no message buffered at a receiver.
+    EpochAdvance,
 }
 
 impl fmt::Display for Transition {
@@ -60,6 +67,8 @@ impl fmt::Display for Transition {
             Transition::Fault(n, FaultKind::Crash) => write!(f, "crash node{n}"),
             Transition::Fault(n, FaultKind::Restart) => write!(f, "restart node{n}"),
             Transition::Snapshot(n) => write!(f, "snapshot node{n}"),
+            Transition::Reconfigure => write!(f, "reconfigure"),
+            Transition::EpochAdvance => write!(f, "advance-epoch"),
         }
     }
 }
@@ -72,8 +81,21 @@ pub struct StepRecord {
     /// Group-commit violations: raw sends a node emitted while the
     /// staged-output discipline was in force (node index, message id).
     pub unstaged_sends: Vec<(usize, MessageId)>,
-    /// Messages delivered to applications by this step, in delivery order.
-    pub delivered_now: Vec<(NodeId, MessageId, GroupId)>,
+    /// Messages delivered to applications by this step, in delivery
+    /// order, each tagged with the configuration epoch it was sequenced
+    /// under.
+    pub delivered_now: Vec<(NodeId, MessageId, GroupId, u64)>,
+}
+
+/// The configuration an online reconfiguration activates: the epoch-N+1
+/// membership and sequencing graph, precompiled so exploration clones
+/// stay cheap. Built through [`seqnet_overlap::DynamicGraph`], so atom
+/// ids are stable across the boundary and atoms leaving the overlap
+/// structure are retired lazily (still present as transit hops).
+#[derive(Debug)]
+struct NextConfig {
+    membership: Membership,
+    graph: SequencingGraph,
 }
 
 /// The immutable part of a compiled scenario, shared (via [`Rc`]) by every
@@ -82,6 +104,18 @@ pub struct StepRecord {
 struct Compiled {
     scenario: Scenario,
     graph: SequencingGraph,
+    next: Option<NextConfig>,
+}
+
+impl Compiled {
+    /// The membership and graph in force: the next configuration once the
+    /// handoff has completed, the initial one before.
+    fn config(&self, advanced: bool) -> (&Membership, &SequencingGraph) {
+        match &self.next {
+            Some(next) if advanced => (&next.membership, &next.graph),
+            _ => (&self.scenario.membership, &self.graph),
+        }
+    }
 }
 
 /// One explorable state: all protocol cores, the network, and the
@@ -106,16 +140,82 @@ pub struct World {
     /// progress a snapshot records (`rx_next = count + 1`).
     rx_count: Vec<BTreeMap<Peer, u64>>,
     published: Vec<bool>,
-    /// Application delivery log per subscriber, in delivery order.
-    delivered: BTreeMap<NodeId, Vec<(MessageId, GroupId)>>,
+    /// The configuration epoch each publish was (or will be) sequenced
+    /// under, assigned when its `Publish` transition fires; `None` until
+    /// then.
+    publish_epoch: Vec<Option<u64>>,
+    /// Application delivery log per subscriber, in delivery order, each
+    /// entry tagged with the epoch the message was sequenced under.
+    /// Subscribers that leave at a reconfiguration keep their log.
+    delivered: BTreeMap<NodeId, Vec<(MessageId, GroupId, u64)>>,
     /// Pending crash/restart actions per node, in plan-window order.
     faults: Vec<VecDeque<FaultKind>>,
+    /// `true` once the scenario's `Reconfigure` transition has fired.
+    reconfig_fired: bool,
+    /// `true` while the epoch handoff is pending (reconfigure fired,
+    /// `EpochAdvance` not yet taken).
+    handoff: bool,
+    /// Workload indices of publishes accepted during the handoff, parked
+    /// in publish order for injection under the next epoch.
+    parked: Vec<usize>,
 }
 
 impl World {
     /// Compiles `scenario` into its initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario reconfigures away the sequencing path of a
+    /// group the workload still publishes to — such a publish could
+    /// neither park nor sequence.
     pub fn new(scenario: &Scenario) -> World {
-        let graph = GraphBuilder::new().build(&scenario.membership);
+        let (graph, next) = if scenario.reconfig.is_empty() {
+            (GraphBuilder::new().build(&scenario.membership), None)
+        } else {
+            // Both epochs come from one incremental DynamicGraph so atom
+            // ids are stable across the handoff and vanished overlaps
+            // retire lazily instead of renumbering the survivors.
+            let mut dynamic = GraphBuilder::new().dynamic();
+            for group in scenario.membership.groups() {
+                let members: Vec<NodeId> = scenario.membership.members(group).collect();
+                dynamic.add_group(group, members);
+            }
+            let graph = dynamic.graph();
+            for &op in &scenario.reconfig {
+                let (node, group, join) = match op {
+                    ReconfigOp::Join(node, group) => (node, group, true),
+                    ReconfigOp::Leave(node, group) => (node, group, false),
+                };
+                let mut members: Vec<NodeId> = dynamic.membership().members(group).collect();
+                let existed = !members.is_empty();
+                if join {
+                    members.push(node);
+                } else {
+                    members.retain(|&m| m != node);
+                }
+                if existed {
+                    dynamic.remove_group(group);
+                }
+                if !members.is_empty() {
+                    dynamic.add_group(group, members);
+                }
+            }
+            let next_graph = dynamic.graph();
+            for (i, p) in scenario.publishes.iter().enumerate() {
+                assert!(
+                    next_graph.ingress(p.group).is_some(),
+                    "publish {i}: {} has no sequencing path in the next configuration",
+                    p.group
+                );
+            }
+            (
+                graph,
+                Some(NextConfig {
+                    membership: dynamic.membership().clone(),
+                    graph: next_graph,
+                }),
+            )
+        };
         let num_nodes = graph.num_atoms();
         let cores = (0..num_nodes)
             .map(|i| {
@@ -157,6 +257,7 @@ impl World {
             setup: Rc::new(Compiled {
                 scenario: scenario.clone(),
                 graph,
+                next,
             }),
             cores,
             protocol,
@@ -165,8 +266,12 @@ impl World {
             staged: vec![Vec::new(); num_nodes],
             rx_count: vec![BTreeMap::new(); num_nodes],
             published: vec![false; scenario.publishes.len()],
+            publish_epoch: vec![None; scenario.publishes.len()],
             delivered,
             faults,
+            reconfig_fired: false,
+            handoff: false,
+            parked: Vec::new(),
         }
     }
 
@@ -175,13 +280,52 @@ impl World {
         &self.setup.scenario
     }
 
-    /// The sequencing graph built for the scenario's membership.
+    /// The sequencing graph currently in force (the next configuration's
+    /// graph once the epoch handoff has completed).
     pub fn graph(&self) -> &SequencingGraph {
-        &self.setup.graph
+        self.setup.config(self.advanced()).1
     }
 
-    /// The delivery log of `host`, in delivery order.
-    pub fn delivered_log(&self, host: NodeId) -> &[(MessageId, GroupId)] {
+    /// `true` once the handoff has completed and the next configuration
+    /// is in force.
+    fn advanced(&self) -> bool {
+        self.reconfig_fired && !self.handoff
+    }
+
+    /// The configuration epoch currently sequencing messages (0 until an
+    /// `EpochAdvance` fires).
+    pub fn epoch(&self) -> u64 {
+        self.protocol.epoch()
+    }
+
+    /// `true` while the epoch handoff is pending.
+    pub fn handoff_pending(&self) -> bool {
+        self.handoff
+    }
+
+    /// Publishes accepted during the handoff, not yet injected.
+    pub fn parked_publishes(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// The epoch workload publish `i` was sequenced under, `None` if it
+    /// has not been published yet.
+    pub fn publish_epoch(&self, i: usize) -> Option<u64> {
+        self.publish_epoch[i]
+    }
+
+    /// The membership in force at configuration `epoch` (the initial one
+    /// for epoch 0, the reconfigured one from epoch 1 on).
+    pub fn epoch_membership(&self, epoch: u64) -> &Membership {
+        match &self.setup.next {
+            Some(next) if epoch >= 1 => &next.membership,
+            _ => &self.setup.scenario.membership,
+        }
+    }
+
+    /// The delivery log of `host`, in delivery order; each entry carries
+    /// the epoch the message was sequenced under.
+    pub fn delivered_log(&self, host: NodeId) -> &[(MessageId, GroupId, u64)] {
         self.delivered
             .get(&host)
             .map(Vec::as_slice)
@@ -218,13 +362,25 @@ impl World {
             Some(j) => self
                 .delivered_log(p.sender)
                 .iter()
-                .any(|(id, _)| *id == MessageId(j as u64)),
+                .any(|(id, _, _)| *id == MessageId(j as u64)),
         }
+    }
+
+    /// The epoch-handoff drain condition (PROTOCOL.md §14): nothing of
+    /// the current epoch is still in motion — no frame in a channel, no
+    /// staged output, no crashed node holding parked frames, no message
+    /// buffered at a receiver.
+    fn drained(&self) -> bool {
+        self.channels.is_empty()
+            && self.staged.iter().all(Vec::is_empty)
+            && self.cores.iter().all(NodeCore::is_accepting)
+            && self.receivers.values().all(|r| r.queue().pending() == 0)
     }
 
     /// Every transition currently enabled, in a deterministic order:
     /// publishes by index, channel deliveries by `(src, dst)` key order,
-    /// fault actions by node, snapshots by node.
+    /// fault actions by node, snapshots by node, then the
+    /// reconfiguration steps.
     pub fn enabled(&self) -> Vec<Transition> {
         let mut out = Vec::new();
         for i in 0..self.published.len() {
@@ -245,6 +401,12 @@ impl World {
             if !staged.is_empty() && self.cores[node].is_accepting() {
                 out.push(Transition::Snapshot(node));
             }
+        }
+        if self.setup.next.is_some() && !self.reconfig_fired {
+            out.push(Transition::Reconfigure);
+        }
+        if self.handoff && self.drained() {
+            out.push(Transition::EpochAdvance);
         }
         out
     }
@@ -276,15 +438,11 @@ impl World {
             delivered_now: Vec::new(),
         };
         let setup = self.setup.clone();
+        let advanced = self.advanced();
         match transition {
             Transition::Publish(i) => {
                 assert!(self.publish_enabled(i), "{transition} not enabled");
                 let p = &setup.scenario.publishes[i];
-                let msg = Message::new(MessageId(i as u64), p.sender, p.group, Vec::new());
-                let ingress = setup
-                    .graph
-                    .ingress(p.group)
-                    .unwrap_or_else(|| panic!("{} has no sequencing path", p.group));
                 self.published[i] = true;
                 if sink.enabled() {
                     sink.record(TraceEvent {
@@ -294,6 +452,21 @@ impl World {
                         ..TraceEvent::new(EventKind::Publish, Actor::Publisher)
                     });
                 }
+                if self.handoff {
+                    // Accepted immediately, sequenced under the next
+                    // epoch: validated against the next configuration
+                    // (checked at compile) and parked until the handoff.
+                    self.publish_epoch[i] = Some(self.protocol.epoch() + 1);
+                    self.parked.push(i);
+                    return record;
+                }
+                self.publish_epoch[i] = Some(self.protocol.epoch());
+                let msg = Message::new(MessageId(i as u64), p.sender, p.group, Vec::new());
+                let ingress = setup
+                    .config(advanced)
+                    .1
+                    .ingress(p.group)
+                    .unwrap_or_else(|| panic!("{} has no sequencing path", p.group));
                 self.enqueue(
                     Peer::Host(p.sender),
                     Peer::Node(ingress.index()),
@@ -318,8 +491,8 @@ impl World {
                 match dst {
                     Peer::Node(node) => {
                         *self.rx_count[node].entry(src).or_insert(0) += 1;
-                        let routing =
-                            Routing::solo(&setup.scenario.membership, &setup.graph);
+                        let (membership, graph) = setup.config(advanced);
+                        let routing = Routing::solo(membership, graph);
                         let cmds = self.cores[node].on_event_traced(
                             &routing,
                             &mut self.protocol,
@@ -339,8 +512,10 @@ impl World {
                                     self.delivered
                                         .get_mut(&host)
                                         .expect("known host")
-                                        .push((msg.id, msg.group));
-                                    record.delivered_now.push((host, msg.id, msg.group));
+                                        .push((msg.id, msg.group, msg.epoch));
+                                    record
+                                        .delivered_now
+                                        .push((host, msg.id, msg.group, msg.epoch));
                                 }
                                 other => panic!("receiver emitted {other:?}"),
                             }
@@ -352,7 +527,8 @@ impl World {
             Transition::Fault(node, kind) => {
                 let popped = self.faults[node].pop_front();
                 assert_eq!(popped, Some(kind), "{transition} not enabled");
-                let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+                let (membership, graph) = setup.config(advanced);
+                let routing = Routing::solo(membership, graph);
                 let event = match kind {
                     FaultKind::Crash => Event::NodeCrashed,
                     FaultKind::Restart => Event::NodeRestarted,
@@ -370,7 +546,8 @@ impl World {
                     .iter()
                     .map(|(&peer, &count)| (peer, count + 1))
                     .collect();
-                let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+                let (membership, graph) = setup.config(advanced);
+                let routing = Routing::solo(membership, graph);
                 let cmds = self.cores[node].on_event_traced(
                     &routing,
                     &mut self.protocol,
@@ -379,8 +556,80 @@ impl World {
                 );
                 self.execute(node, cmds, &mut record, sink);
             }
+            Transition::Reconfigure => {
+                assert!(
+                    setup.next.is_some() && !self.reconfig_fired,
+                    "{transition} not enabled"
+                );
+                self.reconfig_fired = true;
+                self.handoff = true;
+            }
+            Transition::EpochAdvance => {
+                assert!(self.handoff && self.drained(), "{transition} not enabled");
+                let next = setup.next.as_ref().expect("handoff implies next config");
+                self.advance_epoch(next);
+                if sink.enabled() {
+                    sink.record(TraceEvent {
+                        detail: Some(self.protocol.epoch()),
+                        ..TraceEvent::new(EventKind::EpochAdvance, Actor::Publisher)
+                    });
+                }
+                // Inject the parked publishes under the new epoch, in
+                // publish order.
+                for i in std::mem::take(&mut self.parked) {
+                    let p = &setup.scenario.publishes[i];
+                    let msg = Message::new(MessageId(i as u64), p.sender, p.group, Vec::new());
+                    let ingress = next
+                        .graph
+                        .ingress(p.group)
+                        .expect("parked publish validated at compile");
+                    self.enqueue(
+                        Peer::Host(p.sender),
+                        Peer::Node(ingress.index()),
+                        Frame {
+                            msg,
+                            target_atom: Some(ingress),
+                        },
+                    );
+                }
+            }
         }
         record
+    }
+
+    /// Swaps the next configuration in at a drained handoff point: the
+    /// protocol adopts the new graph (counters of surviving atoms and
+    /// groups carry over, the epoch advances), receivers re-synchronize
+    /// (joiners start from the counters' current positions, leavers are
+    /// dropped but keep their delivery log), and new atoms get fresh
+    /// cores while retired ones stay as transit hops.
+    fn advance_epoch(&mut self, next: &NextConfig) {
+        self.protocol.adopt(&next.graph);
+        let old_receivers = std::mem::take(&mut self.receivers);
+        for node in next.membership.nodes() {
+            let receiver = match old_receivers.get(&node) {
+                Some(r) => {
+                    let mut queue = r.queue().clone();
+                    queue.resync_with(&next.membership, &next.graph, &self.protocol);
+                    ReceiverCore::from_queue(queue)
+                }
+                None => ReceiverCore::synced(node, &next.membership, &next.graph, &self.protocol),
+            };
+            self.receivers.insert(node, receiver);
+            self.delivered.entry(node).or_default();
+        }
+        let atoms = next.graph.num_atoms();
+        while self.cores.len() < atoms {
+            let mut core = NodeCore::new(self.cores.len(), self.setup.scenario.group_commit);
+            if self.setup.scenario.sabotage_unstaged {
+                core.sabotage_skip_staging();
+            }
+            self.cores.push(core);
+        }
+        self.staged.resize_with(atoms, Vec::new);
+        self.rx_count.resize_with(atoms, BTreeMap::new);
+        self.faults.resize_with(atoms, VecDeque::new);
+        self.handoff = false;
     }
 
     /// [`World::step`] through the batched fast path (PROTOCOL.md §12):
@@ -402,9 +651,13 @@ impl World {
             delivered_now: Vec::new(),
         };
         let setup = self.setup.clone();
+        let advanced = self.advanced();
         match transition {
-            // Publishing touches no core API; the paths are identical.
-            Transition::Publish(_) => return self.step(transition),
+            // Publishing and the reconfiguration steps touch no batched
+            // core API; the paths are identical by construction.
+            Transition::Publish(_) | Transition::Reconfigure | Transition::EpochAdvance => {
+                return self.step(transition)
+            }
             Transition::Deliver(src, dst) => {
                 let frame = {
                     let queue = self
@@ -420,8 +673,8 @@ impl World {
                 match dst {
                     Peer::Node(node) => {
                         *self.rx_count[node].entry(src).or_insert(0) += 1;
-                        let routing =
-                            Routing::solo(&setup.scenario.membership, &setup.graph);
+                        let (membership, graph) = setup.config(advanced);
+                        let routing = Routing::solo(membership, graph);
                         let mut buf = CommandBuf::new();
                         self.cores[node].on_events(
                             &routing,
@@ -444,8 +697,10 @@ impl World {
                                     self.delivered
                                         .get_mut(&host)
                                         .expect("known host")
-                                        .push((msg.id, msg.group));
-                                    record.delivered_now.push((host, msg.id, msg.group));
+                                        .push((msg.id, msg.group, msg.epoch));
+                                    record
+                                        .delivered_now
+                                        .push((host, msg.id, msg.group, msg.epoch));
                                 }
                                 other => panic!("receiver emitted {other:?}"),
                             }
@@ -457,7 +712,8 @@ impl World {
             Transition::Fault(node, kind) => {
                 let popped = self.faults[node].pop_front();
                 assert_eq!(popped, Some(kind), "{transition} not enabled");
-                let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+                let (membership, graph) = setup.config(advanced);
+                let routing = Routing::solo(membership, graph);
                 let event = match kind {
                     FaultKind::Crash => Event::NodeCrashed,
                     FaultKind::Restart => Event::NodeRestarted,
@@ -475,7 +731,8 @@ impl World {
                     .iter()
                     .map(|(&peer, &count)| (peer, count + 1))
                     .collect();
-                let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+                let (membership, graph) = setup.config(advanced);
+                let routing = Routing::solo(membership, graph);
                 let mut buf = CommandBuf::new();
                 self.cores[node].on_events(
                     &routing,
@@ -532,7 +789,8 @@ impl World {
     /// executes the resulting commands (batched, recursively).
     fn replay_batch(&mut self, node: usize, events: Vec<Event>, record: &mut StepRecord) {
         let setup = self.setup.clone();
-        let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+        let (membership, graph) = setup.config(self.advanced());
+        let routing = Routing::solo(membership, graph);
         let mut buf = CommandBuf::new();
         self.cores[node].on_events(&routing, &mut self.protocol, events, &mut buf);
         self.execute_batched(node, buf.into_commands(), record);
@@ -584,7 +842,8 @@ impl World {
                     // there is no retransmission buffer to trim.
                 }
                 Command::Replay { frame } => {
-                    let routing = Routing::solo(&setup.scenario.membership, &setup.graph);
+                    let (membership, graph) = setup.config(self.advanced());
+                    let routing = Routing::solo(membership, graph);
                     let cmds = self.cores[node].on_event_traced(
                         &routing,
                         &mut self.protocol,
@@ -643,12 +902,16 @@ impl World {
         for &p in &self.published {
             d.write_u64(u64::from(p));
         }
+        for epoch in &self.publish_epoch {
+            d.write_u64(epoch.map_or(u64::MAX, |e| e));
+        }
         for (host, log) in &self.delivered {
             d.write_u64(u64::from(host.0));
             d.write_u64(log.len() as u64);
-            for (id, group) in log {
+            for (id, group, epoch) in log {
                 d.write_u64(id.0);
                 d.write_u64(u64::from(group.0));
+                d.write_u64(*epoch);
             }
         }
         for queue in &self.faults {
@@ -659,6 +922,12 @@ impl World {
                     FaultKind::Restart => 1,
                 });
             }
+        }
+        d.write_u64(u64::from(self.reconfig_fired));
+        d.write_u64(u64::from(self.handoff));
+        d.write_u64(self.parked.len() as u64);
+        for &i in &self.parked {
+            d.write_u64(i as u64);
         }
         d.finish()
     }
@@ -777,6 +1046,7 @@ mod tests {
             scenario::two_group_overlap(),
             scenario::two_group_overlap().crash_variant(),
             scenario::two_group_overlap().with_group_commit(),
+            scenario::crash_during_handoff(),
         ] {
             let mut stepped = World::new(&sc);
             let mut batched = World::new(&sc);
@@ -818,5 +1088,84 @@ mod tests {
             "restart node2"
         );
         assert_eq!(Transition::Snapshot(1).to_string(), "snapshot node1");
+        assert_eq!(Transition::Reconfigure.to_string(), "reconfigure");
+        assert_eq!(Transition::EpochAdvance.to_string(), "advance-epoch");
+    }
+
+    #[test]
+    fn handoff_parks_publishes_and_advances_once_drained() {
+        let sc = scenario::join_during_flight();
+        let mut world = World::new(&sc);
+        // m0 flies under epoch 0, then the reconfiguration begins.
+        world.step(Transition::Publish(0));
+        world.step(Transition::Reconfigure);
+        assert!(world.handoff_pending());
+        assert!(
+            !world.enabled().contains(&Transition::EpochAdvance),
+            "m0 still in flight: the epoch cannot advance"
+        );
+        // Publishes during the handoff park for the next epoch.
+        world.step(Transition::Publish(1));
+        assert_eq!(world.parked_publishes(), 1);
+        assert_eq!(world.publish_epoch(0), Some(0));
+        assert_eq!(world.publish_epoch(1), Some(1));
+        // Drain epoch 0 (deliver every channel head until quiet).
+        while let Some(&t) = world
+            .enabled()
+            .iter()
+            .find(|t| matches!(t, Transition::Deliver(..)))
+        {
+            world.step(t);
+        }
+        assert!(world.enabled().contains(&Transition::EpochAdvance));
+        world.step(Transition::EpochAdvance);
+        assert_eq!(world.epoch(), 1);
+        assert!(!world.handoff_pending());
+        assert_eq!(world.parked_publishes(), 0, "parked m1 was injected");
+        // Finish the run: remaining publish + the injected frames.
+        while let Some(&t) = world.enabled().first() {
+            world.step(t);
+        }
+        // n1 subscribes to both groups in both epochs: it saw m0 under
+        // epoch 0 and m1 under epoch 1. The joiner n4 sees only epoch 1.
+        let n1: Vec<(MessageId, u64)> = world
+            .delivered_log(NodeId(1))
+            .iter()
+            .map(|&(id, _, e)| (id, e))
+            .collect();
+        assert!(n1.contains(&(MessageId(0), 0)));
+        assert!(n1.contains(&(MessageId(1), 1)));
+        assert!(world
+            .delivered_log(NodeId(4))
+            .iter()
+            .all(|&(_, _, e)| e == 1));
+        assert!(!world.delivered_log(NodeId(4)).is_empty());
+    }
+
+    #[test]
+    fn leave_scenario_retires_the_old_overlap_atom_lazily() {
+        let sc = scenario::leave_with_parked_atoms();
+        let world = World::new(&sc);
+        let initial_atoms = world.graph().num_atoms();
+        let mut world = World::new(&sc);
+        world.step(Transition::Reconfigure);
+        while let Some(&t) = world.enabled().first() {
+            world.step(t);
+        }
+        assert_eq!(world.epoch(), 1);
+        let graph = world.graph();
+        assert!(
+            graph.num_atoms() > initial_atoms,
+            "the shrunk overlap got a fresh atom beside the retired one"
+        );
+        assert!(
+            graph.atoms().iter().any(|a| graph.is_retired(a.id)),
+            "the vanished overlap's atom is retired, not renumbered"
+        );
+        // The leaver kept its history but received nothing under epoch 1.
+        assert!(world
+            .delivered_log(NodeId(2))
+            .iter()
+            .all(|&(_, group, e)| e == 0 || group == GroupId(0)));
     }
 }

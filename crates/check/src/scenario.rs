@@ -53,6 +53,19 @@ impl Publish {
     }
 }
 
+/// One membership change of a scenario's online reconfiguration
+/// (PROTOCOL.md §14). All ops of [`Scenario::reconfig`] apply as *one*
+/// configuration change: the checker fires a single `Reconfigure`
+/// transition, parks publishes while the epoch handoff is pending, and
+/// advances the epoch once the old configuration has drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigOp {
+    /// `node` subscribes to `group` in the next configuration.
+    Join(NodeId, GroupId),
+    /// `node` unsubscribes from `group` in the next configuration.
+    Leave(NodeId, GroupId),
+}
+
 /// A complete model-checking configuration.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -74,6 +87,11 @@ pub struct Scenario {
     /// staged-output oracle has something to catch. See
     /// `NodeCore::sabotage_skip_staging`.
     pub sabotage_unstaged: bool,
+    /// An online reconfiguration the checker may fire at any point of the
+    /// schedule (empty: the configuration is static). Non-empty adds a
+    /// `Reconfigure` and an `EpochAdvance` transition to the explored
+    /// state space.
+    pub reconfig: Vec<ReconfigOp>,
 }
 
 impl Scenario {
@@ -109,7 +127,15 @@ impl Scenario {
             plan: FaultPlan::new(),
             group_commit: false,
             sabotage_unstaged: false,
+            reconfig: Vec::new(),
         }
+    }
+
+    /// Adds an online reconfiguration to the explored schedule (the ops
+    /// apply as one configuration change).
+    pub fn with_reconfig(mut self, ops: Vec<ReconfigOp>) -> Self {
+        self.reconfig = ops;
+        self
     }
 
     /// Replaces the fault plan.
@@ -234,9 +260,76 @@ pub fn causal_reaction() -> Scenario {
     )
 }
 
+/// The two-group-overlap topology with node 4 joining g1 while three
+/// publishes are in flight: the checker explores every placement of the
+/// `Reconfigure` and `EpochAdvance` transitions relative to the workload,
+/// so publishes land on both sides of the epoch boundary and park during
+/// the handoff (PROTOCOL.md §14).
+pub fn join_during_flight() -> Scenario {
+    let m = Membership::from_groups([
+        (g(0), vec![n(0), n(1), n(2)]),
+        (g(1), vec![n(1), n(2), n(3)]),
+    ]);
+    Scenario::new(
+        "join-during-flight",
+        m,
+        vec![
+            Publish::new(n(0), g(0)),
+            Publish::new(n(3), g(1)),
+            Publish::new(n(1), g(0)),
+        ],
+    )
+    .with_reconfig(vec![ReconfigOp::Join(n(4), g(1))])
+}
+
+/// Node 2 leaves g1 under live traffic. The {1,2} double overlap shrinks
+/// to {1}, so the old overlap atom leaves the sequencing graph and is
+/// retired *lazily* — the next configuration still contains it as a
+/// transit hop while new atoms sit beside it (`DynamicGraph` semantics).
+pub fn leave_with_parked_atoms() -> Scenario {
+    let m = Membership::from_groups([
+        (g(0), vec![n(0), n(1), n(2)]),
+        (g(1), vec![n(1), n(2), n(3)]),
+    ]);
+    Scenario::new(
+        "leave-with-parked-atoms",
+        m,
+        vec![
+            Publish::new(n(0), g(0)),
+            Publish::new(n(3), g(1)),
+        ],
+    )
+    .with_reconfig(vec![ReconfigOp::Leave(n(2), g(1))])
+}
+
+/// The join scenario with a crash window on sequencing node 0: the crash
+/// and restart interleave freely with the handoff, so the exploration
+/// covers "node crashes while the epoch is draining" — the epoch handoff
+/// must stall until the restarted node replays its parked frames, and no
+/// message may cross the boundary out of order.
+pub fn crash_during_handoff() -> Scenario {
+    let m = Membership::from_groups([
+        (g(0), vec![n(0), n(1), n(2)]),
+        (g(1), vec![n(1), n(2), n(3)]),
+    ]);
+    Scenario::new(
+        "crash-during-handoff",
+        m,
+        vec![Publish::new(n(0), g(0)), Publish::new(n(3), g(1))],
+    )
+    .with_reconfig(vec![ReconfigOp::Join(n(4), g(1))])
+    .with_plan(FaultPlan::new().crash(
+        0,
+        SimTime::from_micros(1),
+        SimTime::from_micros(2),
+    ))
+}
+
 /// The bounded configuration matrix exercised by `cargo test` and CI:
-/// every base topology fault-free and with a crash window, plus the
-/// group-commit and causal variants.
+/// every base topology fault-free and with a crash window, the
+/// group-commit and causal variants, plus the online-reconfiguration
+/// scenarios (join, leave with lazy atom retirement, crash during the
+/// epoch handoff).
 pub fn registry() -> Vec<Scenario> {
     vec![
         two_group_overlap(),
@@ -249,6 +342,9 @@ pub fn registry() -> Vec<Scenario> {
         disjoint_chain().crash_variant(),
         causal_reaction(),
         causal_reaction().crash_variant(),
+        join_during_flight(),
+        leave_with_parked_atoms(),
+        crash_during_handoff(),
     ]
 }
 
@@ -285,12 +381,15 @@ mod tests {
     #[test]
     fn registry_covers_three_topologies_faultless_and_faulty() {
         let all = registry();
-        let topologies: std::collections::BTreeSet<String> = all
+        // "+crash"-suffixed names are faulty variants of a fault-free base;
+        // the reconfiguration scenarios stand alone and are checked below.
+        let bases: std::collections::BTreeSet<String> = all
             .iter()
-            .map(|s| s.name.replace("+crash", ""))
+            .filter(|s| s.name.ends_with("+crash"))
+            .map(|s| s.name.trim_end_matches("+crash").to_string())
             .collect();
-        assert!(topologies.len() >= 3, "at least three base topologies");
-        for base in &topologies {
+        assert!(bases.len() >= 3, "at least three base topologies");
+        for base in &bases {
             assert!(
                 all.iter().any(|s| &s.name == base && s.plan.is_empty()),
                 "{base} has a fault-free variant"
@@ -301,6 +400,29 @@ mod tests {
                 "{base} has a faulty variant"
             );
         }
+    }
+
+    #[test]
+    fn registry_covers_the_reconfiguration_matrix() {
+        let all = registry();
+        let by = |name: &str| {
+            all.iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from registry"))
+        };
+        let join = by("join-during-flight");
+        assert!(matches!(join.reconfig[..], [ReconfigOp::Join(..)]));
+        assert!(join.plan.is_empty());
+        let leave = by("leave-with-parked-atoms");
+        assert!(matches!(leave.reconfig[..], [ReconfigOp::Leave(..)]));
+        let crashy = by("crash-during-handoff");
+        assert!(!crashy.reconfig.is_empty() && !crashy.plan.is_empty());
+        // Everything else stays a static configuration.
+        assert_eq!(
+            all.iter().filter(|s| !s.reconfig.is_empty()).count(),
+            3,
+            "exactly the three churn scenarios reconfigure"
+        );
     }
 
     #[test]

@@ -67,15 +67,19 @@ impl DynamicOrderedPubSub {
         DynamicOrderedPubSub { graph, bus, hop }
     }
 
-    /// Subscribes `node` to `group`, creating the group if needed. Drains
-    /// in-flight traffic, then updates the sequencing graph incrementally
+    /// Subscribes `node` to `group`, creating the group if needed. The
+    /// change is quiescent: the sequencing graph is updated incrementally
     /// (the paper models a membership change as removing the old group and
-    /// adding the new one, §3.2).
+    /// adding the new one, §3.2) and counters of surviving groups carry
+    /// over.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::NotQuiescent`] only if draining is impossible
-    /// (stuck messages — cannot happen on valid graphs).
+    /// Returns [`CoreError::NotQuiescent`] if messages are still in
+    /// flight — run [`DynamicOrderedPubSub::run_to_quiescence`] first, or
+    /// use [`DynamicOrderedPubSub::join_live`] to reconfigure under live
+    /// traffic. Returns [`CoreError::ReconfigPending`] while an online
+    /// handoff is pending.
     pub fn join(&mut self, node: NodeId, group: GroupId) -> Result<(), CoreError> {
         self.change(group, |members| {
             members.push(node);
@@ -88,7 +92,8 @@ impl DynamicOrderedPubSub {
     /// # Errors
     ///
     /// Returns [`CoreError::UnknownGroup`] if the group does not exist or
-    /// the node is not a member.
+    /// the node is not a member; otherwise the same errors as
+    /// [`DynamicOrderedPubSub::join`].
     pub fn leave(&mut self, node: NodeId, group: GroupId) -> Result<(), CoreError> {
         if !self.graph.membership().is_member(node, group) {
             return Err(CoreError::UnknownGroup(group));
@@ -98,13 +103,60 @@ impl DynamicOrderedPubSub {
         })
     }
 
-    fn change(
-        &mut self,
-        group: GroupId,
-        update: impl FnOnce(&mut Vec<NodeId>),
-    ) -> Result<(), CoreError> {
-        self.bus.run_to_quiescence();
+    /// Subscribes `node` to `group` *without* draining first: the change
+    /// is registered as a pending epoch handoff
+    /// ([`OrderedPubSub::begin_reconfigure`]) that completes inside the
+    /// next [`DynamicOrderedPubSub::run_to_quiescence`]. Returns the
+    /// epoch the new configuration will activate as.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ReconfigPending`] if a handoff is already
+    /// pending (one configuration change at a time).
+    pub fn join_live(&mut self, node: NodeId, group: GroupId) -> Result<u64, CoreError> {
+        self.change_live(group, |members| {
+            members.push(node);
+        })
+    }
 
+    /// Unsubscribes `node` from `group` without draining first; the
+    /// epoch-handoff counterpart of [`DynamicOrderedPubSub::leave`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownGroup`] if the group does not exist or
+    /// the node is not a member, [`CoreError::ReconfigPending`] if a
+    /// handoff is already pending.
+    pub fn leave_live(&mut self, node: NodeId, group: GroupId) -> Result<u64, CoreError> {
+        if !self.graph.membership().is_member(node, group) {
+            return Err(CoreError::UnknownGroup(group));
+        }
+        self.change_live(group, |members| {
+            members.retain(|&m| m != node);
+        })
+    }
+
+    /// Returns [`CoreError::NotQuiescent`] if the underlying engine has
+    /// events in flight or messages buffered, [`CoreError::ReconfigPending`]
+    /// if an epoch handoff is pending.
+    fn ensure_quiescent(&self) -> Result<(), CoreError> {
+        if self.bus.reconfig_pending() {
+            return Err(CoreError::ReconfigPending {
+                next_epoch: self.bus.epoch() + 1,
+            });
+        }
+        let pending = self.bus.events_pending();
+        let buffered = self.bus.stuck_messages();
+        if pending > 0 || buffered > 0 {
+            return Err(CoreError::NotQuiescent {
+                pending_events: pending,
+                buffered_messages: buffered,
+            });
+        }
+        Ok(())
+    }
+
+    fn update_graph(&mut self, group: GroupId, update: impl FnOnce(&mut Vec<NodeId>)) {
         let mut members: Vec<NodeId> = self.graph.membership().members(group).collect();
         let existed = !members.is_empty();
         update(&mut members);
@@ -114,8 +166,34 @@ impl DynamicOrderedPubSub {
         if !members.is_empty() {
             self.graph.add_group(group, members);
         }
+    }
+
+    fn change(
+        &mut self,
+        group: GroupId,
+        update: impl FnOnce(&mut Vec<NodeId>),
+    ) -> Result<(), CoreError> {
+        // Checked before the graph mutates, so a rejected change leaves
+        // the membership untouched.
+        self.ensure_quiescent()?;
+        self.update_graph(group, update);
         self.bus
             .reconfigure(self.graph.membership(), self.graph.graph())
+    }
+
+    fn change_live(
+        &mut self,
+        group: GroupId,
+        update: impl FnOnce(&mut Vec<NodeId>),
+    ) -> Result<u64, CoreError> {
+        if self.bus.reconfig_pending() {
+            return Err(CoreError::ReconfigPending {
+                next_epoch: self.bus.epoch() + 1,
+            });
+        }
+        self.update_graph(group, update);
+        self.bus
+            .begin_reconfigure(self.graph.membership(), self.graph.graph())
     }
 
     /// Compacts the sequencing graph: drops lazily retired atoms and
@@ -123,9 +201,10 @@ impl DynamicOrderedPubSub {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::NotQuiescent`] if traffic cannot be drained.
+    /// Returns [`CoreError::NotQuiescent`] if messages are still in
+    /// flight, [`CoreError::ReconfigPending`] while a handoff is pending.
     pub fn compact(&mut self) -> Result<(), CoreError> {
-        self.bus.run_to_quiescence();
+        self.ensure_quiescent()?;
         self.graph.compact();
         // Compaction renumbers atoms, so no counter can carry over: the
         // engine restarts fresh. Delivery history is discarded — callers
@@ -175,6 +254,17 @@ impl DynamicOrderedPubSub {
     /// Retired atoms still forwarding as transit hops.
     pub fn retired_atoms(&self) -> usize {
         self.graph.num_retired()
+    }
+
+    /// The configuration epoch currently sequencing messages.
+    pub fn epoch(&self) -> u64 {
+        self.bus.epoch()
+    }
+
+    /// `true` while a live change has begun but its epoch handoff has
+    /// not completed yet.
+    pub fn reconfig_pending(&self) -> bool {
+        self.bus.reconfig_pending()
     }
 
     /// Access to the underlying engine (metrics, graph).
@@ -292,6 +382,101 @@ mod tests {
         bus.leave(n(0), g(0)).unwrap();
         assert!(bus.membership().is_empty());
         assert!(bus.publish(n(0), g(0), vec![]).is_err());
+    }
+
+    #[test]
+    fn quiescent_change_with_traffic_in_flight_is_a_structured_error() {
+        let mut bus = DynamicOrderedPubSub::new();
+        bus.join(n(0), g(0)).unwrap();
+        bus.join(n(1), g(0)).unwrap();
+        bus.publish(n(0), g(0), vec![1]).unwrap();
+
+        // The publish has not drained: the quiescent paths must refuse
+        // loudly instead of silently draining and rebuilding.
+        match bus.join(n(2), g(0)) {
+            Err(CoreError::NotQuiescent { pending_events, .. }) => {
+                assert!(pending_events > 0, "the in-flight publish is reported")
+            }
+            other => panic!("expected NotQuiescent, got {other:?}"),
+        }
+        assert!(matches!(
+            bus.leave(n(1), g(0)),
+            Err(CoreError::NotQuiescent { .. })
+        ));
+        assert!(matches!(
+            bus.compact(),
+            Err(CoreError::NotQuiescent { .. })
+        ));
+        // The rejected change left the membership untouched.
+        assert!(!bus.membership().is_member(n(2), g(0)));
+        assert_eq!(bus.membership().group_size(g(0)), 2);
+
+        bus.run_to_quiescence();
+        bus.join(n(2), g(0)).unwrap();
+        bus.publish(n(0), g(0), vec![2]).unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.delivered(n(2)).len(), 1);
+        assert_eq!(bus.stuck_messages(), 0);
+    }
+
+    #[test]
+    fn live_join_parks_traffic_and_advances_the_epoch() {
+        let mut bus = DynamicOrderedPubSub::new();
+        bus.join(n(0), g(0)).unwrap();
+        bus.join(n(1), g(0)).unwrap();
+        assert_eq!(bus.epoch(), 2, "each quiescent change advanced an epoch");
+
+        bus.publish(n(0), g(0), vec![1]).unwrap();
+        // Live join while the publish is in flight: accepted immediately.
+        assert_eq!(bus.join_live(n(2), g(0)), Ok(3));
+        assert!(bus.reconfig_pending());
+        // A second change while the handoff is pending is refused.
+        assert!(matches!(
+            bus.join_live(n(3), g(0)),
+            Err(CoreError::ReconfigPending { next_epoch: 3 })
+        ));
+        assert!(matches!(
+            bus.join(n(3), g(0)),
+            Err(CoreError::ReconfigPending { next_epoch: 3 })
+        ));
+
+        // Publishes during the handoff park and sequence in the new epoch.
+        bus.publish(n(1), g(0), vec![2]).unwrap();
+        bus.run_to_quiescence();
+        assert!(!bus.reconfig_pending());
+        assert_eq!(bus.epoch(), 3);
+        assert_eq!(bus.stuck_messages(), 0);
+        let epochs: Vec<u64> = bus.delivered(n(0)).iter().map(|d| d.epoch).collect();
+        assert_eq!(epochs, vec![2, 3], "in-flight kept its epoch, parked got the new one");
+        assert_eq!(bus.delivered(n(2)).len(), 1, "the joiner sees only new-epoch traffic");
+    }
+
+    #[test]
+    fn live_leave_retires_atoms_lazily() {
+        let mut bus = DynamicOrderedPubSub::new();
+        for node in [0, 1] {
+            bus.join(n(node), g(0)).unwrap();
+            bus.join(n(node), g(1)).unwrap();
+        }
+        for node in [2, 3] {
+            bus.join(n(node), g(1)).unwrap();
+        }
+        bus.publish(n(0), g(1), vec![1]).unwrap();
+        let epoch = bus.epoch();
+        assert_eq!(bus.leave_live(n(0), g(1)), Ok(epoch + 1));
+        assert!(matches!(
+            bus.leave_live(n(9), g(1)),
+            Err(CoreError::UnknownGroup(_))
+        ));
+        bus.publish(n(1), g(1), vec![2]).unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0);
+        assert_eq!(bus.delivered(n(0)).iter().filter(|d| d.group == g(1)).count(), 1);
+        assert_eq!(bus.delivered(n(2)).len(), 2, "staying member sees both messages");
+        bus.compact().unwrap();
+        bus.publish(n(1), g(1), vec![3]).unwrap();
+        bus.run_to_quiescence();
+        assert_eq!(bus.stuck_messages(), 0);
     }
 
     #[test]

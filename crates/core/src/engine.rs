@@ -41,6 +41,9 @@ pub struct DeliveryRecord {
     pub stamps: usize,
     /// The application payload.
     pub payload: Bytes,
+    /// The configuration epoch the message was sequenced under
+    /// (PROTOCOL.md §14), stamped by the group's ingress atom.
+    pub epoch: u64,
 }
 
 /// A generated router topology plus host attachment, ready to run
@@ -136,6 +139,29 @@ struct Trigger {
     id: MessageId,
 }
 
+/// A publish accepted while an epoch handoff was pending. It already has
+/// an id (ids are epoch-independent) but is held back until epoch N has
+/// drained and the new configuration is active, then injected at
+/// `max(at, handoff instant)` so it is sequenced under epoch N+1.
+#[derive(Debug, Clone)]
+struct ParkedPublish {
+    id: MessageId,
+    sender: NodeId,
+    group: GroupId,
+    payload: Bytes,
+    at: SimTime,
+}
+
+/// A pending online reconfiguration (PROTOCOL.md §14): the configuration
+/// that will activate once every in-flight epoch-N message has been
+/// sequenced and delivered, plus the publishes parked until then.
+#[derive(Debug)]
+struct Handoff {
+    membership: Membership,
+    graph: SequencingGraph,
+    parked: Vec<ParkedPublish>,
+}
+
 /// Everything the simulation events operate on.
 #[derive(Debug)]
 struct World {
@@ -181,6 +207,9 @@ struct World {
     overhead_bytes: u64,
     /// Installed fault schedule, if any.
     fault: Option<FaultCtx>,
+    /// Pending epoch handoff, if an online reconfiguration was begun and
+    /// the current epoch has not drained yet.
+    handoff: Option<Handoff>,
     /// Installed trace sink, if any. Shared (`Arc<Mutex<_>>`, keeping
     /// [`OrderedPubSub`] `Send`) so the caller keeps a handle to read
     /// events back; stamped with virtual microseconds.
@@ -315,6 +344,7 @@ impl OrderedPubSub {
             traces: HashMap::new(),
             overhead_bytes: 0,
             fault: None,
+            handoff: None,
             sink: None,
         };
         OrderedPubSub {
@@ -381,6 +411,31 @@ impl OrderedPubSub {
         group: GroupId,
         payload: impl Into<Bytes>,
     ) -> Result<MessageId, CoreError> {
+        // While an epoch handoff is pending, publishes target the *next*
+        // configuration: they validate against it and are parked until
+        // the current epoch drains (PROTOCOL.md §14).
+        if self.sim.world().handoff.is_some() {
+            let next = self.sim.world().handoff.as_ref().expect("checked");
+            if next.graph.path(group).is_none() {
+                return Err(CoreError::UnknownGroup(group));
+            }
+            let id = self.fresh_id();
+            let parked = ParkedPublish {
+                id,
+                sender,
+                group,
+                payload: payload.into(),
+                at,
+            };
+            self.sim
+                .world_mut()
+                .handoff
+                .as_mut()
+                .expect("checked")
+                .parked
+                .push(parked);
+            return Ok(id);
+        }
         if self.sim.world().graph.path(group).is_none() {
             return Err(CoreError::UnknownGroup(group));
         }
@@ -406,7 +461,15 @@ impl OrderedPubSub {
         group: GroupId,
         payload: impl Into<Bytes>,
     ) -> Result<MessageId, CoreError> {
-        if !self.sim.world().membership.is_member(sender, group) {
+        // A parked publish is sequenced under the next configuration, so
+        // membership is checked against it too.
+        let world = self.sim.world();
+        let membership = world
+            .handoff
+            .as_ref()
+            .map(|h| &h.membership)
+            .unwrap_or(&world.membership);
+        if !membership.is_member(sender, group) {
             return Err(CoreError::SenderNotSubscribed { sender, group });
         }
         self.publish(sender, group, payload)
@@ -513,8 +576,53 @@ impl OrderedPubSub {
     }
 
     /// Runs until no events remain; returns the number of events executed.
+    ///
+    /// If an online reconfiguration is pending
+    /// ([`OrderedPubSub::begin_reconfigure`]), draining the current epoch
+    /// completes the handoff here: the new configuration is swapped in,
+    /// parked publishes are injected under the new epoch, and the run
+    /// continues until those drain too (possibly through further pending
+    /// handoffs). A handoff whose epoch cannot drain — e.g. messages
+    /// stuck in a circular dependency — is left pending, observable via
+    /// [`OrderedPubSub::reconfig_pending`] and
+    /// [`OrderedPubSub::stuck_messages`].
     pub fn run_to_quiescence(&mut self) -> u64 {
-        self.sim.run_to_quiescence()
+        let mut events = 0;
+        loop {
+            events += self.sim.run_to_quiescence();
+            if self.sim.world().handoff.is_none() || self.stuck_messages() > 0 {
+                break;
+            }
+            let now = self.sim.now();
+            let parked = {
+                let world = self.sim.world_mut();
+                let Handoff {
+                    membership,
+                    graph,
+                    parked,
+                } = world.handoff.take().expect("pending handoff checked");
+                apply_config(world, membership, graph);
+                let epoch = world.protocol.epoch();
+                if let Some(sink) = &world.sink {
+                    let mut sink = sink.lock().expect("trace sink poisoned");
+                    sink.now(now.as_micros());
+                    if sink.enabled() {
+                        sink.record(TraceEvent {
+                            detail: Some(epoch),
+                            ..TraceEvent::new(EventKind::EpochAdvance, Actor::Publisher)
+                        });
+                    }
+                }
+                parked
+            };
+            for p in parked {
+                let at = p.at.max(now);
+                self.sim.schedule_at(at, move |sim| {
+                    inject(sim, p.id, p.sender, p.group, p.payload);
+                });
+            }
+        }
+        events
     }
 
     /// Runs events up to `deadline` and advances the clock to it.
@@ -555,6 +663,13 @@ impl OrderedPubSub {
             .sum()
     }
 
+    /// Simulator events still pending (messages in flight between
+    /// endpoints). Zero together with [`OrderedPubSub::stuck_messages`]
+    /// means the service is quiescent.
+    pub fn events_pending(&self) -> usize {
+        self.sim.events_pending()
+    }
+
     /// Causal reactions whose trigger never fired.
     pub fn pending_triggers(&self) -> usize {
         self.sim.world().triggers.len()
@@ -592,6 +707,11 @@ impl OrderedPubSub {
         membership: &Membership,
         graph: SequencingGraph,
     ) -> Result<(), CoreError> {
+        if self.sim.world().handoff.is_some() {
+            return Err(CoreError::ReconfigPending {
+                next_epoch: self.sim.world().protocol.epoch() + 1,
+            });
+        }
         let buffered = self.stuck_messages();
         if self.sim.events_pending() > 0 || buffered > 0 {
             return Err(CoreError::NotQuiescent {
@@ -604,33 +724,71 @@ impl OrderedPubSub {
                 return Err(CoreError::InvalidGraph(format!("{g} has no path")));
             }
         }
-        let world = self.sim.world_mut();
-        world.protocol.adopt(&graph);
-        let old_receivers = std::mem::take(&mut world.receivers);
-        let mut receivers = BTreeMap::new();
-        for node in membership.nodes() {
-            let receiver = match old_receivers.get(&node) {
-                Some(r) => {
-                    let mut q = r.queue().clone();
-                    q.resync_with(membership, &graph, &world.protocol);
-                    ReceiverCore::from_queue(q)
-                }
-                None => ReceiverCore::synced(node, membership, &graph, &world.protocol),
-            };
-            receivers.insert(node, receiver);
-        }
-        world.receivers = receivers;
-        // Quiescence (checked above) means no core holds parked frames;
-        // surviving cores keep their recovery counters, new atoms get
-        // fresh cores.
-        let atoms = graph.num_atoms();
-        world.cores.truncate(atoms);
-        while world.cores.len() < atoms {
-            world.cores.push(NodeCore::new(world.cores.len(), false));
-        }
-        world.membership = membership.clone();
-        world.graph = graph;
+        apply_config(self.sim.world_mut(), membership.clone(), graph);
         Ok(())
+    }
+
+    /// Begins a *non-quiescent* reconfiguration (PROTOCOL.md §14): the
+    /// new configuration is registered while epoch-N traffic is still in
+    /// flight. From this call on, new publishes validate against — and
+    /// are parked for — the next configuration; the handoff itself (drain
+    /// epoch N, adopt counters, re-synchronize receivers, inject parked
+    /// publishes as epoch N+1) completes inside
+    /// [`OrderedPubSub::run_to_quiescence`]. Returns the epoch number the
+    /// new configuration will activate as.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ReconfigPending`] if a handoff is already
+    /// pending (one configuration change at a time), or
+    /// [`CoreError::InvalidGraph`] if a non-empty group of the new
+    /// membership lacks a path in the new graph.
+    pub fn begin_reconfigure(
+        &mut self,
+        membership: &Membership,
+        graph: SequencingGraph,
+    ) -> Result<u64, CoreError> {
+        if self.sim.world().handoff.is_some() {
+            return Err(CoreError::ReconfigPending {
+                next_epoch: self.sim.world().protocol.epoch() + 1,
+            });
+        }
+        for g in membership.groups() {
+            if membership.group_size(g) > 0 && graph.path(g).is_none() {
+                return Err(CoreError::InvalidGraph(format!("{g} has no path")));
+            }
+        }
+        let world = self.sim.world_mut();
+        world.handoff = Some(Handoff {
+            membership: membership.clone(),
+            graph,
+            parked: Vec::new(),
+        });
+        Ok(world.protocol.epoch() + 1)
+    }
+
+    /// The configuration epoch currently sequencing messages. Starts at 0
+    /// and advances by one per completed reconfiguration (quiescent or
+    /// online).
+    pub fn epoch(&self) -> u64 {
+        self.sim.world().protocol.epoch()
+    }
+
+    /// `true` while an online reconfiguration has begun but its epoch
+    /// handoff has not completed yet.
+    pub fn reconfig_pending(&self) -> bool {
+        self.sim.world().handoff.is_some()
+    }
+
+    /// Publishes accepted but parked behind the pending epoch handoff;
+    /// 0 when no handoff is pending. Bounded by the publish rate times
+    /// the drain time — the churn soak asserts exactly that.
+    pub fn parked_publishes(&self) -> usize {
+        self.sim
+            .world()
+            .handoff
+            .as_ref()
+            .map_or(0, |h| h.parked.len())
     }
 
     /// Total ordering-metadata bytes the network carried so far: each
@@ -681,6 +839,40 @@ impl OrderedPubSub {
             .map(|(n, r)| (*n, r.queue().delivered_count()))
             .collect()
     }
+}
+
+/// Swaps a new configuration into a *drained* world — no frame in
+/// flight, no message buffered, no core holding parked frames (callers
+/// guarantee this; `resync_with` double-checks by panicking otherwise).
+/// Counters of surviving groups and atoms carry over (atom ids are
+/// stable under [`seqnet_overlap::GraphBuilder::dynamic`] updates) and
+/// the configuration epoch advances; receiver expectations re-synchronize
+/// so subscribers joining mid-stream start from the counters' current
+/// positions; surviving cores keep their recovery counters and new atoms
+/// get fresh cores.
+fn apply_config(world: &mut World, membership: Membership, graph: SequencingGraph) {
+    world.protocol.adopt(&graph);
+    let old_receivers = std::mem::take(&mut world.receivers);
+    let mut receivers = BTreeMap::new();
+    for node in membership.nodes() {
+        let receiver = match old_receivers.get(&node) {
+            Some(r) => {
+                let mut q = r.queue().clone();
+                q.resync_with(&membership, &graph, &world.protocol);
+                ReceiverCore::from_queue(q)
+            }
+            None => ReceiverCore::synced(node, &membership, &graph, &world.protocol),
+        };
+        receivers.insert(node, receiver);
+    }
+    world.receivers = receivers;
+    let atoms = graph.num_atoms();
+    world.cores.truncate(atoms);
+    while world.cores.len() < atoms {
+        world.cores.push(NodeCore::new(world.cores.len(), false));
+    }
+    world.membership = membership;
+    world.graph = graph;
 }
 
 /// Event: a message enters the sequencing network.
@@ -1029,6 +1221,7 @@ fn arrive_batch(sim: &mut Simulator<World>, msgs: &mut Vec<Message>, member: Nod
             delivered: now,
             unicast,
             stamps: d.stamps.len(),
+            epoch: d.epoch,
             payload: d.payload,
         };
         world.deliveries.entry(member).or_default().push(record);

@@ -30,6 +30,13 @@ pub enum CoreError {
         /// Messages buffered at receivers.
         buffered_messages: usize,
     },
+    /// An online reconfiguration (epoch handoff) is already pending;
+    /// the next one can begin once the current epoch has drained and
+    /// the handoff completed (PROTOCOL.md §14).
+    ReconfigPending {
+        /// The epoch the pending handoff will activate.
+        next_epoch: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -47,6 +54,10 @@ impl fmt::Display for CoreError {
             } => write!(
                 f,
                 "not quiescent: {pending_events} pending events, {buffered_messages} buffered messages"
+            ),
+            CoreError::ReconfigPending { next_epoch } => write!(
+                f,
+                "reconfiguration already pending: epoch {next_epoch} has not activated yet"
             ),
         }
     }
@@ -71,6 +82,10 @@ mod tests {
             }
             .to_string(),
             "causal publish requires N1 to subscribe to G2"
+        );
+        assert_eq!(
+            CoreError::ReconfigPending { next_epoch: 2 }.to_string(),
+            "reconfiguration already pending: epoch 2 has not activated yet"
         );
     }
 

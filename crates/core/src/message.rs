@@ -89,6 +89,11 @@ pub struct Message {
     pub group_seq: SeqNo,
     /// Overlap sequence numbers in path order.
     pub stamps: Vec<Stamp>,
+    /// Configuration epoch the message was sequenced under, stamped by
+    /// the group's ingress atom together with `group_seq`. Epoch 0 is the
+    /// initial configuration; every completed online reconfiguration
+    /// (PROTOCOL.md §14) increments it. Zero until sequenced.
+    pub epoch: u64,
 }
 
 impl Message {
@@ -106,6 +111,7 @@ impl Message {
             payload: payload.into(),
             group_seq: SeqNo::ZERO,
             stamps: Vec::new(),
+            epoch: 0,
         }
     }
 

@@ -115,6 +115,7 @@ mod tests {
             delivered: SimTime::from_micros(delivered_us),
             unicast: SimTime::from_micros(unicast_us),
             stamps: 1,
+            epoch: 0,
             payload: bytes::Bytes::new(),
         }
     }

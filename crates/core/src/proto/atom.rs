@@ -58,6 +58,12 @@ pub struct ProtocolState {
     atom_loads: Vec<u64>,
     /// Messages actually stamped per atom (excludes transit traffic).
     stamp_loads: Vec<u64>,
+    /// Configuration epoch this sequencing state operates under. Epoch 0
+    /// is the initial configuration; [`ProtocolState::adopt`] increments
+    /// it at each online-reconfiguration handoff (PROTOCOL.md §14).
+    /// Ingress atoms stamp the current epoch into every message they
+    /// sequence, so deliveries are attributable to a configuration.
+    epoch: u64,
 }
 
 impl ProtocolState {
@@ -68,7 +74,19 @@ impl ProtocolState {
             group_counters: graph.paths().map(|(g, _)| (g, SeqNo::ZERO)).collect(),
             atom_loads: vec![0; graph.num_atoms()],
             stamp_loads: vec![0; graph.num_atoms()],
+            epoch: 0,
         }
+    }
+
+    /// The configuration epoch this state currently sequences under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Forces the configuration epoch, for drivers restoring a node from
+    /// a checkpoint or rebuilding state for a later configuration.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Processes `msg` at `atom`:
@@ -108,6 +126,7 @@ impl ProtocolState {
                 .or_insert(SeqNo::ZERO);
             *counter = counter.next();
             msg.group_seq = *counter;
+            msg.epoch = self.epoch;
         }
 
         // Stamper: assign the overlap number.
@@ -157,11 +176,14 @@ impl ProtocolState {
         &self.stamp_loads
     }
 
-    /// Adapts the state to a reconfigured sequencing graph (quiescent
-    /// membership change): counters of surviving atoms and groups carry
-    /// over — atom ids are stable across incremental updates — and new
-    /// atoms/groups start fresh. Counters of vanished groups are dropped.
+    /// Adapts the state to a reconfigured sequencing graph (the epoch-N
+    /// → N+1 handoff of PROTOCOL.md §14, or a quiescent membership
+    /// change): counters of surviving atoms and groups carry over — atom
+    /// ids are stable across incremental updates — and new atoms/groups
+    /// start fresh. Counters of vanished groups are dropped, and the
+    /// configuration epoch advances by one.
     pub fn adopt(&mut self, graph: &SequencingGraph) {
+        self.epoch += 1;
         self.overlap_counters.resize(graph.num_atoms(), SeqNo::ZERO);
         self.atom_loads.resize(graph.num_atoms(), 0);
         self.stamp_loads.resize(graph.num_atoms(), 0);
@@ -222,6 +244,7 @@ impl ProtocolState {
     /// deduplicating explored states. Load statistics are excluded: they
     /// never influence which number the next message receives.
     pub fn digest_into(&self, d: &mut crate::proto::Digest) {
+        d.write_u64(self.epoch);
         d.write_u64(self.overlap_counters.len() as u64);
         for c in &self.overlap_counters {
             d.write_seq(*c);

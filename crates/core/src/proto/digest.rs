@@ -66,6 +66,7 @@ impl Digest {
         self.write_u64(u64::from(msg.sender.0));
         self.write_u64(u64::from(msg.group.0));
         self.write_seq(msg.group_seq);
+        self.write_u64(msg.epoch);
         self.write_u64(msg.stamps.len() as u64);
         for s in &msg.stamps {
             self.write_u64(u64::from(s.atom.0));

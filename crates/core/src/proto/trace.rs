@@ -47,6 +47,7 @@ mod mirror {
         Replay,
         SnapshotFlush,
         HeartbeatMiss,
+        EpochAdvance,
     }
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -82,6 +82,26 @@ pub struct DeployCluster {
     next_id: u64,
     crashes: u64,
     shut_down: bool,
+    /// A staged online reconfiguration (see
+    /// [`DeployCluster::begin_reconfigure`]): publishes accepted while it
+    /// is pending park here until the current epoch drains.
+    pending: Option<PendingReconfig>,
+    /// Total deliveries owed by everything published so far; the handoff
+    /// drains until `deliveries_seen` catches up.
+    expected_deliveries: usize,
+    /// Deliveries produced by the receiver cores so far, across epochs.
+    deliveries_seen: usize,
+    /// Counters accumulated by earlier epochs' deployments, folded into
+    /// [`DeployCluster::stats`].
+    prior_stats: DeployStats,
+}
+
+/// A reconfiguration staged by [`DeployCluster::begin_reconfigure`]: the
+/// next membership plus every publish parked behind the handoff.
+#[derive(Debug)]
+struct PendingReconfig {
+    membership: Membership,
+    parked: Vec<(MessageId, NodeId, GroupId, bytes::Bytes)>,
 }
 
 fn node_addr(spec: &ClusterSpec, node: usize) -> SocketAddr {
@@ -123,6 +143,20 @@ impl DeployCluster {
         config: ClusterConfig,
         binary: Option<PathBuf>,
     ) -> Result<Self, String> {
+        Self::start_inner(membership, config, binary, 0)
+    }
+
+    /// [`start_with_binary`](Self::start_with_binary) with an explicit
+    /// configuration epoch — 0 for a fresh deployment, N+1 when
+    /// [`complete_reconfigure`](Self::complete_reconfigure) rebuilds the
+    /// process tree for the next configuration (each epoch gets a fresh
+    /// run directory, so stale-epoch snapshots cannot be restored).
+    fn start_inner(
+        membership: &Membership,
+        config: ClusterConfig,
+        binary: Option<PathBuf>,
+        config_epoch: u64,
+    ) -> Result<Self, String> {
         config.validate()?;
         let binary = resolve_binary(binary)?;
         let topo = Topology::derive(membership, config.seed);
@@ -152,6 +186,7 @@ impl DeployCluster {
         let spec = ClusterSpec {
             config: config.clone(),
             membership: membership.clone(),
+            epoch: config_epoch,
             ports,
             dir: dir.clone(),
         };
@@ -184,6 +219,10 @@ impl DeployCluster {
             next_id: 0,
             crashes: 0,
             shut_down: false,
+            pending: None,
+            expected_deliveries: 0,
+            deliveries_seen: 0,
+            prior_stats: DeployStats::default(),
             binary,
             spec,
             topo,
@@ -291,6 +330,7 @@ impl DeployCluster {
                         for cmd in self.cmdbuf.drain() {
                             match cmd {
                                 Command::Deliver { host, msg } => {
+                                    self.deliveries_seen += 1;
                                     self.deliveries.push_back((host, msg));
                                 }
                                 other => unreachable!("receivers only deliver: {other:?}"),
@@ -333,18 +373,48 @@ impl DeployCluster {
     /// # Errors
     ///
     /// [`RuntimeError::UnknownGroup`] for groups with no members.
+    /// While a reconfiguration is staged (between
+    /// [`begin_reconfigure`](Self::begin_reconfigure) and
+    /// [`complete_reconfigure`](Self::complete_reconfigure)) the publish
+    /// is validated against the *next* membership and parked until the
+    /// current epoch drains, exactly like the threaded runtime.
     pub fn publish(
         &mut self,
         sender: NodeId,
         group: GroupId,
         payload: impl Into<bytes::Bytes>,
     ) -> Result<MessageId, RuntimeError> {
+        let payload = payload.into();
+        if let Some(pending) = &mut self.pending {
+            if pending.membership.group_size(group) == 0 {
+                return Err(RuntimeError::UnknownGroup(group));
+            }
+            let id = MessageId(self.next_id);
+            self.next_id += 1;
+            pending.parked.push((id, sender, group, payload));
+            return Ok(id);
+        }
+        let id = MessageId(self.next_id);
+        self.next_id += 1;
+        self.publish_now(id, sender, group, payload)?;
+        Ok(id)
+    }
+
+    /// Injects an already-identified message into the running deployment:
+    /// the body of [`publish`](Self::publish), also used to replay parked
+    /// publishes into the next epoch after a handoff.
+    fn publish_now(
+        &mut self,
+        id: MessageId,
+        sender: NodeId,
+        group: GroupId,
+        payload: bytes::Bytes,
+    ) -> Result<(), RuntimeError> {
         let Some(ingress) = self.topo.graph.ingress(group) else {
             return Err(RuntimeError::UnknownGroup(group));
         };
-        let id = MessageId(self.next_id);
-        self.next_id += 1;
-        let msg = Message::new(id, sender, group, payload.into());
+        self.expected_deliveries += self.spec.membership.group_size(group);
+        let msg = Message::new(id, sender, group, payload);
         let node = self.topo.atom_node[&ingress];
         self.engine.send_data(
             &self.topo,
@@ -355,7 +425,93 @@ impl DeployCluster {
             },
         );
         self.pump();
-        Ok(id)
+        Ok(())
+    }
+
+    /// The configuration epoch this deployment is currently running.
+    pub fn epoch(&self) -> u64 {
+        self.spec.epoch
+    }
+
+    /// Whether a reconfiguration is staged but has not activated yet.
+    pub fn reconfig_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Publishes parked behind the staged reconfiguration.
+    pub fn parked_publishes(&self) -> usize {
+        self.pending.as_ref().map_or(0, |p| p.parked.len())
+    }
+
+    /// Stages an online reconfiguration to `membership` without stopping
+    /// traffic; the socket twin of the threaded runtime's
+    /// `begin_reconfigure`. Returns the epoch that will activate.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ReconfigPending`] if one is already staged.
+    pub fn begin_reconfigure(&mut self, membership: &Membership) -> Result<u64, RuntimeError> {
+        if self.pending.is_some() {
+            return Err(RuntimeError::ReconfigPending {
+                next_epoch: self.spec.epoch + 1,
+            });
+        }
+        self.pending = Some(PendingReconfig {
+            membership: membership.clone(),
+            parked: Vec::new(),
+        });
+        Ok(self.spec.epoch + 1)
+    }
+
+    /// Completes a staged reconfiguration: drains every delivery the
+    /// current epoch still owes, shuts the old process tree down, starts a
+    /// fresh one (new run directory, epoch N+1 in its spec), and injects
+    /// the parked publishes in their accepted order. Already-drained
+    /// deliveries stay queued for [`next_delivery`](Self::next_delivery).
+    /// Returns the epoch that just activated.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the failure. A drain timeout leaves the
+    /// reconfiguration pending, so the caller can respawn a crashed node
+    /// and retry.
+    pub fn complete_reconfigure(&mut self, timeout: Duration) -> Result<u64, String> {
+        if self.pending.is_none() {
+            return Err("no reconfiguration pending".into());
+        }
+        let deadline = Instant::now() + timeout;
+        while self.deliveries_seen < self.expected_deliveries {
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "handoff drain timed out with {}/{} deliveries",
+                    self.deliveries_seen, self.expected_deliveries
+                ));
+            }
+            self.pump();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let pending = self.pending.take().expect("pending reconfiguration checked");
+        let next_epoch = self.spec.epoch + 1;
+        let carried = std::mem::take(&mut self.deliveries);
+        let prior = self.shutdown();
+
+        let mut next = Self::start_inner(
+            &pending.membership,
+            self.spec.config.clone(),
+            Some(self.binary.clone()),
+            next_epoch,
+        )?;
+        next.next_id = self.next_id;
+        next.expected_deliveries = self.expected_deliveries;
+        next.deliveries_seen = self.deliveries_seen;
+        next.deliveries = carried;
+        next.prior_stats = prior;
+        for (id, sender, group, payload) in pending.parked {
+            next.publish_now(id, sender, group, payload)
+                .map_err(|e| format!("inject parked publish: {e}"))?;
+        }
+        *self = next;
+        Ok(next_epoch)
     }
 
     /// Receives the next delivery from any host within `timeout`, pumping
@@ -556,21 +712,17 @@ impl DeployCluster {
         self.stats()
     }
 
-    /// Aggregated statistics: the coordinator's own engine counters plus
-    /// every stats reply received from node processes. Complete after
+    /// Aggregated statistics: counters accumulated by earlier epochs plus
+    /// the coordinator's own engine counters plus every stats reply
+    /// received from node processes. Complete after
     /// [`shutdown`](Self::shutdown).
     pub fn stats(&self) -> DeployStats {
-        let mut stats = DeployStats {
-            frames_sent: self.engine.stats.frames_sent,
-            frames_dropped: self.engine.stats.frames_dropped,
-            retransmissions: self.engine.stats.retransmissions,
-            duplicates: self.engine.stats.duplicates,
-            recovery: RecoveryStats {
-                crashes: self.crashes,
-                ..RecoveryStats::default()
-            },
-            ..DeployStats::default()
-        };
+        let mut stats = self.prior_stats.clone();
+        stats.frames_sent += self.engine.stats.frames_sent;
+        stats.frames_dropped += self.engine.stats.frames_dropped;
+        stats.retransmissions += self.engine.stats.retransmissions;
+        stats.duplicates += self.engine.stats.duplicates;
+        stats.recovery.crashes += self.crashes;
         for (&size, &count) in &self.engine.stats.batch_sizes {
             *stats.batch_sizes.entry(size).or_insert(0) += count;
         }

@@ -104,6 +104,9 @@ pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<
         config.drop_probability,
     );
     let mut protocol = ProtocolState::new(&topo.graph);
+    // Messages sequenced by this process are stamped with the spec's
+    // configuration epoch.
+    protocol.set_epoch(spec.epoch);
     // Group-commit mode: the core stages every output frame; this driver
     // releases them only after a snapshot records them.
     let mut core = NodeCore::new(idx, true);
@@ -120,19 +123,31 @@ pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<
     let mut snapshots: u64 = 0;
 
     if restarted {
-        if let Some(snap) = DiskSnapshot::load(&snapshot_path(&spec.dir, idx))? {
-            protocol = ProtocolState::import_counters(&topo.graph, &snap.overlaps, &snap.groups);
-            engine.restore_links(&snap.rx_next, &snap.tx);
-            // Seed the core's ack floors to match what the snapshot had
-            // advertised, so the next snapshot only acks real progress.
-            for &(link, next) in &snap.rx_next {
-                let (from, _to) = topo.links[link as usize];
-                core.restore_floor(from, next.saturating_sub(1));
+        match DiskSnapshot::load(&snapshot_path(&spec.dir, idx))? {
+            // A snapshot from another epoch indexes a retired sequencing
+            // graph: restoring it would misapply every counter. Nothing
+            // of the old epoch is owed by this node (the handoff drained
+            // epoch N before the epoch-N+1 spec was written), so a node
+            // that crashed mid-reconfiguration recovers fresh into the
+            // epoch its spec names.
+            Some(snap) if snap.epoch == spec.epoch => {
+                protocol =
+                    ProtocolState::import_counters(&topo.graph, &snap.overlaps, &snap.groups);
+                protocol.set_epoch(spec.epoch);
+                engine.restore_links(&snap.rx_next, &snap.tx);
+                // Seed the core's ack floors to match what the snapshot had
+                // advertised, so the next snapshot only acks real progress.
+                for &(link, next) in &snap.rx_next {
+                    let (from, _to) = topo.links[link as usize];
+                    core.restore_floor(from, next.saturating_sub(1));
+                }
+                obs.record(EventKind::Crash, actor, Some(incarnation));
             }
-            obs.record(EventKind::Crash, actor, Some(incarnation));
+            _ => {}
         }
-        // No snapshot: nothing ever escaped this node (outputs and acks
-        // only leave at snapshot time), so a fresh start is consistent.
+        // No snapshot (or a stale-epoch one): nothing this epoch ever
+        // escaped the node (outputs and acks only leave at snapshot
+        // time), so a fresh start is consistent.
     }
 
     let listener = bind_with_retry(spec.ports[idx])?;
@@ -305,6 +320,7 @@ pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<
             let (rx_next, tx) = engine.snapshot_links();
             let staged_frames = engine.staged_len() as u64;
             DiskSnapshot {
+                epoch: spec.epoch,
                 overlaps,
                 groups,
                 rx_next: rx_next.clone(),

@@ -16,11 +16,15 @@ use seqnet_core::proto::Frame;
 use std::io;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 8] = b"SQSNAP1\n";
+const MAGIC: &[u8; 8] = b"SQSNAP2\n";
 
 /// A node's durable state as serialized to disk.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DiskSnapshot {
+    /// Configuration epoch the counters belong to. A node restarted into
+    /// a different epoch ignores the snapshot — its counters index a
+    /// retired sequencing graph — and starts fresh in the new epoch.
+    pub epoch: u64,
     /// Overlap-counter values, by counter index (from
     /// `ProtocolState::export_counters`).
     pub overlaps: Vec<u64>,
@@ -70,6 +74,7 @@ impl DiskSnapshot {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(256);
         out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.epoch);
         put_u32(&mut out, self.overlaps.len() as u32);
         for &c in &self.overlaps {
             put_u64(&mut out, c);
@@ -108,7 +113,10 @@ impl DiskSnapshot {
             return Err(CodecError::Garbled("bad snapshot magic"));
         }
         buf = &buf[MAGIC.len()..];
-        let mut snap = DiskSnapshot::default();
+        let mut snap = DiskSnapshot {
+            epoch: take_u64(&mut buf)?,
+            ..DiskSnapshot::default()
+        };
         for _ in 0..take_u32(&mut buf)? {
             snap.overlaps.push(take_u64(&mut buf)?);
         }
@@ -183,6 +191,7 @@ mod tests {
     #[test]
     fn snapshot_roundtrips_through_disk() {
         let snap = DiskSnapshot {
+            epoch: 3,
             overlaps: vec![3, 0, 7],
             groups: vec![(0, 4), (1, 9)],
             rx_next: vec![(2, 11)],
@@ -207,7 +216,20 @@ mod tests {
     fn corrupt_snapshot_is_loud() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("seqnet-snap-corrupt-{}.snap", std::process::id()));
-        std::fs::write(&path, b"SQSNAP1\n\x05\x00\x00").expect("write");
+        std::fs::write(&path, b"SQSNAP2\n\x05\x00\x00").expect("write");
+        assert!(DiskSnapshot::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn old_format_magic_is_rejected() {
+        // SQSNAP1 snapshots predate the epoch field; restoring one would
+        // misalign every counter, so the magic bump makes them loud.
+        let path = std::env::temp_dir().join(format!(
+            "seqnet-snap-oldmagic-{}.snap",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"SQSNAP1\n\x00\x00\x00\x00").expect("write");
         assert!(DiskSnapshot::load(&path).is_err());
         let _ = std::fs::remove_file(&path);
     }

@@ -20,6 +20,11 @@ pub struct ClusterSpec {
     pub config: ClusterConfig,
     /// The group membership the topology is derived from.
     pub membership: Membership,
+    /// Configuration epoch this spec describes: 0 for a fresh deployment,
+    /// N+1 for the run directory written by the Nth online
+    /// reconfiguration. Nodes seed their protocol state from it and
+    /// refuse snapshots recorded under a different epoch.
+    pub epoch: u64,
     /// Listening port of each sequencing node, indexed by node.
     pub ports: Vec<u16>,
     /// Run directory: snapshots, per-node obs JSONL, the spec itself.
@@ -32,6 +37,7 @@ impl ClusterSpec {
         let mut s = String::from("seqnet-cluster-spec v1\n");
         let c = &self.config;
         s.push_str(&format!("seed {}\n", c.seed));
+        s.push_str(&format!("epoch {}\n", self.epoch));
         s.push_str(&format!("drop_probability {}\n", c.drop_probability));
         s.push_str(&format!(
             "retransmit_timeout_us {}\n",
@@ -79,6 +85,7 @@ impl ClusterSpec {
             return Err("missing spec header".into());
         }
         let mut config = ClusterConfig::default();
+        let mut epoch = 0u64;
         let mut ports = Vec::new();
         let mut dir = PathBuf::new();
         let mut membership = Membership::new();
@@ -93,6 +100,7 @@ impl ClusterSpec {
             };
             match key {
                 "seed" => config.seed = num("seed", rest)?,
+                "epoch" => epoch = num("epoch", rest)?,
                 "drop_probability" => {
                     config.drop_probability = rest
                         .parse::<f64>()
@@ -151,6 +159,7 @@ impl ClusterSpec {
         Ok(ClusterSpec {
             config,
             membership,
+            epoch,
             ports,
             dir,
         })
@@ -186,12 +195,14 @@ mod tests {
                 ..ClusterConfig::default()
             },
             membership,
+            epoch: 4,
             ports: vec![40001, 40002],
             dir: PathBuf::from("/tmp/seqnet-test-run"),
         };
         let text = spec.encode();
         let back = ClusterSpec::parse(&text).expect("parses");
         assert_eq!(back.config.seed, 99);
+        assert_eq!(back.epoch, 4);
         assert!(back.config.coalesce);
         assert_eq!(back.config.heartbeat_miss_threshold, 5);
         assert_eq!(back.ports, vec![40001, 40002]);

@@ -153,6 +153,7 @@ pub(crate) fn put_frame(out: &mut Vec<u8>, f: &Frame) {
     put_u32(out, m.sender.0);
     put_u32(out, m.group.0);
     put_u64(out, m.group_seq.0);
+    put_u64(out, m.epoch);
     put_u32(out, m.stamps.len() as u32);
     for s in &m.stamps {
         put_u32(out, s.atom.0);
@@ -272,6 +273,7 @@ impl<'a> Reader<'a> {
         let sender = NodeId(self.u32()?);
         let group = GroupId(self.u32()?);
         let group_seq = SeqNo(self.u64()?);
+        let epoch = self.u64()?;
         let n_stamps = self.count()?;
         let mut stamps = Vec::with_capacity(n_stamps.min(1024));
         for _ in 0..n_stamps {
@@ -294,6 +296,7 @@ impl<'a> Reader<'a> {
                 group,
                 payload,
                 group_seq,
+                epoch,
                 stamps,
             },
             target_atom,
@@ -437,6 +440,7 @@ mod tests {
     fn sample_frame(id: u64) -> Frame {
         let mut msg = Message::new(MessageId(id), NodeId(3), GroupId(1), b"payload".to_vec());
         msg.group_seq = SeqNo(9);
+        msg.epoch = 2;
         msg.stamps.push(Stamp {
             atom: AtomId(4),
             seq: SeqNo(17),

@@ -63,6 +63,10 @@ pub enum EventKind {
     /// The runtime's failure detector missed a heartbeat
     /// (`detail` = suspected node index).
     HeartbeatMiss,
+    /// An online reconfiguration handoff completed: the epoch-N graph
+    /// drained and epoch-N+1 sequencing activated (`detail` = the epoch
+    /// that just activated).
+    EpochAdvance,
 }
 
 impl EventKind {
@@ -80,6 +84,7 @@ impl EventKind {
             EventKind::Replay => "replay",
             EventKind::SnapshotFlush => "snapshot-flush",
             EventKind::HeartbeatMiss => "heartbeat-miss",
+            EventKind::EpochAdvance => "epoch-advance",
         }
     }
 }

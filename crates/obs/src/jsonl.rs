@@ -102,6 +102,7 @@ pub fn parse_jsonl(line: &str) -> Option<TraceEvent> {
         "replay" => EventKind::Replay,
         "snapshot-flush" => EventKind::SnapshotFlush,
         "heartbeat-miss" => EventKind::HeartbeatMiss,
+        "epoch-advance" => EventKind::EpochAdvance,
         _ => return None,
     };
     Some(TraceEvent { at, kind, actor: actor?, msg, group, atom, seq, detail, stamps })
@@ -205,6 +206,11 @@ mod tests {
                 ..TraceEvent::new(EventKind::Deliver, Actor::Host(7))
             },
             TraceEvent::new(EventKind::Crash, Actor::Node(2)),
+            TraceEvent {
+                at: 31,
+                detail: Some(1),
+                ..TraceEvent::new(EventKind::EpochAdvance, Actor::Publisher)
+            },
         ]
     }
 

@@ -130,7 +130,8 @@ impl Report {
                 | EventKind::Crash
                 | EventKind::Replay
                 | EventKind::SnapshotFlush
-                | EventKind::HeartbeatMiss => {}
+                | EventKind::HeartbeatMiss
+                | EventKind::EpochAdvance => {}
             }
         }
         report

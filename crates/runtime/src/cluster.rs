@@ -31,7 +31,7 @@ use seqnet_membership::{GroupId, Membership, NodeId};
 use seqnet_obs::{prom, Recorder, Registry};
 use seqnet_overlap::{AtomId, Colocation, GraphBuilder, SequencingGraph};
 use seqnet_sim::{FaultPlan, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -251,6 +251,13 @@ pub enum RuntimeError {
         /// How many actually arrived.
         received: usize,
     },
+    /// A reconfiguration is already staged but has not activated yet.
+    ReconfigPending {
+        /// The epoch that will activate when the staged change completes.
+        next_epoch: u64,
+    },
+    /// [`Cluster::complete_reconfigure`] was called with nothing staged.
+    NoPendingReconfig,
 }
 
 impl fmt::Display for RuntimeError {
@@ -260,6 +267,11 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Timeout { expected, received } => {
                 write!(f, "timed out with {received}/{expected} deliveries")
             }
+            RuntimeError::ReconfigPending { next_epoch } => write!(
+                f,
+                "reconfiguration already pending: epoch {next_epoch} has not activated yet"
+            ),
+            RuntimeError::NoPendingReconfig => write!(f, "no reconfiguration pending"),
         }
     }
 }
@@ -311,6 +323,12 @@ struct Wiring {
     trace: Option<Arc<StdMutex<Recorder>>>,
     /// Cluster start instant — the zero point of trace timestamps.
     epoch: Instant,
+    /// The configuration epoch this wiring implements. Epoch 0 is the
+    /// initial configuration; each completed online reconfiguration
+    /// rebuilds the wiring with the next epoch, and node threads seed
+    /// their protocol state from it so every message is stamped with the
+    /// epoch it was sequenced under.
+    config_epoch: u64,
 }
 
 impl Wiring {
@@ -343,6 +361,32 @@ pub struct Cluster {
     notes: Receiver<DeliveryNote>,
     next_id: u64,
     shut_down: bool,
+    /// A staged online reconfiguration (see [`Cluster::begin_reconfigure`]):
+    /// publishes accepted while it is pending park here and are injected
+    /// into the next epoch's wiring once the current epoch drains.
+    pending: Option<PendingReconfig>,
+    /// Total deliveries owed by everything published so far (group size at
+    /// publish time); the handoff drains until `deliveries_seen` catches up.
+    expected_deliveries: usize,
+    /// Deliveries popped off the note channel so far, across epochs.
+    deliveries_seen: usize,
+    /// Deliveries drained during a handoff, replayed to callers of
+    /// [`Cluster::wait_for_deliveries`] / [`Cluster::next_delivery`] first.
+    carried: VecDeque<DeliveryNote>,
+    /// Stats, wire-size tallies, and trace events accumulated by earlier
+    /// epochs' wirings, merged into the public accessors.
+    prior_stats: RuntimeStats,
+    prior_batches: BTreeMap<usize, u64>,
+    prior_trace: Vec<TraceEvent>,
+}
+
+/// A reconfiguration staged by [`Cluster::begin_reconfigure`] while the
+/// current epoch keeps sequencing: the next membership plus every publish
+/// parked behind the handoff.
+#[derive(Debug)]
+struct PendingReconfig {
+    membership: Membership,
+    parked: Vec<(MessageId, NodeId, GroupId, bytes::Bytes)>,
 }
 
 impl Cluster {
@@ -355,6 +399,13 @@ impl Cluster {
     /// Panics if the constructed graph fails validation (a bug, not an
     /// input error), or if `config` fails [`ClusterConfig::validate`].
     pub fn start(membership: &Membership, config: ClusterConfig) -> Self {
+        Self::start_inner(membership, config, 0)
+    }
+
+    /// [`Cluster::start`] with an explicit configuration epoch — epoch 0
+    /// for a fresh deployment, N+1 when [`Cluster::complete_reconfigure`]
+    /// rebuilds the wiring for the next configuration.
+    fn start_inner(membership: &Membership, config: ClusterConfig, config_epoch: u64) -> Self {
         config.validate().expect("invalid ClusterConfig");
         let graph = GraphBuilder::new().build(membership);
         graph
@@ -488,6 +539,7 @@ impl Cluster {
                 .trace
                 .then(|| Arc::new(StdMutex::new(Recorder::new()))),
             epoch: Instant::now(),
+            config_epoch,
         });
 
         let mut node_handles = HashMap::new();
@@ -534,6 +586,13 @@ impl Cluster {
             notes: note_rx,
             next_id: 0,
             shut_down: false,
+            pending: None,
+            expected_deliveries: 0,
+            deliveries_seen: 0,
+            carried: VecDeque::new(),
+            prior_stats: RuntimeStats::default(),
+            prior_batches: BTreeMap::new(),
+            prior_trace: Vec::new(),
         }
     }
 
@@ -542,21 +601,54 @@ impl Cluster {
     /// with capped exponential backoff until a node snapshot covers it —
     /// so publishes survive an ingress-node crash.
     ///
+    /// While a reconfiguration is staged (between
+    /// [`Cluster::begin_reconfigure`] and
+    /// [`Cluster::complete_reconfigure`]) the publish is validated against
+    /// the *next* membership and parked: it belongs to the next epoch and
+    /// is injected once the current epoch's graph drains. The returned id
+    /// is assigned immediately either way.
+    ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::UnknownGroup`] for groups with no members.
+    /// Returns [`RuntimeError::UnknownGroup`] for groups with no members
+    /// (in the pending membership, if a reconfiguration is staged).
     pub fn publish(
         &mut self,
         sender: NodeId,
         group: GroupId,
         payload: impl Into<bytes::Bytes>,
     ) -> Result<MessageId, RuntimeError> {
+        let payload = payload.into();
+        if let Some(pending) = &mut self.pending {
+            if pending.membership.group_size(group) == 0 {
+                return Err(RuntimeError::UnknownGroup(group));
+            }
+            let id = MessageId(self.next_id);
+            self.next_id += 1;
+            pending.parked.push((id, sender, group, payload));
+            return Ok(id);
+        }
+        let id = MessageId(self.next_id);
+        self.next_id += 1;
+        self.publish_now(id, sender, group, payload)?;
+        Ok(id)
+    }
+
+    /// Injects an already-identified message into the running wiring: the
+    /// body of [`Cluster::publish`], also used to replay parked publishes
+    /// into the next epoch after a handoff.
+    fn publish_now(
+        &mut self,
+        id: MessageId,
+        sender: NodeId,
+        group: GroupId,
+        payload: bytes::Bytes,
+    ) -> Result<(), RuntimeError> {
         let Some(ingress) = self.wiring.graph.ingress(group) else {
             return Err(RuntimeError::UnknownGroup(group));
         };
-        let id = MessageId(self.next_id);
-        self.next_id += 1;
-        let msg = Message::new(id, sender, group, payload.into());
+        self.expected_deliveries += self.wiring.membership.group_size(group);
+        let msg = Message::new(id, sender, group, payload);
         let node = self.wiring.atom_node[&ingress];
         if let Some(rec) = &self.wiring.trace {
             let mut sink = rec.lock().expect("trace sink poisoned");
@@ -577,7 +669,7 @@ impl Cluster {
             },
         );
         self.pump_publisher();
-        Ok(id)
+        Ok(())
     }
 
     /// Drains acknowledgments addressed to the publisher and retransmits
@@ -607,26 +699,46 @@ impl Cluster {
         let mut out: BTreeMap<NodeId, Vec<Message>> = BTreeMap::new();
         let mut received = 0usize;
         while received < expected {
-            self.pump_publisher();
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return Err(RuntimeError::Timeout { expected, received });
+            }
+            match self.pop_note(remaining) {
+                Some(note) => {
+                    out.entry(note.host).or_default().push(note.msg);
+                    received += 1;
+                }
+                None => return Err(RuntimeError::Timeout { expected, received }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Receives the next delivery note: handoff-carried notes first, then
+    /// the live channel (pumping the publisher while waiting).
+    fn pop_note(&mut self, timeout: Duration) -> Option<DeliveryNote> {
+        if let Some(note) = self.carried.pop_front() {
+            return Some(note);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.pump_publisher();
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
             }
             match self
                 .notes
                 .recv_timeout(remaining.min(Duration::from_millis(2)))
             {
                 Ok(note) => {
-                    out.entry(note.host).or_default().push(note.msg);
-                    received += 1;
+                    self.deliveries_seen += 1;
+                    return Some(note);
                 }
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(RuntimeError::Timeout { expected, received });
-                }
+                Err(RecvTimeoutError::Disconnected) => return None,
             }
         }
-        Ok(out)
     }
 
     /// Kills the sequencing-node thread `node` as a simulated crash: its
@@ -739,6 +851,122 @@ impl Cluster {
         self.node_inboxes.len()
     }
 
+    /// The configuration epoch this deployment is currently running.
+    pub fn epoch(&self) -> u64 {
+        self.wiring.config_epoch
+    }
+
+    /// Whether a reconfiguration is staged but has not activated yet.
+    pub fn reconfig_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Publishes parked behind the staged reconfiguration (zero when none
+    /// is pending).
+    pub fn parked_publishes(&self) -> usize {
+        self.pending.as_ref().map_or(0, |p| p.parked.len())
+    }
+
+    /// Stages an online reconfiguration to `membership` without stopping
+    /// traffic: the current epoch's graph keeps sequencing everything
+    /// already accepted, publishes arriving from now on park behind the
+    /// handoff (validated against the *next* membership), and
+    /// [`Cluster::complete_reconfigure`] performs the actual swap once the
+    /// old epoch drains. Returns the epoch that will activate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ReconfigPending`] if a staged
+    /// reconfiguration is already waiting to activate.
+    pub fn begin_reconfigure(&mut self, membership: &Membership) -> Result<u64, RuntimeError> {
+        if self.pending.is_some() {
+            return Err(RuntimeError::ReconfigPending {
+                next_epoch: self.wiring.config_epoch + 1,
+            });
+        }
+        self.pending = Some(PendingReconfig {
+            membership: membership.clone(),
+            parked: Vec::new(),
+        });
+        Ok(self.wiring.config_epoch + 1)
+    }
+
+    /// Completes a staged reconfiguration: waits for every delivery the
+    /// current epoch still owes (the handoff drain rule — epoch N is fully
+    /// delivered before epoch N+1 sequences anything, so Theorem 1 cannot
+    /// be violated across the boundary), tears the old wiring down,
+    /// rebuilds threads and links for the next membership at epoch N+1,
+    /// and injects the parked publishes in their accepted order. Deliveries
+    /// drained while waiting are not lost: they replay through
+    /// [`Cluster::wait_for_deliveries`] / [`Cluster::next_delivery`] first.
+    /// Stats, wire-size tallies, and trace events accumulate across the
+    /// swap. Returns the epoch that just activated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoPendingReconfig`] if nothing is staged,
+    /// or [`RuntimeError::Timeout`] if the old epoch fails to drain in
+    /// time — the reconfiguration stays pending so the caller can restart
+    /// a crashed node and retry.
+    pub fn complete_reconfigure(&mut self, timeout: Duration) -> Result<u64, RuntimeError> {
+        if self.pending.is_none() {
+            return Err(RuntimeError::NoPendingReconfig);
+        }
+        let deadline = Instant::now() + timeout;
+        while self.deliveries_seen < self.expected_deliveries {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RuntimeError::Timeout {
+                    expected: self.expected_deliveries,
+                    received: self.deliveries_seen,
+                });
+            }
+            self.pump_publisher();
+            match self
+                .notes
+                .recv_timeout(remaining.min(Duration::from_millis(2)))
+            {
+                Ok(note) => {
+                    self.deliveries_seen += 1;
+                    self.carried.push_back(note);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let pending = self.pending.take().expect("pending reconfiguration checked");
+        let config = self.wiring.config.clone();
+        let next_epoch = self.wiring.config_epoch + 1;
+        let prior_trace = self.trace_events();
+        self.shutdown();
+
+        let mut next = Cluster::start_inner(&pending.membership, config, next_epoch);
+        next.next_id = self.next_id;
+        next.expected_deliveries = self.expected_deliveries;
+        next.deliveries_seen = self.deliveries_seen;
+        next.carried = std::mem::take(&mut self.carried);
+        next.prior_stats = merge_stats(self.prior_stats, *self.wiring.stats.lock());
+        next.prior_batches = std::mem::take(&mut self.prior_batches);
+        for (&size, &count) in self.wiring.batch_sizes.lock().iter() {
+            *next.prior_batches.entry(size).or_insert(0) += count;
+        }
+        next.prior_trace = prior_trace;
+        if let Some(rec) = &next.wiring.trace {
+            let mut sink = rec.lock().expect("trace sink poisoned");
+            sink.now(next.wiring.epoch.elapsed().as_micros() as u64);
+            sink.record(TraceEvent {
+                detail: Some(next_epoch),
+                ..TraceEvent::new(EventKind::EpochAdvance, Actor::Publisher)
+            });
+        }
+        for (id, sender, group, payload) in pending.parked {
+            next.publish_now(id, sender, group, payload)
+                .expect("parked publish was validated against the next membership");
+        }
+        *self = next;
+        Ok(next_epoch)
+    }
+
     /// Stops all threads and waits for them. Safe to call twice.
     pub fn shutdown(&mut self) {
         if self.shut_down {
@@ -758,9 +986,10 @@ impl Cluster {
         }
     }
 
-    /// Aggregated link statistics; complete after [`Cluster::shutdown`].
+    /// Aggregated link statistics across all epochs; complete after
+    /// [`Cluster::shutdown`].
     pub fn stats(&self) -> RuntimeStats {
-        *self.wiring.stats.lock()
+        merge_stats(self.prior_stats, *self.wiring.stats.lock())
     }
 
     /// Wire-write size histogram: transmission count per frames-per-write
@@ -768,7 +997,11 @@ impl Cluster {
     /// its run length). The runtime twin of the simulator's
     /// `batch_size_counts`; complete after [`Cluster::shutdown`].
     pub fn batch_size_counts(&self) -> BTreeMap<usize, u64> {
-        self.wiring.batch_sizes.lock().clone()
+        let mut out = self.prior_batches.clone();
+        for (&size, &count) in self.wiring.batch_sizes.lock().iter() {
+            *out.entry(size).or_insert(0) += count;
+        }
+        out
     }
 
     /// Receives the next delivery from any host within `timeout`, pumping
@@ -777,22 +1010,7 @@ impl Cluster {
     /// [`Cluster::wait_for_deliveries`] for drivers (load harnesses, soak
     /// tests) that need per-delivery receive timestamps.
     pub fn next_delivery(&mut self, timeout: Duration) -> Option<(NodeId, Message)> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            self.pump_publisher();
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return None;
-            }
-            match self
-                .notes
-                .recv_timeout(remaining.min(Duration::from_millis(2)))
-            {
-                Ok(note) => return Some((note.host, note.msg)),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return None,
-            }
-        }
+        self.pop_note(timeout).map(|note| (note.host, note.msg))
     }
 
     /// The structured trace recorded so far, in emission order; empty
@@ -800,11 +1018,11 @@ impl Cluster {
     /// [`trace`](ClusterConfig::trace). Safe to call while the cluster
     /// runs — it snapshots the shared log under its mutex.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
-        self.wiring
-            .trace
-            .as_ref()
-            .map(|rec| rec.lock().expect("trace sink poisoned").events().to_vec())
-            .unwrap_or_default()
+        let mut out = self.prior_trace.clone();
+        if let Some(rec) = &self.wiring.trace {
+            out.extend_from_slice(rec.lock().expect("trace sink poisoned").events());
+        }
+        out
     }
 
     /// Prometheus text exposition of the runtime counters, plus — when
@@ -861,6 +1079,7 @@ fn event_family(kind: EventKind) -> &'static str {
         EventKind::Replay => "events_replay_total",
         EventKind::SnapshotFlush => "events_snapshot_flush_total",
         EventKind::HeartbeatMiss => "events_heartbeat_miss_total",
+        EventKind::EpochAdvance => "events_epoch_advance_total",
     }
 }
 
@@ -868,6 +1087,18 @@ impl Drop for Cluster {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Field-wise sum of two [`RuntimeStats`], used to accumulate counters
+/// across the wiring rebuilds a reconfiguration performs.
+fn merge_stats(mut a: RuntimeStats, b: RuntimeStats) -> RuntimeStats {
+    a.frames_sent += b.frames_sent;
+    a.frames_dropped += b.frames_dropped;
+    a.retransmissions += b.retransmissions;
+    a.duplicates += b.duplicates;
+    a.heartbeat_misses += b.heartbeat_misses;
+    a.recovery.merge(&b.recovery);
+    a
 }
 
 fn hash_party(p: Party) -> u64 {
@@ -1220,6 +1451,9 @@ fn node_thread(
     let trace = wiring.trace.clone();
     let mut engine = LinkEngine::new(Party::Node(idx), seed, true);
     let mut protocol = ProtocolState::new(&wiring.graph);
+    // Messages sequenced by this wiring are stamped with its epoch; a
+    // snapshot restore below overwrites this with the snapshotted epoch.
+    protocol.set_epoch(wiring.config_epoch);
     // Group-commit mode: the core *stages* every output frame, and this
     // driver releases them only after a snapshot records them.
     let mut core = NodeCore::new(idx, true);
@@ -1797,6 +2031,144 @@ mod tests {
             .unwrap();
         let total: usize = deliveries.values().map(Vec::len).sum();
         assert_eq!(total, 6, "nothing is lost across the crash");
+        cluster.shutdown();
+        assert_eq!(cluster.stats().recovery.crashes, 1);
+    }
+
+    #[test]
+    fn live_reconfigure_parks_publishes_and_advances_the_epoch() {
+        let m = overlapped_membership();
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        assert_eq!(cluster.epoch(), 0);
+        assert_eq!(
+            cluster.complete_reconfigure(Duration::from_secs(1)),
+            Err(RuntimeError::NoPendingReconfig)
+        );
+        cluster.publish(n(0), g(0), b"old".to_vec()).unwrap();
+
+        // n4 joins g1 while the epoch-0 publish is still in flight.
+        let next = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(1), n(2), n(3), n(4)]),
+        ]);
+        assert_eq!(cluster.begin_reconfigure(&next), Ok(1));
+        assert_eq!(
+            cluster.begin_reconfigure(&next),
+            Err(RuntimeError::ReconfigPending { next_epoch: 1 })
+        );
+        assert!(cluster.reconfig_pending());
+
+        // Publishes during the handoff validate against the next
+        // membership and park behind it.
+        assert_eq!(
+            cluster.publish(n(0), g(9), b"?".to_vec()),
+            Err(RuntimeError::UnknownGroup(g(9)))
+        );
+        cluster.publish(n(3), g(1), b"new".to_vec()).unwrap();
+        assert_eq!(cluster.parked_publishes(), 1);
+
+        assert_eq!(cluster.complete_reconfigure(Duration::from_secs(10)), Ok(1));
+        assert_eq!(cluster.epoch(), 1);
+        assert!(!cluster.reconfig_pending());
+
+        // 3 epoch-0 deliveries (g0) + 4 epoch-1 deliveries (grown g1).
+        let deliveries = cluster
+            .wait_for_deliveries(7, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(deliveries.values().map(Vec::len).sum::<usize>(), 7);
+        let n1: Vec<(MessageId, u64)> =
+            deliveries[&n(1)].iter().map(|m| (m.id, m.epoch)).collect();
+        assert_eq!(n1.len(), 2, "n1 subscribes in both epochs");
+        assert_eq!(n1[0].1, 0, "the in-flight publish kept its old epoch");
+        assert_eq!(n1[1].1, 1, "the parked publish sequenced in the new epoch");
+        assert_eq!(
+            deliveries[&n(4)].iter().map(|m| m.epoch).collect::<Vec<_>>(),
+            vec![1],
+            "the joiner sees only new-epoch traffic"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn reconfigure_preserves_stats_and_traces_across_the_swap() {
+        let m = overlapped_membership();
+        let config = ClusterConfig {
+            trace: true,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::start(&m, config);
+        cluster.publish(n(0), g(0), b"a".to_vec()).unwrap();
+        cluster
+            .wait_for_deliveries(3, Duration::from_secs(5))
+            .unwrap();
+
+        cluster.begin_reconfigure(&m).unwrap();
+        assert_eq!(cluster.complete_reconfigure(Duration::from_secs(10)), Ok(1));
+        // Node threads flush their counters when the old wiring is torn
+        // down, so everything epoch 0 sent is visible right after the swap.
+        let sent_before = cluster.stats().frames_sent;
+        assert!(sent_before > 0, "epoch-0 counters carried into epoch 1");
+        cluster.publish(n(0), g(0), b"b".to_vec()).unwrap();
+        cluster
+            .wait_for_deliveries(3, Duration::from_secs(5))
+            .unwrap();
+        cluster.shutdown();
+
+        assert!(
+            cluster.stats().frames_sent > sent_before,
+            "old-epoch counters survive the wiring rebuild"
+        );
+        let events = cluster.trace_events();
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::Publish), 2, "both epochs' traces retained");
+        assert_eq!(count(EventKind::EpochAdvance), 1);
+        let advance = events
+            .iter()
+            .find(|e| e.kind == EventKind::EpochAdvance)
+            .unwrap();
+        assert_eq!(advance.detail, Some(1), "detail carries the new epoch");
+        assert!(cluster
+            .prometheus_text()
+            .contains("seqnet_events_epoch_advance_total 1"));
+    }
+
+    #[test]
+    fn crash_during_handoff_recovers_into_the_old_epoch_then_advances() {
+        let m = overlapped_membership();
+        let mut cluster = Cluster::start(&m, ClusterConfig::default());
+        cluster.publish(n(0), g(0), b"before".to_vec()).unwrap();
+        cluster
+            .wait_for_deliveries(3, Duration::from_secs(5))
+            .unwrap();
+
+        // Kill a node, stage a reconfiguration over the outage, and
+        // publish into the handoff: the parked message must wait for the
+        // restarted node to drain epoch 0 first.
+        assert!(cluster.crash_node(0));
+        cluster.publish(n(0), g(0), b"inflight".to_vec()).unwrap();
+        let next = Membership::from_groups([
+            (g(0), vec![n(0), n(1), n(2)]),
+            (g(1), vec![n(1), n(2), n(3), n(4)]),
+        ]);
+        cluster.begin_reconfigure(&next).unwrap();
+        cluster.publish(n(3), g(1), b"parked".to_vec()).unwrap();
+
+        // The drain cannot finish while the node is down.
+        match cluster.complete_reconfigure(Duration::from_millis(200)) {
+            Err(RuntimeError::Timeout { .. }) => {}
+            other => panic!("expected a drain timeout, got {other:?}"),
+        }
+        assert!(cluster.reconfig_pending(), "a failed drain stays pending");
+
+        assert!(cluster.restart_node(0));
+        assert_eq!(cluster.complete_reconfigure(Duration::from_secs(20)), Ok(1));
+        let deliveries = cluster
+            .wait_for_deliveries(7, Duration::from_secs(10))
+            .unwrap();
+        for msg in deliveries.values().flatten() {
+            let want = if msg.payload.as_ref() == b"parked" { 1 } else { 0 };
+            assert_eq!(msg.epoch, want, "epoch stamp survives crash recovery");
+        }
         cluster.shutdown();
         assert_eq!(cluster.stats().recovery.crashes, 1);
     }

@@ -1,6 +1,6 @@
 //! Error paths of quiescent reconfiguration and the dynamic facade.
 
-use seqnet::core::{CoreError, OrderedPubSub};
+use seqnet::core::{CoreError, DynamicOrderedPubSub, OrderedPubSub};
 use seqnet::membership::{GroupId, Membership, NodeId};
 use seqnet::overlap::GraphBuilder;
 
@@ -68,6 +68,68 @@ fn reconfigure_to_grown_membership_works() {
     let o0: Vec<_> = bus.delivered(n(0)).iter().map(|d| d.id).collect();
     let o1: Vec<_> = bus.delivered(n(1)).iter().map(|d| d.id).collect();
     assert_eq!(o0, o1);
+}
+
+/// ISSUE 8 satellite regression: the quiescent reconfigure path must
+/// return a structured error — never silently rebuild — when invoked
+/// with messages in flight, and a staged online handoff blocks further
+/// configuration changes with [`CoreError::ReconfigPending`].
+#[test]
+fn quiescent_reconfigure_is_rejected_while_a_handoff_is_pending() {
+    let m = base_membership();
+    let mut bus = OrderedPubSub::new(&m);
+    bus.publish(n(0), g(0), vec![]).unwrap();
+
+    let mut grown = m.clone();
+    grown.subscribe(n(2), g(0));
+    assert_eq!(
+        bus.begin_reconfigure(&grown, GraphBuilder::new().build(&grown))
+            .unwrap(),
+        1
+    );
+    // Both the quiescent path and a second online staging are refused
+    // while the handoff is pending, naming the epoch that is on its way.
+    let err = bus
+        .reconfigure(&grown, GraphBuilder::new().build(&grown))
+        .unwrap_err();
+    assert_eq!(err, CoreError::ReconfigPending { next_epoch: 1 });
+    let err = bus
+        .begin_reconfigure(&grown, GraphBuilder::new().build(&grown))
+        .unwrap_err();
+    assert_eq!(err, CoreError::ReconfigPending { next_epoch: 1 });
+
+    bus.run_to_quiescence();
+    assert!(!bus.reconfig_pending());
+    assert_eq!(bus.epoch(), 1);
+}
+
+/// The dynamic facade surfaces the same structured error with in-flight
+/// counts, and a rejected change leaves the membership untouched.
+#[test]
+fn dynamic_facade_returns_not_quiescent_with_counts() {
+    let mut bus = DynamicOrderedPubSub::new();
+    bus.join(n(0), g(0)).unwrap();
+    bus.join(n(1), g(0)).unwrap();
+    bus.publish(n(0), g(0), vec![]).unwrap();
+
+    let err = bus.join(n(2), g(0)).unwrap_err();
+    match err {
+        CoreError::NotQuiescent {
+            pending_events,
+            buffered_messages,
+        } => {
+            assert!(pending_events > 0 || buffered_messages > 0);
+        }
+        other => panic!("expected NotQuiescent, got {other}"),
+    }
+    assert!(
+        !bus.membership().is_member(n(2), g(0)),
+        "a rejected join must not mutate the membership"
+    );
+
+    bus.run_to_quiescence();
+    bus.join(n(2), g(0)).unwrap();
+    assert!(bus.membership().is_member(n(2), g(0)));
 }
 
 #[test]

@@ -36,7 +36,8 @@ use seqnet::core::{Message, OrderedPubSub};
 use seqnet::deploy::{ChaosPlan, DeployCluster};
 use seqnet::membership::workload::ZipfGroups;
 use seqnet::membership::{GroupId, Membership, NodeId};
-use seqnet::runtime::{Cluster, ClusterConfig};
+use seqnet::overlap::GraphBuilder;
+use seqnet::runtime::{Cluster, ClusterConfig, RuntimeError};
 use seqnet::sim::{FaultPlan, SimTime};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -271,6 +272,210 @@ fn late_crash_window_runs_agree() {
         SimTime::from_micros(45_000),
     );
     assert_equivalent(23, Some(plan));
+}
+
+/// Per-(group, receiver) delivered `(message id, epoch)` pairs, in
+/// delivery order — the churn variant of [`GroupOrders`], which also
+/// pins which configuration epoch sequenced each message.
+type ChurnOrders = BTreeMap<(GroupId, NodeId), Vec<(u64, u64)>>;
+
+/// The fixed churn schedule all three drivers replay: crash sequencing
+/// party 0, publish a burst into the outage (epoch 0), stage a join of
+/// `n4` into `g1` while that burst is still in flight, publish a second
+/// burst that parks behind the handoff, recover, complete the handoff,
+/// and drain. Returns (initial membership, next membership, epoch-0
+/// burst, epoch-1 burst, expected delivery total).
+#[allow(clippy::type_complexity)]
+fn churn_schedule() -> (
+    Membership,
+    Membership,
+    Vec<(NodeId, GroupId)>,
+    Vec<(NodeId, GroupId)>,
+    usize,
+) {
+    let n = NodeId;
+    let g = GroupId;
+    let m1 = Membership::from_groups([
+        (g(0), vec![n(0), n(1), n(2)]),
+        (g(1), vec![n(1), n(2), n(3)]),
+    ]);
+    let m2 = Membership::from_groups([
+        (g(0), vec![n(0), n(1), n(2)]),
+        (g(1), vec![n(1), n(2), n(3), n(4)]),
+    ]);
+    let burst_a = vec![(n(0), g(0)), (n(3), g(1)), (n(1), g(0)), (n(2), g(1))];
+    let burst_b = vec![(n(3), g(1)), (n(0), g(0)), (n(4), g(1))];
+    let expected_a: usize = burst_a.iter().map(|&(_, grp)| m1.group_size(grp)).sum();
+    let expected_b: usize = burst_b.iter().map(|&(_, grp)| m2.group_size(grp)).sum();
+    (m1, m2, burst_a, burst_b, expected_a + expected_b)
+}
+
+fn churn_orders_sim(bus: &OrderedPubSub, m: &Membership) -> ChurnOrders {
+    let mut orders = ChurnOrders::new();
+    for node in m.nodes() {
+        for d in bus.delivered(node) {
+            orders
+                .entry((d.group, node))
+                .or_default()
+                .push((d.id.0, d.epoch));
+        }
+    }
+    orders
+}
+
+fn churn_orders(deliveries: &BTreeMap<NodeId, Vec<Message>>) -> ChurnOrders {
+    let mut orders = ChurnOrders::new();
+    for (&node, msgs) in deliveries {
+        for msg in msgs {
+            orders
+                .entry((msg.group, node))
+                .or_default()
+                .push((msg.id.0, msg.epoch));
+        }
+    }
+    orders
+}
+
+/// ISSUE 8 satellite: the churn-aware three-way oracle. The same seeded
+/// reconfiguration schedule — a SIGKILL (or its driver-level equivalent)
+/// landing *inside* the epoch handoff — runs through the simulator, the
+/// threaded runtime, and the socket deployment, and all three must agree
+/// on every per-(group, receiver) delivery order *and* on which epoch
+/// sequenced every message.
+#[test]
+fn churn_with_crash_inside_handoff_agrees() {
+    let seed = 11u64;
+    let (m1, m2, burst_a, burst_b, expected) = churn_schedule();
+
+    // Simulator: atom 0 is down from just after time zero until well
+    // after the burst, so the epoch-0 drain spans a crash + recovery.
+    let mut bus = OrderedPubSub::new(&m1);
+    bus.apply_fault_plan(FaultPlan::new().crash(
+        0,
+        SimTime::from_micros(1_000),
+        SimTime::from_micros(30_000),
+    ));
+    for (k, &(node, group)) in burst_a.iter().enumerate() {
+        bus.publish_at(SimTime::from_micros((k as u64 + 1) * 700), node, group, vec![])
+            .unwrap();
+    }
+    let next_graph = GraphBuilder::new().build(&m2);
+    assert_eq!(bus.begin_reconfigure(&m2, next_graph).unwrap(), 1);
+    for (k, &(node, group)) in burst_b.iter().enumerate() {
+        // Strictly increasing times past the recovery window keep the
+        // parked injection order identical to the publish order.
+        bus.publish_at(
+            SimTime::from_micros(100_000 + (k as u64 + 1) * 700),
+            node,
+            group,
+            vec![],
+        )
+        .unwrap();
+    }
+    assert_eq!(bus.parked_publishes(), burst_b.len());
+    bus.run_to_quiescence();
+    assert_eq!(bus.stuck_messages(), 0, "sim delivered everything");
+    assert!(!bus.reconfig_pending(), "sim handoff completed");
+    assert_eq!(bus.epoch(), 1);
+    assert!(
+        bus.fault_stats().recovery.crashes > 0,
+        "the sim crash window actually fired inside the handoff"
+    );
+    let sim = churn_orders_sim(&bus, &m2);
+    assert_eq!(sim.values().map(Vec::len).sum::<usize>(), expected);
+
+    // Threaded runtime: a crashed node thread plays the SIGKILL.
+    let config = ClusterConfig {
+        seed,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::start(&m1, config.clone());
+    assert!(cluster.crash_node(0));
+    for &(node, group) in &burst_a {
+        cluster.publish(node, group, vec![]).unwrap();
+    }
+    assert_eq!(cluster.begin_reconfigure(&m2), Ok(1));
+    for &(node, group) in &burst_b {
+        cluster.publish(node, group, vec![]).unwrap();
+    }
+    assert_eq!(cluster.parked_publishes(), burst_b.len());
+    match cluster.complete_reconfigure(Duration::from_millis(300)) {
+        // The epoch-0 drain did not need the crashed node (colocation is
+        // seed-dependent); the rebuild revives it for epoch 1 anyway.
+        Ok(1) => {}
+        Err(RuntimeError::Timeout { .. }) => {
+            assert!(cluster.reconfig_pending(), "a failed drain stays pending");
+            assert!(cluster.restart_node(0));
+            assert_eq!(cluster.complete_reconfigure(Duration::from_secs(30)), Ok(1));
+        }
+        other => panic!("unexpected handoff outcome: {other:?}"),
+    }
+    assert_eq!(cluster.epoch(), 1);
+    let deliveries = cluster
+        .wait_for_deliveries(expected, Duration::from_secs(60))
+        .unwrap();
+    cluster.shutdown();
+    assert_eq!(cluster.stats().recovery.crashes, 1);
+    let threaded = churn_orders(&deliveries);
+
+    // Socket deployment: a real SIGKILL against a real child process,
+    // inside a real epoch handoff.
+    let mut sock = DeployCluster::start_with_binary(&m1, config, Some(seqnet_binary()))
+        .expect("socket cluster starts");
+    assert!(sock.kill_node(0));
+    for &(node, group) in &burst_a {
+        sock.publish(node, group, vec![]).unwrap();
+    }
+    assert_eq!(sock.begin_reconfigure(&m2), Ok(1));
+    for &(node, group) in &burst_b {
+        sock.publish(node, group, vec![]).unwrap();
+    }
+    assert_eq!(sock.parked_publishes(), burst_b.len());
+    match sock.complete_reconfigure(Duration::from_millis(300)) {
+        Ok(1) => {}
+        Ok(e) => panic!("handoff activated wrong epoch {e}"),
+        Err(_) => {
+            assert!(sock.reconfig_pending(), "a failed drain stays pending");
+            sock.respawn_node(0).expect("killed node respawns");
+            assert_eq!(sock.complete_reconfigure(Duration::from_secs(60)), Ok(1));
+        }
+    }
+    assert_eq!(sock.epoch(), 1);
+    let deliveries = sock
+        .wait_for_deliveries(expected, Duration::from_secs(60))
+        .expect("socket cluster delivers everything");
+    let stats = sock.shutdown();
+    assert_eq!(stats.recovery.crashes, 1, "exactly one real SIGKILL");
+    let socket = churn_orders(&deliveries);
+
+    assert_no_duplicates(
+        &socket.iter().map(|(k, v)| (*k, v.iter().map(|&(id, _)| id).collect())).collect(),
+        "socket",
+    );
+    assert_eq!(
+        sim, threaded,
+        "sim and runtime disagree under churn on some per-group delivery order or epoch stamp"
+    );
+    assert_eq!(
+        threaded, socket,
+        "runtime and socket cluster disagree under churn on some per-group delivery order or epoch stamp"
+    );
+
+    // Epoch stamps: burst A ids (0..4) sequenced under epoch 0, parked
+    // burst B ids (4..7) under epoch 1, at every driver and receiver.
+    for ((group, node), seq) in &socket {
+        for &(id, epoch) in seq {
+            let want = if (id as usize) < burst_a.len() { 0 } else { 1 };
+            assert_eq!(epoch, want, "{node} in {group}: message {id} epoch stamp");
+        }
+    }
+    // The joiner only exists in epoch 1 and sees exactly the parked g1
+    // publishes, in publish order.
+    assert_eq!(
+        socket[&(GroupId(1), NodeId(4))],
+        vec![(4, 1), (6, 1)],
+        "joiner sees exactly the epoch-1 g1 traffic"
+    );
 }
 
 #[test]
