@@ -28,6 +28,16 @@
 //! by CI's bench-smoke job). `--driver both` is sim + runtime; `all` adds
 //! the socket cluster.
 //!
+//! `--spans` turns the run into the **stretch-decomposition scenario**
+//! (`results/BENCH_9.json`): the same workload with the message-lifecycle
+//! trace plane enabled in every driver, each delivery's span reconstructed
+//! ([`seqnet_obs::span::TraceSet`]) and its end-to-end latency decomposed
+//! into `stamp_wait` (publish → last sequencing stamp), `wire` (stamp →
+//! arrival), and `group_gap_wait`/`atom_gap_wait` (receiver buffering on a
+//! sequencing gap). The components of each delivery sum exactly to its
+//! end-to-end latency; the JSON records per-driver percentiles per
+//! component plus the mean-sum identity, which `validate` re-checks.
+//!
 //! `--churn-cycles N` turns the run into the **churn scenario**
 //! (`results/BENCH_8.json`): the threaded runtime alone, open loop, with
 //! `N` epoch-stamped online reconfigurations (PROTOCOL.md §14) spread
@@ -48,10 +58,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use seqnet_bench::output::{f3, print_table};
+use seqnet_core::proto::trace::TraceEvent;
 use seqnet_core::{Message, MessageId, OrderedPubSub};
 use seqnet_deploy::DeployCluster;
 use seqnet_membership::{GroupId, Membership, NodeId};
-use seqnet_obs::Histogram;
+use seqnet_obs::span::{BreakdownHistograms, TraceSet};
+use seqnet_obs::{Histogram, Recorder};
 use seqnet_runtime::{Cluster, ClusterConfig};
 use seqnet_sim::SimTime;
 
@@ -126,6 +138,10 @@ struct LoadConfig {
     /// (PROTOCOL.md §14). 0 = plain load run (BENCH_6); positive =
     /// churn scenario (BENCH_8), threaded runtime only.
     churn_cycles: usize,
+    /// Trace every driver and emit the per-driver latency-stretch
+    /// decomposition (BENCH_9): span reconstruction over the run's
+    /// lifecycle events, components summing to end-to-end.
+    spans: bool,
     out: String,
     smoke: bool,
 }
@@ -143,6 +159,7 @@ impl Default for LoadConfig {
             warmup_ms: 200,
             measure_ms: 1_000,
             churn_cycles: 0,
+            spans: false,
             out: "results/BENCH_6.json".to_string(),
             smoke: false,
         }
@@ -154,7 +171,7 @@ fn usage() -> ! {
         "usage: seqnet-bench load [--driver sim|runtime|socket|both|all] [--mode open|closed]\n\
          \x20                        [--seed N] [--groups N] [--overlap N] [--rate-hz F]\n\
          \x20                        [--chains N] [--warmup-ms N] [--measure-ms N]\n\
-         \x20                        [--churn-cycles N] [--out PATH] [--smoke]\n\
+         \x20                        [--churn-cycles N] [--spans] [--out PATH] [--smoke]\n\
          \x20      seqnet-bench validate [PATH]"
     );
     std::process::exit(2);
@@ -208,6 +225,7 @@ fn parse_load(args: &[String]) -> LoadConfig {
                 cfg.churn_cycles =
                     value("--churn-cycles").parse().expect("--churn-cycles: usize")
             }
+            "--spans" => cfg.spans = true,
             "--out" => {
                 cfg.out = value("--out");
                 out_set = true;
@@ -229,6 +247,9 @@ fn parse_load(args: &[String]) -> LoadConfig {
     if cfg.churn_cycles > 0 && !out_set {
         cfg.out = "results/BENCH_8.json".to_string();
     }
+    if cfg.spans && !out_set {
+        cfg.out = "results/BENCH_9.json".to_string();
+    }
     assert!(cfg.groups >= 1, "--groups must be at least 1");
     assert!(cfg.rate_hz > 0.0, "--rate-hz must be positive");
     assert!(cfg.measure_ms > 0, "--measure-ms must be positive");
@@ -236,6 +257,10 @@ fn parse_load(args: &[String]) -> LoadConfig {
     assert!(
         cfg.churn_cycles == 0 || cfg.mode == Mode::Open,
         "--churn-cycles requires --mode open"
+    );
+    assert!(
+        !(cfg.spans && cfg.churn_cycles > 0),
+        "--spans and --churn-cycles are separate scenarios (BENCH_9 vs BENCH_8)"
     );
     cfg
 }
@@ -323,10 +348,25 @@ struct DriverReport {
     latency_us: Histogram,
     allocations_per_message: f64,
     batch_sizes: BTreeMap<usize, u64>,
+    /// Latency-stretch decomposition over the whole run's reconstructed
+    /// spans; present only in the BENCH_9 (`--spans`) scenario.
+    spans: Option<BreakdownHistograms>,
+}
+
+/// Reconstructs the run's spans and folds them into per-component
+/// histograms, the BENCH_9 payload of one driver.
+fn span_breakdown(events: &[TraceEvent]) -> BreakdownHistograms {
+    TraceSet::from_events(events).breakdown_histograms()
 }
 
 fn run_sim_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> DriverReport {
+    use std::sync::{Arc, Mutex};
     let mut bus = OrderedPubSub::new(m);
+    let recorder = cfg.spans.then(|| {
+        let recorder = Arc::new(Mutex::new(Recorder::new()));
+        bus.set_trace_sink(recorder.clone());
+        recorder
+    });
     let warmup = SimTime::from_micros(cfg.warmup_ms * 1_000);
     let allocs_before = allocations();
     let mut published = 0u64;
@@ -373,6 +413,10 @@ fn run_sim_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> Drive
     }
     let total_delivered = bus.all_deliveries().count() as u64;
     let span_s = (span_end - warmup).as_ms().max(1.0) / 1_000.0;
+    let spans = recorder.map(|rec| {
+        let rec = rec.lock().expect("trace sink poisoned");
+        span_breakdown(rec.events())
+    });
     DriverReport {
         driver: "sim",
         time_base: "virtual-us",
@@ -382,6 +426,7 @@ fn run_sim_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> Drive
         latency_us: latency,
         allocations_per_message: allocs as f64 / total_delivered.max(1) as f64,
         batch_sizes: bus.batch_size_counts().clone(),
+        spans,
     }
 }
 
@@ -396,6 +441,9 @@ trait LoadTarget {
     fn next_delivery(&mut self, timeout: Duration) -> Option<(NodeId, Message)>;
     /// Shuts the deployment down and returns the wire batch-size histogram.
     fn finish(&mut self) -> BTreeMap<usize, u64>;
+    /// The run's lifecycle trace, read after [`finish`](Self::finish);
+    /// empty unless the deployment was started with tracing on.
+    fn collect_trace(&self) -> Vec<TraceEvent>;
 }
 
 impl LoadTarget for Cluster {
@@ -409,6 +457,9 @@ impl LoadTarget for Cluster {
     fn finish(&mut self) -> BTreeMap<usize, u64> {
         self.shutdown();
         self.batch_size_counts()
+    }
+    fn collect_trace(&self) -> Vec<TraceEvent> {
+        self.trace_events()
     }
 }
 
@@ -424,6 +475,20 @@ impl LoadTarget for DeployCluster {
         let _ = self.shutdown();
         self.batch_size_counts()
     }
+    fn collect_trace(&self) -> Vec<TraceEvent> {
+        // The coordinator's events are in memory; the node processes
+        // flushed theirs to per-process JSONL in the run directory. The
+        // reconstructor needs no global ordering, so plain concatenation
+        // is enough.
+        let mut events = self.trace_events();
+        for idx in 0..self.num_sequencing_nodes() {
+            let path = self.dir().join(format!("node{idx}.obs.jsonl"));
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                events.extend(text.lines().filter_map(seqnet_obs::jsonl::parse_jsonl));
+            }
+        }
+        events
+    }
 }
 
 fn run_runtime_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> DriverReport {
@@ -432,6 +497,7 @@ fn run_runtime_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> D
         ClusterConfig {
             coalesce: true,
             seed: cfg.seed,
+            trace: cfg.spans,
             ..ClusterConfig::default()
         },
     );
@@ -447,6 +513,7 @@ fn run_socket_driver(cfg: &LoadConfig, m: &Membership, items: &[WorkItem]) -> Dr
         ClusterConfig {
             coalesce: true,
             seed: cfg.seed,
+            trace: cfg.spans,
             ..ClusterConfig::default()
         },
     )
@@ -558,6 +625,7 @@ fn run_wall_driver<T: LoadTarget>(
     let elapsed = Instant::now().duration_since(warmup).as_secs_f64().max(1e-3);
     let batch_sizes = cluster.finish();
     let allocs = allocations() - allocs_before;
+    let spans = cfg.spans.then(|| span_breakdown(&cluster.collect_trace()));
     DriverReport {
         driver: T::NAME,
         time_base: "wall-us",
@@ -567,6 +635,7 @@ fn run_wall_driver<T: LoadTarget>(
         latency_us: latency,
         allocations_per_message: allocs as f64 / (received as u64).max(1) as f64,
         batch_sizes,
+        spans,
     }
 }
 
@@ -725,6 +794,7 @@ fn run_churn_driver(
             latency_us: all,
             allocations_per_message: allocs as f64 / (received as u64).max(1) as f64,
             batch_sizes,
+            spans: None,
         },
         ChurnReport { cycles: cfg.churn_cycles as u64, steady, churn },
     )
@@ -742,6 +812,43 @@ fn latency_json(h: &Histogram) -> String {
         h.mean().unwrap_or(0.0),
         q(h.max()),
         h.count()
+    )
+}
+
+/// The BENCH_9 per-driver stretch-decomposition block. The per-delivery
+/// identity (components sum to end-to-end, exactly) carries over to the
+/// means because every component histogram covers the same deliveries, so
+/// `mean_component_sum_us` must equal `mean_end_to_end_us` up to float
+/// rounding — `validate` re-checks it with a 1% tolerance.
+fn spans_json(driver: &str, b: &BreakdownHistograms) -> String {
+    let block = |h: &Histogram| {
+        format!(
+            "{{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {:.1}, \"max\": {}}}",
+            h.p50().unwrap_or(0),
+            h.p95().unwrap_or(0),
+            h.p99().unwrap_or(0),
+            h.mean().unwrap_or(0.0),
+            h.max().unwrap_or(0),
+        )
+    };
+    let mean = |h: &Histogram| h.mean().unwrap_or(0.0);
+    let component_sum =
+        mean(&b.stamp_wait) + mean(&b.wire) + mean(&b.group_gap_wait) + mean(&b.atom_gap_wait);
+    format!(
+        "{{\n      \"driver\": \"{driver}\",\n      \"complete\": {},\n      \
+         \"incomplete\": {},\n      \"stamp_wait_us\": {},\n      \"wire_us\": {},\n      \
+         \"group_gap_wait_us\": {},\n      \"atom_gap_wait_us\": {},\n      \
+         \"end_to_end_us\": {},\n      \"mean_component_sum_us\": {:.1},\n      \
+         \"mean_end_to_end_us\": {:.1}\n    }}",
+        b.complete,
+        b.incomplete,
+        block(&b.stamp_wait),
+        block(&b.wire),
+        block(&b.group_gap_wait),
+        block(&b.atom_gap_wait),
+        block(&b.end_to_end),
+        component_sum,
+        mean(&b.end_to_end),
     )
 }
 
@@ -769,9 +876,15 @@ fn report_json(r: &DriverReport) -> String {
 }
 
 fn write_json(cfg: &LoadConfig, reports: &[DriverReport], churn: Option<&ChurnReport>) {
-    let bench = if churn.is_some() { "BENCH_8" } else { "BENCH_6" };
+    let bench = if cfg.spans {
+        "BENCH_9"
+    } else if churn.is_some() {
+        "BENCH_8"
+    } else {
+        "BENCH_6"
+    };
     let drivers = reports.iter().map(report_json).collect::<Vec<_>>().join(",\n    ");
-    let churn_block = churn
+    let mut churn_block = churn
         .map(|c| {
             format!(
                 ",\n  \"churn\": {{\n    \"cycles\": {},\n    \
@@ -782,6 +895,14 @@ fn write_json(cfg: &LoadConfig, reports: &[DriverReport], churn: Option<&ChurnRe
             )
         })
         .unwrap_or_default();
+    if cfg.spans {
+        let blocks = reports
+            .iter()
+            .filter_map(|r| r.spans.as_ref().map(|b| spans_json(r.driver, b)))
+            .collect::<Vec<_>>()
+            .join(",\n    ");
+        churn_block = format!(",\n  \"spans\": [\n    {blocks}\n  ]");
+    }
     let json = format!(
         "{{\n  \"bench\": \"{}\",\n  \"schema_version\": 1,\n  \"seed\": {},\n  \
          \"workload\": {{\n    \"mode\": \"{}\",\n    \"groups\": {},\n    \"overlap\": {},\n    \
@@ -873,6 +994,33 @@ fn cmd_load(args: &[String]) {
             &format!("churn split ({} reconfigurations)", c.cycles),
             &["phase", "count", "p50us", "p95us", "p99us", "maxus"],
             &[lat_row("steady", &c.steady), lat_row("churn", &c.churn)],
+        );
+    }
+    let span_rows: Vec<Vec<String>> = reports
+        .iter()
+        .filter_map(|r| r.spans.as_ref().map(|b| (r.driver, b)))
+        .map(|(driver, b)| {
+            let p50 = |h: &Histogram| h.p50().unwrap_or(0).to_string();
+            vec![
+                driver.to_string(),
+                b.complete.to_string(),
+                b.incomplete.to_string(),
+                p50(&b.stamp_wait),
+                p50(&b.wire),
+                p50(&b.group_gap_wait),
+                p50(&b.atom_gap_wait),
+                p50(&b.end_to_end),
+            ]
+        })
+        .collect();
+    if !span_rows.is_empty() {
+        print_table(
+            "latency-stretch decomposition (per-component p50 us)",
+            &[
+                "driver", "complete", "incomplete", "stamp", "wire", "group gap", "atom gap",
+                "e2e",
+            ],
+            &span_rows,
         );
     }
     write_json(&cfg, &reports, churn_report.as_ref());
@@ -1188,6 +1336,72 @@ fn cmd_validate(path: &str) {
         check(
             doc.get("churn").is_none(),
             "only BENCH_8 carries a \"churn\" object",
+        );
+    }
+    // BENCH_9 (the stretch-decomposition scenario) carries the per-driver
+    // spans blocks; a stray "spans" array on any other bench is a bug.
+    let is_spans = doc.get("bench").and_then(Json::str) == Some("BENCH_9");
+    if is_spans {
+        match doc.get("spans") {
+            Some(Json::Arr(blocks)) if !blocks.is_empty() => {
+                for (i, b) in blocks.iter().enumerate() {
+                    let at = |what: &str| format!("spans[{i}].{what}");
+                    check(
+                        matches!(
+                            b.get("driver").and_then(Json::str),
+                            Some("sim") | Some("runtime") | Some("socket")
+                        ),
+                        &at("driver must be \"sim\", \"runtime\" or \"socket\""),
+                    );
+                    check(
+                        b.get("complete").and_then(Json::num).is_some_and(|n| n >= 1.0),
+                        &at("complete must be at least 1"),
+                    );
+                    check(
+                        b.get("incomplete").and_then(Json::num).is_some_and(|n| n >= 0.0),
+                        &at("incomplete must be a non-negative number"),
+                    );
+                    for comp in [
+                        "stamp_wait_us",
+                        "wire_us",
+                        "group_gap_wait_us",
+                        "atom_gap_wait_us",
+                        "end_to_end_us",
+                    ] {
+                        match b.get(comp) {
+                            Some(block) => {
+                                for key in ["p50", "p95", "p99", "mean", "max"] {
+                                    check(
+                                        block.get(key).and_then(Json::num).is_some(),
+                                        &at(&format!("{comp}.{key} must be a number")),
+                                    );
+                                }
+                            }
+                            None => check(false, &at(&format!("{comp} object missing"))),
+                        }
+                    }
+                    // The decomposition identity: per delivery the four
+                    // components sum exactly to end-to-end, so the means
+                    // must agree up to rounding.
+                    if let (Some(sum), Some(e2e)) = (
+                        b.get("mean_component_sum_us").and_then(Json::num),
+                        b.get("mean_end_to_end_us").and_then(Json::num),
+                    ) {
+                        check(
+                            (sum - e2e).abs() <= (e2e * 0.01).max(1.0),
+                            &at("mean_component_sum_us must equal mean_end_to_end_us (1% tolerance)"),
+                        );
+                    } else {
+                        check(false, &at("mean_component_sum_us / mean_end_to_end_us missing"));
+                    }
+                }
+            }
+            _ => check(false, "BENCH_9 requires a non-empty \"spans\" array"),
+        }
+    } else {
+        check(
+            doc.get("spans").is_none(),
+            "only BENCH_9 carries a \"spans\" array",
         );
     }
 

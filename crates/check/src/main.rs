@@ -19,6 +19,7 @@ use seqnet_check::invariants::default_oracles;
 use seqnet_check::random::{random_walks, scenario_for_walk, RandomConfig};
 use seqnet_check::scenario::{self, Scenario};
 use seqnet_check::shrink::{replay, replay_traced, shrink};
+use seqnet_obs::span::TraceSet;
 use seqnet_obs::FlightRecorder;
 use seqnet_sim::ScheduleTrace;
 
@@ -145,6 +146,39 @@ fn write_events(
     } else {
         println!("event trace written to {path} ({} events)", recorder.seen());
     }
+    if recorder.dropped_events() > 0 {
+        eprintln!(
+            "warning: flight recorder overflowed; {} early event(s) were dropped \
+             and the span trees below may be incomplete",
+            recorder.dropped_events()
+        );
+    }
+
+    // Reconstruct per-message span trees from the same replay: the
+    // messages the violation left incomplete (undelivered, unstamped)
+    // are usually the counterexample's protagonists, so render those
+    // first, then the slowest completed delivery for timing context.
+    let events: Vec<_> = recorder.events().cloned().collect();
+    let set = TraceSet::with_dropped(&events, recorder.dropped_events());
+    let mut rendered = String::new();
+    for trace in set.traces().filter(|t| !t.is_complete()).take(8) {
+        rendered.push_str(&trace.render());
+        rendered.push('\n');
+    }
+    if let Some((trace, _)) = set.slowest(1).into_iter().next() {
+        rendered.push_str(&trace.render());
+        rendered.push('\n');
+    }
+    if rendered.is_empty() {
+        return;
+    }
+    let spans_path = format!("{dir}/{}.spans.txt", scenario_name.replace('/', "_"));
+    if let Err(e) = std::fs::write(&spans_path, &rendered) {
+        eprintln!("warning: could not write {spans_path}: {e}");
+    } else {
+        println!("span trees written to {spans_path}");
+    }
+    print!("{rendered}");
 }
 
 /// Checks one scenario; returns `true` on pass.

@@ -297,6 +297,7 @@ impl NodeCore {
                             sink.record(TraceEvent {
                                 msg: Some(msg.id.0),
                                 group: Some(u64::from(msg.group.0)),
+                                atom: Some(u64::from(next.0)),
                                 seq: Some(u64::from(self.group_commit && !self.skip_staging)),
                                 detail: Some(owner as u64),
                                 ..TraceEvent::new(EventKind::FrameForward, self.actor())

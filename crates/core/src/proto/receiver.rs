@@ -553,6 +553,7 @@ impl ReceiverCore {
                     msg: Some(msg.id.0),
                     group: Some(u64::from(msg.group.0)),
                     seq: Some(msg.group_seq.0),
+                    detail: Some(msg.epoch),
                     stamps: trace::stamp_vector(&msg),
                     ..TraceEvent::new(EventKind::Deliver, actor)
                 });

@@ -16,13 +16,15 @@
 use crate::chaos::{ChaosKind, ChaosPlan};
 use crate::conn::{Conn, Dialer};
 use crate::engine::WireEngine;
+use crate::node::unix_micros;
 use crate::spec::ClusterSpec;
 use crate::topo::{Proc, Topology};
-use crate::wire::{NodeWireStats, WireMsg};
+use crate::wire::{NodeTelemetry, NodeWireStats, WireMsg};
+use seqnet_core::proto::trace::{Actor, EventKind, TraceEvent, TraceSink};
 use seqnet_core::proto::{Command, CommandBuf, Event, Frame, Peer, ReceiverCore, RecoveryStats};
 use seqnet_core::{Message, MessageId};
 use seqnet_membership::{GroupId, Membership, NodeId};
-use seqnet_obs::{prom, Registry};
+use seqnet_obs::{prom, Recorder, Registry};
 use seqnet_runtime::{ClusterConfig, RuntimeError};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::SocketAddr;
@@ -33,6 +35,10 @@ use std::time::{Duration, Instant};
 
 /// Run-directory disambiguator for clusters started by one process.
 static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// How often the coordinator polls every node process for a live
+/// [`NodeTelemetry`] snapshot over the existing control connections.
+const TELEMETRY_INTERVAL: Duration = Duration::from_millis(200);
 
 /// Aggregated statistics for a socket deployment, shaped like the
 /// threaded runtime's `RuntimeStats` with deployment extras.
@@ -94,6 +100,21 @@ pub struct DeployCluster {
     /// Counters accumulated by earlier epochs' deployments, folded into
     /// [`DeployCluster::stats`].
     prior_stats: DeployStats,
+    /// Coordinator-side trace recorder when `config.trace` is set:
+    /// `Publish` events plus the receiver cores' `Arrive`/`Buffer`/
+    /// `Deliver` lifecycle, stamped with UNIX-epoch microseconds so they
+    /// join the node processes' JSONL logs on one timebase.
+    trace: Option<Recorder>,
+    /// Trace events carried over from earlier epochs' coordinators.
+    prior_trace: Vec<TraceEvent>,
+    /// Latest live telemetry snapshot received from each node process.
+    telemetry: HashMap<usize, NodeTelemetry>,
+    /// When the last `TelemetryRequest` round was broadcast.
+    last_telemetry_poll: Instant,
+    /// Publishes accepted in steady state.
+    publishes_steady: u64,
+    /// Publishes parked behind a staged reconfiguration.
+    publishes_parked: u64,
 }
 
 /// A reconfiguration staged by [`DeployCluster::begin_reconfigure`]: the
@@ -223,6 +244,12 @@ impl DeployCluster {
             expected_deliveries: 0,
             deliveries_seen: 0,
             prior_stats: DeployStats::default(),
+            trace: config.trace.then(Recorder::new),
+            prior_trace: Vec::new(),
+            telemetry: HashMap::new(),
+            last_telemetry_poll: Instant::now(),
+            publishes_steady: 0,
+            publishes_parked: 0,
             binary,
             spec,
             topo,
@@ -285,6 +312,9 @@ impl DeployCluster {
                 party: Peer::Publisher,
                 incarnation: 0,
             });
+            // Prime the live-telemetry plane right away — a short-lived
+            // run would otherwise end before the first periodic poll.
+            conn.queue(&WireMsg::TelemetryRequest);
             self.dialers.remove(&idx);
             self.conns.insert(idx, conn);
             let epoch = self.epochs.entry(idx).or_insert(0);
@@ -307,9 +337,12 @@ impl DeployCluster {
             };
             for msg in msgs {
                 match msg {
-                    WireMsg::Hello { .. } | WireMsg::Shutdown => {}
+                    WireMsg::Hello { .. } | WireMsg::Shutdown | WireMsg::TelemetryRequest => {}
                     WireMsg::Stats(stats) => {
                         self.node_stats.insert(idx, stats);
+                    }
+                    WireMsg::Telemetry(telemetry) => {
+                        self.telemetry.insert(idx, telemetry);
                     }
                     WireMsg::Link { link, seq, body } => {
                         let frames = self.engine.on_link(&self.topo, link, seq, body);
@@ -326,7 +359,12 @@ impl DeployCluster {
                             .into_iter()
                             .map(|data| Event::FrameArrived { frame: data });
                         self.cmdbuf.clear();
-                        receiver.offer_batch(events, &mut self.cmdbuf);
+                        if let Some(rec) = &mut self.trace {
+                            rec.now(unix_micros());
+                            receiver.offer_batch_traced(events, rec, &mut self.cmdbuf);
+                        } else {
+                            receiver.offer_batch(events, &mut self.cmdbuf);
+                        }
                         for cmd in self.cmdbuf.drain() {
                             match cmd {
                                 Command::Deliver { host, msg } => {
@@ -338,6 +376,15 @@ impl DeployCluster {
                         }
                     }
                 }
+            }
+        }
+
+        // Periodically ask every connected node for a live counter
+        // snapshot; replies land in `telemetry` on a later pump round.
+        if self.last_telemetry_poll.elapsed() >= TELEMETRY_INTERVAL {
+            self.last_telemetry_poll = Instant::now();
+            for conn in self.conns.values_mut() {
+                conn.queue(&WireMsg::TelemetryRequest);
             }
         }
 
@@ -391,11 +438,13 @@ impl DeployCluster {
             }
             let id = MessageId(self.next_id);
             self.next_id += 1;
+            self.publishes_parked += 1;
             pending.parked.push((id, sender, group, payload));
             return Ok(id);
         }
         let id = MessageId(self.next_id);
         self.next_id += 1;
+        self.publishes_steady += 1;
         self.publish_now(id, sender, group, payload)?;
         Ok(id)
     }
@@ -416,6 +465,15 @@ impl DeployCluster {
         self.expected_deliveries += self.spec.membership.group_size(group);
         let msg = Message::new(id, sender, group, payload);
         let node = self.topo.atom_node[&ingress];
+        if let Some(rec) = &mut self.trace {
+            rec.now(unix_micros());
+            rec.record(TraceEvent {
+                msg: Some(id.0),
+                group: Some(u64::from(group.0)),
+                detail: Some(u64::from(sender.0)),
+                ..TraceEvent::new(EventKind::Publish, Actor::Publisher)
+            });
+        }
         self.engine.send_data(
             &self.topo,
             Peer::Node(node),
@@ -493,6 +551,7 @@ impl DeployCluster {
         let pending = self.pending.take().expect("pending reconfiguration checked");
         let next_epoch = self.spec.epoch + 1;
         let carried = std::mem::take(&mut self.deliveries);
+        let prior_trace = self.trace_events();
         let prior = self.shutdown();
 
         let mut next = Self::start_inner(
@@ -506,6 +565,16 @@ impl DeployCluster {
         next.deliveries_seen = self.deliveries_seen;
         next.deliveries = carried;
         next.prior_stats = prior;
+        next.prior_trace = prior_trace;
+        next.publishes_steady = self.publishes_steady;
+        next.publishes_parked = self.publishes_parked;
+        if let Some(rec) = &mut next.trace {
+            rec.now(unix_micros());
+            rec.record(TraceEvent {
+                detail: Some(next_epoch),
+                ..TraceEvent::new(EventKind::EpochAdvance, Actor::Publisher)
+            });
+        }
         for (id, sender, group, payload) in pending.parked {
             next.publish_now(id, sender, group, payload)
                 .map_err(|e| format!("inject parked publish: {e}"))?;
@@ -708,8 +777,72 @@ impl DeployCluster {
             }
             self.conns.clear();
             self.dialers.clear();
+            // Persist the coordinator's side of the trace next to the
+            // node logs, so span reconstruction gets the Publish and
+            // Arrive/Buffer/Deliver events only this process saw.
+            if self.trace.is_some() || !self.prior_trace.is_empty() {
+                let mut out = String::new();
+                for event in self.trace_events() {
+                    out.push_str(&seqnet_obs::jsonl::to_jsonl(&event));
+                    out.push('\n');
+                }
+                let _ = std::fs::write(self.spec.dir.join("coord.obs.jsonl"), out);
+            }
         }
         self.stats()
+    }
+
+    /// The coordinator-side structured trace recorded so far (earlier
+    /// epochs included), in emission order; empty unless the cluster was
+    /// started with [`ClusterConfig::trace`]. Node-side events live in the
+    /// run directory's `node{i}.obs.jsonl` files.
+    ///
+    /// [`ClusterConfig::trace`]: seqnet_runtime::ClusterConfig
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut out = self.prior_trace.clone();
+        if let Some(rec) = &self.trace {
+            out.extend_from_slice(rec.events());
+        }
+        out
+    }
+
+    /// Latest live telemetry snapshot from each node process, keyed by
+    /// node index. Populated by the periodic in-band telemetry poll; a
+    /// node that never answered (crashed early, never connected) is
+    /// absent.
+    pub fn telemetry(&self) -> &HashMap<usize, NodeTelemetry> {
+        &self.telemetry
+    }
+
+    /// One human-readable cluster health line: epoch, reconfiguration
+    /// state, parked publishes, receiver-side buffered messages, total
+    /// deliveries, then per-node liveness with each node's last-reported
+    /// incarnation, staged (in-flight) frames, and processed frames.
+    pub fn health_line(&self) -> String {
+        let buffered: usize = self.receivers.values().map(|r| r.queue().pending()).sum();
+        let mut line = format!(
+            "epoch={} reconfig_pending={} parked={} buffered={} delivered={}",
+            self.spec.epoch,
+            self.pending.is_some(),
+            self.parked_publishes(),
+            buffered,
+            self.deliveries_seen,
+        );
+        for idx in 0..self.topo.num_nodes {
+            let state = if self.children.contains_key(&idx) {
+                "up"
+            } else {
+                "down"
+            };
+            match self.telemetry.get(&idx) {
+                Some(t) => line.push_str(&format!(
+                    " node{idx}={state}:inc{}:staged={}:processed={}",
+                    t.incarnation, t.staged_frames, t.frames_processed
+                )),
+                None => line.push_str(&format!(" node{idx}={state}:no-telemetry")),
+            }
+        }
+        line
     }
 
     /// Aggregated statistics: counters accumulated by earlier epochs plus
@@ -747,21 +880,75 @@ impl DeployCluster {
         self.stats().batch_sizes
     }
 
-    /// Prometheus text exposition of the deployment counters.
+    /// The sum of every node's live telemetry as one registry, each
+    /// family labelled with the current configuration epoch. This is
+    /// exactly the node-scoped (`node_*`) portion of
+    /// [`prometheus_text`](Self::prometheus_text), exposed separately so
+    /// tests can verify the merge is a plain sum of [`node_registry`]
+    /// outputs over the same telemetry snapshot.
+    pub fn merged_node_registry(&self) -> Registry {
+        let mut merged = Registry::new();
+        for telemetry in self.telemetry.values() {
+            merged.merge(&node_registry(telemetry, Some(self.spec.epoch)));
+        }
+        merged
+    }
+
+    /// Prometheus text exposition of the whole deployment: the merged
+    /// epoch-labelled per-node telemetry
+    /// ([`merged_node_registry`](Self::merged_node_registry)) plus the
+    /// coordinator's own end-of-run aggregates and publish counters.
     pub fn prometheus_text(&self) -> String {
         let stats = self.stats();
-        let mut reg = Registry::new();
+        let mut reg = self.merged_node_registry();
         reg.inc("crashes_total", None, stats.recovery.crashes);
         reg.inc("duplicate_frames_total", None, stats.duplicates);
         reg.inc("frames_dropped_total", None, stats.frames_dropped);
         reg.inc("frames_replayed_total", None, stats.recovery.frames_replayed);
         reg.inc("frames_sent_total", None, stats.frames_sent);
         reg.inc("heartbeat_misses_total", None, stats.heartbeat_misses);
+        reg.inc("publishes_parked_total", None, self.publishes_parked);
+        reg.inc("publishes_steady_total", None, self.publishes_steady);
         reg.inc("recovery_micros_total", None, stats.recovery.recovery_micros);
         reg.inc("retransmissions_total", None, stats.retransmissions);
         reg.inc("snapshots_total", None, stats.snapshots);
-        prom::exposition(&reg, "seqnet_deploy", |_| "group")
+        prom::exposition(&reg, "seqnet_deploy", node_or_group_label)
     }
+}
+
+/// Label key for the deployment exposition: node-telemetry families carry
+/// the configuration epoch, everything else keeps the legacy group label.
+fn node_or_group_label(family: &'static str) -> &'static str {
+    if family.starts_with("node_") {
+        "epoch"
+    } else {
+        "group"
+    }
+}
+
+/// One node's live telemetry snapshot as a metrics registry, every family
+/// labelled `label` (the configuration epoch in the merged exposition).
+/// The coordinator's cluster-wide registry is the [`Registry::merge`] of
+/// these over all nodes — counters add, histograms add bucket-wise — so a
+/// test can recompute the merge independently from the same snapshots.
+pub fn node_registry(telemetry: &NodeTelemetry, label: Option<u64>) -> Registry {
+    let mut reg = Registry::new();
+    let s = &telemetry.stats;
+    reg.inc("node_duplicate_frames_total", label, s.duplicates);
+    reg.inc("node_frames_processed_total", label, telemetry.frames_processed);
+    reg.inc("node_frames_replayed_total", label, s.frames_replayed);
+    reg.inc("node_frames_sent_total", label, s.frames_sent);
+    reg.inc("node_heartbeat_misses_total", label, s.heartbeat_misses);
+    reg.inc("node_obs_dropped_events_total", label, telemetry.obs_dropped);
+    reg.inc("node_recovery_micros_total", label, s.recovery_micros);
+    reg.inc("node_retransmissions_total", label, s.retransmissions);
+    reg.inc("node_snapshots_total", label, s.snapshots);
+    reg.inc("node_staged_frames", label, telemetry.staged_frames);
+    let batches = reg.histogram("node_batch_frames", label);
+    for (&size, &count) in &s.batch_sizes {
+        batches.record_n(size as u64, count);
+    }
+    reg
 }
 
 impl Drop for DeployCluster {

@@ -76,7 +76,7 @@ pub mod wire;
 
 pub use chaos::{ChaosEvent, ChaosKind, ChaosPlan};
 pub use child::run_if_child;
-pub use coord::{DeployCluster, DeployStats};
+pub use coord::{node_registry, DeployCluster, DeployStats};
 pub use spec::ClusterSpec;
 pub use topo::{Proc, Topology};
-pub use wire::{CodecError, NodeWireStats, WireBody, WireMsg};
+pub use wire::{CodecError, NodeTelemetry, NodeWireStats, WireBody, WireMsg};

@@ -15,24 +15,47 @@ use crate::engine::WireEngine;
 use crate::snapshot::{snapshot_path, DiskSnapshot};
 use crate::spec::ClusterSpec;
 use crate::topo::{Proc, Topology};
-use crate::wire::{NodeWireStats, WireMsg};
-use seqnet_core::proto::trace::{Actor, EventKind, TraceEvent};
+use crate::wire::{NodeTelemetry, NodeWireStats, WireMsg};
+use seqnet_core::proto::trace::{Actor, EventKind, TraceEvent, TraceSink};
 use seqnet_core::proto::{Command, CommandBuf, Event, NodeCore, Peer, ProtocolState, Routing};
 use std::collections::HashMap;
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener};
 use std::path::Path;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Wall-clock microseconds since the UNIX epoch — the shared timebase of
+/// every process's trace, so spans can be joined across node logs and the
+/// coordinator's log without a distributed clock protocol. Skew between
+/// processes on one machine is bounded by the kernel clock; the span
+/// reconstructor clamps components to non-negative to absorb it.
+pub(crate) fn unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
 
 /// Incremental observability log: one JSONL line per protocol event,
 /// flushed immediately so the record survives a SIGKILL mid-run.
+///
+/// Doubles as the node's [`TraceSink`]: when the spec enables tracing the
+/// protocol core's message-lifecycle events (`AtomStamp`, `FrameForward`)
+/// stream through [`TraceSink::record`] into the same file the lifecycle
+/// events (`Crash`, `Replay`, `SnapshotFlush`, `HeartbeatMiss`) go to.
+/// Lifecycle events are always written; message events are gated on
+/// `config.trace`. Write failures are never silently ignored — they bump
+/// [`ObsLog::dropped`], which the telemetry reply reports upstream.
+#[derive(Debug)]
 struct ObsLog {
     file: Option<std::fs::File>,
-    epoch: Instant,
+    msg_trace: bool,
+    now: u64,
+    dropped: u64,
 }
 
 impl ObsLog {
-    fn open(path: &Path) -> Self {
+    fn open(path: &Path, msg_trace: bool) -> Self {
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -40,20 +63,54 @@ impl ObsLog {
             .ok();
         ObsLog {
             file,
-            epoch: Instant::now(),
+            msg_trace,
+            now: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Events lost to open/write failures since startup.
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn write(&mut self, event: &TraceEvent) {
+        let Some(file) = &mut self.file else {
+            self.dropped += 1;
+            return;
+        };
+        let ok = file
+            .write_all(seqnet_obs::jsonl::to_jsonl(event).as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .and_then(|()| file.flush());
+        if ok.is_err() {
+            self.dropped += 1;
         }
     }
 
     fn record(&mut self, kind: EventKind, actor: Actor, detail: Option<u64>) {
-        let Some(file) = &mut self.file else { return };
         let event = TraceEvent {
-            at: self.epoch.elapsed().as_micros() as u64,
+            at: unix_micros(),
             detail,
             ..TraceEvent::new(kind, actor)
         };
-        let _ = file.write_all(seqnet_obs::jsonl::to_jsonl(&event).as_bytes());
-        let _ = file.write_all(b"\n");
-        let _ = file.flush();
+        self.write(&event);
+    }
+}
+
+impl TraceSink for ObsLog {
+    fn enabled(&self) -> bool {
+        self.msg_trace
+    }
+
+    fn now(&mut self, at: u64) {
+        self.now = at;
+    }
+
+    fn record(&mut self, mut event: TraceEvent) {
+        event.at = self.now;
+        let event = event;
+        self.write(&event);
     }
 }
 
@@ -91,7 +148,10 @@ fn peer_addr(spec: &ClusterSpec, node: usize) -> SocketAddr {
 pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<()> {
     let config = &spec.config;
     let topo = Topology::derive(&spec.membership, config.seed);
-    let mut obs = ObsLog::open(&spec.dir.join(format!("node{idx}.obs.jsonl")));
+    let mut obs = ObsLog::open(
+        &spec.dir.join(format!("node{idx}.obs.jsonl")),
+        config.trace,
+    );
     let actor = Actor::Node(idx as u64);
 
     let mut engine = WireEngine::new(
@@ -121,6 +181,7 @@ pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<
     let mut frames_replayed_total: u64 = 0;
     let mut recovery_micros: u64 = 0;
     let mut snapshots: u64 = 0;
+    let mut frames_processed: u64 = 0;
 
     if restarted {
         match DiskSnapshot::load(&snapshot_path(&spec.dir, idx))? {
@@ -177,6 +238,7 @@ pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<
     let mut last_snapshot = Instant::now();
     let mut last_heartbeat = Instant::now();
     let mut shutdown_via: Option<Proc> = None;
+    let mut telemetry_via: Option<Proc> = None;
 
     'main: loop {
         // Accept new connections; they become routable once they say Hello.
@@ -246,10 +308,13 @@ pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<
                     &mut protocol,
                     &routing,
                     &mut cmdbuf,
+                    &mut obs,
                     &mut watched,
                     replaying,
                     &mut replayed,
+                    &mut frames_processed,
                     &mut shutdown_via,
+                    &mut telemetry_via,
                 );
             }
         }
@@ -282,11 +347,39 @@ pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<
                     &mut protocol,
                     &routing,
                     &mut cmdbuf,
+                    &mut obs,
                     &mut watched,
                     replaying,
                     &mut replayed,
+                    &mut frames_processed,
                     &mut shutdown_via,
+                    &mut telemetry_via,
                 );
+            }
+        }
+        if let Some(via) = telemetry_via.take() {
+            // A live snapshot of this node's counters, replied over the
+            // control connection that asked. Cheap enough to answer every
+            // poll: all fields are already-maintained counters.
+            let telemetry = NodeTelemetry {
+                incarnation,
+                epoch: spec.epoch,
+                staged_frames: engine.staged_len() as u64,
+                frames_processed,
+                obs_dropped: obs.dropped(),
+                stats: NodeWireStats {
+                    frames_sent: engine.stats.frames_sent,
+                    retransmissions: engine.stats.retransmissions,
+                    duplicates: engine.stats.duplicates,
+                    heartbeat_misses,
+                    frames_replayed: frames_replayed_total + replayed,
+                    recovery_micros,
+                    snapshots,
+                    batch_sizes: engine.stats.batch_sizes.clone(),
+                },
+            };
+            if let Some(conn) = conns.get_mut(&via) {
+                conn.queue(&WireMsg::Telemetry(telemetry));
             }
         }
         if let Some(via) = shutdown_via {
@@ -432,15 +525,19 @@ fn handle_msg(
     protocol: &mut ProtocolState,
     routing: &Routing<'_>,
     cmdbuf: &mut CommandBuf,
+    obs: &mut ObsLog,
     watched: &mut HashMap<usize, (Instant, bool)>,
     replaying: bool,
     replayed: &mut u64,
+    frames_processed: &mut u64,
     shutdown_via: &mut Option<Proc>,
+    telemetry_via: &mut Option<Proc>,
 ) {
     match msg {
         WireMsg::Hello { .. } => {}
-        WireMsg::Stats(_) => {}
+        WireMsg::Stats(_) | WireMsg::Telemetry(_) => {}
         WireMsg::Shutdown => *shutdown_via = Some(from_proc),
+        WireMsg::TelemetryRequest => *telemetry_via = Some(from_proc),
         WireMsg::Link { link, seq, body } => {
             if let Proc::Node(p) = from_proc {
                 if let Some(entry) = watched.get_mut(&p) {
@@ -454,11 +551,13 @@ fn handle_msg(
             if replaying {
                 *replayed += frames.len() as u64;
             }
+            *frames_processed += frames.len() as u64;
             let events = frames
                 .into_iter()
                 .map(|data| Event::FrameArrived { frame: data });
             cmdbuf.clear();
-            core.on_events(routing, protocol, events, cmdbuf);
+            obs.now(unix_micros());
+            core.on_events_traced(routing, protocol, events, obs, cmdbuf);
             for cmd in cmdbuf.drain() {
                 match cmd {
                     Command::Stage { to, frame } => {

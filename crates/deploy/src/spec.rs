@@ -58,6 +58,7 @@ impl ClusterSpec {
             c.heartbeat_miss_threshold
         ));
         s.push_str(&format!("coalesce {}\n", u8::from(c.coalesce)));
+        s.push_str(&format!("trace {}\n", u8::from(c.trace)));
         s.push_str(&format!("dir {}\n", self.dir.display()));
         s.push_str("ports");
         for p in &self.ports {
@@ -129,6 +130,7 @@ impl ClusterSpec {
                         num("heartbeat_miss_threshold", rest)? as u32;
                 }
                 "coalesce" => config.coalesce = rest == "1",
+                "trace" => config.trace = rest == "1",
                 "dir" => dir = PathBuf::from(rest),
                 "ports" => {
                     for p in rest.split_whitespace() {
@@ -191,6 +193,7 @@ mod tests {
             config: ClusterConfig {
                 seed: 99,
                 coalesce: true,
+                trace: true,
                 heartbeat_miss_threshold: 5,
                 ..ClusterConfig::default()
             },
@@ -204,6 +207,7 @@ mod tests {
         assert_eq!(back.config.seed, 99);
         assert_eq!(back.epoch, 4);
         assert!(back.config.coalesce);
+        assert!(back.config.trace);
         assert_eq!(back.config.heartbeat_miss_threshold, 5);
         assert_eq!(back.ports, vec![40001, 40002]);
         assert_eq!(back.dir, PathBuf::from("/tmp/seqnet-test-run"));

@@ -76,6 +76,30 @@ pub struct NodeWireStats {
     pub batch_sizes: BTreeMap<usize, u64>,
 }
 
+/// A live per-node telemetry snapshot, pulled periodically by the
+/// coordinator over the existing control connections (the trace plane's
+/// scrape path — PROTOCOL.md §15). Unlike [`WireMsg::Stats`] this is
+/// sent while the node keeps running, so the counters are a consistent
+/// point-in-time read, monotone across snapshots of one incarnation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeTelemetry {
+    /// Respawn count of the reporting process.
+    pub incarnation: u64,
+    /// Configuration epoch the node is serving.
+    pub epoch: u64,
+    /// Frames staged under group commit, not yet flushed by a snapshot
+    /// (the node-side in-flight measure).
+    pub staged_frames: u64,
+    /// Protocol frames fed through the node's core since launch.
+    pub frames_processed: u64,
+    /// Observability events the node failed to persist (write errors on
+    /// the JSONL log) — non-zero means span reconstruction over this
+    /// node's file is incomplete.
+    pub obs_dropped: u64,
+    /// The cumulative counters, same shape as the shutdown report.
+    pub stats: NodeWireStats,
+}
+
 /// One message on a deployment connection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireMsg {
@@ -104,6 +128,12 @@ pub enum WireMsg {
     /// Node → coordinator: final counters, sent in response to
     /// [`WireMsg::Shutdown`].
     Stats(NodeWireStats),
+    /// Coordinator → node: report a live telemetry snapshot. Does not
+    /// disturb the node; answered with [`WireMsg::Telemetry`].
+    TelemetryRequest,
+    /// Node → coordinator: the live snapshot, sent in response to
+    /// [`WireMsg::TelemetryRequest`].
+    Telemetry(NodeTelemetry),
 }
 
 /// Body of a [`WireMsg::Link`] frame — the socket analogue of the
@@ -170,6 +200,23 @@ pub(crate) fn put_frame(out: &mut Vec<u8>, f: &Frame) {
     }
 }
 
+/// The [`NodeWireStats`] body layout, shared by [`WireMsg::Stats`] and
+/// [`WireMsg::Telemetry`].
+fn put_stats(out: &mut Vec<u8>, s: &NodeWireStats) {
+    put_u64(out, s.frames_sent);
+    put_u64(out, s.retransmissions);
+    put_u64(out, s.duplicates);
+    put_u64(out, s.heartbeat_misses);
+    put_u64(out, s.frames_replayed);
+    put_u64(out, s.recovery_micros);
+    put_u64(out, s.snapshots);
+    put_u32(out, s.batch_sizes.len() as u32);
+    for (&size, &count) in &s.batch_sizes {
+        put_u32(out, size as u32);
+        put_u64(out, count);
+    }
+}
+
 /// Appends `msg` to `out` as one length-prefixed wire frame.
 pub fn encode(msg: &WireMsg, out: &mut Vec<u8>) {
     let at = out.len();
@@ -204,18 +251,17 @@ pub fn encode(msg: &WireMsg, out: &mut Vec<u8>) {
         WireMsg::Shutdown => out.push(2),
         WireMsg::Stats(s) => {
             out.push(3);
-            put_u64(out, s.frames_sent);
-            put_u64(out, s.retransmissions);
-            put_u64(out, s.duplicates);
-            put_u64(out, s.heartbeat_misses);
-            put_u64(out, s.frames_replayed);
-            put_u64(out, s.recovery_micros);
-            put_u64(out, s.snapshots);
-            put_u32(out, s.batch_sizes.len() as u32);
-            for (&size, &count) in &s.batch_sizes {
-                put_u32(out, size as u32);
-                put_u64(out, count);
-            }
+            put_stats(out, s);
+        }
+        WireMsg::TelemetryRequest => out.push(4),
+        WireMsg::Telemetry(t) => {
+            out.push(5);
+            put_u64(out, t.incarnation);
+            put_u64(out, t.epoch);
+            put_u64(out, t.staged_frames);
+            put_u64(out, t.frames_processed);
+            put_u64(out, t.obs_dropped);
+            put_stats(out, &t.stats);
         }
     }
     let len = (out.len() - at - 4) as u32;
@@ -303,6 +349,26 @@ impl<'a> Reader<'a> {
         })
     }
 
+    fn stats(&mut self) -> Result<NodeWireStats, CodecError> {
+        let mut s = NodeWireStats {
+            frames_sent: self.u64()?,
+            retransmissions: self.u64()?,
+            duplicates: self.u64()?,
+            heartbeat_misses: self.u64()?,
+            frames_replayed: self.u64()?,
+            recovery_micros: self.u64()?,
+            snapshots: self.u64()?,
+            ..NodeWireStats::default()
+        };
+        let n = self.count()?;
+        for _ in 0..n {
+            let size = self.u32()? as usize;
+            let count = self.u64()?;
+            s.batch_sizes.insert(size, count);
+        }
+        Ok(s)
+    }
+
     fn done(&self) -> Result<(), CodecError> {
         if self.at == self.buf.len() {
             Ok(())
@@ -354,25 +420,16 @@ pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, CodecError> {
             WireMsg::Link { link, seq, body }
         }
         2 => WireMsg::Shutdown,
-        3 => {
-            let mut s = NodeWireStats {
-                frames_sent: r.u64()?,
-                retransmissions: r.u64()?,
-                duplicates: r.u64()?,
-                heartbeat_misses: r.u64()?,
-                frames_replayed: r.u64()?,
-                recovery_micros: r.u64()?,
-                snapshots: r.u64()?,
-                ..NodeWireStats::default()
-            };
-            let n = r.count()?;
-            for _ in 0..n {
-                let size = r.u32()? as usize;
-                let count = r.u64()?;
-                s.batch_sizes.insert(size, count);
-            }
-            WireMsg::Stats(s)
-        }
+        3 => WireMsg::Stats(r.stats()?),
+        4 => WireMsg::TelemetryRequest,
+        5 => WireMsg::Telemetry(NodeTelemetry {
+            incarnation: r.u64()?,
+            epoch: r.u64()?,
+            staged_frames: r.u64()?,
+            frames_processed: r.u64()?,
+            obs_dropped: r.u64()?,
+            stats: r.stats()?,
+        }),
         _ => return Err(CodecError::Garbled("unknown message kind")),
     };
     r.done()?;
@@ -497,6 +554,19 @@ mod tests {
                 recovery_micros: 1234,
                 snapshots: 6,
                 batch_sizes: [(1, 8), (4, 2)].into_iter().collect(),
+            }),
+            WireMsg::TelemetryRequest,
+            WireMsg::Telemetry(NodeTelemetry {
+                incarnation: 2,
+                epoch: 1,
+                staged_frames: 7,
+                frames_processed: 530,
+                obs_dropped: 0,
+                stats: NodeWireStats {
+                    frames_sent: 99,
+                    batch_sizes: [(2, 5)].into_iter().collect(),
+                    ..NodeWireStats::default()
+                },
             }),
         ];
         let mut bytes = Vec::new();

@@ -7,7 +7,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use seqnet_deploy::conn::{Conn, ConnError};
 use seqnet_deploy::wire::{decode_payload, encode, FrameBuffer, MAX_FRAME_LEN};
-use seqnet_deploy::{CodecError, NodeWireStats, WireBody, WireMsg};
+use seqnet_deploy::{CodecError, NodeTelemetry, NodeWireStats, WireBody, WireMsg};
 use seqnet_core::proto::{Frame, Peer};
 use seqnet_core::{Message, MessageId, SeqNo, Stamp};
 use seqnet_membership::{GroupId, NodeId};
@@ -89,6 +89,21 @@ fn msg_strategy() -> impl Strategy<Value = WireMsg> {
         }),
         1 => Just(WireMsg::Shutdown),
         1 => stats_strategy().prop_map(WireMsg::Stats),
+        1 => Just(WireMsg::TelemetryRequest),
+        1 => (
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            stats_strategy(),
+        )
+            .prop_map(|((incarnation, epoch, staged, processed, dropped), stats)| {
+                WireMsg::Telemetry(NodeTelemetry {
+                    incarnation,
+                    epoch,
+                    staged_frames: staged,
+                    frames_processed: processed,
+                    obs_dropped: dropped,
+                    stats,
+                })
+            }),
     ]
 }
 

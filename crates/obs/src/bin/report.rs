@@ -4,22 +4,44 @@
 //!
 //! ```text
 //! seqnet-obs-report <trace.jsonl> [--csv-out DIR]
+//! seqnet-obs-report spans <trace.jsonl>... [--top K] [--chrome-out FILE]
 //! ```
 //!
-//! Prints the summary, per-group, per-atom, and per-destination tables
-//! to stdout; with `--csv-out` also writes `per_group.csv`,
-//! `per_atom.csv`, and `per_host.csv` under DIR. Exit codes: 0 on
-//! success, 1 on a malformed trace, 2 on usage errors.
+//! The default mode prints the summary, per-group, per-atom, and
+//! per-destination tables to stdout; with `--csv-out` it also writes
+//! `per_group.csv`, `per_atom.csv`, and `per_host.csv` under DIR.
+//!
+//! `spans` reconstructs per-message span trees from one or more JSONL
+//! dumps (a multi-process cluster writes one file per node plus a
+//! coordinator file — pass them all; events are joined per message, so
+//! cross-file ordering does not matter), prints the top-K slowest
+//! deliveries with their `stamp_wait`/`wire`/`group_gap_wait`/
+//! `atom_gap_wait` breakdowns and every incompleteness diagnostic, and
+//! with `--chrome-out` writes a Chrome `trace_event` JSON file that
+//! opens in Perfetto or `chrome://tracing` (structurally validated
+//! before writing).
+//!
+//! Exit codes: 0 on success, 1 on a malformed trace, 2 on usage errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use seqnet_obs::jsonl;
 use seqnet_obs::report::Report;
+use seqnet_obs::span::TraceSet;
+use seqnet_obs::{chrome, jsonl, TraceEvent};
+
+const USAGE: &str = "usage: seqnet-obs-report <trace.jsonl> [--csv-out DIR]\n\
+       seqnet-obs-report spans <trace.jsonl>... [--top K] [--chrome-out FILE]";
 
 struct Args {
     trace: PathBuf,
     csv_out: Option<PathBuf>,
+}
+
+struct SpanArgs {
+    traces: Vec<PathBuf>,
+    top: usize,
+    chrome_out: Option<PathBuf>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -47,15 +69,150 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     })
 }
 
+fn parse_span_args(argv: &[String]) -> Result<SpanArgs, String> {
+    let mut traces = Vec::new();
+    let mut top = 10usize;
+    let mut chrome_out = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                let k = it.next().ok_or("--top needs a count")?;
+                top = k.parse().map_err(|_| format!("bad --top value {k}"))?;
+            }
+            "--chrome-out" => {
+                let path = it.next().ok_or("--chrome-out needs a file")?;
+                chrome_out = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => traces.push(PathBuf::from(other)),
+        }
+    }
+    if traces.is_empty() {
+        return Err("spans needs at least one trace file".into());
+    }
+    Ok(SpanArgs {
+        traces,
+        top,
+        chrome_out,
+    })
+}
+
+fn read_events(paths: &[PathBuf]) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+        let parsed = jsonl::parse_jsonl_lines(&text)
+            .ok_or_else(|| format!("{} is not a valid JSONL trace", path.display()))?;
+        events.extend(parsed);
+    }
+    Ok(events)
+}
+
+fn run_spans(args: &SpanArgs) -> Result<(), String> {
+    let events = read_events(&args.traces)?;
+    let set = TraceSet::from_events(&events);
+    let h = set.breakdown_histograms();
+
+    println!(
+        "spans: {} message(s) reconstructed from {} event(s) across {} file(s)",
+        set.len(),
+        events.len(),
+        args.traces.len()
+    );
+    println!(
+        "complete {} / incomplete {} (messages: {} complete, {} with gaps)",
+        h.complete,
+        h.incomplete,
+        set.complete(),
+        set.incomplete()
+    );
+    let q = |hist: &seqnet_obs::Histogram| {
+        format!(
+            "p50={} p95={} p99={} max={}",
+            hist.p50().unwrap_or(0),
+            hist.p95().unwrap_or(0),
+            hist.p99().unwrap_or(0),
+            hist.max().unwrap_or(0)
+        )
+    };
+    println!("  stamp_wait     {}", q(&h.stamp_wait));
+    println!("  wire           {}", q(&h.wire));
+    println!("  group_gap_wait {}", q(&h.group_gap_wait));
+    println!("  atom_gap_wait  {}", q(&h.atom_gap_wait));
+    println!("  end_to_end     {}", q(&h.end_to_end));
+
+    let slowest = set.slowest(args.top);
+    if !slowest.is_empty() {
+        println!("\ntop {} slowest deliveries:", slowest.len());
+        let mut shown = std::collections::BTreeSet::new();
+        for (trace, d) in &slowest {
+            println!(
+                "-- msg {} → host{}: end-to-end {}",
+                trace.msg,
+                d.host,
+                d.end_to_end.unwrap_or(0)
+            );
+            if shown.insert(trace.msg) {
+                print!("{}", trace.render());
+            }
+        }
+    }
+
+    let incomplete: Vec<_> = set.traces().filter(|t| !t.is_complete()).collect();
+    if !incomplete.is_empty() {
+        println!("\nincomplete span trees ({}):", incomplete.len());
+        for t in incomplete.iter().take(args.top) {
+            let gaps: Vec<String> = t.all_gaps().map(|g| g.to_string()).collect();
+            println!("  msg {}: {}", t.msg, gaps.join("; "));
+        }
+        if incomplete.len() > args.top {
+            println!("  ... and {} more", incomplete.len() - args.top);
+        }
+    }
+
+    if let Some(path) = &args.chrome_out {
+        let text = chrome::export(&set);
+        chrome::validate(&text).map_err(|err| format!("chrome export invalid: {err}"))?;
+        std::fs::write(path, &text)
+            .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
+        eprintln!("wrote Chrome trace JSON to {}", path.display());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+
+    if argv.first().map(String::as_str) == Some("spans") {
+        let args = match parse_span_args(&argv[1..]) {
+            Ok(args) => args,
+            Err(msg) => {
+                if !msg.is_empty() {
+                    eprintln!("error: {msg}");
+                }
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+        return match run_spans(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
     let args = match parse_args(&argv) {
         Ok(args) => args,
         Err(msg) => {
             if !msg.is_empty() {
                 eprintln!("error: {msg}");
             }
-            eprintln!("usage: seqnet-obs-report <trace.jsonl> [--csv-out DIR]");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };

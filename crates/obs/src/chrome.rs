@@ -1,0 +1,540 @@
+//! Chrome `trace_event`-format JSON export, so any reconstructed trace
+//! opens directly in Perfetto or `chrome://tracing`.
+//!
+//! The mapping: every actor becomes a process (`pid` 1 for the
+//! publisher front-end, `1000 + i` for sequencing node *i*, `2000 + n`
+//! for subscriber host *n*, named via `process_name` metadata events);
+//! every message becomes a thread (`tid` = message id), so one
+//! message's spans stack in a single row. Each delivery's typed latency
+//! components ([`crate::span::LatencyBreakdown`]) are emitted as
+//! complete (`"X"`) events tiled end-to-end from the publish timestamp
+//! under an enclosing per-delivery span, and the point events of the
+//! path (publish, stamps, hops, arrive, buffer) are instants (`"i"`).
+//! Timestamps pass through unscaled: the drivers' µs convention matches
+//! the format's `ts`/`dur` unit exactly (checker step indices read as
+//! "µs" in the UI, which is fine for ordering).
+//!
+//! [`validate`] structurally checks a rendered dump with a
+//! self-contained JSON parser — CI and the unit tests run every export
+//! through it, so a dump that would fail to load in the viewer fails
+//! the build instead.
+
+use std::fmt::Write as _;
+
+use crate::event::Actor;
+use crate::span::{MessageTrace, TraceSet};
+
+/// The `pid` an actor maps to in the exported trace.
+fn actor_pid(actor: Actor) -> u64 {
+    match actor {
+        Actor::Publisher => 1,
+        Actor::Node(i) => 1000 + i,
+        Actor::Host(n) => 2000 + n,
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct EventWriter {
+    out: String,
+    first: bool,
+}
+
+impl EventWriter {
+    fn new() -> Self {
+        EventWriter {
+            out: String::from("{\"traceEvents\":["),
+            first: true,
+        }
+    }
+
+    fn push(&mut self, body: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('\n');
+        self.out.push_str(body);
+    }
+
+    fn metadata(&mut self, pid: u64, name: &str) {
+        self.push(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"ts\":0,\
+             \"name\":\"process_name\",\"args\":{{\"name\":\"{}\"}}}}",
+            escape(name)
+        ));
+    }
+
+    fn instant(&mut self, pid: u64, tid: u64, ts: u64, name: &str) {
+        self.push(&format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts},\"name\":\"{}\"}}",
+            escape(name)
+        ));
+    }
+
+    fn complete(&mut self, pid: u64, tid: u64, ts: u64, dur: u64, name: &str, args: &str) {
+        self.push(&format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\
+             \"dur\":{dur},\"name\":\"{}\",\"args\":{{{args}}}}}",
+            escape(name)
+        ));
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+fn export_trace(w: &mut EventWriter, trace: &MessageTrace) {
+    let msg = trace.msg;
+    if let Some(at) = trace.publish_at {
+        w.instant(actor_pid(Actor::Publisher), msg, at, &format!("publish msg{msg}"));
+    }
+    for s in &trace.stamps {
+        w.instant(
+            actor_pid(s.actor),
+            msg,
+            s.at,
+            &format!("stamp atom{} seq={}", s.atom, s.seq),
+        );
+    }
+    for f in &trace.forwards {
+        let staged = if f.staged { " (staged)" } else { "" };
+        w.instant(
+            actor_pid(f.actor),
+            msg,
+            f.at,
+            &format!("forward → node{}{staged}", f.to_node),
+        );
+    }
+    for d in &trace.deliveries {
+        let pid = actor_pid(Actor::Host(d.host));
+        if let Some(at) = d.arrive_at {
+            w.instant(pid, msg, at, &format!("arrive msg{msg}"));
+        }
+        if let Some(b) = &d.buffered {
+            w.instant(pid, msg, b.at, &format!("buffer ({})", b.reason.as_str()));
+        }
+        let (Some(breakdown), Some(e2e), Some(t_pub)) =
+            (&d.breakdown, d.end_to_end, trace.publish_at)
+        else {
+            w.instant(pid, msg, d.deliver_at, &format!("deliver msg{msg} (incomplete)"));
+            continue;
+        };
+        let group = trace.group.unwrap_or(0);
+        let mut args = format!("\"group\":{group}");
+        if let Some(seq) = d.seq {
+            let _ = write!(args, ",\"seq\":{seq}");
+        }
+        if let Some(epoch) = d.epoch {
+            let _ = write!(args, ",\"epoch\":{epoch}");
+        }
+        w.complete(pid, msg, t_pub, e2e, &format!("msg{msg} g{group}"), &args);
+        let mut cursor = t_pub;
+        for (name, dur) in breakdown.components() {
+            if dur > 0 {
+                w.complete(pid, msg, cursor, dur, name, "");
+            }
+            cursor += dur;
+        }
+    }
+}
+
+/// Renders a reconstructed [`TraceSet`] as Chrome `trace_event` JSON
+/// (object format, `traceEvents` array). The result always passes
+/// [`validate`].
+pub fn export(set: &TraceSet) -> String {
+    let mut w = EventWriter::new();
+    // One process_name metadata event per actor seen anywhere.
+    let mut actors: Vec<Actor> = Vec::new();
+    let mut seen = |actors: &mut Vec<Actor>, a: Actor| {
+        if !actors.contains(&a) {
+            actors.push(a);
+        }
+    };
+    for t in set.traces() {
+        if t.publish_at.is_some() {
+            seen(&mut actors, Actor::Publisher);
+        }
+        for s in &t.stamps {
+            seen(&mut actors, s.actor);
+        }
+        for f in &t.forwards {
+            seen(&mut actors, f.actor);
+        }
+        for d in &t.deliveries {
+            seen(&mut actors, Actor::Host(d.host));
+        }
+    }
+    actors.sort();
+    for a in actors {
+        w.metadata(actor_pid(a), &a.to_string());
+    }
+    for t in set.traces() {
+        export_trace(&mut w, t);
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------
+// Structural validation: a minimal self-contained JSON parser plus the
+// trace_event shape rules the viewers rely on.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("invalid JSON at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Continue multi-byte UTF-8 sequences verbatim.
+                    let start = self.pos - 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xc0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing bytes after document"));
+    }
+    Ok(v)
+}
+
+/// Structurally validates a Chrome `trace_event` JSON dump: well-formed
+/// JSON, a top-level `traceEvents` array, and per event the fields the
+/// viewers require — string `ph`/`name`, numeric `pid`/`tid`/`ts`, and
+/// a non-negative `dur` on `"X"` events. Returns the first violation.
+pub fn validate(text: &str) -> Result<(), String> {
+    let root = parse(text)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing top-level \"traceEvents\" key")?;
+    let Json::Arr(events) = events else {
+        return Err("\"traceEvents\" is not an array".into());
+    };
+    for (i, event) in events.iter().enumerate() {
+        let fail = |what: &str| Err(format!("traceEvents[{i}]: {what}"));
+        if !matches!(event, Json::Obj(_)) {
+            return fail("not an object");
+        }
+        let Some(ph) = event.get("ph").and_then(Json::str) else {
+            return fail("missing string \"ph\"");
+        };
+        if event.get("name").and_then(Json::str).is_none() {
+            return fail("missing string \"name\"");
+        }
+        for key in ["pid", "tid", "ts"] {
+            match event.get(key).and_then(Json::num) {
+                Some(n) if n.is_finite() => {}
+                _ => return fail(&format!("missing numeric \"{key}\"")),
+            }
+        }
+        if ph == "X" {
+            match event.get("dur").and_then(Json::num) {
+                Some(d) if d >= 0.0 => {}
+                _ => return fail("\"X\" event without non-negative \"dur\""),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{BufferReason, EventKind, TraceEvent};
+
+    fn sample_set() -> TraceSet {
+        let mk = |kind, actor, at, msg| TraceEvent {
+            at,
+            msg: Some(msg),
+            group: Some(1),
+            ..TraceEvent::new(kind, actor)
+        };
+        let events = vec![
+            TraceEvent {
+                detail: Some(5),
+                ..mk(EventKind::Publish, Actor::Publisher, 10, 3)
+            },
+            TraceEvent {
+                atom: Some(2),
+                seq: Some(1),
+                ..mk(EventKind::AtomStamp, Actor::Node(0), 20, 3)
+            },
+            TraceEvent {
+                detail: Some(1),
+                ..mk(EventKind::FrameForward, Actor::Node(0), 22, 3)
+            },
+            mk(EventKind::Arrive, Actor::Host(8), 30, 3),
+            TraceEvent {
+                detail: Some(1),
+                ..mk(
+                    EventKind::Buffer(BufferReason::AtomGap),
+                    Actor::Host(8),
+                    30,
+                    3,
+                )
+            },
+            TraceEvent {
+                seq: Some(1),
+                detail: Some(0),
+                stamps: vec![(2, 1)],
+                ..mk(EventKind::Deliver, Actor::Host(8), 50, 3)
+            },
+        ];
+        TraceSet::from_events(&events)
+    }
+
+    #[test]
+    fn export_passes_its_own_validator() {
+        let text = export(&sample_set());
+        validate(&text).expect("export must validate");
+        // Components tile the enclosing span: 3 X events (msg + the two
+        // non-zero components stamp_wait=10, wire=10, atom_gap_wait=20).
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("atom_gap_wait"));
+        assert!(text.contains("process_name"));
+        assert!(text.contains("\"epoch\":0"));
+    }
+
+    #[test]
+    fn empty_set_is_still_valid() {
+        let text = export(&TraceSet::from_events(&[]));
+        validate(&text).expect("empty export must validate");
+    }
+
+    #[test]
+    fn validator_rejects_structural_breakage() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"traceEvents\":3}").is_err());
+        assert!(validate("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        let no_dur = "{\"traceEvents\":[{\"ph\":\"X\",\"name\":\"a\",\
+                       \"pid\":1,\"tid\":1,\"ts\":0}]}";
+        assert!(validate(no_dur).is_err());
+        let ok = "{\"traceEvents\":[{\"ph\":\"i\",\"name\":\"a\",\
+                   \"pid\":1,\"tid\":1,\"ts\":0}]}";
+        assert!(validate(ok).is_ok());
+    }
+
+    #[test]
+    fn validator_handles_escapes_and_nesting() {
+        let text = "{\"traceEvents\":[{\"ph\":\"M\",\"name\":\"a\\\"b\\u00e9\",\
+                     \"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"x\":[1,2,{\"y\":null}]}}]}";
+        validate(text).expect("escapes and nesting must parse");
+    }
+}

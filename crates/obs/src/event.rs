@@ -43,7 +43,8 @@ pub enum EventKind {
     /// A sequencing atom assigned a number (group-local or overlap).
     AtomStamp,
     /// A node forwarded a frame to the next node on the path
-    /// (`detail` = destination node index; `seq` = 1 if staged).
+    /// (`detail` = destination node index; `seq` = 1 if staged;
+    /// `atom` = the next sequencing atom on the path, when known).
     FrameForward,
     /// A distribution frame reached a subscriber host.
     Arrive,
@@ -51,7 +52,8 @@ pub enum EventKind {
     /// (`detail` = buffered depth after insertion).
     Buffer(BufferReason),
     /// Definition 1 said yes: the message was handed to the application
-    /// (`seq` = group-local number, `stamps` = full sequence vector).
+    /// (`seq` = group-local number, `stamps` = full sequence vector,
+    /// `detail` = the configuration epoch delivered under).
     Deliver,
     /// A sequencing node crashed; arrivals park until restart.
     Crash,

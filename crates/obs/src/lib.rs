@@ -20,6 +20,10 @@
 //! * [`jsonl`] / [`prom`] / [`report`] — exporters: a JSONL event
 //!   stream, Prometheus-style text exposition, and the per-destination /
 //!   per-atom tables behind the `seqnet-obs-report` binary.
+//! * [`span`] / [`chrome`] — the trace plane: per-message span-tree
+//!   reconstruction with a typed latency-stretch decomposition
+//!   (`stamp_wait` / `wire` / `group_gap_wait` / `atom_gap_wait`) and a
+//!   Chrome `trace_event` exporter so dumps open in Perfetto.
 //!
 //! This crate has **no dependencies** (not even on other seqnet crates):
 //! it sits at the bottom of the workspace so every layer — including
@@ -33,9 +37,11 @@ mod hist;
 mod registry;
 mod sink;
 
+pub mod chrome;
 pub mod jsonl;
 pub mod prom;
 pub mod report;
+pub mod span;
 pub mod stats;
 
 pub use event::{Actor, BufferReason, EventKind, TraceEvent};

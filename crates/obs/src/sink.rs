@@ -111,6 +111,13 @@ impl FlightRecorder {
         self.seen
     }
 
+    /// Events the ring wrap discarded: `seen - retained`. Non-zero means
+    /// any dump or span reconstruction over this recorder is incomplete
+    /// — report it, never silently skip.
+    pub fn dropped_events(&self) -> u64 {
+        self.seen - self.ring.len() as u64
+    }
+
     /// The retained events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
         self.ring.iter()
@@ -203,9 +210,14 @@ mod tests {
             fr.record(ev(EventKind::Arrive));
         }
         assert_eq!(fr.seen(), 10);
+        assert_eq!(fr.dropped_events(), 7);
         let at: Vec<u64> = fr.events().map(|e| e.at).collect();
         assert_eq!(at, vec![7, 8, 9]);
         assert_eq!(fr.dump_jsonl().lines().count(), 3);
+
+        let mut small = FlightRecorder::new(16);
+        small.record(ev(EventKind::Publish));
+        assert_eq!(small.dropped_events(), 0);
     }
 
     #[test]

@@ -1,0 +1,854 @@
+//! Per-message span reconstruction and latency-stretch decomposition.
+//!
+//! The paper's headline metric is latency stretch (fig. 3), but the
+//! aggregate histograms in [`crate::report`] cannot say *which hop* of a
+//! message's path produced the stretch. This module joins the raw
+//! [`TraceEvent`] stream from any driver — simulator virtual-µs,
+//! runtime/deploy wall-µs, checker step-index — into one span tree per
+//! message:
+//!
+//! ```text
+//! publish ─→ stamp (per sequencing atom) ─→ forward (per hop)
+//!         ─→ arrive (per host) ─→ [buffer] ─→ deliver
+//! ```
+//!
+//! and decomposes each delivery's end-to-end latency into four typed
+//! components (see [`LatencyBreakdown`]):
+//!
+//! * `stamp_wait` — publish until the last sequencing atom stamped the
+//!   message (the path through the overlap graph).
+//! * `wire` — last stamp until the frame reached the delivering host,
+//!   plus the arrive→deliver time when the message was never buffered.
+//! * `group_gap_wait` / `atom_gap_wait` — time parked in the host's
+//!   delivery queue, attributed by the recorded [`BufferReason`].
+//!
+//! Timestamps are clamped into path order before subtracting, so every
+//! component is non-negative and the four components sum *exactly* to
+//! the delivery's end-to-end latency — cross-process clock jitter bends
+//! a component to zero rather than breaking the identity.
+//!
+//! Incompleteness is a first-class result, never a silent skip: a
+//! delivery whose publish, arrive, or atom-stamp events are missing from
+//! the stream (ring-buffer wrap, crashed process, truncated file) gets
+//! typed [`SpanGap`] diagnostics, and [`TraceSet::with_dropped`] carries
+//! the flight-recorder drop count alongside the reconstruction.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::event::{Actor, BufferReason, EventKind, TraceEvent};
+use crate::hist::Histogram;
+
+/// The typed decomposition of one delivery's end-to-end latency. All
+/// values are in the driver's clock unit (µs or checker steps). The
+/// components always sum exactly to the end-to-end latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Publish until the last sequencing atom stamped the message.
+    pub stamp_wait: u64,
+    /// Last stamp until arrival at the host (plus arrive→deliver when
+    /// the message was never buffered).
+    pub wire: u64,
+    /// Arrive→deliver time spent waiting on a group-sequence gap.
+    pub group_gap_wait: u64,
+    /// Arrive→deliver time spent waiting on an overlap-atom gap.
+    pub atom_gap_wait: u64,
+}
+
+impl LatencyBreakdown {
+    /// Sum of the four components — equal to the delivery's end-to-end
+    /// latency by construction.
+    pub fn total(&self) -> u64 {
+        self.stamp_wait + self.wire + self.group_gap_wait + self.atom_gap_wait
+    }
+
+    /// The components with their stable names, in path order.
+    pub fn components(&self) -> [(&'static str, u64); 4] {
+        [
+            ("stamp_wait", self.stamp_wait),
+            ("wire", self.wire),
+            ("group_gap_wait", self.group_gap_wait),
+            ("atom_gap_wait", self.atom_gap_wait),
+        ]
+    }
+}
+
+/// Why a span tree is incomplete: which event the stream should have
+/// contained but did not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanGap {
+    /// No `publish` event — end-to-end latency and the breakdown are
+    /// unavailable for this message.
+    MissingPublish,
+    /// The delivered sequence vector names this atom but the stream has
+    /// no `atom-stamp` event from it.
+    MissingStamp {
+        /// The sequencing atom whose stamp event is missing.
+        atom: u64,
+    },
+    /// A host delivered the message without a recorded `arrive` — the
+    /// wire/buffering split defaults to "never buffered".
+    MissingArrive {
+        /// The delivering host.
+        host: u64,
+    },
+    /// The message was published but never delivered anywhere in the
+    /// captured window.
+    Undelivered,
+}
+
+impl fmt::Display for SpanGap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpanGap::MissingPublish => write!(f, "missing publish event"),
+            SpanGap::MissingStamp { atom } => {
+                write!(f, "missing atom-stamp event for atom {atom}")
+            }
+            SpanGap::MissingArrive { host } => {
+                write!(f, "missing arrive event at host {host}")
+            }
+            SpanGap::Undelivered => write!(f, "published but never delivered"),
+        }
+    }
+}
+
+/// One sequencing-atom stamp on the message's path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StampSpan {
+    /// The sequencing atom that assigned the number.
+    pub atom: u64,
+    /// The assigned sequence number.
+    pub seq: u64,
+    /// When the stamp happened (driver clock).
+    pub at: u64,
+    /// The node that hosted the atom.
+    pub actor: Actor,
+}
+
+/// One inter-node hop of the message's frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardSpan {
+    /// When the frame left (driver clock).
+    pub at: u64,
+    /// The forwarding node.
+    pub actor: Actor,
+    /// Destination node index.
+    pub to_node: u64,
+    /// The next sequencing atom on the path, when the emitter knew it.
+    pub atom: Option<u64>,
+    /// Whether the frame was staged under group commit rather than sent
+    /// immediately.
+    pub staged: bool,
+}
+
+/// The buffering episode of one delivery, when the host parked the
+/// message before Definition 1 admitted it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferSpan {
+    /// When the host parked the message (driver clock).
+    pub at: u64,
+    /// Which continuity check failed.
+    pub reason: BufferReason,
+    /// Buffered depth after insertion, when recorded.
+    pub depth: Option<u64>,
+}
+
+/// The terminal hop of the span tree at one subscriber host:
+/// arrive → optional buffer → deliver, with the typed latency breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliverySpan {
+    /// The delivering host (subscriber node id).
+    pub host: u64,
+    /// When the frame arrived, if the `arrive` event was captured.
+    pub arrive_at: Option<u64>,
+    /// The buffering episode, if the host parked the message.
+    pub buffered: Option<BufferSpan>,
+    /// When the message was handed to the application (driver clock).
+    pub deliver_at: u64,
+    /// The group-local sequence number, when recorded.
+    pub seq: Option<u64>,
+    /// The configuration epoch the delivery happened under, when
+    /// recorded.
+    pub epoch: Option<u64>,
+    /// The delivered sequence vector `(atom, seq)` in path order.
+    pub stamps: Vec<(u64, u64)>,
+    /// Why this delivery's span is incomplete; empty when complete.
+    pub gaps: Vec<SpanGap>,
+    /// The typed latency decomposition; `None` without a publish event.
+    pub breakdown: Option<LatencyBreakdown>,
+    /// Deliver-minus-publish latency; `None` without a publish event.
+    pub end_to_end: Option<u64>,
+}
+
+/// The reconstructed span tree of one message: publish, every atom
+/// stamp, every inter-node hop, and every per-host delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageTrace {
+    /// The message id.
+    pub msg: u64,
+    /// The destination group, when any event carried it.
+    pub group: Option<u64>,
+    /// When the message entered the system, if captured.
+    pub publish_at: Option<u64>,
+    /// The publishing host's node id, when recorded.
+    pub publish_host: Option<u64>,
+    /// Atom stamps in stream order (first occurrence per atom; replays
+    /// after a crash re-emit and are deduplicated).
+    pub stamps: Vec<StampSpan>,
+    /// Inter-node hops in stream order (deduplicated per hop).
+    pub forwards: Vec<ForwardSpan>,
+    /// Per-host deliveries in stream order (first per host).
+    pub deliveries: Vec<DeliverySpan>,
+    /// Trace-level diagnostics (e.g. [`SpanGap::Undelivered`]).
+    pub gaps: Vec<SpanGap>,
+}
+
+impl MessageTrace {
+    fn new(msg: u64) -> Self {
+        MessageTrace {
+            msg,
+            group: None,
+            publish_at: None,
+            publish_host: None,
+            stamps: Vec::new(),
+            forwards: Vec::new(),
+            deliveries: Vec::new(),
+            gaps: Vec::new(),
+        }
+    }
+
+    /// Whether the span tree is complete: no trace-level or per-delivery
+    /// gap diagnostics.
+    pub fn is_complete(&self) -> bool {
+        self.gaps.is_empty() && self.deliveries.iter().all(|d| d.gaps.is_empty())
+    }
+
+    /// Every gap diagnostic on this trace, trace-level first.
+    pub fn all_gaps(&self) -> impl Iterator<Item = &SpanGap> {
+        self.gaps
+            .iter()
+            .chain(self.deliveries.iter().flat_map(|d| d.gaps.iter()))
+    }
+
+    /// The slowest delivery's end-to-end latency, when computable.
+    pub fn worst_end_to_end(&self) -> Option<u64> {
+        self.deliveries.iter().filter_map(|d| d.end_to_end).max()
+    }
+
+    /// A human-readable span-tree rendering, one line per span, with
+    /// the latency breakdown under each delivery and an explicit
+    /// `incomplete` trailer listing every gap.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let group = match self.group {
+            Some(g) => format!("group {g}"),
+            None => "group ?".to_string(),
+        };
+        match (self.publish_at, self.publish_host) {
+            (Some(at), Some(h)) => {
+                let _ = writeln!(out, "msg {} {group}: publish @{at} (host {h})", self.msg);
+            }
+            (Some(at), None) => {
+                let _ = writeln!(out, "msg {} {group}: publish @{at}", self.msg);
+            }
+            (None, _) => {
+                let _ = writeln!(out, "msg {} {group}: publish missing", self.msg);
+            }
+        }
+        for s in &self.stamps {
+            let _ = writeln!(
+                out,
+                "  ├─ stamp  atom{} seq={} @{} ({})",
+                s.atom, s.seq, s.at, s.actor
+            );
+        }
+        for fwd in &self.forwards {
+            let staged = if fwd.staged { " staged" } else { "" };
+            let next = match fwd.atom {
+                Some(a) => format!(" → atom{a}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  ├─ hop    {} → node{}{next} @{}{staged}",
+                fwd.actor, fwd.to_node, fwd.at
+            );
+        }
+        let last = self.deliveries.len().saturating_sub(1);
+        for (i, d) in self.deliveries.iter().enumerate() {
+            let branch = if i == last { "└─" } else { "├─" };
+            let stem = if i == last { "  " } else { "│ " };
+            let arrive = match d.arrive_at {
+                Some(at) => format!("arrive @{at}"),
+                None => "arrive ?".to_string(),
+            };
+            let buffer = match &d.buffered {
+                Some(b) => {
+                    let depth = b.depth.map(|n| format!(" depth={n}")).unwrap_or_default();
+                    format!(" buffer({}{depth}) @{}", b.reason.as_str(), b.at)
+                }
+                None => String::new(),
+            };
+            let seq = d.seq.map(|s| format!(" seq={s}")).unwrap_or_default();
+            let epoch = d.epoch.map(|e| format!(" epoch={e}")).unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  {branch} host{}: {arrive}{buffer} deliver @{}{seq}{epoch}",
+                d.host, d.deliver_at
+            );
+            if let (Some(b), Some(e2e)) = (&d.breakdown, d.end_to_end) {
+                let _ = writeln!(
+                    out,
+                    "  {stem}     stamp_wait={} wire={} group_gap_wait={} \
+                     atom_gap_wait={} end-to-end={e2e}",
+                    b.stamp_wait, b.wire, b.group_gap_wait, b.atom_gap_wait
+                );
+            }
+        }
+        let gaps: Vec<String> = self.all_gaps().map(|g| g.to_string()).collect();
+        if !gaps.is_empty() {
+            let _ = writeln!(out, "  !! incomplete: {}", gaps.join("; "));
+        }
+        out
+    }
+}
+
+/// Per-component latency histograms over every delivery in a
+/// [`TraceSet`] that had a computable breakdown, plus completeness
+/// counts — the input to the bench stretch-decomposition block.
+#[derive(Debug, Clone, Default)]
+pub struct BreakdownHistograms {
+    /// `stamp_wait` across deliveries.
+    pub stamp_wait: Histogram,
+    /// `wire` across deliveries.
+    pub wire: Histogram,
+    /// `group_gap_wait` across deliveries.
+    pub group_gap_wait: Histogram,
+    /// `atom_gap_wait` across deliveries.
+    pub atom_gap_wait: Histogram,
+    /// End-to-end latency across the same deliveries.
+    pub end_to_end: Histogram,
+    /// Deliveries with a complete span (no gaps).
+    pub complete: u64,
+    /// Deliveries with at least one gap diagnostic.
+    pub incomplete: u64,
+}
+
+/// Every message's reconstructed span tree, plus stream-level loss
+/// accounting ([`TraceSet::dropped_events`]).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    traces: BTreeMap<u64, MessageTrace>,
+    dropped_events: u64,
+}
+
+impl TraceSet {
+    /// Reconstructs span trees from an event stream. Events need not be
+    /// globally ordered (multi-file deploy dumps are concatenated, not
+    /// merged); only per-message joins use timestamps. Events without a
+    /// message id (snapshot flushes, heartbeat misses, epoch advances)
+    /// are skipped — they carry no per-message span.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        TraceSet::with_dropped(events, 0)
+    }
+
+    /// Like [`TraceSet::from_events`], recording that `dropped` events
+    /// were lost before the stream was captured (flight-recorder ring
+    /// wrap). A non-zero count means gap diagnostics may under-report.
+    pub fn with_dropped(events: &[TraceEvent], dropped: u64) -> Self {
+        let mut traces: BTreeMap<u64, MessageTrace> = BTreeMap::new();
+        // (msg, host) → first observed arrive / buffer, joined into
+        // DeliverySpans after the full stream is read, so multi-file
+        // dumps don't need arrivals ordered before delivers.
+        let mut arrivals: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut buffers: BTreeMap<(u64, u64), BufferSpan> = BTreeMap::new();
+        let mut delivers: BTreeMap<(u64, u64), TraceEvent> = BTreeMap::new();
+
+        for event in events {
+            let Some(msg) = event.msg else { continue };
+            let trace = traces.entry(msg).or_insert_with(|| MessageTrace::new(msg));
+            if trace.group.is_none() {
+                trace.group = event.group;
+            }
+            match event.kind {
+                EventKind::Publish => {
+                    if trace.publish_at.is_none() {
+                        trace.publish_at = Some(event.at);
+                        trace.publish_host = event.detail;
+                    }
+                }
+                EventKind::AtomStamp => {
+                    let Some(atom) = event.atom else { continue };
+                    // Crash replays re-stamp deterministically; keep the
+                    // first (pre-crash) occurrence per atom.
+                    if !trace.stamps.iter().any(|s| s.atom == atom) {
+                        trace.stamps.push(StampSpan {
+                            atom,
+                            seq: event.seq.unwrap_or(0),
+                            at: event.at,
+                            actor: event.actor,
+                        });
+                    }
+                }
+                EventKind::FrameForward => {
+                    let to_node = event.detail.unwrap_or(0);
+                    let dup = trace
+                        .forwards
+                        .iter()
+                        .any(|f| f.actor == event.actor && f.to_node == to_node);
+                    if !dup {
+                        trace.forwards.push(ForwardSpan {
+                            at: event.at,
+                            actor: event.actor,
+                            to_node,
+                            atom: event.atom,
+                            staged: event.seq == Some(1),
+                        });
+                    }
+                }
+                EventKind::Arrive => {
+                    if let Actor::Host(h) = event.actor {
+                        arrivals.entry((msg, h)).or_insert(event.at);
+                    }
+                }
+                EventKind::Buffer(reason) => {
+                    if let Actor::Host(h) = event.actor {
+                        buffers.entry((msg, h)).or_insert(BufferSpan {
+                            at: event.at,
+                            reason,
+                            depth: event.detail,
+                        });
+                    }
+                }
+                EventKind::Deliver => {
+                    if let Actor::Host(h) = event.actor {
+                        delivers.entry((msg, h)).or_insert_with(|| event.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        for ((msg, host), event) in delivers {
+            let trace = traces.get_mut(&msg).expect("deliver implies trace entry");
+            let arrive_at = arrivals.get(&(msg, host)).copied();
+            let buffered = buffers.get(&(msg, host)).copied();
+            trace.deliveries.push(build_delivery(
+                trace.publish_at,
+                &trace.stamps,
+                host,
+                arrive_at,
+                buffered,
+                event,
+            ));
+        }
+
+        for trace in traces.values_mut() {
+            if trace.publish_at.is_some() && trace.deliveries.is_empty() {
+                trace.gaps.push(SpanGap::Undelivered);
+            }
+        }
+
+        TraceSet {
+            traces,
+            dropped_events: dropped,
+        }
+    }
+
+    /// Events lost before capture (0 unless [`TraceSet::with_dropped`]).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    /// The reconstructed traces, ordered by message id.
+    pub fn traces(&self) -> impl Iterator<Item = &MessageTrace> {
+        self.traces.values()
+    }
+
+    /// The trace of one message, if any of its events were captured.
+    pub fn get(&self, msg: u64) -> Option<&MessageTrace> {
+        self.traces.get(&msg)
+    }
+
+    /// Number of messages with at least one captured event.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether no message produced any event.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// How many traces are complete (see [`MessageTrace::is_complete`]).
+    pub fn complete(&self) -> usize {
+        self.traces.values().filter(|t| t.is_complete()).count()
+    }
+
+    /// How many traces carry at least one gap diagnostic.
+    pub fn incomplete(&self) -> usize {
+        self.len() - self.complete()
+    }
+
+    /// The `k` slowest deliveries (by end-to-end latency, descending;
+    /// ties broken by message id then host for determinism). Deliveries
+    /// without a publish event cannot be ranked and are excluded — they
+    /// still appear in gap diagnostics.
+    pub fn slowest(&self, k: usize) -> Vec<(&MessageTrace, &DeliverySpan)> {
+        let mut ranked: Vec<(&MessageTrace, &DeliverySpan)> = self
+            .traces
+            .values()
+            .flat_map(|t| {
+                t.deliveries
+                    .iter()
+                    .filter(|d| d.end_to_end.is_some())
+                    .map(move |d| (t, d))
+            })
+            .collect();
+        ranked.sort_by(|(ta, da), (tb, db)| {
+            db.end_to_end
+                .cmp(&da.end_to_end)
+                .then(ta.msg.cmp(&tb.msg))
+                .then(da.host.cmp(&db.host))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Folds every delivery's breakdown into per-component histograms
+    /// (the bench stretch-decomposition block).
+    pub fn breakdown_histograms(&self) -> BreakdownHistograms {
+        let mut out = BreakdownHistograms::default();
+        for trace in self.traces.values() {
+            for d in &trace.deliveries {
+                if d.gaps.is_empty() && trace.gaps.is_empty() {
+                    out.complete += 1;
+                } else {
+                    out.incomplete += 1;
+                }
+                let (Some(b), Some(e2e)) = (&d.breakdown, d.end_to_end) else {
+                    continue;
+                };
+                out.stamp_wait.record(b.stamp_wait);
+                out.wire.record(b.wire);
+                out.group_gap_wait.record(b.group_gap_wait);
+                out.atom_gap_wait.record(b.atom_gap_wait);
+                out.end_to_end.record(e2e);
+            }
+        }
+        out
+    }
+}
+
+/// Builds one delivery span, clamping timestamps into path order so the
+/// four components are non-negative and sum exactly to end-to-end.
+fn build_delivery(
+    publish_at: Option<u64>,
+    stamps: &[StampSpan],
+    host: u64,
+    arrive_at: Option<u64>,
+    buffered: Option<BufferSpan>,
+    deliver: TraceEvent,
+) -> DeliverySpan {
+    let mut gaps = Vec::new();
+    if arrive_at.is_none() {
+        gaps.push(SpanGap::MissingArrive { host });
+    }
+    for &(atom, _seq) in &deliver.stamps {
+        if !stamps.iter().any(|s| s.atom == atom) {
+            gaps.push(SpanGap::MissingStamp { atom });
+        }
+    }
+
+    let (breakdown, end_to_end) = match publish_at {
+        None => {
+            gaps.push(SpanGap::MissingPublish);
+            (None, None)
+        }
+        Some(t_pub) => {
+            let t_del = deliver.at.max(t_pub);
+            // Without an arrive event the whole tail is attributed to
+            // the wire (flagged above as MissingArrive).
+            let t_arr = arrive_at.unwrap_or(t_del).clamp(t_pub, t_del);
+            let t_stamp = stamps
+                .iter()
+                .map(|s| s.at)
+                .max()
+                .unwrap_or(t_pub)
+                .clamp(t_pub, t_arr);
+            let mut b = LatencyBreakdown {
+                stamp_wait: t_stamp - t_pub,
+                ..LatencyBreakdown::default()
+            };
+            match buffered {
+                Some(buf) => {
+                    b.wire = t_arr - t_stamp;
+                    let gap = t_del - t_arr;
+                    match buf.reason {
+                        BufferReason::GroupGap => b.group_gap_wait = gap,
+                        BufferReason::AtomGap => b.atom_gap_wait = gap,
+                    }
+                }
+                None => b.wire = t_del - t_stamp,
+            }
+            (Some(b), Some(t_del - t_pub))
+        }
+    };
+
+    DeliverySpan {
+        host,
+        arrive_at,
+        buffered,
+        deliver_at: deliver.at,
+        seq: deliver.seq,
+        epoch: deliver.detail,
+        stamps: deliver.stamps,
+        gaps,
+        breakdown,
+        end_to_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, actor: Actor, at: u64, msg: u64) -> TraceEvent {
+        TraceEvent {
+            at,
+            msg: Some(msg),
+            group: Some(2),
+            ..TraceEvent::new(kind, actor)
+        }
+    }
+
+    fn full_path() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                detail: Some(3),
+                ..ev(EventKind::Publish, Actor::Publisher, 100, 7)
+            },
+            TraceEvent {
+                atom: Some(4),
+                seq: Some(2),
+                ..ev(EventKind::AtomStamp, Actor::Node(1), 120, 7)
+            },
+            TraceEvent {
+                atom: Some(9),
+                seq: Some(5),
+                ..ev(EventKind::AtomStamp, Actor::Node(2), 140, 7)
+            },
+            TraceEvent {
+                detail: Some(2),
+                atom: Some(9),
+                seq: Some(0),
+                ..ev(EventKind::FrameForward, Actor::Node(1), 125, 7)
+            },
+            ev(EventKind::Arrive, Actor::Host(9), 160, 7),
+            TraceEvent {
+                detail: Some(1),
+                ..ev(
+                    EventKind::Buffer(BufferReason::GroupGap),
+                    Actor::Host(9),
+                    160,
+                    7,
+                )
+            },
+            TraceEvent {
+                seq: Some(1),
+                detail: Some(0),
+                stamps: vec![(4, 2), (9, 5)],
+                ..ev(EventKind::Deliver, Actor::Host(9), 200, 7)
+            },
+        ]
+    }
+
+    #[test]
+    fn reconstructs_a_complete_span_tree() {
+        let set = TraceSet::from_events(&full_path());
+        assert_eq!(set.len(), 1);
+        let t = set.get(7).expect("trace");
+        assert!(t.is_complete(), "gaps: {:?}", t.all_gaps().collect::<Vec<_>>());
+        assert_eq!(t.publish_at, Some(100));
+        assert_eq!(t.publish_host, Some(3));
+        assert_eq!(t.stamps.len(), 2);
+        assert_eq!(t.forwards.len(), 1);
+        assert_eq!(t.forwards[0].atom, Some(9));
+        assert_eq!(t.deliveries.len(), 1);
+        let d = &t.deliveries[0];
+        assert_eq!(d.host, 9);
+        assert_eq!(d.epoch, Some(0));
+        let b = d.breakdown.expect("breakdown");
+        // publish@100 → last stamp@140 → arrive@160 → deliver@200,
+        // buffered on a group gap.
+        assert_eq!(b.stamp_wait, 40);
+        assert_eq!(b.wire, 20);
+        assert_eq!(b.group_gap_wait, 40);
+        assert_eq!(b.atom_gap_wait, 0);
+        assert_eq!(d.end_to_end, Some(100));
+        assert_eq!(b.total(), 100);
+    }
+
+    #[test]
+    fn unbuffered_delivery_charges_the_tail_to_wire() {
+        let mut events = full_path();
+        events.retain(|e| !matches!(e.kind, EventKind::Buffer(_)));
+        let set = TraceSet::from_events(&events);
+        let b = set.get(7).unwrap().deliveries[0].breakdown.unwrap();
+        assert_eq!(b.stamp_wait, 40);
+        assert_eq!(b.wire, 60);
+        assert_eq!(b.group_gap_wait + b.atom_gap_wait, 0);
+        assert_eq!(b.total(), 100);
+    }
+
+    #[test]
+    fn atom_gap_buffering_is_attributed_to_atom_gap() {
+        let mut events = full_path();
+        for e in &mut events {
+            if let EventKind::Buffer(reason) = &mut e.kind {
+                *reason = BufferReason::AtomGap;
+            }
+        }
+        let b = TraceSet::from_events(&events).get(7).unwrap().deliveries[0]
+            .breakdown
+            .unwrap();
+        assert_eq!(b.atom_gap_wait, 40);
+        assert_eq!(b.group_gap_wait, 0);
+    }
+
+    #[test]
+    fn missing_publish_is_a_typed_gap_not_a_skip() {
+        let events: Vec<TraceEvent> = full_path()
+            .into_iter()
+            .filter(|e| e.kind != EventKind::Publish)
+            .collect();
+        let set = TraceSet::from_events(&events);
+        let t = set.get(7).unwrap();
+        assert!(!t.is_complete());
+        let d = &t.deliveries[0];
+        assert!(d.gaps.contains(&SpanGap::MissingPublish));
+        assert_eq!(d.breakdown, None);
+        assert_eq!(d.end_to_end, None);
+        assert!(t.render().contains("incomplete"));
+    }
+
+    #[test]
+    fn missing_stamp_and_arrive_are_reported() {
+        let events: Vec<TraceEvent> = full_path()
+            .into_iter()
+            .filter(|e| {
+                !(e.kind == EventKind::AtomStamp && e.atom == Some(9))
+                    && e.kind != EventKind::Arrive
+            })
+            .collect();
+        let set = TraceSet::from_events(&events);
+        let d = &set.get(7).unwrap().deliveries[0];
+        assert!(d.gaps.contains(&SpanGap::MissingStamp { atom: 9 }));
+        assert!(d.gaps.contains(&SpanGap::MissingArrive { host: 9 }));
+        // The breakdown still exists and still sums to end-to-end.
+        let b = d.breakdown.unwrap();
+        assert_eq!(Some(b.total()), d.end_to_end);
+    }
+
+    #[test]
+    fn undelivered_publish_is_flagged() {
+        let events = vec![TraceEvent {
+            detail: Some(3),
+            ..ev(EventKind::Publish, Actor::Publisher, 10, 1)
+        }];
+        let set = TraceSet::from_events(&events);
+        let t = set.get(1).unwrap();
+        assert_eq!(t.gaps, vec![SpanGap::Undelivered]);
+        assert_eq!(set.complete(), 0);
+        assert_eq!(set.incomplete(), 1);
+    }
+
+    #[test]
+    fn crash_replay_duplicates_are_deduplicated_first_wins() {
+        let mut events = full_path();
+        // A replayed node re-stamps and re-forwards at later times.
+        events.push(TraceEvent {
+            atom: Some(4),
+            seq: Some(2),
+            ..ev(EventKind::AtomStamp, Actor::Node(1), 900, 7)
+        });
+        events.push(TraceEvent {
+            detail: Some(2),
+            ..ev(EventKind::FrameForward, Actor::Node(1), 910, 7)
+        });
+        events.push(ev(EventKind::Arrive, Actor::Host(9), 920, 7));
+        let set = TraceSet::from_events(&events);
+        let t = set.get(7).unwrap();
+        assert_eq!(t.stamps.len(), 2);
+        assert_eq!(t.forwards.len(), 1);
+        assert_eq!(t.deliveries[0].arrive_at, Some(160));
+        // The breakdown is unchanged by the replay noise.
+        assert_eq!(t.deliveries[0].breakdown.unwrap().total(), 100);
+    }
+
+    #[test]
+    fn clock_skew_clamps_components_to_non_negative() {
+        // Arrive stamped *before* publish (cross-process skew): every
+        // component must stay non-negative and the identity must hold.
+        let events = vec![
+            ev(EventKind::Publish, Actor::Publisher, 500, 3),
+            TraceEvent {
+                atom: Some(1),
+                seq: Some(1),
+                ..ev(EventKind::AtomStamp, Actor::Node(0), 480, 3)
+            },
+            ev(EventKind::Arrive, Actor::Host(2), 450, 3),
+            TraceEvent {
+                seq: Some(1),
+                stamps: vec![(1, 1)],
+                ..ev(EventKind::Deliver, Actor::Host(2), 520, 3)
+            },
+        ];
+        let set = TraceSet::from_events(&events);
+        let d = &set.get(3).unwrap().deliveries[0];
+        let b = d.breakdown.unwrap();
+        assert_eq!(b.total(), d.end_to_end.unwrap());
+        assert_eq!(d.end_to_end, Some(20));
+    }
+
+    #[test]
+    fn slowest_ranks_by_end_to_end_descending() {
+        let mut events = full_path();
+        events.push(ev(EventKind::Publish, Actor::Publisher, 0, 8));
+        events.push(TraceEvent {
+            seq: Some(2),
+            stamps: vec![],
+            ..ev(EventKind::Deliver, Actor::Host(9), 400, 8)
+        });
+        events.push(ev(EventKind::Arrive, Actor::Host(9), 300, 8));
+        let set = TraceSet::from_events(&events);
+        let top = set.slowest(10);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0.msg, 8);
+        assert_eq!(top[0].1.end_to_end, Some(400));
+        assert_eq!(top[1].0.msg, 7);
+        assert_eq!(set.slowest(1).len(), 1);
+    }
+
+    #[test]
+    fn breakdown_histograms_fold_all_deliveries() {
+        let set = TraceSet::from_events(&full_path());
+        let h = set.breakdown_histograms();
+        assert_eq!(h.complete, 1);
+        assert_eq!(h.incomplete, 0);
+        assert_eq!(h.end_to_end.count(), 1);
+        assert_eq!(h.stamp_wait.count(), 1);
+        assert_eq!(
+            h.stamp_wait.sum() + h.wire.sum() + h.group_gap_wait.sum() + h.atom_gap_wait.sum(),
+            h.end_to_end.sum()
+        );
+    }
+
+    #[test]
+    fn dropped_events_are_carried_through() {
+        let set = TraceSet::with_dropped(&full_path(), 42);
+        assert_eq!(set.dropped_events(), 42);
+        assert_eq!(TraceSet::from_events(&full_path()).dropped_events(), 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Conformance property tests for the Prometheus text exposition.
+//!
+//! Anything [`exposition`] emits must stay inside the text exposition
+//! grammar no matter what mix of counters and histograms a run produced:
+//! a scraper that chokes on one malformed line silently drops the whole
+//! scrape, so "mostly valid" output is worthless. Random registries are
+//! rendered and every line re-parsed against the grammar, plus the
+//! semantic invariants scrapers rely on: one `# TYPE` header per family,
+//! cumulative non-decreasing buckets closed by `+Inf`, `_count` equal to
+//! the terminal bucket, sorted label order, byte-identical re-scrapes,
+//! and additivity under [`Registry::merge`] (the property the deployment
+//! coordinator's cluster-wide merged scrape depends on).
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use seqnet_obs::{prom::exposition, Registry};
+
+/// A pool of legal family names (registry keys are `&'static str` chosen
+/// by code, never user input, so a fixed pool is the honest model).
+const COUNTERS: &[&str] = &[
+    "frames_total",
+    "node_frames_processed_total",
+    "publishes_steady_total",
+    "retransmissions_total",
+];
+const HISTOGRAMS: &[&str] = &["latency_us", "node_batch_frames", "stamp_wait_us"];
+
+fn label_strategy() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![
+        1 => Just(None),
+        3 => (0u64..6).prop_map(Some),
+    ]
+}
+
+/// One registry mutation: bump a counter or record an observation.
+#[derive(Clone, Debug)]
+enum Op {
+    Inc(usize, Option<u64>, u64),
+    Observe(usize, Option<u64>, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..COUNTERS.len(), label_strategy(), 0u64..1_000_000)
+            .prop_map(|(f, l, n)| Op::Inc(f, l, n)),
+        (0usize..HISTOGRAMS.len(), label_strategy(), 0u64..2_000_000)
+            .prop_map(|(f, l, v)| Op::Observe(f, l, v)),
+    ]
+}
+
+fn build(ops: &[Op]) -> Registry {
+    let mut reg = Registry::new();
+    for op in ops {
+        match *op {
+            Op::Inc(f, label, n) => reg.inc(COUNTERS[f], label, n),
+            Op::Observe(f, label, v) => reg.observe(HISTOGRAMS[f], label, v),
+        }
+    }
+    reg
+}
+
+fn label_key(name: &'static str) -> &'static str {
+    if name.starts_with("node_") {
+        "epoch"
+    } else {
+        "group"
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_key(key: &str) -> bool {
+    let mut chars = key.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line: `name{k="v",...} value`.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses a sample line, panicking (test failure) on any grammar breach.
+fn parse_sample(line: &str) -> Sample {
+    let (series, value) = line.rsplit_once(' ').expect("sample has a value field");
+    let value: f64 = value.parse().expect("sample value is a number");
+    let (name, labels) = match series.split_once('{') {
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').expect("label set closed by '}'");
+            let labels = body
+                .split(',')
+                .map(|pair| {
+                    let (k, v) = pair.split_once('=').expect("label is key=value");
+                    assert!(valid_label_key(k), "bad label key {k:?}");
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .expect("label value is double-quoted");
+                    assert!(
+                        !v.contains(['"', '\\', '\n']),
+                        "label value {v:?} would need escaping"
+                    );
+                    (k.to_string(), v.to_string())
+                })
+                .collect();
+            (name, labels)
+        }
+        None => (series, Vec::new()),
+    };
+    assert!(valid_metric_name(name), "bad metric name {name:?}");
+    Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    }
+}
+
+/// Everything scraped from one exposition, grouped for the semantic checks.
+struct Scrape {
+    /// family name -> declared type, in order of appearance.
+    types: Vec<(String, String)>,
+    samples: Vec<Sample>,
+}
+
+fn parse_exposition(text: &str) -> Scrape {
+    let mut types = Vec::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        assert!(!line.is_empty(), "no blank lines inside the exposition");
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE line has a kind");
+            assert!(valid_metric_name(name), "bad family name {name:?}");
+            assert!(
+                matches!(kind, "counter" | "histogram"),
+                "unknown metric type {kind:?}"
+            );
+            types.push((name.to_string(), kind.to_string()));
+        } else {
+            assert!(!line.starts_with('#'), "only # TYPE comments are emitted");
+            samples.push(parse_sample(line));
+        }
+    }
+    Scrape { types, samples }
+}
+
+/// The family a sample belongs to: its name with any histogram-series
+/// suffix (`_bucket`, `_sum`, `_count`) stripped when that family exists.
+fn family_of<'a>(sample_name: &'a str, families: &[(String, String)]) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            if families.iter().any(|(f, k)| f == base && k == "histogram") {
+                return base;
+            }
+        }
+    }
+    sample_name
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every line of every exposition stays inside the grammar, each
+    /// family is declared exactly once before its samples, and all
+    /// samples carry the namespace prefix and the caller's label key.
+    #[test]
+    fn exposition_obeys_the_text_format_grammar(ops in vec(op_strategy(), 0..40)) {
+        let reg = build(&ops);
+        let text = exposition(&reg, "seqnet", label_key);
+        let scrape = parse_exposition(&text);
+
+        // One TYPE header per family.
+        let mut seen = BTreeMap::new();
+        for (family, kind) in &scrape.types {
+            prop_assert!(
+                seen.insert(family.clone(), kind.clone()).is_none(),
+                "family {} declared twice", family
+            );
+            prop_assert!(family.starts_with("seqnet_"), "family {} lacks namespace", family);
+        }
+
+        // Each sample belongs to a declared family, and samples of one
+        // family are contiguous right after its TYPE header.
+        let mut order: Vec<String> = Vec::new();
+        for s in &scrape.samples {
+            let family = family_of(&s.name, &scrape.types).to_string();
+            prop_assert!(
+                seen.contains_key(&family),
+                "sample {} has no TYPE header", s.name
+            );
+            prop_assert!(s.value >= 0.0, "sample {} is negative", s.name);
+            if order.last() != Some(&family) {
+                prop_assert!(
+                    !order.contains(&family),
+                    "family {} split into non-contiguous runs", family
+                );
+                order.push(family);
+            }
+        }
+
+        // The caller's per-family label key is used verbatim; the only
+        // other key is the bucket boundary `le`.
+        for s in &scrape.samples {
+            for (k, _) in &s.labels {
+                prop_assert!(
+                    k == "group" || k == "epoch" || k == "le",
+                    "unexpected label key {} on {}", k, s.name
+                );
+            }
+        }
+    }
+
+    /// Histogram series are internally consistent: buckets cumulative and
+    /// non-decreasing, strictly increasing `le` boundaries closed by
+    /// `+Inf`, and the `+Inf` bucket equal to `_count`.
+    #[test]
+    fn histogram_series_are_cumulative_and_closed(ops in vec(op_strategy(), 1..40)) {
+        let reg = build(&ops);
+        let text = exposition(&reg, "seqnet", label_key);
+        let scrape = parse_exposition(&text);
+
+        // Group bucket samples per (family, series-label) key.
+        let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+        let mut scalars: BTreeMap<(String, String), f64> = BTreeMap::new();
+        for s in &scrape.samples {
+            let series_label = s
+                .labels
+                .iter()
+                .find(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .unwrap_or_default();
+            if let Some(base) = s.name.strip_suffix("_bucket") {
+                let le = &s.labels.iter().find(|(k, _)| k == "le").expect("bucket has le").1;
+                let le = if le == "+Inf" { f64::INFINITY } else { le.parse().expect("numeric le") };
+                buckets.entry((base.to_string(), series_label)).or_default().push((le, s.value));
+            } else {
+                scalars.insert((s.name.clone(), series_label), s.value);
+            }
+        }
+
+        for ((base, series_label), series) in &buckets {
+            let mut prev_le = f64::NEG_INFINITY;
+            let mut prev_count = 0.0;
+            for &(le, count) in series {
+                prop_assert!(le > prev_le, "{base} le boundaries not increasing");
+                prop_assert!(count >= prev_count, "{base} bucket counts not cumulative");
+                prev_le = le;
+                prev_count = count;
+            }
+            let (last_le, last_count) = *series.last().expect("non-empty series");
+            prop_assert!(last_le.is_infinite(), "{base} series not closed by +Inf");
+            let count = scalars
+                .get(&(format!("{base}_count"), series_label.clone()))
+                .copied()
+                .expect("histogram has _count");
+            let sum = scalars
+                .get(&(format!("{base}_sum"), series_label.clone()))
+                .copied()
+                .expect("histogram has _sum");
+            prop_assert_eq!(last_count, count, "+Inf bucket != _count for {}", base);
+            prop_assert!(sum >= 0.0);
+        }
+    }
+
+    /// Scrapes are deterministic (byte-identical for identical state) and
+    /// additive under merge: the merged registry's counter samples equal
+    /// the per-registry sums — the invariant behind the coordinator's
+    /// cluster-wide scrape being the sum of the per-node registries.
+    #[test]
+    fn scrapes_are_deterministic_and_merge_additive(
+        a_ops in vec(op_strategy(), 0..24),
+        b_ops in vec(op_strategy(), 0..24),
+    ) {
+        let a = build(&a_ops);
+        let b = build(&b_ops);
+        prop_assert_eq!(
+            exposition(&a, "seqnet", label_key),
+            exposition(&a, "seqnet", label_key)
+        );
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let counter_values = |reg: &Registry| -> BTreeMap<(String, String), f64> {
+            parse_exposition(&exposition(reg, "seqnet", label_key))
+                .samples
+                .into_iter()
+                .filter(|s| !s.name.ends_with("_bucket")
+                    && !s.name.ends_with("_sum")
+                    && !s.name.ends_with("_count"))
+                .map(|s| {
+                    let label = s.labels.first().map(|(k, v)| format!("{k}={v}")).unwrap_or_default();
+                    ((s.name, label), s.value)
+                })
+                .collect()
+        };
+        let (va, vb, vm) = (counter_values(&a), counter_values(&b), counter_values(&merged));
+        for (key, &m) in &vm {
+            let expect = va.get(key).copied().unwrap_or(0.0) + vb.get(key).copied().unwrap_or(0.0);
+            prop_assert_eq!(m, expect, "merged counter {:?} is not the sum", key);
+        }
+    }
+}

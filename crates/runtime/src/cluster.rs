@@ -378,6 +378,10 @@ pub struct Cluster {
     prior_stats: RuntimeStats,
     prior_batches: BTreeMap<usize, u64>,
     prior_trace: Vec<TraceEvent>,
+    /// Publishes accepted while no reconfiguration was staged.
+    publishes_steady: u64,
+    /// Publishes parked behind a staged handoff (the churn path).
+    publishes_parked: u64,
 }
 
 /// A reconfiguration staged by [`Cluster::begin_reconfigure`] while the
@@ -593,6 +597,8 @@ impl Cluster {
             prior_stats: RuntimeStats::default(),
             prior_batches: BTreeMap::new(),
             prior_trace: Vec::new(),
+            publishes_steady: 0,
+            publishes_parked: 0,
         }
     }
 
@@ -625,11 +631,13 @@ impl Cluster {
             }
             let id = MessageId(self.next_id);
             self.next_id += 1;
+            self.publishes_parked += 1;
             pending.parked.push((id, sender, group, payload));
             return Ok(id);
         }
         let id = MessageId(self.next_id);
         self.next_id += 1;
+        self.publishes_steady += 1;
         self.publish_now(id, sender, group, payload)?;
         Ok(id)
     }
@@ -951,6 +959,8 @@ impl Cluster {
             *next.prior_batches.entry(size).or_insert(0) += count;
         }
         next.prior_trace = prior_trace;
+        next.publishes_steady = self.publishes_steady;
+        next.publishes_parked = self.publishes_parked;
         if let Some(rec) = &next.wiring.trace {
             let mut sink = rec.lock().expect("trace sink poisoned");
             sink.now(next.wiring.epoch.elapsed().as_micros() as u64);
@@ -1026,9 +1036,13 @@ impl Cluster {
     }
 
     /// Prometheus text exposition of the runtime counters, plus — when
-    /// tracing is on — per-event-kind counters and a per-group delivery
-    /// latency histogram derived from the trace. Deterministic for a
-    /// given state, suitable for a scrape endpoint or a CI artifact.
+    /// tracing is on — per-event-kind counters, a per-group delivery
+    /// latency histogram, and epoch-labelled delivery/buffering families
+    /// derived from the trace. Epoch-label cardinality is bounded to the
+    /// current and previous epochs ([`fold_epoch`]); the churn path also
+    /// surfaces a steady-vs-parked publish counter pair. Deterministic
+    /// for a given state, suitable for a scrape endpoint or a CI
+    /// artifact.
     pub fn prometheus_text(&self) -> String {
         let stats = self.stats();
         let mut reg = Registry::new();
@@ -1038,9 +1052,15 @@ impl Cluster {
         reg.inc("frames_replayed_total", None, stats.recovery.frames_replayed);
         reg.inc("frames_sent_total", None, stats.frames_sent);
         reg.inc("heartbeat_misses_total", None, stats.heartbeat_misses);
+        reg.inc("publishes_parked_total", None, self.publishes_parked);
+        reg.inc("publishes_steady_total", None, self.publishes_steady);
         reg.inc("recovery_micros_total", None, stats.recovery.recovery_micros);
         reg.inc("retransmissions_total", None, stats.retransmissions);
+        let current_epoch = self.epoch();
         let mut published: HashMap<u64, u64> = HashMap::new();
+        // Buffer events don't carry the message's epoch; attribute them
+        // to the epoch active at their point in the stream.
+        let mut scan_epoch = 0u64;
         for event in self.trace_events() {
             reg.inc(event_family(event.kind), None, 1);
             match event.kind {
@@ -1049,20 +1069,43 @@ impl Cluster {
                         published.insert(m, event.at);
                     }
                 }
+                EventKind::Buffer(_) => {
+                    let epoch = fold_epoch(scan_epoch, current_epoch);
+                    reg.inc("buffered_by_epoch_total", Some(epoch), 1);
+                }
                 EventKind::Deliver => {
+                    let epoch = fold_epoch(event.detail.unwrap_or(scan_epoch), current_epoch);
+                    reg.inc("deliveries_by_epoch_total", Some(epoch), 1);
                     if let Some(&t0) = event.msg.and_then(|m| published.get(&m)) {
-                        reg.observe(
-                            "delivery_latency_us",
-                            event.group,
-                            event.at.saturating_sub(t0),
-                        );
+                        let latency = event.at.saturating_sub(t0);
+                        reg.observe("delivery_latency_us", event.group, latency);
+                        reg.observe("delivery_latency_us_by_epoch", Some(epoch), latency);
                     }
+                }
+                EventKind::EpochAdvance => {
+                    scan_epoch = event.detail.unwrap_or(scan_epoch + 1);
                 }
                 _ => {}
             }
         }
-        prom::exposition(&reg, "seqnet", |_| "group")
+        prom::exposition(&reg, "seqnet", epoch_or_group_label)
     }
+}
+
+/// The label key for a runtime metric family: the epoch-split families
+/// use `epoch`, everything else keeps the per-group convention.
+fn epoch_or_group_label(family: &'static str) -> &'static str {
+    if family.ends_with("_by_epoch_total") || family.ends_with("_by_epoch") {
+        "epoch"
+    } else {
+        "group"
+    }
+}
+
+/// Bounds epoch-label cardinality: the current and previous epochs keep
+/// their own label; anything older folds into the previous one.
+fn fold_epoch(epoch: u64, current: u64) -> u64 {
+    epoch.max(current.saturating_sub(1)).min(current)
 }
 
 /// Prometheus-safe counter family for an event kind (the wire names use

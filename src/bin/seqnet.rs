@@ -6,6 +6,7 @@
 //!                [--trace-out FILE]
 //! seqnet graph   [--hosts N] [--groups G] [--seed S]
 //! seqnet cluster [--hosts N] [--groups G] [--messages M] [--seed S] [--chaos 0|1]
+//!                [--trace 0|1] [--prom 0|1]
 //! seqnet demo
 //! seqnet help
 //! ```
@@ -120,9 +121,12 @@ USAGE:
   seqnet graph [--hosts N] [--groups G] [--seed S] [--workload dense|zipf] [--dot FILE]
                build and print a sequencing graph for a Zipf workload
   seqnet cluster [--hosts N] [--groups G] [--messages M] [--seed S] [--chaos 0|1]
+                 [--trace 0|1] [--prom 0|1]
                launch a real multi-process cluster on localhost sockets
                (one OS process per sequencing node); --chaos 1 SIGKILLs
-               and respawns a node mid-run
+               and respawns a node mid-run; --trace 1 writes per-process
+               span JSONL into the run dir; --prom 1 prints the merged
+               epoch-labelled Prometheus exposition
   seqnet demo  minimal two-group ordering demonstration
   seqnet help  this text"
     );
@@ -264,12 +268,15 @@ fn cmd_cluster(opts: &Options) -> Result<(), String> {
     let messages = opts.usize_or("messages", 60)?;
     let seed = opts.u64_or("seed", 1)?;
     let chaos = opts.u64_or("chaos", 0)? != 0;
+    let trace = opts.u64_or("trace", 0)? != 0;
+    let prom = opts.u64_or("prom", 0)? != 0;
 
     let mut rng = StdRng::seed_from_u64(seed);
     let membership = ZipfGroups::new(hosts, groups).with_min_size(2).sample(&mut rng);
     let config = ClusterConfig {
         seed,
         snapshot_interval: Duration::from_millis(2),
+        trace,
         ..ClusterConfig::default()
     };
     let mut cluster = DeployCluster::start(&membership, config)?;
@@ -300,6 +307,8 @@ fn cmd_cluster(opts: &Options) -> Result<(), String> {
     let deliveries = cluster
         .wait_for_deliveries(expected, Duration::from_secs(30))
         .map_err(|e| e.to_string())?;
+    println!("health: {}", cluster.health_line());
+    let prom_text = prom.then(|| cluster.prometheus_text());
     let stats = cluster.shutdown();
     let received: usize = deliveries.values().map(Vec::len).sum();
     println!("published {messages} messages -> {received}/{expected} deliveries");
@@ -313,6 +322,17 @@ fn cmd_cluster(opts: &Options) -> Result<(), String> {
             stats.recovery.crashes,
             stats.recovery.frames_replayed,
             stats.recovery.recovery_micros as f64 / 1000.0 / stats.recovery.crashes as f64
+        );
+    }
+    if let Some(text) = prom_text {
+        print!("{text}");
+    }
+    if trace {
+        println!(
+            "trace: per-process JSONL in {} (coord.obs.jsonl + node*.obs.jsonl); \
+             reconstruct spans with `seqnet-obs-report spans {}/*.obs.jsonl`",
+            cluster.dir().display(),
+            cluster.dir().display()
         );
     }
     Ok(())

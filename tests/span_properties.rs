@@ -1,0 +1,256 @@
+//! Property tests of the trace plane's span reconstruction
+//! (PROTOCOL.md §15): for arbitrary memberships, workloads, and fault
+//! plans, every delivered message must reconstruct into a *complete*
+//! span tree whose typed latency components are exact — the decomposition
+//! (`stamp_wait + wire + group_gap_wait + atom_gap_wait`) sums to the
+//! end-to-end latency per delivery, not just on average. And because the
+//! simulator and the threaded runtime drive the same sans-I/O cores, the
+//! *structure* of every span tree (publisher, stamping atoms, receiving
+//! hosts, group-local sequence numbers) must be identical across the two
+//! drivers; only timestamps are driver-specific.
+
+mod strategies;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use seqnet::core::OrderedPubSub;
+use seqnet::membership::{GroupId, Membership, NodeId};
+use seqnet::obs::span::{MessageTrace, TraceSet};
+use seqnet::obs::{Recorder, TraceEvent};
+use seqnet::runtime::{Cluster, ClusterConfig};
+use seqnet::sim::SimTime;
+use strategies::{fault_plan, membership_with, MembershipBounds};
+
+/// Small memberships keep each proptest case (which boots a real
+/// threaded cluster) affordable.
+fn small_membership() -> impl Strategy<Value = Membership> {
+    membership_with(MembershipBounds {
+        nodes: (4, 7),
+        groups: (2, 4),
+        members: (2, 4),
+    })
+}
+
+/// One round of the differential workload: every node publishes once to
+/// every group it belongs to, in a single fixed global order.
+fn workload(m: &Membership) -> (Vec<(NodeId, GroupId)>, usize) {
+    let mut publishes = Vec::new();
+    let mut expected = 0usize;
+    for node in m.nodes().collect::<Vec<_>>() {
+        for group in m.groups_of(node).collect::<Vec<_>>() {
+            publishes.push((node, group));
+            expected += m.group_size(group);
+        }
+    }
+    (publishes, expected)
+}
+
+/// Runs the workload through the simulator (with optional faults) and
+/// returns the recorded trace events.
+fn sim_events(
+    m: &Membership,
+    publishes: &[(NodeId, GroupId)],
+    plan: Option<&seqnet::sim::FaultPlan>,
+) -> Vec<TraceEvent> {
+    let mut bus = OrderedPubSub::new(m);
+    let rec = Arc::new(Mutex::new(Recorder::new()));
+    bus.set_trace_sink(rec.clone());
+    if let Some(plan) = plan {
+        bus.apply_fault_plan(plan.clone());
+    }
+    for (k, &(node, group)) in publishes.iter().enumerate() {
+        bus.publish_at(SimTime::from_micros((k as u64 + 1) * 700), node, group, vec![])
+            .unwrap();
+    }
+    bus.run_to_quiescence();
+    assert_eq!(bus.stuck_messages(), 0, "sim delivered everything");
+    let events = rec.lock().unwrap().events().to_vec();
+    events
+}
+
+/// Runs the same workload through the threaded runtime and returns its
+/// trace events.
+fn runtime_events(
+    seed: u64,
+    m: &Membership,
+    publishes: &[(NodeId, GroupId)],
+    expected: usize,
+    plan: Option<&seqnet::sim::FaultPlan>,
+) -> Vec<TraceEvent> {
+    let config = ClusterConfig {
+        seed,
+        trace: true,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::start(m, config);
+    for &(node, group) in publishes {
+        cluster.publish(node, group, vec![]).unwrap();
+    }
+    if let Some(plan) = plan {
+        cluster.run_fault_plan(plan);
+    }
+    cluster
+        .wait_for_deliveries(expected, Duration::from_secs(60))
+        .unwrap();
+    cluster.shutdown();
+    cluster.trace_events()
+}
+
+/// Asserts the per-delivery decomposition identity on every trace in the
+/// set: each delivery carries a breakdown whose components sum *exactly*
+/// to its end-to-end latency (all values are `u64` micros, so the
+/// identity is integer-exact, no tolerance).
+fn assert_exact_decomposition(set: &TraceSet, driver: &str) {
+    for trace in set.traces() {
+        for d in &trace.deliveries {
+            let b = d
+                .breakdown
+                .as_ref()
+                .unwrap_or_else(|| panic!("{driver}: msg {} host {} lacks a breakdown", trace.msg, d.host));
+            let e2e = d
+                .end_to_end
+                .unwrap_or_else(|| panic!("{driver}: msg {} host {} lacks end-to-end", trace.msg, d.host));
+            assert_eq!(
+                b.total(),
+                e2e,
+                "{driver}: msg {} host {}: components {:?} do not sum to end-to-end {e2e}",
+                trace.msg,
+                d.host,
+                b.components()
+            );
+            for (name, value) in b.components() {
+                assert!(
+                    value <= e2e,
+                    "{driver}: msg {} host {}: component {name}={value} exceeds e2e {e2e}",
+                    trace.msg,
+                    d.host
+                );
+            }
+        }
+    }
+    // The aggregate mirrors the per-delivery identity: summed component
+    // histograms equal the summed end-to-end histogram, exactly.
+    let b = set.breakdown_histograms();
+    assert_eq!(
+        b.stamp_wait.sum() + b.wire.sum() + b.group_gap_wait.sum() + b.atom_gap_wait.sum(),
+        b.end_to_end.sum(),
+        "{driver}: aggregate component sums diverge from aggregate end-to-end"
+    );
+}
+
+/// The driver-independent skeleton of one span tree: everything fixed by
+/// the membership and the global publish order. Timestamps — the only
+/// clock-dependent part — are deliberately excluded.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Skeleton {
+    group: Option<u64>,
+    publish_host: Option<u64>,
+    stamped_atoms: BTreeSet<u64>,
+    /// Per receiving host: the group-local sequence number delivered.
+    deliveries: BTreeMap<u64, Option<u64>>,
+}
+
+fn skeleton(trace: &MessageTrace) -> Skeleton {
+    Skeleton {
+        group: trace.group,
+        publish_host: trace.publish_host,
+        stamped_atoms: trace.stamps.iter().map(|s| s.atom).collect(),
+        deliveries: trace.deliveries.iter().map(|d| (d.host, d.seq)).collect(),
+    }
+}
+
+fn skeletons(set: &TraceSet) -> BTreeMap<u64, Skeleton> {
+    set.traces().map(|t| (t.msg, skeleton(t))).collect()
+}
+
+/// Per-(group, host) delivery order, read back *from the span trees* —
+/// the trace plane must preserve the property the differential oracle
+/// checks on raw deliveries.
+fn span_orders(set: &TraceSet) -> BTreeMap<(u64, u64), Vec<u64>> {
+    let mut with_seq: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    for trace in set.traces() {
+        for d in &trace.deliveries {
+            let (Some(group), Some(seq)) = (trace.group, d.seq) else {
+                continue;
+            };
+            with_seq.entry((group, d.host)).or_default().push((seq, trace.msg));
+        }
+    }
+    with_seq
+        .into_iter()
+        .map(|(k, mut v)| {
+            v.sort_unstable();
+            (k, v.into_iter().map(|(_, msg)| msg).collect())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fault-free runs: every published message reconstructs into a
+    /// complete span tree in both drivers, the decomposition is exact,
+    /// and the two drivers' span trees are structurally identical.
+    #[test]
+    fn spans_reconstruct_identically_across_drivers(
+        m in small_membership(),
+        seed in any::<u64>(),
+    ) {
+        let (publishes, expected) = workload(&m);
+        let sim = TraceSet::from_events(&sim_events(&m, &publishes, None));
+        let rt = TraceSet::from_events(&runtime_events(seed, &m, &publishes, expected, None));
+
+        for (set, driver) in [(&sim, "sim"), (&rt, "runtime")] {
+            prop_assert_eq!(set.len(), publishes.len(), "{}: one trace per publish", driver);
+            prop_assert_eq!(set.incomplete(), 0, "{}: all span trees complete", driver);
+            assert_exact_decomposition(set, driver);
+        }
+        prop_assert_eq!(
+            skeletons(&sim),
+            skeletons(&rt),
+            "sim and runtime span trees diverge structurally"
+        );
+    }
+}
+
+proptest! {
+    // Crash windows replay in wall time on the runtime leg, so keep the
+    // case count low; each case still covers a fresh (membership, plan).
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Crashy runs: random fault plans (crash + recovery windows against
+    /// party 0, which exists under both the sim's atom-indexed and the
+    /// runtime's node-indexed interpretation) must not break the trace
+    /// plane — every delivery still reconstructs complete with an exact
+    /// decomposition, and the per-(group, host) delivery orders read back
+    /// from the span trees agree across drivers.
+    #[test]
+    fn spans_survive_fault_plans(
+        m in small_membership(),
+        plan in fault_plan(1, SimTime::from_micros(60_000)),
+        seed in any::<u64>(),
+    ) {
+        let (publishes, expected) = workload(&m);
+        let sim = TraceSet::from_events(&sim_events(&m, &publishes, Some(&plan)));
+        let rt = TraceSet::from_events(
+            &runtime_events(seed, &m, &publishes, expected, Some(&plan)),
+        );
+
+        for (set, driver) in [(&sim, "sim"), (&rt, "runtime")] {
+            prop_assert_eq!(set.len(), publishes.len(), "{}: one trace per publish", driver);
+            prop_assert_eq!(
+                set.incomplete(), 0,
+                "{}: crash windows must not leave reconstructed spans incomplete", driver
+            );
+            assert_exact_decomposition(set, driver);
+        }
+        prop_assert_eq!(
+            span_orders(&sim),
+            span_orders(&rt),
+            "delivery orders read back from span trees diverge across drivers"
+        );
+    }
+}
