@@ -48,6 +48,17 @@
 //! handoff) and *churn* deliveries (parked inside one), so the p50/p95/p99
 //! cost of reconfiguring under live traffic is measured, not guessed.
 //!
+//! `--saturate` turns the run into the **saturation scenario**
+//! (`results/BENCH_10.json`): a closed-loop ramp that doubles the offered
+//! open-loop rate step by step until the driver hits its latency knee —
+//! the first step where achieved throughput falls below 90% of offered,
+//! or p99 latency blows past 5× the base step's. Each driver (sim,
+//! runtime, socket) reports its per-step offered/achieved throughput,
+//! p99, and allocations-per-message, plus the resulting max throughput
+//! and knee point; the base step doubles as the normal per-driver report,
+//! so the file also records the runtime-vs-sim allocation comparison the
+//! scratch-buffer wire path is accountable to (PROTOCOL.md §16).
+//!
 //! `--smoke` shrinks the windows for CI; everything stays reproducible
 //! from the seed (wall-clock latencies on the runtime driver vary, the
 //! workload itself never does).
@@ -124,6 +135,7 @@ impl Mode {
     }
 }
 
+#[derive(Clone)]
 struct LoadConfig {
     driver: Driver,
     mode: Mode,
@@ -142,6 +154,12 @@ struct LoadConfig {
     /// decomposition (BENCH_9): span reconstruction over the run's
     /// lifecycle events, components summing to end-to-end.
     spans: bool,
+    /// Closed-loop saturation ramp (BENCH_10): double the offered rate
+    /// per step until the latency knee, per driver.
+    saturate: bool,
+    /// Ramp length cap for `--saturate` (the ramp also stops at the
+    /// knee).
+    sat_steps: usize,
     out: String,
     smoke: bool,
 }
@@ -160,6 +178,8 @@ impl Default for LoadConfig {
             measure_ms: 1_000,
             churn_cycles: 0,
             spans: false,
+            saturate: false,
+            sat_steps: 6,
             out: "results/BENCH_6.json".to_string(),
             smoke: false,
         }
@@ -171,7 +191,8 @@ fn usage() -> ! {
         "usage: seqnet-bench load [--driver sim|runtime|socket|both|all] [--mode open|closed]\n\
          \x20                        [--seed N] [--groups N] [--overlap N] [--rate-hz F]\n\
          \x20                        [--chains N] [--warmup-ms N] [--measure-ms N]\n\
-         \x20                        [--churn-cycles N] [--spans] [--out PATH] [--smoke]\n\
+         \x20                        [--churn-cycles N] [--spans] [--saturate] [--sat-steps N]\n\
+         \x20                        [--out PATH] [--smoke]\n\
          \x20      seqnet-bench validate [PATH]"
     );
     std::process::exit(2);
@@ -226,6 +247,10 @@ fn parse_load(args: &[String]) -> LoadConfig {
                     value("--churn-cycles").parse().expect("--churn-cycles: usize")
             }
             "--spans" => cfg.spans = true,
+            "--saturate" => cfg.saturate = true,
+            "--sat-steps" => {
+                cfg.sat_steps = value("--sat-steps").parse().expect("--sat-steps: usize")
+            }
             "--out" => {
                 cfg.out = value("--out");
                 out_set = true;
@@ -243,12 +268,16 @@ fn parse_load(args: &[String]) -> LoadConfig {
         cfg.warmup_ms = cfg.warmup_ms.min(50);
         cfg.measure_ms = cfg.measure_ms.min(250);
         cfg.churn_cycles = cfg.churn_cycles.min(2);
+        cfg.sat_steps = cfg.sat_steps.min(4);
     }
     if cfg.churn_cycles > 0 && !out_set {
         cfg.out = "results/BENCH_8.json".to_string();
     }
     if cfg.spans && !out_set {
         cfg.out = "results/BENCH_9.json".to_string();
+    }
+    if cfg.saturate && !out_set {
+        cfg.out = "results/BENCH_10.json".to_string();
     }
     assert!(cfg.groups >= 1, "--groups must be at least 1");
     assert!(cfg.rate_hz > 0.0, "--rate-hz must be positive");
@@ -262,6 +291,15 @@ fn parse_load(args: &[String]) -> LoadConfig {
         !(cfg.spans && cfg.churn_cycles > 0),
         "--spans and --churn-cycles are separate scenarios (BENCH_9 vs BENCH_8)"
     );
+    assert!(
+        !(cfg.saturate && (cfg.spans || cfg.churn_cycles > 0)),
+        "--saturate is its own scenario (BENCH_10)"
+    );
+    assert!(
+        !cfg.saturate || cfg.mode == Mode::Open,
+        "--saturate ramps the open-loop rate; use --mode open"
+    );
+    assert!(cfg.sat_steps >= 1, "--sat-steps must be at least 1");
     cfg
 }
 
@@ -800,6 +838,118 @@ fn run_churn_driver(
     )
 }
 
+/// One rung of the saturation ramp: a full (short) load run at one
+/// offered rate, reduced to the numbers the knee rule and the JSON need.
+struct SatStep {
+    /// Per-publisher open-loop rate this step ran at.
+    offered_hz: f64,
+    /// Offered delivery rate: `offered_hz × Σ group sizes` (every publish
+    /// fans out to its group's members).
+    offered_msgs_per_sec: f64,
+    /// Wall-clock delivery rate the driver actually sustained. For the
+    /// sim driver this is deliveries per *wall* second — virtual time
+    /// always keeps up, so its ceiling is where the simulator can no
+    /// longer process a second of traffic in a second.
+    achieved_msgs_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    delivered: u64,
+    allocations_per_message: f64,
+}
+
+/// One driver's saturation ramp (BENCH_10): geometric offered-rate steps
+/// up to the latency knee.
+struct SatReport {
+    driver: &'static str,
+    steps: Vec<SatStep>,
+    /// Index into `steps` of the knee (the last step when no knee was
+    /// found within the ramp cap).
+    knee: usize,
+    /// Whether the knee rule actually fired, or the ramp cap ended the
+    /// climb first.
+    knee_found: bool,
+}
+
+impl SatReport {
+    fn max_throughput(&self) -> f64 {
+        self.steps.iter().map(|s| s.achieved_msgs_per_sec).fold(0.0, f64::max)
+    }
+}
+
+/// Achieved throughput below this fraction of offered marks the knee.
+const KNEE_ACHIEVED_FACTOR: f64 = 0.9;
+/// p99 beyond this multiple of the base step's p99 also marks the knee.
+const KNEE_P99_FACTOR: u64 = 5;
+
+/// Runs one driver's closed-loop saturation ramp: starting from the
+/// configured rate, each step doubles the offered open-loop rate and
+/// replays a freshly generated workload through `run`, until the knee
+/// rule fires (achieved < 90% of offered, or p99 > 5× the base step's)
+/// or the ramp cap is reached. Returns the ramp plus the base step's full
+/// report (which stands in as the driver's BENCH_10 `drivers` entry, so
+/// the file keeps the allocations-per-message comparison).
+fn run_saturation<F>(
+    cfg: &LoadConfig,
+    m: &Membership,
+    driver: &'static str,
+    run: F,
+) -> (DriverReport, SatReport)
+where
+    F: Fn(&LoadConfig, &Membership, &[WorkItem]) -> DriverReport,
+{
+    let fanout: f64 = m.groups().map(|g| m.group_size(g) as f64).sum();
+    let mut steps = Vec::new();
+    let mut base_report = None;
+    let mut base_p99 = 1u64;
+    let mut knee = None;
+    for i in 0..cfg.sat_steps {
+        let mut step_cfg = cfg.clone();
+        step_cfg.rate_hz = cfg.rate_hz * (1u64 << i) as f64;
+        let items = workload(&step_cfg, m);
+        let wall_start = Instant::now();
+        let report = run(&step_cfg, m, &items);
+        let wall_s = wall_start.elapsed().as_secs_f64().max(1e-3);
+        // Judge every driver on the wall clock: the sim's own
+        // msgs_per_sec is per virtual second and tautologically meets the
+        // offered rate.
+        let achieved = if report.time_base == "virtual-us" {
+            report.delivered as f64 / wall_s
+        } else {
+            report.msgs_per_sec
+        };
+        let offered = step_cfg.rate_hz * fanout;
+        let p99 = report.latency_us.p99().unwrap_or(0);
+        if i == 0 {
+            base_p99 = p99.max(1);
+        }
+        steps.push(SatStep {
+            offered_hz: step_cfg.rate_hz,
+            offered_msgs_per_sec: offered,
+            achieved_msgs_per_sec: achieved,
+            p50_us: report.latency_us.p50().unwrap_or(0),
+            p99_us: p99,
+            delivered: report.delivered,
+            allocations_per_message: report.allocations_per_message,
+        });
+        if i == 0 {
+            base_report = Some(report);
+        }
+        let at_knee = achieved < KNEE_ACHIEVED_FACTOR * offered
+            || (i > 0 && p99 > KNEE_P99_FACTOR * base_p99);
+        if at_knee {
+            knee = Some(i);
+            break;
+        }
+    }
+    let report = SatReport {
+        driver,
+        knee: knee.unwrap_or(steps.len() - 1),
+        knee_found: knee.is_some(),
+        steps,
+    };
+    (base_report.expect("at least one ramp step"), report)
+}
+
 /// One latency-percentile block, shared by the per-driver reports and the
 /// churn scenario's steady/churn split.
 fn latency_json(h: &Histogram) -> String {
@@ -852,6 +1002,37 @@ fn spans_json(driver: &str, b: &BreakdownHistograms) -> String {
     )
 }
 
+/// The BENCH_10 per-driver saturation block: the ramp's steps, the max
+/// sustained throughput, and the knee point.
+fn sat_json(s: &SatReport) -> String {
+    let step = |st: &SatStep| {
+        format!(
+            "{{\"offered_hz\": {:.3}, \"offered_msgs_per_sec\": {:.3}, \
+             \"achieved_msgs_per_sec\": {:.3}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"messages_delivered\": {}, \"allocations_per_message\": {:.3}}}",
+            st.offered_hz,
+            st.offered_msgs_per_sec,
+            st.achieved_msgs_per_sec,
+            st.p50_us,
+            st.p99_us,
+            st.delivered,
+            st.allocations_per_message,
+        )
+    };
+    let steps = s.steps.iter().map(step).collect::<Vec<_>>().join(",\n        ");
+    let knee = &s.steps[s.knee];
+    format!(
+        "{{\n      \"driver\": \"{}\",\n      \"knee_found\": {},\n      \
+         \"max_throughput_msgs_per_sec\": {:.3},\n      \"knee\": {},\n      \
+         \"steps\": [\n        {}\n      ]\n    }}",
+        s.driver,
+        s.knee_found,
+        s.max_throughput(),
+        step(knee),
+        steps,
+    )
+}
+
 fn report_json(r: &DriverReport) -> String {
     let sizes = r
         .batch_sizes
@@ -875,8 +1056,15 @@ fn report_json(r: &DriverReport) -> String {
     )
 }
 
-fn write_json(cfg: &LoadConfig, reports: &[DriverReport], churn: Option<&ChurnReport>) {
-    let bench = if cfg.spans {
+fn write_json(
+    cfg: &LoadConfig,
+    reports: &[DriverReport],
+    churn: Option<&ChurnReport>,
+    sats: &[SatReport],
+) {
+    let bench = if cfg.saturate {
+        "BENCH_10"
+    } else if cfg.spans {
         "BENCH_9"
     } else if churn.is_some() {
         "BENCH_8"
@@ -902,6 +1090,10 @@ fn write_json(cfg: &LoadConfig, reports: &[DriverReport], churn: Option<&ChurnRe
             .collect::<Vec<_>>()
             .join(",\n    ");
         churn_block = format!(",\n  \"spans\": [\n    {blocks}\n  ]");
+    }
+    if cfg.saturate {
+        let blocks = sats.iter().map(sat_json).collect::<Vec<_>>().join(",\n    ");
+        churn_block = format!(",\n  \"saturation\": [\n    {blocks}\n  ]");
     }
     let json = format!(
         "{{\n  \"bench\": \"{}\",\n  \"schema_version\": 1,\n  \"seed\": {},\n  \
@@ -936,7 +1128,27 @@ fn cmd_load(args: &[String]) {
     let items = workload(&cfg, &m);
     let mut reports = Vec::new();
     let mut churn_report = None;
-    if cfg.churn_cycles > 0 {
+    let mut sat_reports: Vec<SatReport> = Vec::new();
+    if cfg.saturate {
+        // The saturation scenario: one geometric offered-rate ramp per
+        // driver; the base step of each ramp doubles as the driver's
+        // ordinary report so allocations stay comparable across drivers.
+        if matches!(cfg.driver, Driver::Sim | Driver::Both | Driver::All) {
+            let (report, sat) = run_saturation(&cfg, &m, "sim", run_sim_driver);
+            reports.push(report);
+            sat_reports.push(sat);
+        }
+        if matches!(cfg.driver, Driver::Runtime | Driver::Both | Driver::All) {
+            let (report, sat) = run_saturation(&cfg, &m, "runtime", run_runtime_driver);
+            reports.push(report);
+            sat_reports.push(sat);
+        }
+        if matches!(cfg.driver, Driver::Socket | Driver::All) {
+            let (report, sat) = run_saturation(&cfg, &m, "socket", run_socket_driver);
+            reports.push(report);
+            sat_reports.push(sat);
+        }
+    } else if cfg.churn_cycles > 0 {
         // The churn scenario is a wall-clock handoff benchmark; the
         // threaded runtime is the one driver whose drain rule runs in
         // real time without per-process orchestration overhead skewing
@@ -1023,7 +1235,34 @@ fn cmd_load(args: &[String]) {
             &span_rows,
         );
     }
-    write_json(&cfg, &reports, churn_report.as_ref());
+    for sat in &sat_reports {
+        let rows: Vec<Vec<String>> = sat
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                vec![
+                    if sat.knee_found && i == sat.knee { "knee".to_string() } else { i.to_string() },
+                    f3(s.offered_msgs_per_sec),
+                    f3(s.achieved_msgs_per_sec),
+                    s.p50_us.to_string(),
+                    s.p99_us.to_string(),
+                    f3(s.allocations_per_message),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "saturation ramp: {} (max {} msgs/s{})",
+                sat.driver,
+                f3(sat.max_throughput()),
+                if sat.knee_found { "" } else { ", no knee within ramp" }
+            ),
+            &["step", "offered/s", "achieved/s", "p50us", "p99us", "allocs/msg"],
+            &rows,
+        );
+    }
+    write_json(&cfg, &reports, churn_report.as_ref(), &sat_reports);
 }
 
 // ---------------------------------------------------------------------------
@@ -1403,6 +1642,102 @@ fn cmd_validate(path: &str) {
             doc.get("spans").is_none(),
             "only BENCH_9 carries a \"spans\" array",
         );
+    }
+    // BENCH_10 (the saturation scenario) carries the per-driver ramp
+    // blocks; a stray "saturation" array on any other bench is a bug.
+    fn sat_step_fields(s: &Json, at: &str, errors: &mut Vec<String>) {
+        for key in ["offered_hz", "offered_msgs_per_sec", "achieved_msgs_per_sec"] {
+            if !s.get(key).and_then(Json::num).is_some_and(|n| n > 0.0) {
+                errors.push(format!("{at}.{key} must be positive"));
+            }
+        }
+        for key in ["p50_us", "p99_us", "messages_delivered", "allocations_per_message"] {
+            if !s.get(key).and_then(Json::num).is_some_and(|n| n >= 0.0) {
+                errors.push(format!("{at}.{key} must be a non-negative number"));
+            }
+        }
+    }
+    let mut sat_errors: Vec<String> = Vec::new();
+    let is_sat = doc.get("bench").and_then(Json::str) == Some("BENCH_10");
+    if is_sat {
+        match doc.get("saturation") {
+            Some(Json::Arr(blocks)) if !blocks.is_empty() => {
+                for (i, b) in blocks.iter().enumerate() {
+                    let at = |what: &str| format!("saturation[{i}].{what}");
+                    if !matches!(
+                        b.get("driver").and_then(Json::str),
+                        Some("sim") | Some("runtime") | Some("socket")
+                    ) {
+                        sat_errors.push(at("driver must be \"sim\", \"runtime\" or \"socket\""));
+                    }
+                    if !matches!(b.get("knee_found"), Some(Json::Bool(_))) {
+                        sat_errors.push(at("knee_found must be a bool"));
+                    }
+                    let max_tp = b.get("max_throughput_msgs_per_sec").and_then(Json::num);
+                    if !max_tp.is_some_and(|n| n > 0.0) {
+                        sat_errors.push(at("max_throughput_msgs_per_sec must be positive"));
+                    }
+                    match b.get("steps") {
+                        Some(Json::Arr(steps)) if !steps.is_empty() => {
+                            let mut best = 0.0f64;
+                            let mut prev_offered = 0.0f64;
+                            for (j, s) in steps.iter().enumerate() {
+                                sat_step_fields(s, &at(&format!("steps[{j}]")), &mut sat_errors);
+                                let offered =
+                                    s.get("offered_msgs_per_sec").and_then(Json::num).unwrap_or(0.0);
+                                if offered <= prev_offered {
+                                    sat_errors.push(at("steps offered rate must strictly increase"));
+                                }
+                                prev_offered = offered;
+                                best = best.max(
+                                    s.get("achieved_msgs_per_sec")
+                                        .and_then(Json::num)
+                                        .unwrap_or(0.0),
+                                );
+                            }
+                            if let Some(max_tp) = max_tp {
+                                if (max_tp - best).abs() > best * 0.001 + 0.001 {
+                                    sat_errors
+                                        .push(at("max_throughput_msgs_per_sec must equal the best step"));
+                                }
+                            }
+                        }
+                        _ => sat_errors.push(at("steps must be a non-empty array")),
+                    }
+                    match b.get("knee") {
+                        Some(k) => sat_step_fields(k, &at("knee"), &mut sat_errors),
+                        None => sat_errors.push(at("knee object missing")),
+                    }
+                }
+            }
+            _ => sat_errors.push("BENCH_10 requires a non-empty \"saturation\" array".to_string()),
+        }
+        // The saturation file is also the allocation-diet scoreboard: the
+        // runtime's scratch-buffer wire path must not allocate more per
+        // message than the simulator's batched channel pumps.
+        if let Some(Json::Arr(drivers)) = doc.get("drivers") {
+            let allocs = |name: &str| {
+                drivers
+                    .iter()
+                    .find(|d| d.get("driver").and_then(Json::str) == Some(name))
+                    .and_then(|d| d.get("allocations_per_message"))
+                    .and_then(Json::num)
+            };
+            if let (Some(sim), Some(runtime)) = (allocs("sim"), allocs("runtime")) {
+                if runtime > sim * 1.1 {
+                    sat_errors.push(
+                        "BENCH_10: runtime allocations_per_message must not exceed sim's \
+                         (10% tolerance)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    } else if doc.get("saturation").is_some() {
+        sat_errors.push("only BENCH_10 carries a \"saturation\" array".to_string());
+    }
+    for e in sat_errors {
+        check(false, &e);
     }
 
     if errors.is_empty() {

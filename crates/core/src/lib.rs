@@ -67,5 +67,5 @@ pub use delay::{DelayModel, DelayTable, Endpoint};
 pub use dynamic::DynamicOrderedPubSub;
 pub use engine::{DeliveryRecord, FaultStats, NetworkConfig, NetworkSetup, OrderedPubSub};
 pub use error::CoreError;
-pub use message::{Message, MessageId, SeqNo, Stamp};
+pub use message::{Message, MessageId, SeqNo, Stamp, StampVec, STAMP_INLINE};
 pub use proto::{DeliveryQueue, NextHop, ProtocolState};

@@ -68,6 +68,146 @@ pub struct Stamp {
     pub seq: SeqNo,
 }
 
+/// Inline capacity of a [`StampVec`]: stamps per message stay heap-free
+/// up to this count. Four covers every topology the test suite and the
+/// paper's evaluation build (stamp count = double overlaps on the path,
+/// bounded by the group count in the worst case, §2); deeper paths spill
+/// to the heap transparently.
+pub const STAMP_INLINE: usize = 4;
+
+/// A small-vector of [`Stamp`]s: the first [`STAMP_INLINE`] live inline
+/// in the message itself, so stamping, cloning, and wire decode of
+/// typical messages never touch the allocator (the PR 10 allocation
+/// diet). Spills to a heap `Vec` beyond that, preserving `Vec` semantics.
+///
+/// Dereferences to `[Stamp]`, so all slice reads (`iter`, `len`,
+/// indexing) work unchanged.
+#[derive(Clone)]
+pub struct StampVec {
+    len: u32,
+    inline: [Stamp; STAMP_INLINE],
+    spill: Vec<Stamp>,
+}
+
+const STAMP_ZERO: Stamp = Stamp {
+    atom: AtomId(0),
+    seq: SeqNo::ZERO,
+};
+
+impl StampVec {
+    /// An empty stamp vector (no allocation).
+    #[inline]
+    pub const fn new() -> Self {
+        StampVec {
+            len: 0,
+            inline: [STAMP_ZERO; STAMP_INLINE],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends a stamp; allocation-free while at most [`STAMP_INLINE`]
+    /// stamps are held.
+    #[inline]
+    pub fn push(&mut self, stamp: Stamp) {
+        let n = self.len as usize;
+        if n < STAMP_INLINE {
+            self.inline[n] = stamp;
+        } else {
+            if n == STAMP_INLINE {
+                self.spill.reserve(STAMP_INLINE * 2);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(stamp);
+        }
+        self.len += 1;
+    }
+
+    /// Drops every stamp (keeps any spill capacity for reuse).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The stamps as a slice, in path order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Stamp] {
+        let n = self.len as usize;
+        if n <= STAMP_INLINE {
+            &self.inline[..n]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Default for StampVec {
+    fn default() -> Self {
+        StampVec::new()
+    }
+}
+
+impl std::ops::Deref for StampVec {
+    type Target = [Stamp];
+    #[inline]
+    fn deref(&self) -> &[Stamp] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for StampVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for StampVec {}
+
+impl std::hash::Hash for StampVec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for StampVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl From<Vec<Stamp>> for StampVec {
+    fn from(v: Vec<Stamp>) -> Self {
+        let mut out = StampVec::new();
+        if v.len() > STAMP_INLINE {
+            out.len = v.len() as u32;
+            out.spill = v;
+        } else {
+            for s in v {
+                out.push(s);
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Stamp> for StampVec {
+    fn from_iter<I: IntoIterator<Item = Stamp>>(iter: I) -> Self {
+        let mut out = StampVec::new();
+        for s in iter {
+            out.push(s);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a StampVec {
+    type Item = &'a Stamp;
+    type IntoIter = std::slice::Iter<'a, Stamp>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A published message traversing (or having traversed) the sequencing
 /// network.
 ///
@@ -87,8 +227,9 @@ pub struct Message {
     pub payload: Bytes,
     /// Group-local sequence number, assigned by the group's ingress atom.
     pub group_seq: SeqNo,
-    /// Overlap sequence numbers in path order.
-    pub stamps: Vec<Stamp>,
+    /// Overlap sequence numbers in path order (inline up to
+    /// [`STAMP_INLINE`]; heap only on deeper paths).
+    pub stamps: StampVec,
     /// Configuration epoch the message was sequenced under, stamped by
     /// the group's ingress atom together with `group_seq`. Epoch 0 is the
     /// initial configuration; every completed online reconfiguration
@@ -110,7 +251,7 @@ impl Message {
             group,
             payload: payload.into(),
             group_seq: SeqNo::ZERO,
-            stamps: Vec::new(),
+            stamps: StampVec::new(),
             epoch: 0,
         }
     }
@@ -197,6 +338,29 @@ mod tests {
             seq: SeqNo(1),
         });
         assert_eq!(m.ordering_overhead_bytes(), 20);
+    }
+
+    #[test]
+    fn stampvec_spills_past_inline_capacity() {
+        let mut v = StampVec::new();
+        for i in 0..(STAMP_INLINE as u64 + 3) {
+            v.push(Stamp {
+                atom: AtomId(u32::try_from(i).unwrap()),
+                seq: SeqNo(i + 1),
+            });
+            assert_eq!(v.len(), i as usize + 1);
+            assert_eq!(v[i as usize].seq, SeqNo(i + 1));
+        }
+        // Order preserved across the inline→heap spill.
+        for (i, s) in v.iter().enumerate() {
+            assert_eq!(s.atom, AtomId(u32::try_from(i).unwrap()));
+        }
+        let round: StampVec = v.iter().copied().collect();
+        assert_eq!(round, v);
+        let via_vec: StampVec = v.to_vec().into();
+        assert_eq!(via_vec, v);
+        v.clear();
+        assert!(v.is_empty());
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub enum NextHop {
 /// assert!(msg.is_sequenced());
 /// assert_eq!(msg.stamps.len(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct ProtocolState {
     /// Last number assigned by each atom (indexed by atom id).
     overlap_counters: Vec<SeqNo>,
@@ -64,6 +64,47 @@ pub struct ProtocolState {
     /// Ingress atoms stamp the current epoch into every message they
     /// sequence, so deliveries are attributable to a configuration.
     epoch: u64,
+}
+
+impl Clone for ProtocolState {
+    fn clone(&self) -> Self {
+        ProtocolState {
+            overlap_counters: self.overlap_counters.clone(),
+            group_counters: self.group_counters.clone(),
+            atom_loads: self.atom_loads.clone(),
+            stamp_loads: self.stamp_loads.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Allocation-reusing clone, for drivers that checkpoint the same
+    /// state every few milliseconds (the threaded runtime's snapshot
+    /// loop): vectors are overwritten in place, and the group-counter
+    /// map is updated value-wise when both sides index the same groups —
+    /// the steady state, since the group set is fixed per graph.
+    fn clone_from(&mut self, source: &Self) {
+        self.overlap_counters.clone_from(&source.overlap_counters);
+        self.atom_loads.clone_from(&source.atom_loads);
+        self.stamp_loads.clone_from(&source.stamp_loads);
+        self.epoch = source.epoch;
+        let same_keys = self.group_counters.len() == source.group_counters.len()
+            && self
+                .group_counters
+                .keys()
+                .zip(source.group_counters.keys())
+                .all(|(a, b)| a == b);
+        if same_keys {
+            for (dst, src) in self
+                .group_counters
+                .values_mut()
+                .zip(source.group_counters.values())
+            {
+                *dst = *src;
+            }
+        } else {
+            self.group_counters = source.group_counters.clone();
+        }
+    }
 }
 
 impl ProtocolState {

@@ -102,9 +102,25 @@ impl Conn {
     /// [`ConnError::Closed`] on EOF or a hard socket error,
     /// [`ConnError::Quarantined`] on a codec failure.
     pub fn poll_read(&mut self) -> Result<Vec<WireMsg>, ConnError> {
+        let mut msgs = Vec::new();
+        self.poll_read_into(&mut msgs)?;
+        Ok(msgs)
+    }
+
+    /// Caller-owned-buffer variant of [`poll_read`](Self::poll_read):
+    /// appends decoded messages to `msgs` (the hot-path poll loops reuse
+    /// one `Vec` across iterations so a quiet poll allocates nothing) and
+    /// returns how many were appended.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`poll_read`](Self::poll_read); messages appended
+    /// before a codec failure stay in `msgs`.
+    pub fn poll_read_into(&mut self, msgs: &mut Vec<WireMsg>) -> Result<usize, ConnError> {
         if self.stalled() {
-            return Ok(Vec::new());
+            return Ok(0);
         }
+        let before = msgs.len();
         let mut chunk = [0u8; 65536];
         while self.closing.is_none() {
             match self.stream.read(&mut chunk) {
@@ -115,7 +131,6 @@ impl Conn {
                 Err(e) => self.closing = Some(e.kind()),
             }
         }
-        let mut msgs = Vec::new();
         loop {
             match self.rx.next() {
                 Ok(Some(m)) => msgs.push(m),
@@ -123,12 +138,12 @@ impl Conn {
                 Err(e) => return Err(ConnError::Quarantined(e)),
             }
         }
-        if msgs.is_empty() {
+        if msgs.len() == before {
             if let Some(kind) = self.closing {
                 return Err(ConnError::Closed(io::Error::new(kind, "peer closed")));
             }
         }
-        Ok(msgs)
+        Ok(msgs.len() - before)
     }
 
     /// Writes as much of the outbound buffer as the kernel accepts.

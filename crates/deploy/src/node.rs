@@ -239,6 +239,8 @@ pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<
     let mut last_heartbeat = Instant::now();
     let mut shutdown_via: Option<Proc> = None;
     let mut telemetry_via: Option<Proc> = None;
+    let mut poll_procs: Vec<Proc> = Vec::new();
+    let mut poll_msgs: Vec<WireMsg> = Vec::new();
 
     'main: loop {
         // Accept new connections; they become routable once they say Hello.
@@ -319,11 +321,19 @@ pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<
             }
         }
 
-        // Drain every established connection.
-        let procs: Vec<Proc> = conns.keys().copied().collect();
-        for proc in procs {
-            let msgs = match conns.get_mut(&proc).expect("conn exists").poll_read() {
-                Ok(msgs) => msgs,
+        // Drain every established connection. The message scratch and the
+        // proc list are reused across poll iterations so a quiet poll
+        // allocates nothing.
+        poll_procs.clear();
+        poll_procs.extend(conns.keys().copied());
+        for &proc in &poll_procs {
+            poll_msgs.clear();
+            match conns
+                .get_mut(&proc)
+                .expect("conn exists")
+                .poll_read_into(&mut poll_msgs)
+            {
+                Ok(_) => {}
                 Err(_) => {
                     conns.remove(&proc);
                     if let Proc::Node(j) = proc {
@@ -336,8 +346,8 @@ pub fn run_node(spec: &ClusterSpec, idx: usize, incarnation: u64) -> io::Result<
                     }
                     continue;
                 }
-            };
-            for msg in msgs {
+            }
+            for msg in poll_msgs.drain(..) {
                 handle_msg(
                     msg,
                     proc,

@@ -10,46 +10,22 @@
 //! quarantine the peer.
 //!
 //! The codec is hand-rolled (no serde): the workspace treats the wire
-//! format as part of the protocol surface (PROTOCOL.md §13), and the
-//! explicit byte layout keeps it inspectable and stable.
+//! format as part of the protocol surface (PROTOCOL.md §13/§16), and the
+//! explicit byte layout keeps it inspectable and stable. The frame-level
+//! layout and primitive readers/writers live in
+//! [`seqnet_runtime::codec`], shared with the threaded runtime; this
+//! module layers the connection-message envelope ([`WireMsg`]) on top.
 
-use bytes::Bytes;
 use seqnet_core::proto::{Frame, Peer};
-use seqnet_core::{Message, MessageId, SeqNo, Stamp};
-use seqnet_membership::{GroupId, NodeId};
-use seqnet_overlap::AtomId;
+use seqnet_runtime::codec::{put_peer, put_u32, put_u64, Reader};
 use std::collections::BTreeMap;
-use std::fmt;
+
+pub use seqnet_runtime::codec::CodecError;
+pub(crate) use seqnet_runtime::codec::{put_frame, take_frame};
 
 /// Upper bound on one wire frame's payload. Anything larger is treated as
 /// a garbled or hostile length prefix and rejected before allocation.
 pub const MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
-
-/// Upper bound on counted collections inside a frame (stamps, batch runs,
-/// stats entries) — a second line of defense against garbled counts that
-/// pass the overall length check.
-const MAX_COUNT: usize = 1 << 20;
-
-/// Decode failure. The connection that produced it must be quarantined:
-/// once framing is lost there is no way to resynchronize the stream.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CodecError {
-    /// The length prefix exceeds [`MAX_FRAME_LEN`] (or is zero).
-    BadLength(usize),
-    /// A complete frame failed structural decoding.
-    Garbled(&'static str),
-}
-
-impl fmt::Display for CodecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CodecError::BadLength(n) => write!(f, "bad frame length {n}"),
-            CodecError::Garbled(what) => write!(f, "garbled frame: {what}"),
-        }
-    }
-}
-
-impl std::error::Error for CodecError {}
 
 /// Per-node counters shipped to the coordinator at orderly shutdown,
 /// mirroring the threaded runtime's `RuntimeStats` fields plus the wire
@@ -155,51 +131,6 @@ pub enum WireBody {
 
 // --- encoding ---------------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_peer(out: &mut Vec<u8>, p: Peer) {
-    match p {
-        Peer::Publisher => out.push(0),
-        Peer::Node(i) => {
-            out.push(1);
-            put_u32(out, i as u32);
-        }
-        Peer::Host(n) => {
-            out.push(2);
-            put_u32(out, n.0);
-        }
-    }
-}
-
-pub(crate) fn put_frame(out: &mut Vec<u8>, f: &Frame) {
-    let m = &f.msg;
-    put_u64(out, m.id.0);
-    put_u32(out, m.sender.0);
-    put_u32(out, m.group.0);
-    put_u64(out, m.group_seq.0);
-    put_u64(out, m.epoch);
-    put_u32(out, m.stamps.len() as u32);
-    for s in &m.stamps {
-        put_u32(out, s.atom.0);
-        put_u64(out, s.seq.0);
-    }
-    put_u32(out, m.payload.len() as u32);
-    out.extend_from_slice(m.payload.as_ref());
-    match f.target_atom {
-        None => out.push(0),
-        Some(a) => {
-            out.push(1);
-            put_u32(out, a.0);
-        }
-    }
-}
-
 /// The [`NodeWireStats`] body layout, shared by [`WireMsg::Stats`] and
 /// [`WireMsg::Telemetry`].
 fn put_stats(out: &mut Vec<u8>, s: &NodeWireStats) {
@@ -270,130 +201,30 @@ pub fn encode(msg: &WireMsg, out: &mut Vec<u8>) {
 
 // --- decoding ---------------------------------------------------------
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
-        if self.buf.len() - self.at < n {
-            return Err(CodecError::Garbled("truncated field"));
-        }
-        let s = &self.buf[self.at..self.at + n];
-        self.at += n;
-        Ok(s)
+/// The [`NodeWireStats`] body decode, mirroring [`put_stats`].
+fn read_stats(r: &mut Reader<'_>) -> Result<NodeWireStats, CodecError> {
+    let mut s = NodeWireStats {
+        frames_sent: r.u64()?,
+        retransmissions: r.u64()?,
+        duplicates: r.u64()?,
+        heartbeat_misses: r.u64()?,
+        frames_replayed: r.u64()?,
+        recovery_micros: r.u64()?,
+        snapshots: r.u64()?,
+        ..NodeWireStats::default()
+    };
+    let n = r.count()?;
+    for _ in 0..n {
+        let size = r.u32()? as usize;
+        let count = r.u64()?;
+        s.batch_sizes.insert(size, count);
     }
-
-    fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn count(&mut self) -> Result<usize, CodecError> {
-        let n = self.u32()? as usize;
-        if n > MAX_COUNT {
-            return Err(CodecError::Garbled("implausible element count"));
-        }
-        Ok(n)
-    }
-
-    fn peer(&mut self) -> Result<Peer, CodecError> {
-        match self.u8()? {
-            0 => Ok(Peer::Publisher),
-            1 => Ok(Peer::Node(self.u32()? as usize)),
-            2 => Ok(Peer::Host(NodeId(self.u32()?))),
-            _ => Err(CodecError::Garbled("unknown peer kind")),
-        }
-    }
-
-    fn frame(&mut self) -> Result<Frame, CodecError> {
-        let id = MessageId(self.u64()?);
-        let sender = NodeId(self.u32()?);
-        let group = GroupId(self.u32()?);
-        let group_seq = SeqNo(self.u64()?);
-        let epoch = self.u64()?;
-        let n_stamps = self.count()?;
-        let mut stamps = Vec::with_capacity(n_stamps.min(1024));
-        for _ in 0..n_stamps {
-            stamps.push(Stamp {
-                atom: AtomId(self.u32()?),
-                seq: SeqNo(self.u64()?),
-            });
-        }
-        let n_payload = self.u32()? as usize;
-        let payload = Bytes::copy_from_slice(self.take(n_payload)?);
-        let target_atom = match self.u8()? {
-            0 => None,
-            1 => Some(AtomId(self.u32()?)),
-            _ => return Err(CodecError::Garbled("bad target_atom tag")),
-        };
-        Ok(Frame {
-            msg: Message {
-                id,
-                sender,
-                group,
-                payload,
-                group_seq,
-                epoch,
-                stamps,
-            },
-            target_atom,
-        })
-    }
-
-    fn stats(&mut self) -> Result<NodeWireStats, CodecError> {
-        let mut s = NodeWireStats {
-            frames_sent: self.u64()?,
-            retransmissions: self.u64()?,
-            duplicates: self.u64()?,
-            heartbeat_misses: self.u64()?,
-            frames_replayed: self.u64()?,
-            recovery_micros: self.u64()?,
-            snapshots: self.u64()?,
-            ..NodeWireStats::default()
-        };
-        let n = self.count()?;
-        for _ in 0..n {
-            let size = self.u32()? as usize;
-            let count = self.u64()?;
-            s.batch_sizes.insert(size, count);
-        }
-        Ok(s)
-    }
-
-    fn done(&self) -> Result<(), CodecError> {
-        if self.at == self.buf.len() {
-            Ok(())
-        } else {
-            Err(CodecError::Garbled("trailing bytes"))
-        }
-    }
-}
-
-/// Decodes one protocol frame from the front of `buf`, advancing it past
-/// the consumed bytes. Used by the disk snapshot codec, which shares the
-/// wire frame layout.
-pub(crate) fn take_frame(buf: &mut &[u8]) -> Result<Frame, CodecError> {
-    let mut r = Reader { buf, at: 0 };
-    let f = r.frame()?;
-    *buf = &buf[r.at..];
-    Ok(f)
+    Ok(s)
 }
 
 /// Decodes one complete frame payload (the bytes after the length prefix).
 pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, CodecError> {
-    let mut r = Reader {
-        buf: payload,
-        at: 0,
-    };
+    let mut r = Reader::new(payload);
     let msg = match r.u8()? {
         0 => WireMsg::Hello {
             party: r.peer()?,
@@ -420,7 +251,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, CodecError> {
             WireMsg::Link { link, seq, body }
         }
         2 => WireMsg::Shutdown,
-        3 => WireMsg::Stats(r.stats()?),
+        3 => WireMsg::Stats(read_stats(&mut r)?),
         4 => WireMsg::TelemetryRequest,
         5 => WireMsg::Telemetry(NodeTelemetry {
             incarnation: r.u64()?,
@@ -428,7 +259,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<WireMsg, CodecError> {
             staged_frames: r.u64()?,
             frames_processed: r.u64()?,
             obs_dropped: r.u64()?,
-            stats: r.stats()?,
+            stats: read_stats(&mut r)?,
         }),
         _ => return Err(CodecError::Garbled("unknown message kind")),
     };
@@ -493,6 +324,9 @@ impl FrameBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use seqnet_core::{Message, MessageId, SeqNo, Stamp};
+    use seqnet_membership::{GroupId, NodeId};
+    use seqnet_overlap::AtomId;
 
     fn sample_frame(id: u64) -> Frame {
         let mut msg = Message::new(MessageId(id), NodeId(3), GroupId(1), b"payload".to_vec());

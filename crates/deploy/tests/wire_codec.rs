@@ -2,53 +2,26 @@
 //! messages must round-trip under arbitrary chunking, and truncated,
 //! garbled, or oversized input must be rejected with a [`CodecError`] —
 //! never a panic — so the connection owner can quarantine the stream.
+//!
+//! The frame population comes from the strategy module shared with the
+//! runtime's frame-level codec tests (`crates/runtime/tests`), so the
+//! envelope layer here and the byte layout there are fuzzed against the
+//! same inputs; the equivalence properties below pin the envelope to
+//! embed `seqnet_runtime::codec`'s frame bytes verbatim.
 
+#[path = "../../runtime/tests/codec_strategies.rs"]
+mod codec_strategies;
+
+use codec_strategies::{chunk_strategy, frame_strategy, peer_strategy};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use seqnet_deploy::conn::{Conn, ConnError};
 use seqnet_deploy::wire::{decode_payload, encode, FrameBuffer, MAX_FRAME_LEN};
 use seqnet_deploy::{CodecError, NodeTelemetry, NodeWireStats, WireBody, WireMsg};
 use seqnet_core::proto::{Frame, Peer};
-use seqnet_core::{Message, MessageId, SeqNo, Stamp};
+use seqnet_core::{Message, MessageId};
 use seqnet_membership::{GroupId, NodeId};
 use seqnet_overlap::AtomId;
-
-fn peer_strategy() -> impl Strategy<Value = Peer> {
-    prop_oneof![
-        1 => Just(Peer::Publisher),
-        2 => (0u32..100_000).prop_map(|i| Peer::Node(i as usize)),
-        2 => (0u32..100_000).prop_map(|n| Peer::Host(NodeId(n))),
-    ]
-}
-
-fn frame_strategy() -> impl Strategy<Value = Frame> {
-    (
-        (any::<u64>(), 0u32..1_000, 0u32..1_000, any::<u64>()),
-        (
-            vec((0u32..256, any::<u64>()), 0..8),
-            vec(any::<u8>(), 0..48),
-            prop_oneof![
-                1 => Just(None),
-                2 => (0u32..256).prop_map(Some),
-            ],
-        ),
-    )
-        .prop_map(|((id, sender, group, group_seq), (stamps, payload, target))| {
-            let mut msg = Message::new(MessageId(id), NodeId(sender), GroupId(group), payload);
-            msg.group_seq = SeqNo(group_seq);
-            msg.stamps = stamps
-                .into_iter()
-                .map(|(atom, seq)| Stamp {
-                    atom: AtomId(atom),
-                    seq: SeqNo(seq),
-                })
-                .collect();
-            Frame {
-                msg,
-                target_atom: target.map(AtomId),
-            }
-        })
-}
 
 fn body_strategy() -> impl Strategy<Value = WireBody> {
     prop_oneof![
@@ -115,7 +88,7 @@ proptest! {
     #[test]
     fn roundtrip_under_arbitrary_chunking(
         msgs in vec(msg_strategy(), 1..8),
-        chunks in vec(1usize..17, 0..64),
+        chunks in chunk_strategy(),
     ) {
         let mut bytes = Vec::new();
         for m in &msgs {
@@ -177,6 +150,49 @@ proptest! {
                 Ok(None) | Err(_) => break,
             }
         }
+    }
+
+    /// Old-vs-new equivalence: a `Data` envelope embeds the shared frame
+    /// codec's bytes verbatim after its header (length, kind, link, seq,
+    /// body tag), and both decoders agree on the frame.
+    #[test]
+    fn data_envelope_embeds_shared_frame_codec_bytes(
+        frame in frame_strategy(),
+        link in any::<u32>(),
+        seq in any::<u64>(),
+    ) {
+        use seqnet_runtime::codec::{put_frame, take_frame};
+        let msg = WireMsg::Link { link, seq, body: WireBody::Data(frame.clone()) };
+        let mut envelope = Vec::new();
+        encode(&msg, &mut envelope);
+        let frame_bytes = &envelope[4 + 1 + 4 + 8 + 1..];
+        let mut standalone = Vec::new();
+        put_frame(&mut standalone, &frame);
+        prop_assert_eq!(frame_bytes, standalone.as_slice());
+        let mut rest = frame_bytes;
+        prop_assert_eq!(take_frame(&mut rest).map_err(|e| e.to_string())?, frame);
+        prop_assert!(rest.is_empty());
+        prop_assert_eq!(decode_payload(&envelope[4..]).map_err(|e| e.to_string())?, msg);
+    }
+
+    /// Same for coalesced runs: a `DataBatch` envelope is the header, a
+    /// count, then the shared codec's frame encodings back to back.
+    #[test]
+    fn batch_envelope_embeds_shared_frame_codec_bytes(
+        frames in vec(frame_strategy(), 0..4),
+        link in any::<u32>(),
+        seq in any::<u64>(),
+    ) {
+        use seqnet_runtime::codec::put_frame;
+        let msg = WireMsg::Link { link, seq, body: WireBody::DataBatch(frames.clone()) };
+        let mut envelope = Vec::new();
+        encode(&msg, &mut envelope);
+        let mut expect = Vec::new();
+        for f in &frames {
+            put_frame(&mut expect, f);
+        }
+        prop_assert_eq!(&envelope[4 + 1 + 4 + 8 + 1 + 4..], expect.as_slice());
+        prop_assert_eq!(decode_payload(&envelope[4..]).map_err(|e| e.to_string())?, msg);
     }
 
     /// Hostile length prefixes (zero or beyond [`MAX_FRAME_LEN`]) are

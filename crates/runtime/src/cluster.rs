@@ -358,6 +358,9 @@ pub struct Cluster {
     /// backoff until a node snapshot acknowledges them.
     pub_engine: LinkEngine,
     pub_inbox: Receiver<ThreadMsg>,
+    /// Reused release buffer for [`Cluster::pump_publisher`]; the
+    /// publisher only ever receives acks, so it stays empty.
+    pub_frames: Vec<Frame>,
     notes: Receiver<DeliveryNote>,
     next_id: u64,
     shut_down: bool,
@@ -587,6 +590,7 @@ impl Cluster {
             kill_flags,
             pub_engine: LinkEngine::new(Party::Publisher, pub_seed, false),
             pub_inbox: pub_inbox.expect("publisher inbox exists"),
+            pub_frames: Vec::new(),
             notes: note_rx,
             next_id: 0,
             shut_down: false,
@@ -686,7 +690,10 @@ impl Cluster {
     fn pump_publisher(&mut self) {
         while let Ok(msg) = self.pub_inbox.try_recv() {
             if let ThreadMsg::Frame { link, seq, body } = msg {
-                let _ = self.pub_engine.on_frame(&self.wiring, link, seq, body);
+                self.pub_frames.clear();
+                let _ =
+                    self.pub_engine
+                        .on_frame_into(&self.wiring, link, seq, body, &mut self.pub_frames);
             }
         }
         self.pub_engine.retransmit_due(&self.wiring);
@@ -1175,6 +1182,16 @@ struct LinkEngine {
     /// Thread-local wire-write size tally, merged into
     /// `Wiring::batch_sizes` by [`LinkEngine::flush_stats`].
     local_batches: BTreeMap<usize, u64>,
+    /// Reusable scratch buffers (the PR 5 `CommandBuf` discipline applied
+    /// to the link layer): flush ordering, coalesced runs, retransmission
+    /// sweeps, and the drained staging area all run against these, so
+    /// steady-state housekeeping performs no allocation.
+    order_scratch: Vec<(Party, LinkId)>,
+    single_scratch: Vec<(u64, Frame)>,
+    run_scratch: Vec<(u64, Vec<Frame>)>,
+    staged_scratch: Vec<(Party, LinkId, u64, Frame)>,
+    due_frames: Vec<(u64, Frame)>,
+    due_wire: Vec<(LinkId, u64, Frame)>,
 }
 
 impl LinkEngine {
@@ -1189,6 +1206,12 @@ impl LinkEngine {
             rng: StdRng::seed_from_u64(seed),
             local: RuntimeStats::default(),
             local_batches: BTreeMap::new(),
+            order_scratch: Vec::new(),
+            single_scratch: Vec::new(),
+            run_scratch: Vec::new(),
+            staged_scratch: Vec::new(),
+            due_frames: Vec::new(),
+            due_wire: Vec::new(),
         }
     }
 
@@ -1225,26 +1248,59 @@ impl LinkEngine {
     /// maximal run of consecutive sequence numbers (in practice one
     /// batch per link per flush) instead of one message each.
     fn flush_staged(&mut self, wiring: &Wiring) {
-        let staged = std::mem::take(&mut self.staged);
         if wiring.config.coalesce {
             // Links in order of first staged frame; within a link, the
             // sender's buffer is already in sequence (= staging) order.
-            let mut order: Vec<(Party, LinkId)> = Vec::new();
-            for &(to, link, _, _) in &staged {
+            // Scratch buffers are swapped out, drained, and swapped back
+            // so a flush allocates only the per-run wire vectors.
+            let mut order = std::mem::take(&mut self.order_scratch);
+            order.clear();
+            for &(to, link, _, _) in &self.staged {
                 if !order.contains(&(to, link)) {
                     order.push((to, link));
                 }
             }
-            for (to, link) in order {
-                let runs = self.sender_for(wiring, link).release_held_coalesced();
-                for (first, frames) in runs {
-                    self.transmit(wiring, to, link, first, Body::DataBatch(frames));
+            self.staged.clear();
+            let mut singles = std::mem::take(&mut self.single_scratch);
+            let mut runs = std::mem::take(&mut self.run_scratch);
+            for (to, link) in order.drain(..) {
+                singles.clear();
+                runs.clear();
+                self.sender_for(wiring, link)
+                    .release_held_wire(&mut singles, &mut runs);
+                // Merge the two streams back into sequence order, so the
+                // receiver sees an in-order wire and never has to buffer.
+                let mut si = singles.drain(..).peekable();
+                let mut rj = runs.drain(..).peekable();
+                loop {
+                    let single_first = si.peek().map(|&(seq, _)| seq);
+                    let run_first = rj.peek().map(|&(seq, _)| seq);
+                    let take_single = match (single_first, run_first) {
+                        (Some(s), Some(r)) => s < r,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => break,
+                    };
+                    if take_single {
+                        let (seq, data) = si.next().expect("peeked");
+                        self.transmit(wiring, to, link, seq, Body::Data(data));
+                    } else {
+                        let (first, frames) = rj.next().expect("peeked");
+                        self.transmit(wiring, to, link, first, Body::DataBatch(frames));
+                    }
                 }
             }
+            self.order_scratch = order;
+            self.single_scratch = singles;
+            self.run_scratch = runs;
         } else {
-            for (to, link, seq, data) in staged {
+            let mut staged = std::mem::take(&mut self.staged_scratch);
+            std::mem::swap(&mut staged, &mut self.staged);
+            debug_assert!(self.staged.is_empty());
+            for (to, link, seq, data) in staged.drain(..) {
                 self.transmit(wiring, to, link, seq, Body::Data(data));
             }
+            self.staged_scratch = staged;
         }
         for sender in self.senders.values_mut() {
             sender.release_held();
@@ -1291,21 +1347,39 @@ impl LinkEngine {
     }
 
     /// Handles an incoming frame; returns in-order data payloads.
+    #[cfg(test)]
     fn on_frame(&mut self, wiring: &Wiring, link: LinkId, seq: u64, body: Body) -> Vec<Frame> {
+        let mut out = Vec::new();
+        self.on_frame_into(wiring, link, seq, body, &mut out);
+        out
+    }
+
+    /// Handles an incoming frame, appending in-order data payloads to the
+    /// caller-owned `out` buffer; returns how many were appended. The
+    /// thread loops reuse one buffer across all arrivals, so the in-order
+    /// steady state processes a frame without touching the allocator.
+    fn on_frame_into(
+        &mut self,
+        wiring: &Wiring,
+        link: LinkId,
+        seq: u64,
+        body: Body,
+        out: &mut Vec<Frame>,
+    ) -> usize {
         match body {
             Body::Ack => {
                 if let Some(sender) = self.senders.get_mut(&link) {
                     sender.acknowledge(seq);
                 }
-                Vec::new()
+                0
             }
             Body::AckThrough => {
                 if let Some(sender) = self.senders.get_mut(&link) {
                     sender.acknowledge_through(seq);
                 }
-                Vec::new()
+                0
             }
-            Body::Heartbeat => Vec::new(),
+            Body::Heartbeat => 0,
             Body::Data(data) => {
                 let (from, _to) = wiring.links[link.0 as usize];
                 if self.defer_acks {
@@ -1328,17 +1402,17 @@ impl LinkEngine {
                     self.transmit(wiring, from, link, seq, Body::Ack);
                 }
                 let receiver = self.receivers.entry(link).or_default();
-                let out = receiver.receive(seq, data);
+                let released = receiver.receive_into(seq, data, out);
                 self.local.duplicates = self
                     .receivers
                     .values()
                     .map(|r| r.duplicates())
                     .sum();
-                out
+                released
             }
             Body::DataBatch(frames) => {
                 if frames.is_empty() {
-                    return Vec::new();
+                    return 0;
                 }
                 let (from, _to) = wiring.links[link.0 as usize];
                 let last = seq + frames.len() as u64 - 1;
@@ -1358,7 +1432,7 @@ impl LinkEngine {
                     }
                 }
                 let receiver = self.receivers.entry(link).or_default();
-                let out = receiver.receive_batch(seq, frames);
+                let released = receiver.receive_batch_into(seq, frames, out);
                 let floor = receiver.next_expected() - 1;
                 if !self.defer_acks && floor > 0 {
                     // One cumulative ack covers the whole wire batch (and
@@ -1370,24 +1444,30 @@ impl LinkEngine {
                     .values()
                     .map(|r| r.duplicates())
                     .sum();
-                out
+                released
             }
         }
     }
 
-    /// Retransmits overdue frames on all outgoing links.
+    /// Retransmits overdue frames on all outgoing links. Runs every tick
+    /// on every thread, so the sweep goes through reusable scratch: with
+    /// nothing due — the healthy steady state — it allocates nothing.
     fn retransmit_due(&mut self, wiring: &Wiring) {
-        let due: Vec<(LinkId, Vec<(u64, Frame)>)> = self
-            .senders
-            .iter_mut()
-            .map(|(&link, s)| (link, s.due_for_retransmit()))
-            .collect();
-        for (link, frames) in due {
-            let (_, to) = wiring.links[link.0 as usize];
-            for (seq, data) in frames {
-                self.transmit(wiring, to, link, seq, Body::Data(data));
+        let mut frames = std::mem::take(&mut self.due_frames);
+        let mut wire = std::mem::take(&mut self.due_wire);
+        for (&link, sender) in self.senders.iter_mut() {
+            frames.clear();
+            sender.due_for_retransmit_into(&mut frames);
+            for (seq, data) in frames.drain(..) {
+                wire.push((link, seq, data));
             }
         }
+        for (link, seq, data) in wire.drain(..) {
+            let (_, to) = wiring.links[link.0 as usize];
+            self.transmit(wiring, to, link, seq, Body::Data(data));
+        }
+        self.due_frames = frames;
+        self.due_wire = wire;
         self.local.retransmissions = self.senders.values().map(|s| s.retransmissions()).sum();
     }
 
@@ -1405,28 +1485,33 @@ impl LinkEngine {
         idx: usize,
         protocol: &ProtocolState,
     ) -> Vec<(Party, u64)> {
-        let rx_next: HashMap<LinkId, u64> = self
-            .receivers
-            .iter()
-            .map(|(&link, r)| (link, r.next_expected()))
-            .collect();
-        let tx_state: HashMap<LinkId, (u64, Vec<(u64, Frame)>)> = self
-            .senders
-            .iter()
-            .map(|(&link, s)| (link, s.snapshot()))
-            .collect();
-        let mut by_peer: Vec<(Party, u64)> = rx_next
+        // Reuse the previous checkpoint's allocations: pull it out of the
+        // store, rebuild it in place, and put it back. The link set is
+        // fixed per wiring, so after the first interval the maps and
+        // per-link frame vectors are rebuilt without fresh allocation
+        // (aside from cloning the unacknowledged frames themselves).
+        let prev = wiring.snapshots.lock().remove(&idx);
+        let mut snap = prev.unwrap_or_else(|| NodeSnapshot {
+            protocol: ProtocolState::default(),
+            rx_next: HashMap::new(),
+            tx_state: HashMap::new(),
+        });
+        snap.protocol.clone_from(protocol);
+        snap.rx_next.clear();
+        for (&link, r) in &self.receivers {
+            snap.rx_next.insert(link, r.next_expected());
+        }
+        for (&link, s) in &self.senders {
+            let entry = snap.tx_state.entry(link).or_insert_with(|| (0, Vec::new()));
+            entry.1.clear();
+            entry.0 = s.snapshot_into(&mut entry.1);
+        }
+        let mut by_peer: Vec<(Party, u64)> = snap
+            .rx_next
             .iter()
             .map(|(&link, &next)| (wiring.links[link.0 as usize].0, next))
             .collect();
-        wiring.snapshots.lock().insert(
-            idx,
-            NodeSnapshot {
-                protocol: protocol.clone(),
-                rx_next,
-                tx_state,
-            },
-        );
+        wiring.snapshots.lock().insert(idx, snap);
         by_peer.sort_unstable();
         by_peer
     }
@@ -1546,6 +1631,14 @@ fn node_thread(
         .max(Duration::from_millis(1));
     let mut last_snapshot = Instant::now();
     let mut last_heartbeat = Instant::now();
+    // Loop-owned scratch: the inbox batch and released-frame buffers are
+    // reused across iterations, so the steady-state receive path does not
+    // allocate. `dirty` tracks whether anything snapshot-worthy happened
+    // since the last checkpoint; identical snapshots are skipped (an idle
+    // node re-persisting the same state buys nothing and costs clones).
+    let mut batch: Vec<ThreadMsg> = Vec::new();
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut dirty = false;
 
     loop {
         if kill.load(Ordering::Relaxed) {
@@ -1558,7 +1651,7 @@ fn node_thread(
         // (bounded, so housekeeping still runs under flood) — a restarted
         // node chews through queued retransmissions before its first
         // checkpoint this way.
-        let mut batch: Vec<ThreadMsg> = Vec::new();
+        batch.clear();
         match inbox.recv_timeout(tick) {
             Ok(m) => batch.push(m),
             Err(RecvTimeoutError::Timeout) => {}
@@ -1571,7 +1664,7 @@ fn node_thread(
             }
         }
         let mut shutdown = false;
-        for msg in batch {
+        for msg in batch.drain(..) {
             match msg {
                 ThreadMsg::Shutdown => shutdown = true,
                 ThreadMsg::Frame { link, seq, body } => {
@@ -1581,15 +1674,17 @@ fn node_thread(
                             *entry = (Instant::now(), false);
                         }
                     }
-                    let frames = engine.on_frame(&wiring, link, seq, body);
-                    if frames.is_empty() {
+                    frames.clear();
+                    let released = engine.on_frame_into(&wiring, link, seq, body, &mut frames);
+                    if released == 0 {
                         continue;
                     }
+                    dirty = true;
                     if replaying {
-                        replayed += frames.len() as u64;
+                        replayed += released as u64;
                     }
                     let events = frames
-                        .into_iter()
+                        .drain(..)
                         .map(|data| Event::FrameArrived { frame: data });
                     cmdbuf.clear();
                     if let Some(rec) = &trace {
@@ -1623,18 +1718,27 @@ fn node_thread(
         }
 
         let now = Instant::now();
-        if now.duration_since(last_snapshot) >= config.snapshot_interval {
+        if (dirty || !engine.staged.is_empty())
+            && now.duration_since(last_snapshot) >= config.snapshot_interval
+        {
             let rx_next = engine.persist_snapshot(&wiring, idx, &protocol);
             let staged_frames = engine.staged.len() as u64;
             let event = Event::SnapshotTaken { rx_next };
-            let commands = if let Some(rec) = &trace {
+            cmdbuf.clear();
+            if let Some(rec) = &trace {
                 let mut sink = rec.lock().expect("trace sink poisoned");
                 sink.now(wiring.epoch.elapsed().as_micros() as u64);
-                core.on_event_traced(&routing, &mut protocol, event, &mut *sink)
+                core.on_events_traced(
+                    &routing,
+                    &mut protocol,
+                    std::iter::once(event),
+                    &mut *sink,
+                    &mut cmdbuf,
+                );
             } else {
-                core.on_event(&routing, &mut protocol, event)
-            };
-            for cmd in commands {
+                core.on_events(&routing, &mut protocol, std::iter::once(event), &mut cmdbuf);
+            }
+            for cmd in cmdbuf.drain() {
                 match cmd {
                     Command::Flush => {
                         if let Some(rec) = &trace {
@@ -1657,6 +1761,7 @@ fn node_thread(
                 }
             }
             last_snapshot = now;
+            dirty = false;
             if replaying && replayed > 0 {
                 // Recovery complete: the replayed input is durable again.
                 replaying = false;
@@ -1712,6 +1817,9 @@ fn host_thread(
     let mut receiver = ReceiverCore::new(host, &wiring.membership, &wiring.graph);
     let mut cmdbuf = CommandBuf::new();
     let tick = wiring.config.retransmit_timeout / 2;
+    // Reused released-frame buffer: the in-order hot path allocates
+    // nothing between wire arrival and the delivery note.
+    let mut frames: Vec<Frame> = Vec::new();
 
     loop {
         let msg = match inbox.recv_timeout(tick.max(Duration::from_millis(1))) {
@@ -1722,10 +1830,11 @@ fn host_thread(
         match msg {
             Some(ThreadMsg::Shutdown) => break,
             Some(ThreadMsg::Frame { link, seq, body }) => {
-                let frames = engine.on_frame(&wiring, link, seq, body);
-                if !frames.is_empty() {
+                frames.clear();
+                let released = engine.on_frame_into(&wiring, link, seq, body, &mut frames);
+                if released > 0 {
                     let events = frames
-                        .into_iter()
+                        .drain(..)
                         .map(|data| Event::FrameArrived { frame: data });
                     cmdbuf.clear();
                     if let Some(rec) = &trace {

@@ -45,8 +45,10 @@
 #![warn(missing_docs)]
 
 mod cluster;
+pub mod codec;
 mod link;
 
 pub use cluster::{Cluster, ClusterConfig, RuntimeError, RuntimeStats};
+pub use codec::CodecError;
 pub use link::{LinkReceiver, LinkSender};
 pub use seqnet_sim::FaultPlan;

@@ -172,8 +172,18 @@ impl<T: Clone> LinkSender<T> {
     /// [`acknowledge_through`](Self::acknowledge_through) covers a run
     /// exactly as it covers singles.
     pub fn release_held_coalesced(&mut self) -> Vec<(u64, Vec<T>)> {
+        let mut runs = Vec::new();
+        self.release_held_coalesced_into(&mut runs);
+        runs
+    }
+
+    /// [`release_held_coalesced`](Self::release_held_coalesced) against a
+    /// caller-owned buffer (the PR 5 `CommandBuf` discipline extended to
+    /// the link layer): appends the runs to `runs`, reusing its capacity
+    /// across flushes. Only the per-run payload vectors — which leave by
+    /// value as wire writes — are freshly allocated.
+    pub fn release_held_coalesced_into(&mut self, runs: &mut Vec<(u64, Vec<T>)>) {
         let now = Instant::now();
-        let mut runs: Vec<(u64, Vec<T>)> = Vec::new();
         let mut prev_seq: Option<u64> = None;
         for (&seq, pending) in self.unacked.iter_mut() {
             if !pending.held {
@@ -190,7 +200,63 @@ impl<T: Clone> LinkSender<T> {
             }
             prev_seq = Some(seq);
         }
-        runs
+    }
+
+    /// [`release_held_coalesced`](Self::release_held_coalesced) split by
+    /// wire shape: runs of length one are appended to `singles` as bare
+    /// `(seq, payload)` pairs, longer runs to `runs`. Both buffers are
+    /// caller-owned and emitted in sequence order within themselves.
+    ///
+    /// This is the transmit-side fast path. At low offered load nearly
+    /// every flush releases exactly one frame per link, and boxing that
+    /// frame in a one-element vector would make the allocator part of
+    /// the per-message steady state; multi-frame runs pay one vector
+    /// each, amortized across their frames.
+    pub fn release_held_wire(
+        &mut self,
+        singles: &mut Vec<(u64, T)>,
+        runs: &mut Vec<(u64, Vec<T>)>,
+    ) {
+        let now = Instant::now();
+        let mut pending_single: Option<(u64, T)> = None;
+        let mut cur_run: Option<(u64, Vec<T>)> = None;
+        let mut prev_seq: Option<u64> = None;
+        for (&seq, pending) in self.unacked.iter_mut() {
+            if !pending.held {
+                continue;
+            }
+            pending.held = false;
+            pending.interval = self.timeout;
+            pending.next_due = now + self.timeout;
+            let payload = pending.payload.clone();
+            if prev_seq == Some(seq.wrapping_sub(1)) {
+                // Continues the current run: a buffered single upgrades
+                // to a materialized run, an existing run extends.
+                if let Some((first, single)) = pending_single.take() {
+                    let mut v = Vec::with_capacity(4);
+                    v.push(single);
+                    v.push(payload);
+                    cur_run = Some((first, v));
+                } else if let Some((_, run)) = cur_run.as_mut() {
+                    run.push(payload);
+                }
+            } else {
+                if let Some(s) = pending_single.take() {
+                    singles.push(s);
+                }
+                if let Some(r) = cur_run.take() {
+                    runs.push(r);
+                }
+                pending_single = Some((seq, payload));
+            }
+            prev_seq = Some(seq);
+        }
+        if let Some(s) = pending_single.take() {
+            singles.push(s);
+        }
+        if let Some(r) = cur_run.take() {
+            runs.push(r);
+        }
     }
 
     /// Processes an acknowledgment: drops the frame from the buffer.
@@ -218,8 +284,23 @@ impl<T: Clone> LinkSender<T> {
         self.due_at(Instant::now())
     }
 
+    /// [`due_for_retransmit`](Self::due_for_retransmit) against a
+    /// caller-owned buffer: appends the due frames to `due`. The common
+    /// case — a healthy link with nothing due — touches the allocator not
+    /// at all, which matters because every node polls every sender each
+    /// tick.
+    pub fn due_for_retransmit_into(&mut self, due: &mut Vec<(u64, T)>) {
+        self.due_at_into(Instant::now(), due);
+    }
+
     fn due_at(&mut self, now: Instant) -> Vec<(u64, T)> {
         let mut due = Vec::new();
+        self.due_at_into(now, &mut due);
+        due
+    }
+
+    fn due_at_into(&mut self, now: Instant, due: &mut Vec<(u64, T)>) {
+        let before = due.len();
         for (&seq, pending) in self.unacked.iter_mut() {
             if !pending.held && now >= pending.next_due {
                 pending.interval = pending
@@ -231,8 +312,7 @@ impl<T: Clone> LinkSender<T> {
                 due.push((seq, pending.payload.clone()));
             }
         }
-        self.retransmissions += due.len() as u64;
-        due
+        self.retransmissions += (due.len() - before) as u64;
     }
 
     /// Replays the retransmission buffer after a transport reconnect:
@@ -283,12 +363,22 @@ impl<T: Clone> LinkSender<T> {
     /// sequence number plus every unacknowledged frame (held frames
     /// included — that is the point), in sequence order.
     pub fn snapshot(&self) -> (u64, Vec<(u64, T)>) {
-        let frames = self
-            .unacked
-            .iter()
-            .map(|(&seq, pending)| (seq, pending.payload.clone()))
-            .collect();
-        (self.next_seq, frames)
+        let mut frames = Vec::new();
+        let next = self.snapshot_into(&mut frames);
+        (next, frames)
+    }
+
+    /// [`snapshot`](Self::snapshot) against a caller-owned buffer:
+    /// appends the unacknowledged frames to `frames` and returns the next
+    /// fresh sequence number. Lets a periodic checkpointer reuse one
+    /// buffer per link instead of allocating a vector every interval.
+    pub fn snapshot_into(&self, frames: &mut Vec<(u64, T)>) -> u64 {
+        frames.extend(
+            self.unacked
+                .iter()
+                .map(|(&seq, pending)| (seq, pending.payload.clone())),
+        );
+        self.next_seq
     }
 }
 
@@ -329,17 +419,35 @@ impl<T> LinkReceiver<T> {
     /// counted and dropped; the caller should still acknowledge them so
     /// the sender stops retransmitting.
     pub fn receive(&mut self, seq: u64, payload: T) -> Vec<T> {
+        let mut out = Vec::new();
+        self.receive_into(seq, payload, &mut out);
+        out
+    }
+
+    /// [`receive`](Self::receive) against a caller-owned buffer: appends
+    /// releasable payloads to `out` and returns how many were appended.
+    /// In-order arrivals — the steady state of a healthy link — bypass
+    /// the reorder buffer entirely, so the hot path performs no
+    /// allocation and no `BTreeMap` traffic.
+    pub fn receive_into(&mut self, seq: u64, payload: T, out: &mut Vec<T>) -> usize {
         if seq < self.next_expected || self.buffer.contains_key(&seq) {
             self.duplicates += 1;
-            return Vec::new();
+            return 0;
         }
-        self.buffer.insert(seq, payload);
-        let mut out = Vec::new();
+        let mut released = 0;
+        if seq == self.next_expected {
+            self.next_expected += 1;
+            out.push(payload);
+            released += 1;
+        } else {
+            self.buffer.insert(seq, payload);
+        }
         while let Some(payload) = self.buffer.remove(&self.next_expected) {
             self.next_expected += 1;
             out.push(payload);
+            released += 1;
         }
-        out
+        released
     }
 
     /// Accepts a coalesced run of frames carrying consecutive sequence
@@ -355,10 +463,24 @@ impl<T> LinkReceiver<T> {
         payloads: impl IntoIterator<Item = T>,
     ) -> Vec<T> {
         let mut out = Vec::new();
-        for (offset, payload) in payloads.into_iter().enumerate() {
-            out.extend(self.receive(first_seq + offset as u64, payload));
-        }
+        self.receive_batch_into(first_seq, payloads, &mut out);
         out
+    }
+
+    /// [`receive_batch`](Self::receive_batch) against a caller-owned
+    /// buffer: appends releasable payloads to `out` and returns how many
+    /// were appended.
+    pub fn receive_batch_into(
+        &mut self,
+        first_seq: u64,
+        payloads: impl IntoIterator<Item = T>,
+        out: &mut Vec<T>,
+    ) -> usize {
+        let mut released = 0;
+        for (offset, payload) in payloads.into_iter().enumerate() {
+            released += self.receive_into(first_seq + offset as u64, payload, out);
+        }
+        released
     }
 
     /// The next in-order sequence number this receiver will release.
@@ -697,6 +819,41 @@ mod tests {
         // The replay restarted frame 1's backoff at the base timeout, so
         // it is not due again immediately after the burst.
         assert!(tx.due_for_retransmit().is_empty());
+    }
+
+    #[test]
+    fn scratch_variants_match_the_allocating_apis() {
+        // The `_into` family must be observationally identical to the
+        // allocating originals — same releases, same duplicate counting,
+        // same run shapes — while only ever appending to its buffer.
+        let mut rx = LinkReceiver::new();
+        let mut out = vec!["sentinel"];
+        assert_eq!(rx.receive_into(2, "b", &mut out), 0);
+        assert_eq!(rx.receive_into(1, "a", &mut out), 2);
+        assert_eq!(out, vec!["sentinel", "a", "b"]);
+        assert_eq!(rx.receive_into(1, "a", &mut out), 0, "duplicate dropped");
+        assert_eq!(rx.duplicates(), 1);
+        out.clear();
+        assert_eq!(rx.receive_batch_into(3, ["c", "d"], &mut out), 2);
+        assert_eq!(out, vec!["c", "d"]);
+        assert_eq!(rx.next_expected(), 5);
+
+        let mut tx = LinkSender::new(Duration::from_secs(1));
+        tx.send_held("a");
+        tx.send_held("b");
+        let mut runs = Vec::new();
+        tx.release_held_coalesced_into(&mut runs);
+        assert_eq!(runs, vec![(1, vec!["a", "b"])]);
+        runs.clear();
+        tx.release_held_coalesced_into(&mut runs);
+        assert!(runs.is_empty(), "second release finds nothing held");
+
+        let mut tx = LinkSender::new(Duration::ZERO);
+        let (s1, _) = tx.send("x");
+        let mut due = Vec::new();
+        tx.due_for_retransmit_into(&mut due);
+        assert_eq!(due, vec![(s1, "x")]);
+        assert_eq!(tx.retransmissions(), 1);
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Shared proptest strategies for the byte-oriented frame codec
+//! (`seqnet_runtime::codec`). Both codec consumers test against this one
+//! module — the runtime's frame-level property tests include it directly,
+//! and `crates/deploy/tests/wire_codec.rs` pulls it in via `#[path]` so
+//! the socket envelope layer fuzzes the exact same frame population.
+//!
+//! (The file lives under `tests/` and is therefore also compiled as an
+//! empty standalone test target; that is harmless and keeps it on the
+//! same dependency footing as its includers.)
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use seqnet_core::proto::{Frame, Peer};
+use seqnet_core::{Message, MessageId, SeqNo, Stamp};
+use seqnet_membership::{GroupId, NodeId};
+use seqnet_overlap::AtomId;
+
+/// Arbitrary wire peers: publisher, sequencing node, or subscriber host.
+pub fn peer_strategy() -> impl Strategy<Value = Peer> {
+    prop_oneof![
+        1 => Just(Peer::Publisher),
+        2 => (0u32..100_000).prop_map(|i| Peer::Node(i as usize)),
+        2 => (0u32..100_000).prop_map(|n| Peer::Host(NodeId(n))),
+    ]
+}
+
+/// Arbitrary protocol frames: stamp counts straddle the `StampVec` inline
+/// capacity (so both inline and spilled storage hit the wire), payloads
+/// include empty, and `target_atom` covers both tags.
+pub fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        (any::<u64>(), 0u32..1_000, 0u32..1_000, any::<u64>(), 0u64..8),
+        (
+            vec((0u32..256, any::<u64>()), 0..8),
+            vec(any::<u8>(), 0..48),
+            prop_oneof![
+                1 => Just(None),
+                2 => (0u32..256).prop_map(Some),
+            ],
+        ),
+    )
+        .prop_map(
+            |((id, sender, group, group_seq, epoch), (stamps, payload, target))| {
+                let mut msg = Message::new(MessageId(id), NodeId(sender), GroupId(group), payload);
+                msg.group_seq = SeqNo(group_seq);
+                msg.epoch = epoch;
+                msg.stamps = stamps
+                    .into_iter()
+                    .map(|(atom, seq)| Stamp {
+                        atom: AtomId(atom),
+                        seq: SeqNo(seq),
+                    })
+                    .collect();
+                Frame {
+                    msg,
+                    target_atom: target.map(AtomId),
+                }
+            },
+        )
+}
+
+/// Arbitrary read-chunk sizes for incremental-decode tests (short reads,
+/// dribble transports). Consumers cycle through these, clamping to the
+/// bytes remaining.
+pub fn chunk_strategy() -> impl Strategy<Value = Vec<usize>> {
+    vec(1usize..17, 0..64)
+}

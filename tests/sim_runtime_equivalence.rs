@@ -478,6 +478,85 @@ fn churn_with_crash_inside_handoff_agrees() {
     );
 }
 
+/// ISSUE 10 satellite: the coalescing + scratch-buffer wire path must be
+/// order- and payload-transparent. The same seeded workload and crash
+/// plan run through the threaded runtime twice — once unbatched (every
+/// frame its own `Body::Data`), once with coalescing on, which exercises
+/// the scratch-buffer flush path (`release_held_wire`: lone frames as
+/// `Body::Data`, consecutive runs as `Body::DataBatch`) plus replay after
+/// a crash — and every per-(group, receiver) delivery sequence, message
+/// ids *and* payload bytes, must be identical.
+#[test]
+fn coalesced_scratch_path_matches_unbatched_under_crash() {
+    let seed = 31u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = ZipfGroups::new(8, 4).with_min_size(2).sample(&mut rng);
+    let (publishes, expected) = workload(&m, 2);
+    let plan = FaultPlan::new().crash(
+        0,
+        SimTime::from_micros(5_000),
+        SimTime::from_micros(40_000),
+    );
+
+    type ByteOrders = BTreeMap<(GroupId, NodeId), Vec<(u64, Vec<u8>)>>;
+    let run = |coalesce: bool| -> (ByteOrders, BTreeMap<usize, u64>) {
+        let mut cluster = Cluster::start(
+            &m,
+            ClusterConfig {
+                seed,
+                coalesce,
+                ..ClusterConfig::default()
+            },
+        );
+        for (k, &(node, group)) in publishes.iter().enumerate() {
+            // Distinct payloads make the equivalence byte-level, not just
+            // id-level.
+            cluster
+                .publish(node, group, vec![k as u8, (k >> 8) as u8, 0xA5])
+                .unwrap();
+        }
+        cluster.run_fault_plan(&plan);
+        let deliveries = cluster
+            .wait_for_deliveries(expected, Duration::from_secs(60))
+            .unwrap();
+        cluster.shutdown();
+        assert!(
+            cluster.stats().recovery.crashes > 0,
+            "the crash window actually fired (coalesce={coalesce})"
+        );
+        let mut orders = ByteOrders::new();
+        for (&node, msgs) in &deliveries {
+            for msg in msgs {
+                orders
+                    .entry((msg.group, node))
+                    .or_default()
+                    .push((msg.id.0, msg.payload.as_ref().to_vec()));
+            }
+        }
+        (orders, cluster.batch_size_counts())
+    };
+
+    let (unbatched, plain_sizes) = run(false);
+    let (batched, coalesced_sizes) = run(true);
+    assert_eq!(
+        unbatched.values().map(Vec::len).sum::<usize>(),
+        expected,
+        "unbatched run: zero loss"
+    );
+    assert!(
+        plain_sizes.keys().all(|&s| s == 1),
+        "coalescing off must emit single-frame writes only: {plain_sizes:?}"
+    );
+    assert!(
+        coalesced_sizes.keys().any(|&s| s >= 2),
+        "the coalesced run never produced a multi-frame batch: {coalesced_sizes:?}"
+    );
+    assert_eq!(
+        unbatched, batched,
+        "coalesced scratch-buffer path changed a delivery order or payload under crash replay"
+    );
+}
+
 #[test]
 fn double_crash_window_runs_agree() {
     // Two kill/respawn cycles on the same node: the second incarnation
